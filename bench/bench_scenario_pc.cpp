@@ -1,0 +1,100 @@
+// E4 — Scenario 1, expert-set formation (paper §III):
+//
+//   "Our results in [14] show that VEXUS enables PC chairs to form
+//    committees of major conferences (SIGMOD, VLDB and CIKM) in less than
+//    10 iterations on average."
+//
+// Protocol: on synthetic DB-AUTHORS, a simulated MT chair collects a
+// 15-person committee of authors who publish in the target venue, for
+// targets {sigmod, vldb, cikm} × several dataset seeds. Report iterations
+// to quota, success rate, and collected counts — with feedback learning on
+// (VEXUS) and off (ablation D3, a feedback-less random-walk-like baseline).
+// Shape to reproduce: mean iterations < 10 with feedback; worse without.
+
+#include "bench_util.h"
+#include "core/simulated_explorer.h"
+
+using namespace vexus;
+using namespace vexus::bench;
+
+namespace {
+
+/// Authors with >= 1 publication action in `venue`.
+Bitset VenueAuthors(const core::VexusEngine& engine,
+                    const std::string& venue) {
+  const auto& ds = engine.dataset();
+  Bitset out(ds.num_users());
+  auto item = ds.actions().FindItem(venue);
+  if (!item.has_value()) return out;
+  for (const auto& r : ds.actions().records()) {
+    if (r.item == *item) out.Set(r.user);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Banner("E4 bench_scenario_pc",
+         "PC chairs form committees (SIGMOD/VLDB/CIKM) in < 10 iterations "
+         "on average");
+
+  const std::vector<std::string> venues = {"sigmod", "vldb", "cikm"};
+  const std::vector<uint64_t> seeds = {7, 21, 99};
+  const size_t kCommittee = 40;
+
+  PrintRow({"venue", "feedback", "runs", "mean_iters", "success",
+            "collected", "mean_latency_ms"});
+
+  for (bool with_feedback : {true, false}) {
+    Series all_iters;
+    for (const std::string& venue : venues) {
+      Series iters, success, collected, latency;
+      for (uint64_t seed : seeds) {
+        core::VexusEngine engine = DbEngine(3000, 0.02, seed);
+        Bitset targets = VenueAuthors(engine, venue);
+        if (targets.Count() < kCommittee) continue;
+
+        core::SessionOptions sopt;
+        sopt.greedy.k = 5;
+        sopt.greedy.time_limit_ms = 100;
+        // Ablation D3: no feedback influence on the objective or seeding,
+        // and no learning from clicks.
+        if (!with_feedback) {
+          sopt.greedy.feedback_weight = 0.0;
+          sopt.learning_rate = 1e-12;
+        }
+        auto session = engine.CreateSession(sopt);
+
+        core::SimulatedExplorer::Options eopt;
+        eopt.max_iterations = 40;
+        eopt.mt_quota = kCommittee;
+        eopt.mt_inspectable_size = 80;
+        core::SimulatedExplorer explorer(eopt);
+        auto outcome = explorer.RunMultiTarget(session.get(), targets);
+
+        iters.Add(static_cast<double>(outcome.iterations));
+        all_iters.Add(static_cast<double>(outcome.iterations));
+        success.Add(outcome.reached_goal ? 1.0 : 0.0);
+        collected.Add(static_cast<double>(session->memo().users.size()));
+        latency.Add(outcome.iterations > 0
+                        ? outcome.total_latency_ms /
+                              static_cast<double>(outcome.iterations + 1)
+                        : 0.0);
+      }
+      PrintRow({venue, with_feedback ? "on" : "off",
+                FmtInt(iters.values.size()), Fmt(iters.Mean(), 1),
+                Fmt(success.Mean() * 100, 0) + "%", Fmt(collected.Mean(), 1),
+                Fmt(latency.Mean(), 1)});
+    }
+    std::printf("  -> overall mean iterations (%s): %.1f\n",
+                with_feedback ? "feedback on" : "feedback off",
+                all_iters.Mean());
+  }
+  std::printf(
+      "\nshape check: mean iterations < 10 (the paper's headline claim). "
+      "Note: the harvesting-style MT task is structurally navigable even "
+      "without personalization — feedback's contribution shows on the "
+      "single-target task instead (ablation D3 in bench_ablations).\n");
+  return 0;
+}

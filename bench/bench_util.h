@@ -1,0 +1,112 @@
+// Shared helpers for the experiment harnesses (bench_e*.cc): aligned table
+// printing, simple statistics, and the standard dataset/engine builders each
+// experiment starts from. Every harness prints the experiment id, the paper's
+// claim, and the measured series so EXPERIMENTS.md can quote the output
+// verbatim.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/generators/bookcrossing_gen.h"
+#include "data/generators/dbauthors_gen.h"
+
+namespace vexus::bench {
+
+/// Prints the experiment banner.
+inline void Banner(const std::string& id, const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", id.c_str());
+  std::printf("paper claim: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Fixed-width table row helpers.
+inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string FmtInt(uint64_t v) { return std::to_string(v); }
+
+struct Series {
+  std::vector<double> values;
+
+  void Add(double v) { values.push_back(v); }
+  double Mean() const {
+    if (values.empty()) return 0;
+    return std::accumulate(values.begin(), values.end(), 0.0) /
+           static_cast<double>(values.size());
+  }
+  double Stddev() const {
+    if (values.size() < 2) return 0;
+    double m = Mean();
+    double s = 0;
+    for (double v : values) s += (v - m) * (v - m);
+    return std::sqrt(s / static_cast<double>(values.size() - 1));
+  }
+  double Percentile(double p) const {
+    if (values.empty()) return 0;
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size()));
+    return sorted[std::min(idx, sorted.size() - 1)];
+  }
+  double Max() const {
+    return values.empty() ? 0
+                          : *std::max_element(values.begin(), values.end());
+  }
+};
+
+/// Standard BookCrossing world for interactive experiments: moderate scale
+/// so every harness finishes in seconds on one core.
+inline data::BookCrossingGenerator::Config BxConfig(uint32_t users,
+                                                    uint64_t seed = 42) {
+  data::BookCrossingGenerator::Config cfg;
+  cfg.num_users = users;
+  cfg.num_books = users;
+  cfg.num_ratings = users * 6;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Builds a preprocessed engine over synthetic BookCrossing.
+inline core::VexusEngine BxEngine(
+    uint32_t users, double min_support = 0.02, uint64_t seed = 42,
+    index::InvertedIndex::Options index_options = {}) {
+  mining::DiscoveryOptions dopt;
+  dopt.min_support_fraction = min_support;
+  auto r = core::VexusEngine::Preprocess(
+      data::BookCrossingGenerator::Generate(BxConfig(users, seed)), dopt,
+      index_options);
+  VEXUS_CHECK(r.ok()) << r.status().ToString();
+  return std::move(r).ValueOrDie();
+}
+
+/// Builds a preprocessed engine over synthetic DB-Authors.
+inline core::VexusEngine DbEngine(uint32_t authors, double min_support = 0.02,
+                                  uint64_t seed = 7) {
+  data::DbAuthorsGenerator::Config cfg;
+  cfg.num_authors = authors;
+  cfg.seed = seed;
+  mining::DiscoveryOptions dopt;
+  dopt.min_support_fraction = min_support;
+  dopt.max_description = 3;
+  auto r = core::VexusEngine::Preprocess(
+      data::DbAuthorsGenerator::Generate(cfg), dopt, {});
+  VEXUS_CHECK(r.ok()) << r.status().ToString();
+  return std::move(r).ValueOrDie();
+}
+
+}  // namespace vexus::bench

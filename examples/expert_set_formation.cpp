@@ -1,0 +1,143 @@
+// Scenario 1 (paper §III): Expert-Set Formation — a multi-target task.
+//
+//   "Our explorer can be a program committee chair whose task is to build
+//    an expert set formed by geographically distributed male and female
+//    researchers with different seniority and expertise levels. … The chair
+//    may start from a small group of researchers of the previous year's PC.
+//    Then VEXUS returns similar groups. VEXUS captures the feedback from
+//    the chair throughout the process … To diversify the expert set, the
+//    chair may delete a learned demographic value, e.g. 'male'."
+//
+// This walkthrough builds a SIGMOD-style committee over synthetic
+// DB-AUTHORS and prints the session the way the demo would show it:
+// screens, CONTEXT, the gender-rebalancing unlearn, and the final MEMO.
+//
+// Run:  ./build/examples/expert_set_formation
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/simulated_explorer.h"
+#include "data/generators/dbauthors_gen.h"
+
+using namespace vexus;
+
+namespace {
+
+void PrintScreen(const core::VexusEngine& engine,
+                 const core::GreedySelection& shown, int step) {
+  std::printf("GROUPVIZ step %d (%.1f ms, diversity %.2f):\n", step,
+              shown.elapsed_ms, shown.quality.diversity);
+  for (auto g : shown.groups) {
+    const auto& grp = engine.groups().group(g);
+    std::printf("   g%-4u |%5zu researchers| %s\n", g, grp.size(),
+                grp.DescriptionString(engine.dataset().schema()).c_str());
+  }
+}
+
+double CommitteeGenderBalance(const core::VexusEngine& engine,
+                              const std::vector<data::UserId>& members) {
+  const auto& ds = engine.dataset();
+  auto gender = *ds.schema().Find("gender");
+  auto female = ds.schema().attribute(gender).values().Find("female");
+  if (!female.has_value() || members.empty()) return 0;
+  size_t f = 0;
+  for (auto u : members) f += ds.users().Value(u, gender) == *female;
+  return static_cast<double>(f) / static_cast<double>(members.size());
+}
+
+}  // namespace
+
+int main() {
+  // ---- Offline: the DB-AUTHORS corpus, mined and indexed. ----
+  data::DbAuthorsGenerator::Config cfg;
+  cfg.num_authors = 3000;
+  mining::DiscoveryOptions discovery;
+  discovery.min_support_fraction = 0.02;
+  auto engine_result = core::VexusEngine::Preprocess(
+      data::DbAuthorsGenerator::Generate(cfg), discovery, {});
+  if (!engine_result.ok()) {
+    std::fprintf(stderr, "%s\n", engine_result.status().ToString().c_str());
+    return 1;
+  }
+  core::VexusEngine engine = std::move(engine_result).ValueOrDie();
+  std::printf("%s\n\n", engine.Summary().c_str());
+
+  // ---- Target: authors who publish at SIGMOD (the venue community). ----
+  const auto& ds = engine.dataset();
+  Bitset sigmod_authors(ds.num_users());
+  auto sigmod = ds.actions().FindItem("sigmod");
+  for (const auto& r : ds.actions().records()) {
+    if (sigmod.has_value() && r.item == *sigmod) sigmod_authors.Set(r.user);
+  }
+  std::printf("SIGMOD community: %zu authors — the chair needs 40.\n\n",
+              sigmod_authors.Count());
+
+  // ---- Interactive session driven by the simulated chair. ----
+  core::SessionOptions sopt;
+  sopt.greedy.k = 5;
+  sopt.greedy.time_limit_ms = 100;
+  auto session = engine.CreateSession(sopt);
+  PrintScreen(engine, session->Start(), 0);
+
+  core::SimulatedExplorer::Options eopt;
+  eopt.max_iterations = 25;
+  eopt.mt_quota = 40;
+  eopt.mt_inspectable_size = 70;
+  core::SimulatedExplorer chair(eopt);
+  auto outcome = chair.RunMultiTarget(session.get(), sigmod_authors);
+
+  std::printf("\nafter %zu iterations (%zu backtracks): %zu experts in "
+              "MEMO, %.0f%% of the quota\n",
+              outcome.iterations, outcome.backtracks,
+              session->memo().users.size(), outcome.goal_quality * 100);
+  PrintScreen(engine, session->Current(),
+              static_cast<int>(session->NumSteps() - 1));
+
+  // ---- CONTEXT: what VEXUS learned about the chair. ----
+  std::printf("\nCONTEXT (top tokens — the chair's inferred preference):\n");
+  for (const auto& ts : session->ContextTokens(6)) {
+    std::printf("   %-38s %.4f\n",
+                session->tokens().Label(ts.token, ds).c_str(), ts.score);
+  }
+
+  // ---- The gender rebalance: delete "male" from CONTEXT. ----
+  auto gender = *ds.schema().Find("gender");
+  auto male = ds.schema().attribute(gender).values().Find("male");
+  if (male.has_value()) {
+    core::Token male_token = session->tokens().ValueToken(gender, *male);
+    double before = session->feedback().Score(male_token);
+    session->Unlearn(male_token);
+    std::printf("\nchair deletes 'gender=male' from CONTEXT (score %.4f -> "
+                "%.4f): future screens de-bias.\n",
+                before, session->feedback().Score(male_token));
+  }
+
+  // ---- The committee. ----
+  std::printf("\nMEMO — the committee (%zu members, %.0f%% female):\n",
+              session->memo().users.size(),
+              CommitteeGenderBalance(engine, session->memo().users) * 100);
+  size_t shown_count = 0;
+  auto seniority = ds.schema().Find("seniority");
+  auto country = ds.schema().Find("country");
+  for (auto u : session->memo().users) {
+    if (++shown_count > 10) {
+      std::printf("   … and %zu more\n", session->memo().users.size() - 10);
+      break;
+    }
+    std::printf("   %-10s %-12s %s\n", ds.users().ExternalId(u).c_str(),
+                seniority.has_value()
+                    ? ds.schema()
+                          .attribute(*seniority)
+                          .ValueName(ds.users().Value(u, *seniority))
+                          .c_str()
+                    : "?",
+                country.has_value()
+                    ? ds.schema()
+                          .attribute(*country)
+                          .ValueName(ds.users().Value(u, *country))
+                          .c_str()
+                    : "?");
+  }
+  return 0;
+}

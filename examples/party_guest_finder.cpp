@@ -1,0 +1,178 @@
+// The paper's introduction example, end to end:
+//
+//   "Consider Tiffany who wants to find a person she met at last night's
+//    party in Westford, Massachusetts. She does not remember his name …
+//    Tiffany uses VEXUS to inspect the list of Mike's friends. … VEXUS
+//    returns three groups (limited options) which are 'engineers in MA who
+//    work in NextWorth company', 'engineers in bioinformatics' and
+//    'part-time market managers in Boston'. … she selects the group of
+//    engineers in bioinformatics. In the next iteration, she immediately
+//    receives three subsets of that group. She notices a group of
+//    'software engineers in BioView' … where she finds the person she was
+//    looking for."
+//
+// We build Mike's friend list with exactly that structure and drive the
+// same dialogue, k = 3.
+//
+// Run:  ./build/examples/party_guest_finder
+
+#include <cstdio>
+#include <optional>
+
+#include "common/random.h"
+#include "core/engine.h"
+
+using namespace vexus;
+
+namespace {
+
+data::Dataset MikesFriends() {
+  data::Dataset ds;
+  Rng rng(2024);
+  auto& schema = ds.schema();
+  auto occupation = schema.AddCategorical("occupation");
+  auto field = schema.AddCategorical("field");
+  auto company = schema.AddCategorical("company");
+  auto city = schema.AddCategorical("city");
+  auto employment = schema.AddCategorical("employment");
+
+  auto add_friend = [&](const std::string& name, const char* occ,
+                        const char* fld, const char* comp, const char* cty,
+                        const char* emp) {
+    data::UserId u = ds.users().AddUser(name);
+    ds.users().SetValueByName(u, occupation, occ);
+    ds.users().SetValueByName(u, field, fld);
+    ds.users().SetValueByName(u, company, comp);
+    ds.users().SetValueByName(u, city, cty);
+    ds.users().SetValueByName(u, employment, emp);
+  };
+
+  int id = 0;
+  auto name = [&id](const char* prefix) {
+    return std::string(prefix) + std::to_string(id++);
+  };
+  // Cluster 1: engineers in MA who work at NextWorth (recycling).
+  for (int i = 0; i < 14; ++i) {
+    add_friend(name("nextworth_"), "engineer", "recycling", "nextworth",
+               "westford", "full-time");
+  }
+  // Cluster 2: engineers in bioinformatics; a sub-cluster of software
+  // engineers at BioView (cell imaging) — one of whom is Tiffany's guy.
+  for (int i = 0; i < 6; ++i) {
+    add_friend(name("bioinf_"), "engineer", "bioinformatics",
+               i % 2 ? "genomica" : "helixlab", "cambridge", "full-time");
+  }
+  for (int i = 0; i < 5; ++i) {
+    add_friend(name("bioview_"), "software engineer", "bioinformatics",
+               "bioview", "woburn", "full-time");
+  }
+  add_friend("the_data_viz_guy", "software engineer", "bioinformatics",
+             "bioview", "woburn", "full-time");
+  // Cluster 3: part-time market managers in Boston.
+  for (int i = 0; i < 10; ++i) {
+    add_friend(name("market_"), "market manager", "retail", "shopmart",
+               "boston", "part-time");
+  }
+  return ds;
+}
+
+void PrintScreen(const core::VexusEngine& engine,
+                 const core::GreedySelection& shown) {
+  for (auto g : shown.groups) {
+    const auto& grp = engine.groups().group(g);
+    std::printf("   g%-3u |%3zu friends| %s\n", g, grp.size(),
+                grp.DescriptionString(engine.dataset().schema()).c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  mining::DiscoveryOptions discovery;
+  discovery.min_support_fraction = 0.10;  // groups of >= ~4 friends
+  discovery.max_description = 6;
+  auto engine_result =
+      core::VexusEngine::Preprocess(MikesFriends(), discovery, {});
+  if (!engine_result.ok()) {
+    std::fprintf(stderr, "%s\n", engine_result.status().ToString().c_str());
+    return 1;
+  }
+  core::VexusEngine engine = std::move(engine_result).ValueOrDie();
+  const auto& ds = engine.dataset();
+  std::printf("Mike's friend list: %zu people, %zu groups discovered.\n\n",
+              ds.num_users(), engine.groups().size());
+
+  core::SessionOptions sopt;
+  sopt.greedy.k = 3;  // the paper's three options
+  auto session = engine.CreateSession(sopt);
+
+  std::printf("VEXUS shows Tiffany (aggregated analytics, limited "
+              "options):\n");
+  const auto* shown = &session->Start();
+  PrintScreen(engine, *shown);
+
+  // Tiffany's reasoning at each screen: he does data visualization (not
+  // NextWorth, a recycling company) and works full-time (not the part-time
+  // market managers) — so she follows the trail of full-time
+  // bioinformatics-leaning groups until the BioView subset surfaces.
+  auto field = *ds.schema().Find("field");
+  auto company = *ds.schema().Find("company");
+  auto bioinformatics =
+      ds.schema().attribute(field).values().Find("bioinformatics");
+  auto bioview = ds.schema().attribute(company).values().Find("bioview");
+  auto has_descriptor = [&](mining::GroupId g, data::AttributeId a,
+                            std::optional<data::ValueId> v) {
+    if (!v.has_value()) return false;
+    for (const auto& d : engine.groups().group(g).description()) {
+      if (d.attribute == a && d.value == *v) return true;
+    }
+    return false;
+  };
+
+  for (int step = 0; step < 6; ++step) {
+    // Did the BioView group surface?
+    for (auto g : shown->groups) {
+      if (has_descriptor(g, company, bioview)) {
+        std::printf("\nshe notices g%u — software engineers at BioView "
+                    "(cell imaging and analysis). Inspecting members:\n",
+                    g);
+        engine.groups().group(g).members().ForEach([&](uint32_t u) {
+          std::printf("   %s\n", ds.users().ExternalId(u).c_str());
+        });
+        session->BookmarkGroup(g);
+        std::printf("\n…and there he is: 'the_data_viz_guy'. Found after "
+                    "%zu click%s.\n",
+                    session->NumSteps() - 1,
+                    session->NumSteps() == 2 ? "" : "s");
+        return 0;
+      }
+    }
+    // Otherwise click the most promising group: the largest full-time
+    // bioinformatics group, falling back to the largest non-part-time one.
+    mining::GroupId pick = shown->groups.front();
+    size_t best_size = 0;
+    bool found_bioinf = false;
+    for (auto g : shown->groups) {
+      bool is_bioinf = has_descriptor(g, field, bioinformatics);
+      size_t size = engine.groups().group(g).size();
+      if ((is_bioinf && !found_bioinf) ||
+          (is_bioinf == found_bioinf && size > best_size)) {
+        pick = g;
+        best_size = size;
+        found_bioinf = is_bioinf;
+      }
+    }
+    std::printf("\nTiffany: \"not NextWorth — he does data visualization; "
+                "and he's full-time.\" She selects g%u (%s).\n\n",
+                pick,
+                engine.groups()
+                    .group(pick)
+                    .DescriptionString(ds.schema())
+                    .c_str());
+    shown = &session->SelectGroup(pick);
+    std::printf("the next iteration immediately shows related groups:\n");
+    PrintScreen(engine, *shown);
+  }
+  std::printf("\n(the BioView subset never surfaced — try a larger k.)\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Quickstart: the full VEXUS loop in one file.
+//
+// 1. Generate a synthetic BOOKCROSSING dataset.
+// 2. Pre-process: discover closed groups (LCM) and build the inverted index.
+// 3. Explore interactively: start a session, click a group, inspect the
+//    CONTEXT feedback, render the GROUPVIZ screen, drill into STATS.
+//
+// Run:  ./build/examples/quickstart
+
+#include <cstdio>
+#include <string>
+
+#include "core/engine.h"
+#include "data/generators/bookcrossing_gen.h"
+#include "viz/groupviz.h"
+#include "viz/session_views.h"
+#include "viz/stats_view.h"
+
+using vexus::core::SessionOptions;
+using vexus::core::VexusEngine;
+using vexus::data::BookCrossingGenerator;
+
+int main() {
+  // ---- 1. Data. ----
+  BookCrossingGenerator::Config data_cfg;
+  data_cfg.num_users = 2000;
+  data_cfg.num_books = 3000;
+  data_cfg.num_ratings = 15000;
+  vexus::data::Dataset dataset = BookCrossingGenerator::Generate(data_cfg);
+  std::printf("dataset: %s\n", dataset.Summary().c_str());
+
+  // ---- 2. Offline pre-processing. ----
+  vexus::mining::DiscoveryOptions discovery;
+  discovery.min_support_fraction = 0.02;  // groups of >= 2%% of users
+  discovery.max_description = 3;
+
+  vexus::index::InvertedIndex::Options index_options;
+  index_options.materialization_fraction = 0.10;  // the paper's 10%%
+
+  auto engine_result =
+      VexusEngine::Preprocess(std::move(dataset), discovery, index_options);
+  if (!engine_result.ok()) {
+    std::fprintf(stderr, "preprocess failed: %s\n",
+                 engine_result.status().ToString().c_str());
+    return 1;
+  }
+  VexusEngine engine = std::move(engine_result).ValueOrDie();
+  std::printf("%s\n\n", engine.Summary().c_str());
+
+  // ---- 3. Interactive exploration. ----
+  SessionOptions session_options;
+  session_options.greedy.k = 5;              // P1: limited options
+  session_options.greedy.time_limit_ms = 100;  // P3: 100 ms budget
+  auto session = engine.CreateSession(session_options);
+
+  const auto& first = session->Start();
+  std::printf("step 0 shows %zu groups (diversity=%.2f coverage=%.2f, "
+              "%.1f ms):\n",
+              first.groups.size(), first.quality.diversity,
+              first.quality.coverage, first.elapsed_ms);
+  for (auto g : first.groups) {
+    const auto& grp = engine.groups().group(g);
+    std::printf("  g%-4u |%6zu users| %s\n", g, grp.size(),
+                grp.DescriptionString(engine.dataset().schema()).c_str());
+  }
+
+  // Click the first non-root group.
+  vexus::mining::GroupId clicked = first.groups.front();
+  for (auto g : first.groups) {
+    if (!engine.groups().group(g).description().empty()) {
+      clicked = g;
+      break;
+    }
+  }
+  std::printf("\nclick g%u …\n", clicked);
+  const auto& second = session->SelectGroup(clicked);
+  std::printf("step 1 shows %zu groups (diversity=%.2f coverage=%.2f, "
+              "%.1f ms)\n",
+              second.groups.size(), second.quality.diversity,
+              second.quality.coverage, second.elapsed_ms);
+
+  // CONTEXT: what VEXUS learned from the click.
+  std::printf("\nCONTEXT (top feedback tokens):\n");
+  for (const auto& ts : session->ContextTokens(5)) {
+    std::printf("  %-40s %.4f\n",
+                session->tokens().Label(ts.token, engine.dataset()).c_str(),
+                ts.score);
+  }
+
+  // GROUPVIZ: render the current screen.
+  vexus::viz::GroupVizScene::Options viz_options;
+  viz_options.color_attribute = "favorite_genre";
+  auto scene = vexus::viz::GroupVizScene::Build(
+      engine.dataset(), engine.groups(), second.groups, viz_options);
+  if (scene.ok()) {
+    std::printf("\nGROUPVIZ (ascii sketch, circle size ∝ group size):\n%s\n",
+                scene->ToAscii(90, 24).c_str());
+    auto st = scene->ToSvg();
+    std::printf("(SVG scene: %zu bytes; write it with SvgCanvas if needed)\n",
+                st.size());
+  }
+
+  // STATS: drill into the clicked group and brush.
+  vexus::viz::StatsView stats(&engine.dataset(),
+                              engine.groups().group(clicked).members());
+  std::printf("\nSTATS of g%u (%zu members):\n", clicked,
+              stats.num_members());
+  auto dist = stats.DistributionOf("occupation");
+  if (dist.ok()) {
+    for (size_t i = 0; i < dist->labels.size(); ++i) {
+      if (dist->counts[i] > 0) {
+        std::printf("  occupation=%-12s %zu\n", dist->labels[i].c_str(),
+                    dist->counts[i]);
+      }
+    }
+  }
+  if (stats.Brush("occupation", {"student"}).ok()) {
+    std::printf("brush occupation=student -> %zu selected; first users:",
+                stats.SelectedCount());
+    for (const auto& id : stats.SelectedUsers(5)) {
+      std::printf(" %s", id.c_str());
+    }
+    std::printf("\n");
+  }
+
+  // MEMO: bookmark the group we liked, then print the full session
+  // dashboard (Fig. 2's five panels, headless).
+  session->BookmarkGroup(clicked);
+  std::printf("\n---- session dashboard ----\n%s",
+              vexus::viz::RenderDashboard(*session).c_str());
+  return 0;
+}

@@ -1,0 +1,177 @@
+#include "common/bitset.h"
+
+#include "common/logging.h"
+
+namespace vexus {
+
+namespace {
+constexpr size_t kWordBits = 64;
+size_t WordsFor(size_t bits) { return (bits + kWordBits - 1) / kWordBits; }
+}  // namespace
+
+Bitset::Bitset(size_t size) : size_(size), words_(WordsFor(size), 0) {}
+
+void Bitset::Resize(size_t size) {
+  size_ = size;
+  words_.resize(WordsFor(size), 0);
+  MaskTail();
+}
+
+void Bitset::Set(size_t i) {
+  VEXUS_DCHECK(i < size_) << "bit " << i << " out of range " << size_;
+  words_[i / kWordBits] |= uint64_t{1} << (i % kWordBits);
+}
+
+void Bitset::Clear(size_t i) {
+  VEXUS_DCHECK(i < size_);
+  words_[i / kWordBits] &= ~(uint64_t{1} << (i % kWordBits));
+}
+
+bool Bitset::Test(size_t i) const {
+  VEXUS_DCHECK(i < size_);
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+}
+
+void Bitset::SetAll() {
+  for (auto& w : words_) w = ~uint64_t{0};
+  MaskTail();
+}
+
+void Bitset::ClearAll() {
+  for (auto& w : words_) w = 0;
+}
+
+size_t Bitset::Count() const {
+  size_t c = 0;
+  for (uint64_t w : words_) c += static_cast<size_t>(__builtin_popcountll(w));
+  return c;
+}
+
+bool Bitset::None() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+bool Bitset::IsSubsetOf(const Bitset& other) const {
+  CheckCompatible(other);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool Bitset::IsDisjointWith(const Bitset& other) const {
+  CheckCompatible(other);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+size_t Bitset::IntersectCount(const Bitset& other) const {
+  CheckCompatible(other);
+  size_t c = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    c += static_cast<size_t>(__builtin_popcountll(words_[i] & other.words_[i]));
+  }
+  return c;
+}
+
+size_t Bitset::UnionCount(const Bitset& other) const {
+  CheckCompatible(other);
+  size_t c = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    c += static_cast<size_t>(__builtin_popcountll(words_[i] | other.words_[i]));
+  }
+  return c;
+}
+
+double Bitset::Jaccard(const Bitset& other) const {
+  CheckCompatible(other);
+  size_t inter = 0, uni = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    inter +=
+        static_cast<size_t>(__builtin_popcountll(words_[i] & other.words_[i]));
+    uni +=
+        static_cast<size_t>(__builtin_popcountll(words_[i] | other.words_[i]));
+  }
+  if (uni == 0) return 1.0;  // two empty sets are identical
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+Bitset& Bitset::operator&=(const Bitset& other) {
+  CheckCompatible(other);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::operator|=(const Bitset& other) {
+  CheckCompatible(other);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::operator^=(const Bitset& other) {
+  CheckCompatible(other);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::Subtract(const Bitset& other) {
+  CheckCompatible(other);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+bool Bitset::operator==(const Bitset& other) const {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+std::vector<uint32_t> Bitset::ToVector() const {
+  std::vector<uint32_t> out;
+  out.reserve(Count());
+  ForEach([&out](uint32_t i) { out.push_back(i); });
+  return out;
+}
+
+Bitset Bitset::FromVector(size_t size, const std::vector<uint32_t>& elems) {
+  Bitset b(size);
+  for (uint32_t e : elems) b.Set(e);
+  return b;
+}
+
+size_t Bitset::FindFirst() const {
+  for (size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return w * kWordBits + static_cast<size_t>(__builtin_ctzll(words_[w]));
+    }
+  }
+  return size_;
+}
+
+uint64_t Bitset::Hash() const {
+  // FNV-1a over words plus the size, so sets over different universes differ.
+  uint64_t h = 1469598103934665603ULL ^ size_;
+  for (uint64_t w : words_) {
+    h ^= w;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void Bitset::CheckCompatible(const Bitset& other) const {
+  VEXUS_DCHECK(size_ == other.size_)
+      << "bitset universe mismatch: " << size_ << " vs " << other.size_;
+  (void)other;
+}
+
+void Bitset::MaskTail() {
+  size_t tail = size_ % kWordBits;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << tail) - 1;
+  }
+}
+
+}  // namespace vexus

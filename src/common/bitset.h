@@ -1,0 +1,112 @@
+// Dynamic bitset tuned for user-set algebra.
+//
+// Group members are represented as bitsets over the user universe; the hot
+// operations of the whole system — Jaccard similarity (index construction,
+// experiment E3) and coverage accumulation (greedy selection, experiment E1)
+// — reduce to word-parallel AND/OR + popcount, which this class provides
+// without materializing temporaries (IntersectCount / UnionCount / Jaccard).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vexus {
+
+class Bitset {
+ public:
+  /// Empty set over a zero-sized universe.
+  Bitset() = default;
+
+  /// Set over a universe of `size` elements, all initially absent.
+  explicit Bitset(size_t size);
+
+  /// Universe size (number of addressable bits).
+  size_t size() const { return size_; }
+
+  /// True if the universe is empty.
+  bool empty() const { return size_ == 0; }
+
+  /// Grows (or shrinks) the universe; new bits are clear.
+  void Resize(size_t size);
+
+  void Set(size_t i);
+  void Clear(size_t i);
+  bool Test(size_t i) const;
+
+  /// Sets all bits / clears all bits.
+  void SetAll();
+  void ClearAll();
+
+  /// Number of set bits. O(words), word-parallel.
+  size_t Count() const;
+
+  /// True iff no bit is set.
+  bool None() const;
+
+  /// True iff every element of this set is also in `other` (sizes must match).
+  bool IsSubsetOf(const Bitset& other) const;
+
+  /// True iff the two sets share no element (sizes must match).
+  bool IsDisjointWith(const Bitset& other) const;
+
+  /// |this ∩ other| without allocating. Sizes must match.
+  size_t IntersectCount(const Bitset& other) const;
+
+  /// |this ∪ other| without allocating. Sizes must match.
+  size_t UnionCount(const Bitset& other) const;
+
+  /// Jaccard similarity |a∩b| / |a∪b|; 1.0 when both sets are empty.
+  double Jaccard(const Bitset& other) const;
+
+  /// In-place set algebra. Sizes must match.
+  Bitset& operator&=(const Bitset& other);
+  Bitset& operator|=(const Bitset& other);
+  Bitset& operator^=(const Bitset& other);
+  /// Set difference: removes every element of `other` from this.
+  Bitset& Subtract(const Bitset& other);
+
+  friend Bitset operator&(Bitset a, const Bitset& b) { return a &= b; }
+  friend Bitset operator|(Bitset a, const Bitset& b) { return a |= b; }
+  friend Bitset operator^(Bitset a, const Bitset& b) { return a ^= b; }
+
+  bool operator==(const Bitset& other) const;
+
+  /// Indices of set bits in increasing order.
+  std::vector<uint32_t> ToVector() const;
+
+  /// Builds a set from element indices (duplicates allowed).
+  static Bitset FromVector(size_t size, const std::vector<uint32_t>& elems);
+
+  /// Calls fn(index) for every set bit in increasing order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        unsigned bit = static_cast<unsigned>(__builtin_ctzll(word));
+        fn(static_cast<uint32_t>(w * 64 + bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Index of the first set bit, or size() if none.
+  size_t FindFirst() const;
+
+  /// 64-bit content hash (order-independent by construction).
+  uint64_t Hash() const;
+
+  /// Bytes of heap memory used by the word array.
+  size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+ private:
+  void CheckCompatible(const Bitset& other) const;
+  /// Clears bits beyond size_ in the last word (maintained as an invariant).
+  void MaskTail();
+
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace vexus

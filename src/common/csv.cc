@@ -1,0 +1,107 @@
+#include "common/csv.h"
+
+#include <sstream>
+
+namespace vexus {
+
+CsvReader::CsvReader(std::istream* in, Options options)
+    : in_(in), options_(options) {
+  if (options_.has_header) {
+    std::vector<std::string> row;
+    if (ParseRecord(&row)) {
+      header_ = std::move(row);
+    }
+  }
+}
+
+bool CsvReader::Next(std::vector<std::string>* row) {
+  if (done_ || !status_.ok()) return false;
+  return ParseRecord(row);
+}
+
+bool CsvReader::ParseRecord(std::vector<std::string>* row) {
+  row->clear();
+  std::string field;
+  bool in_quotes = false;
+  bool saw_any = false;
+  int c;
+  while ((c = in_->get()) != std::istream::traits_type::eof()) {
+    saw_any = true;
+    char ch = static_cast<char>(c);
+    if (in_quotes) {
+      if (ch == options_.quote) {
+        int peek = in_->peek();
+        if (peek == options_.quote) {
+          in_->get();
+          field += options_.quote;  // doubled quote -> literal quote
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += ch;
+        if (ch == '\n') ++line_number_;
+      }
+    } else if (ch == options_.quote && field.empty()) {
+      in_quotes = true;
+    } else if (ch == options_.separator) {
+      row->push_back(std::move(field));
+      field.clear();
+    } else if (ch == '\r') {
+      // Swallow; CRLF handled at the '\n'.
+    } else if (ch == '\n') {
+      ++line_number_;
+      row->push_back(std::move(field));
+      return true;
+    } else {
+      field += ch;
+    }
+  }
+  done_ = true;
+  if (in_quotes) {
+    status_ = Status::Corruption("CSV ended inside a quoted field (line " +
+                                 std::to_string(line_number_ + 1) + ")");
+    return false;
+  }
+  if (!saw_any) return false;
+  ++line_number_;
+  row->push_back(std::move(field));
+  return true;
+}
+
+CsvWriter::CsvWriter(std::ostream* out, char separator)
+    : out_(out), separator_(separator) {}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) *out_ << separator_;
+    const std::string& f = fields[i];
+    bool needs_quote = f.find(separator_) != std::string::npos ||
+                       f.find('"') != std::string::npos ||
+                       f.find('\n') != std::string::npos ||
+                       f.find('\r') != std::string::npos;
+    if (needs_quote) {
+      *out_ << '"';
+      for (char ch : f) {
+        if (ch == '"') *out_ << '"';
+        *out_ << ch;
+      }
+      *out_ << '"';
+    } else {
+      *out_ << f;
+    }
+  }
+  *out_ << '\n';
+}
+
+Result<std::vector<std::vector<std::string>>> ParseCsvString(
+    const std::string& text, CsvReader::Options options) {
+  std::istringstream in(text);
+  CsvReader reader(&in, options);
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  while (reader.Next(&row)) rows.push_back(row);
+  if (!reader.status().ok()) return reader.status();
+  return rows;
+}
+
+}  // namespace vexus

@@ -1,0 +1,76 @@
+// RFC-4180-style CSV reading and writing for the ETL layer.
+//
+// The reader handles quoted fields (embedded separators, quotes doubled,
+// embedded newlines), CRLF line endings, and streams row-by-row so paper-scale
+// inputs (10^6 rating rows, experiment E7) never need to fit in memory twice.
+#pragma once
+
+#include <functional>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace vexus {
+
+/// Streaming CSV reader over any std::istream.
+class CsvReader {
+ public:
+  struct Options {
+    char separator = ',';
+    char quote = '"';
+    /// When true, the first row is exposed via header() instead of Next().
+    bool has_header = true;
+  };
+
+  CsvReader(std::istream* in, Options options);
+  explicit CsvReader(std::istream* in) : CsvReader(in, Options{}) {}
+
+  /// Column names from the header row (empty when has_header is false).
+  /// Valid after construction.
+  const std::vector<std::string>& header() const { return header_; }
+
+  /// Reads the next record into *row. Returns true on success, false at end
+  /// of input. Malformed rows (unterminated quote at EOF) set the last-error
+  /// status and stop iteration.
+  bool Next(std::vector<std::string>* row);
+
+  /// OK unless the stream ended inside a quoted field or an I/O error
+  /// occurred.
+  const Status& status() const { return status_; }
+
+  /// 1-based line number of the most recently returned record.
+  size_t line_number() const { return line_number_; }
+
+ private:
+  bool ParseRecord(std::vector<std::string>* row);
+
+  std::istream* in_;
+  Options options_;
+  std::vector<std::string> header_;
+  Status status_;
+  size_t line_number_ = 0;
+  bool done_ = false;
+};
+
+/// Writes rows with minimal quoting (only when a field needs it).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream* out, char separator = ',');
+
+  void WriteRow(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream* out_;
+  char separator_;
+};
+
+/// Convenience: parses an entire CSV string into rows (excluding the header
+/// if options.has_header). Returns Corruption on malformed input.
+Result<std::vector<std::vector<std::string>>> ParseCsvString(
+    const std::string& text, CsvReader::Options options = CsvReader::Options());
+
+}  // namespace vexus

@@ -1,0 +1,16 @@
+#include "common/hash.h"
+
+namespace vexus {
+
+uint64_t HashBytes(const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  // Final mix improves short-string dispersion.
+  return Mix64(h);
+}
+
+}  // namespace vexus

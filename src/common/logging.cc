@@ -1,0 +1,72 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace vexus {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::atomic<LogSink> g_sink{nullptr};
+std::mutex g_stderr_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void SetLogSink(LogSink sink) { g_sink.store(sink, std::memory_order_relaxed); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  // Keep only the basename to keep lines short.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  const std::string line = stream_.str();
+  if (level_ >= GetLogLevel() || level_ == LogLevel::kFatal) {
+    LogSink sink = g_sink.load(std::memory_order_relaxed);
+    if (sink != nullptr) {
+      sink(level_, line);
+    } else {
+      std::lock_guard<std::mutex> lock(g_stderr_mutex);
+      std::fprintf(stderr, "%s\n", line.c_str());
+      std::fflush(stderr);
+    }
+  }
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace vexus

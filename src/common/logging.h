@@ -1,0 +1,85 @@
+// Minimal leveled logging plus CHECK/DCHECK assertions.
+//
+// Library code logs through VEXUS_LOG(Level) << ...; the sink defaults to
+// stderr and can be silenced or redirected by applications and tests.
+// VEXUS_CHECK aborts on violation in all builds; VEXUS_DCHECK compiles to a
+// dead (never-executed but still type-checked) statement in NDEBUG builds and
+// is reserved for programmer errors (contract violations).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace vexus {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Global minimum level actually emitted (default kInfo).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// Redirect log output. `sink` receives fully formatted lines (no trailing
+/// newline). Passing nullptr restores the default stderr sink.
+using LogSink = void (*)(LogLevel, const std::string& line);
+void SetLogSink(LogSink sink);
+
+namespace internal {
+
+/// Stream-collecting helper behind VEXUS_LOG / VEXUS_CHECK. Emits on
+/// destruction; aborts the process for kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Turns a streamed LogMessage expression into void so it can sit in the
+/// false branch of the CHECK ternary (glog's "voidify" idiom). operator&
+/// binds looser than << and tighter than ?:.
+struct Voidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace vexus
+
+#define VEXUS_LOG(level)                                               \
+  ::vexus::internal::LogMessage(::vexus::LogLevel::k##level, __FILE__, \
+                                __LINE__)
+
+/// Hard assertion, active in all build types. Streams extra context:
+///   VEXUS_CHECK(n > 0) << "need at least one group";
+#define VEXUS_CHECK(cond)                                             \
+  (cond) ? (void)0                                                    \
+         : ::vexus::internal::Voidify() &                             \
+               ::vexus::internal::LogMessage(::vexus::LogLevel::kFatal, \
+                                             __FILE__, __LINE__)      \
+                   << "Check failed: " #cond " "
+
+#ifdef NDEBUG
+// Never executed, but the condition and streamed operands stay type-checked
+// and odr-used, so no -Wunused warnings appear in release builds.
+#define VEXUS_DCHECK(cond) \
+  while (false) VEXUS_CHECK(cond)
+#else
+#define VEXUS_DCHECK(cond) VEXUS_CHECK(cond)
+#endif

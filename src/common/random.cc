@@ -1,0 +1,188 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vexus {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed, uint64_t stream) {
+  // PCG32 initialization: the stream selector must be odd.
+  inc_ = (stream << 1u) | 1u;
+  state_ = 0;
+  NextU32();
+  state_ += seed;
+  NextU32();
+}
+
+uint32_t Rng::NextU32() {
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+uint64_t Rng::NextU64() {
+  return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+}
+
+uint32_t Rng::UniformU32(uint32_t bound) {
+  VEXUS_DCHECK(bound > 0) << "UniformU32 bound must be positive";
+  // Lemire's nearly-divisionless method with rejection for exact uniformity.
+  uint64_t m = static_cast<uint64_t>(NextU32()) * bound;
+  uint32_t low = static_cast<uint32_t>(m);
+  if (low < bound) {
+    uint32_t threshold = -bound % bound;
+    while (low < threshold) {
+      m = static_cast<uint64_t>(NextU32()) * bound;
+      low = static_cast<uint32_t>(m);
+    }
+  }
+  return static_cast<uint32_t>(m >> 32);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  VEXUS_DCHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<int64_t>(NextU64());
+  }
+  // 64-bit rejection sampling.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t r;
+  do {
+    r = NextU64();
+  } while (r >= limit);
+  return lo + static_cast<int64_t>(r % span);
+}
+
+double Rng::UniformDouble() {
+  // 53 random bits -> [0,1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return UniformDouble() < p;
+}
+
+double Rng::Normal() {
+  // Box–Muller; discard the second variate for determinism across call sites.
+  double u1 = UniformDouble();
+  double u2 = UniformDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+double Rng::Exponential(double lambda) {
+  VEXUS_DCHECK(lambda > 0);
+  double u = UniformDouble();
+  if (u < 1e-300) u = 1e-300;
+  return -std::log(u) / lambda;
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  VEXUS_DCHECK(!weights.empty());
+  double total = 0;
+  for (double w : weights) {
+    VEXUS_DCHECK(w >= 0) << "negative categorical weight";
+    total += w;
+  }
+  VEXUS_DCHECK(total > 0) << "all categorical weights are zero";
+  double r = UniformDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;  // floating-point edge
+}
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
+  if (k >= n) {
+    std::vector<uint32_t> all(n);
+    for (uint32_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  // Floyd's algorithm would need a set; for simplicity use partial
+  // Fisher–Yates over an index array when k is a large fraction of n, and a
+  // hash-free rejection loop when k << n.
+  if (k * 4 >= n) {
+    std::vector<uint32_t> idx(n);
+    for (uint32_t i = 0; i < n; ++i) idx[i] = i;
+    for (uint32_t i = 0; i < k; ++i) {
+      uint32_t j = i + UniformU32(n - i);
+      std::swap(idx[i], idx[j]);
+    }
+    idx.resize(k);
+    return idx;
+  }
+  std::vector<uint32_t> out;
+  out.reserve(k);
+  std::vector<bool> used(n, false);
+  while (out.size() < k) {
+    uint32_t c = UniformU32(n);
+    if (!used[c]) {
+      used[c] = true;
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+ZipfSampler::ZipfSampler(uint32_t n, double s) : n_(n) {
+  VEXUS_CHECK(n >= 1) << "ZipfSampler needs n >= 1";
+  std::vector<double> p(n);
+  double total = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    p[i] = 1.0 / std::pow(static_cast<double>(i) + 1.0, s);
+    total += p[i];
+  }
+  for (uint32_t i = 0; i < n; ++i) p[i] = p[i] * n / total;  // mean 1
+
+  // Vose's alias method.
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    (p[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s_idx = small.back();
+    small.pop_back();
+    uint32_t l_idx = large.back();
+    large.pop_back();
+    prob_[s_idx] = p[s_idx];
+    alias_[s_idx] = l_idx;
+    p[l_idx] = (p[l_idx] + p[s_idx]) - 1.0;
+    (p[l_idx] < 1.0 ? small : large).push_back(l_idx);
+  }
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;
+}
+
+uint32_t ZipfSampler::Sample(Rng* rng) const {
+  uint32_t column = rng->UniformU32(n_);
+  return rng->UniformDouble() < prob_[column] ? column : alias_[column];
+}
+
+}  // namespace vexus

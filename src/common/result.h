@@ -1,0 +1,82 @@
+// Result<T>: a value or a Status, in the StatusOr/arrow::Result idiom.
+#pragma once
+
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace vexus {
+
+/// Holds either a T (on success) or a non-OK Status (on failure).
+///
+/// Accessing the value of a failed Result is a programmer error (DCHECK).
+/// Typical use:
+///
+///   Result<Dataset> r = Dataset::FromCsv(path);
+///   VEXUS_RETURN_NOT_OK(r.status());
+///   Dataset ds = std::move(r).ValueOrDie();
+///
+/// or with the VEXUS_ASSIGN_OR_RETURN macro.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: success.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status. DCHECKs that the status is not OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    VEXUS_DCHECK(!std::get<Status>(repr_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// OK when holding a value, otherwise the stored error.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Value access; DCHECKs ok().
+  const T& ValueOrDie() const& {
+    VEXUS_DCHECK(ok()) << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    VEXUS_DCHECK(ok()) << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    VEXUS_DCHECK(ok()) << status().ToString();
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const& {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Evaluates an expression producing Result<T>; on error returns the Status,
+/// otherwise assigns the value to `lhs` (which must be declarable with auto).
+#define VEXUS_ASSIGN_OR_RETURN(lhs, expr)                \
+  VEXUS_ASSIGN_OR_RETURN_IMPL_(                          \
+      VEXUS_CONCAT_(_vexus_result_, __LINE__), lhs, expr)
+
+#define VEXUS_CONCAT_INNER_(a, b) a##b
+#define VEXUS_CONCAT_(a, b) VEXUS_CONCAT_INNER_(a, b)
+#define VEXUS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).ValueOrDie()
+
+}  // namespace vexus

@@ -1,0 +1,70 @@
+// Wall-clock stopwatch and deadline helpers used to enforce the paper's
+// 100 ms "continuity preserving latency" budget in the anytime greedy
+// optimizer (principle P3), and to time benchmark phases.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace vexus {
+
+/// Monotonic stopwatch. Starts on construction; Restart() resets.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Restart.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A point in monotonic time after which anytime algorithms must stop.
+///
+/// Deadline::Infinite() never expires — used by benchmarks that measure the
+/// unbounded optimum (experiment E1's denominator).
+class Deadline {
+ public:
+  /// Expires `millis` from now. Negative budgets expire immediately.
+  static Deadline AfterMillis(double millis) {
+    return Deadline(Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double, std::milli>(millis)));
+  }
+
+  /// Never expires.
+  static Deadline Infinite() { return Deadline(Clock::time_point::max()); }
+
+  bool Expired() const {
+    return when_ != Clock::time_point::max() && Clock::now() >= when_;
+  }
+
+  bool IsInfinite() const { return when_ == Clock::time_point::max(); }
+
+  /// Remaining budget in milliseconds (clamped at 0; huge when infinite).
+  double RemainingMillis() const {
+    if (IsInfinite()) return 1e18;
+    auto rem = when_ - Clock::now();
+    double ms = std::chrono::duration<double, std::milli>(rem).count();
+    return ms < 0 ? 0 : ms;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  explicit Deadline(Clock::time_point when) : when_(when) {}
+  Clock::time_point when_;
+};
+
+}  // namespace vexus

@@ -1,0 +1,38 @@
+// Small string helpers shared by the ETL layer and renderers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vexus {
+
+/// Splits on a single character; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strict parse of a whole string (after trimming) as int64 / double.
+/// Empty strings and trailing garbage yield nullopt.
+std::optional<int64_t> ParseInt(std::string_view s);
+std::optional<double> ParseDouble(std::string_view s);
+
+/// Formats a double with up to `precision` fractional digits, trimming
+/// trailing zeros ("1.50" -> "1.5", "2.00" -> "2").
+std::string FormatDouble(double v, int precision = 4);
+
+/// Human-readable count: 12345678 -> "12,345,678".
+std::string WithThousands(uint64_t v);
+
+}  // namespace vexus

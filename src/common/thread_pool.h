@@ -1,0 +1,51 @@
+// Fixed-size thread pool used by offline pre-processing (index construction
+// parallelizes per-group neighbor computation; experiment E7). Interactive
+// paths never block on the pool — the 100 ms greedy budget is single-threaded
+// by design so latency is predictable.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace vexus {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (0 -> hardware concurrency, min 1).
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Work is chunked to limit queue overhead.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // signals workers
+  std::condition_variable done_cv_;   // signals Wait()
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace vexus

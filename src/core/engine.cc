@@ -1,0 +1,68 @@
+#include "core/engine.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace vexus::core {
+
+Result<VexusEngine> VexusEngine::Preprocess(
+    data::Dataset dataset, const mining::DiscoveryOptions& discovery_options,
+    const index::InvertedIndex::Options& index_options) {
+  VEXUS_RETURN_NOT_OK(dataset.Validate().WithContext("dataset validation"));
+
+  VexusEngine engine;
+  engine.dataset_ =
+      std::make_unique<data::Dataset>(std::move(dataset));
+
+  VEXUS_ASSIGN_OR_RETURN(
+      mining::DiscoveryResult discovery,
+      mining::DiscoverGroups(*engine.dataset_, discovery_options));
+  if (discovery.groups.size() == 0) {
+    return Status::FailedPrecondition(
+        "group discovery produced no groups; lower min_support_fraction");
+  }
+  engine.discovery_ =
+      std::make_unique<mining::DiscoveryResult>(std::move(discovery));
+
+  VEXUS_ASSIGN_OR_RETURN(
+      index::InvertedIndex idx,
+      index::InvertedIndex::Build(engine.discovery_->groups, index_options));
+  engine.index_ = std::make_unique<index::InvertedIndex>(std::move(idx));
+
+  engine.graph_ = std::make_unique<index::GroupGraph>(
+      index::GroupGraph::FromIndex(*engine.index_));
+  return engine;
+}
+
+std::optional<mining::GroupId> VexusEngine::RootGroup() const {
+  const mining::GroupStore& store = discovery_->groups;
+  for (mining::GroupId g = 0; g < store.size(); ++g) {
+    if (store.group(g).description().empty() &&
+        store.group(g).size() == store.num_users()) {
+      return g;
+    }
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<ExplorationSession> VexusEngine::CreateSession(
+    SessionOptions options) const {
+  return std::make_unique<ExplorationSession>(
+      dataset_.get(), &discovery_->groups, index_.get(), options);
+}
+
+std::string VexusEngine::Summary() const {
+  std::ostringstream os;
+  os << "VEXUS[" << dataset_->Summary() << "]\n"
+     << "  groups: " << WithThousands(discovery_->groups.size())
+     << " (discovery " << FormatDouble(discovery_->elapsed_ms, 1) << " ms)\n"
+     << "  index: " << WithThousands(index_->build_stats().postings)
+     << " postings, " << WithThousands(index_->build_stats().memory_bytes)
+     << " bytes (build " << FormatDouble(index_->build_stats().elapsed_ms, 1)
+     << " ms)\n"
+     << "  graph: " << graph_->Summary();
+  return os.str();
+}
+
+}  // namespace vexus::core

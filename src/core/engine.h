@@ -1,0 +1,68 @@
+// VexusEngine — the system facade wiring Fig. 1's offline pipeline (group
+// discovery → index generation) to the interactive components. Typical use:
+//
+//   auto dataset = data::BookCrossingGenerator::Generate({});
+//   VEXUS_ASSIGN_OR_RETURN(auto engine,
+//                          core::VexusEngine::Preprocess(std::move(dataset),
+//                                                        {}, {}));
+//   auto session = engine.CreateSession({});
+//   session->Start();
+//   session->SelectGroup(...);
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/session.h"
+#include "data/dataset.h"
+#include "index/group_graph.h"
+#include "index/inverted_index.h"
+#include "mining/discovery.h"
+
+namespace vexus::core {
+
+class VexusEngine {
+ public:
+  /// Runs the full offline pipeline: group discovery over the dataset, then
+  /// inverted-index construction, then the overlap graph. Takes ownership of
+  /// the dataset (sessions reference it).
+  static Result<VexusEngine> Preprocess(
+      data::Dataset dataset,
+      const mining::DiscoveryOptions& discovery_options = {},
+      const index::InvertedIndex::Options& index_options = {});
+
+  VexusEngine(VexusEngine&&) = default;
+  VexusEngine& operator=(VexusEngine&&) = default;
+
+  const data::Dataset& dataset() const { return *dataset_; }
+  const mining::GroupStore& groups() const { return discovery_->groups; }
+  const mining::DescriptorCatalog& catalog() const {
+    return discovery_->catalog;
+  }
+  const index::InvertedIndex& index() const { return *index_; }
+  const index::GroupGraph& graph() const { return *graph_; }
+  const mining::DiscoveryResult& discovery() const { return *discovery_; }
+
+  /// Id of the root group (empty description, all users) if discovery
+  /// emitted one; used as a neutral exploration start.
+  std::optional<mining::GroupId> RootGroup() const;
+
+  /// A fresh interactive session over the preprocessed structures. The
+  /// engine must outlive its sessions.
+  std::unique_ptr<ExplorationSession> CreateSession(
+      SessionOptions options = {}) const;
+
+  /// Pre-processing summary: groups, index postings, graph shape, timings.
+  std::string Summary() const;
+
+ private:
+  VexusEngine() = default;
+
+  std::unique_ptr<data::Dataset> dataset_;
+  std::unique_ptr<mining::DiscoveryResult> discovery_;
+  std::unique_ptr<index::InvertedIndex> index_;
+  std::unique_ptr<index::GroupGraph> graph_;
+};
+
+}  // namespace vexus::core

@@ -1,0 +1,171 @@
+#include "core/feedback.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vexus::core {
+
+TokenSpace::TokenSpace(const data::Dataset& dataset) : dataset_(&dataset) {
+  num_users_ = static_cast<uint32_t>(dataset.num_users());
+  uint32_t offset = num_users_;
+  const data::Schema& schema = dataset.schema();
+  attr_offsets_.reserve(schema.num_attributes());
+  for (data::AttributeId a = 0; a < schema.num_attributes(); ++a) {
+    attr_offsets_.push_back(offset);
+    offset += static_cast<uint32_t>(schema.attribute(a).values().size());
+  }
+  num_tokens_ = offset;
+
+  // Carriers per demographic value token (one column scan per attribute).
+  carrier_count_.assign(num_tokens_ - num_users_, 0);
+  for (data::AttributeId a = 0; a < schema.num_attributes(); ++a) {
+    for (data::UserId u = 0; u < num_users_; ++u) {
+      data::ValueId v = dataset.users().Value(u, a);
+      if (v != data::kNullValue) {
+        ++carrier_count_[attr_offsets_[a] - num_users_ + v];
+      }
+    }
+  }
+}
+
+uint32_t TokenSpace::CarrierCount(Token t) const {
+  if (IsUserToken(t)) return 0;
+  VEXUS_DCHECK(t - num_users_ < carrier_count_.size());
+  return carrier_count_[t - num_users_];
+}
+
+std::pair<data::AttributeId, data::ValueId> TokenSpace::DecodeValueToken(
+    Token t) const {
+  VEXUS_DCHECK(!IsUserToken(t));
+  size_t a = attr_offsets_.size();
+  while (a > 0 && attr_offsets_[a - 1] > t) --a;
+  VEXUS_DCHECK(a > 0);
+  --a;
+  return {static_cast<data::AttributeId>(a), t - attr_offsets_[a]};
+}
+
+Token TokenSpace::ValueToken(data::AttributeId a, data::ValueId v) const {
+  VEXUS_DCHECK(a < attr_offsets_.size());
+  Token t = attr_offsets_[a] + v;
+  VEXUS_DCHECK(t < num_tokens_);
+  return t;
+}
+
+std::string TokenSpace::Label(Token t, const data::Dataset& dataset) const {
+  if (IsUserToken(t)) {
+    return "user:" + dataset.users().ExternalId(t);
+  }
+  auto [a, v] = DecodeValueToken(t);
+  const data::Attribute& attr = dataset.schema().attribute(a);
+  return attr.name() + "=" + attr.ValueName(v);
+}
+
+FeedbackVector::FeedbackVector(const TokenSpace* tokens) : tokens_(tokens) {
+  VEXUS_CHECK(tokens != nullptr);
+}
+
+void FeedbackVector::Learn(const mining::UserGroup& g, double eta) {
+  VEXUS_CHECK(eta > 0);
+  // Half of the reward mass goes to the members, half to the description
+  // tokens ("their common activities described in g"). An even split across
+  // *all* tokens would drown the handful of demographic values under
+  // hundreds of member tokens, making CONTEXT unlearning (paper §II.B /
+  // Scenario 1's gender rebalance) a no-op.
+  size_t n_members = g.size();
+  size_t n_desc = g.description().size();
+  if (n_members == 0 && n_desc == 0) return;
+  double member_mass = n_desc == 0 ? eta : eta / 2;
+  double desc_mass = n_members == 0 ? eta : eta / 2;
+  if (n_members > 0) {
+    double add = member_mass / static_cast<double>(n_members);
+    g.members().ForEach(
+        [&](uint32_t u) { scores_[tokens_->UserToken(u)] += add; });
+  }
+  if (n_desc > 0) {
+    double add = desc_mass / static_cast<double>(n_desc);
+    for (const mining::Descriptor& d : g.description()) {
+      scores_[tokens_->DescriptorToken(d)] += add;
+    }
+  }
+  Normalize();
+}
+
+void FeedbackVector::Unlearn(Token t) {
+  auto it = scores_.find(t);
+  if (it == scores_.end()) return;
+  scores_.erase(it);
+  Normalize();
+}
+
+void FeedbackVector::Normalize() {
+  double total = 0;
+  for (const auto& [t, s] : scores_) total += s;
+  if (total <= 0) {
+    scores_.clear();
+    return;
+  }
+  for (auto& [t, s] : scores_) s /= total;
+}
+
+double FeedbackVector::Score(Token t) const {
+  auto it = scores_.find(t);
+  return it == scores_.end() ? 0.0 : it->second;
+}
+
+std::vector<double> FeedbackVector::UserWeights() const {
+  size_t n = tokens_->num_users();
+  // Floor such that with no feedback all users weigh equally, and a fully
+  // rewarded user can weigh up to (1 + n·score)× the floor.
+  double floor = 1.0 / static_cast<double>(std::max<size_t>(n, 1));
+  std::vector<double> w(n, floor);
+  const data::Dataset& ds = tokens_->dataset();
+  for (const auto& [t, s] : scores_) {
+    if (tokens_->IsUserToken(t)) {
+      w[t] += s;
+    } else {
+      // Spread the demographic token's mass over its carriers.
+      uint32_t carriers = tokens_->CarrierCount(t);
+      if (carriers == 0) continue;
+      auto [a, v] = tokens_->DecodeValueToken(t);
+      double share = s / static_cast<double>(carriers);
+      for (data::UserId u = 0; u < n; ++u) {
+        if (ds.users().Value(u, a) == v) w[u] += share;
+      }
+    }
+  }
+  return w;
+}
+
+double FeedbackVector::GroupPrior(const mining::UserGroup& g,
+                                  double boost) const {
+  if (scores_.empty()) return 1.0;
+  double sum = 0;
+  // Sparse side iteration: feedback vectors hold far fewer tokens than
+  // groups hold members.
+  for (const auto& [t, s] : scores_) {
+    if (tokens_->IsUserToken(t)) {
+      if (g.ContainsUser(t)) sum += s;
+    }
+  }
+  for (const mining::Descriptor& d : g.description()) {
+    sum += Score(tokens_->DescriptorToken(d));
+  }
+  return 1.0 + boost * sum;
+}
+
+std::vector<FeedbackVector::TokenScore> FeedbackVector::TopTokens(
+    size_t k) const {
+  std::vector<TokenScore> all;
+  all.reserve(scores_.size());
+  for (const auto& [t, s] : scores_) all.push_back(TokenScore{t, s});
+  std::sort(all.begin(), all.end(), [](const TokenScore& a,
+                                       const TokenScore& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.token < b.token;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace vexus::core

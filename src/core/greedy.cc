@@ -1,0 +1,284 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "index/similarity.h"
+
+namespace vexus::core {
+
+using mining::GroupId;
+using mining::GroupStore;
+
+GreedySelector::GreedySelector(const GroupStore* store,
+                               const index::InvertedIndex* index)
+    : store_(store), index_(index) {
+  VEXUS_CHECK(store != nullptr && index != nullptr);
+}
+
+namespace {
+
+/// Memoized pairwise Jaccard over a candidate pool (pool ids are indices
+/// into `pool`, not GroupIds). k and |pool| are both small, but the swap
+/// loop revisits pairs constantly — memoization keeps each pair at one
+/// bitset pass.
+class SimCache {
+ public:
+  SimCache(const GroupStore* store, const std::vector<GroupId>* pool)
+      : store_(store),
+        pool_(pool),
+        cache_(pool->size() * pool->size(), -1.0f) {}
+
+  float Sim(size_t a, size_t b) {
+    if (a == b) return 1.0f;
+    float& slot = cache_[a * pool_->size() + b];
+    if (slot < 0) {
+      slot = static_cast<float>(
+          store_->group((*pool_)[a])
+              .members()
+              .Jaccard(store_->group((*pool_)[b]).members()));
+      cache_[b * pool_->size() + a] = slot;
+    }
+    return slot;
+  }
+
+ private:
+  const GroupStore* store_;
+  const std::vector<GroupId>* pool_;
+  std::vector<float> cache_;
+};
+
+}  // namespace
+
+GreedySelection GreedySelector::SelectNext(GroupId anchor,
+                                           const FeedbackVector& feedback,
+                                           const GreedyOptions& options) const {
+  std::vector<GroupId> pool;
+  const Bitset& anchor_members = store_->group(anchor).members();
+  for (const index::Neighbor& nb : index_->Neighbors(anchor)) {
+    if (nb.similarity < options.min_similarity) continue;
+    if (options.exclude_supersets &&
+        anchor_members.IsSubsetOf(store_->group(nb.group).members())) {
+      continue;
+    }
+    pool.push_back(nb.group);
+  }
+  return Run(std::move(pool), anchor, feedback, options);
+}
+
+GreedySelection GreedySelector::SelectInitial(
+    const FeedbackVector& feedback, const GreedyOptions& options) const {
+  std::vector<GroupId> pool(store_->size());
+  std::iota(pool.begin(), pool.end(), GroupId{0});
+  if (pool.size() > options.initial_candidate_cap) {
+    // Rank by prior-weighted size; keep the cap.
+    std::vector<double> score(pool.size());
+    for (size_t i = 0; i < pool.size(); ++i) {
+      score[i] = feedback.GroupPrior(store_->group(pool[i])) *
+                 std::log1p(static_cast<double>(store_->group(pool[i]).size()));
+    }
+    std::sort(pool.begin(), pool.end(), [&score](GroupId a, GroupId b) {
+      if (score[a] != score[b]) return score[a] > score[b];
+      return a < b;
+    });
+    pool.resize(options.initial_candidate_cap);
+  }
+  return Run(std::move(pool), std::nullopt, feedback, options);
+}
+
+GreedySelection GreedySelector::Run(std::vector<GroupId> pool,
+                                    std::optional<GroupId> anchor,
+                                    const FeedbackVector& feedback,
+                                    const GreedyOptions& options) const {
+  VEXUS_CHECK(options.k >= 1);
+  Stopwatch watch;
+  Deadline deadline = options.time_limit_ms <= 0
+                          ? Deadline::Infinite()
+                          : Deadline::AfterMillis(options.time_limit_ms);
+
+  GreedySelection result;
+  result.candidates = pool.size();
+  if (pool.empty()) {
+    result.elapsed_ms = watch.ElapsedMillis();
+    return result;
+  }
+
+  // ---- Seeding: feedback-weighted similarity to the anchor × prior. ----
+  // `affinity` is the feedback term of the objective: the IUGA-style
+  // weighted similarity to the anchor, under user weights boosted by the
+  // feedback vector. Groups whose anchor-side overlap carries rewarded
+  // users rank higher — this is what steers multi-step sessions toward the
+  // explorer's interest (experiment E10).
+  std::vector<double> seed_score(pool.size());
+  std::vector<double> affinity(pool.size(), 0.0);
+  const std::vector<double> weights = feedback.UserWeights();
+  for (size_t i = 0; i < pool.size(); ++i) {
+    const mining::UserGroup& g = store_->group(pool[i]);
+    double prior = feedback.GroupPrior(g);
+    if (anchor.has_value()) {
+      // The objective's affinity term is the weighted similarity alone;
+      // the prior (description-token channel) enters through *seeding*.
+      // Folding the prior into the objective reinforces already-visited
+      // groups and collapses exploration into a loop; both channels still
+      // react to CONTEXT deletion (experiment E10) because rewarded users'
+      // weights also carry the demographic tokens' spread mass.
+      affinity[i] = index::WeightedJaccard(
+          g.members(), store_->group(*anchor).members(), weights);
+      seed_score[i] = affinity[i] * prior;
+    } else {
+      affinity[i] = prior - 1.0;
+      seed_score[i] =
+          prior * std::log1p(static_cast<double>(g.size()));
+    }
+  }
+
+  std::vector<size_t> order(pool.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (seed_score[a] != seed_score[b]) return seed_score[a] > seed_score[b];
+    return pool[a] < pool[b];
+  });
+
+  size_t k = std::min(options.k, pool.size());
+
+  // Refinement quota: reserve slots for strict subsets of the anchor.
+  std::vector<bool> is_refinement(pool.size(), false);
+  size_t quota = 0;
+  if (anchor.has_value() && options.refinement_quota > 0) {
+    size_t total_refinements = 0;
+    const Bitset& am = store_->group(*anchor).members();
+    for (size_t i = 0; i < pool.size(); ++i) {
+      const Bitset& m = store_->group(pool[i]).members();
+      is_refinement[i] = m.Count() < am.Count() && m.IsSubsetOf(am);
+      total_refinements += is_refinement[i];
+    }
+    quota = std::min(total_refinements,
+                     static_cast<size_t>(options.refinement_quota *
+                                         static_cast<double>(k)));
+  }
+
+  // Seed: best `quota` refinements first, then best remaining of any kind.
+  std::vector<size_t> selected;
+  selected.reserve(k);
+  if (quota > 0) {
+    for (size_t i : order) {
+      if (selected.size() >= quota) break;
+      if (is_refinement[i]) selected.push_back(i);
+    }
+  }
+  for (size_t i : order) {
+    if (selected.size() >= k) break;
+    if (std::find(selected.begin(), selected.end(), i) == selected.end()) {
+      selected.push_back(i);
+    }
+  }
+
+  SimCache sims(store_, &pool);
+  const size_t n_users = store_->num_users();
+  const Bitset* anchor_members =
+      anchor.has_value() ? &store_->group(*anchor).members() : nullptr;
+  const double cov_denom =
+      anchor_members != nullptr
+          ? static_cast<double>(anchor_members->Count())
+          : static_cast<double>(n_users);
+
+  // Objective of a selection (by pool indices).
+  auto evaluate = [&](const std::vector<size_t>& sel) {
+    // Coverage.
+    Bitset covered(n_users);
+    for (size_t i : sel) covered |= store_->group(pool[i]).members();
+    double cov =
+        cov_denom == 0
+            ? 0.0
+            : (anchor_members != nullptr
+                   ? static_cast<double>(
+                         covered.IntersectCount(*anchor_members)) /
+                         cov_denom
+                   : static_cast<double>(covered.Count()) / cov_denom);
+    // Diversity.
+    double div = 1.0;
+    if (sel.size() >= 2) {
+      double sim_sum = 0;
+      for (size_t i = 0; i < sel.size(); ++i) {
+        for (size_t j = i + 1; j < sel.size(); ++j) {
+          sim_sum += sims.Sim(sel[i], sel[j]);
+        }
+      }
+      div = 1.0 - sim_sum /
+                      (static_cast<double>(sel.size()) * (sel.size() - 1) / 2);
+    }
+    // Affinity (feedback-weighted similarity to the anchor).
+    double aff = 0;
+    for (size_t i : sel) aff += affinity[i];
+    aff /= static_cast<double>(sel.size());
+
+    ++result.evaluations;
+    return options.lambda * cov + (1 - options.lambda) * div +
+           options.feedback_weight * aff;
+  };
+
+  double current = evaluate(selected);
+
+  // ---- Anytime best-improving swap loop. ----
+  std::vector<bool> in_selection(pool.size(), false);
+  for (size_t i : selected) in_selection[i] = true;
+
+  bool improved = true;
+  while (improved && !deadline.Expired()) {
+    improved = false;
+    ++result.passes;
+    double best_gain = 1e-12;
+    size_t best_out = SIZE_MAX, best_in = SIZE_MAX;
+    size_t refinement_count = 0;
+    for (size_t i : selected) refinement_count += is_refinement[i];
+    std::vector<size_t> trial = selected;
+    for (size_t cand = 0; cand < pool.size(); ++cand) {
+      if (in_selection[cand]) continue;
+      for (size_t pos = 0; pos < selected.size(); ++pos) {
+        // The swap must keep the refinement quota satisfied.
+        size_t after = refinement_count -
+                       (is_refinement[selected[pos]] ? 1 : 0) +
+                       (is_refinement[cand] ? 1 : 0);
+        if (after < quota) continue;
+        trial = selected;
+        trial[pos] = cand;
+        double v = evaluate(trial);
+        if (v - current > best_gain) {
+          best_gain = v - current;
+          best_out = pos;
+          best_in = cand;
+        }
+      }
+      if (deadline.Expired()) {
+        result.deadline_hit = true;
+        break;
+      }
+    }
+    if (best_in != SIZE_MAX) {
+      in_selection[selected[best_out]] = false;
+      in_selection[best_in] = true;
+      selected[best_out] = best_in;
+      current += best_gain;
+      ++result.swaps;
+      improved = true;
+    }
+  }
+  if (deadline.Expired() && !deadline.IsInfinite()) result.deadline_hit = true;
+
+  // ---- Report. ----
+  result.groups.reserve(selected.size());
+  for (size_t i : selected) result.groups.push_back(pool[i]);
+  std::sort(result.groups.begin(), result.groups.end());
+  result.quality = Evaluate(*store_, result.groups, anchor, options.lambda);
+  double aff = 0;
+  for (size_t i : selected) aff += affinity[i];
+  result.weighted_affinity =
+      selected.empty() ? 0 : aff / static_cast<double>(selected.size());
+  result.elapsed_ms = watch.ElapsedMillis();
+  return result;
+}
+
+}  // namespace vexus::core

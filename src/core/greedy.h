@@ -1,0 +1,98 @@
+// Anytime greedy k-group selection — the recommendation step behind GROUPVIZ.
+//
+// Paper §II.B: "VEXUS decides which k groups (… P1) to explore next for g
+// based on implicit feedback so far … We use a best-effort greedy approach
+// to return a local diverse and covering set of k groups with a lower-bound
+// on similarity. … the bottleneck of the framework is the greedy process.
+// To comply with the efficiency principle P3, we set a time limit … safely
+// set to 100ms (continuity preserving latency) which enables VEXUS to reach
+// in average 90% of diversity and 85% of coverage."
+//
+// Algorithm: candidates are the anchor's materialized index neighbors with
+// similarity ≥ σ (the lower bound). The selection is seeded with the top-k
+// candidates by feedback-weighted similarity × group prior, then refined by
+// best-improving swaps on the objective
+//     λ·coverage(S|anchor) + (1−λ)·diversity(S) + μ·affinity(S)
+// until the deadline expires or a local optimum is reached. Every data
+// structure the loop touches is O(k²) or O(k·|candidates|); the anytime loop
+// is what the 100 ms budget truncates (experiment E1 sweeps it).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/feedback.h"
+#include "core/quality.h"
+#include "index/inverted_index.h"
+#include "mining/group.h"
+
+namespace vexus::core {
+
+struct GreedyOptions {
+  /// Groups shown per step; the paper caps at 7 (Miller's law, P1).
+  size_t k = 5;
+  /// Coverage weight in the objective (1−lambda weighs diversity).
+  double lambda = 0.5;
+  /// Lower bound σ on (plain) similarity to the anchor (P2's relevance
+  /// guard); candidates below it are not considered.
+  double min_similarity = 0.05;
+  /// The P3 time budget for the refinement loop, in milliseconds.
+  /// <= 0 means unbounded (used to compute the E1 reference optimum).
+  double time_limit_ms = 100.0;
+  /// μ: weight of the feedback-affinity term in the internal objective.
+  double feedback_weight = 0.2;
+  /// Cap on the candidate pool for the *initial* step (no anchor), where
+  /// every group is a candidate; top groups by prior·size are kept.
+  size_t initial_candidate_cap = 512;
+  /// Exclude neighbors whose member set contains the anchor's (supersets,
+  /// including the root). Off by default: supersets are legitimate roll-up
+  /// moves; the refinement quota below is what guarantees drill-down.
+  bool exclude_supersets = false;
+  /// Fraction of the k slots reserved for *refinements* — strict subsets of
+  /// the anchor. The paper's interaction narrative ("she immediately
+  /// receives three subsets of that group") implies screens mix drill-down
+  /// options with lateral moves; without the quota, large lateral/ancestor
+  /// groups dominate the coverage objective and exploration cycles among
+  /// the same few big groups (ablation A1/D-quota measures this).
+  double refinement_quota = 0.5;
+};
+
+struct GreedySelection {
+  std::vector<mining::GroupId> groups;
+  /// Reported quality (diversity/coverage/λ-objective, no affinity term).
+  QualityScore quality;
+  /// Mean feedback-weighted similarity of the selection to the anchor.
+  double weighted_affinity = 0;
+  size_t candidates = 0;
+  size_t passes = 0;
+  size_t swaps = 0;
+  size_t evaluations = 0;
+  bool deadline_hit = false;
+  double elapsed_ms = 0;
+};
+
+class GreedySelector {
+ public:
+  GreedySelector(const mining::GroupStore* store,
+                 const index::InvertedIndex* index);
+
+  /// k groups to show after the explorer clicked `anchor`.
+  GreedySelection SelectNext(mining::GroupId anchor,
+                             const FeedbackVector& feedback,
+                             const GreedyOptions& options) const;
+
+  /// k groups for the first screen (no anchor; coverage over the universe).
+  GreedySelection SelectInitial(const FeedbackVector& feedback,
+                                const GreedyOptions& options) const;
+
+ private:
+  GreedySelection Run(std::vector<mining::GroupId> pool,
+                      std::optional<mining::GroupId> anchor,
+                      const FeedbackVector& feedback,
+                      const GreedyOptions& options) const;
+
+  const mining::GroupStore* store_;
+  const index::InvertedIndex* index_;
+};
+
+}  // namespace vexus::core

@@ -1,0 +1,41 @@
+// Quality measures of a k-group selection (paper §II.B):
+//
+//   "We consider diversity and coverage as quality objectives in VEXUS.
+//    Optimizing diversity provides various analysis directions and reduces
+//    redundancy in returned groups. Optimizing coverage ensures that the
+//    most interesting records appear in at least one group in the output."
+//
+// Definitions (DESIGN.md §5):
+//   diversity(S) = 1 − mean pairwise Jaccard over S   (1.0 when |S| < 2)
+//   coverage(S | anchor) = |(∪ members of S) ∩ anchor| / |anchor|
+//   coverage(S)          = |∪ members of S| / |U|      (no anchor: step 0)
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "mining/group.h"
+
+namespace vexus::core {
+
+double Diversity(const mining::GroupStore& store,
+                 const std::vector<mining::GroupId>& selection);
+
+/// Coverage of the anchor group's members; pass nullopt for whole-universe
+/// coverage (the initial exploration step).
+double Coverage(const mining::GroupStore& store,
+                const std::vector<mining::GroupId>& selection,
+                std::optional<mining::GroupId> anchor);
+
+/// The greedy objective: lambda·coverage + (1−lambda)·diversity.
+struct QualityScore {
+  double diversity = 0;
+  double coverage = 0;
+  double objective = 0;
+};
+
+QualityScore Evaluate(const mining::GroupStore& store,
+                      const std::vector<mining::GroupId>& selection,
+                      std::optional<mining::GroupId> anchor, double lambda);
+
+}  // namespace vexus::core

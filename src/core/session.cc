@@ -1,0 +1,90 @@
+#include "core/session.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vexus::core {
+
+ExplorationSession::ExplorationSession(const data::Dataset* dataset,
+                                       const mining::GroupStore* store,
+                                       const index::InvertedIndex* index,
+                                       SessionOptions options)
+    : dataset_(dataset),
+      store_(store),
+      index_(index),
+      options_(options),
+      tokens_(*dataset),
+      feedback_(&tokens_),
+      selector_(store, index) {
+  VEXUS_CHECK(dataset != nullptr && store != nullptr && index != nullptr);
+  VEXUS_CHECK(store->num_users() == dataset->num_users())
+      << "group store universe does not match the dataset";
+}
+
+const GreedySelection& ExplorationSession::Start() {
+  history_.clear();
+  memo_ = Memo{};
+  feedback_ = FeedbackVector(&tokens_);
+
+  ExplorationStep step{std::nullopt,
+                       selector_.SelectInitial(feedback_, options_.greedy),
+                       feedback_};
+  history_.push_back(std::move(step));
+  return history_.back().shown;
+}
+
+const GreedySelection& ExplorationSession::SelectGroup(mining::GroupId g) {
+  VEXUS_CHECK(g < store_->size()) << "unknown group " << g;
+  VEXUS_CHECK(!history_.empty()) << "call Start() before SelectGroup()";
+
+  // Implicit positive feedback for the clicked group.
+  feedback_.Learn(store_->group(g), options_.learning_rate);
+
+  ExplorationStep step{g, selector_.SelectNext(g, feedback_, options_.greedy),
+                       feedback_};
+  history_.push_back(std::move(step));
+  return history_.back().shown;
+}
+
+const ExplorationStep& ExplorationSession::Step(size_t i) const {
+  VEXUS_CHECK(i < history_.size());
+  return history_[i];
+}
+
+Status ExplorationSession::Backtrack(size_t i) {
+  if (i >= history_.size()) {
+    return Status::OutOfRange("backtrack to step " + std::to_string(i) +
+                              " but history has " +
+                              std::to_string(history_.size()) + " steps");
+  }
+  history_.erase(history_.begin() + static_cast<ptrdiff_t>(i) + 1,
+                 history_.end());
+  feedback_ = history_[i].feedback_snapshot;
+  return Status::OK();
+}
+
+const GreedySelection& ExplorationSession::Current() const {
+  VEXUS_CHECK(!history_.empty()) << "session not started";
+  return history_.back().shown;
+}
+
+void ExplorationSession::Unlearn(Token t) { feedback_.Unlearn(t); }
+
+void ExplorationSession::BookmarkGroup(mining::GroupId g) {
+  VEXUS_CHECK(g < store_->size());
+  if (std::find(memo_.groups.begin(), memo_.groups.end(), g) ==
+      memo_.groups.end()) {
+    memo_.groups.push_back(g);
+  }
+}
+
+void ExplorationSession::BookmarkUser(data::UserId u) {
+  VEXUS_CHECK(u < dataset_->num_users());
+  if (std::find(memo_.users.begin(), memo_.users.end(), u) ==
+      memo_.users.end()) {
+    memo_.users.push_back(u);
+  }
+}
+
+}  // namespace vexus::core

@@ -1,0 +1,191 @@
+#include "core/simulated_explorer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vexus::core {
+
+namespace {
+
+using mining::GroupId;
+
+/// Users of `targets` not yet bookmarked.
+Bitset Remaining(const Bitset& targets, const Memo& memo, size_t n_users) {
+  Bitset rem = targets;
+  Bitset collected(n_users);
+  for (data::UserId u : memo.users) collected.Set(u);
+  rem.Subtract(collected);
+  return rem;
+}
+
+}  // namespace
+
+ExplorationOutcome SimulatedExplorer::RunMultiTarget(
+    ExplorationSession* session, const Bitset& targets) const {
+  VEXUS_CHECK(session != nullptr);
+  ExplorationOutcome out;
+  const mining::GroupStore& store = session->store();
+  const size_t n_users = store.num_users();
+  const size_t total_targets = targets.Count();
+  if (total_targets == 0) {
+    out.reached_goal = true;
+    out.goal_quality = 1.0;
+    return out;
+  }
+  size_t quota = options_.mt_quota == 0
+                     ? total_targets
+                     : std::min(options_.mt_quota, total_targets);
+
+  const GreedySelection* shown = &session->Start();
+  out.total_latency_ms += shown->elapsed_ms;
+
+  // Like the ST policy: a human does not re-click a group already explored.
+  std::vector<bool> visited(store.size(), false);
+
+  while (out.iterations < options_.max_iterations) {
+    Bitset remaining = Remaining(targets, session->memo(), n_users);
+
+    // Inspect the screen: any shown group small enough to examine member-
+    // by-member yields its target members into MEMO (the drill-down).
+    for (GroupId g : shown->groups) {
+      const mining::UserGroup& grp = store.group(g);
+      if (grp.size() <= options_.mt_inspectable_size) {
+        Bitset hits = grp.members() & remaining;
+        hits.ForEach([&](uint32_t u) { session->BookmarkUser(u); });
+      }
+    }
+    remaining = Remaining(targets, session->memo(), n_users);
+    size_t collected = total_targets - remaining.Count();
+    if (collected >= quota) {
+      out.reached_goal = true;
+      break;
+    }
+
+    // Click the unvisited shown group with the most still-needed targets;
+    // prefer smaller groups on ties (they drill toward inspectable
+    // granularity).
+    GroupId best = 0;
+    size_t best_overlap = 0;
+    size_t best_size = SIZE_MAX;
+    bool found = false;
+    for (GroupId g : shown->groups) {
+      if (visited[g]) continue;
+      const mining::UserGroup& grp = store.group(g);
+      size_t overlap = grp.members().IntersectCount(remaining);
+      if (overlap > best_overlap ||
+          (overlap == best_overlap && overlap > 0 && grp.size() < best_size)) {
+        best = g;
+        best_overlap = overlap;
+        best_size = grp.size();
+        found = overlap > 0;
+      }
+    }
+
+    if (!found) {
+      // Dead end: backtrack to the most recent step whose screen still has
+      // an unvisited group with target overlap; give up if none.
+      ++out.backtracks;
+      bool resumed = false;
+      for (size_t s = session->NumSteps(); s-- > 0;) {
+        for (GroupId g : session->Step(s).shown.groups) {
+          if (!visited[g] &&
+              store.group(g).members().IntersectCount(remaining) > 0) {
+            VEXUS_CHECK(session->Backtrack(s).ok());
+            shown = &session->Current();
+            resumed = true;
+            break;
+          }
+        }
+        if (resumed) break;
+      }
+      if (!resumed) break;
+      continue;
+    }
+
+    visited[best] = true;
+    shown = &session->SelectGroup(best);
+    ++out.iterations;
+    out.total_latency_ms += shown->elapsed_ms;
+  }
+
+  Bitset remaining = Remaining(targets, session->memo(), n_users);
+  size_t collected = total_targets - remaining.Count();
+  out.goal_quality =
+      static_cast<double>(collected) / static_cast<double>(total_targets);
+  out.reached_goal = collected >= quota;
+  out.final_groups = session->Current().groups;
+  return out;
+}
+
+ExplorationOutcome SimulatedExplorer::RunSingleTarget(
+    ExplorationSession* session, const Bitset& target_members) const {
+  VEXUS_CHECK(session != nullptr);
+  ExplorationOutcome out;
+  const mining::GroupStore& store = session->store();
+
+  const GreedySelection* shown = &session->Start();
+  out.total_latency_ms += shown->elapsed_ms;
+
+  // A human never re-clicks a group they already examined; without this the
+  // myopic max-similarity policy cycles between the root and its largest
+  // children (their Jaccard to any target beats every refinement's).
+  std::vector<bool> visited(store.size(), false);
+
+  double best_reached = 0;
+  while (out.iterations < options_.max_iterations) {
+    // Click the *unvisited* shown group most similar to the hidden target
+    // (a memoryless explorer considers every shown group, visited or not).
+    GroupId best = 0;
+    double best_sim = -1;
+    for (GroupId g : shown->groups) {
+      if (!options_.memoryless && visited[g]) continue;
+      double sim = store.group(g).members().Jaccard(target_members);
+      if (sim > best_sim) {
+        best_sim = sim;
+        best = g;
+      }
+    }
+    if (best_sim <= 0) {
+      // Dead end (everything visited or disjoint from the target):
+      // backtrack to the most recent step whose screen still offers an
+      // unvisited group with target overlap.
+      bool resumed = false;
+      for (size_t s = session->NumSteps(); s-- > 0;) {
+        for (GroupId g : session->Step(s).shown.groups) {
+          if (!visited[g] &&
+              store.group(g).members().IntersectCount(target_members) > 0) {
+            VEXUS_CHECK(session->Backtrack(s).ok());
+            shown = &session->Current();
+            ++out.backtracks;
+            resumed = true;
+            break;
+          }
+        }
+        if (resumed) break;
+      }
+      if (!resumed) break;
+      continue;
+    }
+
+    visited[best] = true;
+    // Also record the best similarity seen on screen even before clicking
+    // (the explorer *found* the group once it is displayed).
+    best_reached = std::max(best_reached, best_sim);
+    if (best_sim >= options_.st_success_similarity) {
+      out.reached_goal = true;
+      session->BookmarkGroup(best);
+      break;
+    }
+
+    shown = &session->SelectGroup(best);
+    ++out.iterations;
+    out.total_latency_ms += shown->elapsed_ms;
+  }
+
+  out.goal_quality = best_reached;
+  out.final_groups = session->Current().groups;
+  return out;
+}
+
+}  // namespace vexus::core

@@ -1,0 +1,193 @@
+#include "core/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace vexus::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'V', 'X', 'S', 'N'};
+constexpr uint32_t kVersion = 1;
+
+// ---- little-endian primitive I/O ----
+
+void PutU32(std::ostream& out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(buf, 4);
+}
+
+void PutU64(std::ostream& out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(buf, 8);
+}
+
+void PutF32(std::ostream& out, float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  PutU32(out, bits);
+}
+
+bool GetU32(std::istream& in, uint32_t* v) {
+  unsigned char buf[4];
+  if (!in.read(reinterpret_cast<char*>(buf), 4)) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(buf[i]) << (8 * i);
+  return true;
+}
+
+bool GetU64(std::istream& in, uint64_t* v) {
+  unsigned char buf[8];
+  if (!in.read(reinterpret_cast<char*>(buf), 8)) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(buf[i]) << (8 * i);
+  return true;
+}
+
+bool GetF32(std::istream& in, float* v) {
+  uint32_t bits;
+  if (!GetU32(in, &bits)) return false;
+  std::memcpy(v, &bits, 4);
+  return true;
+}
+
+Status Truncated() { return Status::Corruption("snapshot truncated"); }
+
+}  // namespace
+
+Status SaveSnapshot(const mining::GroupStore& groups,
+                    const index::InvertedIndex& index,
+                    const std::string& path) {
+  if (index.num_groups() != groups.size()) {
+    return Status::InvalidArgument(
+        "index and group store cover different group sets");
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open '" + tmp + "' for writing");
+
+    out.write(kMagic, 4);
+    PutU32(out, kVersion);
+    PutU64(out, groups.num_users());
+
+    PutU64(out, groups.size());
+    for (mining::GroupId g = 0; g < groups.size(); ++g) {
+      const mining::UserGroup& grp = groups.group(g);
+      PutU32(out, static_cast<uint32_t>(grp.description().size()));
+      for (const mining::Descriptor& d : grp.description()) {
+        PutU32(out, d.attribute);
+        PutU32(out, d.value);
+      }
+      PutU64(out, grp.size());
+      grp.members().ForEach([&out](uint32_t u) { PutU32(out, u); });
+    }
+
+    PutU64(out, index.num_groups());
+    for (mining::GroupId g = 0; g < index.num_groups(); ++g) {
+      const auto& list = index.Neighbors(g);
+      PutU32(out, static_cast<uint32_t>(list.size()));
+      for (const index::Neighbor& nb : list) {
+        PutU32(out, nb.group);
+        PutF32(out, nb.similarity);
+      }
+    }
+    if (!out) return Status::IOError("write failed on '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename snapshot into '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<Snapshot> LoadSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+
+  char magic[4];
+  if (!in.read(magic, 4)) return Truncated();
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Corruption("bad snapshot magic");
+  }
+  uint32_t version;
+  if (!GetU32(in, &version)) return Truncated();
+  if (version != kVersion) {
+    return Status::NotSupported("snapshot version " + std::to_string(version) +
+                                " (expected " + std::to_string(kVersion) +
+                                ")");
+  }
+  uint64_t num_users;
+  if (!GetU64(in, &num_users)) return Truncated();
+
+  uint64_t num_groups;
+  if (!GetU64(in, &num_groups)) return Truncated();
+  mining::GroupStore store(num_users);
+  for (uint64_t g = 0; g < num_groups; ++g) {
+    uint32_t desc_len;
+    if (!GetU32(in, &desc_len)) return Truncated();
+    std::vector<mining::Descriptor> desc;
+    desc.reserve(desc_len);
+    for (uint32_t i = 0; i < desc_len; ++i) {
+      mining::Descriptor d;
+      if (!GetU32(in, &d.attribute) || !GetU32(in, &d.value)) {
+        return Truncated();
+      }
+      desc.push_back(d);
+    }
+    uint64_t member_count;
+    if (!GetU64(in, &member_count)) return Truncated();
+    if (member_count > num_users) {
+      return Status::Corruption("group claims more members than users");
+    }
+    Bitset members(num_users);
+    for (uint64_t i = 0; i < member_count; ++i) {
+      uint32_t u;
+      if (!GetU32(in, &u)) return Truncated();
+      if (u >= num_users) {
+        return Status::Corruption("member id out of range");
+      }
+      members.Set(u);
+    }
+    mining::GroupId assigned =
+        store.Add(mining::UserGroup(std::move(desc), std::move(members)));
+    if (assigned != g) {
+      // Stores never hold duplicate (description, extent) pairs, so a
+      // dedup hit here means the file repeats a group — ids would shift
+      // and the posting lists would dangle.
+      return Status::Corruption("duplicate group in snapshot");
+    }
+  }
+
+  uint64_t num_lists;
+  if (!GetU64(in, &num_lists)) return Truncated();
+  if (num_lists != num_groups) {
+    return Status::Corruption("posting-list count mismatch");
+  }
+  std::vector<std::vector<index::Neighbor>> lists(num_lists);
+  for (uint64_t g = 0; g < num_lists; ++g) {
+    uint32_t len;
+    if (!GetU32(in, &len)) return Truncated();
+    lists[g].reserve(len);
+    for (uint32_t i = 0; i < len; ++i) {
+      index::Neighbor nb;
+      if (!GetU32(in, &nb.group) || !GetF32(in, &nb.similarity)) {
+        return Truncated();
+      }
+      if (nb.group >= num_groups) {
+        return Status::Corruption("posting references unknown group");
+      }
+      lists[g].push_back(nb);
+    }
+  }
+
+  return Snapshot{std::move(store),
+                  index::InvertedIndex::FromPostings(std::move(lists))};
+}
+
+}  // namespace vexus::core

@@ -1,0 +1,44 @@
+// Snapshot persistence for the offline pre-processing outputs.
+//
+// Fig. 1 splits VEXUS into an offline pipeline (group discovery + index
+// generation) and the interactive modules. This file makes the split real
+// across process restarts: the discovered GroupStore and the materialized
+// InvertedIndex serialize to one versioned binary file, so a deployment
+// mines once and serves many exploration sessions.
+//
+// Format (little-endian):
+//   magic "VXSN" | u32 version | u64 num_users
+//   u64 num_groups
+//     per group: u32 desc_len, desc_len × (u32 attr, u32 value),
+//                u64 member_count, member_count × u32 user ids (ascending)
+//   u64 num_posting_lists (== num_groups)
+//     per list: u32 len, len × (u32 group, f32 similarity)
+//
+// Corruption (truncation, bad magic, out-of-range references) is detected
+// on load and reported as Status::Corruption.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "index/inverted_index.h"
+#include "mining/group.h"
+
+namespace vexus::core {
+
+struct Snapshot {
+  mining::GroupStore groups;
+  index::InvertedIndex index;
+};
+
+/// Serializes the pre-processing outputs to `path` (atomically: written to
+/// a temp file and renamed). IOError on filesystem failure.
+Status SaveSnapshot(const mining::GroupStore& groups,
+                    const index::InvertedIndex& index,
+                    const std::string& path);
+
+/// Loads a snapshot written by SaveSnapshot. Corruption on malformed input,
+/// NotSupported on a future format version.
+Result<Snapshot> LoadSnapshot(const std::string& path);
+
+}  // namespace vexus::core

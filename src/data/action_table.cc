@@ -1,0 +1,62 @@
+#include "data/action_table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vexus::data {
+
+ItemId ActionTable::AddItem(std::string_view name) {
+  size_t before = items_.size();
+  ItemId id = items_.GetOrAdd(name);
+  if (items_.size() != before) item_category_.push_back(kNullValue);
+  return id;
+}
+
+ItemId ActionTable::AddItem(std::string_view name, std::string_view category) {
+  ItemId id = AddItem(name);
+  item_category_[id] = categories_.GetOrAdd(category);
+  return id;
+}
+
+ValueId ActionTable::ItemCategory(ItemId i) const {
+  VEXUS_DCHECK(i < item_category_.size());
+  return item_category_[i];
+}
+
+void ActionTable::AddAction(UserId user, ItemId item, float value) {
+  VEXUS_DCHECK(item < items_.size()) << "action references unknown item";
+  records_.push_back(ActionRecord{user, item, value});
+}
+
+size_t ActionTable::DeduplicateKeepLast() {
+  if (records_.empty()) return 0;
+  // Stable sort preserves insertion order among duplicates, so "keep last"
+  // is the final record of each (user, item) run.
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const ActionRecord& a, const ActionRecord& b) {
+                     if (a.user != b.user) return a.user < b.user;
+                     return a.item < b.item;
+                   });
+  size_t out = 0;
+  for (size_t i = 0; i < records_.size(); ++i) {
+    if (i + 1 < records_.size() && records_[i].user == records_[i + 1].user &&
+        records_[i].item == records_[i + 1].item) {
+      continue;  // superseded by a later record
+    }
+    records_[out++] = records_[i];
+  }
+  size_t removed = records_.size() - out;
+  records_.resize(out);
+  return removed;
+}
+
+std::vector<uint32_t> ActionTable::ActionCounts(size_t num_users) const {
+  std::vector<uint32_t> counts(num_users, 0);
+  for (const auto& r : records_) {
+    if (r.user < num_users) ++counts[r.user];
+  }
+  return counts;
+}
+
+}  // namespace vexus::data

@@ -1,0 +1,65 @@
+// Action records — the paper's generic schema [user, item, value] —
+// plus an item catalog with optional item categories (book genre, paper
+// venue, product aisle). Categories let ETL derive action-based user
+// attributes ("favorite_genre=fiction"), which is how groups like "female
+// teenagers who watch romantic movies" become expressible.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "data/dictionary.h"
+#include "data/schema.h"
+#include "data/user_table.h"
+
+namespace vexus::data {
+
+using ItemId = uint32_t;
+
+/// One action: user u rated/bought/produced item i with value v.
+struct ActionRecord {
+  UserId user = 0;
+  ItemId item = 0;
+  float value = 0.0f;
+};
+
+class ActionTable {
+ public:
+  /// Registers an item (idempotent); optionally assigns its category.
+  ItemId AddItem(std::string_view name);
+  ItemId AddItem(std::string_view name, std::string_view category);
+
+  size_t num_items() const { return items_.size(); }
+  const std::string& ItemName(ItemId i) const { return items_.Name(i); }
+  std::optional<ItemId> FindItem(std::string_view name) const {
+    return items_.Find(name);
+  }
+
+  /// Category code of an item (kNullValue when uncategorized); the category
+  /// dictionary is shared across items.
+  ValueId ItemCategory(ItemId i) const;
+  const Dictionary& categories() const { return categories_; }
+
+  /// Appends an action record.
+  void AddAction(UserId user, ItemId item, float value);
+
+  size_t num_actions() const { return records_.size(); }
+  const ActionRecord& action(size_t idx) const { return records_[idx]; }
+  const std::vector<ActionRecord>& records() const { return records_; }
+
+  /// Sorts records by (user, item) and merges exact duplicates, keeping the
+  /// last value (ETL dedup). Returns the number of removed records.
+  size_t DeduplicateKeepLast();
+
+  /// Number of actions per user (index = UserId), sized to `num_users`.
+  std::vector<uint32_t> ActionCounts(size_t num_users) const;
+
+ private:
+  Dictionary items_;
+  Dictionary categories_;
+  std::vector<ValueId> item_category_;  // parallel to items_
+  std::vector<ActionRecord> records_;
+};
+
+}  // namespace vexus::data

@@ -1,0 +1,104 @@
+#include "data/dataset.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace vexus::data {
+
+Dataset::Dataset()
+    : schema_(std::make_unique<Schema>()),
+      users_(std::make_unique<UserTable>(schema_.get())),
+      actions_(std::make_unique<ActionTable>()) {}
+
+Status Dataset::Validate() const {
+  for (size_t idx = 0; idx < actions_->num_actions(); ++idx) {
+    const ActionRecord& r = actions_->action(idx);
+    if (r.user >= users_->size()) {
+      return Status::Corruption("action " + std::to_string(idx) +
+                                " references unknown user " +
+                                std::to_string(r.user));
+    }
+    if (r.item >= actions_->num_items()) {
+      return Status::Corruption("action " + std::to_string(idx) +
+                                " references unknown item " +
+                                std::to_string(r.item));
+    }
+  }
+  for (AttributeId a = 0; a < schema_->num_attributes(); ++a) {
+    const Attribute& attr = schema_->attribute(a);
+    for (UserId u = 0; u < users_->size(); ++u) {
+      ValueId v = users_->Value(u, a);
+      if (v != kNullValue && v >= attr.values().size()) {
+        return Status::Corruption("user " + std::to_string(u) +
+                                  " has out-of-dictionary code for '" +
+                                  attr.name() + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string Dataset::Summary() const {
+  std::ostringstream os;
+  os << "|U|=" << WithThousands(num_users())
+     << " |I|=" << WithThousands(num_items())
+     << " |A|=" << WithThousands(num_actions()) << " attributes=[";
+  for (AttributeId a = 0; a < schema_->num_attributes(); ++a) {
+    if (a > 0) os << ", ";
+    const Attribute& attr = schema_->attribute(a);
+    os << attr.name() << "(" << attr.values().size() << ")";
+  }
+  os << "]";
+  return os.str();
+}
+
+void Dataset::SaveUsersCsv(std::ostream* out) const {
+  CsvWriter w(out);
+  std::vector<std::string> row;
+  row.push_back("user_id");
+  for (AttributeId a = 0; a < schema_->num_attributes(); ++a) {
+    row.push_back(schema_->attribute(a).name());
+  }
+  w.WriteRow(row);
+  for (UserId u = 0; u < users_->size(); ++u) {
+    row.clear();
+    row.push_back(users_->ExternalId(u));
+    for (AttributeId a = 0; a < schema_->num_attributes(); ++a) {
+      const Attribute& attr = schema_->attribute(a);
+      if (attr.kind() == AttributeKind::kNumeric) {
+        double v = users_->Numeric(u, a);
+        row.push_back(std::isnan(v) ? "" : FormatDouble(v, 6));
+      } else {
+        ValueId v = users_->Value(u, a);
+        row.push_back(v == kNullValue ? "" : attr.values().Name(v));
+      }
+    }
+    w.WriteRow(row);
+  }
+}
+
+void Dataset::SaveActionsCsv(std::ostream* out) const {
+  CsvWriter w(out);
+  bool has_categories = actions_->categories().size() > 0;
+  std::vector<std::string> header = {"user", "item", "value"};
+  if (has_categories) header.push_back("category");
+  w.WriteRow(header);
+  std::vector<std::string> row;
+  for (size_t i = 0; i < actions_->num_actions(); ++i) {
+    const ActionRecord& r = actions_->action(i);
+    row.clear();
+    row.push_back(users_->ExternalId(r.user));
+    row.push_back(actions_->ItemName(r.item));
+    row.push_back(FormatDouble(r.value, 4));
+    if (has_categories) {
+      ValueId c = actions_->ItemCategory(r.item);
+      row.push_back(c == kNullValue ? "" : actions_->categories().Name(c));
+    }
+    w.WriteRow(row);
+  }
+}
+
+}  // namespace vexus::data

@@ -1,0 +1,63 @@
+// Dataset: the unit the whole pipeline operates on — a schema, a user table,
+// and an action table, as described in paper §II.A ("Each record in user data
+// describes one user action … each user is also associated to a set of
+// demographics").
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "data/action_table.h"
+#include "data/schema.h"
+#include "data/user_table.h"
+
+namespace vexus::data {
+
+class Dataset {
+ public:
+  Dataset();
+
+  Dataset(Dataset&&) = default;
+  Dataset& operator=(Dataset&&) = default;
+  Dataset(const Dataset&) = delete;
+  Dataset& operator=(const Dataset&) = delete;
+
+  Schema& schema() { return *schema_; }
+  const Schema& schema() const { return *schema_; }
+
+  UserTable& users() { return *users_; }
+  const UserTable& users() const { return *users_; }
+
+  ActionTable& actions() { return *actions_; }
+  const ActionTable& actions() const { return *actions_; }
+
+  size_t num_users() const { return users_->size(); }
+  size_t num_items() const { return actions_->num_items(); }
+  size_t num_actions() const { return actions_->num_actions(); }
+
+  /// Structural invariants: every action references an existing user and
+  /// item; every non-null code is within its attribute's dictionary.
+  Status Validate() const;
+
+  /// One-line description: "|U|=…, |I|=…, |A|=…, attributes=[…]".
+  std::string Summary() const;
+
+  /// Writes "user_id,<attr>,…" with value names (raw numbers for numeric
+  /// attributes when available).
+  void SaveUsersCsv(std::ostream* out) const;
+
+  /// Writes "user,item,value[,category]".
+  void SaveActionsCsv(std::ostream* out) const;
+
+ private:
+  // unique_ptr keeps the Schema address stable across Dataset moves, since
+  // UserTable holds a Schema*.
+  std::unique_ptr<Schema> schema_;
+  std::unique_ptr<UserTable> users_;
+  std::unique_ptr<ActionTable> actions_;
+};
+
+}  // namespace vexus::data

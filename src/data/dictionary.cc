@@ -1,0 +1,27 @@
+#include "data/dictionary.h"
+
+#include "common/logging.h"
+
+namespace vexus::data {
+
+uint32_t Dictionary::GetOrAdd(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<uint32_t> Dictionary::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Dictionary::Name(uint32_t id) const {
+  VEXUS_DCHECK(id < names_.size()) << "dictionary id out of range";
+  return names_[id];
+}
+
+}  // namespace vexus::data

@@ -1,0 +1,38 @@
+// String ↔ dense-id dictionary used for users, items, and attribute values.
+// Dense ids keep every downstream structure (bitsets, columns, feedback
+// vectors) array-indexed rather than hash-keyed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace vexus::data {
+
+class Dictionary {
+ public:
+  /// Id of `name`, inserting it if absent. Ids are dense, starting at 0,
+  /// in insertion order.
+  uint32_t GetOrAdd(std::string_view name);
+
+  /// Id of `name` if present.
+  std::optional<uint32_t> Find(std::string_view name) const;
+
+  /// Name for an id; id must be < size().
+  const std::string& Name(uint32_t id) const;
+
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+  /// All names in id order.
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+}  // namespace vexus::data

@@ -1,0 +1,103 @@
+// ETL: the offline import step in Fig. 1 ("An ETL process (including data
+// cleaning) precedes the data import to prepare data for analysis").
+//
+// Input is two CSVs — a demographics file (user_id, attr…) and an actions
+// file (user, item, value[, category]) — plus cleaning options. Output is a
+// validated Dataset with:
+//   * trimmed / case-normalized strings, null tokens mapped to missing,
+//   * per-column numeric type inference and bin-edge computation
+//     (equal-width or quantile),
+//   * deduplicated actions,
+//   * optional *derived* demographics from actions: activity level
+//     (binned action count) and favorite item category — which make groups
+//     like "users who read thrillers" expressible as attribute=value pairs.
+#pragma once
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace vexus::data {
+
+enum class BinningStrategy {
+  kEqualWidth,  // bins of equal numeric width between observed min/max
+  kQuantile,    // bins with (approximately) equal population
+};
+
+struct EtlOptions {
+  /// Tokens treated as missing (checked after trimming, case-insensitively).
+  std::vector<std::string> null_tokens = {"", "null", "na", "n/a", "none",
+                                          "?"};
+  /// Lowercase categorical values ("Engineer" == "engineer").
+  bool lowercase_values = true;
+  /// Fraction of non-null values that must parse as numbers for a column to
+  /// be inferred numeric.
+  double numeric_inference_threshold = 0.95;
+  /// Number of bins for numeric attributes.
+  int num_bins = 5;
+  BinningStrategy binning = BinningStrategy::kQuantile;
+  /// Merge duplicate (user, item) actions keeping the last value.
+  bool dedup_actions = true;
+  /// Create users that appear only in the actions file (demographics null).
+  bool add_missing_users = true;
+  /// Drop action rows whose value fails to parse (otherwise value = 1.0,
+  /// treating the action as an unweighted event).
+  bool drop_unparsable_values = false;
+  /// Derive "activity" (low/medium/high action count) per user.
+  bool derive_activity_level = true;
+  /// Derive "favorite_<category-attr>" = most frequent item category.
+  bool derive_favorite_category = true;
+  /// Name of the derived category attribute (e.g. "favorite_genre").
+  std::string favorite_category_name = "favorite_category";
+};
+
+/// What the pipeline did — surfaced so explorers can audit the cleaning.
+struct EtlReport {
+  size_t user_rows_in = 0;
+  size_t users_out = 0;
+  size_t duplicate_user_rows = 0;
+  size_t action_rows_in = 0;
+  size_t actions_out = 0;
+  size_t actions_dropped_bad_value = 0;
+  size_t actions_deduplicated = 0;
+  size_t users_created_from_actions = 0;
+  size_t null_cells = 0;
+  std::vector<std::string> numeric_columns;
+  std::vector<std::string> categorical_columns;
+
+  std::string ToString() const;
+};
+
+class EtlPipeline {
+ public:
+  explicit EtlPipeline(EtlOptions options = EtlOptions{});
+
+  /// Runs the full pipeline. `users_csv` must have a header whose first
+  /// column is the user id. `actions_csv` may be null (demographics-only
+  /// dataset); when present its header must contain at least (user, item)
+  /// columns; a third column is the value and a fourth the item category.
+  Result<Dataset> Run(std::istream* users_csv, std::istream* actions_csv);
+
+  const EtlReport& report() const { return report_; }
+  const EtlOptions& options() const { return options_; }
+
+  /// Computes bin edges for raw values under a strategy; exposed for tests
+  /// and for generators that pre-bin. Returns at least 2 edges; collapses
+  /// duplicate quantile edges.
+  static std::vector<double> ComputeBinEdges(std::vector<double> values,
+                                             int num_bins,
+                                             BinningStrategy strategy);
+
+ private:
+  /// "" if the cell is a null token, else the cleaned value.
+  std::string CleanCell(const std::string& cell) const;
+  bool IsNullToken(const std::string& cleaned) const;
+
+  EtlOptions options_;
+  EtlReport report_;
+};
+
+}  // namespace vexus::data

@@ -1,0 +1,39 @@
+// Synthetic DB-AUTHORS generator.
+//
+// The paper's DB-AUTHORS dataset (database researchers, hosted on the
+// PERSYVAL platform whose download link is defunct) is substituted by a
+// generator that reproduces what Scenario 1 (PC formation, experiment E4)
+// exercises:
+//   * gender (imbalanced, ~65/35 — the paper's running example "62% of
+//     members are male"), seniority, country, primary topic,
+//   * long-tailed publication counts correlated with seniority and career
+//     years (supporting "very senior researchers … very high number of
+//     publications"),
+//   * publishing actions [author, venue, #papers] with venue choice
+//     correlated with topic, so venue-centric target committees (SIGMOD,
+//     VLDB, CIKM) are coherent, discoverable groups.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace vexus::data {
+
+class DbAuthorsGenerator {
+ public:
+  struct Config {
+    uint32_t num_authors = 4000;
+    /// Mean number of distinct venues an author publishes in.
+    double venues_per_author = 3.0;
+    uint64_t seed = 7;
+  };
+
+  static Dataset Generate(const Config& config);
+
+  /// Venue names used by the generator, exposed so experiment drivers can
+  /// address targets ("form a SIGMOD committee") without string duplication.
+  static const std::vector<std::string>& Venues();
+};
+
+}  // namespace vexus::data

@@ -1,0 +1,64 @@
+// Record streams: the paper's second ingestion mode ("either as a dataset …
+// or as a data stream", §II.A). Stream consumers are the online miners
+// (StreamMiner, BirchTree) which maintain groups incrementally.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/action_table.h"
+#include "data/dataset.h"
+
+namespace vexus::data {
+
+/// Pull-based stream of action records.
+class RecordStream {
+ public:
+  virtual ~RecordStream() = default;
+
+  /// Fills *out with the next record; false at end of stream.
+  virtual bool Next(ActionRecord* out) = 0;
+
+  /// Records delivered so far.
+  virtual size_t Position() const = 0;
+};
+
+/// Streams a fixed vector of records.
+class VectorStream : public RecordStream {
+ public:
+  explicit VectorStream(std::vector<ActionRecord> records)
+      : records_(std::move(records)) {}
+
+  bool Next(ActionRecord* out) override {
+    if (pos_ >= records_.size()) return false;
+    *out = records_[pos_++];
+    return true;
+  }
+
+  size_t Position() const override { return pos_; }
+
+ private:
+  std::vector<ActionRecord> records_;
+  size_t pos_ = 0;
+};
+
+/// Replays a dataset's action table in insertion (arrival) order without
+/// copying it.
+class DatasetReplayStream : public RecordStream {
+ public:
+  explicit DatasetReplayStream(const Dataset* dataset) : dataset_(dataset) {}
+
+  bool Next(ActionRecord* out) override {
+    if (pos_ >= dataset_->num_actions()) return false;
+    *out = dataset_->actions().action(pos_++);
+    return true;
+  }
+
+  size_t Position() const override { return pos_; }
+
+ private:
+  const Dataset* dataset_;
+  size_t pos_ = 0;
+};
+
+}  // namespace vexus::data

@@ -1,0 +1,115 @@
+#include "data/user_table.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace vexus::data {
+
+UserTable::UserTable(Schema* schema) : schema_(schema) {
+  VEXUS_CHECK(schema != nullptr);
+  EnsureColumns();
+}
+
+void UserTable::EnsureColumns() {
+  size_t n_attr = schema_->num_attributes();
+  while (codes_.size() < n_attr) {
+    codes_.emplace_back(external_ids_.size(), kNullValue);
+    raw_.emplace_back();
+    AttributeId a = static_cast<AttributeId>(codes_.size() - 1);
+    if (schema_->attribute(a).kind() == AttributeKind::kNumeric) {
+      raw_.back().assign(external_ids_.size(),
+                         std::numeric_limits<double>::quiet_NaN());
+    }
+  }
+}
+
+UserId UserTable::AddUser(std::string_view external_id) {
+  EnsureColumns();
+  size_t before = external_.size();
+  UserId u = external_.GetOrAdd(external_id);
+  if (external_.size() == before) return u;  // already present
+  external_ids_.emplace_back(external_id);
+  for (AttributeId a = 0; a < codes_.size(); ++a) {
+    codes_[a].push_back(kNullValue);
+    if (schema_->attribute(a).kind() == AttributeKind::kNumeric) {
+      raw_[a].push_back(std::numeric_limits<double>::quiet_NaN());
+    }
+  }
+  return u;
+}
+
+const std::string& UserTable::ExternalId(UserId u) const {
+  VEXUS_DCHECK(u < external_ids_.size());
+  return external_ids_[u];
+}
+
+std::optional<UserId> UserTable::FindUser(std::string_view external_id) const {
+  return external_.Find(external_id);
+}
+
+void UserTable::SetValue(UserId u, AttributeId a, ValueId v) {
+  EnsureColumns();
+  VEXUS_DCHECK(u < size() && a < codes_.size());
+  codes_[a][u] = v;
+}
+
+void UserTable::SetValueByName(UserId u, AttributeId a,
+                               std::string_view value) {
+  EnsureColumns();
+  VEXUS_DCHECK(a < schema_->num_attributes());
+  ValueId v = schema_->attribute(a).values().GetOrAdd(value);
+  SetValue(u, a, v);
+}
+
+void UserTable::SetNumeric(UserId u, AttributeId a, double rawv) {
+  EnsureColumns();
+  VEXUS_DCHECK(u < size() && a < raw_.size());
+  VEXUS_DCHECK(schema_->attribute(a).kind() == AttributeKind::kNumeric)
+      << "SetNumeric on categorical attribute";
+  raw_[a][u] = rawv;
+  const Attribute& attr = schema_->attribute(a);
+  if (attr.has_bins() && !std::isnan(rawv)) {
+    codes_[a][u] = attr.BinFor(rawv);
+  }
+}
+
+ValueId UserTable::Value(UserId u, AttributeId a) const {
+  VEXUS_DCHECK(u < size() && a < codes_.size());
+  return codes_[a][u];
+}
+
+double UserTable::Numeric(UserId u, AttributeId a) const {
+  VEXUS_DCHECK(u < size() && a < raw_.size());
+  if (raw_[a].empty()) return std::numeric_limits<double>::quiet_NaN();
+  return raw_[a][u];
+}
+
+void UserTable::ApplyBins(AttributeId a) {
+  VEXUS_DCHECK(a < codes_.size());
+  const Attribute& attr = schema_->attribute(a);
+  VEXUS_CHECK(attr.has_bins()) << "ApplyBins without edges on " << attr.name();
+  for (UserId u = 0; u < size(); ++u) {
+    double v = raw_[a][u];
+    codes_[a][u] = std::isnan(v) ? kNullValue : attr.BinFor(v);
+  }
+}
+
+Bitset UserTable::UsersWithValue(AttributeId a, ValueId v) const {
+  Bitset out(size());
+  const auto& col = codes_[a];
+  for (UserId u = 0; u < size(); ++u) {
+    if (col[u] == v) out.Set(u);
+  }
+  return out;
+}
+
+size_t UserTable::NonNullCount(AttributeId a) const {
+  VEXUS_DCHECK(a < codes_.size());
+  size_t n = 0;
+  for (ValueId v : codes_[a]) n += (v != kNullValue);
+  return n;
+}
+
+}  // namespace vexus::data

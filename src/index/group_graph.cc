@@ -1,0 +1,83 @@
+#include "index/group_graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace vexus::index {
+
+GroupGraph GroupGraph::FromIndex(const InvertedIndex& index) {
+  GroupGraph g;
+  size_t n = index.num_groups();
+  g.adjacency_.resize(n);
+  for (mining::GroupId a = 0; a < n; ++a) {
+    for (const Neighbor& nb : index.Neighbors(a)) {
+      if (nb.similarity <= 0) continue;
+      g.adjacency_[a].push_back(Edge{nb.group, nb.similarity});
+      g.adjacency_[nb.group].push_back(Edge{a, nb.similarity});
+    }
+  }
+  // Dedup (postings can exist in both directions).
+  for (auto& list : g.adjacency_) {
+    std::sort(list.begin(), list.end(), [](const Edge& x, const Edge& y) {
+      return x.to < y.to;
+    });
+    list.erase(std::unique(list.begin(), list.end(),
+                           [](const Edge& x, const Edge& y) {
+                             return x.to == y.to;
+                           }),
+               list.end());
+    g.num_edges_ += list.size();
+  }
+  g.num_edges_ /= 2;
+  return g;
+}
+
+const std::vector<GroupGraph::Edge>& GroupGraph::Neighbors(
+    mining::GroupId gid) const {
+  VEXUS_DCHECK(gid < adjacency_.size());
+  return adjacency_[gid];
+}
+
+size_t GroupGraph::ConnectedComponents(std::vector<uint32_t>* out) const {
+  size_t n = adjacency_.size();
+  std::vector<uint32_t> comp(n, UINT32_MAX);
+  uint32_t next = 0;
+  std::vector<uint32_t> stack;
+  for (uint32_t start = 0; start < n; ++start) {
+    if (comp[start] != UINT32_MAX) continue;
+    comp[start] = next;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      uint32_t v = stack.back();
+      stack.pop_back();
+      for (const Edge& e : adjacency_[v]) {
+        if (comp[e.to] == UINT32_MAX) {
+          comp[e.to] = next;
+          stack.push_back(e.to);
+        }
+      }
+    }
+    ++next;
+  }
+  if (out != nullptr) *out = std::move(comp);
+  return next;
+}
+
+double GroupGraph::AverageDegree() const {
+  if (adjacency_.empty()) return 0;
+  return 2.0 * static_cast<double>(num_edges_) /
+         static_cast<double>(adjacency_.size());
+}
+
+std::string GroupGraph::Summary() const {
+  std::ostringstream os;
+  os << "nodes=" << num_nodes() << " edges=" << num_edges()
+     << " components=" << ConnectedComponents(nullptr)
+     << " avg_degree=" << vexus::FormatDouble(AverageDegree(), 2);
+  return os.str();
+}
+
+}  // namespace vexus::index

@@ -1,0 +1,50 @@
+// The group graph G of paper §II: "Groups form a disconnected undirected
+// graph G where an edge exists between two groups if they are not disjoint.
+// Group exploration is a navigation in that graph." Built from the inverted
+// index (whose postings are exactly the non-disjoint pairs with their
+// Jaccard weights, truncated to the materialized fraction).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "mining/group.h"
+
+namespace vexus::index {
+
+class GroupGraph {
+ public:
+  /// Builds the undirected graph from an index (edges are symmetrized:
+  /// a posting in either direction creates the edge).
+  static GroupGraph FromIndex(const InvertedIndex& index);
+
+  size_t num_nodes() const { return adjacency_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  struct Edge {
+    mining::GroupId to = 0;
+    float weight = 0.0f;  // Jaccard similarity
+  };
+
+  const std::vector<Edge>& Neighbors(mining::GroupId g) const;
+  size_t Degree(mining::GroupId g) const { return Neighbors(g).size(); }
+
+  /// Connected components; out[i] = component id of node i (0-based, by
+  /// discovery order). Returns the number of components — the paper calls
+  /// the graph "disconnected"; exploration cannot leave a component by
+  /// similarity steps alone (HISTORY/backtrack can).
+  size_t ConnectedComponents(std::vector<uint32_t>* out) const;
+
+  double AverageDegree() const;
+
+  /// "nodes=…, edges=…, components=…, avg_degree=…"
+  std::string Summary() const;
+
+ private:
+  std::vector<std::vector<Edge>> adjacency_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace vexus::index

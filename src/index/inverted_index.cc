@@ -1,0 +1,182 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "index/minhash.h"
+
+namespace vexus::index {
+
+namespace {
+
+using mining::GroupId;
+using mining::GroupStore;
+
+/// Sorts by similarity desc (ties on group id for determinism), truncates to
+/// the materialized length, and drops sub-threshold postings.
+void FinalizeList(std::vector<Neighbor>* list, size_t keep,
+                  double min_similarity) {
+  std::sort(list->begin(), list->end(), [](const Neighbor& a,
+                                           const Neighbor& b) {
+    if (a.similarity != b.similarity) return a.similarity > b.similarity;
+    return a.group < b.group;
+  });
+  if (list->size() > keep) list->resize(keep);
+  while (!list->empty() && list->back().similarity < min_similarity) {
+    list->pop_back();
+  }
+  list->shrink_to_fit();
+}
+
+}  // namespace
+
+Result<InvertedIndex> InvertedIndex::Build(const GroupStore& store,
+                                           const Options& options) {
+  if (options.materialization_fraction < 0 ||
+      options.materialization_fraction > 1) {
+    return Status::InvalidArgument(
+        "materialization_fraction must be in [0, 1]");
+  }
+  InvertedIndex idx;
+  const size_t n = store.size();
+  idx.postings_.resize(n);
+  if (n <= 1) return idx;
+
+  Stopwatch watch;
+  size_t keep = std::max(
+      options.min_neighbors,
+      static_cast<size_t>(
+          std::ceil(options.materialization_fraction *
+                    static_cast<double>(n - 1))));
+
+  std::atomic<size_t> candidate_pairs{0};
+  std::atomic<size_t> full_postings{0};
+
+  if (options.strategy == BuildStrategy::kCooccurrence) {
+    // user -> groups adjacency.
+    std::vector<std::vector<GroupId>> groups_of_user(store.num_users());
+    for (GroupId g = 0; g < n; ++g) {
+      store.group(g).members().ForEach(
+          [&](uint32_t u) { groups_of_user[u].push_back(g); });
+    }
+
+    auto build_one = [&](size_t g_idx, std::vector<uint32_t>* counts) {
+      GroupId g = static_cast<GroupId>(g_idx);
+      const mining::UserGroup& gg = store.group(g);
+      std::vector<GroupId> touched;
+      gg.members().ForEach([&](uint32_t u) {
+        for (GroupId h : groups_of_user[u]) {
+          if (h == g) continue;
+          if ((*counts)[h]++ == 0) touched.push_back(h);
+        }
+      });
+      std::vector<Neighbor>& list = idx.postings_[g];
+      list.reserve(touched.size());
+      size_t gsize = gg.size();
+      for (GroupId h : touched) {
+        uint32_t inter = (*counts)[h];
+        (*counts)[h] = 0;  // reset for reuse
+        size_t uni = gsize + store.group(h).size() - inter;
+        float sim = uni == 0 ? 0.0f
+                             : static_cast<float>(inter) /
+                                   static_cast<float>(uni);
+        list.push_back(Neighbor{h, sim});
+      }
+      candidate_pairs += touched.size();
+      full_postings += list.size();
+      FinalizeList(&list, keep, options.min_similarity);
+    };
+
+    if (options.num_threads == 1) {
+      std::vector<uint32_t> counts(n, 0);
+      for (size_t g = 0; g < n; ++g) build_one(g, &counts);
+    } else {
+      ThreadPool pool(options.num_threads);
+      size_t workers = pool.num_threads();
+      // One counts buffer per worker, handed out round-robin by chunk.
+      std::vector<std::vector<uint32_t>> buffers(workers,
+                                                 std::vector<uint32_t>(n, 0));
+      std::atomic<size_t> next_buffer{0};
+      std::vector<size_t> buffer_of_chunk;
+      size_t chunk = (n + workers - 1) / workers;
+      for (size_t start = 0; start < n; start += chunk) {
+        size_t end = std::min(n, start + chunk);
+        size_t buf = next_buffer++ % workers;
+        pool.Submit([&, start, end, buf] {
+          for (size_t g = start; g < end; ++g) build_one(g, &buffers[buf]);
+        });
+      }
+      pool.Wait();
+    }
+  } else {
+    // MinHash + LSH candidates, exact verification.
+    MinHasher hasher(options.minhash_hashes);
+    std::vector<std::vector<uint64_t>> sigs(n);
+    for (GroupId g = 0; g < n; ++g) {
+      sigs[g] = hasher.Signature(store.group(g).members());
+    }
+    if (options.minhash_hashes % options.minhash_bands != 0) {
+      return Status::InvalidArgument(
+          "minhash_bands must divide minhash_hashes");
+    }
+    auto pairs = LshCandidatePairs(sigs, options.minhash_bands);
+    candidate_pairs = pairs.size();
+    for (const auto& [a, b] : pairs) {
+      float sim = static_cast<float>(
+          store.group(a).members().Jaccard(store.group(b).members()));
+      if (sim <= 0) continue;
+      idx.postings_[a].push_back(Neighbor{b, sim});
+      idx.postings_[b].push_back(Neighbor{a, sim});
+    }
+    for (GroupId g = 0; g < n; ++g) {
+      full_postings += idx.postings_[g].size();
+      FinalizeList(&idx.postings_[g], keep, options.min_similarity);
+    }
+  }
+
+  idx.stats_.elapsed_ms = watch.ElapsedMillis();
+  idx.stats_.candidate_pairs = candidate_pairs;
+  idx.stats_.full_postings = full_postings;
+  for (const auto& list : idx.postings_) idx.stats_.postings += list.size();
+  idx.stats_.memory_bytes = idx.MemoryBytes();
+  return idx;
+}
+
+InvertedIndex InvertedIndex::FromPostings(
+    std::vector<std::vector<Neighbor>> lists) {
+  InvertedIndex idx;
+  idx.postings_ = std::move(lists);
+  for (const auto& list : idx.postings_) {
+    idx.stats_.postings += list.size();
+  }
+  idx.stats_.full_postings = idx.stats_.postings;
+  idx.stats_.memory_bytes = idx.MemoryBytes();
+  return idx;
+}
+
+const std::vector<Neighbor>& InvertedIndex::Neighbors(
+    mining::GroupId g) const {
+  VEXUS_DCHECK(g < postings_.size());
+  return postings_[g];
+}
+
+std::vector<Neighbor> InvertedIndex::TopK(mining::GroupId g, size_t k) const {
+  const auto& list = Neighbors(g);
+  std::vector<Neighbor> out(list.begin(),
+                            list.begin() + std::min(k, list.size()));
+  return out;
+}
+
+size_t InvertedIndex::MemoryBytes() const {
+  size_t bytes = postings_.capacity() * sizeof(std::vector<Neighbor>);
+  for (const auto& list : postings_) {
+    bytes += list.capacity() * sizeof(Neighbor);
+  }
+  return bytes;
+}
+
+}  // namespace vexus::index

@@ -1,0 +1,81 @@
+#include "index/minhash.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/logging.h"
+
+namespace vexus::index {
+
+MinHasher::MinHasher(size_t num_hashes, uint64_t seed) {
+  VEXUS_CHECK(num_hashes >= 1);
+  salts_.reserve(num_hashes);
+  uint64_t state = seed;
+  for (size_t i = 0; i < num_hashes; ++i) {
+    salts_.push_back(SplitMix64(&state));
+  }
+}
+
+std::vector<uint64_t> MinHasher::Signature(const Bitset& members) const {
+  std::vector<uint64_t> sig(salts_.size(),
+                            std::numeric_limits<uint64_t>::max());
+  members.ForEach([&](uint32_t u) {
+    for (size_t i = 0; i < salts_.size(); ++i) {
+      uint64_t h = Mix64(salts_[i] ^ (static_cast<uint64_t>(u) + 1));
+      if (h < sig[i]) sig[i] = h;
+    }
+  });
+  return sig;
+}
+
+double MinHasher::EstimateJaccard(const std::vector<uint64_t>& a,
+                                  const std::vector<uint64_t>& b) {
+  VEXUS_DCHECK(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  size_t agree = 0;
+  for (size_t i = 0; i < a.size(); ++i) agree += (a[i] == b[i]);
+  return static_cast<double>(agree) / static_cast<double>(a.size());
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> LshCandidatePairs(
+    const std::vector<std::vector<uint64_t>>& signatures, size_t bands) {
+  std::vector<std::pair<uint32_t, uint32_t>> out;
+  if (signatures.empty()) return out;
+  size_t k = signatures[0].size();
+  VEXUS_CHECK(bands >= 1 && k % bands == 0)
+      << "bands (" << bands << ") must divide signature length (" << k << ")";
+  size_t rows = k / bands;
+
+  std::vector<uint64_t> seen;  // encoded pairs for dedup
+  for (size_t band = 0; band < bands; ++band) {
+    std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+    for (uint32_t g = 0; g < signatures.size(); ++g) {
+      uint64_t h = 0x100001b3ULL + band;
+      for (size_t r = 0; r < rows; ++r) {
+        h = HashCombine(h, signatures[g][band * rows + r]);
+      }
+      buckets[h].push_back(g);
+    }
+    for (const auto& [hash, members] : buckets) {
+      for (size_t i = 0; i < members.size(); ++i) {
+        for (size_t j = i + 1; j < members.size(); ++j) {
+          seen.push_back((static_cast<uint64_t>(members[i]) << 32) |
+                         members[j]);
+        }
+      }
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+  out.reserve(seen.size());
+  for (uint64_t enc : seen) {
+    out.emplace_back(static_cast<uint32_t>(enc >> 32),
+                     static_cast<uint32_t>(enc & 0xffffffffu));
+  }
+  return out;
+}
+
+}  // namespace vexus::index

@@ -1,0 +1,42 @@
+#include "index/similarity.h"
+
+#include "common/logging.h"
+
+namespace vexus::index {
+
+double WeightedJaccard(const Bitset& a, const Bitset& b,
+                       const std::vector<double>& weights) {
+  VEXUS_DCHECK(a.size() == b.size());
+  VEXUS_DCHECK(weights.size() >= a.size());
+  double inter = 0, uni = 0;
+  // One pass over the union.
+  Bitset u = a | b;
+  u.ForEach([&](uint32_t user) {
+    double w = weights[user];
+    uni += w;
+    if (a.Test(user) && b.Test(user)) inter += w;
+  });
+  if (uni <= 0) {
+    // Zero-weight union: fall back on set semantics.
+    return a.UnionCount(b) == 0 ? 1.0 : 0.0;
+  }
+  return inter / uni;
+}
+
+double OverlapCoefficient(const Bitset& a, const Bitset& b) {
+  size_t ca = a.Count();
+  size_t cb = b.Count();
+  size_t m = std::min(ca, cb);
+  if (m == 0) return ca == cb ? 1.0 : 0.0;
+  return static_cast<double>(a.IntersectCount(b)) / static_cast<double>(m);
+}
+
+double Dice(const Bitset& a, const Bitset& b) {
+  size_t ca = a.Count();
+  size_t cb = b.Count();
+  if (ca + cb == 0) return 1.0;
+  return 2.0 * static_cast<double>(a.IntersectCount(b)) /
+         static_cast<double>(ca + cb);
+}
+
+}  // namespace vexus::index

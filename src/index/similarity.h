@@ -1,0 +1,36 @@
+// Group-to-group similarity measures.
+//
+// The paper uses Jaccard distance between member sets for index construction
+// (§II.A) and a *weighted* similarity for feedback personalization (§II.B):
+// users the explorer has rewarded weigh more in the overlap, so groups
+// aligned with the feedback vector rank higher among the k recommendations.
+#pragma once
+
+#include <vector>
+
+#include "common/bitset.h"
+#include "mining/group.h"
+
+namespace vexus::index {
+
+/// Plain Jaccard |a∩b| / |a∪b| over member sets.
+inline double Jaccard(const mining::UserGroup& a, const mining::UserGroup& b) {
+  return a.members().Jaccard(b.members());
+}
+
+/// Weighted Jaccard: Σ_{u∈a∩b} w(u) / Σ_{u∈a∪b} w(u).
+///
+/// `weights` is indexed by UserId and must cover the universe; weights are
+/// expected non-negative (a uniform vector reduces this to plain Jaccard).
+/// Returns 1.0 when both sets are empty, 0.0 when the union has zero weight.
+double WeightedJaccard(const Bitset& a, const Bitset& b,
+                       const std::vector<double>& weights);
+
+/// Overlap coefficient |a∩b| / min(|a|,|b|) — used by tests as an
+/// alternative lens on containment-heavy group pairs.
+double OverlapCoefficient(const Bitset& a, const Bitset& b);
+
+/// Sørensen–Dice 2|a∩b| / (|a|+|b|).
+double Dice(const Bitset& a, const Bitset& b);
+
+}  // namespace vexus::index

@@ -1,0 +1,130 @@
+#include "la/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace vexus::la {
+
+namespace {
+
+/// Sum of squares of off-diagonal entries.
+double OffDiagonalNormSq(const Matrix& a) {
+  double s = 0;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      if (i != j) s += a(i, j) * a(i, j);
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+Result<EigenDecomposition> SymmetricEigen(const Matrix& a_in, double tol,
+                                          int max_sweeps) {
+  if (a_in.rows() != a_in.cols()) {
+    return Status::InvalidArgument("SymmetricEigen: matrix is not square");
+  }
+  if (!a_in.IsSymmetric(1e-8 * (1.0 + a_in.FrobeniusNorm()))) {
+    return Status::InvalidArgument("SymmetricEigen: matrix is not symmetric");
+  }
+  size_t n = a_in.rows();
+  Matrix a = a_in;
+  Matrix v = Matrix::Identity(n);
+
+  double threshold_sq = tol * tol * (1.0 + a.FrobeniusNorm());
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (OffDiagonalNormSq(a) < threshold_sq) break;
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        double apq = a(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        double app = a(p, p);
+        double aqq = a(q, q);
+        // Jacobi rotation angle.
+        double theta = (aqq - app) / (2.0 * apq);
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+
+        // Apply rotation to rows/cols p and q of A.
+        for (size_t k = 0; k < n; ++k) {
+          double akp = a(k, p);
+          double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          double apk = a(p, k);
+          double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate eigenvectors.
+        for (size_t k = 0; k < n; ++k) {
+          double vkp = v(k, p);
+          double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Collect and sort by decreasing eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&a](size_t x, size_t y) { return a(x, x) > a(y, y); });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (size_t c = 0; c < n; ++c) {
+    out.values[c] = a(order[c], order[c]);
+    for (size_t r = 0; r < n; ++r) out.vectors(r, c) = v(r, order[c]);
+  }
+  return out;
+}
+
+Result<EigenDecomposition> GeneralizedSymmetricEigen(const Matrix& a,
+                                                     const Matrix& b,
+                                                     double tol) {
+  if (a.rows() != a.cols() || b.rows() != b.cols() || a.rows() != b.rows()) {
+    return Status::InvalidArgument(
+        "GeneralizedSymmetricEigen: shape mismatch");
+  }
+  // B = L·Lᵀ; reduce to the standard problem C·y = λ·y with
+  // C = L⁻¹·A·L⁻ᵀ, then map back v = L⁻ᵀ·y.
+  VEXUS_ASSIGN_OR_RETURN(Matrix l, Cholesky(b));
+  Matrix linv = InvertLowerTriangular(l);
+  Matrix c = linv.Multiply(a).Multiply(linv.Transpose());
+  // Symmetrize against rounding before the Jacobi sweep.
+  for (size_t i = 0; i < c.rows(); ++i) {
+    for (size_t j = i + 1; j < c.cols(); ++j) {
+      double m = 0.5 * (c(i, j) + c(j, i));
+      c(i, j) = m;
+      c(j, i) = m;
+    }
+  }
+  VEXUS_ASSIGN_OR_RETURN(EigenDecomposition std_eig, SymmetricEigen(c, tol));
+
+  size_t n = a.rows();
+  Matrix linv_t = linv.Transpose();
+  EigenDecomposition out;
+  out.values = std_eig.values;
+  out.vectors = Matrix(n, n);
+  for (size_t col = 0; col < n; ++col) {
+    std::vector<double> y(n);
+    for (size_t r = 0; r < n; ++r) y[r] = std_eig.vectors(r, col);
+    std::vector<double> vcol = linv_t.MultiplyVector(y);
+    for (size_t r = 0; r < n; ++r) out.vectors(r, col) = vcol[r];
+  }
+  return out;
+}
+
+}  // namespace vexus::la

@@ -1,0 +1,37 @@
+// Symmetric eigensolvers.
+//
+// LDA's projection (Focus View) requires the leading eigenvectors of
+// Sw⁻¹·Sb. Since Sw is symmetric positive definite (after ridge
+// regularization) and Sb symmetric, we solve the generalized symmetric
+// eigenproblem Sb·v = λ·Sw·v by reduction through the Cholesky factor of Sw
+// and a cyclic Jacobi sweep on the resulting symmetric matrix.
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "la/matrix.h"
+
+namespace vexus::la {
+
+struct EigenDecomposition {
+  /// Eigenvalues in decreasing order.
+  std::vector<double> values;
+  /// Column i of `vectors` is the eigenvector for values[i].
+  Matrix vectors;
+};
+
+/// Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+/// Returns InvalidArgument for non-square / non-symmetric input.
+/// Converges to off-diagonal Frobenius norm < tol (or max_sweeps reached).
+Result<EigenDecomposition> SymmetricEigen(const Matrix& a, double tol = 1e-12,
+                                          int max_sweeps = 64);
+
+/// Solves A·v = λ·B·v for symmetric A and symmetric positive-definite B.
+/// The returned eigenvectors are B-orthonormal (vᵀ·B·v = 1) and stored as
+/// columns, eigenvalues in decreasing order.
+Result<EigenDecomposition> GeneralizedSymmetricEigen(const Matrix& a,
+                                                     const Matrix& b,
+                                                     double tol = 1e-12);
+
+}  // namespace vexus::la

@@ -1,0 +1,84 @@
+#include "mining/apriori.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vexus::mining {
+
+namespace {
+
+/// A candidate itemset at the current level with its extent.
+struct Node {
+  std::vector<DescriptorId> items;  // ascending
+  Bitset extent;
+};
+
+}  // namespace
+
+AprioriMiner::AprioriMiner(const DescriptorCatalog* catalog, Config config)
+    : catalog_(catalog), config_(config) {
+  VEXUS_CHECK(catalog != nullptr);
+  VEXUS_CHECK(config_.min_support >= 1);
+}
+
+AprioriMiner::Stats AprioriMiner::Mine(GroupStore* store) {
+  Stats stats;
+  auto emit = [&](const Node& node) {
+    ++stats.frequent_itemsets;
+    if (store == nullptr) return;
+    if (config_.max_groups != 0 &&
+        stats.groups_emitted >= config_.max_groups) {
+      stats.truncated = true;
+      return;
+    }
+    std::vector<Descriptor> desc;
+    desc.reserve(node.items.size());
+    for (DescriptorId d : node.items) desc.push_back(catalog_->descriptor(d));
+    store->Add(UserGroup(std::move(desc), node.extent));
+    ++stats.groups_emitted;
+  };
+
+  // Level 1.
+  std::vector<Node> level;
+  for (DescriptorId d = 0; d < catalog_->size(); ++d) {
+    ++stats.candidates_generated;
+    if (catalog_->Support(d) >= config_.min_support) {
+      Node n{{d}, catalog_->UserSet(d)};
+      emit(n);
+      level.push_back(std::move(n));
+    }
+  }
+
+  // Levels 2..max_description: join frequent k-sets sharing a (k-1)-prefix.
+  for (size_t k = 2; k <= config_.max_description && level.size() > 1; ++k) {
+    std::vector<Node> next;
+    for (size_t a = 0; a < level.size(); ++a) {
+      for (size_t b = a + 1; b < level.size(); ++b) {
+        const auto& ia = level[a].items;
+        const auto& ib = level[b].items;
+        // Join condition: identical prefix, distinct last items. `level` is
+        // lexicographically ordered by construction, so once prefixes
+        // diverge, later b's diverge too.
+        if (!std::equal(ia.begin(), ia.end() - 1, ib.begin())) break;
+        ++stats.candidates_generated;
+        Bitset extent = level[a].extent & level[b].extent;
+        if (extent.Count() < config_.min_support) continue;
+        std::vector<DescriptorId> items = ia;
+        items.push_back(ib.back());
+        // Apriori prune: all (k-1)-subsets must be frequent. The join
+        // guarantees two of them; with bitset extents the direct support
+        // count above already subsumes the rest at our scales, so the
+        // classic subset check is skipped (it is an optimization, not a
+        // correctness requirement, when supports are counted exactly).
+        Node n{std::move(items), std::move(extent)};
+        emit(n);
+        next.push_back(std::move(n));
+      }
+    }
+    level = std::move(next);
+  }
+  return stats;
+}
+
+}  // namespace vexus::mining

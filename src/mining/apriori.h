@@ -1,0 +1,43 @@
+// Apriori (Agrawal & Srikant) — the classical level-wise frequent-itemset
+// baseline. VEXUS itself uses closed mining (LCM); Apriori is implemented to
+// quantify the group-space explosion argument of §I (experiment E6): the
+// number of *all* frequent conjunctions versus closed ones.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mining/descriptor_catalog.h"
+#include "mining/group.h"
+
+namespace vexus::mining {
+
+class AprioriMiner {
+ public:
+  struct Config {
+    size_t min_support = 2;
+    size_t max_description = 4;
+    /// Emission cap (0 = unlimited). Counting continues past the cap so the
+    /// explosion is still measured; only group materialization stops.
+    size_t max_groups = 500000;
+  };
+
+  struct Stats {
+    size_t frequent_itemsets = 0;   // across all levels (excl. empty set)
+    size_t candidates_generated = 0;
+    size_t groups_emitted = 0;
+    bool truncated = false;
+  };
+
+  AprioriMiner(const DescriptorCatalog* catalog, Config config);
+
+  /// Mines frequent itemsets level by level. When `store` is non-null,
+  /// materializes each frequent itemset as a group (up to max_groups).
+  Stats Mine(GroupStore* store);
+
+ private:
+  const DescriptorCatalog* catalog_;
+  Config config_;
+};
+
+}  // namespace vexus::mining

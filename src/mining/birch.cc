@@ -1,0 +1,330 @@
+#include "mining/birch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace vexus::mining {
+
+/// Clustering feature: n points, linear sum LS, scalar squared sum SS.
+struct BirchTree::CF {
+  size_t n = 0;
+  std::vector<double> ls;
+  double ss = 0;
+  std::vector<data::UserId> members;  // leaf entries only
+
+  explicit CF(size_t dim) : ls(dim, 0.0) {}
+
+  void AddPoint(const std::vector<double>& x, data::UserId user,
+                bool keep_member) {
+    ++n;
+    double s = 0;
+    for (size_t i = 0; i < ls.size(); ++i) {
+      ls[i] += x[i];
+      s += x[i] * x[i];
+    }
+    ss += s;
+    if (keep_member) members.push_back(user);
+  }
+
+  void Merge(const CF& other) {
+    n += other.n;
+    for (size_t i = 0; i < ls.size(); ++i) ls[i] += other.ls[i];
+    ss += other.ss;
+    members.insert(members.end(), other.members.begin(), other.members.end());
+  }
+
+  std::vector<double> Centroid() const {
+    std::vector<double> c(ls.size(), 0.0);
+    if (n == 0) return c;
+    for (size_t i = 0; i < ls.size(); ++i) c[i] = ls[i] / n;
+    return c;
+  }
+
+  /// Mean distance of points to the centroid: sqrt(SS/n − ‖LS/n‖²).
+  double Radius() const {
+    if (n == 0) return 0;
+    double c2 = 0;
+    for (double v : ls) c2 += (v / n) * (v / n);
+    double r2 = ss / n - c2;
+    return r2 > 0 ? std::sqrt(r2) : 0.0;
+  }
+
+  double DistanceTo(const std::vector<double>& x) const {
+    double d = 0;
+    for (size_t i = 0; i < ls.size(); ++i) {
+      double diff = x[i] - ls[i] / std::max<size_t>(n, 1);
+      d += diff * diff;
+    }
+    return std::sqrt(d);
+  }
+
+  double CentroidDistance(const CF& other) const {
+    double d = 0;
+    for (size_t i = 0; i < ls.size(); ++i) {
+      double diff = ls[i] / std::max<size_t>(n, 1) -
+                    other.ls[i] / std::max<size_t>(other.n, 1);
+      d += diff * diff;
+    }
+    return std::sqrt(d);
+  }
+};
+
+struct BirchTree::Node {
+  bool is_leaf = true;
+  std::vector<CF> entries;
+  std::vector<std::unique_ptr<Node>> children;  // parallel to entries (internal)
+};
+
+BirchTree::BirchTree(size_t dim, Config config)
+    : dim_(dim), config_(config), root_(std::make_unique<Node>()) {
+  VEXUS_CHECK(dim >= 1);
+  VEXUS_CHECK(config_.branching >= 2);
+  VEXUS_CHECK(config_.threshold > 0);
+}
+
+BirchTree::~BirchTree() = default;
+
+void BirchTree::Insert(const std::vector<double>& x, data::UserId user) {
+  VEXUS_CHECK(x.size() == dim_) << "feature dimensionality mismatch";
+  ++points_;
+  std::unique_ptr<Node> sibling = InsertInto(root_.get(), x, user);
+  if (sibling != nullptr) {
+    // Root split: grow a new root with the two halves as children.
+    auto new_root = std::make_unique<Node>();
+    new_root->is_leaf = false;
+    CF left(dim_), right(dim_);
+    for (const CF& e : root_->entries) left.Merge(e);
+    for (const CF& e : sibling->entries) right.Merge(e);
+    // Internal CFs never duplicate member lists (leaves own them).
+    left.members.clear();
+    right.members.clear();
+    new_root->entries.push_back(std::move(left));
+    new_root->entries.push_back(std::move(right));
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(sibling));
+    root_ = std::move(new_root);
+  }
+}
+
+std::unique_ptr<BirchTree::Node> BirchTree::InsertInto(
+    Node* node, const std::vector<double>& x, data::UserId user) {
+  if (node->is_leaf) {
+    // Nearest entry.
+    size_t best = SIZE_MAX;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      double d = node->entries[i].DistanceTo(x);
+      if (d < best_d) {
+        best_d = d;
+        best = i;
+      }
+    }
+    if (best != SIZE_MAX) {
+      // Try absorbing: radius of the merged entry must stay in threshold.
+      CF trial = node->entries[best];
+      trial.AddPoint(x, user, /*keep_member=*/false);
+      if (trial.Radius() <= config_.threshold) {
+        node->entries[best].AddPoint(x, user, /*keep_member=*/true);
+        return nullptr;
+      }
+    }
+    CF fresh(dim_);
+    fresh.AddPoint(x, user, /*keep_member=*/true);
+    node->entries.push_back(std::move(fresh));
+    if (node->entries.size() > config_.branching) return SplitNode(node);
+    return nullptr;
+  }
+
+  // Internal: descend into the child whose CF centroid is nearest.
+  size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < node->entries.size(); ++i) {
+    double d = node->entries[i].DistanceTo(x);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  std::unique_ptr<Node> child_sibling =
+      InsertInto(node->children[best].get(), x, user);
+  // Refresh the descended entry's CF (cheap: add the point).
+  node->entries[best].AddPoint(x, user, /*keep_member=*/false);
+
+  if (child_sibling != nullptr) {
+    // Recompute the split child's CF and add the sibling's.
+    CF left(dim_), right(dim_);
+    for (const CF& e : node->children[best]->entries) left.Merge(e);
+    for (const CF& e : child_sibling->entries) right.Merge(e);
+    left.members.clear();
+    right.members.clear();
+    node->entries[best] = std::move(left);
+    node->entries.push_back(std::move(right));
+    node->children.push_back(std::move(child_sibling));
+    if (node->entries.size() > config_.branching) return SplitNode(node);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<BirchTree::Node> BirchTree::SplitNode(Node* node) {
+  ++splits_;
+  // Seed with the farthest entry pair, then assign each entry to the nearer
+  // seed.
+  size_t n = node->entries.size();
+  size_t seed_a = 0, seed_b = 1;
+  double best = -1;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double d = node->entries[i].CentroidDistance(node->entries[j]);
+      if (d > best) {
+        best = d;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+  auto sibling = std::make_unique<Node>();
+  sibling->is_leaf = node->is_leaf;
+
+  // Snapshot the seed centroids before entries start moving out of the node
+  // (a moved-from CF has an empty LS vector).
+  const std::vector<double> centroid_a = node->entries[seed_a].Centroid();
+  const std::vector<double> centroid_b = node->entries[seed_b].Centroid();
+
+  std::vector<CF> keep_entries;
+  std::vector<std::unique_ptr<Node>> keep_children;
+  for (size_t i = 0; i < n; ++i) {
+    double da = node->entries[i].DistanceTo(centroid_a);
+    double db = node->entries[i].DistanceTo(centroid_b);
+    bool to_sibling = (i == seed_b) || (i != seed_a && db < da);
+    if (to_sibling) {
+      sibling->entries.push_back(std::move(node->entries[i]));
+      if (!node->is_leaf) {
+        sibling->children.push_back(std::move(node->children[i]));
+      }
+    } else {
+      keep_entries.push_back(std::move(node->entries[i]));
+      if (!node->is_leaf) {
+        keep_children.push_back(std::move(node->children[i]));
+      }
+    }
+  }
+  node->entries = std::move(keep_entries);
+  node->children = std::move(keep_children);
+  return sibling;
+}
+
+std::vector<BirchTree::LeafEntry> BirchTree::LeafEntries() const {
+  std::vector<LeafEntry> out;
+  // Iterative DFS to avoid exposing Node in the header's implementation.
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (node->is_leaf) {
+      for (const CF& e : node->entries) {
+        LeafEntry le;
+        le.n = e.n;
+        le.centroid = e.Centroid();
+        le.radius = e.Radius();
+        le.members = e.members;
+        out.push_back(std::move(le));
+      }
+    } else {
+      for (const auto& c : node->children) stack.push_back(c.get());
+    }
+  }
+  return out;
+}
+
+BirchTree::Stats BirchTree::ComputeStats() const {
+  Stats s;
+  s.points = points_;
+  s.splits = splits_;
+  size_t height = 1;
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    ++height;
+    node = node->children.front().get();
+  }
+  s.height = height;
+  s.leaf_entries = LeafEntries().size();
+  return s;
+}
+
+std::vector<Bitset> BirchTree::Cluster(size_t k, size_t num_users) const {
+  std::vector<LeafEntry> leaves = LeafEntries();
+  if (leaves.empty()) return {};
+  k = std::max<size_t>(1, std::min(k, leaves.size()));
+
+  // Agglomerative merging of leaf entries by weighted centroid distance.
+  struct Cluster {
+    size_t n;
+    std::vector<double> sum;  // LS
+    std::vector<data::UserId> members;
+    bool alive = true;
+  };
+  std::vector<Cluster> clusters;
+  clusters.reserve(leaves.size());
+  for (LeafEntry& le : leaves) {
+    Cluster c;
+    c.n = le.n;
+    c.sum.assign(le.centroid.size(), 0.0);
+    for (size_t i = 0; i < le.centroid.size(); ++i) {
+      c.sum[i] = le.centroid[i] * le.n;
+    }
+    c.members = std::move(le.members);
+    clusters.push_back(std::move(c));
+  }
+
+  auto dist = [](const Cluster& a, const Cluster& b) {
+    double d = 0;
+    for (size_t i = 0; i < a.sum.size(); ++i) {
+      double diff = a.sum[i] / a.n - b.sum[i] / b.n;
+      d += diff * diff;
+    }
+    return d;
+  };
+
+  size_t alive = clusters.size();
+  while (alive > k) {
+    double best = std::numeric_limits<double>::infinity();
+    size_t bi = SIZE_MAX, bj = SIZE_MAX;
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      if (!clusters[i].alive) continue;
+      for (size_t j = i + 1; j < clusters.size(); ++j) {
+        if (!clusters[j].alive) continue;
+        double d = dist(clusters[i], clusters[j]);
+        if (d < best) {
+          best = d;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    if (bi == SIZE_MAX) break;
+    Cluster& a = clusters[bi];
+    Cluster& b = clusters[bj];
+    a.n += b.n;
+    for (size_t i = 0; i < a.sum.size(); ++i) a.sum[i] += b.sum[i];
+    a.members.insert(a.members.end(), b.members.begin(), b.members.end());
+    b.alive = false;
+    b.members.clear();
+    --alive;
+  }
+
+  std::vector<Bitset> out;
+  for (const Cluster& c : clusters) {
+    if (!c.alive) continue;
+    Bitset b(num_users);
+    for (data::UserId u : c.members) {
+      if (u < num_users) b.Set(u);
+    }
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+}  // namespace vexus::mining

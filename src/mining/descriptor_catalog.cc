@@ -1,0 +1,88 @@
+#include "mining/descriptor_catalog.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace vexus::mining {
+
+DescriptorCatalog DescriptorCatalog::Build(
+    const data::Dataset& dataset,
+    const std::vector<data::AttributeId>& attributes, size_t min_count) {
+  DescriptorCatalog cat;
+  cat.num_users_ = dataset.num_users();
+
+  std::vector<data::AttributeId> attrs = attributes;
+  if (attrs.empty()) {
+    for (data::AttributeId a = 0; a < dataset.schema().num_attributes(); ++a) {
+      attrs.push_back(a);
+    }
+  }
+
+  struct Candidate {
+    Descriptor desc;
+    Bitset users;
+    size_t support;
+  };
+  std::vector<Candidate> candidates;
+
+  const data::UserTable& users = dataset.users();
+  for (data::AttributeId a : attrs) {
+    const data::Attribute& attr = dataset.schema().attribute(a);
+    size_t n_values = attr.values().size();
+    // One scan of the column fills all value bitsets for the attribute.
+    std::vector<Bitset> sets(n_values);
+    for (auto& b : sets) b.Resize(cat.num_users_);
+    for (data::UserId u = 0; u < cat.num_users_; ++u) {
+      data::ValueId v = users.Value(u, a);
+      if (v != data::kNullValue && v < n_values) sets[v].Set(u);
+    }
+    for (data::ValueId v = 0; v < n_values; ++v) {
+      size_t support = sets[v].Count();
+      if (support >= min_count && support > 0) {
+        candidates.push_back(
+            Candidate{Descriptor{a, v}, std::move(sets[v]), support});
+      }
+    }
+  }
+
+  // Ascending support: LCM's preferred item order.
+  std::vector<size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&candidates](size_t x, size_t y) {
+    if (candidates[x].support != candidates[y].support) {
+      return candidates[x].support < candidates[y].support;
+    }
+    return candidates[x].desc < candidates[y].desc;  // deterministic ties
+  });
+
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    Candidate& c = candidates[order[rank]];
+    DescriptorId id = static_cast<DescriptorId>(cat.descriptors_.size());
+    cat.descriptors_.push_back(c.desc);
+    cat.user_sets_.push_back(std::move(c.users));
+    cat.supports_.push_back(c.support);
+    cat.lookup_[(static_cast<uint64_t>(c.desc.attribute) << 32) |
+                c.desc.value] = id;
+  }
+  return cat;
+}
+
+std::optional<DescriptorId> DescriptorCatalog::Find(data::AttributeId a,
+                                                    data::ValueId v) const {
+  auto it = lookup_.find((static_cast<uint64_t>(a) << 32) | v);
+  if (it == lookup_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<DescriptorId> DescriptorCatalog::Transaction(
+    data::UserId u) const {
+  std::vector<DescriptorId> out;
+  for (DescriptorId d = 0; d < descriptors_.size(); ++d) {
+    if (user_sets_[d].Test(u)) out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace vexus::mining

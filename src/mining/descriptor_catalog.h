@@ -1,0 +1,62 @@
+// DescriptorCatalog: dense encoding of attribute=value pairs ("descriptors")
+// plus their vertical bitmaps.
+//
+// The miners see users as transactions over descriptor ids; the catalog also
+// precomputes, per descriptor, the bitset of users carrying it — the vertical
+// representation that makes LCM's extent intersections word-parallel.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitset.h"
+#include "data/dataset.h"
+#include "mining/group.h"
+
+namespace vexus::mining {
+
+using DescriptorId = uint32_t;
+
+class DescriptorCatalog {
+ public:
+  /// Builds descriptors for every (attribute, value) with at least
+  /// `min_count` users, over the given attributes (empty = all attributes).
+  /// Descriptors are ordered by ascending support — the item order LCM
+  /// recurses over (fewer extensions near the root).
+  static DescriptorCatalog Build(const data::Dataset& dataset,
+                                 const std::vector<data::AttributeId>&
+                                     attributes = {},
+                                 size_t min_count = 1);
+
+  size_t size() const { return descriptors_.size(); }
+  size_t num_users() const { return num_users_; }
+
+  const Descriptor& descriptor(DescriptorId d) const {
+    return descriptors_[d];
+  }
+
+  /// Users carrying descriptor d.
+  const Bitset& UserSet(DescriptorId d) const { return user_sets_[d]; }
+
+  /// Number of users carrying descriptor d.
+  size_t Support(DescriptorId d) const { return supports_[d]; }
+
+  /// Id of the descriptor for (attribute, value), if it survived min_count.
+  std::optional<DescriptorId> Find(data::AttributeId a,
+                                   data::ValueId v) const;
+
+  /// The descriptors of user u (its transaction), ascending ids.
+  std::vector<DescriptorId> Transaction(data::UserId u) const;
+
+ private:
+  size_t num_users_ = 0;
+  std::vector<Descriptor> descriptors_;
+  std::vector<Bitset> user_sets_;
+  std::vector<size_t> supports_;
+  /// (attribute<<32 | value) -> DescriptorId
+  std::unordered_map<uint64_t, DescriptorId> lookup_;
+};
+
+}  // namespace vexus::mining

@@ -1,0 +1,221 @@
+#include "mining/discovery.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace vexus::mining {
+
+std::vector<std::vector<double>> BuildFeatureVectors(
+    const data::Dataset& dataset, std::vector<std::string>* feature_names,
+    size_t max_onehot) {
+  const data::Schema& schema = dataset.schema();
+  const data::UserTable& users = dataset.users();
+  size_t n = dataset.num_users();
+
+  struct Column {
+    data::AttributeId attr;
+    bool numeric;
+    data::ValueId value;  // one-hot target for categorical
+    double mean = 0, stddev = 1;
+  };
+  std::vector<Column> cols;
+  if (feature_names != nullptr) feature_names->clear();
+
+  for (data::AttributeId a = 0; a < schema.num_attributes(); ++a) {
+    const data::Attribute& attr = schema.attribute(a);
+    if (attr.kind() == data::AttributeKind::kNumeric) {
+      // Standardized raw numeric column.
+      double sum = 0, sum2 = 0;
+      size_t cnt = 0;
+      for (data::UserId u = 0; u < n; ++u) {
+        double v = users.Numeric(u, a);
+        if (!std::isnan(v)) {
+          sum += v;
+          sum2 += v * v;
+          ++cnt;
+        }
+      }
+      Column c{a, true, 0, 0, 1};
+      if (cnt > 0) {
+        c.mean = sum / cnt;
+        double var = sum2 / cnt - c.mean * c.mean;
+        c.stddev = var > 1e-12 ? std::sqrt(var) : 1.0;
+      }
+      cols.push_back(c);
+      if (feature_names != nullptr) feature_names->push_back(attr.name());
+    } else {
+      if (attr.values().size() > max_onehot) continue;
+      for (data::ValueId v = 0; v < attr.values().size(); ++v) {
+        cols.push_back(Column{a, false, v, 0, 1});
+        if (feature_names != nullptr) {
+          feature_names->push_back(attr.name() + "=" + attr.values().Name(v));
+        }
+      }
+    }
+  }
+
+  std::vector<std::vector<double>> rows(n,
+                                        std::vector<double>(cols.size(), 0.0));
+  for (data::UserId u = 0; u < n; ++u) {
+    for (size_t c = 0; c < cols.size(); ++c) {
+      const Column& col = cols[c];
+      if (col.numeric) {
+        double v = users.Numeric(u, col.attr);
+        rows[u][c] = std::isnan(v) ? 0.0 : (v - col.mean) / col.stddev;
+      } else {
+        rows[u][c] = users.Value(u, col.attr) == col.value ? 1.0 : 0.0;
+      }
+    }
+  }
+  return rows;
+}
+
+std::vector<Descriptor> LabelCluster(const data::Dataset& dataset,
+                                     const Bitset& members,
+                                     double min_purity) {
+  std::vector<Descriptor> out;
+  size_t m = members.Count();
+  if (m == 0) return out;
+  const data::Schema& schema = dataset.schema();
+  for (data::AttributeId a = 0; a < schema.num_attributes(); ++a) {
+    const data::Attribute& attr = schema.attribute(a);
+    std::vector<size_t> counts(attr.values().size(), 0);
+    members.ForEach([&](uint32_t u) {
+      data::ValueId v = dataset.users().Value(u, a);
+      if (v != data::kNullValue && v < counts.size()) ++counts[v];
+    });
+    size_t best = 0;
+    for (size_t v = 1; v < counts.size(); ++v) {
+      if (counts[v] > counts[best]) best = v;
+    }
+    if (!counts.empty() &&
+        static_cast<double>(counts[best]) / m >= min_purity) {
+      out.push_back(Descriptor{a, static_cast<data::ValueId>(best)});
+    }
+  }
+  return out;
+}
+
+Result<DiscoveryResult> DiscoverGroups(const data::Dataset& dataset,
+                                       const DiscoveryOptions& options) {
+  if (dataset.num_users() == 0) {
+    return Status::InvalidArgument("dataset has no users");
+  }
+  std::vector<data::AttributeId> attrs;
+  for (const std::string& name : options.attributes) {
+    VEXUS_ASSIGN_OR_RETURN(data::AttributeId id,
+                           dataset.schema().Require(name));
+    attrs.push_back(id);
+  }
+
+  size_t min_support = std::max<size_t>(
+      1, static_cast<size_t>(options.min_support_fraction *
+                             static_cast<double>(dataset.num_users())));
+
+  Stopwatch watch;
+  DescriptorCatalog catalog =
+      DescriptorCatalog::Build(dataset, attrs, /*min_count=*/1);
+  GroupStore store(dataset.num_users());
+  DiscoveryResult result(std::move(store), std::move(catalog));
+
+  switch (options.algorithm) {
+    case DiscoveryAlgorithm::kLcm: {
+      LcmMiner::Config cfg;
+      cfg.min_support = min_support;
+      cfg.max_description = options.max_description;
+      cfg.max_groups = options.max_groups;
+      cfg.emit_root = options.emit_root;
+      LcmMiner miner(&result.catalog, cfg);
+      result.lcm_stats = miner.Mine(&result.groups);
+      break;
+    }
+    case DiscoveryAlgorithm::kMomri: {
+      // MOMRI selects sets from LCM candidates; materialize candidates first.
+      LcmMiner::Config cfg;
+      cfg.min_support = min_support;
+      cfg.max_description = options.max_description;
+      cfg.max_groups = options.max_groups;
+      cfg.emit_root = false;
+      GroupStore candidates(dataset.num_users());
+      LcmMiner miner(&result.catalog, cfg);
+      result.lcm_stats = miner.Mine(&candidates);
+
+      MomriMiner::Config mcfg;
+      mcfg.k = options.momri_k;
+      mcfg.alpha = options.momri_alpha;
+      MomriMiner momri(&candidates, mcfg);
+      std::vector<MomriMiner::Solution> frontier = momri.Mine();
+      result.momri_frontier = frontier.size();
+      for (const auto& sol : frontier) {
+        for (GroupId g : sol.groups) {
+          result.groups.Add(candidates.group(g));
+        }
+      }
+      if (options.emit_root) {
+        Bitset all(dataset.num_users());
+        all.SetAll();
+        result.groups.Add(UserGroup({}, std::move(all)));
+      }
+      break;
+    }
+    case DiscoveryAlgorithm::kStream: {
+      StreamMiner::Config scfg;
+      scfg.epsilon = options.stream_epsilon;
+      scfg.max_itemset = options.max_description;
+      StreamMiner miner(scfg);
+      // The "stream" replays users in arrival (id) order, one transaction
+      // per user — the demographics of each user arriving online.
+      for (data::UserId u = 0; u < dataset.num_users(); ++u) {
+        miner.AddTransaction(result.catalog.Transaction(u));
+      }
+      miner.ExportGroups(result.catalog, options.min_support_fraction,
+                         &result.groups);
+      result.stream_stats = miner.stats();
+      if (options.emit_root) {
+        Bitset all(dataset.num_users());
+        all.SetAll();
+        result.groups.Add(UserGroup({}, std::move(all)));
+      }
+      break;
+    }
+    case DiscoveryAlgorithm::kBirch: {
+      std::vector<std::string> names;
+      std::vector<std::vector<double>> features =
+          BuildFeatureVectors(dataset, &names);
+      if (features.empty() || features[0].empty()) {
+        return Status::FailedPrecondition(
+            "BIRCH needs at least one usable feature column");
+      }
+      BirchTree::Config bcfg;
+      bcfg.threshold = options.birch_threshold;
+      bcfg.branching = options.birch_branching;
+      BirchTree tree(features[0].size(), bcfg);
+      for (data::UserId u = 0; u < dataset.num_users(); ++u) {
+        tree.Insert(features[u], u);
+      }
+      result.birch_stats = tree.ComputeStats();
+      std::vector<Bitset> clusters =
+          tree.Cluster(options.birch_clusters, dataset.num_users());
+      for (Bitset& members : clusters) {
+        if (members.Count() < min_support) continue;
+        std::vector<Descriptor> label =
+            LabelCluster(dataset, members, options.birch_label_purity);
+        result.groups.Add(UserGroup(std::move(label), std::move(members)));
+      }
+      if (options.emit_root) {
+        Bitset all(dataset.num_users());
+        all.SetAll();
+        result.groups.Add(UserGroup({}, std::move(all)));
+      }
+      break;
+    }
+  }
+
+  result.elapsed_ms = watch.ElapsedMillis();
+  return result;
+}
+
+}  // namespace vexus::mining

@@ -1,0 +1,105 @@
+#include "mining/lcm.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vexus::mining {
+
+LcmMiner::LcmMiner(const DescriptorCatalog* catalog, Config config)
+    : catalog_(catalog), config_(config) {
+  VEXUS_CHECK(catalog != nullptr);
+  VEXUS_CHECK(config_.min_support >= 1);
+}
+
+std::vector<DescriptorId> LcmMiner::Closure(const Bitset& extent) const {
+  std::vector<DescriptorId> out;
+  for (DescriptorId d = 0; d < catalog_->size(); ++d) {
+    if (extent.IsSubsetOf(catalog_->UserSet(d))) out.push_back(d);
+  }
+  return out;
+}
+
+UserGroup LcmMiner::MakeGroup(const std::vector<DescriptorId>& items,
+                              Bitset extent) const {
+  std::vector<Descriptor> desc;
+  desc.reserve(items.size());
+  for (DescriptorId d : items) desc.push_back(catalog_->descriptor(d));
+  return UserGroup(std::move(desc), std::move(extent));
+}
+
+LcmMiner::Stats LcmMiner::Mine(GroupStore* store) {
+  stats_ = Stats{};
+  stop_ = false;
+  VEXUS_CHECK(store->num_users() == catalog_->num_users())
+      << "store universe mismatch";
+
+  Bitset extent(catalog_->num_users());
+  extent.SetAll();
+  if (extent.Count() < config_.min_support) return stats_;
+
+  std::vector<DescriptorId> closed = Closure(extent);
+  if (closed.size() <= config_.max_description &&
+      (config_.emit_root || !closed.empty())) {
+    store->Add(MakeGroup(closed, extent));
+    ++stats_.groups_emitted;
+  }
+  if (closed.size() <= config_.max_description) {
+    Recurse(closed, extent, /*core_index=*/0, store);
+  }
+  return stats_;
+}
+
+void LcmMiner::Recurse(const std::vector<DescriptorId>& closed_set,
+                       const Bitset& extent, size_t core_index,
+                       GroupStore* store) {
+  const size_t n = catalog_->size();
+  for (size_t i = core_index; i < n; ++i) {
+    if (stop_) return;
+    DescriptorId item = static_cast<DescriptorId>(i);
+    if (std::binary_search(closed_set.begin(), closed_set.end(), item)) {
+      continue;  // already implied by the closure
+    }
+    ++stats_.nodes_explored;
+
+    Bitset new_extent = extent & catalog_->UserSet(item);
+    if (new_extent.Count() < config_.min_support) {
+      ++stats_.pruned_support;
+      continue;
+    }
+
+    std::vector<DescriptorId> q = Closure(new_extent);
+    // Prefix-preserving check: every element of clo(P ∪ {item}) smaller than
+    // `item` must already be in P — otherwise this closed set is generated
+    // from a different (canonical) parent and must be skipped here.
+    bool prefix_ok = true;
+    for (DescriptorId d : q) {
+      if (d >= item) break;  // q is ascending
+      if (!std::binary_search(closed_set.begin(), closed_set.end(), d)) {
+        prefix_ok = false;
+        break;
+      }
+    }
+    if (!prefix_ok) {
+      ++stats_.pruned_prefix;
+      continue;
+    }
+
+    if (q.size() > config_.max_description) {
+      // Closures only grow down a branch; safe to cut the whole subtree.
+      continue;
+    }
+
+    store->Add(MakeGroup(q, new_extent));
+    ++stats_.groups_emitted;
+    if (config_.max_groups != 0 &&
+        stats_.groups_emitted >= config_.max_groups) {
+      stats_.truncated = true;
+      stop_ = true;
+      return;
+    }
+    Recurse(q, new_extent, i + 1, store);
+  }
+}
+
+}  // namespace vexus::mining

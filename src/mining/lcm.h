@@ -1,0 +1,71 @@
+// LCM — Linear-time Closed itemset Miner (Uno, Asai, Uchida, Arimura,
+// FIMI'03), the paper's default offline group-discovery algorithm [16].
+//
+// Mines all *closed* frequent descriptor sets: a group description is closed
+// when no further descriptor can be added without shrinking its member set,
+// so every distinct member set is emitted exactly once with its most
+// specific description. Closedness is what keeps the group space tractable —
+// experiment E6 measures the gap versus raw conjunctions / Apriori output.
+//
+// Implementation: depth-first prefix-preserving closure extension (ppc-ext)
+// over vertical bitmaps. For itemset P with extent T(P):
+//   clo(P)  = { i : T(P) ⊆ T(i) }                       (closure)
+//   extend P with i > core(P): Q = clo(P ∪ {i}) is emitted iff Q∩{0..i-1} ==
+//   P∩{0..i-1} (prefix preserved) — guaranteeing each closed set is reached
+//   from exactly one parent, with no duplicate-detection table.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "mining/descriptor_catalog.h"
+#include "mining/group.h"
+
+namespace vexus::mining {
+
+class LcmMiner {
+ public:
+  struct Config {
+    /// Minimum extent size (absolute number of users).
+    size_t min_support = 2;
+    /// Maximum description length (conjuncts); the paper's groups are short
+    /// human-readable conjunctions.
+    size_t max_description = 4;
+    /// Hard cap on emitted groups (safety valve; 0 = unlimited).
+    size_t max_groups = 500000;
+    /// Also emit the root group (empty description, all users) — the natural
+    /// start point of an exploration session.
+    bool emit_root = true;
+  };
+
+  struct Stats {
+    size_t nodes_explored = 0;
+    size_t groups_emitted = 0;
+    size_t pruned_support = 0;
+    size_t pruned_prefix = 0;
+    bool truncated = false;  // hit max_groups
+  };
+
+  LcmMiner(const DescriptorCatalog* catalog, Config config);
+
+  /// Runs the search, appending groups to `store` (which must share the
+  /// catalog's user universe). Returns mining statistics.
+  Stats Mine(GroupStore* store);
+
+ private:
+  void Recurse(const std::vector<DescriptorId>& closed_set,
+               const Bitset& extent, size_t core_index, GroupStore* store);
+
+  /// clo(extent): every descriptor whose user set contains `extent`.
+  std::vector<DescriptorId> Closure(const Bitset& extent) const;
+
+  UserGroup MakeGroup(const std::vector<DescriptorId>& items,
+                      Bitset extent) const;
+
+  const DescriptorCatalog* catalog_;
+  Config config_;
+  Stats stats_;
+  bool stop_ = false;
+};
+
+}  // namespace vexus::mining

@@ -1,0 +1,147 @@
+#include "mining/momri.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace vexus::mining {
+
+MomriMiner::MomriMiner(const GroupStore* store, Config config)
+    : store_(store), config_(config) {
+  VEXUS_CHECK(store != nullptr);
+  VEXUS_CHECK(config_.k >= 1);
+  VEXUS_CHECK(config_.alpha >= 0);
+}
+
+bool MomriMiner::AlphaDominates(const Solution& a, const Solution& b,
+                                double alpha) {
+  double f = 1.0 + alpha;
+  bool geq = a.coverage * f >= b.coverage && a.diversity * f >= b.diversity;
+  if (alpha > 0) return geq;  // ε-dominance: the slack subsumes strictness
+  bool strict = a.coverage > b.coverage || a.diversity > b.diversity;
+  return geq && strict;
+}
+
+namespace {
+
+/// Objective evaluation for a candidate extension: union bitset is carried
+/// incrementally; pairwise similarity sums are carried incrementally too.
+struct Partial {
+  std::vector<GroupId> groups;
+  Bitset covered;       // union of member sets
+  double sim_sum = 0;   // sum over unordered pairs of Jaccard
+  double coverage = 0;
+  double diversity = 1.0;
+  /// Rank (in the candidate ordering) of the last added group; extensions
+  /// only use strictly larger ranks, so each k-subset is built exactly once.
+  size_t last_rank = SIZE_MAX;
+};
+
+MomriMiner::Solution ToSolution(const Partial& p) {
+  MomriMiner::Solution s;
+  s.groups = p.groups;
+  s.coverage = p.coverage;
+  s.diversity = p.diversity;
+  return s;
+}
+
+}  // namespace
+
+std::vector<MomriMiner::Solution> MomriMiner::Mine() const {
+  const size_t n_users = store_->num_users();
+  if (store_->size() == 0 || n_users == 0) return {};
+
+  // Candidate pool: largest groups first (small groups add little coverage;
+  // this matches the paper's support-pruned search space).
+  std::vector<GroupId> candidates(store_->size());
+  std::iota(candidates.begin(), candidates.end(), GroupId{0});
+  std::sort(candidates.begin(), candidates.end(),
+            [this](GroupId a, GroupId b) {
+              return store_->group(a).size() > store_->group(b).size();
+            });
+  if (config_.max_candidates != 0 &&
+      candidates.size() > config_.max_candidates) {
+    candidates.resize(config_.max_candidates);
+  }
+
+  std::vector<Partial> frontier;
+  {
+    Partial empty;
+    empty.covered.Resize(n_users);
+    frontier.push_back(std::move(empty));
+  }
+
+  for (size_t level = 0; level < config_.k; ++level) {
+    std::vector<Partial> next;
+    for (const Partial& p : frontier) {
+      size_t start_rank = p.last_rank == SIZE_MAX ? 0 : p.last_rank + 1;
+      for (size_t rank = start_rank; rank < candidates.size(); ++rank) {
+        GroupId c = candidates[rank];
+        const UserGroup& g = store_->group(c);
+        Partial q;
+        q.groups = p.groups;
+        q.groups.push_back(c);
+        q.last_rank = rank;
+        q.covered = p.covered | g.members();
+        q.sim_sum = p.sim_sum;
+        for (GroupId prev : p.groups) {
+          q.sim_sum += store_->group(prev).members().Jaccard(g.members());
+        }
+        q.coverage = static_cast<double>(q.covered.Count()) / n_users;
+        size_t m = q.groups.size();
+        q.diversity =
+            m < 2 ? 1.0 : 1.0 - q.sim_sum / (m * (m - 1) / 2.0);
+        next.push_back(std::move(q));
+      }
+    }
+    if (next.empty()) break;
+
+    // α-skyline prune. A partial may only be pruned by a dominator whose
+    // last_rank is not larger: that dominator can reach every extension the
+    // pruned partial could, so no completion is made unreachable by the
+    // canonical (rank-ascending) enumeration.
+    const bool final_level = (level + 1 == config_.k);
+    std::vector<Partial> pruned;
+    for (Partial& cand : next) {
+      Solution cs = ToSolution(cand);
+      bool dominated = false;
+      for (const Partial& kept : pruned) {
+        if ((final_level || kept.last_rank <= cand.last_rank) &&
+            AlphaDominates(ToSolution(kept), cs, config_.alpha)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) continue;
+      // Remove previously kept solutions now dominated by cand.
+      std::erase_if(pruned, [&](const Partial& kept) {
+        return (final_level || cand.last_rank <= kept.last_rank) &&
+               AlphaDominates(cs, ToSolution(kept), config_.alpha);
+      });
+      pruned.push_back(std::move(cand));
+      if (pruned.size() > config_.max_frontier) {
+        // Keep the widest spread: sort by coverage and drop the most
+        // redundant middle entries.
+        std::sort(pruned.begin(), pruned.end(),
+                  [](const Partial& a, const Partial& b) {
+                    return a.coverage > b.coverage;
+                  });
+        pruned.resize(config_.max_frontier);
+      }
+    }
+    frontier = std::move(pruned);
+  }
+
+  std::vector<Solution> out;
+  out.reserve(frontier.size());
+  for (const Partial& p : frontier) {
+    if (p.groups.size() == config_.k) out.push_back(ToSolution(p));
+  }
+  std::sort(out.begin(), out.end(), [](const Solution& a, const Solution& b) {
+    return a.coverage > b.coverage;
+  });
+  return out;
+}
+
+}  // namespace vexus::mining

@@ -1,0 +1,60 @@
+// α-MOMRI — multi-objective group-set discovery (Omidvar-Tehrani, Amer-Yahia,
+// Dutot, Trystram, PKDD 2016), the paper's alternative offline discovery
+// algorithm [13].
+//
+// Unlike LCM (which enumerates *all* closed groups), MOMRI searches for
+// *sets of k groups* that are Pareto-optimal under multiple objectives —
+// here coverage (fraction of all users inside the set) and diversity
+// (1 − mean pairwise Jaccard). Exact multi-objective search is exponential;
+// α-approximation keeps only solutions not α-dominated (x α-dominates y when
+// (1+α)·x ≥ y component-wise), which bounds the frontier width while
+// guaranteeing every exact-Pareto solution is within factor (1+α) of a kept
+// one. The search is level-wise: extend every frontier solution by one
+// candidate group, re-prune, repeat k times.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mining/group.h"
+
+namespace vexus::mining {
+
+class MomriMiner {
+ public:
+  struct Config {
+    /// Groups per solution (the paper shows k ≤ 7 to the explorer).
+    size_t k = 5;
+    /// Approximation slack; larger α → smaller frontier, faster, coarser.
+    double alpha = 0.05;
+    /// Candidate pool: the largest `max_candidates` groups are considered
+    /// (0 = all groups in the store).
+    size_t max_candidates = 200;
+    /// Hard cap on frontier width per level (keeps worst case bounded even
+    /// for tiny α).
+    size_t max_frontier = 128;
+  };
+
+  /// One k-group solution with its objective vector.
+  struct Solution {
+    std::vector<GroupId> groups;
+    double coverage = 0.0;   // |∪ members| / |U|
+    double diversity = 0.0;  // 1 − mean pairwise Jaccard (1.0 for singletons)
+  };
+
+  MomriMiner(const GroupStore* store, Config config);
+
+  /// Returns the α-approximate Pareto frontier of k-group solutions, sorted
+  /// by decreasing coverage.
+  std::vector<Solution> Mine() const;
+
+  /// True iff a α-dominates b on (coverage, diversity).
+  static bool AlphaDominates(const Solution& a, const Solution& b,
+                             double alpha);
+
+ private:
+  const GroupStore* store_;
+  Config config_;
+};
+
+}  // namespace vexus::mining

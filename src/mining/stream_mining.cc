@@ -1,0 +1,131 @@
+#include "mining/stream_mining.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vexus::mining {
+
+StreamMiner::StreamMiner(Config config) : config_(config) {
+  VEXUS_CHECK(config_.epsilon > 0 && config_.epsilon < 1);
+  VEXUS_CHECK(config_.max_itemset >= 1);
+  bucket_width_ = static_cast<size_t>(std::ceil(1.0 / config_.epsilon));
+}
+
+void StreamMiner::AddTransaction(const std::vector<DescriptorId>& items) {
+  VEXUS_DCHECK(std::is_sorted(items.begin(), items.end()));
+  ++stats_.transactions;
+
+  // Enumerate subsets of the transaction up to max_itemset, smallest first,
+  // so the online Apriori gate ("insert only if all (k-1)-subsets tracked")
+  // sees subsets before supersets.
+  std::vector<std::vector<DescriptorId>> current;  // level k-1 present sets
+  for (DescriptorId d : items) {
+    std::vector<DescriptorId> single{d};
+    auto it = lattice_.find(single);
+    if (it != lattice_.end()) {
+      ++it->second.count;
+    } else if (lattice_.size() < config_.max_entries) {
+      lattice_[single] = Entry{1, current_bucket_ - 1};
+    }
+    current.push_back(std::move(single));
+  }
+
+  for (size_t k = 2; k <= config_.max_itemset && !current.empty(); ++k) {
+    std::vector<std::vector<DescriptorId>> next;
+    // Extend each tracked (k-1)-set with later items of the transaction.
+    for (const auto& base : current) {
+      if (lattice_.find(base) == lattice_.end()) continue;  // gate
+      auto after = std::upper_bound(items.begin(), items.end(), base.back());
+      for (auto it = after; it != items.end(); ++it) {
+        std::vector<DescriptorId> ext = base;
+        ext.push_back(*it);
+        auto lit = lattice_.find(ext);
+        if (lit != lattice_.end()) {
+          ++lit->second.count;
+          next.push_back(std::move(ext));
+        } else if (lattice_.size() < config_.max_entries) {
+          // Online Apriori gate: every (k-1)-subset must currently be
+          // tracked before a new k-set may enter the lattice.
+          bool all_tracked = true;
+          std::vector<DescriptorId> sub(ext.begin(), ext.end() - 1);
+          for (size_t skip = 0; skip + 1 < ext.size() && all_tracked;
+               ++skip) {
+            sub.assign(ext.begin(), ext.end());
+            sub.erase(sub.begin() + static_cast<long>(skip));
+            all_tracked = lattice_.find(sub) != lattice_.end();
+          }
+          if (all_tracked) {
+            lattice_[ext] = Entry{1, current_bucket_ - 1};
+            next.push_back(std::move(ext));
+          }
+        }
+      }
+    }
+    current = std::move(next);
+  }
+
+  stats_.lattice_entries = lattice_.size();
+  stats_.peak_entries = std::max(stats_.peak_entries, lattice_.size());
+
+  if (stats_.transactions % bucket_width_ == 0) {
+    Prune();
+    ++current_bucket_;
+  }
+}
+
+void StreamMiner::Prune() {
+  for (auto it = lattice_.begin(); it != lattice_.end();) {
+    if (it->second.count + it->second.max_missed <= current_bucket_) {
+      it = lattice_.erase(it);
+      ++stats_.evictions;
+    } else {
+      ++it;
+    }
+  }
+  stats_.lattice_entries = lattice_.size();
+}
+
+std::vector<StreamMiner::FrequentItemset> StreamMiner::Frequent(
+    double support_fraction) const {
+  std::vector<FrequentItemset> out;
+  double threshold =
+      (support_fraction - config_.epsilon) * stats_.transactions;
+  for (const auto& [items, entry] : lattice_) {
+    if (static_cast<double>(entry.count) >= threshold) {
+      out.push_back(FrequentItemset{items, entry.count});
+    }
+  }
+  return out;
+}
+
+size_t StreamMiner::EstimatedCount(
+    const std::vector<DescriptorId>& items) const {
+  auto it = lattice_.find(items);
+  return it == lattice_.end() ? 0 : it->second.count;
+}
+
+void StreamMiner::ExportGroups(const DescriptorCatalog& catalog,
+                               double support_fraction,
+                               GroupStore* store) const {
+  for (const FrequentItemset& fi : Frequent(support_fraction)) {
+    std::vector<Descriptor> desc;
+    Bitset extent(catalog.num_users());
+    extent.SetAll();
+    bool valid = true;
+    for (DescriptorId d : fi.items) {
+      if (d >= catalog.size()) {
+        valid = false;
+        break;
+      }
+      desc.push_back(catalog.descriptor(d));
+      extent &= catalog.UserSet(d);
+    }
+    if (valid && !extent.None()) {
+      store->Add(UserGroup(std::move(desc), std::move(extent)));
+    }
+  }
+}
+
+}  // namespace vexus::mining

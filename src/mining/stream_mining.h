@@ -1,0 +1,85 @@
+// STREAMMINING — in-core frequent itemset mining over a data stream (the
+// paper's group-discovery option for user-data streams [9], Jin & Agrawal,
+// ICDM 2005).
+//
+// Implementation: Lossy Counting generalized to itemsets. Transactions (one
+// per arriving user: their descriptor set) are processed in buckets of width
+// ⌈1/ε⌉. A lattice of candidate itemsets keeps (count, max_missed); at every
+// bucket boundary entries with count + max_missed ≤ current_bucket are
+// evicted. New itemsets enter the lattice only when all their subsets are
+// currently tracked (Apriori property applied online — the in-core bound of
+// the original algorithm). Guarantees on query(s):
+//   * no false negatives for true support ≥ s·N,
+//   * reported counts underestimate true counts by at most ε·N.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "mining/descriptor_catalog.h"
+#include "mining/group.h"
+
+namespace vexus::mining {
+
+class StreamMiner {
+ public:
+  struct Config {
+    /// Error bound ε (fraction of the stream length).
+    double epsilon = 0.001;
+    /// Maximum itemset size tracked.
+    size_t max_itemset = 3;
+    /// Safety cap on lattice entries (in-core bound).
+    size_t max_entries = 2000000;
+  };
+
+  struct Stats {
+    size_t transactions = 0;
+    size_t lattice_entries = 0;  // current
+    size_t evictions = 0;
+    size_t peak_entries = 0;
+  };
+
+  explicit StreamMiner(Config config);
+
+  /// Feeds one transaction (a user's ascending descriptor ids).
+  void AddTransaction(const std::vector<DescriptorId>& items);
+
+  /// All itemsets with estimated support ≥ support_fraction · N
+  /// (ε-underestimates; no false negatives at threshold s ≥ ε).
+  struct FrequentItemset {
+    std::vector<DescriptorId> items;
+    size_t count;  // lower bound on the true count
+  };
+  std::vector<FrequentItemset> Frequent(double support_fraction) const;
+
+  /// Estimated count for an exact itemset (0 when untracked).
+  size_t EstimatedCount(const std::vector<DescriptorId>& items) const;
+
+  const Stats& stats() const { return stats_; }
+
+  /// Materializes the current frequent itemsets as user groups, resolving
+  /// extents against the catalog (used when the stream has been ingested
+  /// into a dataset snapshot).
+  void ExportGroups(const DescriptorCatalog& catalog, double support_fraction,
+                    GroupStore* store) const;
+
+ private:
+  struct Entry {
+    size_t count = 0;
+    size_t max_missed = 0;  // Δ in Lossy Counting
+  };
+
+  /// Key = itemset encoded as sorted vector (map keeps deterministic order).
+  using Lattice = std::map<std::vector<DescriptorId>, Entry>;
+
+  void Prune();
+
+  Config config_;
+  Stats stats_;
+  Lattice lattice_;
+  size_t bucket_width_;
+  size_t current_bucket_ = 1;
+};
+
+}  // namespace vexus::mining

@@ -1,0 +1,145 @@
+#include "viz/canvas.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace vexus::viz {
+
+SvgCanvas::SvgCanvas(double width, double height)
+    : width_(width), height_(height) {}
+
+std::string SvgCanvas::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void SvgCanvas::Circle(double cx, double cy, double r, const std::string& fill,
+                       double opacity, const std::string& tooltip) {
+  std::ostringstream os;
+  os << "<circle cx=\"" << FormatDouble(cx, 2) << "\" cy=\""
+     << FormatDouble(cy, 2) << "\" r=\"" << FormatDouble(r, 2)
+     << "\" fill=\"" << Escape(fill) << "\" fill-opacity=\""
+     << FormatDouble(opacity, 3) << "\">";
+  if (!tooltip.empty()) os << "<title>" << Escape(tooltip) << "</title>";
+  os << "</circle>";
+  elements_.push_back(os.str());
+}
+
+void SvgCanvas::Line(double x1, double y1, double x2, double y2,
+                     const std::string& stroke, double width) {
+  std::ostringstream os;
+  os << "<line x1=\"" << FormatDouble(x1, 2) << "\" y1=\""
+     << FormatDouble(y1, 2) << "\" x2=\"" << FormatDouble(x2, 2)
+     << "\" y2=\"" << FormatDouble(y2, 2) << "\" stroke=\"" << Escape(stroke)
+     << "\" stroke-width=\"" << FormatDouble(width, 2) << "\"/>";
+  elements_.push_back(os.str());
+}
+
+void SvgCanvas::Rect(double x, double y, double w, double h,
+                     const std::string& fill, double opacity) {
+  std::ostringstream os;
+  os << "<rect x=\"" << FormatDouble(x, 2) << "\" y=\"" << FormatDouble(y, 2)
+     << "\" width=\"" << FormatDouble(w, 2) << "\" height=\""
+     << FormatDouble(h, 2) << "\" fill=\"" << Escape(fill)
+     << "\" fill-opacity=\"" << FormatDouble(opacity, 3) << "\"/>";
+  elements_.push_back(os.str());
+}
+
+void SvgCanvas::Text(double x, double y, const std::string& text,
+                     const std::string& fill, int font_size) {
+  std::ostringstream os;
+  os << "<text x=\"" << FormatDouble(x, 2) << "\" y=\"" << FormatDouble(y, 2)
+     << "\" fill=\"" << Escape(fill) << "\" font-size=\"" << font_size
+     << "\" font-family=\"sans-serif\">" << Escape(text) << "</text>";
+  elements_.push_back(os.str());
+}
+
+std::string SvgCanvas::ToString() const {
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+     << FormatDouble(width_, 0) << "\" height=\"" << FormatDouble(height_, 0)
+     << "\" viewBox=\"0 0 " << FormatDouble(width_, 0) << " "
+     << FormatDouble(height_, 0) << "\">\n";
+  for (const std::string& e : elements_) os << "  " << e << "\n";
+  os << "</svg>\n";
+  return os.str();
+}
+
+Status SvgCanvas::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << ToString();
+  if (!out) return Status::IOError("failed writing '" + path + "'");
+  return Status::OK();
+}
+
+AsciiCanvas::AsciiCanvas(size_t cols, size_t rows)
+    : cols_(cols), rows_(rows), grid_(rows, std::string(cols, ' ')) {}
+
+void AsciiCanvas::Put(long col, long row, char c) {
+  if (col < 0 || row < 0 || col >= static_cast<long>(cols_) ||
+      row >= static_cast<long>(rows_)) {
+    return;
+  }
+  grid_[static_cast<size_t>(row)][static_cast<size_t>(col)] = c;
+}
+
+void AsciiCanvas::Circle(double cx, double cy, double r, char glyph,
+                         const std::string& label) {
+  // Character cells are ~2:1 tall; compensate on the y axis.
+  int steps = std::max(8, static_cast<int>(r * 8));
+  for (int i = 0; i < steps; ++i) {
+    double a = 2 * M_PI * i / steps;
+    Put(static_cast<long>(std::lround(cx + r * std::cos(a))),
+        static_cast<long>(std::lround(cy + r * std::sin(a) * 0.5)), glyph);
+  }
+  if (!label.empty()) {
+    Text(cx - static_cast<double>(label.size()) / 2, cy, label);
+  }
+}
+
+void AsciiCanvas::Point(double x, double y, char glyph) {
+  Put(static_cast<long>(std::lround(x)), static_cast<long>(std::lround(y)),
+      glyph);
+}
+
+void AsciiCanvas::Text(double x, double y, const std::string& text) {
+  long col = static_cast<long>(std::lround(x));
+  long row = static_cast<long>(std::lround(y));
+  for (size_t i = 0; i < text.size(); ++i) {
+    Put(col + static_cast<long>(i), row, text[i]);
+  }
+}
+
+std::string AsciiCanvas::ToString() const {
+  std::string out;
+  out.reserve((cols_ + 1) * rows_);
+  for (const std::string& row : grid_) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+const std::string& PaletteColor(size_t index) {
+  static const std::vector<std::string> kPalette = {
+      "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+      "#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf"};
+  return kPalette[index % kPalette.size()];
+}
+
+}  // namespace vexus::viz

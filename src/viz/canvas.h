@@ -1,0 +1,66 @@
+// Headless render targets. The paper's front-end draws in a browser; the
+// reproduction renders the same scenes to SVG files (inspectable artifacts
+// produced by the examples) and to ASCII (terminal demos, golden tests).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vexus::viz {
+
+/// Minimal retained-mode SVG canvas.
+class SvgCanvas {
+ public:
+  SvgCanvas(double width, double height);
+
+  void Circle(double cx, double cy, double r, const std::string& fill,
+              double opacity = 1.0, const std::string& tooltip = "");
+  void Line(double x1, double y1, double x2, double y2,
+            const std::string& stroke, double width = 1.0);
+  void Rect(double x, double y, double w, double h, const std::string& fill,
+            double opacity = 1.0);
+  void Text(double x, double y, const std::string& text,
+            const std::string& fill = "#333", int font_size = 12);
+
+  /// Serializes the SVG document.
+  std::string ToString() const;
+
+  /// Writes to a file; IOError on failure.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  static std::string Escape(const std::string& s);
+
+  double width_, height_;
+  std::vector<std::string> elements_;
+};
+
+/// Character-cell canvas for terminal output.
+class AsciiCanvas {
+ public:
+  AsciiCanvas(size_t cols, size_t rows);
+
+  /// Draws a circle outline with the given glyph; center label optional.
+  void Circle(double cx, double cy, double r, char glyph,
+              const std::string& label = "");
+  void Point(double x, double y, char glyph);
+  void Text(double x, double y, const std::string& text);
+
+  std::string ToString() const;
+
+ private:
+  void Put(long col, long row, char c);
+
+  size_t cols_, rows_;
+  std::vector<std::string> grid_;
+};
+
+/// A categorical color palette (d3.schemeCategory10) for color-coding
+/// circles by attribute value (paper: "circles can be color-coded by any
+/// attribute of choice").
+const std::string& PaletteColor(size_t index);
+
+}  // namespace vexus::viz

@@ -1,0 +1,276 @@
+#include "viz/crossfilter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace vexus::viz {
+
+Crossfilter::Crossfilter(size_t num_records)
+    : num_records_(num_records), fail_count_(num_records, 0) {}
+
+Crossfilter::DimensionId Crossfilter::AddNumericDimension(
+    std::vector<double> values) {
+  VEXUS_CHECK(values.size() == num_records_)
+      << "dimension size mismatch: " << values.size() << " vs "
+      << num_records_;
+  Dimension d;
+  d.numeric = true;
+  d.values = std::move(values);
+  d.status.assign(num_records_, 1);  // unfiltered: everything passes
+
+  // Sorted order with the NaN records trailing.
+  d.sorted_order.resize(num_records_);
+  std::iota(d.sorted_order.begin(), d.sorted_order.end(), 0u);
+  std::stable_sort(d.sorted_order.begin(), d.sorted_order.end(),
+                   [&d](uint32_t a, uint32_t b) {
+                     double va = d.values[a];
+                     double vb = d.values[b];
+                     bool na = std::isnan(va);
+                     bool nb = std::isnan(vb);
+                     if (na != nb) return nb;  // non-NaN first
+                     if (na && nb) return false;
+                     return va < vb;
+                   });
+  d.non_nan = num_records_;
+  while (d.non_nan > 0 &&
+         std::isnan(d.values[d.sorted_order[d.non_nan - 1]])) {
+    --d.non_nan;
+  }
+  dimensions_.push_back(std::move(d));
+  return dimensions_.size() - 1;
+}
+
+Crossfilter::DimensionId Crossfilter::AddCategoricalDimension(
+    std::vector<uint32_t> codes, size_t cardinality) {
+  VEXUS_CHECK(codes.size() == num_records_);
+  Dimension d;
+  d.numeric = false;
+  d.codes = std::move(codes);
+  d.cardinality = cardinality;
+  d.status.assign(num_records_, 1);
+  d.code_records.resize(cardinality);
+  for (uint32_t r = 0; r < num_records_; ++r) {
+    uint32_t c = d.codes[r];
+    if (c < cardinality) {
+      d.code_records[c].push_back(r);
+    } else {
+      d.missing_records.push_back(r);
+    }
+  }
+  dimensions_.push_back(std::move(d));
+  return dimensions_.size() - 1;
+}
+
+size_t Crossfilter::LowerBound(const Dimension& d, double v) {
+  size_t lo = 0, hi = d.non_nan;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (d.values[d.sorted_order[mid]] < v) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+void Crossfilter::FlipRecord(DimensionId dim, uint32_t r, uint8_t new_s) {
+  Dimension& d = dimensions_[dim];
+  if (d.status[r] == new_s) return;
+  ++records_touched_;
+
+  // Groups on OTHER dimensions see this record appear/disappear when the
+  // record passes all dimensions except (possibly) their own. Evaluate
+  // membership before and after the status flip.
+  uint16_t fails_before = fail_count_[r];
+  uint16_t fails_after =
+      static_cast<uint16_t>(fails_before + (new_s ? -1 : +1));
+  for (Group& g : groups_) {
+    if (g.dim == dim) continue;  // own-dimension status is ignored anyway
+    uint32_t bin = g.bin_of[r];
+    if (bin == UINT32_MAX) continue;
+    bool own_fails = dimensions_[g.dim].status[r] == 0;
+    bool in_before =
+        fails_before == 0 || (fails_before == 1 && own_fails);
+    bool in_after = fails_after == 0 || (fails_after == 1 && own_fails);
+    if (in_before && !in_after) {
+      --g.counts[bin];
+    } else if (!in_before && in_after) {
+      ++g.counts[bin];
+    }
+  }
+  fail_count_[r] = fails_after;
+  d.status[r] = new_s;
+}
+
+void Crossfilter::FlipSortedRange(DimensionId dim, size_t begin, size_t end,
+                                  uint8_t new_s) {
+  Dimension& d = dimensions_[dim];
+  for (size_t i = begin; i < end; ++i) {
+    FlipRecord(dim, d.sorted_order[i], new_s);
+  }
+}
+
+void Crossfilter::FilterRange(DimensionId dim, double lo, double hi) {
+  VEXUS_CHECK(dim < dimensions_.size());
+  Dimension& d = dimensions_[dim];
+  VEXUS_CHECK(d.numeric) << "FilterRange on a categorical dimension";
+
+  size_t nlo = LowerBound(d, lo);
+  size_t nhi = LowerBound(d, hi);
+
+  if (!d.filtered) {
+    // Unfiltered -> windowed: everything outside [nlo, nhi) fails,
+    // including the NaN tail.
+    FlipSortedRange(dim, 0, nlo, 0);
+    FlipSortedRange(dim, nhi, num_records_, 0);
+  } else {
+    size_t old_lo = d.lo_idx, old_hi = d.hi_idx;
+    // Leaving = old \ new.
+    FlipSortedRange(dim, old_lo, std::min(old_hi, nlo), 0);
+    FlipSortedRange(dim, std::max(old_lo, nhi), old_hi, 0);
+    // Entering = new \ old.
+    FlipSortedRange(dim, nlo, std::min(nhi, old_lo), 1);
+    FlipSortedRange(dim, std::max(nlo, old_hi), nhi, 1);
+  }
+  d.filtered = true;
+  d.lo_idx = nlo;
+  d.hi_idx = nhi;
+}
+
+void Crossfilter::FilterValues(DimensionId dim,
+                               const std::vector<uint32_t>& values) {
+  VEXUS_CHECK(dim < dimensions_.size());
+  Dimension& d = dimensions_[dim];
+  VEXUS_CHECK(!d.numeric) << "FilterValues on a numeric dimension";
+
+  std::vector<uint8_t> new_pass(d.cardinality, 0);
+  for (uint32_t v : values) {
+    if (v < d.cardinality) new_pass[v] = 1;
+  }
+
+  if (!d.filtered) {
+    // Unfiltered -> filtered: codes not in the set fail, missing fails.
+    for (uint32_t c = 0; c < d.cardinality; ++c) {
+      if (!new_pass[c]) {
+        for (uint32_t r : d.code_records[c]) FlipRecord(dim, r, 0);
+      }
+    }
+    for (uint32_t r : d.missing_records) FlipRecord(dim, r, 0);
+  } else {
+    for (uint32_t c = 0; c < d.cardinality; ++c) {
+      if (new_pass[c] == d.value_pass[c]) continue;
+      for (uint32_t r : d.code_records[c]) FlipRecord(dim, r, new_pass[c]);
+    }
+  }
+  d.filtered = true;
+  d.value_pass = std::move(new_pass);
+}
+
+void Crossfilter::ClearFilter(DimensionId dim) {
+  VEXUS_CHECK(dim < dimensions_.size());
+  Dimension& d = dimensions_[dim];
+  if (!d.filtered) return;
+  if (d.numeric) {
+    FlipSortedRange(dim, 0, d.lo_idx, 1);
+    FlipSortedRange(dim, d.hi_idx, num_records_, 1);
+  } else {
+    for (uint32_t c = 0; c < d.cardinality; ++c) {
+      if (!d.value_pass[c]) {
+        for (uint32_t r : d.code_records[c]) FlipRecord(dim, r, 1);
+      }
+    }
+    for (uint32_t r : d.missing_records) FlipRecord(dim, r, 1);
+    d.value_pass.clear();
+  }
+  d.filtered = false;
+}
+
+bool Crossfilter::PassesAllOthers(size_t record, DimensionId except) const {
+  uint16_t fails = fail_count_[record];
+  if (fails == 0) return true;
+  return fails == 1 && dimensions_[except].status[record] == 0;
+}
+
+namespace {
+uint32_t BinForValue(double v, size_t num_bins, double lo, double hi) {
+  if (std::isnan(v)) return UINT32_MAX;
+  if (v < lo) return 0;
+  if (v >= hi) return static_cast<uint32_t>(num_bins - 1);
+  double width = (hi - lo) / static_cast<double>(num_bins);
+  auto bin = static_cast<uint32_t>((v - lo) / width);
+  return std::min<uint32_t>(bin, static_cast<uint32_t>(num_bins - 1));
+}
+}  // namespace
+
+Crossfilter::GroupId Crossfilter::AddHistogram(DimensionId dim,
+                                               size_t num_bins, double lo,
+                                               double hi) {
+  VEXUS_CHECK(dim < dimensions_.size());
+  VEXUS_CHECK(num_bins >= 1 && hi > lo);
+  const Dimension& d = dimensions_[dim];
+  VEXUS_CHECK(d.numeric) << "AddHistogram needs a numeric dimension";
+
+  Group g;
+  g.dim = dim;
+  g.numeric = true;
+  g.num_bins = num_bins;
+  g.lo = lo;
+  g.hi = hi;
+  g.bin_of.resize(num_records_);
+  g.counts.assign(num_bins, 0);
+  for (size_t r = 0; r < num_records_; ++r) {
+    g.bin_of[r] = BinForValue(d.values[r], num_bins, lo, hi);
+    if (g.bin_of[r] != UINT32_MAX && PassesAllOthers(r, dim)) {
+      ++g.counts[g.bin_of[r]];
+    }
+  }
+  groups_.push_back(std::move(g));
+  return groups_.size() - 1;
+}
+
+Crossfilter::GroupId Crossfilter::AddCategoryCounts(DimensionId dim) {
+  VEXUS_CHECK(dim < dimensions_.size());
+  const Dimension& d = dimensions_[dim];
+  VEXUS_CHECK(!d.numeric) << "AddCategoryCounts needs a categorical dimension";
+
+  Group g;
+  g.dim = dim;
+  g.numeric = false;
+  g.num_bins = d.cardinality;
+  g.bin_of.resize(num_records_);
+  g.counts.assign(d.cardinality, 0);
+  for (size_t r = 0; r < num_records_; ++r) {
+    uint32_t c = d.codes[r];
+    g.bin_of[r] = c < d.cardinality ? c : UINT32_MAX;
+    if (g.bin_of[r] != UINT32_MAX && PassesAllOthers(r, dim)) {
+      ++g.counts[g.bin_of[r]];
+    }
+  }
+  groups_.push_back(std::move(g));
+  return groups_.size() - 1;
+}
+
+const std::vector<size_t>& Crossfilter::Counts(GroupId group) const {
+  VEXUS_CHECK(group < groups_.size());
+  return groups_[group].counts;
+}
+
+size_t Crossfilter::PassingCount() const {
+  size_t n = 0;
+  for (uint16_t f : fail_count_) n += (f == 0);
+  return n;
+}
+
+Bitset Crossfilter::PassingSet() const {
+  Bitset b(num_records_);
+  for (size_t r = 0; r < num_records_; ++r) {
+    if (fail_count_[r] == 0) b.Set(r);
+  }
+  return b;
+}
+
+}  // namespace vexus::viz

@@ -1,0 +1,149 @@
+#include "viz/force_layout.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vexus::viz {
+
+ForceLayout::ForceLayout(std::vector<double> radii, std::vector<Link> links,
+                         Options options)
+    : options_(options), links_(std::move(links)) {
+  nodes_.resize(radii.size());
+  Rng rng(options_.seed, 3);
+  // Phyllotaxis-like deterministic initial placement keeps the start
+  // untangled; jitter avoids exact symmetry lock-in.
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    double angle = 2.399963 * static_cast<double>(i);  // golden angle
+    double r = 20.0 * std::sqrt(static_cast<double>(i) + 0.5);
+    nodes_[i].x = options_.width / 2 + r * std::cos(angle) +
+                  rng.UniformDouble(-1, 1);
+    nodes_[i].y = options_.height / 2 + r * std::sin(angle) +
+                  rng.UniformDouble(-1, 1);
+    nodes_[i].radius = radii[i];
+  }
+  for (const Link& l : links_) {
+    VEXUS_CHECK(l.a < nodes_.size() && l.b < nodes_.size())
+        << "link endpoint out of range";
+  }
+}
+
+void ForceLayout::Tick() {
+  size_t n = nodes_.size();
+  // Many-body repulsion.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double dx = nodes_[j].x - nodes_[i].x;
+      double dy = nodes_[j].y - nodes_[i].y;
+      double d2 = dx * dx + dy * dy;
+      if (d2 < 1e-6) {
+        dx = 0.1 * (static_cast<double>(i) - static_cast<double>(j));
+        dy = 0.1;
+        d2 = dx * dx + dy * dy;
+      }
+      double f = options_.repulsion / d2;
+      double d = std::sqrt(d2);
+      double fx = f * dx / d;
+      double fy = f * dy / d;
+      nodes_[i].vx -= fx;
+      nodes_[i].vy -= fy;
+      nodes_[j].vx += fx;
+      nodes_[j].vy += fy;
+    }
+  }
+  // Link springs: rest length shrinks as similarity grows.
+  for (const Link& l : links_) {
+    Node& a = nodes_[l.a];
+    Node& b = nodes_[l.b];
+    double rest =
+        (a.radius + b.radius + options_.collision_padding) +
+        120.0 * (1.0 - std::clamp(l.weight, 0.0, 1.0));
+    double dx = b.x - a.x;
+    double dy = b.y - a.y;
+    double d = std::sqrt(dx * dx + dy * dy);
+    if (d < 1e-6) continue;
+    double f = options_.spring * (d - rest);
+    double fx = f * dx / d;
+    double fy = f * dy / d;
+    a.vx += fx;
+    a.vy += fy;
+    b.vx -= fx;
+    b.vy -= fy;
+  }
+  // Centering gravity.
+  double cx = options_.width / 2;
+  double cy = options_.height / 2;
+  for (Node& node : nodes_) {
+    node.vx += (cx - node.x) * options_.gravity;
+    node.vy += (cy - node.y) * options_.gravity;
+  }
+  // Integrate with damping.
+  last_movement_ = 0;
+  for (Node& node : nodes_) {
+    node.vx *= options_.damping;
+    node.vy *= options_.damping;
+    node.x += node.vx;
+    node.y += node.vy;
+    last_movement_ += std::sqrt(node.vx * node.vx + node.vy * node.vy);
+  }
+  ResolveCollisions();
+  // Keep circles inside the viewport.
+  for (Node& node : nodes_) {
+    node.x = std::clamp(node.x, node.radius, options_.width - node.radius);
+    node.y = std::clamp(node.y, node.radius, options_.height - node.radius);
+  }
+}
+
+void ForceLayout::ResolveCollisions() {
+  size_t n = nodes_.size();
+  // A couple of relaxation sweeps per tick separate overlapping pairs.
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        Node& a = nodes_[i];
+        Node& b = nodes_[j];
+        double min_d = a.radius + b.radius + options_.collision_padding;
+        double dx = b.x - a.x;
+        double dy = b.y - a.y;
+        double d = std::sqrt(dx * dx + dy * dy);
+        if (d >= min_d) continue;
+        if (d < 1e-6) {
+          dx = 1.0;
+          dy = 0.0;
+          d = 1.0;
+        }
+        double push = 0.5 * (min_d - d);
+        double px = push * dx / d;
+        double py = push * dy / d;
+        a.x -= px;
+        a.y -= py;
+        b.x += px;
+        b.y += py;
+      }
+    }
+  }
+}
+
+void ForceLayout::Run() {
+  for (int i = 0; i < options_.iterations; ++i) Tick();
+  // Final hard sweep: repeat collision resolution until clean (bounded).
+  for (int sweep = 0; sweep < 50 && CountOverlaps() > 0; ++sweep) {
+    ResolveCollisions();
+  }
+}
+
+size_t ForceLayout::CountOverlaps() const {
+  size_t overlaps = 0;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    for (size_t j = i + 1; j < nodes_.size(); ++j) {
+      double dx = nodes_[j].x - nodes_[i].x;
+      double dy = nodes_[j].y - nodes_[i].y;
+      double min_d = nodes_[i].radius + nodes_[j].radius;
+      if (dx * dx + dy * dy < min_d * min_d - 1e-9) ++overlaps;
+    }
+  }
+  return overlaps;
+}
+
+}  // namespace vexus::viz

@@ -1,0 +1,74 @@
+// GroupVizScene — assembles the GROUPVIZ screen of Fig. 2: the current
+// selection's k groups as circles (area ∝ member count), positioned by the
+// directed force layout, color-coded by a chosen attribute's majority value,
+// with the description as tooltip/hover text; overlap edges drawn between
+// non-disjoint groups.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "mining/group.h"
+#include "viz/force_layout.h"
+
+namespace vexus::viz {
+
+class GroupVizScene {
+ public:
+  struct Options {
+    double width = 800;
+    double height = 600;
+    double min_radius = 14;
+    double max_radius = 70;
+    /// Attribute whose per-group majority value drives circle color
+    /// (empty = single color).
+    std::string color_attribute;
+    uint64_t layout_seed = 1234;
+  };
+
+  /// One laid-out circle.
+  struct CircleSpec {
+    mining::GroupId group = 0;
+    double x = 0, y = 0, radius = 0;
+    std::string color;
+    std::string label;        // e.g. "g12 (1,204 users)"
+    std::string description;  // hover text
+  };
+
+  /// Builds and lays out the scene for a set of groups. Fails on unknown
+  /// color attribute.
+  static Result<GroupVizScene> Build(const data::Dataset& dataset,
+                                     const mining::GroupStore& store,
+                                     const std::vector<mining::GroupId>& shown,
+                                     const Options& options);
+  static Result<GroupVizScene> Build(
+      const data::Dataset& dataset, const mining::GroupStore& store,
+      const std::vector<mining::GroupId>& shown) {
+    return Build(dataset, store, shown, Options{});
+  }
+
+  const std::vector<CircleSpec>& circles() const { return circles_; }
+  size_t overlaps() const { return overlaps_; }
+
+  /// Renders the scene as a standalone SVG document.
+  std::string ToSvg() const;
+
+  /// Renders an ASCII sketch (for terminal demos).
+  std::string ToAscii(size_t cols = 100, size_t rows = 30) const;
+
+ private:
+  Options options_;
+  std::vector<CircleSpec> circles_;
+  /// Edges between shown groups with their similarity (drawn as lines).
+  struct SceneEdge {
+    size_t a, b;
+    double weight;
+  };
+  std::vector<SceneEdge> edges_;
+  size_t overlaps_ = 0;
+};
+
+}  // namespace vexus::viz

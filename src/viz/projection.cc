@@ -1,0 +1,216 @@
+#include "viz/projection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "la/eigen.h"
+
+namespace vexus::viz {
+
+namespace {
+
+using la::Matrix;
+
+/// Column means of the row matrix.
+std::vector<double> Mean(const std::vector<std::vector<double>>& rows) {
+  std::vector<double> mu(rows[0].size(), 0.0);
+  for (const auto& r : rows) {
+    for (size_t j = 0; j < mu.size(); ++j) mu[j] += r[j];
+  }
+  for (double& m : mu) m /= static_cast<double>(rows.size());
+  return mu;
+}
+
+/// Projects rows onto two direction vectors.
+std::vector<Point2D> ProjectOn(const std::vector<std::vector<double>>& rows,
+                               const std::vector<double>& v1,
+                               const std::vector<double>& v2) {
+  std::vector<Point2D> out(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    double x = 0, y = 0;
+    for (size_t j = 0; j < rows[i].size(); ++j) {
+      x += rows[i][j] * v1[j];
+      y += rows[i][j] * v2[j];
+    }
+    out[i] = Point2D{x, y};
+  }
+  return out;
+}
+
+}  // namespace
+
+double SeparationScore(const std::vector<Point2D>& points,
+                       const std::vector<uint32_t>& labels) {
+  VEXUS_CHECK(points.size() == labels.size());
+  // Per-class centroid and spread in the plane.
+  struct ClassAcc {
+    double sx = 0, sy = 0;
+    size_t n = 0;
+    double spread = 0;
+  };
+  std::map<uint32_t, ClassAcc> classes;
+  for (size_t i = 0; i < points.size(); ++i) {
+    ClassAcc& c = classes[labels[i]];
+    c.sx += points[i].x;
+    c.sy += points[i].y;
+    ++c.n;
+  }
+  if (classes.size() < 2) return 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    ClassAcc& c = classes[labels[i]];
+    double dx = points[i].x - c.sx / c.n;
+    double dy = points[i].y - c.sy / c.n;
+    classes[labels[i]].spread += std::sqrt(dx * dx + dy * dy);
+  }
+  double within = 0;
+  for (auto& [label, c] : classes) within += c.spread;
+  within /= static_cast<double>(points.size());
+
+  double between = 0;
+  size_t pairs = 0;
+  for (auto a = classes.begin(); a != classes.end(); ++a) {
+    for (auto b = std::next(a); b != classes.end(); ++b) {
+      double dx = a->second.sx / a->second.n - b->second.sx / b->second.n;
+      double dy = a->second.sy / a->second.n - b->second.sy / b->second.n;
+      between += std::sqrt(dx * dx + dy * dy);
+      ++pairs;
+    }
+  }
+  between /= static_cast<double>(pairs);
+  return within > 1e-12 ? between / within : between > 0 ? 1e12 : 0.0;
+}
+
+Result<ProjectionResult> PcaProject(
+    const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Status::InvalidArgument("PCA needs rows");
+  size_t dim = rows[0].size();
+  if (dim < 1) return Status::InvalidArgument("PCA needs features");
+
+  std::vector<double> mu = Mean(rows);
+  Matrix cov(dim, dim);
+  for (const auto& r : rows) {
+    for (size_t i = 0; i < dim; ++i) {
+      double di = r[i] - mu[i];
+      for (size_t j = i; j < dim; ++j) {
+        cov(i, j) += di * (r[j] - mu[j]);
+      }
+    }
+  }
+  for (size_t i = 0; i < dim; ++i) {
+    for (size_t j = i; j < dim; ++j) {
+      double v = cov(i, j) / static_cast<double>(rows.size());
+      cov(i, j) = v;
+      cov(j, i) = v;
+    }
+  }
+
+  VEXUS_ASSIGN_OR_RETURN(la::EigenDecomposition eig, la::SymmetricEigen(cov));
+  std::vector<double> v1(dim), v2(dim, 0.0);
+  for (size_t i = 0; i < dim; ++i) v1[i] = eig.vectors(i, 0);
+  if (dim >= 2) {
+    for (size_t i = 0; i < dim; ++i) v2[i] = eig.vectors(i, 1);
+  }
+
+  // Center before projecting so the embedding is origin-centered.
+  std::vector<std::vector<double>> centered = rows;
+  for (auto& r : centered) {
+    for (size_t j = 0; j < dim; ++j) r[j] -= mu[j];
+  }
+
+  ProjectionResult out;
+  out.points = ProjectOn(centered, v1, v2);
+  out.method = "pca";
+  out.eigenvalue1 = eig.values.empty() ? 0 : eig.values[0];
+  out.eigenvalue2 = eig.values.size() > 1 ? eig.values[1] : 0;
+  return out;
+}
+
+Result<ProjectionResult> LinearDiscriminantAnalysis::Project(
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<uint32_t>& labels, const Options& options) {
+  if (rows.empty()) return Status::InvalidArgument("LDA needs rows");
+  if (rows.size() != labels.size()) {
+    return Status::InvalidArgument("rows/labels size mismatch");
+  }
+  size_t dim = rows[0].size();
+  if (dim < 1) return Status::InvalidArgument("LDA needs features");
+
+  // Class partitions.
+  std::unordered_map<uint32_t, std::vector<size_t>> classes;
+  for (size_t i = 0; i < rows.size(); ++i) classes[labels[i]].push_back(i);
+
+  auto fallback = [&]() -> Result<ProjectionResult> {
+    if (!options.pca_fallback) {
+      return Status::FailedPrecondition(
+          "LDA needs at least two classes (pca_fallback disabled)");
+    }
+    VEXUS_ASSIGN_OR_RETURN(ProjectionResult r, PcaProject(rows));
+    r.separation = SeparationScore(r.points, labels);
+    return r;
+  };
+  if (classes.size() < 2) return fallback();
+
+  // Scatter matrices.
+  std::vector<double> mu = Mean(rows);
+  Matrix sw(dim, dim);
+  Matrix sb(dim, dim);
+  for (const auto& [label, idx] : classes) {
+    std::vector<double> cmu(dim, 0.0);
+    for (size_t i : idx) {
+      for (size_t j = 0; j < dim; ++j) cmu[j] += rows[i][j];
+    }
+    for (double& v : cmu) v /= static_cast<double>(idx.size());
+
+    for (size_t i : idx) {
+      for (size_t a = 0; a < dim; ++a) {
+        double da = rows[i][a] - cmu[a];
+        for (size_t b = a; b < dim; ++b) {
+          sw(a, b) += da * (rows[i][b] - cmu[b]);
+        }
+      }
+    }
+    double n = static_cast<double>(idx.size());
+    for (size_t a = 0; a < dim; ++a) {
+      double da = cmu[a] - mu[a];
+      for (size_t b = a; b < dim; ++b) {
+        sb(a, b) += n * da * (cmu[b] - mu[b]);
+      }
+    }
+  }
+  for (size_t a = 0; a < dim; ++a) {
+    for (size_t b = a + 1; b < dim; ++b) {
+      sw(b, a) = sw(a, b);
+      sb(b, a) = sb(a, b);
+    }
+  }
+  sw.AddToDiagonal(options.regularization *
+                   (1.0 + sw.FrobeniusNorm() / static_cast<double>(dim)));
+
+  auto eig_result = la::GeneralizedSymmetricEigen(sb, sw);
+  if (!eig_result.ok()) return fallback();
+  const la::EigenDecomposition& eig = *eig_result;
+
+  std::vector<double> v1(dim), v2(dim, 0.0);
+  for (size_t i = 0; i < dim; ++i) v1[i] = eig.vectors(i, 0);
+  if (dim >= 2) {
+    for (size_t i = 0; i < dim; ++i) v2[i] = eig.vectors(i, 1);
+  }
+
+  std::vector<std::vector<double>> centered = rows;
+  for (auto& r : centered) {
+    for (size_t j = 0; j < dim; ++j) r[j] -= mu[j];
+  }
+
+  ProjectionResult out;
+  out.points = ProjectOn(centered, v1, v2);
+  out.method = "lda";
+  out.eigenvalue1 = eig.values.empty() ? 0 : eig.values[0];
+  out.eigenvalue2 = eig.values.size() > 1 ? eig.values[1] : 0;
+  out.separation = SeparationScore(out.points, labels);
+  return out;
+}
+
+}  // namespace vexus::viz

@@ -1,0 +1,72 @@
+// Focus View projections (paper §II.B, "Granular Analysis"):
+//
+//   "VEXUS employs Linear Discriminant Analysis as a dimensionality
+//    reduction approach to obtain a 2D projection of members of a desired
+//    group. Members whose profile are more similar appear closer to each
+//    other."
+//
+// LDA maximizes between-class over within-class scatter: solve
+// Sb·v = λ·Sw·v (generalized symmetric eigenproblem, src/la) and project on
+// the top-2 eigenvectors. Classes come from a chosen categorical attribute
+// (or any labeling); with fewer than two classes — or a defective Sw — the
+// projection falls back to PCA on the covariance, which only needs the data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "la/matrix.h"
+
+namespace vexus::viz {
+
+struct Point2D {
+  double x = 0;
+  double y = 0;
+};
+
+struct ProjectionResult {
+  std::vector<Point2D> points;  // one per input row
+  /// "lda" or "pca" (which path produced the projection).
+  std::string method;
+  /// Leading eigenvalues (discriminability / explained variance).
+  double eigenvalue1 = 0;
+  double eigenvalue2 = 0;
+  /// Class-separation score: mean between-class centroid distance divided
+  /// by mean within-class spread, in the projected plane (0 when
+  /// single-class). Experiment E9's quality metric.
+  double separation = 0;
+};
+
+class LinearDiscriminantAnalysis {
+ public:
+  struct Options {
+    /// Ridge added to Sw's diagonal (one-hot features make Sw singular).
+    double regularization = 1e-3;
+    /// Fall back to PCA when fewer than 2 classes have members.
+    bool pca_fallback = true;
+  };
+
+  /// rows: feature vectors (all equal length, at least 1 row);
+  /// labels: class of each row (use a single label to force the PCA path
+  /// when pca_fallback is on).
+  static Result<ProjectionResult> Project(
+      const std::vector<std::vector<double>>& rows,
+      const std::vector<uint32_t>& labels, const Options& options);
+  static Result<ProjectionResult> Project(
+      const std::vector<std::vector<double>>& rows,
+      const std::vector<uint32_t>& labels) {
+    return Project(rows, labels, Options{});
+  }
+};
+
+/// PCA to 2D: eigenvectors of the covariance matrix.
+Result<ProjectionResult> PcaProject(
+    const std::vector<std::vector<double>>& rows);
+
+/// Separation score of a labeled 2D embedding (see ProjectionResult).
+double SeparationScore(const std::vector<Point2D>& points,
+                       const std::vector<uint32_t>& labels);
+
+}  // namespace vexus::viz

@@ -1,0 +1,82 @@
+#include "viz/session_views.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace vexus::viz {
+
+std::string RenderContext(const core::ExplorationSession& session,
+                          size_t max_tokens) {
+  std::ostringstream os;
+  os << "CONTEXT";
+  auto tokens = session.ContextTokens(max_tokens);
+  if (tokens.empty()) {
+    os << " (empty — no feedback yet)\n";
+    return os.str();
+  }
+  os << "\n";
+  for (const auto& ts : tokens) {
+    os << "  [" << session.tokens().Label(ts.token, session.dataset())
+       << "] " << vexus::FormatDouble(ts.score, 4) << "\n";
+  }
+  return os.str();
+}
+
+std::string RenderHistory(const core::ExplorationSession& session) {
+  std::ostringstream os;
+  os << "HISTORY  start";
+  const auto& schema = session.dataset().schema();
+  for (size_t s = 1; s < session.NumSteps(); ++s) {
+    auto selected = session.Step(s).selected;
+    if (!selected.has_value()) continue;
+    const auto& grp = session.store().group(*selected);
+    os << " -> g" << *selected << " \"" << grp.DescriptionString(schema)
+       << "\"";
+  }
+  os << " (current)\n";
+  return os.str();
+}
+
+std::string RenderMemo(const core::ExplorationSession& session,
+                       size_t max_users) {
+  std::ostringstream os;
+  const auto& memo = session.memo();
+  os << "MEMO  " << memo.groups.size() << " group(s), " << memo.users.size()
+     << " user(s)\n";
+  const auto& schema = session.dataset().schema();
+  for (auto g : memo.groups) {
+    os << "  group g" << g << ": "
+       << session.store().group(g).DescriptionString(schema) << " ("
+       << session.store().group(g).size() << " users)\n";
+  }
+  size_t shown = 0;
+  for (auto u : memo.users) {
+    if (shown++ >= max_users) {
+      os << "  … and " << memo.users.size() - max_users << " more users\n";
+      break;
+    }
+    os << "  user " << session.dataset().users().ExternalId(u) << "\n";
+  }
+  return os.str();
+}
+
+std::string RenderDashboard(const core::ExplorationSession& session) {
+  std::ostringstream os;
+  os << RenderHistory(session) << "\n" << RenderContext(session) << "\n";
+  os << "GROUPVIZ (current screen)\n";
+  const auto& shown = session.Current();
+  const auto& schema = session.dataset().schema();
+  for (auto g : shown.groups) {
+    const auto& grp = session.store().group(g);
+    os << "  g" << g << " [" << vexus::WithThousands(grp.size())
+       << " users] " << grp.DescriptionString(schema) << "\n";
+  }
+  os << "  (diversity " << vexus::FormatDouble(shown.quality.diversity, 2)
+     << ", coverage " << vexus::FormatDouble(shown.quality.coverage, 2)
+     << ", " << vexus::FormatDouble(shown.elapsed_ms, 1) << " ms)\n\n";
+  os << RenderMemo(session);
+  return os.str();
+}
+
+}  // namespace vexus::viz

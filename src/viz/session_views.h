@@ -1,0 +1,40 @@
+// Headless renderings of Fig. 2's session panels:
+//   (b) CONTEXT — the feedback tokens, as the "[cikm][male]" chips the demo
+//       shows, with scores;
+//   (d) HISTORY — the sequence of selected groups with arrow markers and
+//       the current position;
+//   (e) MEMO — the bookmarked groups and users (the explorer's "analysis
+//       goal").
+// The GROUPVIZ (a) and STATS (c) panels are rendered by GroupVizScene and
+// StatsView respectively; together the five views cover the full screen of
+// the paper's demo, printable from any example or test.
+#pragma once
+
+#include <string>
+
+#include "core/session.h"
+
+namespace vexus::viz {
+
+/// CONTEXT panel: one line per token, highest score first.
+///   [gender=male] 0.1845
+///   [user:author42] 0.0213
+std::string RenderContext(const core::ExplorationSession& session,
+                          size_t max_tokens = 8);
+
+/// HISTORY panel: the clicked trail, e.g.
+///   start -> g12 "gender=female" -> g57 "…" (current)
+/// Backtracked-away steps are gone (the session truncates them), matching
+/// the paper's semantics of resuming from an earlier point.
+std::string RenderHistory(const core::ExplorationSession& session);
+
+/// MEMO panel: bookmarked groups (with descriptions) and users (external
+/// ids), the order they were collected in.
+std::string RenderMemo(const core::ExplorationSession& session,
+                       size_t max_users = 20);
+
+/// The whole dashboard: HISTORY + CONTEXT + MEMO + the current GROUPVIZ
+/// screen as a compact text block (for terminal demos and golden tests).
+std::string RenderDashboard(const core::ExplorationSession& session);
+
+}  // namespace vexus::viz

@@ -1,0 +1,199 @@
+#include "common/bitset.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace vexus {
+namespace {
+
+TEST(BitsetTest, DefaultIsEmpty) {
+  Bitset b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.None());
+}
+
+TEST(BitsetTest, SetTestClear) {
+  Bitset b(100);
+  EXPECT_FALSE(b.Test(63));
+  b.Set(63);
+  b.Set(64);
+  b.Set(99);
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(99));
+  EXPECT_FALSE(b.Test(0));
+  EXPECT_EQ(b.Count(), 3u);
+  b.Clear(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(BitsetTest, SetAllRespectsTail) {
+  Bitset b(70);  // non-multiple of 64 exercises the tail mask
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 70u);
+  b.ClearAll();
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(BitsetTest, ResizeGrowsWithClearBits) {
+  Bitset b(10);
+  b.Set(9);
+  b.Resize(200);
+  EXPECT_EQ(b.size(), 200u);
+  EXPECT_TRUE(b.Test(9));
+  EXPECT_EQ(b.Count(), 1u);
+}
+
+TEST(BitsetTest, ResizeShrinkMasksTail) {
+  Bitset b(128);
+  b.SetAll();
+  b.Resize(65);
+  EXPECT_EQ(b.Count(), 65u);
+}
+
+TEST(BitsetTest, AndOrXorSubtract) {
+  Bitset a = Bitset::FromVector(10, {1, 2, 3, 4});
+  Bitset b = Bitset::FromVector(10, {3, 4, 5, 6});
+  EXPECT_EQ((a & b).ToVector(), (std::vector<uint32_t>{3, 4}));
+  EXPECT_EQ((a | b).ToVector(), (std::vector<uint32_t>{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ((a ^ b).ToVector(), (std::vector<uint32_t>{1, 2, 5, 6}));
+  Bitset diff = a;
+  diff.Subtract(b);
+  EXPECT_EQ(diff.ToVector(), (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(BitsetTest, IntersectUnionCountsMatchMaterialized) {
+  Rng rng(7);
+  Bitset a(500), b(500);
+  for (int i = 0; i < 120; ++i) a.Set(rng.UniformU32(500));
+  for (int i = 0; i < 120; ++i) b.Set(rng.UniformU32(500));
+  EXPECT_EQ(a.IntersectCount(b), (a & b).Count());
+  EXPECT_EQ(a.UnionCount(b), (a | b).Count());
+}
+
+TEST(BitsetTest, JaccardBasic) {
+  Bitset a = Bitset::FromVector(8, {0, 1, 2, 3});
+  Bitset b = Bitset::FromVector(8, {2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(a.Jaccard(b), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(a.Jaccard(a), 1.0);
+}
+
+TEST(BitsetTest, JaccardBothEmptyIsOne) {
+  Bitset a(16), b(16);
+  EXPECT_DOUBLE_EQ(a.Jaccard(b), 1.0);
+}
+
+TEST(BitsetTest, JaccardDisjointIsZero) {
+  Bitset a = Bitset::FromVector(16, {0, 1});
+  Bitset b = Bitset::FromVector(16, {8, 9});
+  EXPECT_DOUBLE_EQ(a.Jaccard(b), 0.0);
+}
+
+TEST(BitsetTest, SubsetAndDisjoint) {
+  Bitset a = Bitset::FromVector(64, {5, 6});
+  Bitset b = Bitset::FromVector(64, {5, 6, 7});
+  Bitset c = Bitset::FromVector(64, {40});
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsDisjointWith(c));
+  EXPECT_FALSE(a.IsDisjointWith(b));
+  Bitset empty(64);
+  EXPECT_TRUE(empty.IsSubsetOf(a));
+  EXPECT_TRUE(empty.IsDisjointWith(a));
+}
+
+TEST(BitsetTest, ForEachVisitsAscending) {
+  Bitset b = Bitset::FromVector(200, {0, 63, 64, 128, 199});
+  std::vector<uint32_t> seen;
+  b.ForEach([&seen](uint32_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<uint32_t>{0, 63, 64, 128, 199}));
+}
+
+TEST(BitsetTest, ToVectorFromVectorRoundTrip) {
+  std::vector<uint32_t> elems = {3, 17, 64, 65, 190};
+  Bitset b = Bitset::FromVector(256, elems);
+  EXPECT_EQ(b.ToVector(), elems);
+}
+
+TEST(BitsetTest, FromVectorDuplicatesCollapse) {
+  Bitset b = Bitset::FromVector(10, {4, 4, 4});
+  EXPECT_EQ(b.Count(), 1u);
+}
+
+TEST(BitsetTest, FindFirst) {
+  Bitset b(150);
+  EXPECT_EQ(b.FindFirst(), 150u);
+  b.Set(130);
+  EXPECT_EQ(b.FindFirst(), 130u);
+  b.Set(5);
+  EXPECT_EQ(b.FindFirst(), 5u);
+}
+
+TEST(BitsetTest, EqualityAndHash) {
+  Bitset a = Bitset::FromVector(80, {1, 40});
+  Bitset b = Bitset::FromVector(80, {1, 40});
+  Bitset c = Bitset::FromVector(80, {1, 41});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a.Hash(), c.Hash());
+}
+
+TEST(BitsetTest, HashDependsOnUniverseSize) {
+  Bitset a = Bitset::FromVector(64, {3});
+  Bitset b = Bitset::FromVector(128, {3});
+  EXPECT_NE(a.Hash(), b.Hash());
+}
+
+TEST(BitsetTest, MemoryBytesTracksWords) {
+  Bitset b(640);
+  EXPECT_EQ(b.MemoryBytes(), 10 * sizeof(uint64_t));
+}
+
+// Property sweep: algebra identities hold across random instances and sizes.
+class BitsetPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BitsetPropertyTest, AlgebraIdentities) {
+  size_t n = GetParam();
+  Rng rng(n * 31 + 1);
+  Bitset a(n), b(n), c(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) a.Set(i);
+    if (rng.Bernoulli(0.3)) b.Set(i);
+    if (rng.Bernoulli(0.3)) c.Set(i);
+  }
+  // Inclusion–exclusion.
+  EXPECT_EQ(a.UnionCount(b) + a.IntersectCount(b), a.Count() + b.Count());
+  // Commutativity.
+  EXPECT_TRUE((a & b) == (b & a));
+  EXPECT_TRUE((a | b) == (b | a));
+  // Distributivity: a & (b | c) == (a & b) | (a & c).
+  EXPECT_TRUE((a & (b | c)) == ((a & b) | (a & c)));
+  // De Morgan via subtraction: a - b == a & (a ^ (a & b)).
+  Bitset lhs = a;
+  lhs.Subtract(b);
+  EXPECT_TRUE(lhs == (a & (a ^ (a & b))));
+  // Jaccard symmetry and bounds.
+  double j = a.Jaccard(b);
+  EXPECT_DOUBLE_EQ(j, b.Jaccard(a));
+  EXPECT_GE(j, 0.0);
+  EXPECT_LE(j, 1.0);
+  // Subset implies intersect == own count.
+  Bitset sub = a & b;
+  EXPECT_TRUE(sub.IsSubsetOf(a));
+  EXPECT_EQ(sub.IntersectCount(a), sub.Count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitsetPropertyTest,
+                         ::testing::Values(1, 7, 63, 64, 65, 127, 128, 129,
+                                           1000, 4096));
+
+}  // namespace
+}  // namespace vexus

@@ -1,0 +1,129 @@
+#include "common/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace vexus {
+namespace {
+
+std::vector<std::vector<std::string>> ReadAll(const std::string& text,
+                                              bool has_header = true) {
+  CsvReader::Options opt;
+  opt.has_header = has_header;
+  auto rows = ParseCsvString(text, opt);
+  EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+  return rows.ok() ? rows.ValueOrDie()
+                   : std::vector<std::vector<std::string>>{};
+}
+
+TEST(CsvReaderTest, HeaderAndRows) {
+  std::istringstream in("a,b,c\n1,2,3\n4,5,6\n");
+  CsvReader reader(&in);
+  EXPECT_EQ(reader.header(), (std::vector<std::string>{"a", "b", "c"}));
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader.Next(&row));
+  EXPECT_EQ(row, (std::vector<std::string>{"1", "2", "3"}));
+  ASSERT_TRUE(reader.Next(&row));
+  EXPECT_EQ(row, (std::vector<std::string>{"4", "5", "6"}));
+  EXPECT_FALSE(reader.Next(&row));
+  EXPECT_TRUE(reader.status().ok());
+}
+
+TEST(CsvReaderTest, NoHeaderMode) {
+  auto rows = ReadAll("1,2\n3,4\n", /*has_header=*/false);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvReaderTest, MissingTrailingNewline) {
+  auto rows = ReadAll("h\nlast");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "last");
+}
+
+TEST(CsvReaderTest, QuotedFieldWithSeparator) {
+  auto rows = ReadAll("h1,h2\n\"a,b\",c\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a,b", "c"}));
+}
+
+TEST(CsvReaderTest, DoubledQuoteInsideQuoted) {
+  auto rows = ReadAll("h\n\"say \"\"hi\"\"\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "say \"hi\"");
+}
+
+TEST(CsvReaderTest, EmbeddedNewlineInQuoted) {
+  auto rows = ReadAll("h\n\"line1\nline2\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "line1\nline2");
+}
+
+TEST(CsvReaderTest, CrLfLineEndings) {
+  auto rows = ReadAll("a,b\r\n1,2\r\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvReaderTest, EmptyFields) {
+  auto rows = ReadAll("a,b,c\n,,\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvReaderTest, UnterminatedQuoteIsCorruption) {
+  std::istringstream in("h\n\"oops\n");
+  CsvReader reader(&in);
+  std::vector<std::string> row;
+  EXPECT_FALSE(reader.Next(&row));
+  EXPECT_TRUE(reader.status().IsCorruption());
+}
+
+TEST(CsvReaderTest, EmptyInput) {
+  std::istringstream in("");
+  CsvReader reader(&in);
+  EXPECT_TRUE(reader.header().empty());
+  std::vector<std::string> row;
+  EXPECT_FALSE(reader.Next(&row));
+  EXPECT_TRUE(reader.status().ok());
+}
+
+TEST(CsvReaderTest, CustomSeparator) {
+  CsvReader::Options opt;
+  opt.separator = ';';
+  auto rows = ParseCsvString("a;b\n1;2\n", opt);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvWriterTest, MinimalQuoting) {
+  std::ostringstream out;
+  CsvWriter w(&out);
+  w.WriteRow({"plain", "with,comma", "with\"quote", "with\nnewline"});
+  EXPECT_EQ(out.str(),
+            "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST(CsvWriterTest, RoundTripThroughReader) {
+  std::ostringstream out;
+  CsvWriter w(&out);
+  w.WriteRow({"h1", "h2"});
+  w.WriteRow({"a,b", "say \"hi\"\nok"});
+  auto rows = ReadAll(out.str());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a,b", "say \"hi\"\nok"}));
+}
+
+TEST(CsvReaderTest, LineNumbersAdvance) {
+  std::istringstream in("h\nr1\nr2\n");
+  CsvReader reader(&in);
+  std::vector<std::string> row;
+  reader.Next(&row);
+  EXPECT_EQ(reader.line_number(), 2u);
+  reader.Next(&row);
+  EXPECT_EQ(reader.line_number(), 3u);
+}
+
+}  // namespace
+}  // namespace vexus

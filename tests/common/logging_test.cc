@@ -1,0 +1,74 @@
+#include "common/logging.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vexus {
+namespace {
+
+std::vector<std::pair<LogLevel, std::string>>* Captured() {
+  static auto* v = new std::vector<std::pair<LogLevel, std::string>>();
+  return v;
+}
+
+void CaptureSink(LogLevel level, const std::string& line) {
+  Captured()->emplace_back(level, line);
+}
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Captured()->clear();
+    SetLogSink(&CaptureSink);
+    SetLogLevel(LogLevel::kDebug);
+  }
+  void TearDown() override {
+    SetLogSink(nullptr);
+    SetLogLevel(LogLevel::kInfo);
+  }
+};
+
+TEST_F(LoggingTest, EmitsFormattedLine) {
+  VEXUS_LOG(Info) << "hello " << 42;
+  ASSERT_EQ(Captured()->size(), 1u);
+  EXPECT_EQ(Captured()->front().first, LogLevel::kInfo);
+  const std::string& line = Captured()->front().second;
+  EXPECT_NE(line.find("hello 42"), std::string::npos);
+  EXPECT_NE(line.find("INFO"), std::string::npos);
+  EXPECT_NE(line.find("logging_test.cc"), std::string::npos);
+}
+
+TEST_F(LoggingTest, RespectsMinimumLevel) {
+  SetLogLevel(LogLevel::kWarning);
+  VEXUS_LOG(Debug) << "quiet";
+  VEXUS_LOG(Info) << "quiet too";
+  VEXUS_LOG(Warning) << "loud";
+  ASSERT_EQ(Captured()->size(), 1u);
+  EXPECT_EQ(Captured()->front().first, LogLevel::kWarning);
+}
+
+TEST_F(LoggingTest, GetLogLevelRoundTrips) {
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, CheckPassesOnTrueCondition) {
+  VEXUS_CHECK(1 + 1 == 2) << "never evaluated";
+  EXPECT_TRUE(Captured()->empty());
+}
+
+TEST_F(LoggingTest, DcheckPassesOnTrueCondition) {
+  VEXUS_DCHECK(true) << "never";
+  SUCCEED();
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(LoggingDeathTest, CheckAbortsOnFalse) {
+  ASSERT_DEATH({ VEXUS_CHECK(false) << "boom"; }, "Check failed");
+}
+#endif
+
+}  // namespace
+}  // namespace vexus

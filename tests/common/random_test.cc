@@ -1,0 +1,244 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace vexus {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123, 5);
+  Rng b(123, 5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU32(), b.NextU32());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU32() == b.NextU32());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, DifferentStreamsDiffer) {
+  Rng a(7, 1), b(7, 2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU32() == b.NextU32());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformU32RespectsBound) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformU32(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformU32CoversAllResidues) {
+  Rng rng(11);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.UniformU32(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformU32IsApproximatelyUniform) {
+  Rng rng(13);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.UniformU32(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(17);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMeanIsHalf) {
+  Rng rng(23);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(31);
+  int hits = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(37);
+  double sum = 0, sum2 = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    double v = rng.Normal(10.0, 2.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  double mean = sum / kN;
+  double var = sum2 / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanIsInverseRate) {
+  Rng rng(41);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(43);
+  std::vector<double> w = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kN), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kN), 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kN), 0.6, 0.02);
+}
+
+TEST(RngTest, CategoricalWithZeroWeights) {
+  Rng rng(47);
+  std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Categorical(w), 1u);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(53);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(59);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {9};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{9});
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(61);
+  auto s = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(s.size(), 30u);
+  std::set<uint32_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (uint32_t v : s) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementAllWhenKExceedsN) {
+  Rng rng(67);
+  auto s = rng.SampleWithoutReplacement(5, 10);
+  EXPECT_EQ(s.size(), 5u);
+  std::set<uint32_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 5u);
+}
+
+TEST(RngTest, SampleLargeFractionPath) {
+  Rng rng(71);
+  auto s = rng.SampleWithoutReplacement(10, 8);  // k*4 >= n path
+  std::set<uint32_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 8u);
+}
+
+TEST(ZipfTest, UniformWhenExponentZero) {
+  Rng rng(73);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[zipf.Sample(&rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kN / 10, kN / 10 * 0.1);
+  }
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  Rng rng(79);
+  ZipfSampler zipf(1000, 1.0);
+  std::vector<int> counts(1000, 0);
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) ++counts[zipf.Sample(&rng)];
+  // Rank 0 should dominate rank 99 by roughly 100x under s=1.
+  EXPECT_GT(counts[0], counts[99] * 20);
+  // Head (top 1%) should hold a large share.
+  long head = 0;
+  for (int i = 0; i < 10; ++i) head += counts[i];
+  EXPECT_GT(head, kN / 5);
+}
+
+TEST(ZipfTest, SingleElement) {
+  Rng rng(83);
+  ZipfSampler zipf(1, 2.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(&rng), 0u);
+}
+
+TEST(ZipfTest, SamplesWithinRange) {
+  Rng rng(89);
+  ZipfSampler zipf(37, 1.5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Sample(&rng), 37u);
+}
+
+TEST(SplitMix64Test, DeterministicSequence) {
+  uint64_t s1 = 99, s2 = 99;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(SplitMix64(&s1), SplitMix64(&s2));
+  }
+}
+
+TEST(SplitMix64Test, AdvancesState) {
+  uint64_t s = 5;
+  uint64_t a = SplitMix64(&s);
+  uint64_t b = SplitMix64(&s);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace vexus

@@ -1,0 +1,95 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace vexus {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorFactoriesSetCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, EachPredicateMatchesOnlyItsCode) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+
+  EXPECT_FALSE(Status::NotFound("x").IsInvalidArgument());
+  EXPECT_FALSE(Status::IOError("x").IsCorruption());
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::IOError("disk full").WithContext("writing index");
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(s.message(), "writing index: disk full");
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  Status s = Status::OK().WithContext("ctx");
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Corruption("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, CodeToStringCoversAllCodes) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument),
+            "InvalidArgument");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kAlreadyExists), "AlreadyExists");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+            "FailedPrecondition");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotSupported), "NotSupported");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kAborted), "Aborted");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnknown), "Unknown");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    VEXUS_RETURN_NOT_OK(Status::Corruption("inner"));
+    return Status::OK();
+  };
+  auto succeeds = []() -> Status {
+    VEXUS_RETURN_NOT_OK(Status::OK());
+    return Status::NotFound("after");
+  };
+  EXPECT_TRUE(fails().IsCorruption());
+  EXPECT_TRUE(succeeds().IsNotFound());
+}
+
+}  // namespace
+}  // namespace vexus

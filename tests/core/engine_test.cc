@@ -1,0 +1,122 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators/bookcrossing_gen.h"
+#include "data/generators/dbauthors_gen.h"
+
+namespace vexus::core {
+namespace {
+
+data::Dataset SmallBx(uint32_t users = 500) {
+  data::BookCrossingGenerator::Config cfg;
+  cfg.num_users = users;
+  cfg.num_books = 600;
+  cfg.num_ratings = 3000;
+  return data::BookCrossingGenerator::Generate(cfg);
+}
+
+TEST(EngineTest, PreprocessBuildsAllStructures) {
+  mining::DiscoveryOptions opt;
+  opt.min_support_fraction = 0.03;
+  auto engine = VexusEngine::Preprocess(SmallBx(), opt, {});
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_GT(engine->groups().size(), 10u);
+  EXPECT_EQ(engine->index().num_groups(), engine->groups().size());
+  EXPECT_EQ(engine->graph().num_nodes(), engine->groups().size());
+  EXPECT_EQ(engine->dataset().num_users(), 500u);
+  EXPECT_GT(engine->catalog().size(), 0u);
+}
+
+TEST(EngineTest, RootGroupFound) {
+  mining::DiscoveryOptions opt;
+  opt.min_support_fraction = 0.03;
+  auto engine = VexusEngine::Preprocess(SmallBx(), opt, {});
+  ASSERT_TRUE(engine.ok());
+  auto root = engine->RootGroup();
+  ASSERT_TRUE(root.has_value());
+  EXPECT_EQ(engine->groups().group(*root).size(), 500u);
+}
+
+TEST(EngineTest, RootAbsentWhenDisabled) {
+  mining::DiscoveryOptions opt;
+  opt.min_support_fraction = 0.03;
+  opt.emit_root = false;
+  auto engine = VexusEngine::Preprocess(SmallBx(), opt, {});
+  ASSERT_TRUE(engine.ok());
+  EXPECT_FALSE(engine->RootGroup().has_value());
+}
+
+TEST(EngineTest, FailsOnEmptyDataset) {
+  data::Dataset empty;
+  auto engine = VexusEngine::Preprocess(std::move(empty), {}, {});
+  EXPECT_FALSE(engine.ok());
+}
+
+TEST(EngineTest, FailsWhenNoGroupsSurviveSupport) {
+  mining::DiscoveryOptions opt;
+  opt.min_support_fraction = 2.0;  // impossible threshold (> all users)
+  opt.emit_root = false;
+  auto engine = VexusEngine::Preprocess(SmallBx(100), opt, {});
+  EXPECT_FALSE(engine.ok());
+  EXPECT_TRUE(engine.status().IsFailedPrecondition());
+}
+
+TEST(EngineTest, SessionsAreIndependent) {
+  mining::DiscoveryOptions opt;
+  opt.min_support_fraction = 0.03;
+  auto engine = VexusEngine::Preprocess(SmallBx(), opt, {});
+  ASSERT_TRUE(engine.ok());
+  auto s1 = engine->CreateSession({});
+  auto s2 = engine->CreateSession({});
+  const auto& first1 = s1->Start();
+  s2->Start();
+  s1->SelectGroup(first1.groups[0]);
+  EXPECT_EQ(s1->NumSteps(), 2u);
+  EXPECT_EQ(s2->NumSteps(), 1u);
+  EXPECT_TRUE(s2->feedback().Empty());
+  EXPECT_FALSE(s1->feedback().Empty());
+}
+
+TEST(EngineTest, SummaryContainsKeyFigures) {
+  mining::DiscoveryOptions opt;
+  opt.min_support_fraction = 0.03;
+  auto engine = VexusEngine::Preprocess(SmallBx(), opt, {});
+  ASSERT_TRUE(engine.ok());
+  std::string s = engine->Summary();
+  EXPECT_NE(s.find("groups:"), std::string::npos);
+  EXPECT_NE(s.find("index:"), std::string::npos);
+  EXPECT_NE(s.find("graph:"), std::string::npos);
+}
+
+TEST(EngineTest, WorksOnDbAuthors) {
+  data::DbAuthorsGenerator::Config cfg;
+  cfg.num_authors = 500;
+  mining::DiscoveryOptions opt;
+  opt.min_support_fraction = 0.04;
+  auto engine = VexusEngine::Preprocess(
+      data::DbAuthorsGenerator::Generate(cfg), opt, {});
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  auto session = engine->CreateSession({});
+  const auto& first = session->Start();
+  EXPECT_FALSE(first.groups.empty());
+}
+
+TEST(EngineTest, IndexOptionsPropagate) {
+  mining::DiscoveryOptions opt;
+  opt.min_support_fraction = 0.03;
+  index::InvertedIndex::Options ten_pct;
+  ten_pct.materialization_fraction = 0.10;
+  ten_pct.min_neighbors = 1;
+  index::InvertedIndex::Options full;
+  full.materialization_fraction = 1.0;
+  full.min_neighbors = 1;
+  auto small = VexusEngine::Preprocess(SmallBx(), opt, ten_pct);
+  auto big = VexusEngine::Preprocess(SmallBx(), opt, full);
+  ASSERT_TRUE(small.ok() && big.ok());
+  EXPECT_LT(small->index().build_stats().postings,
+            big->index().build_stats().postings);
+}
+
+}  // namespace
+}  // namespace vexus::core

@@ -1,0 +1,98 @@
+#include "core/quality.h"
+
+#include <gtest/gtest.h>
+
+namespace vexus::core {
+namespace {
+
+using mining::GroupId;
+using mining::GroupStore;
+using mining::UserGroup;
+
+GroupStore MakeStore() {
+  GroupStore store(100);
+  auto range = [](uint32_t lo, uint32_t hi) {
+    std::vector<uint32_t> v;
+    for (uint32_t i = lo; i < hi; ++i) v.push_back(i);
+    return Bitset::FromVector(100, v);
+  };
+  store.Add(UserGroup({{0, 0}}, range(0, 50)));    // g0
+  store.Add(UserGroup({{0, 1}}, range(50, 100)));  // g1, disjoint from g0
+  store.Add(UserGroup({{0, 2}}, range(0, 25)));    // g2 ⊂ g0
+  store.Add(UserGroup({{0, 3}}, range(0, 100)));   // g3 = everyone
+  return store;
+}
+
+TEST(DiversityTest, SingletonAndEmptyAreMaximallyDiverse) {
+  GroupStore store = MakeStore();
+  EXPECT_DOUBLE_EQ(Diversity(store, {}), 1.0);
+  EXPECT_DOUBLE_EQ(Diversity(store, {0}), 1.0);
+}
+
+TEST(DiversityTest, DisjointPairIsFullyDiverse) {
+  GroupStore store = MakeStore();
+  EXPECT_DOUBLE_EQ(Diversity(store, {0, 1}), 1.0);
+}
+
+TEST(DiversityTest, OverlapReducesDiversity) {
+  GroupStore store = MakeStore();
+  // J(g0,g2) = 25/50 = 0.5.
+  EXPECT_DOUBLE_EQ(Diversity(store, {0, 2}), 0.5);
+  // Identical groups: diversity 0.
+  EXPECT_DOUBLE_EQ(Diversity(store, {0, 0}), 0.0);
+}
+
+TEST(DiversityTest, MeanOverAllPairs) {
+  GroupStore store = MakeStore();
+  // Pairs: (0,1)=0, (0,2)=0.5, (1,2)=0 -> mean sim 1/6.
+  EXPECT_NEAR(Diversity(store, {0, 1, 2}), 1.0 - 1.0 / 6.0, 1e-12);
+}
+
+TEST(CoverageTest, WholeUniverseWithoutAnchor) {
+  GroupStore store = MakeStore();
+  EXPECT_DOUBLE_EQ(Coverage(store, {0}, std::nullopt), 0.5);
+  EXPECT_DOUBLE_EQ(Coverage(store, {0, 1}, std::nullopt), 1.0);
+  EXPECT_DOUBLE_EQ(Coverage(store, {2}, std::nullopt), 0.25);
+  EXPECT_DOUBLE_EQ(Coverage(store, {}, std::nullopt), 0.0);
+}
+
+TEST(CoverageTest, UnionNotSum) {
+  GroupStore store = MakeStore();
+  // g0 ∪ g2 = g0 (g2 is a subset).
+  EXPECT_DOUBLE_EQ(Coverage(store, {0, 2}, std::nullopt), 0.5);
+}
+
+TEST(CoverageTest, RelativeToAnchor) {
+  GroupStore store = MakeStore();
+  // Anchor g0 = [0,50). g2 covers 25 of its 50 members.
+  EXPECT_DOUBLE_EQ(Coverage(store, {2}, GroupId{0}), 0.5);
+  // g1 is disjoint from g0.
+  EXPECT_DOUBLE_EQ(Coverage(store, {1}, GroupId{0}), 0.0);
+  // g3 ⊇ g0.
+  EXPECT_DOUBLE_EQ(Coverage(store, {3}, GroupId{0}), 1.0);
+}
+
+TEST(EvaluateTest, CombinesWithLambda) {
+  GroupStore store = MakeStore();
+  QualityScore q = Evaluate(store, {0, 1}, std::nullopt, 0.5);
+  EXPECT_DOUBLE_EQ(q.coverage, 1.0);
+  EXPECT_DOUBLE_EQ(q.diversity, 1.0);
+  EXPECT_DOUBLE_EQ(q.objective, 1.0);
+
+  QualityScore cov_only = Evaluate(store, {0, 2}, std::nullopt, 1.0);
+  EXPECT_DOUBLE_EQ(cov_only.objective, 0.5);  // pure coverage
+  QualityScore div_only = Evaluate(store, {0, 2}, std::nullopt, 0.0);
+  EXPECT_DOUBLE_EQ(div_only.objective, 0.5);  // pure diversity (J=0.5)
+}
+
+TEST(EvaluateTest, LambdaInterpolates) {
+  GroupStore store = MakeStore();
+  for (double lambda : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    QualityScore q = Evaluate(store, {0, 2}, std::nullopt, lambda);
+    EXPECT_NEAR(q.objective,
+                lambda * q.coverage + (1 - lambda) * q.diversity, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace vexus::core

@@ -1,0 +1,202 @@
+#include "core/simulated_explorer.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "data/generators/bookcrossing_gen.h"
+#include "data/generators/dbauthors_gen.h"
+
+namespace vexus::core {
+namespace {
+
+class SimulatedExplorerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::DbAuthorsGenerator::Config cfg;
+    cfg.num_authors = 800;
+    cfg.seed = 5;
+    mining::DiscoveryOptions opt;
+    opt.min_support_fraction = 0.02;
+    opt.max_description = 3;
+    engine_ = new VexusEngine(std::move(
+        VexusEngine::Preprocess(data::DbAuthorsGenerator::Generate(cfg), opt,
+                                {})
+            .ValueOrDie()));
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    engine_ = nullptr;
+  }
+
+  /// Users with a given attribute value, as a target bitset.
+  Bitset UsersWith(const std::string& attr, const std::string& value) {
+    const data::Dataset& ds = engine_->dataset();
+    auto a = *ds.schema().Find(attr);
+    auto v = ds.schema().attribute(a).values().Find(value);
+    EXPECT_TRUE(v.has_value()) << attr << "=" << value;
+    return ds.users().UsersWithValue(a, *v);
+  }
+
+  static VexusEngine* engine_;
+};
+
+VexusEngine* SimulatedExplorerTest::engine_ = nullptr;
+
+TEST_F(SimulatedExplorerTest, MultiTargetCollectsUsers) {
+  auto session = engine_->CreateSession({});
+  Bitset targets = UsersWith("seniority", "very senior");
+  ASSERT_GT(targets.Count(), 0u);
+  SimulatedExplorer::Options opt;
+  opt.max_iterations = 25;
+  opt.mt_quota = 10;
+  opt.mt_inspectable_size = 100;
+  SimulatedExplorer explorer(opt);
+  auto outcome = explorer.RunMultiTarget(session.get(), targets);
+  EXPECT_GT(outcome.goal_quality, 0.0);
+  EXPECT_GT(session->memo().users.size(), 0u);
+  // Every bookmarked user is a genuine target.
+  for (data::UserId u : session->memo().users) {
+    EXPECT_TRUE(targets.Test(u));
+  }
+}
+
+TEST_F(SimulatedExplorerTest, MultiTargetEmptyTargetsSucceedTrivially) {
+  auto session = engine_->CreateSession({});
+  SimulatedExplorer explorer(SimulatedExplorer::Options{});
+  auto outcome = explorer.RunMultiTarget(session.get(),
+                                         Bitset(engine_->dataset().num_users()));
+  EXPECT_TRUE(outcome.reached_goal);
+  EXPECT_DOUBLE_EQ(outcome.goal_quality, 1.0);
+  EXPECT_EQ(outcome.iterations, 0u);
+}
+
+TEST_F(SimulatedExplorerTest, MultiTargetRespectsIterationCap) {
+  auto session = engine_->CreateSession({});
+  Bitset targets = UsersWith("gender", "female");
+  SimulatedExplorer::Options opt;
+  opt.max_iterations = 3;
+  opt.mt_quota = 0;  // all of them — unreachable in 3 steps
+  opt.mt_inspectable_size = 5;
+  SimulatedExplorer explorer(opt);
+  auto outcome = explorer.RunMultiTarget(session.get(), targets);
+  EXPECT_LE(outcome.iterations, 3u);
+}
+
+TEST_F(SimulatedExplorerTest, SingleTargetApproachesHiddenGroup) {
+  auto session = engine_->CreateSession({});
+  // Hidden target: one of the discovered groups (so it is reachable).
+  const mining::GroupStore& store = engine_->groups();
+  mining::GroupId target = 0;
+  for (mining::GroupId g = 0; g < store.size(); ++g) {
+    size_t sz = store.group(g).size();
+    if (sz > 20 && sz < 200 && store.group(g).description().size() >= 2) {
+      target = g;
+      break;
+    }
+  }
+  SimulatedExplorer::Options opt;
+  opt.max_iterations = 20;
+  opt.st_success_similarity = 0.7;
+  SimulatedExplorer explorer(opt);
+  auto outcome =
+      explorer.RunSingleTarget(session.get(), store.group(target).members());
+  EXPECT_GT(outcome.goal_quality, 0.1);
+  EXPECT_GT(outcome.iterations, 0u);
+}
+
+TEST_F(SimulatedExplorerTest, SingleTargetStopsOnSuccess) {
+  auto session = engine_->CreateSession({});
+  const mining::GroupStore& store = engine_->groups();
+  // Use a large group reachable from the initial screen.
+  mining::GroupId big = 0;
+  for (mining::GroupId g = 0; g < store.size(); ++g) {
+    if (!store.group(g).description().empty() &&
+        store.group(g).size() > store.group(big).size()) {
+      big = g;
+    }
+  }
+  SimulatedExplorer::Options opt;
+  opt.max_iterations = 30;
+  opt.st_success_similarity = 0.99;
+  SimulatedExplorer explorer(opt);
+  auto outcome =
+      explorer.RunSingleTarget(session.get(), store.group(big).members());
+  if (outcome.reached_goal) {
+    EXPECT_EQ(session->memo().groups.size(), 1u);
+    EXPECT_GE(outcome.goal_quality, 0.99);
+  }
+  EXPECT_LE(outcome.iterations, 30u);
+}
+
+TEST_F(SimulatedExplorerTest, MemorylessNeverBeatsMemoryful) {
+  // The visited-set is the explorer's own anti-cycling device; removing it
+  // (the paper's "random walk" contrast) cannot improve the outcome.
+  const mining::GroupStore& store = engine_->groups();
+  mining::GroupId target = 0;
+  for (mining::GroupId g = 0; g < store.size(); ++g) {
+    if (store.group(g).size() > 30 && store.group(g).size() < 150) {
+      target = g;
+      break;
+    }
+  }
+  SimulatedExplorer::Options with_memory;
+  with_memory.max_iterations = 15;
+  with_memory.st_success_similarity = 0.7;
+  SimulatedExplorer::Options without = with_memory;
+  without.memoryless = true;
+
+  auto s1 = engine_->CreateSession({});
+  auto q1 = SimulatedExplorer(with_memory)
+                .RunSingleTarget(s1.get(), store.group(target).members())
+                .goal_quality;
+  auto s2 = engine_->CreateSession({});
+  auto q2 = SimulatedExplorer(without)
+                .RunSingleTarget(s2.get(), store.group(target).members())
+                .goal_quality;
+  EXPECT_GE(q1 + 1e-9, q2);
+}
+
+TEST_F(SimulatedExplorerTest, MultiTargetDoesNotReclickGroups) {
+  auto session = engine_->CreateSession({});
+  Bitset targets = UsersWith("topic", "web search");
+  SimulatedExplorer::Options opt;
+  opt.max_iterations = 20;
+  opt.mt_quota = 0;  // run the full budget
+  opt.mt_inspectable_size = 10;  // nothing inspectable -> no early stop
+  SimulatedExplorer explorer(opt);
+  explorer.RunMultiTarget(session.get(), targets);
+  // Selected anchors along the (possibly backtracked) history are distinct.
+  std::set<mining::GroupId> clicked;
+  for (size_t s = 1; s < session->NumSteps(); ++s) {
+    auto sel = session->Step(s).selected;
+    ASSERT_TRUE(sel.has_value());
+    EXPECT_TRUE(clicked.insert(*sel).second) << "group re-clicked";
+  }
+}
+
+TEST_F(SimulatedExplorerTest, LatencyAccumulates) {
+  auto session = engine_->CreateSession({});
+  Bitset targets = UsersWith("country", "france");
+  SimulatedExplorer::Options opt;
+  opt.max_iterations = 5;
+  opt.mt_quota = 3;
+  SimulatedExplorer explorer(opt);
+  auto outcome = explorer.RunMultiTarget(session.get(), targets);
+  EXPECT_GE(outcome.total_latency_ms, 0.0);
+}
+
+TEST_F(SimulatedExplorerTest, FinalGroupsMatchSessionScreen) {
+  auto session = engine_->CreateSession({});
+  Bitset targets = UsersWith("topic", "data management");
+  SimulatedExplorer::Options opt;
+  opt.max_iterations = 8;
+  opt.mt_quota = 5;
+  SimulatedExplorer explorer(opt);
+  auto outcome = explorer.RunMultiTarget(session.get(), targets);
+  EXPECT_EQ(outcome.final_groups, session->Current().groups);
+}
+
+}  // namespace
+}  // namespace vexus::core

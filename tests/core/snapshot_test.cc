@@ -1,0 +1,156 @@
+#include "core/snapshot.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "data/generators/bookcrossing_gen.h"
+#include "mining/discovery.h"
+
+namespace vexus::core {
+namespace {
+
+struct SnapshotWorld {
+  SnapshotWorld() {
+    data::BookCrossingGenerator::Config cfg;
+    cfg.num_users = 300;
+    cfg.num_books = 300;
+    cfg.num_ratings = 1800;
+    dataset = data::BookCrossingGenerator::Generate(cfg);
+    mining::DiscoveryOptions dopt;
+    dopt.min_support_fraction = 0.05;
+    auto d = mining::DiscoverGroups(dataset, dopt);
+    EXPECT_TRUE(d.ok());
+    discovery = std::make_unique<mining::DiscoveryResult>(
+        std::move(d).ValueOrDie());
+    index::InvertedIndex::Options iopt;
+    iopt.materialization_fraction = 0.25;
+    auto idx = index::InvertedIndex::Build(discovery->groups, iopt);
+    EXPECT_TRUE(idx.ok());
+    index = std::make_unique<index::InvertedIndex>(std::move(idx).ValueOrDie());
+  }
+
+  std::string TempPath(const char* name) const {
+    return ::testing::TempDir() + "/vexus_snapshot_" + name + ".bin";
+  }
+
+  data::Dataset dataset;
+  std::unique_ptr<mining::DiscoveryResult> discovery;
+  std::unique_ptr<index::InvertedIndex> index;
+};
+
+TEST(SnapshotTest, RoundTripPreservesEverything) {
+  SnapshotWorld w;
+  std::string path = w.TempPath("roundtrip");
+  ASSERT_TRUE(SaveSnapshot(w.discovery->groups, *w.index, path).ok());
+
+  auto loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const mining::GroupStore& a = w.discovery->groups;
+  const mining::GroupStore& b = loaded->groups;
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.num_users(), b.num_users());
+  for (mining::GroupId g = 0; g < a.size(); ++g) {
+    EXPECT_TRUE(a.group(g).description() == b.group(g).description());
+    EXPECT_TRUE(a.group(g).members() == b.group(g).members());
+  }
+  ASSERT_EQ(w.index->num_groups(), loaded->index.num_groups());
+  for (mining::GroupId g = 0; g < a.size(); ++g) {
+    const auto& la = w.index->Neighbors(g);
+    const auto& lb = loaded->index.Neighbors(g);
+    ASSERT_EQ(la.size(), lb.size());
+    for (size_t i = 0; i < la.size(); ++i) {
+      EXPECT_EQ(la[i].group, lb[i].group);
+      EXPECT_FLOAT_EQ(la[i].similarity, lb[i].similarity);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, LoadedSnapshotServesSessions) {
+  SnapshotWorld w;
+  std::string path = w.TempPath("sessions");
+  ASSERT_TRUE(SaveSnapshot(w.discovery->groups, *w.index, path).ok());
+  auto loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok());
+
+  ExplorationSession session(&w.dataset, &loaded->groups, &loaded->index,
+                             {});
+  const auto& shown = session.Start();
+  EXPECT_FALSE(shown.groups.empty());
+  session.SelectGroup(shown.groups.front());
+  EXPECT_EQ(session.NumSteps(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, MissingFileIsIOError) {
+  auto r = LoadSnapshot("/nonexistent_dir_zzz/x.bin");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+}
+
+TEST(SnapshotTest, BadMagicIsCorruption) {
+  SnapshotWorld w;
+  std::string path = w.TempPath("badmagic");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPEnot a snapshot at all";
+  }
+  auto r = LoadSnapshot(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, TruncationIsCorruption) {
+  SnapshotWorld w;
+  std::string path = w.TempPath("trunc");
+  ASSERT_TRUE(SaveSnapshot(w.discovery->groups, *w.index, path).ok());
+  // Chop the file at several prefixes; every cut must fail cleanly.
+  std::ifstream in(path, std::ios::binary);
+  std::string full((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  for (size_t cut : {size_t{2}, size_t{6}, size_t{20}, full.size() / 2,
+                     full.size() - 3}) {
+    std::string cut_path = w.TempPath("cut");
+    {
+      std::ofstream out(cut_path, std::ios::binary);
+      out.write(full.data(), static_cast<std::streamsize>(cut));
+    }
+    auto r = LoadSnapshot(cut_path);
+    EXPECT_FALSE(r.ok()) << "cut at " << cut;
+    EXPECT_TRUE(r.status().IsCorruption()) << "cut at " << cut;
+    std::remove(cut_path.c_str());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, FutureVersionIsNotSupported) {
+  SnapshotWorld w;
+  std::string path = w.TempPath("version");
+  ASSERT_TRUE(SaveSnapshot(w.discovery->groups, *w.index, path).ok());
+  // Bump the version field (bytes 4..7).
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(4);
+  char v99[4] = {99, 0, 0, 0};
+  f.write(v99, 4);
+  f.close();
+  auto r = LoadSnapshot(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotSupported());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, MismatchedInputsRejected) {
+  SnapshotWorld w;
+  mining::GroupStore other(w.discovery->groups.num_users());
+  Status s = SaveSnapshot(other, *w.index, w.TempPath("mismatch"));
+  EXPECT_TRUE(s.IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace vexus::core

@@ -1,0 +1,107 @@
+#include "data/action_table.h"
+
+#include <gtest/gtest.h>
+
+namespace vexus::data {
+namespace {
+
+TEST(ActionTableTest, AddItemIdempotent) {
+  ActionTable t;
+  ItemId a = t.AddItem("book1");
+  EXPECT_EQ(t.AddItem("book1"), a);
+  EXPECT_EQ(t.num_items(), 1u);
+  EXPECT_EQ(t.ItemName(a), "book1");
+}
+
+TEST(ActionTableTest, FindItem) {
+  ActionTable t;
+  ItemId a = t.AddItem("x");
+  EXPECT_EQ(t.FindItem("x"), a);
+  EXPECT_FALSE(t.FindItem("y").has_value());
+}
+
+TEST(ActionTableTest, CategoriesAttachToItems) {
+  ActionTable t;
+  ItemId a = t.AddItem("b1", "fiction");
+  ItemId b = t.AddItem("b2");
+  EXPECT_EQ(t.categories().size(), 1u);
+  EXPECT_EQ(t.ItemCategory(a), 0u);
+  EXPECT_EQ(t.ItemCategory(b), kNullValue);
+}
+
+TEST(ActionTableTest, CategoryCanBeSetOnReAdd) {
+  ActionTable t;
+  ItemId a = t.AddItem("b1");
+  EXPECT_EQ(t.ItemCategory(a), kNullValue);
+  EXPECT_EQ(t.AddItem("b1", "thriller"), a);
+  EXPECT_NE(t.ItemCategory(a), kNullValue);
+}
+
+TEST(ActionTableTest, AddActionRecords) {
+  ActionTable t;
+  ItemId i = t.AddItem("b");
+  t.AddAction(3, i, 4.5f);
+  ASSERT_EQ(t.num_actions(), 1u);
+  EXPECT_EQ(t.action(0).user, 3u);
+  EXPECT_EQ(t.action(0).item, i);
+  EXPECT_FLOAT_EQ(t.action(0).value, 4.5f);
+}
+
+TEST(ActionTableTest, DeduplicateKeepLast) {
+  ActionTable t;
+  ItemId i = t.AddItem("b");
+  ItemId j = t.AddItem("c");
+  t.AddAction(1, i, 2.0f);
+  t.AddAction(1, i, 5.0f);  // supersedes
+  t.AddAction(1, j, 3.0f);
+  t.AddAction(2, i, 4.0f);
+  size_t removed = t.DeduplicateKeepLast();
+  EXPECT_EQ(removed, 1u);
+  EXPECT_EQ(t.num_actions(), 3u);
+  // The surviving (1, i) record carries the LAST value.
+  bool found = false;
+  for (const auto& r : t.records()) {
+    if (r.user == 1 && r.item == i) {
+      EXPECT_FLOAT_EQ(r.value, 5.0f);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ActionTableTest, DeduplicateEmptyIsNoop) {
+  ActionTable t;
+  EXPECT_EQ(t.DeduplicateKeepLast(), 0u);
+}
+
+TEST(ActionTableTest, DeduplicateSortsByUserItem) {
+  ActionTable t;
+  ItemId i = t.AddItem("b");
+  ItemId j = t.AddItem("c");
+  t.AddAction(2, j, 1.0f);
+  t.AddAction(1, i, 1.0f);
+  t.DeduplicateKeepLast();
+  EXPECT_EQ(t.action(0).user, 1u);
+  EXPECT_EQ(t.action(1).user, 2u);
+}
+
+TEST(ActionTableTest, ActionCounts) {
+  ActionTable t;
+  ItemId i = t.AddItem("b");
+  t.AddAction(0, i, 1.0f);
+  t.AddAction(0, i, 1.0f);
+  t.AddAction(2, i, 1.0f);
+  auto counts = t.ActionCounts(4);
+  EXPECT_EQ(counts, (std::vector<uint32_t>{2, 0, 1, 0}));
+}
+
+TEST(ActionTableTest, ActionCountsIgnoresOutOfRangeUsers) {
+  ActionTable t;
+  ItemId i = t.AddItem("b");
+  t.AddAction(10, i, 1.0f);
+  auto counts = t.ActionCounts(2);
+  EXPECT_EQ(counts, (std::vector<uint32_t>{0, 0}));
+}
+
+}  // namespace
+}  // namespace vexus::data

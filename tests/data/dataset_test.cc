@@ -1,0 +1,96 @@
+#include "data/dataset.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace vexus::data {
+namespace {
+
+Dataset SmallDataset() {
+  Dataset ds;
+  AttributeId g = ds.schema().AddCategorical("gender");
+  AttributeId age = ds.schema().AddNumeric("age");
+  ds.schema().attribute(age).SetBinEdges({0, 40, 80});
+  UserId a = ds.users().AddUser("alice");
+  UserId b = ds.users().AddUser("bob");
+  ds.users().SetValueByName(a, g, "f");
+  ds.users().SetValueByName(b, g, "m");
+  ds.users().SetNumeric(a, age, 30);
+  ds.users().SetNumeric(b, age, 55);
+  ItemId book = ds.actions().AddItem("dune", "scifi");
+  ds.actions().AddAction(a, book, 5.0f);
+  ds.actions().AddAction(b, book, 3.0f);
+  return ds;
+}
+
+TEST(DatasetTest, CountsAndSummary) {
+  Dataset ds = SmallDataset();
+  EXPECT_EQ(ds.num_users(), 2u);
+  EXPECT_EQ(ds.num_items(), 1u);
+  EXPECT_EQ(ds.num_actions(), 2u);
+  std::string s = ds.Summary();
+  EXPECT_NE(s.find("|U|=2"), std::string::npos);
+  EXPECT_NE(s.find("gender"), std::string::npos);
+}
+
+TEST(DatasetTest, ValidatePassesOnConsistentData) {
+  EXPECT_TRUE(SmallDataset().Validate().ok());
+}
+
+TEST(DatasetTest, ValidateCatchesBadUserReference) {
+  Dataset ds = SmallDataset();
+  ds.actions().AddAction(99, 0, 1.0f);
+  Status s = ds.Validate();
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_NE(s.message().find("unknown user"), std::string::npos);
+}
+
+TEST(DatasetTest, MoveKeepsSchemaWiring) {
+  Dataset ds = SmallDataset();
+  Dataset moved = std::move(ds);
+  // The moved-to dataset's user table must still resolve attributes through
+  // the (pointer-stable) schema.
+  EXPECT_EQ(moved.users().Value(0, 0), 0u);
+  EXPECT_TRUE(moved.Validate().ok());
+  moved.users().SetValueByName(0, 0, "x");
+  EXPECT_EQ(moved.schema().attribute(0).values().size(), 3u);
+}
+
+TEST(DatasetTest, SaveUsersCsvRendersValuesAndNumerics) {
+  Dataset ds = SmallDataset();
+  std::ostringstream out;
+  ds.SaveUsersCsv(&out);
+  std::string text = out.str();
+  EXPECT_NE(text.find("user_id,gender,age"), std::string::npos);
+  EXPECT_NE(text.find("alice,f,30"), std::string::npos);
+  EXPECT_NE(text.find("bob,m,55"), std::string::npos);
+}
+
+TEST(DatasetTest, SaveActionsCsvIncludesCategory) {
+  Dataset ds = SmallDataset();
+  std::ostringstream out;
+  ds.SaveActionsCsv(&out);
+  std::string text = out.str();
+  EXPECT_NE(text.find("user,item,value,category"), std::string::npos);
+  EXPECT_NE(text.find("alice,dune,5,scifi"), std::string::npos);
+}
+
+TEST(DatasetTest, SaveActionsCsvOmitsCategoryColumnWhenUnused) {
+  Dataset ds;
+  ds.users().AddUser("u");
+  ItemId i = ds.actions().AddItem("item");
+  ds.actions().AddAction(0, i, 1.0f);
+  std::ostringstream out;
+  ds.SaveActionsCsv(&out);
+  EXPECT_NE(out.str().find("user,item,value\n"), std::string::npos);
+}
+
+TEST(DatasetTest, EmptyDatasetValidates) {
+  Dataset ds;
+  EXPECT_TRUE(ds.Validate().ok());
+  EXPECT_EQ(ds.num_users(), 0u);
+}
+
+}  // namespace
+}  // namespace vexus::data

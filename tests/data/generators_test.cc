@@ -1,0 +1,213 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/generators/bookcrossing_gen.h"
+#include "data/generators/dbauthors_gen.h"
+
+namespace vexus::data {
+namespace {
+
+BookCrossingGenerator::Config SmallBx() {
+  BookCrossingGenerator::Config c;
+  c.num_users = 500;
+  c.num_books = 800;
+  c.num_ratings = 4000;
+  return c;
+}
+
+TEST(BookCrossingGenTest, RespectsConfiguredCounts) {
+  Dataset ds = BookCrossingGenerator::Generate(SmallBx());
+  EXPECT_EQ(ds.num_users(), 500u);
+  EXPECT_EQ(ds.num_items(), 800u);
+  EXPECT_EQ(ds.num_actions(), 4000u);
+  EXPECT_TRUE(ds.Validate().ok());
+}
+
+TEST(BookCrossingGenTest, DeterministicForSameSeed) {
+  Dataset a = BookCrossingGenerator::Generate(SmallBx());
+  Dataset b = BookCrossingGenerator::Generate(SmallBx());
+  ASSERT_EQ(a.num_actions(), b.num_actions());
+  for (size_t i = 0; i < a.num_actions(); ++i) {
+    EXPECT_EQ(a.actions().action(i).user, b.actions().action(i).user);
+    EXPECT_EQ(a.actions().action(i).item, b.actions().action(i).item);
+    EXPECT_FLOAT_EQ(a.actions().action(i).value, b.actions().action(i).value);
+  }
+}
+
+TEST(BookCrossingGenTest, DifferentSeedsDiffer) {
+  auto cfg = SmallBx();
+  Dataset a = BookCrossingGenerator::Generate(cfg);
+  cfg.seed = 777;
+  Dataset b = BookCrossingGenerator::Generate(cfg);
+  size_t same = 0;
+  for (size_t i = 0; i < a.num_actions(); ++i) {
+    same += a.actions().action(i).user == b.actions().action(i).user;
+  }
+  EXPECT_LT(same, a.num_actions());
+}
+
+TEST(BookCrossingGenTest, SchemaHasExpectedAttributes) {
+  Dataset ds = BookCrossingGenerator::Generate(SmallBx());
+  for (const char* name :
+       {"age", "country", "occupation", "activity", "favorite_genre"}) {
+    EXPECT_TRUE(ds.schema().Find(name).has_value()) << name;
+  }
+}
+
+TEST(BookCrossingGenTest, RatingsInPaperRangeAndSkewedHigh) {
+  Dataset ds = BookCrossingGenerator::Generate(SmallBx());
+  double sum = 0;
+  for (const auto& r : ds.actions().records()) {
+    EXPECT_GE(r.value, 1.0f);
+    EXPECT_LE(r.value, 10.0f);
+    sum += r.value;
+  }
+  // "ranging from 1 to 10 but mostly high"
+  EXPECT_GT(sum / ds.num_actions(), 5.5);
+}
+
+TEST(BookCrossingGenTest, BookPopularityIsSkewed) {
+  Dataset ds = BookCrossingGenerator::Generate(SmallBx());
+  std::vector<size_t> per_book(ds.num_items(), 0);
+  for (const auto& r : ds.actions().records()) ++per_book[r.item];
+  std::sort(per_book.rbegin(), per_book.rend());
+  size_t top_decile = 0, total = 0;
+  for (size_t i = 0; i < per_book.size(); ++i) {
+    total += per_book[i];
+    if (i < per_book.size() / 10) top_decile += per_book[i];
+  }
+  // Top 10% of books should hold well over 10% of ratings.
+  EXPECT_GT(static_cast<double>(top_decile) / total, 0.25);
+}
+
+TEST(BookCrossingGenTest, DemographicsPopulated) {
+  Dataset ds = BookCrossingGenerator::Generate(SmallBx());
+  auto age = *ds.schema().Find("age");
+  auto country = *ds.schema().Find("country");
+  EXPECT_EQ(ds.users().NonNullCount(age), ds.num_users());
+  EXPECT_EQ(ds.users().NonNullCount(country), ds.num_users());
+}
+
+TEST(BookCrossingGenTest, AgesWithinBounds) {
+  Dataset ds = BookCrossingGenerator::Generate(SmallBx());
+  auto age = *ds.schema().Find("age");
+  for (UserId u = 0; u < ds.num_users(); ++u) {
+    double a = ds.users().Numeric(u, age);
+    EXPECT_GE(a, 10.0);
+    EXPECT_LE(a, 95.0);
+  }
+}
+
+TEST(BookCrossingGenTest, PaperScaleConfigHasPaperNumbers) {
+  auto cfg = BookCrossingGenerator::Config::PaperScale();
+  EXPECT_EQ(cfg.num_users, 278858u);
+  EXPECT_EQ(cfg.num_books, 271379u);
+  EXPECT_EQ(cfg.num_ratings, 1000000u);
+}
+
+TEST(DbAuthorsGenTest, RespectsCounts) {
+  DbAuthorsGenerator::Config cfg;
+  cfg.num_authors = 300;
+  Dataset ds = DbAuthorsGenerator::Generate(cfg);
+  EXPECT_EQ(ds.num_users(), 300u);
+  EXPECT_TRUE(ds.Validate().ok());
+  EXPECT_GT(ds.num_actions(), 0u);
+}
+
+TEST(DbAuthorsGenTest, Deterministic) {
+  DbAuthorsGenerator::Config cfg;
+  cfg.num_authors = 200;
+  Dataset a = DbAuthorsGenerator::Generate(cfg);
+  Dataset b = DbAuthorsGenerator::Generate(cfg);
+  ASSERT_EQ(a.num_actions(), b.num_actions());
+  auto g = *a.schema().Find("gender");
+  for (UserId u = 0; u < a.num_users(); ++u) {
+    EXPECT_EQ(a.users().Value(u, g), b.users().Value(u, g));
+  }
+}
+
+TEST(DbAuthorsGenTest, SchemaHasScenarioAttributes) {
+  DbAuthorsGenerator::Config cfg;
+  cfg.num_authors = 100;
+  Dataset ds = DbAuthorsGenerator::Generate(cfg);
+  for (const char* name : {"gender", "seniority", "country", "topic",
+                           "publications", "career_years", "activity"}) {
+    EXPECT_TRUE(ds.schema().Find(name).has_value()) << name;
+  }
+}
+
+TEST(DbAuthorsGenTest, GenderImbalanceMatchesPaperExample) {
+  DbAuthorsGenerator::Config cfg;
+  cfg.num_authors = 3000;
+  Dataset ds = DbAuthorsGenerator::Generate(cfg);
+  auto g = *ds.schema().Find("gender");
+  auto male = ds.schema().attribute(g).values().Find("male");
+  ASSERT_TRUE(male.has_value());
+  size_t males = ds.users().UsersWithValue(g, *male).Count();
+  double frac = static_cast<double>(males) / ds.num_users();
+  // Paper's running example: "62% of its members are male".
+  EXPECT_GT(frac, 0.55);
+  EXPECT_LT(frac, 0.72);
+}
+
+TEST(DbAuthorsGenTest, SeniorityCorrelatesWithPublications) {
+  DbAuthorsGenerator::Config cfg;
+  cfg.num_authors = 2000;
+  Dataset ds = DbAuthorsGenerator::Generate(cfg);
+  auto s = *ds.schema().Find("seniority");
+  auto p = *ds.schema().Find("publications");
+  auto junior = ds.schema().attribute(s).values().Find("junior");
+  auto very_senior = ds.schema().attribute(s).values().Find("very senior");
+  ASSERT_TRUE(junior.has_value() && very_senior.has_value());
+  double jr_sum = 0, vs_sum = 0;
+  size_t jr_n = 0, vs_n = 0;
+  for (UserId u = 0; u < ds.num_users(); ++u) {
+    if (ds.users().Value(u, s) == *junior) {
+      jr_sum += ds.users().Numeric(u, p);
+      ++jr_n;
+    } else if (ds.users().Value(u, s) == *very_senior) {
+      vs_sum += ds.users().Numeric(u, p);
+      ++vs_n;
+    }
+  }
+  ASSERT_GT(jr_n, 0u);
+  ASSERT_GT(vs_n, 0u);
+  EXPECT_GT(vs_sum / vs_n, 3.0 * (jr_sum / jr_n));
+}
+
+TEST(DbAuthorsGenTest, VenuesAreRegisteredItems) {
+  DbAuthorsGenerator::Config cfg;
+  cfg.num_authors = 100;
+  Dataset ds = DbAuthorsGenerator::Generate(cfg);
+  for (const std::string& v : DbAuthorsGenerator::Venues()) {
+    EXPECT_TRUE(ds.actions().FindItem(v).has_value()) << v;
+  }
+  EXPECT_TRUE(ds.actions().FindItem("sigmod").has_value());
+  EXPECT_TRUE(ds.actions().FindItem("cikm").has_value());
+}
+
+TEST(DbAuthorsGenTest, TopicAlignsWithVenues) {
+  DbAuthorsGenerator::Config cfg;
+  cfg.num_authors = 1500;
+  Dataset ds = DbAuthorsGenerator::Generate(cfg);
+  auto t = *ds.schema().Find("topic");
+  auto dm = ds.schema().attribute(t).values().Find("data management");
+  ASSERT_TRUE(dm.has_value());
+  ItemId sigmod = *ds.actions().FindItem("sigmod");
+  ItemId acl = *ds.actions().FindItem("acl");
+  size_t dm_sigmod = 0, dm_acl = 0;
+  for (const auto& r : ds.actions().records()) {
+    if (ds.users().Value(r.user, t) == *dm) {
+      dm_sigmod += (r.item == sigmod);
+      dm_acl += (r.item == acl);
+    }
+  }
+  // Data-management authors publish far more in SIGMOD than in ACL.
+  EXPECT_GT(dm_sigmod, dm_acl * 3);
+}
+
+}  // namespace
+}  // namespace vexus::data

@@ -1,0 +1,56 @@
+#include "data/stream.h"
+
+#include <gtest/gtest.h>
+
+namespace vexus::data {
+namespace {
+
+TEST(VectorStreamTest, DeliversAllRecordsInOrder) {
+  std::vector<ActionRecord> records = {
+      {0, 1, 2.0f}, {1, 2, 3.0f}, {2, 0, 1.0f}};
+  VectorStream stream(records);
+  ActionRecord r;
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(stream.Position(), i);
+    ASSERT_TRUE(stream.Next(&r));
+    EXPECT_EQ(r.user, records[i].user);
+    EXPECT_EQ(r.item, records[i].item);
+    EXPECT_FLOAT_EQ(r.value, records[i].value);
+  }
+  EXPECT_FALSE(stream.Next(&r));
+  EXPECT_EQ(stream.Position(), 3u);
+}
+
+TEST(VectorStreamTest, EmptyStream) {
+  VectorStream stream({});
+  ActionRecord r;
+  EXPECT_FALSE(stream.Next(&r));
+  EXPECT_EQ(stream.Position(), 0u);
+}
+
+TEST(DatasetReplayStreamTest, ReplaysActions) {
+  Dataset ds;
+  ds.users().AddUser("a");
+  ds.users().AddUser("b");
+  ItemId i = ds.actions().AddItem("x");
+  ds.actions().AddAction(0, i, 1.0f);
+  ds.actions().AddAction(1, i, 2.0f);
+
+  DatasetReplayStream stream(&ds);
+  ActionRecord r;
+  ASSERT_TRUE(stream.Next(&r));
+  EXPECT_EQ(r.user, 0u);
+  ASSERT_TRUE(stream.Next(&r));
+  EXPECT_EQ(r.user, 1u);
+  EXPECT_FALSE(stream.Next(&r));
+}
+
+TEST(DatasetReplayStreamTest, EmptyDataset) {
+  Dataset ds;
+  DatasetReplayStream stream(&ds);
+  ActionRecord r;
+  EXPECT_FALSE(stream.Next(&r));
+}
+
+}  // namespace
+}  // namespace vexus::data

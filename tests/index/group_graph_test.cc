@@ -1,0 +1,144 @@
+#include "index/group_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace vexus::index {
+namespace {
+
+using mining::GroupId;
+using mining::GroupStore;
+using mining::UserGroup;
+
+GroupStore TwoComponentStore() {
+  GroupStore store(100);
+  auto range = [](uint32_t lo, uint32_t hi) {
+    std::vector<uint32_t> v;
+    for (uint32_t i = lo; i < hi; ++i) v.push_back(i);
+    return Bitset::FromVector(100, v);
+  };
+  // Component 1: three mutually overlapping groups on [0,40).
+  store.Add(UserGroup({{0, 0}}, range(0, 20)));
+  store.Add(UserGroup({{0, 1}}, range(10, 30)));
+  store.Add(UserGroup({{0, 2}}, range(20, 40)));
+  // Component 2: two overlapping groups on [60,100).
+  store.Add(UserGroup({{0, 3}}, range(60, 80)));
+  store.Add(UserGroup({{0, 4}}, range(70, 100)));
+  return store;
+}
+
+InvertedIndex BuildFull(const GroupStore& store) {
+  InvertedIndex::Options opt;
+  opt.materialization_fraction = 1.0;
+  opt.min_neighbors = 1;
+  auto idx = InvertedIndex::Build(store, opt);
+  EXPECT_TRUE(idx.ok());
+  return std::move(idx).ValueOrDie();
+}
+
+TEST(GroupGraphTest, EdgesMatchOverlaps) {
+  GroupStore store = TwoComponentStore();
+  GroupGraph g = GroupGraph::FromIndex(BuildFull(store));
+  EXPECT_EQ(g.num_nodes(), 5u);
+  // Overlapping pairs: (0,1), (1,2), (3,4). Groups 0 and 2 are disjoint
+  // ([0,20) vs [20,40)).
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_EQ(g.Degree(2), 1u);
+}
+
+TEST(GroupGraphTest, EdgeWeightsAreJaccard) {
+  GroupStore store = TwoComponentStore();
+  GroupGraph g = GroupGraph::FromIndex(BuildFull(store));
+  for (const auto& e : g.Neighbors(0)) {
+    double truth =
+        store.group(0).members().Jaccard(store.group(e.to).members());
+    EXPECT_NEAR(e.weight, truth, 1e-6);
+  }
+}
+
+TEST(GroupGraphTest, ConnectedComponents) {
+  GroupStore store = TwoComponentStore();
+  GroupGraph g = GroupGraph::FromIndex(BuildFull(store));
+  std::vector<uint32_t> comp;
+  size_t n = g.ConnectedComponents(&comp);
+  EXPECT_EQ(n, 2u);
+  ASSERT_EQ(comp.size(), 5u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST(GroupGraphTest, SymmetrizedWithoutDuplicates) {
+  GroupStore store = TwoComponentStore();
+  GroupGraph g = GroupGraph::FromIndex(BuildFull(store));
+  for (GroupId v = 0; v < 5; ++v) {
+    const auto& edges = g.Neighbors(v);
+    for (size_t i = 1; i < edges.size(); ++i) {
+      EXPECT_LT(edges[i - 1].to, edges[i].to) << "dup or unsorted at " << v;
+    }
+    // Symmetry: every edge has its reverse.
+    for (const auto& e : edges) {
+      bool found = false;
+      for (const auto& back : g.Neighbors(e.to)) {
+        found |= back.to == v;
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(GroupGraphTest, TruncatedIndexStillSymmetrizes) {
+  GroupStore store = TwoComponentStore();
+  InvertedIndex::Options opt;
+  opt.materialization_fraction = 0.0;
+  opt.min_neighbors = 1;  // keep only the single best neighbor per group
+  auto idx = InvertedIndex::Build(store, opt);
+  ASSERT_TRUE(idx.ok());
+  GroupGraph g = GroupGraph::FromIndex(*idx);
+  // Even with 1 posting per group, symmetrization keeps the graph sane.
+  for (GroupId v = 0; v < 5; ++v) {
+    for (const auto& e : g.Neighbors(v)) {
+      bool found = false;
+      for (const auto& back : g.Neighbors(e.to)) found |= back.to == v;
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(GroupGraphTest, AverageDegree) {
+  GroupStore store = TwoComponentStore();
+  GroupGraph g = GroupGraph::FromIndex(BuildFull(store));
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 2.0 * 3 / 5);
+}
+
+TEST(GroupGraphTest, SummaryMentionsShape) {
+  GroupStore store = TwoComponentStore();
+  GroupGraph g = GroupGraph::FromIndex(BuildFull(store));
+  std::string s = g.Summary();
+  EXPECT_NE(s.find("nodes=5"), std::string::npos);
+  EXPECT_NE(s.find("edges=3"), std::string::npos);
+  EXPECT_NE(s.find("components=2"), std::string::npos);
+}
+
+TEST(GroupGraphTest, EmptyGraph) {
+  GroupStore store(10);
+  GroupGraph g = GroupGraph::FromIndex(BuildFull(store));
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.ConnectedComponents(nullptr), 0u);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 0.0);
+}
+
+TEST(GroupGraphTest, IsolatedNodeIsItsOwnComponent) {
+  GroupStore store(100);
+  store.Add(UserGroup({{0, 0}}, Bitset::FromVector(100, {1, 2})));
+  store.Add(UserGroup({{0, 1}}, Bitset::FromVector(100, {50, 51})));
+  GroupGraph g = GroupGraph::FromIndex(BuildFull(store));
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.ConnectedComponents(nullptr), 2u);
+}
+
+}  // namespace
+}  // namespace vexus::index

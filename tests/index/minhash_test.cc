@@ -1,0 +1,117 @@
+#include "index/minhash.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace vexus::index {
+namespace {
+
+TEST(MinHasherTest, SignatureDeterministic) {
+  MinHasher h(32, 99);
+  Bitset s = Bitset::FromVector(100, {1, 5, 50});
+  EXPECT_EQ(h.Signature(s), h.Signature(s));
+}
+
+TEST(MinHasherTest, IdenticalSetsIdenticalSignatures) {
+  MinHasher h(64);
+  Bitset a = Bitset::FromVector(200, {3, 77, 150});
+  Bitset b = Bitset::FromVector(200, {3, 77, 150});
+  EXPECT_EQ(h.Signature(a), h.Signature(b));
+  EXPECT_DOUBLE_EQ(MinHasher::EstimateJaccard(h.Signature(a), h.Signature(b)),
+                   1.0);
+}
+
+TEST(MinHasherTest, EmptySetSignatureIsMax) {
+  MinHasher h(8);
+  Bitset empty(50);
+  auto sig = h.Signature(empty);
+  for (uint64_t v : sig) {
+    EXPECT_EQ(v, std::numeric_limits<uint64_t>::max());
+  }
+}
+
+TEST(MinHasherTest, EstimateApproximatesTrueJaccard) {
+  vexus::Rng rng(17);
+  MinHasher h(256);
+  for (int trial = 0; trial < 5; ++trial) {
+    Bitset a(2000), b(2000);
+    for (int i = 0; i < 400; ++i) {
+      uint32_t u = rng.UniformU32(2000);
+      a.Set(u);
+      if (rng.Bernoulli(0.6)) b.Set(u);  // correlated
+    }
+    for (int i = 0; i < 150; ++i) b.Set(rng.UniformU32(2000));
+    double truth = a.Jaccard(b);
+    double est = MinHasher::EstimateJaccard(h.Signature(a), h.Signature(b));
+    EXPECT_NEAR(est, truth, 0.10) << "trial " << trial;
+  }
+}
+
+TEST(MinHasherTest, DisjointSetsEstimateNearZero) {
+  MinHasher h(128);
+  Bitset a(1000), b(1000);
+  for (int i = 0; i < 100; ++i) a.Set(i);
+  for (int i = 500; i < 600; ++i) b.Set(i);
+  EXPECT_LT(MinHasher::EstimateJaccard(h.Signature(a), h.Signature(b)), 0.08);
+}
+
+TEST(LshTest, IdenticalSetsAlwaysCandidates) {
+  MinHasher h(32);
+  Bitset s = Bitset::FromVector(100, {1, 2, 3, 4, 5});
+  std::vector<std::vector<uint64_t>> sigs = {h.Signature(s), h.Signature(s)};
+  auto pairs = LshCandidatePairs(sigs, 8);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], std::make_pair(0u, 1u));
+}
+
+TEST(LshTest, HighSimilarityPairsFound) {
+  vexus::Rng rng(23);
+  MinHasher h(96);
+  // Ten near-duplicates of one base set + ten unrelated sets.
+  Bitset base(1000);
+  for (int i = 0; i < 200; ++i) base.Set(rng.UniformU32(1000));
+  std::vector<std::vector<uint64_t>> sigs;
+  for (int g = 0; g < 10; ++g) {
+    Bitset variant = base;
+    for (int i = 0; i < 8; ++i) variant.Set(rng.UniformU32(1000));
+    sigs.push_back(h.Signature(variant));
+  }
+  for (int g = 0; g < 10; ++g) {
+    Bitset other(1000);
+    for (int i = 0; i < 200; ++i) other.Set(rng.UniformU32(1000));
+    sigs.push_back(h.Signature(other));
+  }
+  auto pairs = LshCandidatePairs(sigs, 24);  // r = 4 rows per band
+  size_t near_dup_pairs = 0;
+  for (const auto& [a, b] : pairs) {
+    if (a < 10 && b < 10) ++near_dup_pairs;
+  }
+  EXPECT_EQ(near_dup_pairs, 45u);
+}
+
+TEST(LshTest, PairsAreDedupedAndOrdered) {
+  MinHasher h(16);
+  Bitset s = Bitset::FromVector(50, {1, 2});
+  std::vector<std::vector<uint64_t>> sigs = {h.Signature(s), h.Signature(s),
+                                             h.Signature(s)};
+  auto pairs = LshCandidatePairs(sigs, 4);
+  EXPECT_EQ(pairs.size(), 3u);  // (0,1) (0,2) (1,2), each once
+  for (const auto& [a, b] : pairs) EXPECT_LT(a, b);
+}
+
+TEST(LshTest, EmptyInput) { EXPECT_TRUE(LshCandidatePairs({}, 4).empty()); }
+
+#if GTEST_HAS_DEATH_TEST
+TEST(LshDeathTest, BandsMustDivideSignature) {
+  MinHasher h(10);
+  Bitset s(10);
+  std::vector<std::vector<uint64_t>> sigs = {h.Signature(s)};
+  ASSERT_DEATH(LshCandidatePairs(sigs, 3), "must divide");
+}
+#endif
+
+}  // namespace
+}  // namespace vexus::index

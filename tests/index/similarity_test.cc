@@ -1,0 +1,105 @@
+#include "index/similarity.h"
+
+#include <gtest/gtest.h>
+
+namespace vexus::index {
+namespace {
+
+TEST(JaccardTest, MatchesBitsetJaccard) {
+  mining::UserGroup a({}, Bitset::FromVector(10, {0, 1, 2}));
+  mining::UserGroup b({}, Bitset::FromVector(10, {2, 3}));
+  EXPECT_DOUBLE_EQ(Jaccard(a, b), 1.0 / 4.0);
+}
+
+TEST(WeightedJaccardTest, UniformWeightsReduceToPlain) {
+  Bitset a = Bitset::FromVector(20, {0, 1, 2, 3});
+  Bitset b = Bitset::FromVector(20, {2, 3, 4, 5});
+  std::vector<double> w(20, 0.05);
+  EXPECT_NEAR(WeightedJaccard(a, b, w), a.Jaccard(b), 1e-12);
+}
+
+TEST(WeightedJaccardTest, UpweightedSharedUserRaisesSimilarity) {
+  Bitset a = Bitset::FromVector(10, {0, 1});
+  Bitset b = Bitset::FromVector(10, {0, 2});
+  std::vector<double> uniform(10, 1.0);
+  double base = WeightedJaccard(a, b, uniform);
+  std::vector<double> boosted = uniform;
+  boosted[0] = 10.0;  // user 0 is in the intersection
+  EXPECT_GT(WeightedJaccard(a, b, boosted), base);
+}
+
+TEST(WeightedJaccardTest, UpweightedNonSharedUserLowersSimilarity) {
+  Bitset a = Bitset::FromVector(10, {0, 1});
+  Bitset b = Bitset::FromVector(10, {0, 2});
+  std::vector<double> uniform(10, 1.0);
+  double base = WeightedJaccard(a, b, uniform);
+  std::vector<double> boosted = uniform;
+  boosted[1] = 10.0;  // user 1 only in a
+  EXPECT_LT(WeightedJaccard(a, b, boosted), base);
+}
+
+TEST(WeightedJaccardTest, BothEmptyIsOne) {
+  Bitset a(5), b(5);
+  std::vector<double> w(5, 1.0);
+  EXPECT_DOUBLE_EQ(WeightedJaccard(a, b, w), 1.0);
+}
+
+TEST(WeightedJaccardTest, ZeroWeightUnionFallsBackToSets) {
+  Bitset a = Bitset::FromVector(5, {0});
+  Bitset b = Bitset::FromVector(5, {1});
+  std::vector<double> w(5, 0.0);
+  EXPECT_DOUBLE_EQ(WeightedJaccard(a, b, w), 0.0);
+}
+
+TEST(WeightedJaccardTest, DisjointIsZero) {
+  Bitset a = Bitset::FromVector(10, {0, 1});
+  Bitset b = Bitset::FromVector(10, {5, 6});
+  std::vector<double> w(10, 1.0);
+  EXPECT_DOUBLE_EQ(WeightedJaccard(a, b, w), 0.0);
+}
+
+TEST(WeightedJaccardTest, IdenticalSetsAreOne) {
+  Bitset a = Bitset::FromVector(10, {1, 4, 7});
+  std::vector<double> w(10, 0.3);
+  w[4] = 5.0;
+  EXPECT_DOUBLE_EQ(WeightedJaccard(a, a, w), 1.0);
+}
+
+TEST(OverlapCoefficientTest, SubsetIsOne) {
+  Bitset small = Bitset::FromVector(10, {1, 2});
+  Bitset big = Bitset::FromVector(10, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(OverlapCoefficient(small, big), 1.0);
+}
+
+TEST(OverlapCoefficientTest, PartialOverlap) {
+  Bitset a = Bitset::FromVector(10, {1, 2});
+  Bitset b = Bitset::FromVector(10, {2, 3, 4});
+  EXPECT_DOUBLE_EQ(OverlapCoefficient(a, b), 0.5);
+}
+
+TEST(OverlapCoefficientTest, EmptyEdgeCases) {
+  Bitset empty(10);
+  Bitset nonempty = Bitset::FromVector(10, {0});
+  EXPECT_DOUBLE_EQ(OverlapCoefficient(empty, empty), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient(empty, nonempty), 0.0);
+}
+
+TEST(DiceTest, KnownValues) {
+  Bitset a = Bitset::FromVector(10, {0, 1, 2});
+  Bitset b = Bitset::FromVector(10, {2, 3, 4});
+  EXPECT_DOUBLE_EQ(Dice(a, b), 2.0 * 1 / 6);
+  EXPECT_DOUBLE_EQ(Dice(a, a), 1.0);
+  Bitset empty(10);
+  EXPECT_DOUBLE_EQ(Dice(empty, empty), 1.0);
+}
+
+TEST(SimilarityOrderingTest, DiceAndJaccardAgreeOnOrder) {
+  Bitset anchor = Bitset::FromVector(30, {0, 1, 2, 3, 4, 5});
+  Bitset close = Bitset::FromVector(30, {0, 1, 2, 3, 4, 9});
+  Bitset far = Bitset::FromVector(30, {0, 20, 21, 22});
+  EXPECT_GT(anchor.Jaccard(close), anchor.Jaccard(far));
+  EXPECT_GT(Dice(anchor, close), Dice(anchor, far));
+}
+
+}  // namespace
+}  // namespace vexus::index

@@ -1,0 +1,140 @@
+#include "la/eigen.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace vexus::la {
+namespace {
+
+TEST(SymmetricEigenTest, DiagonalMatrix) {
+  Matrix a = Matrix::FromRows({{3, 0, 0}, {0, 1, 0}, {0, 0, 2}});
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  // Decreasing order.
+  EXPECT_NEAR(eig->values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig->values[1], 2.0, 1e-10);
+  EXPECT_NEAR(eig->values[2], 1.0, 1e-10);
+}
+
+TEST(SymmetricEigenTest, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix a = Matrix::FromRows({{2, 1}, {1, 2}});
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig->values[1], 1.0, 1e-10);
+  // Eigenvector of 3 is (1,1)/√2 up to sign.
+  double vx = eig->vectors(0, 0);
+  double vy = eig->vectors(1, 0);
+  EXPECT_NEAR(std::fabs(vx), 1.0 / std::sqrt(2.0), 1e-8);
+  EXPECT_NEAR(vx, vy, 1e-8);
+}
+
+TEST(SymmetricEigenTest, ReconstructionProperty) {
+  // A == V diag(λ) Vᵀ for random symmetric A.
+  vexus::Rng rng(5);
+  size_t n = 6;
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      double v = rng.UniformDouble(-2, 2);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  Matrix lam(n, n);
+  for (size_t i = 0; i < n; ++i) lam(i, i) = eig->values[i];
+  Matrix rec = eig->vectors.Multiply(lam).Multiply(eig->vectors.Transpose());
+  EXPECT_LT(rec.MaxAbsDiff(a), 1e-8);
+}
+
+TEST(SymmetricEigenTest, EigenvectorsOrthonormal) {
+  Matrix a = Matrix::FromRows({{4, 1, 0.5}, {1, 3, 1}, {0.5, 1, 2}});
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  Matrix vtv = eig->vectors.Transpose().Multiply(eig->vectors);
+  EXPECT_LT(vtv.MaxAbsDiff(Matrix::Identity(3)), 1e-8);
+}
+
+TEST(SymmetricEigenTest, RejectsNonSquare) {
+  Matrix a(2, 3);
+  EXPECT_FALSE(SymmetricEigen(a).ok());
+}
+
+TEST(SymmetricEigenTest, RejectsNonSymmetric) {
+  Matrix a = Matrix::FromRows({{1, 2}, {0, 1}});
+  auto r = SymmetricEigen(a);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(SymmetricEigenTest, OneByOne) {
+  Matrix a = Matrix::FromRows({{7}});
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->values[0], 7.0, 1e-12);
+}
+
+TEST(GeneralizedEigenTest, ReducesToStandardWithIdentityB) {
+  Matrix a = Matrix::FromRows({{2, 1}, {1, 2}});
+  auto gen = GeneralizedSymmetricEigen(a, Matrix::Identity(2));
+  ASSERT_TRUE(gen.ok());
+  EXPECT_NEAR(gen->values[0], 3.0, 1e-9);
+  EXPECT_NEAR(gen->values[1], 1.0, 1e-9);
+}
+
+TEST(GeneralizedEigenTest, SatisfiesDefinition) {
+  // Check A v = λ B v for each returned pair.
+  Matrix a = Matrix::FromRows({{3, 1, 0}, {1, 2, 0.5}, {0, 0.5, 1}});
+  Matrix b = Matrix::FromRows({{2, 0.3, 0}, {0.3, 1.5, 0.2}, {0, 0.2, 1}});
+  auto gen = GeneralizedSymmetricEigen(a, b);
+  ASSERT_TRUE(gen.ok());
+  for (size_t c = 0; c < 3; ++c) {
+    std::vector<double> v(3);
+    for (size_t r = 0; r < 3; ++r) v[r] = gen->vectors(r, c);
+    auto av = a.MultiplyVector(v);
+    auto bv = b.MultiplyVector(v);
+    for (size_t r = 0; r < 3; ++r) {
+      EXPECT_NEAR(av[r], gen->values[c] * bv[r], 1e-8);
+    }
+  }
+}
+
+TEST(GeneralizedEigenTest, VectorsAreBOrthonormal) {
+  Matrix a = Matrix::FromRows({{3, 1}, {1, 2}});
+  Matrix b = Matrix::FromRows({{2, 0.5}, {0.5, 1}});
+  auto gen = GeneralizedSymmetricEigen(a, b);
+  ASSERT_TRUE(gen.ok());
+  // vᵢᵀ B vⱼ == δᵢⱼ.
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      std::vector<double> vi(2), vj(2);
+      for (size_t r = 0; r < 2; ++r) {
+        vi[r] = gen->vectors(r, i);
+        vj[r] = gen->vectors(r, j);
+      }
+      double q = Dot(vi, b.MultiplyVector(vj));
+      EXPECT_NEAR(q, i == j ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(GeneralizedEigenTest, RejectsNonSpdB) {
+  Matrix a = Matrix::Identity(2);
+  Matrix b = Matrix::FromRows({{1, 2}, {2, 1}});  // indefinite
+  EXPECT_FALSE(GeneralizedSymmetricEigen(a, b).ok());
+}
+
+TEST(GeneralizedEigenTest, RejectsShapeMismatch) {
+  EXPECT_FALSE(
+      GeneralizedSymmetricEigen(Matrix::Identity(2), Matrix::Identity(3))
+          .ok());
+}
+
+}  // namespace
+}  // namespace vexus::la

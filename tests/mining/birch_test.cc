@@ -1,0 +1,161 @@
+#include "mining/birch.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace vexus::mining {
+namespace {
+
+/// Three well-separated 2D Gaussian blobs, 60 points each.
+std::vector<std::vector<double>> ThreeBlobs(vexus::Rng* rng,
+                                            std::vector<int>* truth) {
+  const double centers[3][2] = {{0, 0}, {10, 0}, {5, 10}};
+  std::vector<std::vector<double>> pts;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 60; ++i) {
+      pts.push_back({centers[c][0] + rng->Normal(0, 0.5),
+                     centers[c][1] + rng->Normal(0, 0.5)});
+      truth->push_back(c);
+    }
+  }
+  return pts;
+}
+
+TEST(BirchTest, InsertsAndCountsPoints) {
+  BirchTree::Config cfg;
+  cfg.threshold = 1.0;
+  BirchTree tree(2, cfg);
+  vexus::Rng rng(5);
+  std::vector<int> truth;
+  auto pts = ThreeBlobs(&rng, &truth);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    tree.Insert(pts[i], static_cast<data::UserId>(i));
+  }
+  auto stats = tree.ComputeStats();
+  EXPECT_EQ(stats.points, 180u);
+  EXPECT_GT(stats.leaf_entries, 0u);
+  // All members must be preserved across the leaves.
+  size_t total = 0;
+  for (const auto& le : tree.LeafEntries()) total += le.members.size();
+  EXPECT_EQ(total, 180u);
+}
+
+TEST(BirchTest, LeafRadiiRespectThreshold) {
+  BirchTree::Config cfg;
+  cfg.threshold = 0.8;
+  BirchTree tree(2, cfg);
+  vexus::Rng rng(7);
+  std::vector<int> truth;
+  auto pts = ThreeBlobs(&rng, &truth);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    tree.Insert(pts[i], static_cast<data::UserId>(i));
+  }
+  for (const auto& le : tree.LeafEntries()) {
+    EXPECT_LE(le.radius, 0.8 + 1e-9);
+  }
+}
+
+TEST(BirchTest, RecoversWellSeparatedClusters) {
+  BirchTree::Config cfg;
+  cfg.threshold = 1.5;
+  BirchTree tree(2, cfg);
+  vexus::Rng rng(11);
+  std::vector<int> truth;
+  auto pts = ThreeBlobs(&rng, &truth);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    tree.Insert(pts[i], static_cast<data::UserId>(i));
+  }
+  auto clusters = tree.Cluster(3, 180);
+  ASSERT_EQ(clusters.size(), 3u);
+  // Each recovered cluster must be (near-)pure w.r.t. ground truth.
+  for (const Bitset& c : clusters) {
+    std::vector<size_t> counts(3, 0);
+    c.ForEach([&](uint32_t u) { ++counts[truth[u]]; });
+    size_t total = c.Count();
+    size_t best = std::max({counts[0], counts[1], counts[2]});
+    ASSERT_GT(total, 0u);
+    EXPECT_GE(static_cast<double>(best) / total, 0.95);
+  }
+  // Clusters partition the points.
+  size_t sum = 0;
+  for (const Bitset& c : clusters) sum += c.Count();
+  EXPECT_EQ(sum, 180u);
+}
+
+TEST(BirchTest, SplitsOccurUnderSmallThreshold) {
+  BirchTree::Config cfg;
+  cfg.threshold = 0.05;
+  cfg.branching = 3;
+  BirchTree tree(2, cfg);
+  vexus::Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    tree.Insert({rng.UniformDouble(0, 10), rng.UniformDouble(0, 10)},
+                static_cast<data::UserId>(i));
+  }
+  auto stats = tree.ComputeStats();
+  EXPECT_GT(stats.splits, 0u);
+  EXPECT_GT(stats.height, 1u);
+  EXPECT_GT(stats.leaf_entries, 10u);
+}
+
+TEST(BirchTest, SinglePoint) {
+  BirchTree::Config cfg;
+  BirchTree tree(3, cfg);
+  tree.Insert({1, 2, 3}, 0);
+  auto leaves = tree.LeafEntries();
+  ASSERT_EQ(leaves.size(), 1u);
+  EXPECT_EQ(leaves[0].n, 1u);
+  EXPECT_DOUBLE_EQ(leaves[0].centroid[1], 2.0);
+  EXPECT_DOUBLE_EQ(leaves[0].radius, 0.0);
+  auto clusters = tree.Cluster(5, 1);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_TRUE(clusters[0].Test(0));
+}
+
+TEST(BirchTest, IdenticalPointsMergeIntoOneEntry) {
+  BirchTree::Config cfg;
+  cfg.threshold = 0.5;
+  BirchTree tree(2, cfg);
+  for (int i = 0; i < 50; ++i) {
+    tree.Insert({3.0, 4.0}, static_cast<data::UserId>(i));
+  }
+  auto leaves = tree.LeafEntries();
+  ASSERT_EQ(leaves.size(), 1u);
+  EXPECT_EQ(leaves[0].n, 50u);
+  EXPECT_DOUBLE_EQ(leaves[0].radius, 0.0);
+}
+
+TEST(BirchTest, ClusterKLargerThanLeavesClampsToLeaves) {
+  BirchTree::Config cfg;
+  BirchTree tree(1, cfg);
+  tree.Insert({0.0}, 0);
+  tree.Insert({100.0}, 1);
+  auto clusters = tree.Cluster(10, 2);
+  EXPECT_EQ(clusters.size(), 2u);
+}
+
+TEST(BirchTest, EmptyTreeClustersToNothing) {
+  BirchTree::Config cfg;
+  BirchTree tree(2, cfg);
+  EXPECT_TRUE(tree.Cluster(3, 10).empty());
+  EXPECT_EQ(tree.ComputeStats().points, 0u);
+}
+
+TEST(BirchTest, CentroidIsMeanOfInsertedPoints) {
+  BirchTree::Config cfg;
+  cfg.threshold = 100.0;  // absorb everything into one entry
+  BirchTree tree(2, cfg);
+  tree.Insert({0, 0}, 0);
+  tree.Insert({2, 4}, 1);
+  tree.Insert({4, 8}, 2);
+  auto leaves = tree.LeafEntries();
+  ASSERT_EQ(leaves.size(), 1u);
+  EXPECT_DOUBLE_EQ(leaves[0].centroid[0], 2.0);
+  EXPECT_DOUBLE_EQ(leaves[0].centroid[1], 4.0);
+}
+
+}  // namespace
+}  // namespace vexus::mining

@@ -1,0 +1,114 @@
+#include "mining/group.h"
+
+#include <gtest/gtest.h>
+
+namespace vexus::mining {
+namespace {
+
+data::Schema MakeSchema() {
+  data::Schema s;
+  data::AttributeId g = s.AddCategorical("gender");
+  s.attribute(g).values().GetOrAdd("m");
+  s.attribute(g).values().GetOrAdd("f");
+  data::AttributeId c = s.AddCategorical("country");
+  s.attribute(c).values().GetOrAdd("fr");
+  return s;
+}
+
+TEST(UserGroupTest, SortsAndDedupsDescription) {
+  UserGroup g({{1, 0}, {0, 1}, {1, 0}}, Bitset(10));
+  ASSERT_EQ(g.description().size(), 2u);
+  EXPECT_EQ(g.description()[0].attribute, 0u);
+  EXPECT_EQ(g.description()[1].attribute, 1u);
+}
+
+TEST(UserGroupTest, SizeCachesCount) {
+  UserGroup g({}, Bitset::FromVector(10, {1, 5, 7}));
+  EXPECT_EQ(g.size(), 3u);
+  g.mutable_members().Set(2);
+  EXPECT_EQ(g.size(), 3u);  // stale until refresh
+  g.RefreshSize();
+  EXPECT_EQ(g.size(), 4u);
+}
+
+TEST(UserGroupTest, ContainsUser) {
+  UserGroup g({}, Bitset::FromVector(10, {2}));
+  EXPECT_TRUE(g.ContainsUser(2));
+  EXPECT_FALSE(g.ContainsUser(3));
+}
+
+TEST(UserGroupTest, DescriptionString) {
+  data::Schema s = MakeSchema();
+  UserGroup g({{0, 1}, {1, 0}}, Bitset(4));
+  EXPECT_EQ(g.DescriptionString(s), "gender=f ∧ country=fr");
+  UserGroup root({}, Bitset(4));
+  EXPECT_EQ(root.DescriptionString(s), "<cluster>");
+}
+
+TEST(UserGroupTest, DescriptionHashDiscriminates) {
+  UserGroup a({{0, 0}}, Bitset(4));
+  UserGroup b({{0, 1}}, Bitset(4));
+  UserGroup c({{0, 0}}, Bitset(4));
+  EXPECT_EQ(a.DescriptionHash(), c.DescriptionHash());
+  EXPECT_NE(a.DescriptionHash(), b.DescriptionHash());
+}
+
+TEST(UserGroupTest, DescriptionIsPrefixOf) {
+  UserGroup narrow({{0, 0}, {1, 0}}, Bitset(4));
+  UserGroup wide({{0, 0}}, Bitset(4));
+  EXPECT_TRUE(wide.DescriptionIsPrefixOf(narrow));
+  EXPECT_FALSE(narrow.DescriptionIsPrefixOf(wide));
+  EXPECT_TRUE(wide.DescriptionIsPrefixOf(wide));
+  UserGroup empty({}, Bitset(4));
+  EXPECT_TRUE(empty.DescriptionIsPrefixOf(narrow));
+}
+
+TEST(GroupStoreTest, AddAndRetrieve) {
+  GroupStore store(10);
+  GroupId id = store.Add(UserGroup({{0, 0}}, Bitset::FromVector(10, {1})));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.group(id).size(), 1u);
+  EXPECT_EQ(store.num_users(), 10u);
+}
+
+TEST(GroupStoreTest, DedupsIdenticalGroups) {
+  GroupStore store(10);
+  GroupId a = store.Add(UserGroup({{0, 0}}, Bitset::FromVector(10, {1, 2})));
+  GroupId b = store.Add(UserGroup({{0, 0}}, Bitset::FromVector(10, {1, 2})));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(GroupStoreTest, SameDescriptionDifferentExtentNotDeduped) {
+  // BIRCH clusters can share a label but hold different members.
+  GroupStore store(10);
+  GroupId a = store.Add(UserGroup({{0, 0}}, Bitset::FromVector(10, {1})));
+  GroupId b = store.Add(UserGroup({{0, 0}}, Bitset::FromVector(10, {2})));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(GroupStoreTest, EmptyDescriptionsNotDedupedAcrossExtents) {
+  GroupStore store(10);
+  GroupId a = store.Add(UserGroup({}, Bitset::FromVector(10, {1})));
+  GroupId b = store.Add(UserGroup({}, Bitset::FromVector(10, {2})));
+  EXPECT_NE(a, b);
+}
+
+TEST(GroupStoreTest, GroupsOfUser) {
+  GroupStore store(10);
+  GroupId a = store.Add(UserGroup({{0, 0}}, Bitset::FromVector(10, {1, 2})));
+  store.Add(UserGroup({{0, 1}}, Bitset::FromVector(10, {3})));
+  GroupId c = store.Add(UserGroup({{1, 0}}, Bitset::FromVector(10, {2, 3})));
+  EXPECT_EQ(store.GroupsOfUser(2), (std::vector<GroupId>{a, c}));
+  EXPECT_TRUE(store.GroupsOfUser(9).empty());
+}
+
+TEST(GroupStoreTest, MemoryBytesPositive) {
+  GroupStore store(1000);
+  store.Add(UserGroup({}, Bitset(1000)));
+  EXPECT_GT(store.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace vexus::mining

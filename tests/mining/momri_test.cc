@@ -1,0 +1,158 @@
+#include "mining/momri.h"
+
+#include <gtest/gtest.h>
+
+namespace vexus::mining {
+namespace {
+
+/// A store with groups of controlled overlap over 100 users.
+GroupStore MakeStore() {
+  GroupStore store(100);
+  auto add = [&store](uint32_t lo, uint32_t hi, data::ValueId v) {
+    std::vector<uint32_t> elems;
+    for (uint32_t i = lo; i < hi; ++i) elems.push_back(i);
+    return store.Add(UserGroup({{0, v}}, Bitset::FromVector(100, elems)));
+  };
+  add(0, 40, 0);     // g0: [0,40)
+  add(30, 70, 1);    // g1: [30,70) overlaps g0
+  add(60, 100, 2);   // g2: [60,100) overlaps g1
+  add(0, 10, 3);     // g3: subset of g0
+  add(90, 100, 4);   // g4: subset of g2
+  return store;
+}
+
+TEST(MomriTest, SolutionsHaveExactlyKGroups) {
+  GroupStore store = MakeStore();
+  MomriMiner::Config cfg;
+  cfg.k = 3;
+  MomriMiner miner(&store, cfg);
+  auto front = miner.Mine();
+  ASSERT_FALSE(front.empty());
+  for (const auto& sol : front) {
+    EXPECT_EQ(sol.groups.size(), 3u);
+  }
+}
+
+TEST(MomriTest, ObjectivesComputedCorrectly) {
+  GroupStore store = MakeStore();
+  MomriMiner::Config cfg;
+  cfg.k = 2;
+  cfg.alpha = 0.0;
+  MomriMiner miner(&store, cfg);
+  auto front = miner.Mine();
+  ASSERT_FALSE(front.empty());
+  for (const auto& sol : front) {
+    // Recompute coverage and diversity by hand.
+    Bitset covered(100);
+    for (GroupId g : sol.groups) covered |= store.group(g).members();
+    EXPECT_NEAR(sol.coverage, covered.Count() / 100.0, 1e-12);
+    double sim = store.group(sol.groups[0])
+                     .members()
+                     .Jaccard(store.group(sol.groups[1]).members());
+    EXPECT_NEAR(sol.diversity, 1.0 - sim, 1e-12);
+  }
+}
+
+TEST(MomriTest, FrontierIsMutuallyNonDominatedAtAlphaZero) {
+  GroupStore store = MakeStore();
+  MomriMiner::Config cfg;
+  cfg.k = 2;
+  cfg.alpha = 0.0;
+  MomriMiner miner(&store, cfg);
+  auto front = miner.Mine();
+  for (size_t i = 0; i < front.size(); ++i) {
+    for (size_t j = 0; j < front.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(MomriMiner::AlphaDominates(front[i], front[j], 0.0))
+          << i << " dominates " << j;
+    }
+  }
+}
+
+TEST(MomriTest, BestCoverageSolutionIsFound) {
+  GroupStore store = MakeStore();
+  MomriMiner::Config cfg;
+  cfg.k = 3;
+  cfg.alpha = 0.0;
+  MomriMiner miner(&store, cfg);
+  auto front = miner.Mine();
+  ASSERT_FALSE(front.empty());
+  // g0 ∪ g1 ∪ g2 covers all 100 users; the frontier's best coverage must
+  // reach 1.0 (sorted by decreasing coverage).
+  EXPECT_DOUBLE_EQ(front.front().coverage, 1.0);
+}
+
+TEST(MomriTest, LargerAlphaThinsFrontier) {
+  GroupStore store = MakeStore();
+  MomriMiner::Config tight;
+  tight.k = 2;
+  tight.alpha = 0.0;
+  MomriMiner::Config loose = tight;
+  loose.alpha = 0.5;
+  auto front_tight = MomriMiner(&store, tight).Mine();
+  auto front_loose = MomriMiner(&store, loose).Mine();
+  EXPECT_LE(front_loose.size(), front_tight.size());
+  EXPECT_GE(front_loose.size(), 1u);
+}
+
+TEST(MomriTest, AlphaDominanceSemantics) {
+  MomriMiner::Solution a, b;
+  a.coverage = 0.8;
+  a.diversity = 0.8;
+  b.coverage = 0.7;
+  b.diversity = 0.7;
+  EXPECT_TRUE(MomriMiner::AlphaDominates(a, b, 0.0));
+  EXPECT_FALSE(MomriMiner::AlphaDominates(b, a, 0.0));
+  // With enough slack, the weaker solution "α-covers" the stronger one too.
+  EXPECT_TRUE(MomriMiner::AlphaDominates(b, a, 0.2));
+  // Equal vectors never dominate (no strict improvement).
+  EXPECT_FALSE(MomriMiner::AlphaDominates(a, a, 0.0));
+}
+
+TEST(MomriTest, KOneReturnsSingleGroups) {
+  GroupStore store = MakeStore();
+  MomriMiner::Config cfg;
+  cfg.k = 1;
+  cfg.alpha = 0.0;
+  auto front = MomriMiner(&store, cfg).Mine();
+  ASSERT_FALSE(front.empty());
+  for (const auto& sol : front) {
+    EXPECT_EQ(sol.groups.size(), 1u);
+    EXPECT_DOUBLE_EQ(sol.diversity, 1.0);
+  }
+  // Max coverage single group is g0 or g1 or g2 (40 users).
+  EXPECT_DOUBLE_EQ(front.front().coverage, 0.40);
+}
+
+TEST(MomriTest, EmptyStoreYieldsNothing) {
+  GroupStore store(10);
+  MomriMiner::Config cfg;
+  auto front = MomriMiner(&store, cfg).Mine();
+  EXPECT_TRUE(front.empty());
+}
+
+TEST(MomriTest, KLargerThanCandidatesYieldsNothing) {
+  GroupStore store(10);
+  store.Add(UserGroup({{0, 0}}, Bitset::FromVector(10, {1})));
+  MomriMiner::Config cfg;
+  cfg.k = 5;
+  auto front = MomriMiner(&store, cfg).Mine();
+  // Only 1 candidate; no 5-group solution exists.
+  EXPECT_TRUE(front.empty());
+}
+
+TEST(MomriTest, MaxCandidatesLimitsPool) {
+  GroupStore store = MakeStore();
+  MomriMiner::Config cfg;
+  cfg.k = 2;
+  cfg.max_candidates = 2;  // only the two largest groups
+  auto front = MomriMiner(&store, cfg).Mine();
+  ASSERT_EQ(front.size(), 1u);  // one possible pair
+  EXPECT_EQ(front[0].groups.size(), 2u);
+  for (GroupId g : front[0].groups) {
+    EXPECT_EQ(store.group(g).size(), 40u);
+  }
+}
+
+}  // namespace
+}  // namespace vexus::mining

@@ -1,0 +1,113 @@
+#include "viz/canvas.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace vexus::viz {
+namespace {
+
+TEST(SvgCanvasTest, DocumentStructure) {
+  SvgCanvas c(200, 100);
+  std::string svg = c.ToString();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("width=\"200\""), std::string::npos);
+  EXPECT_NE(svg.find("height=\"100\""), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgCanvasTest, CircleElement) {
+  SvgCanvas c(100, 100);
+  c.Circle(50, 60, 10, "#ff0000", 0.5, "hover text");
+  std::string svg = c.ToString();
+  EXPECT_NE(svg.find("<circle cx=\"50\" cy=\"60\" r=\"10\""),
+            std::string::npos);
+  EXPECT_NE(svg.find("fill=\"#ff0000\""), std::string::npos);
+  EXPECT_NE(svg.find("fill-opacity=\"0.5\""), std::string::npos);
+  EXPECT_NE(svg.find("<title>hover text</title>"), std::string::npos);
+}
+
+TEST(SvgCanvasTest, LineRectText) {
+  SvgCanvas c(100, 100);
+  c.Line(0, 0, 10, 10, "#ccc", 2);
+  c.Rect(5, 5, 20, 30, "#eee");
+  c.Text(1, 2, "label");
+  std::string svg = c.ToString();
+  EXPECT_NE(svg.find("<line"), std::string::npos);
+  EXPECT_NE(svg.find("<rect"), std::string::npos);
+  EXPECT_NE(svg.find(">label</text>"), std::string::npos);
+}
+
+TEST(SvgCanvasTest, EscapesXmlSpecials) {
+  SvgCanvas c(10, 10);
+  c.Text(0, 0, "a<b & \"c\">");
+  std::string svg = c.ToString();
+  EXPECT_EQ(svg.find("a<b"), std::string::npos);
+  EXPECT_NE(svg.find("a&lt;b &amp; &quot;c&quot;&gt;"), std::string::npos);
+}
+
+TEST(SvgCanvasTest, WriteFileRoundTrip) {
+  SvgCanvas c(50, 50);
+  c.Circle(25, 25, 10, "#123456");
+  std::string path = ::testing::TempDir() + "/vexus_canvas_test.svg";
+  ASSERT_TRUE(c.WriteFile(path).ok());
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), c.ToString());
+  std::remove(path.c_str());
+}
+
+TEST(SvgCanvasTest, WriteFileFailsOnBadPath) {
+  SvgCanvas c(10, 10);
+  Status s = c.WriteFile("/nonexistent_dir_zzz/x.svg");
+  EXPECT_TRUE(s.IsIOError());
+}
+
+TEST(AsciiCanvasTest, GridDimensions) {
+  AsciiCanvas c(10, 3);
+  std::string s = c.ToString();
+  // 3 rows of 10 chars + newlines.
+  EXPECT_EQ(s.size(), 33u);
+}
+
+TEST(AsciiCanvasTest, PointAndText) {
+  AsciiCanvas c(20, 5);
+  c.Point(3, 2, '*');
+  c.Text(5, 2, "hi");
+  std::string s = c.ToString();
+  // Row 2 (0-based) contains '*' at col 3 and "hi" at 5..6.
+  std::string row2 = s.substr(2 * 21, 20);
+  EXPECT_EQ(row2[3], '*');
+  EXPECT_EQ(row2.substr(5, 2), "hi");
+}
+
+TEST(AsciiCanvasTest, OutOfBoundsIgnored) {
+  AsciiCanvas c(5, 5);
+  c.Point(-1, 0, 'x');
+  c.Point(0, -1, 'x');
+  c.Point(10, 10, 'x');
+  c.Text(3, 3, "longtext_overflowing");
+  std::string s = c.ToString();
+  EXPECT_EQ(s.find('x'), std::string::npos);  // nothing crashed
+}
+
+TEST(AsciiCanvasTest, CircleDrawsGlyphs) {
+  AsciiCanvas c(40, 20);
+  c.Circle(20, 10, 6, 'O', "g1");
+  std::string s = c.ToString();
+  EXPECT_NE(s.find('O'), std::string::npos);
+  EXPECT_NE(s.find("g1"), std::string::npos);
+}
+
+TEST(PaletteTest, CyclesDeterministically) {
+  EXPECT_EQ(PaletteColor(0), PaletteColor(10));
+  EXPECT_NE(PaletteColor(0), PaletteColor(1));
+  EXPECT_EQ(PaletteColor(3), PaletteColor(13));
+  EXPECT_EQ(PaletteColor(0).front(), '#');
+}
+
+}  // namespace
+}  // namespace vexus::viz

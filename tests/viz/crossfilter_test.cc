@@ -1,0 +1,307 @@
+#include "viz/crossfilter.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace vexus::viz {
+namespace {
+
+/// Reference implementation: recompute a group's counts from scratch with
+/// crossfilter semantics (ignore the group's own dimension filter).
+std::vector<size_t> NaiveCounts(
+    const std::vector<std::vector<double>>& numeric_cols,
+    const std::vector<std::pair<double, double>>& filters,  // NaN = off
+    size_t group_dim, size_t bins, double lo, double hi) {
+  std::vector<size_t> counts(bins, 0);
+  size_t n = numeric_cols[0].size();
+  for (size_t r = 0; r < n; ++r) {
+    bool pass = true;
+    for (size_t d = 0; d < numeric_cols.size(); ++d) {
+      if (d == group_dim) continue;
+      if (std::isnan(filters[d].first)) continue;
+      double v = numeric_cols[d][r];
+      if (std::isnan(v) || v < filters[d].first || v >= filters[d].second) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    double v = numeric_cols[group_dim][r];
+    if (std::isnan(v)) continue;
+    double width = (hi - lo) / static_cast<double>(bins);
+    size_t bin;
+    if (v < lo) {
+      bin = 0;
+    } else if (v >= hi) {
+      bin = bins - 1;
+    } else {
+      bin = std::min(bins - 1, static_cast<size_t>((v - lo) / width));
+    }
+    ++counts[bin];
+  }
+  return counts;
+}
+
+TEST(CrossfilterTest, UnfilteredCountsAreTotals) {
+  Crossfilter cf(6);
+  auto d = cf.AddNumericDimension({1, 2, 3, 4, 5, 6});
+  auto g = cf.AddHistogram(d, 3, 1, 7);  // bins [1,3) [3,5) [5,7)
+  EXPECT_EQ(cf.Counts(g), (std::vector<size_t>{2, 2, 2}));
+  EXPECT_EQ(cf.PassingCount(), 6u);
+}
+
+TEST(CrossfilterTest, OwnDimensionFilterIgnoredByOwnGroup) {
+  Crossfilter cf(6);
+  auto d = cf.AddNumericDimension({1, 2, 3, 4, 5, 6});
+  auto g = cf.AddHistogram(d, 3, 1, 7);
+  cf.FilterRange(d, 1, 3);  // brush [1,3)
+  // The histogram on d keeps showing the full distribution (crossfilter
+  // semantics: a chart is not filtered by its own brush).
+  EXPECT_EQ(cf.Counts(g), (std::vector<size_t>{2, 2, 2}));
+  // But the global passing set honors it.
+  EXPECT_EQ(cf.PassingCount(), 2u);
+}
+
+TEST(CrossfilterTest, OtherDimensionFilterAppliesToGroup) {
+  Crossfilter cf(4);
+  auto age = cf.AddNumericDimension({10, 20, 30, 40});
+  auto score = cf.AddNumericDimension({1, 1, 2, 2});
+  auto age_hist = cf.AddHistogram(age, 4, 10, 50);
+  cf.FilterRange(score, 2, 3);  // keep records 2,3
+  EXPECT_EQ(cf.Counts(age_hist), (std::vector<size_t>{0, 0, 1, 1}));
+}
+
+TEST(CrossfilterTest, CategoricalFilterAndCounts) {
+  Crossfilter cf(5);
+  auto color = cf.AddCategoricalDimension({0, 1, 0, 2, 1}, 3);
+  auto size = cf.AddCategoricalDimension({0, 0, 1, 1, 1}, 2);
+  auto color_counts = cf.AddCategoryCounts(color);
+  auto size_counts = cf.AddCategoryCounts(size);
+  EXPECT_EQ(cf.Counts(color_counts), (std::vector<size_t>{2, 2, 1}));
+  cf.FilterValues(color, {0});  // keep colors == 0 (records 0, 2)
+  EXPECT_EQ(cf.Counts(size_counts), (std::vector<size_t>{1, 1}));
+  EXPECT_EQ(cf.PassingCount(), 2u);
+}
+
+TEST(CrossfilterTest, ClearFilterRestores) {
+  Crossfilter cf(4);
+  auto d = cf.AddNumericDimension({1, 2, 3, 4});
+  auto e = cf.AddNumericDimension({1, 1, 2, 2});
+  auto h = cf.AddHistogram(d, 2, 1, 5);
+  cf.FilterRange(e, 2, 3);
+  // Records 2 and 3 survive (e = 2); their d values 3 and 4 share the
+  // second bin [3,5).
+  EXPECT_EQ(cf.Counts(h), (std::vector<size_t>{0, 2}));
+  cf.ClearFilter(e);
+  EXPECT_EQ(cf.Counts(h), (std::vector<size_t>{2, 2}));
+  EXPECT_EQ(cf.PassingCount(), 4u);
+}
+
+TEST(CrossfilterTest, MultipleFiltersCompose) {
+  Crossfilter cf(8);
+  auto a = cf.AddNumericDimension({1, 1, 1, 1, 2, 2, 2, 2});
+  auto b = cf.AddNumericDimension({1, 1, 2, 2, 1, 1, 2, 2});
+  auto c = cf.AddNumericDimension({1, 2, 1, 2, 1, 2, 1, 2});
+  cf.FilterRange(a, 1, 2);
+  cf.FilterRange(b, 2, 3);
+  cf.FilterRange(c, 1, 2);
+  // Only record 2 satisfies a=1, b=2, c=1.
+  EXPECT_EQ(cf.PassingCount(), 1u);
+  EXPECT_TRUE(cf.PassingSet().Test(2));
+}
+
+TEST(CrossfilterTest, MissingValuesNeverPassFilters) {
+  double nan = std::nan("");
+  Crossfilter cf(3);
+  auto d = cf.AddNumericDimension({1, nan, 3});
+  auto other = cf.AddNumericDimension({1, 1, 1});
+  auto h = cf.AddHistogram(other, 1, 0, 2);
+  cf.FilterRange(d, 0, 10);
+  EXPECT_EQ(cf.PassingCount(), 2u);
+  EXPECT_EQ(cf.Counts(h), (std::vector<size_t>{2}));
+}
+
+TEST(CrossfilterTest, MissingCategoricalCode) {
+  Crossfilter cf(3);
+  auto d = cf.AddCategoricalDimension({0, UINT32_MAX, 1}, 2);
+  auto counts = cf.AddCategoryCounts(d);
+  EXPECT_EQ(cf.Counts(counts), (std::vector<size_t>{1, 1}));
+  cf.FilterValues(d, {0, 1});
+  EXPECT_EQ(cf.PassingCount(), 2u);  // the missing record fails
+}
+
+TEST(CrossfilterTest, RefilterSameDimensionReplaces) {
+  Crossfilter cf(4);
+  auto d = cf.AddNumericDimension({1, 2, 3, 4});
+  cf.FilterRange(d, 1, 2);
+  EXPECT_EQ(cf.PassingCount(), 1u);
+  cf.FilterRange(d, 1, 4);
+  EXPECT_EQ(cf.PassingCount(), 3u);
+  cf.FilterRange(d, 100, 200);
+  EXPECT_EQ(cf.PassingCount(), 0u);
+}
+
+TEST(CrossfilterTest, GroupAddedAfterFilterSeesFilteredState) {
+  Crossfilter cf(4);
+  auto a = cf.AddNumericDimension({1, 2, 3, 4});
+  auto b = cf.AddNumericDimension({5, 5, 6, 6});
+  cf.FilterRange(a, 3, 5);  // keep records 2,3
+  auto h = cf.AddHistogram(b, 2, 5, 7);
+  EXPECT_EQ(cf.Counts(h), (std::vector<size_t>{0, 2}));
+}
+
+TEST(CrossfilterTest, RecordsTouchedCountsOnlyDeltas) {
+  Crossfilter cf(100);
+  std::vector<double> vals(100);
+  for (int i = 0; i < 100; ++i) vals[i] = i;
+  auto d = cf.AddNumericDimension(std::move(vals));
+  cf.FilterRange(d, 0, 50);  // 50 records change state
+  EXPECT_EQ(cf.records_touched(), 50u);
+  cf.FilterRange(d, 0, 55);  // 5 more change
+  EXPECT_EQ(cf.records_touched(), 55u);
+  cf.FilterRange(d, 0, 55);  // identical brush: nothing changes
+  EXPECT_EQ(cf.records_touched(), 55u);
+}
+
+TEST(CrossfilterTest, RandomizedAgainstNaiveReference) {
+  vexus::Rng rng(77);
+  constexpr size_t kRecords = 300;
+  std::vector<std::vector<double>> cols(3);
+  for (auto& col : cols) {
+    col.resize(kRecords);
+    for (auto& v : col) v = rng.UniformDouble(0, 100);
+  }
+  Crossfilter cf(kRecords);
+  std::vector<size_t> dims;
+  for (auto& col : cols) {
+    dims.push_back(cf.AddNumericDimension(col));
+  }
+  std::vector<size_t> hists;
+  for (size_t d : dims) hists.push_back(cf.AddHistogram(d, 10, 0, 100));
+
+  std::vector<std::pair<double, double>> filters(
+      3, {std::nan(""), std::nan("")});
+  for (int step = 0; step < 40; ++step) {
+    size_t d = rng.UniformU32(3);
+    if (rng.Bernoulli(0.25)) {
+      cf.ClearFilter(dims[d]);
+      filters[d] = {std::nan(""), std::nan("")};
+    } else {
+      double lo = rng.UniformDouble(0, 90);
+      double hi = lo + rng.UniformDouble(1, 40);
+      cf.FilterRange(dims[d], lo, hi);
+      filters[d] = {lo, hi};
+    }
+    for (size_t g = 0; g < 3; ++g) {
+      EXPECT_EQ(cf.Counts(hists[g]),
+                NaiveCounts(cols, filters, g, 10, 0, 100))
+          << "step " << step << " group " << g;
+    }
+  }
+}
+
+TEST(CrossfilterTest, DragSequenceStaysConsistent) {
+  // A long drag on one dimension (the sorted-window fast path) must agree
+  // with from-scratch recomputation at every step.
+  Crossfilter cf(500);
+  std::vector<double> v1(500), v2(500);
+  for (int i = 0; i < 500; ++i) {
+    v1[i] = i % 100;
+    v2[i] = (i * 7) % 100;
+  }
+  auto d1 = cf.AddNumericDimension(v1);
+  auto d2 = cf.AddNumericDimension(v2);
+  auto h2 = cf.AddHistogram(d2, 10, 0, 100);
+  for (int lo = 0; lo <= 80; lo += 1) {
+    cf.FilterRange(d1, lo, lo + 20);
+    // Reference: count v2 bins among records with v1 in window.
+    std::vector<size_t> expect(10, 0);
+    for (int r = 0; r < 500; ++r) {
+      if (v1[r] >= lo && v1[r] < lo + 20) {
+        ++expect[static_cast<size_t>(v2[r] / 10)];
+      }
+    }
+    ASSERT_EQ(cf.Counts(h2), expect) << "lo=" << lo;
+  }
+}
+
+TEST(CrossfilterTest, ShrinkAndGrowWindow) {
+  Crossfilter cf(100);
+  std::vector<double> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  auto d = cf.AddNumericDimension(v);
+  cf.FilterRange(d, 0, 100);
+  EXPECT_EQ(cf.PassingCount(), 100u);
+  cf.FilterRange(d, 40, 60);  // shrink both sides
+  EXPECT_EQ(cf.PassingCount(), 20u);
+  cf.FilterRange(d, 10, 90);  // grow both sides
+  EXPECT_EQ(cf.PassingCount(), 80u);
+  cf.FilterRange(d, 95, 99);  // jump to a disjoint window
+  EXPECT_EQ(cf.PassingCount(), 4u);
+  cf.FilterRange(d, 0, 5);    // jump back across
+  EXPECT_EQ(cf.PassingCount(), 5u);
+}
+
+TEST(CrossfilterTest, EmptyWindowAndFullWindow) {
+  Crossfilter cf(50);
+  std::vector<double> v(50, 10.0);
+  auto d = cf.AddNumericDimension(v);
+  cf.FilterRange(d, 20, 30);  // nothing inside
+  EXPECT_EQ(cf.PassingCount(), 0u);
+  cf.FilterRange(d, 0, 100);  // everything inside
+  EXPECT_EQ(cf.PassingCount(), 50u);
+}
+
+TEST(CrossfilterTest, NanRecordsRestoredOnClear) {
+  double nan = std::nan("");
+  Crossfilter cf(4);
+  auto d = cf.AddNumericDimension({1, nan, 3, nan});
+  cf.FilterRange(d, 0, 10);
+  EXPECT_EQ(cf.PassingCount(), 2u);  // NaNs excluded by any range filter
+  cf.ClearFilter(d);
+  EXPECT_EQ(cf.PassingCount(), 4u);  // unfiltered: NaNs pass again
+}
+
+TEST(CrossfilterTest, CategoricalRefilterFlipsOnlyChangedCodes) {
+  Crossfilter cf(90);
+  std::vector<uint32_t> codes(90);
+  for (int i = 0; i < 90; ++i) codes[i] = i % 3;
+  auto d = cf.AddCategoricalDimension(codes, 3);
+  cf.FilterValues(d, {0});
+  size_t touched_after_first = cf.records_touched();
+  cf.FilterValues(d, {0, 1});  // only code 1's records flip
+  EXPECT_EQ(cf.records_touched() - touched_after_first, 30u);
+  EXPECT_EQ(cf.PassingCount(), 60u);
+  cf.FilterValues(d, {1});  // code 0 leaves
+  EXPECT_EQ(cf.PassingCount(), 30u);
+}
+
+TEST(CrossfilterTest, CategoricalMissingRestoredOnClear) {
+  Crossfilter cf(3);
+  auto d = cf.AddCategoricalDimension({0, UINT32_MAX, 1}, 2);
+  cf.FilterValues(d, {0, 1});
+  EXPECT_EQ(cf.PassingCount(), 2u);
+  cf.ClearFilter(d);
+  EXPECT_EQ(cf.PassingCount(), 3u);
+}
+
+TEST(CrossfilterTest, PassingSetMatchesCount) {
+  vexus::Rng rng(99);
+  Crossfilter cf(200);
+  std::vector<double> v1(200), v2(200);
+  for (int i = 0; i < 200; ++i) {
+    v1[i] = rng.UniformDouble(0, 10);
+    v2[i] = rng.UniformDouble(0, 10);
+  }
+  auto d1 = cf.AddNumericDimension(v1);
+  auto d2 = cf.AddNumericDimension(v2);
+  cf.FilterRange(d1, 2, 8);
+  cf.FilterRange(d2, 0, 5);
+  EXPECT_EQ(cf.PassingSet().Count(), cf.PassingCount());
+}
+
+}  // namespace
+}  // namespace vexus::viz

@@ -1,0 +1,118 @@
+#include "viz/force_layout.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace vexus::viz {
+namespace {
+
+TEST(ForceLayoutTest, NoOverlapsAfterRun) {
+  std::vector<double> radii = {40, 30, 30, 25, 20, 20, 15};
+  std::vector<ForceLayout::Link> links = {
+      {0, 1, 0.8}, {1, 2, 0.5}, {2, 3, 0.3}, {0, 4, 0.2}};
+  ForceLayout layout(radii, links);
+  layout.Run();
+  EXPECT_EQ(layout.CountOverlaps(), 0u);
+}
+
+TEST(ForceLayoutTest, NodesStayInViewport) {
+  ForceLayout::Options opt;
+  opt.width = 400;
+  opt.height = 300;
+  std::vector<double> radii(10, 20);
+  ForceLayout layout(radii, {}, opt);
+  layout.Run();
+  for (const auto& n : layout.nodes()) {
+    EXPECT_GE(n.x, n.radius - 1e-6);
+    EXPECT_LE(n.x, opt.width - n.radius + 1e-6);
+    EXPECT_GE(n.y, n.radius - 1e-6);
+    EXPECT_LE(n.y, opt.height - n.radius + 1e-6);
+  }
+}
+
+TEST(ForceLayoutTest, DeterministicForSeed) {
+  std::vector<double> radii = {30, 20, 25};
+  std::vector<ForceLayout::Link> links = {{0, 1, 0.5}};
+  ForceLayout::Options opt;
+  opt.seed = 7;
+  ForceLayout a(radii, links, opt);
+  ForceLayout b(radii, links, opt);
+  a.Run();
+  b.Run();
+  for (size_t i = 0; i < radii.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.nodes()[i].x, b.nodes()[i].x);
+    EXPECT_DOUBLE_EQ(a.nodes()[i].y, b.nodes()[i].y);
+  }
+}
+
+TEST(ForceLayoutTest, HigherSimilarityPullsCloser) {
+  // Two pairs with different link weights; the strong pair must end closer.
+  std::vector<double> radii = {15, 15, 15, 15};
+  std::vector<ForceLayout::Link> links = {{0, 1, 0.95}, {2, 3, 0.05}};
+  ForceLayout layout(radii, links);
+  layout.Run();
+  auto dist = [&](int i, int j) {
+    double dx = layout.nodes()[i].x - layout.nodes()[j].x;
+    double dy = layout.nodes()[i].y - layout.nodes()[j].y;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  EXPECT_LT(dist(0, 1), dist(2, 3));
+}
+
+TEST(ForceLayoutTest, MovementDecaysOverTicks) {
+  std::vector<double> radii(8, 18);
+  std::vector<ForceLayout::Link> links = {{0, 1, 0.5}, {2, 3, 0.5}};
+  ForceLayout layout(radii, links);
+  double early = 0, late = 0;
+  for (int i = 0; i < 20; ++i) layout.Tick();
+  early = layout.last_movement();
+  for (int i = 0; i < 280; ++i) layout.Tick();
+  late = layout.last_movement();
+  EXPECT_LT(late, early);
+}
+
+TEST(ForceLayoutTest, SingleNodeCentersItself) {
+  ForceLayout::Options opt;
+  opt.width = 200;
+  opt.height = 200;
+  ForceLayout layout({20}, {}, opt);
+  layout.Run();
+  EXPECT_NEAR(layout.nodes()[0].x, 100, 15);
+  EXPECT_NEAR(layout.nodes()[0].y, 100, 15);
+}
+
+TEST(ForceLayoutTest, EmptyLayout) {
+  ForceLayout layout({}, {});
+  layout.Run();
+  EXPECT_TRUE(layout.nodes().empty());
+  EXPECT_EQ(layout.CountOverlaps(), 0u);
+}
+
+TEST(ForceLayoutTest, RadiiArePreserved) {
+  std::vector<double> radii = {11, 22, 33};
+  ForceLayout layout(radii, {});
+  layout.Run();
+  for (size_t i = 0; i < radii.size(); ++i) {
+    EXPECT_DOUBLE_EQ(layout.nodes()[i].radius, radii[i]);
+  }
+}
+
+TEST(ForceLayoutTest, ManyCirclesStillSeparate) {
+  // The paper's GROUPVIZ shows k <= 7, but the layout must scale to the
+  // E9 sweep sizes without residual clutter.
+  std::vector<double> radii(40, 12);
+  std::vector<ForceLayout::Link> links;
+  for (uint32_t i = 0; i + 1 < 40; ++i) {
+    links.push_back({i, i + 1, 0.3});
+  }
+  ForceLayout::Options opt;
+  opt.width = 1200;
+  opt.height = 900;
+  ForceLayout layout(radii, links, opt);
+  layout.Run();
+  EXPECT_EQ(layout.CountOverlaps(), 0u);
+}
+
+}  // namespace
+}  // namespace vexus::viz

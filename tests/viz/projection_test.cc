@@ -1,0 +1,177 @@
+#include "viz/projection.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace vexus::viz {
+namespace {
+
+/// Two Gaussian clusters separated along a diagonal in 5-D; the first two
+/// coordinates carry the signal, the rest are noise.
+void TwoClasses(vexus::Rng* rng, std::vector<std::vector<double>>* rows,
+                std::vector<uint32_t>* labels, int per_class = 60) {
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < per_class; ++i) {
+      std::vector<double> row(5);
+      row[0] = (c == 0 ? -3.0 : 3.0) + rng->Normal(0, 0.6);
+      row[1] = (c == 0 ? -3.0 : 3.0) + rng->Normal(0, 0.6);
+      for (int j = 2; j < 5; ++j) row[j] = rng->Normal(0, 1.0);
+      rows->push_back(std::move(row));
+      labels->push_back(static_cast<uint32_t>(c));
+    }
+  }
+}
+
+TEST(LdaTest, SeparatesTwoClasses) {
+  vexus::Rng rng(1);
+  std::vector<std::vector<double>> rows;
+  std::vector<uint32_t> labels;
+  TwoClasses(&rng, &rows, &labels);
+  auto r = LinearDiscriminantAnalysis::Project(rows, labels);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->method, "lda");
+  EXPECT_EQ(r->points.size(), rows.size());
+  // Strong separation: classes far apart relative to spread.
+  EXPECT_GT(r->separation, 3.0);
+}
+
+TEST(LdaTest, ProjectionIsCentered) {
+  vexus::Rng rng(2);
+  std::vector<std::vector<double>> rows;
+  std::vector<uint32_t> labels;
+  TwoClasses(&rng, &rows, &labels);
+  auto r = LinearDiscriminantAnalysis::Project(rows, labels);
+  ASSERT_TRUE(r.ok());
+  double mx = 0, my = 0;
+  for (const auto& p : r->points) {
+    mx += p.x;
+    my += p.y;
+  }
+  EXPECT_NEAR(mx / r->points.size(), 0.0, 1e-6);
+  EXPECT_NEAR(my / r->points.size(), 0.0, 1e-6);
+}
+
+TEST(LdaTest, SimilarProfilesLandClose) {
+  // The paper: "Members whose profile are more similar appear closer".
+  vexus::Rng rng(3);
+  std::vector<std::vector<double>> rows;
+  std::vector<uint32_t> labels;
+  TwoClasses(&rng, &rows, &labels);
+  auto r = LinearDiscriminantAnalysis::Project(rows, labels);
+  ASSERT_TRUE(r.ok());
+  // Mean within-class pairwise distance << between-class distance.
+  auto dist = [&](size_t i, size_t j) {
+    double dx = r->points[i].x - r->points[j].x;
+    double dy = r->points[i].y - r->points[j].y;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  double within = 0, between = 0;
+  size_t wn = 0, bn = 0;
+  for (size_t i = 0; i < rows.size(); i += 7) {
+    for (size_t j = i + 1; j < rows.size(); j += 7) {
+      if (labels[i] == labels[j]) {
+        within += dist(i, j);
+        ++wn;
+      } else {
+        between += dist(i, j);
+        ++bn;
+      }
+    }
+  }
+  ASSERT_GT(wn, 0u);
+  ASSERT_GT(bn, 0u);
+  EXPECT_GT(between / bn, 2.0 * (within / wn));
+}
+
+TEST(LdaTest, SingleClassFallsBackToPca) {
+  vexus::Rng rng(4);
+  std::vector<std::vector<double>> rows;
+  std::vector<uint32_t> labels;
+  for (int i = 0; i < 30; ++i) {
+    rows.push_back({rng.Normal(0, 1), rng.Normal(0, 1)});
+    labels.push_back(0);
+  }
+  auto r = LinearDiscriminantAnalysis::Project(rows, labels);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->method, "pca");
+  EXPECT_DOUBLE_EQ(r->separation, 0.0);
+}
+
+TEST(LdaTest, FallbackCanBeDisabled) {
+  std::vector<std::vector<double>> rows = {{1, 2}, {3, 4}};
+  std::vector<uint32_t> labels = {0, 0};
+  LinearDiscriminantAnalysis::Options opt;
+  opt.pca_fallback = false;
+  auto r = LinearDiscriminantAnalysis::Project(rows, labels, opt);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsFailedPrecondition());
+}
+
+TEST(LdaTest, RejectsBadInputs) {
+  EXPECT_FALSE(LinearDiscriminantAnalysis::Project({}, {}).ok());
+  EXPECT_FALSE(
+      LinearDiscriminantAnalysis::Project({{1, 2}}, {0, 1}).ok());
+}
+
+TEST(LdaTest, OneHotFeaturesWorkWithRegularization) {
+  // Degenerate one-hot data makes Sw singular without the ridge.
+  std::vector<std::vector<double>> rows;
+  std::vector<uint32_t> labels;
+  for (int i = 0; i < 20; ++i) {
+    bool cls = i % 2 == 0;
+    rows.push_back({cls ? 1.0 : 0.0, cls ? 0.0 : 1.0, 1.0});
+    labels.push_back(cls ? 0u : 1u);
+  }
+  auto r = LinearDiscriminantAnalysis::Project(rows, labels);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->separation, 1.0);
+}
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Points along y = 2x: first principal axis aligns with (1,2)/√5.
+  vexus::Rng rng(5);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 200; ++i) {
+    double t = rng.Normal(0, 3);
+    rows.push_back({t + rng.Normal(0, 0.05), 2 * t + rng.Normal(0, 0.05)});
+  }
+  auto r = PcaProject(rows);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->method, "pca");
+  // Variance along the first axis dominates.
+  EXPECT_GT(r->eigenvalue1, 50.0 * std::max(r->eigenvalue2, 1e-9));
+  // x-coordinate must capture essentially all the spread.
+  double var_x = 0, var_y = 0;
+  for (const auto& p : r->points) {
+    var_x += p.x * p.x;
+    var_y += p.y * p.y;
+  }
+  EXPECT_GT(var_x, 100.0 * var_y);
+}
+
+TEST(PcaTest, OneDimensionalInput) {
+  std::vector<std::vector<double>> rows = {{1}, {2}, {3}};
+  auto r = PcaProject(rows);
+  ASSERT_TRUE(r.ok());
+  for (const auto& p : r->points) {
+    EXPECT_DOUBLE_EQ(p.y, 0.0);
+  }
+}
+
+TEST(SeparationScoreTest, ZeroForSingleClass) {
+  std::vector<Point2D> pts = {{0, 0}, {1, 1}};
+  EXPECT_DOUBLE_EQ(SeparationScore(pts, {0, 0}), 0.0);
+}
+
+TEST(SeparationScoreTest, HigherForBetterSeparation) {
+  std::vector<Point2D> tight = {{0, 0}, {0.1, 0}, {10, 0}, {10.1, 0}};
+  std::vector<Point2D> loose = {{0, 0}, {5, 0}, {6, 0}, {11, 0}};
+  std::vector<uint32_t> labels = {0, 0, 1, 1};
+  EXPECT_GT(SeparationScore(tight, labels), SeparationScore(loose, labels));
+}
+
+}  // namespace
+}  // namespace vexus::viz

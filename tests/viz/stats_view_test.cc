@@ -1,0 +1,148 @@
+#include "viz/stats_view.h"
+
+#include <gtest/gtest.h>
+
+namespace vexus::viz {
+namespace {
+
+/// 8 users: gender alternates m/f; score = index; user i in the "members"
+/// set iff i < 6.
+struct World {
+  World() {
+    gender = ds.schema().AddCategorical("gender");
+    score = ds.schema().AddNumeric("score");
+    for (int i = 0; i < 8; ++i) {
+      data::UserId u = ds.users().AddUser("u" + std::to_string(i));
+      ds.users().SetValueByName(u, gender, i % 2 == 0 ? "m" : "f");
+      ds.users().SetNumeric(u, score, i);
+    }
+    members = Bitset(8);
+    for (int i = 0; i < 6; ++i) members.Set(i);
+  }
+  data::Dataset ds;
+  data::AttributeId gender, score;
+  Bitset members;
+};
+
+TEST(StatsViewTest, BuildsOverMembersOnly) {
+  World w;
+  StatsView stats(&w.ds, w.members);
+  EXPECT_EQ(stats.num_members(), 6u);
+  EXPECT_EQ(stats.SelectedCount(), 6u);
+}
+
+TEST(StatsViewTest, DistributionsCoverAllAttributes) {
+  World w;
+  StatsView stats(&w.ds, w.members);
+  auto dists = stats.Distributions();
+  ASSERT_EQ(dists.size(), 2u);
+  EXPECT_EQ(dists[0].attribute, "gender");
+  EXPECT_EQ(dists[1].attribute, "score");
+}
+
+TEST(StatsViewTest, CategoricalDistributionCounts) {
+  World w;
+  StatsView stats(&w.ds, w.members);
+  auto d = stats.DistributionOf("gender");
+  ASSERT_TRUE(d.ok());
+  // Members 0..5: m at 0,2,4 and f at 1,3,5.
+  ASSERT_EQ(d->labels.size(), 2u);
+  size_t total = 0;
+  for (size_t c : d->counts) total += c;
+  EXPECT_EQ(total, 6u);
+  EXPECT_EQ(d->counts[0], 3u);
+  EXPECT_EQ(d->counts[1], 3u);
+}
+
+TEST(StatsViewTest, BrushConstrains) {
+  World w;
+  StatsView stats(&w.ds, w.members);
+  ASSERT_TRUE(stats.Brush("gender", {"f"}).ok());
+  EXPECT_EQ(stats.SelectedCount(), 3u);
+  auto users = stats.SelectedUsers();
+  EXPECT_EQ(users, (std::vector<std::string>{"u1", "u3", "u5"}));
+}
+
+TEST(StatsViewTest, BrushCoordinatesOtherHistograms) {
+  World w;
+  StatsView stats(&w.ds, w.members);
+  ASSERT_TRUE(stats.Brush("gender", {"f"}).ok());
+  // The score histogram now only counts f-members (1,3,5).
+  auto d = stats.DistributionOf("score");
+  ASSERT_TRUE(d.ok());
+  size_t total = 0;
+  for (size_t c : d->counts) total += c;
+  EXPECT_EQ(total, 3u);
+  // But the gender histogram itself still shows both bars (own-brush
+  // exemption).
+  auto g = stats.DistributionOf("gender");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->counts[0] + g->counts[1], 6u);
+}
+
+TEST(StatsViewTest, BrushRangeOnNumeric) {
+  World w;
+  StatsView stats(&w.ds, w.members);
+  ASSERT_TRUE(stats.BrushRange("score", 2, 5).ok());
+  EXPECT_EQ(stats.SelectedCount(), 3u);  // scores 2,3,4
+  EXPECT_EQ(stats.SelectedUserIds(),
+            (std::vector<data::UserId>{2, 3, 4}));
+}
+
+TEST(StatsViewTest, CombinedBrushes) {
+  World w;
+  StatsView stats(&w.ds, w.members);
+  // The paper's workflow: brush gender=female AND high activity.
+  ASSERT_TRUE(stats.Brush("gender", {"f"}).ok());
+  ASSERT_TRUE(stats.BrushRange("score", 3, 10).ok());
+  EXPECT_EQ(stats.SelectedUserIds(), (std::vector<data::UserId>{3, 5}));
+}
+
+TEST(StatsViewTest, ClearBrushRestores) {
+  World w;
+  StatsView stats(&w.ds, w.members);
+  ASSERT_TRUE(stats.Brush("gender", {"m"}).ok());
+  EXPECT_EQ(stats.SelectedCount(), 3u);
+  ASSERT_TRUE(stats.ClearBrush("gender").ok());
+  EXPECT_EQ(stats.SelectedCount(), 6u);
+}
+
+TEST(StatsViewTest, ErrorsOnBadNames) {
+  World w;
+  StatsView stats(&w.ds, w.members);
+  EXPECT_TRUE(stats.Brush("nope", {"x"}).IsNotFound());
+  EXPECT_TRUE(stats.Brush("gender", {"zz"}).IsNotFound());
+  EXPECT_TRUE(stats.Brush("score", {"1"}).IsInvalidArgument());
+  EXPECT_TRUE(stats.BrushRange("gender", 0, 1).IsInvalidArgument());
+  EXPECT_FALSE(stats.DistributionOf("ghost").ok());
+}
+
+TEST(StatsViewTest, SelectedUsersLimit) {
+  World w;
+  StatsView stats(&w.ds, w.members);
+  EXPECT_EQ(stats.SelectedUsers(2).size(), 2u);
+}
+
+TEST(StatsViewTest, EmptyMemberSet) {
+  World w;
+  StatsView stats(&w.ds, Bitset(8));
+  EXPECT_EQ(stats.num_members(), 0u);
+  EXPECT_EQ(stats.SelectedCount(), 0u);
+  EXPECT_TRUE(stats.SelectedUsers().empty());
+  auto d = stats.DistributionOf("gender");
+  ASSERT_TRUE(d.ok());
+  for (size_t c : d->counts) EXPECT_EQ(c, 0u);
+}
+
+TEST(StatsViewTest, NumericLabelsDescribeBins) {
+  World w;
+  StatsView stats(&w.ds, w.members);
+  auto d = stats.DistributionOf("score");
+  ASSERT_TRUE(d.ok());
+  ASSERT_FALSE(d->labels.empty());
+  EXPECT_EQ(d->labels[0].front(), '[');
+  EXPECT_NE(d->labels[0].find(','), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vexus::viz
