@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crossfilter.dir/bench_crossfilter.cpp.o"
+  "CMakeFiles/bench_crossfilter.dir/bench_crossfilter.cpp.o.d"
+  "bench_crossfilter"
+  "bench_crossfilter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crossfilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

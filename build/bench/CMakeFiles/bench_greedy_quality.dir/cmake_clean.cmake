@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_greedy_quality.dir/bench_greedy_quality.cpp.o"
+  "CMakeFiles/bench_greedy_quality.dir/bench_greedy_quality.cpp.o.d"
+  "bench_greedy_quality"
+  "bench_greedy_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_greedy_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_group_enumeration.dir/bench_group_enumeration.cpp.o"
+  "CMakeFiles/bench_group_enumeration.dir/bench_group_enumeration.cpp.o.d"
+  "bench_group_enumeration"
+  "bench_group_enumeration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_group_enumeration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

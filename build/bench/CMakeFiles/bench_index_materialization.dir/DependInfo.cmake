@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_index_materialization.cpp" "bench/CMakeFiles/bench_index_materialization.dir/bench_index_materialization.cpp.o" "gcc" "bench/CMakeFiles/bench_index_materialization.dir/bench_index_materialization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/viz/CMakeFiles/vexus_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vexus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/vexus_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/vexus_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/vexus_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/vexus_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vexus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

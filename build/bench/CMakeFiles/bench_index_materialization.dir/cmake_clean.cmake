@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_index_materialization.dir/bench_index_materialization.cpp.o"
+  "CMakeFiles/bench_index_materialization.dir/bench_index_materialization.cpp.o.d"
+  "bench_index_materialization"
+  "bench_index_materialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_index_materialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_layout_lda.dir/bench_layout_lda.cpp.o"
+  "CMakeFiles/bench_layout_lda.dir/bench_layout_lda.cpp.o.d"
+  "bench_layout_lda"
+  "bench_layout_lda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_layout_lda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scenario_bookclub.dir/bench_scenario_bookclub.cpp.o"
+  "CMakeFiles/bench_scenario_bookclub.dir/bench_scenario_bookclub.cpp.o.d"
+  "bench_scenario_bookclub"
+  "bench_scenario_bookclub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scenario_bookclub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

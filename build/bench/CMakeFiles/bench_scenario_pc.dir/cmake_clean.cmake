@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scenario_pc.dir/bench_scenario_pc.cpp.o"
+  "CMakeFiles/bench_scenario_pc.dir/bench_scenario_pc.cpp.o.d"
+  "bench_scenario_pc"
+  "bench_scenario_pc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scenario_pc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discussion_groups.dir/discussion_groups.cpp.o"
+  "CMakeFiles/discussion_groups.dir/discussion_groups.cpp.o.d"
+  "discussion_groups"
+  "discussion_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discussion_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expert_set_formation.dir/expert_set_formation.cpp.o"
+  "CMakeFiles/expert_set_formation.dir/expert_set_formation.cpp.o.d"
+  "expert_set_formation"
+  "expert_set_formation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expert_set_formation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/party_guest_finder.dir/party_guest_finder.cpp.o"
+  "CMakeFiles/party_guest_finder.dir/party_guest_finder.cpp.o.d"
+  "party_guest_finder"
+  "party_guest_finder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/party_guest_finder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

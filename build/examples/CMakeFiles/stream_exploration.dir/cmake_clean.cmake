@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_exploration.dir/stream_exploration.cpp.o"
+  "CMakeFiles/stream_exploration.dir/stream_exploration.cpp.o.d"
+  "stream_exploration"
+  "stream_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

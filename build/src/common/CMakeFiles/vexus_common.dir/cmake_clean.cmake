@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vexus_common.dir/bitset.cc.o"
+  "CMakeFiles/vexus_common.dir/bitset.cc.o.d"
+  "CMakeFiles/vexus_common.dir/csv.cc.o"
+  "CMakeFiles/vexus_common.dir/csv.cc.o.d"
+  "CMakeFiles/vexus_common.dir/hash.cc.o"
+  "CMakeFiles/vexus_common.dir/hash.cc.o.d"
+  "CMakeFiles/vexus_common.dir/logging.cc.o"
+  "CMakeFiles/vexus_common.dir/logging.cc.o.d"
+  "CMakeFiles/vexus_common.dir/random.cc.o"
+  "CMakeFiles/vexus_common.dir/random.cc.o.d"
+  "CMakeFiles/vexus_common.dir/status.cc.o"
+  "CMakeFiles/vexus_common.dir/status.cc.o.d"
+  "CMakeFiles/vexus_common.dir/string_util.cc.o"
+  "CMakeFiles/vexus_common.dir/string_util.cc.o.d"
+  "CMakeFiles/vexus_common.dir/thread_pool.cc.o"
+  "CMakeFiles/vexus_common.dir/thread_pool.cc.o.d"
+  "libvexus_common.a"
+  "libvexus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vexus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvexus_common.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/vexus_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/vexus_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/feedback.cc" "src/core/CMakeFiles/vexus_core.dir/feedback.cc.o" "gcc" "src/core/CMakeFiles/vexus_core.dir/feedback.cc.o.d"
+  "/root/repo/src/core/greedy.cc" "src/core/CMakeFiles/vexus_core.dir/greedy.cc.o" "gcc" "src/core/CMakeFiles/vexus_core.dir/greedy.cc.o.d"
+  "/root/repo/src/core/quality.cc" "src/core/CMakeFiles/vexus_core.dir/quality.cc.o" "gcc" "src/core/CMakeFiles/vexus_core.dir/quality.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/core/CMakeFiles/vexus_core.dir/session.cc.o" "gcc" "src/core/CMakeFiles/vexus_core.dir/session.cc.o.d"
+  "/root/repo/src/core/simulated_explorer.cc" "src/core/CMakeFiles/vexus_core.dir/simulated_explorer.cc.o" "gcc" "src/core/CMakeFiles/vexus_core.dir/simulated_explorer.cc.o.d"
+  "/root/repo/src/core/snapshot.cc" "src/core/CMakeFiles/vexus_core.dir/snapshot.cc.o" "gcc" "src/core/CMakeFiles/vexus_core.dir/snapshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/index/CMakeFiles/vexus_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/vexus_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/vexus_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vexus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vexus_core.dir/engine.cc.o"
+  "CMakeFiles/vexus_core.dir/engine.cc.o.d"
+  "CMakeFiles/vexus_core.dir/feedback.cc.o"
+  "CMakeFiles/vexus_core.dir/feedback.cc.o.d"
+  "CMakeFiles/vexus_core.dir/greedy.cc.o"
+  "CMakeFiles/vexus_core.dir/greedy.cc.o.d"
+  "CMakeFiles/vexus_core.dir/quality.cc.o"
+  "CMakeFiles/vexus_core.dir/quality.cc.o.d"
+  "CMakeFiles/vexus_core.dir/session.cc.o"
+  "CMakeFiles/vexus_core.dir/session.cc.o.d"
+  "CMakeFiles/vexus_core.dir/simulated_explorer.cc.o"
+  "CMakeFiles/vexus_core.dir/simulated_explorer.cc.o.d"
+  "CMakeFiles/vexus_core.dir/snapshot.cc.o"
+  "CMakeFiles/vexus_core.dir/snapshot.cc.o.d"
+  "libvexus_core.a"
+  "libvexus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vexus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/action_table.cc" "src/data/CMakeFiles/vexus_data.dir/action_table.cc.o" "gcc" "src/data/CMakeFiles/vexus_data.dir/action_table.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/vexus_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/vexus_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/dictionary.cc" "src/data/CMakeFiles/vexus_data.dir/dictionary.cc.o" "gcc" "src/data/CMakeFiles/vexus_data.dir/dictionary.cc.o.d"
+  "/root/repo/src/data/etl.cc" "src/data/CMakeFiles/vexus_data.dir/etl.cc.o" "gcc" "src/data/CMakeFiles/vexus_data.dir/etl.cc.o.d"
+  "/root/repo/src/data/generators/bookcrossing_gen.cc" "src/data/CMakeFiles/vexus_data.dir/generators/bookcrossing_gen.cc.o" "gcc" "src/data/CMakeFiles/vexus_data.dir/generators/bookcrossing_gen.cc.o.d"
+  "/root/repo/src/data/generators/dbauthors_gen.cc" "src/data/CMakeFiles/vexus_data.dir/generators/dbauthors_gen.cc.o" "gcc" "src/data/CMakeFiles/vexus_data.dir/generators/dbauthors_gen.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/data/CMakeFiles/vexus_data.dir/schema.cc.o" "gcc" "src/data/CMakeFiles/vexus_data.dir/schema.cc.o.d"
+  "/root/repo/src/data/user_table.cc" "src/data/CMakeFiles/vexus_data.dir/user_table.cc.o" "gcc" "src/data/CMakeFiles/vexus_data.dir/user_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vexus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

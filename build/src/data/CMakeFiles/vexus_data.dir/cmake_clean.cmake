@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vexus_data.dir/action_table.cc.o"
+  "CMakeFiles/vexus_data.dir/action_table.cc.o.d"
+  "CMakeFiles/vexus_data.dir/dataset.cc.o"
+  "CMakeFiles/vexus_data.dir/dataset.cc.o.d"
+  "CMakeFiles/vexus_data.dir/dictionary.cc.o"
+  "CMakeFiles/vexus_data.dir/dictionary.cc.o.d"
+  "CMakeFiles/vexus_data.dir/etl.cc.o"
+  "CMakeFiles/vexus_data.dir/etl.cc.o.d"
+  "CMakeFiles/vexus_data.dir/generators/bookcrossing_gen.cc.o"
+  "CMakeFiles/vexus_data.dir/generators/bookcrossing_gen.cc.o.d"
+  "CMakeFiles/vexus_data.dir/generators/dbauthors_gen.cc.o"
+  "CMakeFiles/vexus_data.dir/generators/dbauthors_gen.cc.o.d"
+  "CMakeFiles/vexus_data.dir/schema.cc.o"
+  "CMakeFiles/vexus_data.dir/schema.cc.o.d"
+  "CMakeFiles/vexus_data.dir/user_table.cc.o"
+  "CMakeFiles/vexus_data.dir/user_table.cc.o.d"
+  "libvexus_data.a"
+  "libvexus_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vexus_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

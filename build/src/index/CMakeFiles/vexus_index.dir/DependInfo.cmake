@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/group_graph.cc" "src/index/CMakeFiles/vexus_index.dir/group_graph.cc.o" "gcc" "src/index/CMakeFiles/vexus_index.dir/group_graph.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "src/index/CMakeFiles/vexus_index.dir/inverted_index.cc.o" "gcc" "src/index/CMakeFiles/vexus_index.dir/inverted_index.cc.o.d"
+  "/root/repo/src/index/minhash.cc" "src/index/CMakeFiles/vexus_index.dir/minhash.cc.o" "gcc" "src/index/CMakeFiles/vexus_index.dir/minhash.cc.o.d"
+  "/root/repo/src/index/similarity.cc" "src/index/CMakeFiles/vexus_index.dir/similarity.cc.o" "gcc" "src/index/CMakeFiles/vexus_index.dir/similarity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mining/CMakeFiles/vexus_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vexus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/vexus_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

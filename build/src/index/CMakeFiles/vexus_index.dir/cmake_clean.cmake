@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vexus_index.dir/group_graph.cc.o"
+  "CMakeFiles/vexus_index.dir/group_graph.cc.o.d"
+  "CMakeFiles/vexus_index.dir/inverted_index.cc.o"
+  "CMakeFiles/vexus_index.dir/inverted_index.cc.o.d"
+  "CMakeFiles/vexus_index.dir/minhash.cc.o"
+  "CMakeFiles/vexus_index.dir/minhash.cc.o.d"
+  "CMakeFiles/vexus_index.dir/similarity.cc.o"
+  "CMakeFiles/vexus_index.dir/similarity.cc.o.d"
+  "libvexus_index.a"
+  "libvexus_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vexus_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

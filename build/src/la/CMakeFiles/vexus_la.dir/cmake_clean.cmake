@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vexus_la.dir/eigen.cc.o"
+  "CMakeFiles/vexus_la.dir/eigen.cc.o.d"
+  "CMakeFiles/vexus_la.dir/matrix.cc.o"
+  "CMakeFiles/vexus_la.dir/matrix.cc.o.d"
+  "libvexus_la.a"
+  "libvexus_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vexus_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

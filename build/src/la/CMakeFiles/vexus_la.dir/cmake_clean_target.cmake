@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvexus_la.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mining/apriori.cc" "src/mining/CMakeFiles/vexus_mining.dir/apriori.cc.o" "gcc" "src/mining/CMakeFiles/vexus_mining.dir/apriori.cc.o.d"
+  "/root/repo/src/mining/birch.cc" "src/mining/CMakeFiles/vexus_mining.dir/birch.cc.o" "gcc" "src/mining/CMakeFiles/vexus_mining.dir/birch.cc.o.d"
+  "/root/repo/src/mining/descriptor_catalog.cc" "src/mining/CMakeFiles/vexus_mining.dir/descriptor_catalog.cc.o" "gcc" "src/mining/CMakeFiles/vexus_mining.dir/descriptor_catalog.cc.o.d"
+  "/root/repo/src/mining/discovery.cc" "src/mining/CMakeFiles/vexus_mining.dir/discovery.cc.o" "gcc" "src/mining/CMakeFiles/vexus_mining.dir/discovery.cc.o.d"
+  "/root/repo/src/mining/group.cc" "src/mining/CMakeFiles/vexus_mining.dir/group.cc.o" "gcc" "src/mining/CMakeFiles/vexus_mining.dir/group.cc.o.d"
+  "/root/repo/src/mining/lcm.cc" "src/mining/CMakeFiles/vexus_mining.dir/lcm.cc.o" "gcc" "src/mining/CMakeFiles/vexus_mining.dir/lcm.cc.o.d"
+  "/root/repo/src/mining/momri.cc" "src/mining/CMakeFiles/vexus_mining.dir/momri.cc.o" "gcc" "src/mining/CMakeFiles/vexus_mining.dir/momri.cc.o.d"
+  "/root/repo/src/mining/stream_mining.cc" "src/mining/CMakeFiles/vexus_mining.dir/stream_mining.cc.o" "gcc" "src/mining/CMakeFiles/vexus_mining.dir/stream_mining.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/vexus_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vexus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vexus_mining.dir/apriori.cc.o"
+  "CMakeFiles/vexus_mining.dir/apriori.cc.o.d"
+  "CMakeFiles/vexus_mining.dir/birch.cc.o"
+  "CMakeFiles/vexus_mining.dir/birch.cc.o.d"
+  "CMakeFiles/vexus_mining.dir/descriptor_catalog.cc.o"
+  "CMakeFiles/vexus_mining.dir/descriptor_catalog.cc.o.d"
+  "CMakeFiles/vexus_mining.dir/discovery.cc.o"
+  "CMakeFiles/vexus_mining.dir/discovery.cc.o.d"
+  "CMakeFiles/vexus_mining.dir/group.cc.o"
+  "CMakeFiles/vexus_mining.dir/group.cc.o.d"
+  "CMakeFiles/vexus_mining.dir/lcm.cc.o"
+  "CMakeFiles/vexus_mining.dir/lcm.cc.o.d"
+  "CMakeFiles/vexus_mining.dir/momri.cc.o"
+  "CMakeFiles/vexus_mining.dir/momri.cc.o.d"
+  "CMakeFiles/vexus_mining.dir/stream_mining.cc.o"
+  "CMakeFiles/vexus_mining.dir/stream_mining.cc.o.d"
+  "libvexus_mining.a"
+  "libvexus_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vexus_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

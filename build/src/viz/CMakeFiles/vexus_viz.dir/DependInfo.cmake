@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/canvas.cc" "src/viz/CMakeFiles/vexus_viz.dir/canvas.cc.o" "gcc" "src/viz/CMakeFiles/vexus_viz.dir/canvas.cc.o.d"
+  "/root/repo/src/viz/crossfilter.cc" "src/viz/CMakeFiles/vexus_viz.dir/crossfilter.cc.o" "gcc" "src/viz/CMakeFiles/vexus_viz.dir/crossfilter.cc.o.d"
+  "/root/repo/src/viz/force_layout.cc" "src/viz/CMakeFiles/vexus_viz.dir/force_layout.cc.o" "gcc" "src/viz/CMakeFiles/vexus_viz.dir/force_layout.cc.o.d"
+  "/root/repo/src/viz/groupviz.cc" "src/viz/CMakeFiles/vexus_viz.dir/groupviz.cc.o" "gcc" "src/viz/CMakeFiles/vexus_viz.dir/groupviz.cc.o.d"
+  "/root/repo/src/viz/projection.cc" "src/viz/CMakeFiles/vexus_viz.dir/projection.cc.o" "gcc" "src/viz/CMakeFiles/vexus_viz.dir/projection.cc.o.d"
+  "/root/repo/src/viz/session_views.cc" "src/viz/CMakeFiles/vexus_viz.dir/session_views.cc.o" "gcc" "src/viz/CMakeFiles/vexus_viz.dir/session_views.cc.o.d"
+  "/root/repo/src/viz/stats_view.cc" "src/viz/CMakeFiles/vexus_viz.dir/stats_view.cc.o" "gcc" "src/viz/CMakeFiles/vexus_viz.dir/stats_view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vexus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/vexus_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/vexus_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/vexus_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vexus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/vexus_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vexus_viz.dir/canvas.cc.o"
+  "CMakeFiles/vexus_viz.dir/canvas.cc.o.d"
+  "CMakeFiles/vexus_viz.dir/crossfilter.cc.o"
+  "CMakeFiles/vexus_viz.dir/crossfilter.cc.o.d"
+  "CMakeFiles/vexus_viz.dir/force_layout.cc.o"
+  "CMakeFiles/vexus_viz.dir/force_layout.cc.o.d"
+  "CMakeFiles/vexus_viz.dir/groupviz.cc.o"
+  "CMakeFiles/vexus_viz.dir/groupviz.cc.o.d"
+  "CMakeFiles/vexus_viz.dir/projection.cc.o"
+  "CMakeFiles/vexus_viz.dir/projection.cc.o.d"
+  "CMakeFiles/vexus_viz.dir/session_views.cc.o"
+  "CMakeFiles/vexus_viz.dir/session_views.cc.o.d"
+  "CMakeFiles/vexus_viz.dir/stats_view.cc.o"
+  "CMakeFiles/vexus_viz.dir/stats_view.cc.o.d"
+  "libvexus_viz.a"
+  "libvexus_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vexus_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/bitset_test.cc" "tests/CMakeFiles/vexus_common_tests.dir/common/bitset_test.cc.o" "gcc" "tests/CMakeFiles/vexus_common_tests.dir/common/bitset_test.cc.o.d"
+  "/root/repo/tests/common/csv_test.cc" "tests/CMakeFiles/vexus_common_tests.dir/common/csv_test.cc.o" "gcc" "tests/CMakeFiles/vexus_common_tests.dir/common/csv_test.cc.o.d"
+  "/root/repo/tests/common/hash_test.cc" "tests/CMakeFiles/vexus_common_tests.dir/common/hash_test.cc.o" "gcc" "tests/CMakeFiles/vexus_common_tests.dir/common/hash_test.cc.o.d"
+  "/root/repo/tests/common/logging_test.cc" "tests/CMakeFiles/vexus_common_tests.dir/common/logging_test.cc.o" "gcc" "tests/CMakeFiles/vexus_common_tests.dir/common/logging_test.cc.o.d"
+  "/root/repo/tests/common/random_test.cc" "tests/CMakeFiles/vexus_common_tests.dir/common/random_test.cc.o" "gcc" "tests/CMakeFiles/vexus_common_tests.dir/common/random_test.cc.o.d"
+  "/root/repo/tests/common/result_test.cc" "tests/CMakeFiles/vexus_common_tests.dir/common/result_test.cc.o" "gcc" "tests/CMakeFiles/vexus_common_tests.dir/common/result_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/vexus_common_tests.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/vexus_common_tests.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/common/stopwatch_test.cc" "tests/CMakeFiles/vexus_common_tests.dir/common/stopwatch_test.cc.o" "gcc" "tests/CMakeFiles/vexus_common_tests.dir/common/stopwatch_test.cc.o.d"
+  "/root/repo/tests/common/string_util_test.cc" "tests/CMakeFiles/vexus_common_tests.dir/common/string_util_test.cc.o" "gcc" "tests/CMakeFiles/vexus_common_tests.dir/common/string_util_test.cc.o.d"
+  "/root/repo/tests/common/thread_pool_test.cc" "tests/CMakeFiles/vexus_common_tests.dir/common/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/vexus_common_tests.dir/common/thread_pool_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/viz/CMakeFiles/vexus_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vexus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/vexus_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/vexus_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/vexus_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/vexus_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vexus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vexus_common_tests.dir/common/bitset_test.cc.o"
+  "CMakeFiles/vexus_common_tests.dir/common/bitset_test.cc.o.d"
+  "CMakeFiles/vexus_common_tests.dir/common/csv_test.cc.o"
+  "CMakeFiles/vexus_common_tests.dir/common/csv_test.cc.o.d"
+  "CMakeFiles/vexus_common_tests.dir/common/hash_test.cc.o"
+  "CMakeFiles/vexus_common_tests.dir/common/hash_test.cc.o.d"
+  "CMakeFiles/vexus_common_tests.dir/common/logging_test.cc.o"
+  "CMakeFiles/vexus_common_tests.dir/common/logging_test.cc.o.d"
+  "CMakeFiles/vexus_common_tests.dir/common/random_test.cc.o"
+  "CMakeFiles/vexus_common_tests.dir/common/random_test.cc.o.d"
+  "CMakeFiles/vexus_common_tests.dir/common/result_test.cc.o"
+  "CMakeFiles/vexus_common_tests.dir/common/result_test.cc.o.d"
+  "CMakeFiles/vexus_common_tests.dir/common/status_test.cc.o"
+  "CMakeFiles/vexus_common_tests.dir/common/status_test.cc.o.d"
+  "CMakeFiles/vexus_common_tests.dir/common/stopwatch_test.cc.o"
+  "CMakeFiles/vexus_common_tests.dir/common/stopwatch_test.cc.o.d"
+  "CMakeFiles/vexus_common_tests.dir/common/string_util_test.cc.o"
+  "CMakeFiles/vexus_common_tests.dir/common/string_util_test.cc.o.d"
+  "CMakeFiles/vexus_common_tests.dir/common/thread_pool_test.cc.o"
+  "CMakeFiles/vexus_common_tests.dir/common/thread_pool_test.cc.o.d"
+  "vexus_common_tests"
+  "vexus_common_tests.pdb"
+  "vexus_common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vexus_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

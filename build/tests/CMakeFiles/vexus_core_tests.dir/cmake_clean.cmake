@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vexus_core_tests.dir/core/engine_test.cc.o"
+  "CMakeFiles/vexus_core_tests.dir/core/engine_test.cc.o.d"
+  "CMakeFiles/vexus_core_tests.dir/core/feedback_test.cc.o"
+  "CMakeFiles/vexus_core_tests.dir/core/feedback_test.cc.o.d"
+  "CMakeFiles/vexus_core_tests.dir/core/greedy_test.cc.o"
+  "CMakeFiles/vexus_core_tests.dir/core/greedy_test.cc.o.d"
+  "CMakeFiles/vexus_core_tests.dir/core/quality_test.cc.o"
+  "CMakeFiles/vexus_core_tests.dir/core/quality_test.cc.o.d"
+  "CMakeFiles/vexus_core_tests.dir/core/session_test.cc.o"
+  "CMakeFiles/vexus_core_tests.dir/core/session_test.cc.o.d"
+  "CMakeFiles/vexus_core_tests.dir/core/simulated_explorer_test.cc.o"
+  "CMakeFiles/vexus_core_tests.dir/core/simulated_explorer_test.cc.o.d"
+  "CMakeFiles/vexus_core_tests.dir/core/snapshot_test.cc.o"
+  "CMakeFiles/vexus_core_tests.dir/core/snapshot_test.cc.o.d"
+  "vexus_core_tests"
+  "vexus_core_tests.pdb"
+  "vexus_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vexus_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vexus_data_tests.dir/data/action_table_test.cc.o"
+  "CMakeFiles/vexus_data_tests.dir/data/action_table_test.cc.o.d"
+  "CMakeFiles/vexus_data_tests.dir/data/dataset_test.cc.o"
+  "CMakeFiles/vexus_data_tests.dir/data/dataset_test.cc.o.d"
+  "CMakeFiles/vexus_data_tests.dir/data/dictionary_test.cc.o"
+  "CMakeFiles/vexus_data_tests.dir/data/dictionary_test.cc.o.d"
+  "CMakeFiles/vexus_data_tests.dir/data/etl_test.cc.o"
+  "CMakeFiles/vexus_data_tests.dir/data/etl_test.cc.o.d"
+  "CMakeFiles/vexus_data_tests.dir/data/generators_test.cc.o"
+  "CMakeFiles/vexus_data_tests.dir/data/generators_test.cc.o.d"
+  "CMakeFiles/vexus_data_tests.dir/data/schema_test.cc.o"
+  "CMakeFiles/vexus_data_tests.dir/data/schema_test.cc.o.d"
+  "CMakeFiles/vexus_data_tests.dir/data/stream_test.cc.o"
+  "CMakeFiles/vexus_data_tests.dir/data/stream_test.cc.o.d"
+  "CMakeFiles/vexus_data_tests.dir/data/user_table_test.cc.o"
+  "CMakeFiles/vexus_data_tests.dir/data/user_table_test.cc.o.d"
+  "vexus_data_tests"
+  "vexus_data_tests.pdb"
+  "vexus_data_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vexus_data_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vexus_index_tests.dir/index/group_graph_test.cc.o"
+  "CMakeFiles/vexus_index_tests.dir/index/group_graph_test.cc.o.d"
+  "CMakeFiles/vexus_index_tests.dir/index/inverted_index_test.cc.o"
+  "CMakeFiles/vexus_index_tests.dir/index/inverted_index_test.cc.o.d"
+  "CMakeFiles/vexus_index_tests.dir/index/minhash_test.cc.o"
+  "CMakeFiles/vexus_index_tests.dir/index/minhash_test.cc.o.d"
+  "CMakeFiles/vexus_index_tests.dir/index/similarity_test.cc.o"
+  "CMakeFiles/vexus_index_tests.dir/index/similarity_test.cc.o.d"
+  "vexus_index_tests"
+  "vexus_index_tests.pdb"
+  "vexus_index_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vexus_index_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

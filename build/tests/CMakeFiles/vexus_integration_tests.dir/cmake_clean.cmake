@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vexus_integration_tests.dir/integration/end_to_end_test.cc.o"
+  "CMakeFiles/vexus_integration_tests.dir/integration/end_to_end_test.cc.o.d"
+  "CMakeFiles/vexus_integration_tests.dir/integration/properties_test.cc.o"
+  "CMakeFiles/vexus_integration_tests.dir/integration/properties_test.cc.o.d"
+  "vexus_integration_tests"
+  "vexus_integration_tests.pdb"
+  "vexus_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vexus_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

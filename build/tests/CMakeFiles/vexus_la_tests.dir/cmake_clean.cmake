@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vexus_la_tests.dir/la/eigen_test.cc.o"
+  "CMakeFiles/vexus_la_tests.dir/la/eigen_test.cc.o.d"
+  "CMakeFiles/vexus_la_tests.dir/la/matrix_test.cc.o"
+  "CMakeFiles/vexus_la_tests.dir/la/matrix_test.cc.o.d"
+  "vexus_la_tests"
+  "vexus_la_tests.pdb"
+  "vexus_la_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vexus_la_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vexus_mining_tests.dir/mining/apriori_test.cc.o"
+  "CMakeFiles/vexus_mining_tests.dir/mining/apriori_test.cc.o.d"
+  "CMakeFiles/vexus_mining_tests.dir/mining/birch_test.cc.o"
+  "CMakeFiles/vexus_mining_tests.dir/mining/birch_test.cc.o.d"
+  "CMakeFiles/vexus_mining_tests.dir/mining/descriptor_catalog_test.cc.o"
+  "CMakeFiles/vexus_mining_tests.dir/mining/descriptor_catalog_test.cc.o.d"
+  "CMakeFiles/vexus_mining_tests.dir/mining/discovery_test.cc.o"
+  "CMakeFiles/vexus_mining_tests.dir/mining/discovery_test.cc.o.d"
+  "CMakeFiles/vexus_mining_tests.dir/mining/group_test.cc.o"
+  "CMakeFiles/vexus_mining_tests.dir/mining/group_test.cc.o.d"
+  "CMakeFiles/vexus_mining_tests.dir/mining/lcm_test.cc.o"
+  "CMakeFiles/vexus_mining_tests.dir/mining/lcm_test.cc.o.d"
+  "CMakeFiles/vexus_mining_tests.dir/mining/momri_test.cc.o"
+  "CMakeFiles/vexus_mining_tests.dir/mining/momri_test.cc.o.d"
+  "CMakeFiles/vexus_mining_tests.dir/mining/stream_mining_test.cc.o"
+  "CMakeFiles/vexus_mining_tests.dir/mining/stream_mining_test.cc.o.d"
+  "vexus_mining_tests"
+  "vexus_mining_tests.pdb"
+  "vexus_mining_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vexus_mining_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

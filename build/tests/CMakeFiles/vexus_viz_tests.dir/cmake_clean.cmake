@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vexus_viz_tests.dir/viz/canvas_test.cc.o"
+  "CMakeFiles/vexus_viz_tests.dir/viz/canvas_test.cc.o.d"
+  "CMakeFiles/vexus_viz_tests.dir/viz/crossfilter_test.cc.o"
+  "CMakeFiles/vexus_viz_tests.dir/viz/crossfilter_test.cc.o.d"
+  "CMakeFiles/vexus_viz_tests.dir/viz/force_layout_test.cc.o"
+  "CMakeFiles/vexus_viz_tests.dir/viz/force_layout_test.cc.o.d"
+  "CMakeFiles/vexus_viz_tests.dir/viz/groupviz_test.cc.o"
+  "CMakeFiles/vexus_viz_tests.dir/viz/groupviz_test.cc.o.d"
+  "CMakeFiles/vexus_viz_tests.dir/viz/projection_test.cc.o"
+  "CMakeFiles/vexus_viz_tests.dir/viz/projection_test.cc.o.d"
+  "CMakeFiles/vexus_viz_tests.dir/viz/session_views_test.cc.o"
+  "CMakeFiles/vexus_viz_tests.dir/viz/session_views_test.cc.o.d"
+  "CMakeFiles/vexus_viz_tests.dir/viz/stats_view_test.cc.o"
+  "CMakeFiles/vexus_viz_tests.dir/viz/stats_view_test.cc.o.d"
+  "vexus_viz_tests"
+  "vexus_viz_tests.pdb"
+  "vexus_viz_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vexus_viz_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

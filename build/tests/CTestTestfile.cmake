@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/vexus_common_tests[1]_include.cmake")
+include("/root/repo/build/tests/vexus_la_tests[1]_include.cmake")
+include("/root/repo/build/tests/vexus_data_tests[1]_include.cmake")
+include("/root/repo/build/tests/vexus_mining_tests[1]_include.cmake")
+include("/root/repo/build/tests/vexus_index_tests[1]_include.cmake")
+include("/root/repo/build/tests/vexus_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/vexus_viz_tests[1]_include.cmake")
+include("/root/repo/build/tests/vexus_integration_tests[1]_include.cmake")
