@@ -44,7 +44,9 @@ int main() {
     }
   }
 
-  const std::vector<double> budgets = {1, 5, 10, 50, 100, 500, 0 /*∞*/};
+  const std::vector<double> budgets = {
+      1, 5, 10, 50, 100, 500,
+      core::GreedyOptions::kUnboundedTimeLimit};
 
   // Reference: unbounded runs per anchor.
   std::vector<core::GreedySelection> reference;
@@ -52,7 +54,7 @@ int main() {
     core::GreedyOptions opt;
     opt.k = 7;
     opt.min_similarity = 0.01;
-    opt.time_limit_ms = 0;
+    opt.time_limit_ms = vexus::core::GreedyOptions::kUnboundedTimeLimit;
     reference.push_back(selector.SelectNext(a, feedback, opt));
   }
 
@@ -81,7 +83,7 @@ int main() {
       elapsed.Add(sel.elapsed_ms);
       hit.Add(sel.deadline_hit ? 1.0 : 0.0);
     }
-    PrintRow({budget == 0 ? "inf" : Fmt(budget, 0), Fmt(div.Mean()),
+    PrintRow({std::isinf(budget) ? "inf" : Fmt(budget, 0), Fmt(div.Mean()),
               Fmt(cov.Mean()), Fmt(divr.Mean()), Fmt(covr.Mean()),
               Fmt(objr.Mean()), Fmt(elapsed.Mean(), 1),
               Fmt(hit.Mean() * 100, 0) + "%"});

@@ -56,7 +56,7 @@ int main() {
   core::FeedbackVector feedback(&tokens);
   core::GreedyOptions gopt;
   gopt.k = 5;
-  gopt.time_limit_ms = 0;
+  gopt.time_limit_ms = vexus::core::GreedyOptions::kUnboundedTimeLimit;
 
   core::GreedySelector full_selector(&store, &*full);
   Series ref_obj;

@@ -1,0 +1,126 @@
+// service_repl: drive the exploration service over its line protocol.
+//
+// Demonstrates the serving layer end to end:
+//   1. Preprocess a synthetic BOOKCROSSING dataset into a VexusEngine.
+//   2. Stand up an ExplorationService (thread pool + session manager +
+//      dispatcher + metrics) in front of it.
+//   3. Feed it scripted protocol lines for TWO interleaved explorers —
+//      exactly the bytes a socket front-end would read — and print each
+//      request/response pair.
+//   4. Print the service metrics snapshot (per-op latency table).
+//
+// With --stdin it instead reads protocol lines from standard input, turning
+// the binary into an actual REPL you can pipe a script into:
+//
+//   echo '{"op":"start_session","session":"me"}' | ./build/examples/service_repl --stdin
+//
+// Run:  ./build/examples/service_repl
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/generators/bookcrossing_gen.h"
+#include "server/service.h"
+
+using vexus::core::VexusEngine;
+using vexus::data::BookCrossingGenerator;
+using vexus::server::ExplorationService;
+using vexus::server::Response;
+using vexus::server::ServiceOptions;
+
+namespace {
+
+/// Runs one scripted line and prints the exchange like a wire tap.
+Response Exchange(ExplorationService& svc, const std::string& line) {
+  std::printf(">> %s\n", line.c_str());
+  std::string out = svc.HandleLine(line);
+  std::printf("<< %s\n\n", out.c_str());
+  auto resp = Response::Decode(out);
+  return resp.ok() ? std::move(resp).ValueOrDie() : Response{};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool use_stdin = argc > 1 && std::strcmp(argv[1], "--stdin") == 0;
+
+  // ---- 1. Engine. ----
+  BookCrossingGenerator::Config data_cfg;
+  data_cfg.num_users = 1500;
+  data_cfg.num_books = 2000;
+  data_cfg.num_ratings = 10000;
+  vexus::mining::DiscoveryOptions discovery;
+  discovery.min_support_fraction = 0.02;
+  auto engine_result = VexusEngine::Preprocess(
+      BookCrossingGenerator::Generate(data_cfg), discovery, {});
+  if (!engine_result.ok()) {
+    std::fprintf(stderr, "preprocess failed: %s\n",
+                 engine_result.status().ToString().c_str());
+    return 1;
+  }
+  VexusEngine engine = std::move(engine_result).ValueOrDie();
+  std::printf("%s\n\n", engine.Summary().c_str());
+
+  // ---- 2. Service. ----
+  ServiceOptions options;
+  options.session_template.greedy.k = 5;
+  options.session_template.greedy.time_limit_ms = 80;  // inside the 100 ms
+  options.num_workers = 4;
+  ExplorationService svc(&engine, options);
+
+  if (use_stdin) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      std::printf("%s\n", svc.HandleLine(line).c_str());
+    }
+    return 0;
+  }
+
+  // ---- 3. Two interleaved explorers, scripted. ----
+  // Alice hunts for a group; Bob starts later, works in parallel, and
+  // abandons a stale handle on the way.
+  Response alice_first =
+      Exchange(svc, R"({"op":"start_session","session":"alice","k":5})");
+  Response bob_first =
+      Exchange(svc, R"({"op":"start_session","session":"bob","k":3})");
+
+  if (alice_first.groups.empty() || bob_first.groups.empty()) {
+    std::fprintf(stderr, "unexpected: empty first screens\n");
+    return 1;
+  }
+
+  uint32_t alice_click = alice_first.groups[0].id;
+  uint32_t bob_click = bob_first.groups[0].id;
+  Exchange(svc, std::string(R"({"op":"select_group","session":"alice","group":)") +
+                    std::to_string(alice_click) + "}");
+  Exchange(svc, std::string(R"({"op":"select_group","session":"bob","group":)") +
+                    std::to_string(bob_click) + "}");
+  Exchange(svc, std::string(R"({"op":"bookmark","session":"alice","group":)") +
+                    std::to_string(alice_click) + "}");
+  Exchange(svc, R"({"op":"bookmark","session":"bob","user":42})");
+  Exchange(svc, R"({"op":"get_context","session":"alice","top_k":5})");
+
+  // Alice changes her mind about the first click: backtrack + re-explore.
+  Exchange(svc, R"({"op":"backtrack","session":"alice","step":0})");
+
+  // A client with a stale generation gets NotFound, not Bob's session.
+  Exchange(svc, R"({"op":"select_group","session":"bob","group":0,"generation":999999})");
+
+  // A request that arrives with no budget left degrades gracefully.
+  Exchange(svc, R"({"op":"select_group","session":"bob","group":0,"budget_ms":0})");
+
+  // Malformed input produces an error line, never a crash.
+  Exchange(svc, "{\"op\":\"warp_ten\"}");
+
+  Exchange(svc, R"({"op":"end_session","session":"alice"})");
+  Exchange(svc, R"({"op":"end_session","session":"bob"})");
+
+  // ---- 4. Metrics. ----
+  std::printf("%s\n", svc.Stats().ToString().c_str());
+  return 0;
+}

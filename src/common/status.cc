@@ -28,8 +28,18 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Aborted";
     case StatusCode::kUnknown:
       return "Unknown";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
+}
+
+StatusCode StatusCodeFromString(std::string_view name) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kDeadlineExceeded); ++c) {
+    auto code = static_cast<StatusCode>(c);
+    if (StatusCodeToString(code) == name) return code;
+  }
+  return StatusCode::kUnknown;
 }
 
 std::string Status::ToString() const {

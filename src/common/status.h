@@ -25,10 +25,16 @@ enum class StatusCode : int {
   kResourceExhausted = 9,
   kAborted = 10,
   kUnknown = 11,
+  kDeadlineExceeded = 12,
 };
 
 /// Returns a stable human-readable name for a code ("OK", "InvalidArgument"...).
 std::string_view StatusCodeToString(StatusCode code);
+
+/// Inverse of StatusCodeToString; returns kUnknown for unrecognized names.
+/// Used by the serving layer's wire codec (src/server/protocol.h) to round-
+/// trip status codes through line-delimited JSON.
+StatusCode StatusCodeFromString(std::string_view name);
 
 /// A Status holds either success (OK) or an error code plus a message.
 ///
@@ -77,6 +83,16 @@ class Status {
   static Status Unknown(std::string msg) {
     return Status(StatusCode::kUnknown, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+
+  /// Constructs a status from an arbitrary code ("OK" codes ignore msg).
+  /// Needed by the wire codec which decodes codes received as strings.
+  static Status FromCode(StatusCode code, std::string msg) {
+    if (code == StatusCode::kOk) return Status();
+    return Status(code, std::move(msg));
+  }
 
   /// True iff the status is success.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -98,6 +114,9 @@ class Status {
     return code_ == StatusCode::kResourceExhausted;
   }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 
 namespace vexus {
@@ -37,8 +38,19 @@ class Stopwatch {
 /// unbounded optimum (experiment E1's denominator).
 class Deadline {
  public:
-  /// Expires `millis` from now. Negative budgets expire immediately.
+  /// Expires `millis` from now.
+  ///
+  /// Budget clamping (the serving layer and the greedy loop both rely on
+  /// this being uniform): zero, negative, or NaN budgets yield an
+  /// *already-expired* deadline ("expire immediately"); +infinity and
+  /// anything beyond ~30 years yield an infinite deadline. This keeps
+  /// `Deadline::AfterMillis(remaining_budget)` safe no matter what arithmetic
+  /// produced `remaining_budget`.
   static Deadline AfterMillis(double millis) {
+    if (std::isnan(millis) || millis <= 0) {
+      return Deadline(Clock::time_point::min());
+    }
+    if (millis >= kInfiniteBudgetMillis) return Infinite();
     return Deadline(Clock::now() +
                     std::chrono::duration_cast<Clock::duration>(
                         std::chrono::duration<double, std::milli>(millis)));
@@ -46,6 +58,11 @@ class Deadline {
 
   /// Never expires.
   static Deadline Infinite() { return Deadline(Clock::time_point::max()); }
+
+  /// Budgets at or above this many milliseconds (~30 years) are treated as
+  /// infinite by AfterMillis. Callers that want "unbounded" should pass
+  /// std::numeric_limits<double>::infinity().
+  static constexpr double kInfiniteBudgetMillis = 1e12;
 
   bool Expired() const {
     return when_ != Clock::time_point::max() && Clock::now() >= when_;

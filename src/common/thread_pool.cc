@@ -14,22 +14,42 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::unique_lock<std::mutex> lock(mutex_);
+    if (shutdown_ && joined_) return;
     shutdown_ = true;
   }
   work_cv_.notify_all();
+  {
+    // Only one caller joins; concurrent Shutdown() calls wait on done_cv_
+    // until the joiner finishes (joining the same std::thread twice is UB).
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (joining_) {
+      done_cv_.wait(lock, [this] { return joined_; });
+      return;
+    }
+    joining_ = true;
+  }
   for (auto& t : workers_) t.join();
-}
-
-void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
+    joined_ = true;
+  }
+  done_cv_.notify_all();
+}
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (shutdown_) return false;  // shedding: see header contract
     queue_.push(std::move(task));
     ++in_flight_;
   }
   work_cv_.notify_one();
+  return true;
 }
 
 void ThreadPool::Wait() {
@@ -45,9 +65,12 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     size_t begin = c * per;
     size_t end = std::min(n, begin + per);
     if (begin >= end) break;
-    Submit([begin, end, &fn] {
+    auto task = [begin, end, &fn] {
       for (size_t i = begin; i < end; ++i) fn(i);
-    });
+    };
+    // A ParallelFor racing Shutdown() falls back to inline execution so the
+    // loop body still runs exactly once per index.
+    if (!Submit(task)) task();
   }
   Wait();
 }

@@ -1,7 +1,8 @@
 // Fixed-size thread pool used by offline pre-processing (index construction
-// parallelizes per-group neighbor computation; experiment E7). Interactive
-// paths never block on the pool — the 100 ms greedy budget is single-threaded
-// by design so latency is predictable.
+// parallelizes per-group neighbor computation; experiment E7) and by the
+// serving layer's dispatcher (src/server/dispatcher.h), which routes
+// per-request work onto the pool. The greedy refinement loop itself stays
+// single-threaded so the 100 ms continuity budget remains predictable.
 #pragma once
 
 #include <condition_variable>
@@ -18,7 +19,7 @@ class ThreadPool {
   /// Starts `num_threads` workers (0 -> hardware concurrency, min 1).
   explicit ThreadPool(size_t num_threads = 0);
 
-  /// Drains outstanding work, then joins all workers.
+  /// Equivalent to Shutdown().
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -26,8 +27,17 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  /// Enqueues a task. Tasks must not throw.
-  void Submit(std::function<void()> task);
+  /// Drains already-queued work, then joins all workers. Idempotent; called
+  /// by the destructor. After Shutdown() returns, Submit() rejects new work
+  /// — the serving-layer dispatcher relies on this to shed requests with
+  /// RESOURCE_EXHAUSTED instead of losing them silently during teardown.
+  void Shutdown();
+
+  /// Enqueues a task. Tasks must not throw. Returns false — without
+  /// enqueueing — once shutdown has begun; the task is simply dropped, so
+  /// callers that must observe completion (e.g. a promise-completing
+  /// wrapper) must handle the rejection themselves.
+  [[nodiscard]] bool Submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished.
   void Wait();
@@ -46,6 +56,8 @@ class ThreadPool {
   std::condition_variable done_cv_;   // signals Wait()
   size_t in_flight_ = 0;
   bool shutdown_ = false;
+  bool joining_ = false;  // a Shutdown() caller owns the join
+  bool joined_ = false;   // the join completed
 };
 
 }  // namespace vexus

@@ -95,9 +95,10 @@ GreedySelection GreedySelector::Run(std::vector<GroupId> pool,
                                     const GreedyOptions& options) const {
   VEXUS_CHECK(options.k >= 1);
   Stopwatch watch;
-  Deadline deadline = options.time_limit_ms <= 0
-                          ? Deadline::Infinite()
-                          : Deadline::AfterMillis(options.time_limit_ms);
+  // AfterMillis owns the budget clamping: <= 0 / NaN expire immediately,
+  // +infinity (kUnboundedTimeLimit) never expires. Keeping the policy in one
+  // place is what the serving layer's deadline propagation relies on.
+  Deadline deadline = Deadline::AfterMillis(options.time_limit_ms);
 
   GreedySelection result;
   result.candidates = pool.size();

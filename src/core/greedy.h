@@ -18,6 +18,7 @@
 // is what the 100 ms budget truncates (experiment E1 sweeps it).
 #pragma once
 
+#include <limits>
 #include <optional>
 #include <vector>
 
@@ -37,8 +38,17 @@ struct GreedyOptions {
   /// guard); candidates below it are not considered.
   double min_similarity = 0.05;
   /// The P3 time budget for the refinement loop, in milliseconds.
-  /// <= 0 means unbounded (used to compute the E1 reference optimum).
+  ///
+  /// Budget semantics match Deadline::AfterMillis everywhere: zero, negative
+  /// or NaN budgets *expire immediately* (seed-only selection, deadline_hit
+  /// set) — this is what lets the serving layer clamp a request's remaining
+  /// deadline into this field without a sign check. Unbounded runs (the E1
+  /// reference optimum) pass kUnboundedTimeLimit (+infinity).
   double time_limit_ms = 100.0;
+
+  /// Sentinel for "no time limit" (see time_limit_ms).
+  static constexpr double kUnboundedTimeLimit =
+      std::numeric_limits<double>::infinity();
   /// μ: weight of the feedback-affinity term in the internal objective.
   double feedback_weight = 0.2;
   /// Cap on the candidate pool for the *initial* step (no anchor), where

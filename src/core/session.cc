@@ -79,6 +79,21 @@ void ExplorationSession::BookmarkGroup(mining::GroupId g) {
   }
 }
 
+SessionDigest ExplorationSession::Digest() const {
+  SessionDigest d;
+  d.num_steps = history_.size();
+  d.memo_groups = memo_.groups.size();
+  d.memo_users = memo_.users.size();
+  d.feedback_nonzero = feedback_.nonzero_count();
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    if (it->selected.has_value()) {
+      d.last_selected = it->selected;
+      break;
+    }
+  }
+  return d;
+}
+
 void ExplorationSession::BookmarkUser(data::UserId u) {
   VEXUS_CHECK(u < dataset_->num_users());
   if (std::find(memo_.users.begin(), memo_.users.end(), u) ==

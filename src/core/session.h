@@ -47,6 +47,18 @@ struct Memo {
   std::vector<data::UserId> users;
 };
 
+/// A constant-size summary of a session's state — what the serving layer
+/// logs when it evicts an idle session and returns from end_session, without
+/// cloning history or feedback (sessions can hold megabytes of snapshots).
+struct SessionDigest {
+  size_t num_steps = 0;
+  size_t memo_groups = 0;
+  size_t memo_users = 0;
+  size_t feedback_nonzero = 0;
+  /// The last clicked group, if any step selected one.
+  std::optional<mining::GroupId> last_selected;
+};
+
 class ExplorationSession {
  public:
   /// All pointers must outlive the session.
@@ -94,8 +106,17 @@ class ExplorationSession {
   void BookmarkUser(data::UserId u);
   const Memo& memo() const { return memo_; }
 
+  /// Cheap state summary (see SessionDigest).
+  SessionDigest Digest() const;
+
   const TokenSpace& tokens() const { return tokens_; }
   const SessionOptions& options() const { return options_; }
+  /// Serving-layer hook: the dispatcher clamps the greedy time budget to a
+  /// request's *remaining* deadline before each Start/SelectGroup, so queue
+  /// time spent before the worker picked the request up still counts against
+  /// the paper's 100 ms end-to-end budget. Callers must hold the session's
+  /// exclusive lease (see server::SessionManager).
+  SessionOptions& mutable_options() { return options_; }
   const mining::GroupStore& store() const { return *store_; }
   const data::Dataset& dataset() const { return *dataset_; }
 

@@ -106,9 +106,10 @@ Result<InvertedIndex> InvertedIndex::Build(const GroupStore& store,
       for (size_t start = 0; start < n; start += chunk) {
         size_t end = std::min(n, start + chunk);
         size_t buf = next_buffer++ % workers;
-        pool.Submit([&, start, end, buf] {
+        bool accepted = pool.Submit([&, start, end, buf] {
           for (size_t g = start; g < end; ++g) build_one(g, &buffers[buf]);
         });
+        VEXUS_CHECK(accepted) << "fresh pool rejected work";
       }
       pool.Wait();
     }

@@ -1,0 +1,92 @@
+#include "server/dispatcher.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace vexus::server {
+
+Dispatcher::Dispatcher(ThreadPool* pool, Handler handler,
+                       DispatcherOptions options, ServiceMetrics* metrics)
+    : pool_(pool),
+      handler_(std::move(handler)),
+      options_(options),
+      metrics_(metrics) {
+  VEXUS_CHECK(pool_ != nullptr);
+  VEXUS_CHECK(handler_ != nullptr);
+  if (options_.max_queue_depth == 0) options_.max_queue_depth = 1;
+}
+
+double Dispatcher::EffectiveBudgetMs(const Request& req) const {
+  double budget = req.budget_ms.value_or(options_.default_budget_ms);
+  // Negative/zero budgets are honored as "already expired" (the
+  // Deadline::AfterMillis contract); only the ceiling is clamped here.
+  return std::min(budget, options_.max_budget_ms);
+}
+
+std::future<Response> Dispatcher::Submit(Request req) {
+  auto promise = std::make_shared<std::promise<Response>>();
+  std::future<Response> future = promise->get_future();
+
+  auto finish = [this, promise](const Request& r, Response resp,
+                                double latency_ms) {
+    if (metrics_ != nullptr) {
+      metrics_->RecordRequest(r.type, resp.status.code(), latency_ms);
+      if (resp.greedy_deadline_hit) metrics_->RecordGreedyDeadlineHit();
+    }
+    resp.elapsed_ms = latency_ms;
+    promise->set_value(std::move(resp));
+  };
+
+  // ---- 1. Backpressure: shed instead of stall. ----
+  size_t depth = in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (depth > options_.max_queue_depth) {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    finish(req,
+           ErrorResponse(req, Status::ResourceExhausted(
+                                  "queue depth " + std::to_string(depth - 1) +
+                                  " exceeds limit " +
+                                  std::to_string(options_.max_queue_depth))),
+           /*latency_ms=*/0);
+    return future;
+  }
+
+  // ---- 2. Deadline stamped at admission. ----
+  Stopwatch admitted;
+  Deadline deadline = Deadline::AfterMillis(EffectiveBudgetMs(req));
+
+  // `req` is captured by copy: the shed-at-shutdown path below still needs
+  // the original to report which op was dropped.
+  auto task = [this, finish, req, admitted, deadline]() {
+    double queue_ms = admitted.ElapsedMillis();
+    Response resp;
+    // ---- 3. Expired while queued (or born expired): never touch the
+    //         session or the greedy loop. ----
+    if (deadline.Expired()) {
+      resp = ErrorResponse(
+          req, Status::DeadlineExceeded(
+                   "budget exhausted after " + std::to_string(queue_ms) +
+                   " ms in queue"));
+    } else {
+      // ---- 4. Execute with the live remaining budget. ----
+      resp = handler_(req, deadline);
+    }
+    resp.queue_ms = queue_ms;
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    finish(req, std::move(resp), admitted.ElapsedMillis());
+  };
+
+  if (!pool_->Submit(std::move(task))) {
+    // Pool is shutting down: shed, never lose the promise.
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    finish(req,
+           ErrorResponse(req,
+                         Status::ResourceExhausted("service shutting down")),
+           /*latency_ms=*/0);
+  }
+  return future;
+}
+
+}  // namespace vexus::server

@@ -1,0 +1,78 @@
+// Dispatcher — deadline-aware request routing onto common::ThreadPool.
+//
+// The stateless half of the serving substrate. Each submitted request:
+//   1. passes (or is shed by) queue-depth backpressure — beyond
+//      `max_queue_depth` outstanding requests the dispatcher answers
+//      ResourceExhausted *immediately* instead of stalling the caller; a
+//      saturated interactive service must degrade by rejecting, not by
+//      growing latency past the paper's continuity budget;
+//   2. gets its deadline stamped at admission (default: the paper's 100 ms)
+//      — time spent queued counts against it;
+//   3. runs on a pool worker, which first re-checks the deadline: a request
+//      whose budget is already gone answers DeadlineExceeded without ever
+//      touching a session or the greedy loop;
+//   4. otherwise invokes the handler with the live Deadline so it can clamp
+//      the greedy time budget to the *remaining* milliseconds.
+//
+// Results travel back through std::future, so callers may fan out requests
+// for different sessions and collect them concurrently.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <future>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "server/metrics.h"
+#include "server/protocol.h"
+
+namespace vexus::server {
+
+struct DispatcherOptions {
+  /// Shed requests beyond this many admitted-but-unfinished ones.
+  size_t max_queue_depth = 256;
+  /// Budget applied when a request carries none (paper P3: 100 ms).
+  double default_budget_ms = 100.0;
+  /// Client-supplied budgets are clamped to this ceiling so one request
+  /// cannot park a worker arbitrarily long. +infinity disables the ceiling.
+  double max_budget_ms = 10'000.0;
+};
+
+class Dispatcher {
+ public:
+  /// The handler runs on pool workers; it must be thread-safe. The deadline
+  /// passed to it is the request's admission-stamped end-to-end budget.
+  using Handler = std::function<Response(const Request&, const Deadline&)>;
+
+  /// `pool` and `metrics` must outlive the dispatcher; `metrics` may be
+  /// null. The pool may be shared with other work (e.g. preprocessing).
+  Dispatcher(ThreadPool* pool, Handler handler, DispatcherOptions options,
+             ServiceMetrics* metrics = nullptr);
+
+  /// Admits (or sheds) `req`; the future completes when the request does.
+  /// Shed/rejected requests complete immediately, so .get() never deadlocks.
+  std::future<Response> Submit(Request req);
+
+  /// Synchronous convenience: Submit + wait.
+  Response Call(Request req) { return Submit(std::move(req)).get(); }
+
+  /// Requests admitted and not yet completed (gauge).
+  size_t queue_depth() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
+  const DispatcherOptions& options() const { return options_; }
+
+ private:
+  /// Resolves the effective end-to-end budget of a request.
+  double EffectiveBudgetMs(const Request& req) const;
+
+  ThreadPool* pool_;
+  Handler handler_;
+  DispatcherOptions options_;
+  ServiceMetrics* metrics_;
+  std::atomic<size_t> in_flight_{0};
+};
+
+}  // namespace vexus::server

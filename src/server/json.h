@@ -1,0 +1,103 @@
+// Minimal JSON value model + writer + recursive-descent parser for the
+// serving layer's line-delimited wire protocol (src/server/protocol.h).
+//
+// Hand-rolled on purpose: the repo bakes in no third-party JSON dependency,
+// and the protocol only needs a small, predictable subset — objects, arrays,
+// strings, doubles, bools, null — emitted compactly on a single line so a
+// future socket front-end can frame messages with '\n'. The writer escapes
+// control characters; the parser accepts standard JSON (including \uXXXX
+// escapes, which it decodes to UTF-8) with a depth cap so malformed or
+// hostile input fails with InvalidArgument instead of exhausting the stack.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace vexus::server::json {
+
+class Value;
+
+/// Object members preserve insertion order (stable golden-file tests, and
+/// responses read naturally with "op"/"status" first). Lookup is linear —
+/// protocol objects have ~a dozen keys.
+using Object = std::vector<std::pair<std::string, Value>>;
+using Array = std::vector<Value>;
+
+/// A JSON document node. Numbers are doubles (the protocol's ids fit in the
+/// 2^53 exact-integer range; the writer prints integral doubles without a
+/// fraction so ids round-trip textually).
+class Value {
+ public:
+  Value() : repr_(nullptr) {}                        // null
+  Value(std::nullptr_t) : repr_(nullptr) {}          // NOLINT
+  Value(bool b) : repr_(b) {}                        // NOLINT
+  /// Any non-bool arithmetic type becomes a double (ids stay exact within
+  /// 2^53; one template avoids platform-dependent uint64_t/size_t overload
+  /// clashes).
+  template <typename T,
+            typename = std::enable_if_t<std::is_arithmetic_v<T> &&
+                                        !std::is_same_v<T, bool>>>
+  Value(T n) : repr_(static_cast<double>(n)) {}      // NOLINT
+  Value(const char* s) : repr_(std::string(s)) {}    // NOLINT
+  Value(std::string s) : repr_(std::move(s)) {}      // NOLINT
+  Value(std::string_view s) : repr_(std::string(s)) {}  // NOLINT
+  Value(Array a) : repr_(std::move(a)) {}            // NOLINT
+  Value(Object o) : repr_(std::move(o)) {}           // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(repr_); }
+  bool is_bool() const { return std::holds_alternative<bool>(repr_); }
+  bool is_number() const { return std::holds_alternative<double>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+  bool is_array() const { return std::holds_alternative<Array>(repr_); }
+  bool is_object() const { return std::holds_alternative<Object>(repr_); }
+
+  /// Typed accessors; calling the wrong one is a programmer error (DCHECK).
+  bool AsBool() const { return std::get<bool>(repr_); }
+  double AsDouble() const { return std::get<double>(repr_); }
+  const std::string& AsString() const { return std::get<std::string>(repr_); }
+  const Array& AsArray() const { return std::get<Array>(repr_); }
+  const Object& AsObject() const { return std::get<Object>(repr_); }
+  Array& AsArray() { return std::get<Array>(repr_); }
+  Object& AsObject() { return std::get<Object>(repr_); }
+
+  /// Object field lookup; nullptr when absent or when this is not an object.
+  const Value* Find(std::string_view key) const;
+
+  /// Appends (does not replace) a member; this must be an object.
+  void Set(std::string key, Value v);
+
+  /// Lenient typed getters for decoding: return the fallback when the key
+  /// is absent or has the wrong type.
+  double GetNumber(std::string_view key, double fallback) const;
+  bool GetBool(std::string_view key, bool fallback) const;
+  std::string GetString(std::string_view key, std::string fallback) const;
+
+  /// Compact single-line serialization (no trailing newline).
+  std::string Dump() const;
+  void DumpTo(std::string* out) const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.repr_ == b.repr_;
+  }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> repr_;
+};
+
+/// Parses exactly one JSON document from `text` (leading/trailing whitespace
+/// allowed, nothing else may follow). Fails with InvalidArgument on syntax
+/// errors, trailing garbage, or nesting deeper than `max_depth`.
+Result<Value> Parse(std::string_view text, size_t max_depth = 64);
+
+/// Escapes `s` as the *inside* of a JSON string literal (no quotes).
+void EscapeTo(std::string_view s, std::string* out);
+
+}  // namespace vexus::server::json

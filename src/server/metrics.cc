@@ -1,0 +1,189 @@
+#include "server/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace vexus::server {
+
+namespace {
+
+/// Bucket index for a latency in microseconds: floor(log2(us)), clamped.
+size_t BucketOf(double micros) {
+  if (!(micros >= 1.0)) return 0;  // also catches NaN
+  uint64_t us = static_cast<uint64_t>(micros);
+  size_t bit = 63 - static_cast<size_t>(__builtin_clzll(us));
+  return std::min(bit, kLatencyBuckets - 1);
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(double micros) {
+  if (micros < 0 || std::isnan(micros)) micros = 0;
+  buckets_[BucketOf(micros)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(static_cast<uint64_t>(micros),
+                    std::memory_order_relaxed);
+  uint64_t us = static_cast<uint64_t>(micros);
+  uint64_t seen = max_us_.load(std::memory_order_relaxed);
+  while (us > seen &&
+         !max_us_.compare_exchange_weak(seen, us,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::Read() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum_ms = static_cast<double>(sum_us_.load(std::memory_order_relaxed)) / 1e3;
+  s.max_ms = static_cast<double>(max_us_.load(std::memory_order_relaxed)) / 1e3;
+  for (size_t i = 0; i < kLatencyBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+double LatencyHistogram::Snapshot::QuantileMillis(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kLatencyBuckets; ++i) {
+    cum += buckets[i];
+    if (cum >= rank) {
+      // Upper bound of bucket i: 2^(i+1) microseconds.
+      double ub_us = static_cast<double>(uint64_t{1} << std::min<size_t>(
+                         i + 1, 63));
+      return std::min(ub_us / 1e3, max_ms > 0 ? max_ms : ub_us / 1e3);
+    }
+  }
+  return max_ms;
+}
+
+void ServiceMetrics::RecordRequest(RequestType type, StatusCode code,
+                                   double latency_ms) {
+  size_t idx = static_cast<size_t>(type);
+  requests_by_type_[idx].fetch_add(1, kRelaxed);
+  switch (code) {
+    case StatusCode::kOk: ok_.fetch_add(1, kRelaxed); break;
+    case StatusCode::kDeadlineExceeded:
+      deadline_exceeded_.fetch_add(1, kRelaxed);
+      break;
+    case StatusCode::kNotFound: not_found_.fetch_add(1, kRelaxed); break;
+    case StatusCode::kResourceExhausted: shed_.fetch_add(1, kRelaxed); break;
+    default: other_errors_.fetch_add(1, kRelaxed); break;
+  }
+  latency_by_type_[idx].Record(latency_ms * 1e3);
+  latency_all_.Record(latency_ms * 1e3);
+}
+
+MetricsSnapshot ServiceMetrics::Snapshot(uint64_t open_sessions) const {
+  MetricsSnapshot s;
+  for (size_t i = 0; i < kNumRequestTypes; ++i) {
+    s.requests_by_type[i] = requests_by_type_[i].load(kRelaxed);
+    s.latency_by_type[i] = latency_by_type_[i].Read();
+  }
+  s.ok = ok_.load(kRelaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(kRelaxed);
+  s.not_found = not_found_.load(kRelaxed);
+  s.shed = shed_.load(kRelaxed);
+  s.other_errors = other_errors_.load(kRelaxed);
+  s.evictions_ttl = evictions_ttl_.load(kRelaxed);
+  s.evictions_lru = evictions_lru_.load(kRelaxed);
+  s.admission_rejected = admission_rejected_.load(kRelaxed);
+  s.greedy_deadline_hits = greedy_deadline_hits_.load(kRelaxed);
+  s.open_sessions = open_sessions;
+  s.latency_all = latency_all_.Read();
+  return s;
+}
+
+namespace {
+
+json::Value LatencyJson(const LatencyHistogram::Snapshot& l) {
+  json::Object o;
+  o.emplace_back("count", json::Value(l.count));
+  o.emplace_back("mean_ms", json::Value(l.MeanMillis()));
+  o.emplace_back("p50_ms", json::Value(l.QuantileMillis(0.50)));
+  o.emplace_back("p95_ms", json::Value(l.QuantileMillis(0.95)));
+  o.emplace_back("p99_ms", json::Value(l.QuantileMillis(0.99)));
+  o.emplace_back("max_ms", json::Value(l.max_ms));
+  return json::Value(std::move(o));
+}
+
+}  // namespace
+
+json::Value MetricsSnapshot::ToJson() const {
+  json::Object o;
+  o.emplace_back("total_requests", json::Value(TotalRequests()));
+  o.emplace_back("ok", json::Value(ok));
+  o.emplace_back("deadline_exceeded", json::Value(deadline_exceeded));
+  o.emplace_back("not_found", json::Value(not_found));
+  o.emplace_back("shed", json::Value(shed));
+  o.emplace_back("other_errors", json::Value(other_errors));
+  o.emplace_back("evictions_ttl", json::Value(evictions_ttl));
+  o.emplace_back("evictions_lru", json::Value(evictions_lru));
+  o.emplace_back("admission_rejected", json::Value(admission_rejected));
+  o.emplace_back("greedy_deadline_hits", json::Value(greedy_deadline_hits));
+  o.emplace_back("open_sessions", json::Value(open_sessions));
+  json::Object by_type;
+  for (size_t i = 0; i < kNumRequestTypes; ++i) {
+    if (requests_by_type[i] == 0) continue;
+    json::Object op;
+    op.emplace_back("requests", json::Value(requests_by_type[i]));
+    op.emplace_back("latency", LatencyJson(latency_by_type[i]));
+    by_type.emplace_back(
+        std::string(RequestTypeName(static_cast<RequestType>(i))),
+        json::Value(std::move(op)));
+  }
+  o.emplace_back("by_op", json::Value(std::move(by_type)));
+  o.emplace_back("latency", LatencyJson(latency_all));
+  return json::Value(std::move(o));
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "service metrics: %llu requests (ok=%llu dl=%llu nf=%llu "
+                "shed=%llu err=%llu) sessions=%llu\n",
+                static_cast<unsigned long long>(TotalRequests()),
+                static_cast<unsigned long long>(ok),
+                static_cast<unsigned long long>(deadline_exceeded),
+                static_cast<unsigned long long>(not_found),
+                static_cast<unsigned long long>(shed),
+                static_cast<unsigned long long>(other_errors),
+                static_cast<unsigned long long>(open_sessions));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "evictions: ttl=%llu lru=%llu admission_rejected=%llu "
+                "greedy_deadline_hits=%llu\n",
+                static_cast<unsigned long long>(evictions_ttl),
+                static_cast<unsigned long long>(evictions_lru),
+                static_cast<unsigned long long>(admission_rejected),
+                static_cast<unsigned long long>(greedy_deadline_hits));
+  out += line;
+  std::snprintf(line, sizeof(line), "%-14s %10s %10s %10s %10s %10s %10s\n",
+                "op", "requests", "mean_ms", "p50_ms", "p95_ms", "p99_ms",
+                "max_ms");
+  out += line;
+  auto row = [&](std::string_view name, uint64_t n,
+                 const LatencyHistogram::Snapshot& l) {
+    std::snprintf(line, sizeof(line),
+                  "%-14s %10llu %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+                  std::string(name).c_str(),
+                  static_cast<unsigned long long>(n), l.MeanMillis(),
+                  l.QuantileMillis(0.50), l.QuantileMillis(0.95),
+                  l.QuantileMillis(0.99), l.max_ms);
+    out += line;
+  };
+  for (size_t i = 0; i < kNumRequestTypes; ++i) {
+    if (requests_by_type[i] == 0) continue;
+    row(RequestTypeName(static_cast<RequestType>(i)), requests_by_type[i],
+        latency_by_type[i]);
+  }
+  row("ALL", TotalRequests(), latency_all);
+  return out;
+}
+
+}  // namespace vexus::server

@@ -1,0 +1,131 @@
+// ServiceMetrics — lock-free observability for the exploration service.
+//
+// Atomic counters (requests by op and by outcome, evictions, sheds) plus
+// fixed-bucket latency histograms (one per op + one aggregate). Buckets are
+// powers of two in microseconds, so Record() is a subtract-free bit scan and
+// quantile estimation is a cumulative walk at Snapshot() time — no locks on
+// the request path, which keeps the serving-layer overhead invisible next to
+// the paper's 100 ms continuity budget.
+//
+// Snapshot() is wait-free-ish: it reads each atomic with relaxed ordering,
+// so a snapshot taken while traffic is in flight is a *consistent-enough*
+// view (counts may straggle by the requests that landed mid-walk), and a
+// snapshot taken after a quiesced workload is exact — the property
+// tests/server/service_test.cc pins down.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "server/json.h"
+#include "server/protocol.h"
+
+namespace vexus::server {
+
+/// Power-of-two latency buckets: bucket i counts samples in
+/// [2^i, 2^(i+1)) microseconds (bucket 0 also takes sub-microsecond ones).
+/// 2^31 us ≈ 36 min caps the range; slower requests clamp into the last
+/// bucket.
+inline constexpr size_t kLatencyBuckets = 32;
+
+class LatencyHistogram {
+ public:
+  void Record(double micros);
+
+  /// Plain-struct copy of the histogram for quantile math.
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum_ms = 0;
+    double max_ms = 0;
+    std::array<uint64_t, kLatencyBuckets> buckets{};
+
+    /// Quantile estimate (q in [0,1]): upper bound of the bucket holding the
+    /// q-th sample, in milliseconds. Conservative (over-reports) by design —
+    /// a latency SLO checked against it can only be stricter than reality.
+    double QuantileMillis(double q) const;
+    double MeanMillis() const {
+      return count == 0 ? 0 : sum_ms / static_cast<double>(count);
+    }
+  };
+  Snapshot Read() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kLatencyBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_us_{0};
+  std::atomic<uint64_t> max_us_{0};
+};
+
+/// Everything ServiceMetrics knows, frozen. Produced by Snapshot();
+/// renderable as an aligned text table (ToString) or a JSON object (ToJson,
+/// served by the get_stats op and emitted by bench_service_throughput).
+struct MetricsSnapshot {
+  /// Requests that *completed* (any status), by op.
+  std::array<uint64_t, kNumRequestTypes> requests_by_type{};
+  /// Outcomes.
+  uint64_t ok = 0;
+  uint64_t deadline_exceeded = 0;  // DEADLINE_EXCEEDED responses
+  uint64_t not_found = 0;          // unknown/evicted/stale sessions
+  uint64_t shed = 0;               // RESOURCE_EXHAUSTED via backpressure
+  uint64_t other_errors = 0;       // anything else non-OK
+  /// Session-manager events.
+  uint64_t evictions_ttl = 0;
+  uint64_t evictions_lru = 0;
+  uint64_t admission_rejected = 0;
+  /// Anytime-greedy truncations observed (paper P3 anytime behaviour).
+  uint64_t greedy_deadline_hits = 0;
+  /// Live gauge at snapshot time.
+  uint64_t open_sessions = 0;
+
+  LatencyHistogram::Snapshot latency_by_type[kNumRequestTypes];
+  LatencyHistogram::Snapshot latency_all;
+
+  uint64_t TotalRequests() const {
+    uint64_t t = 0;
+    for (uint64_t v : requests_by_type) t += v;
+    return t;
+  }
+
+  std::string ToString() const;
+  json::Value ToJson() const;
+};
+
+class ServiceMetrics {
+ public:
+  /// Records a completed request: op, outcome, end-to-end latency.
+  void RecordRequest(RequestType type, StatusCode code, double latency_ms);
+
+  void RecordEvictionTtl() { evictions_ttl_.fetch_add(1, kRelaxed); }
+  void RecordEvictionLru() { evictions_lru_.fetch_add(1, kRelaxed); }
+  void RecordAdmissionRejected() {
+    admission_rejected_.fetch_add(1, kRelaxed);
+  }
+  void RecordGreedyDeadlineHit() {
+    greedy_deadline_hits_.fetch_add(1, kRelaxed);
+  }
+
+  /// `open_sessions` is a gauge the owner passes in (the session manager
+  /// knows it; metrics does not reach back to avoid a dependency cycle).
+  MetricsSnapshot Snapshot(uint64_t open_sessions = 0) const;
+
+ private:
+  static constexpr auto kRelaxed = std::memory_order_relaxed;
+
+  std::array<std::atomic<uint64_t>, kNumRequestTypes> requests_by_type_{};
+  std::atomic<uint64_t> ok_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> not_found_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> other_errors_{0};
+  std::atomic<uint64_t> evictions_ttl_{0};
+  std::atomic<uint64_t> evictions_lru_{0};
+  std::atomic<uint64_t> admission_rejected_{0};
+  std::atomic<uint64_t> greedy_deadline_hits_{0};
+
+  LatencyHistogram latency_by_type_[kNumRequestTypes];
+  LatencyHistogram latency_all_;
+};
+
+}  // namespace vexus::server

@@ -1,0 +1,310 @@
+#include "server/protocol.h"
+
+#include <cmath>
+
+namespace vexus::server {
+
+namespace {
+
+constexpr std::string_view kNames[kNumRequestTypes] = {
+    "start_session", "select_group", "backtrack",   "bookmark",
+    "unlearn",       "get_context",  "get_stats",   "end_session",
+};
+
+/// Reads a non-negative integer field; fails when present but ill-typed.
+Status ReadUint(const json::Value& v, std::string_view key,
+                std::optional<uint64_t>* out) {
+  const json::Value* f = v.Find(key);
+  if (f == nullptr) return Status::OK();
+  if (!f->is_number()) {
+    return Status::InvalidArgument(std::string(key) + " must be a number");
+  }
+  double d = f->AsDouble();
+  if (d < 0 || std::floor(d) != d) {
+    return Status::InvalidArgument(std::string(key) +
+                                   " must be a non-negative integer");
+  }
+  *out = static_cast<uint64_t>(d);
+  return Status::OK();
+}
+
+Status ReadUint32(const json::Value& v, std::string_view key,
+                  std::optional<uint32_t>* out) {
+  std::optional<uint64_t> wide;
+  VEXUS_RETURN_NOT_OK(ReadUint(v, key, &wide));
+  if (wide.has_value()) {
+    if (*wide > UINT32_MAX) {
+      return Status::InvalidArgument(std::string(key) + " out of range");
+    }
+    *out = static_cast<uint32_t>(*wide);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string_view RequestTypeName(RequestType t) {
+  return kNames[static_cast<size_t>(t)];
+}
+
+std::optional<RequestType> RequestTypeFromName(std::string_view name) {
+  for (size_t i = 0; i < kNumRequestTypes; ++i) {
+    if (kNames[i] == name) return static_cast<RequestType>(i);
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Request codec
+// ---------------------------------------------------------------------------
+
+json::Value Request::ToJson() const {
+  json::Object obj;
+  obj.emplace_back("op", json::Value(RequestTypeName(type)));
+  if (!session_id.empty()) obj.emplace_back("session", json::Value(session_id));
+  if (generation != 0) obj.emplace_back("generation", json::Value(generation));
+  if (budget_ms.has_value()) {
+    obj.emplace_back("budget_ms", json::Value(*budget_ms));
+  }
+  if (group.has_value()) obj.emplace_back("group", json::Value(*group));
+  if (user.has_value()) obj.emplace_back("user", json::Value(*user));
+  if (step.has_value()) obj.emplace_back("step", json::Value(*step));
+  if (token.has_value()) obj.emplace_back("token", json::Value(*token));
+  if (top_k.has_value()) obj.emplace_back("top_k", json::Value(*top_k));
+  if (k.has_value()) obj.emplace_back("k", json::Value(*k));
+  if (learning_rate.has_value()) {
+    obj.emplace_back("learning_rate", json::Value(*learning_rate));
+  }
+  return json::Value(std::move(obj));
+}
+
+Result<Request> Request::FromJson(const json::Value& v) {
+  if (!v.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  const json::Value* op = v.Find("op");
+  if (op == nullptr || !op->is_string()) {
+    return Status::InvalidArgument("request missing string field \"op\"");
+  }
+  auto type = RequestTypeFromName(op->AsString());
+  if (!type.has_value()) {
+    return Status::InvalidArgument("unknown op \"" + op->AsString() + "\"");
+  }
+
+  Request req;
+  req.type = *type;
+  req.session_id = v.GetString("session", "");
+
+  std::optional<uint64_t> generation;
+  VEXUS_RETURN_NOT_OK(ReadUint(v, "generation", &generation));
+  req.generation = generation.value_or(0);
+
+  const json::Value* budget = v.Find("budget_ms");
+  if (budget != nullptr) {
+    if (!budget->is_number()) {
+      return Status::InvalidArgument("budget_ms must be a number");
+    }
+    req.budget_ms = budget->AsDouble();
+  }
+
+  VEXUS_RETURN_NOT_OK(ReadUint32(v, "group", &req.group));
+  VEXUS_RETURN_NOT_OK(ReadUint32(v, "user", &req.user));
+  VEXUS_RETURN_NOT_OK(ReadUint(v, "step", &req.step));
+  VEXUS_RETURN_NOT_OK(ReadUint32(v, "token", &req.token));
+  VEXUS_RETURN_NOT_OK(ReadUint(v, "top_k", &req.top_k));
+  VEXUS_RETURN_NOT_OK(ReadUint(v, "k", &req.k));
+  const json::Value* lr = v.Find("learning_rate");
+  if (lr != nullptr) {
+    if (!lr->is_number()) {
+      return Status::InvalidArgument("learning_rate must be a number");
+    }
+    req.learning_rate = lr->AsDouble();
+  }
+
+  // Per-op required fields.
+  auto require_session = [&]() -> Status {
+    if (req.session_id.empty()) {
+      return Status::InvalidArgument(
+          std::string(RequestTypeName(req.type)) +
+          " requires a non-empty \"session\"");
+    }
+    return Status::OK();
+  };
+  switch (req.type) {
+    case RequestType::kStartSession:
+    case RequestType::kGetContext:
+    case RequestType::kEndSession:
+      VEXUS_RETURN_NOT_OK(require_session());
+      break;
+    case RequestType::kSelectGroup:
+      VEXUS_RETURN_NOT_OK(require_session());
+      if (!req.group.has_value()) {
+        return Status::InvalidArgument("select_group requires \"group\"");
+      }
+      break;
+    case RequestType::kBacktrack:
+      VEXUS_RETURN_NOT_OK(require_session());
+      if (!req.step.has_value()) {
+        return Status::InvalidArgument("backtrack requires \"step\"");
+      }
+      break;
+    case RequestType::kBookmark:
+      VEXUS_RETURN_NOT_OK(require_session());
+      if (req.group.has_value() == req.user.has_value()) {
+        return Status::InvalidArgument(
+            "bookmark requires exactly one of \"group\" / \"user\"");
+      }
+      break;
+    case RequestType::kUnlearn:
+      VEXUS_RETURN_NOT_OK(require_session());
+      if (!req.token.has_value()) {
+        return Status::InvalidArgument("unlearn requires \"token\"");
+      }
+      break;
+    case RequestType::kGetStats:
+      break;
+  }
+  return req;
+}
+
+Result<Request> Request::Decode(std::string_view line) {
+  auto doc = json::Parse(line);
+  VEXUS_RETURN_NOT_OK(doc.status());
+  return FromJson(std::move(doc).ValueOrDie());
+}
+
+// ---------------------------------------------------------------------------
+// Response codec
+// ---------------------------------------------------------------------------
+
+json::Value Response::ToJson() const {
+  json::Object obj;
+  obj.emplace_back("op", json::Value(RequestTypeName(type)));
+  obj.emplace_back("status",
+                   json::Value(StatusCodeToString(status.code())));
+  if (!status.ok()) obj.emplace_back("error", json::Value(status.message()));
+  if (!session_id.empty()) obj.emplace_back("session", json::Value(session_id));
+  if (generation != 0) obj.emplace_back("generation", json::Value(generation));
+  obj.emplace_back("elapsed_ms", json::Value(elapsed_ms));
+  obj.emplace_back("queue_ms", json::Value(queue_ms));
+
+  if (!groups.empty()) {
+    json::Array arr;
+    arr.reserve(groups.size());
+    for (const GroupView& g : groups) {
+      json::Object o;
+      o.emplace_back("id", json::Value(g.id));
+      o.emplace_back("size", json::Value(g.size));
+      o.emplace_back("description", json::Value(g.description));
+      arr.emplace_back(std::move(o));
+    }
+    obj.emplace_back("groups", json::Value(std::move(arr)));
+    obj.emplace_back("coverage", json::Value(coverage));
+    obj.emplace_back("diversity", json::Value(diversity));
+    obj.emplace_back("greedy_deadline_hit", json::Value(greedy_deadline_hit));
+  }
+  if (!context.empty()) {
+    json::Array arr;
+    arr.reserve(context.size());
+    for (const ContextTokenView& t : context) {
+      json::Object o;
+      o.emplace_back("token", json::Value(t.token));
+      o.emplace_back("score", json::Value(t.score));
+      o.emplace_back("label", json::Value(t.label));
+      arr.emplace_back(std::move(o));
+    }
+    obj.emplace_back("context", json::Value(std::move(arr)));
+  }
+  if (status.ok() &&
+      (type == RequestType::kStartSession ||
+       type == RequestType::kSelectGroup || type == RequestType::kBacktrack ||
+       type == RequestType::kGetContext || type == RequestType::kEndSession)) {
+    obj.emplace_back("step", json::Value(step));
+    obj.emplace_back("num_steps", json::Value(num_steps));
+    obj.emplace_back("memo_groups", json::Value(memo_groups));
+    obj.emplace_back("memo_users", json::Value(memo_users));
+  }
+  if (stats.has_value()) obj.emplace_back("stats", *stats);
+  return json::Value(std::move(obj));
+}
+
+Result<Response> Response::FromJson(const json::Value& v) {
+  if (!v.is_object()) {
+    return Status::InvalidArgument("response must be a JSON object");
+  }
+  const json::Value* op = v.Find("op");
+  if (op == nullptr || !op->is_string()) {
+    return Status::InvalidArgument("response missing string field \"op\"");
+  }
+  auto type = RequestTypeFromName(op->AsString());
+  if (!type.has_value()) {
+    return Status::InvalidArgument("unknown op \"" + op->AsString() + "\"");
+  }
+  Response resp;
+  resp.type = *type;
+  StatusCode code = StatusCodeFromString(v.GetString("status", "Unknown"));
+  resp.status = Status::FromCode(code, v.GetString("error", ""));
+  resp.session_id = v.GetString("session", "");
+  resp.generation = static_cast<uint64_t>(v.GetNumber("generation", 0));
+  resp.elapsed_ms = v.GetNumber("elapsed_ms", 0);
+  resp.queue_ms = v.GetNumber("queue_ms", 0);
+  resp.step = static_cast<uint64_t>(v.GetNumber("step", 0));
+  resp.num_steps = static_cast<uint64_t>(v.GetNumber("num_steps", 0));
+  resp.memo_groups = static_cast<uint64_t>(v.GetNumber("memo_groups", 0));
+  resp.memo_users = static_cast<uint64_t>(v.GetNumber("memo_users", 0));
+  resp.coverage = v.GetNumber("coverage", 0);
+  resp.diversity = v.GetNumber("diversity", 0);
+  resp.greedy_deadline_hit = v.GetBool("greedy_deadline_hit", false);
+
+  const json::Value* groups = v.Find("groups");
+  if (groups != nullptr) {
+    if (!groups->is_array()) {
+      return Status::InvalidArgument("groups must be an array");
+    }
+    for (const json::Value& g : groups->AsArray()) {
+      if (!g.is_object()) {
+        return Status::InvalidArgument("groups[] must hold objects");
+      }
+      GroupView view;
+      view.id = static_cast<uint32_t>(g.GetNumber("id", 0));
+      view.size = static_cast<uint64_t>(g.GetNumber("size", 0));
+      view.description = g.GetString("description", "");
+      resp.groups.push_back(std::move(view));
+    }
+  }
+  const json::Value* ctx = v.Find("context");
+  if (ctx != nullptr) {
+    if (!ctx->is_array()) {
+      return Status::InvalidArgument("context must be an array");
+    }
+    for (const json::Value& t : ctx->AsArray()) {
+      if (!t.is_object()) {
+        return Status::InvalidArgument("context[] must hold objects");
+      }
+      ContextTokenView view;
+      view.token = static_cast<uint32_t>(t.GetNumber("token", 0));
+      view.score = t.GetNumber("score", 0);
+      view.label = t.GetString("label", "");
+      resp.context.push_back(std::move(view));
+    }
+  }
+  const json::Value* stats = v.Find("stats");
+  if (stats != nullptr) resp.stats = *stats;
+  return resp;
+}
+
+Result<Response> Response::Decode(std::string_view line) {
+  auto doc = json::Parse(line);
+  VEXUS_RETURN_NOT_OK(doc.status());
+  return FromJson(std::move(doc).ValueOrDie());
+}
+
+Response ErrorResponse(const Request& req, Status status) {
+  Response resp;
+  resp.type = req.type;
+  resp.session_id = req.session_id;
+  resp.status = std::move(status);
+  return resp;
+}
+
+}  // namespace vexus::server

@@ -1,0 +1,141 @@
+// Typed request/response protocol of the exploration service.
+//
+// One request or response per line, encoded as a compact JSON object — the
+// framing a future socket front-end needs, and what lets tests and
+// examples/service_repl.cpp drive the service from scripted strings today.
+//
+// Request grammar (field order free; unknown fields ignored):
+//
+//   {"op":"start_session","session":"alice","k":5,"budget_ms":100}
+//   {"op":"select_group","session":"alice","group":12}
+//   {"op":"backtrack","session":"alice","step":0}
+//   {"op":"bookmark","session":"alice","group":12}
+//   {"op":"bookmark","session":"alice","user":7}
+//   {"op":"unlearn","session":"alice","token":3401}
+//   {"op":"get_context","session":"alice","top_k":8}
+//   {"op":"get_stats"}
+//   {"op":"end_session","session":"alice"}
+//
+// Every session-scoped request may also carry:
+//   "generation": <uint>  — stale-handle fencing; a mismatch with the live
+//                           session's generation fails with NotFound.
+//   "budget_ms": <double> — per-request deadline; the dispatcher starts the
+//                           clock at *admission*, so queueing time counts
+//                           against the budget (paper P3: the explorer
+//                           experiences end-to-end latency, not server CPU).
+//
+// Responses echo "op" and "session", carry "status" (StatusCodeToString
+// name) plus "error" when not OK, the session "generation", timing fields,
+// and an op-specific payload (shown groups, context tokens, digest, or a
+// metrics snapshot).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "server/json.h"
+
+namespace vexus::server {
+
+enum class RequestType : int {
+  kStartSession = 0,
+  kSelectGroup = 1,
+  kBacktrack = 2,
+  kBookmark = 3,
+  kUnlearn = 4,
+  kGetContext = 5,
+  kGetStats = 6,
+  kEndSession = 7,
+};
+inline constexpr size_t kNumRequestTypes = 8;
+
+/// Wire name of an op ("start_session", ...).
+std::string_view RequestTypeName(RequestType t);
+/// Inverse of RequestTypeName; nullopt for unknown ops.
+std::optional<RequestType> RequestTypeFromName(std::string_view name);
+
+/// A decoded client request. Optional fields keep "absent" distinct from
+/// "zero" so the service can apply its own defaults.
+struct Request {
+  RequestType type = RequestType::kGetStats;
+  std::string session_id;
+  /// Stale-handle fence: 0 means "don't check".
+  uint64_t generation = 0;
+  /// End-to-end budget; unset -> service default (the paper's 100 ms).
+  std::optional<double> budget_ms;
+
+  // --- op payloads (validity depends on `type`) ---
+  std::optional<uint32_t> group;       // select_group / bookmark
+  std::optional<uint32_t> user;        // bookmark
+  std::optional<uint64_t> step;        // backtrack
+  std::optional<uint32_t> token;       // unlearn
+  std::optional<uint64_t> top_k;       // get_context
+  std::optional<uint64_t> k;           // start_session: groups per screen
+  std::optional<double> learning_rate; // start_session
+
+  json::Value ToJson() const;
+  std::string Encode() const { return ToJson().Dump(); }
+
+  /// Decodes one request line. Fails with InvalidArgument on syntax errors,
+  /// unknown ops, missing required fields, or ill-typed payloads.
+  static Result<Request> Decode(std::string_view line);
+  static Result<Request> FromJson(const json::Value& v);
+};
+
+/// One shown group, denormalized so a thin client needs no group store.
+struct GroupView {
+  uint32_t id = 0;
+  uint64_t size = 0;
+  std::string description;
+};
+
+/// One CONTEXT token (feedback state), denormalized likewise.
+struct ContextTokenView {
+  uint32_t token = 0;
+  double score = 0;
+  std::string label;
+};
+
+/// A service response. `status` uses the common Status vocabulary:
+///   DeadlineExceeded  — budget exhausted before/while handling
+///   NotFound          — unknown/evicted session or stale generation
+///   ResourceExhausted — shed by backpressure or admission control
+struct Response {
+  RequestType type = RequestType::kGetStats;
+  Status status;
+  std::string session_id;
+  uint64_t generation = 0;
+
+  /// Service-side handling time (queue + execute), milliseconds.
+  double elapsed_ms = 0;
+  /// Of which: time spent waiting for a worker.
+  double queue_ms = 0;
+
+  // --- payload (populated per op) ---
+  std::vector<GroupView> groups;        // start/select/backtrack: the screen
+  std::vector<ContextTokenView> context;  // get_context
+  uint64_t step = 0;                    // current HISTORY position
+  uint64_t num_steps = 0;               // HISTORY length
+  uint64_t memo_groups = 0;             // MEMO sizes (bookmark/end/context)
+  uint64_t memo_users = 0;
+  double coverage = 0;                  // screen quality (start/select)
+  double diversity = 0;
+  bool greedy_deadline_hit = false;     // anytime loop truncated?
+  std::optional<json::Value> stats;     // get_stats: metrics snapshot object
+
+  json::Value ToJson() const;
+  std::string Encode() const { return ToJson().Dump(); }
+
+  static Result<Response> Decode(std::string_view line);
+  static Result<Response> FromJson(const json::Value& v);
+};
+
+/// Convenience factory for an error response mirroring `req`.
+Response ErrorResponse(const Request& req, Status status);
+
+}  // namespace vexus::server

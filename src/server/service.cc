@@ -1,0 +1,262 @@
+#include "server/service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace vexus::server {
+
+namespace {
+
+/// Groups-per-screen requests above this are client errors (the paper caps
+/// screens at 7 by Miller's law; we allow head-room for scripted analysis).
+constexpr uint64_t kMaxScreenK = 64;
+
+}  // namespace
+
+ExplorationService::ExplorationService(const core::VexusEngine* engine,
+                                       ServiceOptions options)
+    : engine_(engine), options_(std::move(options)) {
+  VEXUS_CHECK(engine != nullptr);
+  pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  sessions_ =
+      std::make_unique<SessionManager>(engine_, options_.sessions, &metrics_);
+  dispatcher_ = std::make_unique<Dispatcher>(
+      pool_.get(),
+      [this](const Request& req, const Deadline& deadline) {
+        return Execute(req, deadline);
+      },
+      options_.dispatcher, &metrics_);
+}
+
+ExplorationService::~ExplorationService() { Shutdown(); }
+
+void ExplorationService::Shutdown() { pool_->Shutdown(); }
+
+std::future<Response> ExplorationService::Dispatch(Request req) {
+  return dispatcher_->Submit(std::move(req));
+}
+
+Response ExplorationService::Call(Request req) {
+  return dispatcher_->Call(std::move(req));
+}
+
+std::string ExplorationService::HandleLine(const std::string& line) {
+  auto req = Request::Decode(line);
+  if (!req.ok()) {
+    // Not a decodable request: answer a synthetic error line. No typed op
+    // exists to account it under, so it bypasses per-op metrics by design.
+    json::Object obj;
+    obj.emplace_back("op", json::Value("error"));
+    obj.emplace_back("status",
+                     json::Value(StatusCodeToString(req.status().code())));
+    obj.emplace_back("error", json::Value(req.status().message()));
+    return json::Value(std::move(obj)).Dump();
+  }
+  return Call(std::move(req).ValueOrDie()).Encode();
+}
+
+MetricsSnapshot ExplorationService::Stats() const {
+  return metrics_.Snapshot(sessions_->size());
+}
+
+// ---------------------------------------------------------------------------
+// Worker-side execution
+// ---------------------------------------------------------------------------
+
+Response ExplorationService::Execute(const Request& req,
+                                     const Deadline& deadline) {
+  switch (req.type) {
+    case RequestType::kGetStats:
+      return DoGetStats(req);
+    case RequestType::kStartSession:
+      return DoStartSession(req, deadline);
+    default:
+      return DoSessionOp(req, deadline);
+  }
+}
+
+void ExplorationService::FillScreen(const core::GreedySelection& selection,
+                                    Response* resp) {
+  const mining::GroupStore& store = engine_->groups();
+  const data::Schema& schema = engine_->dataset().schema();
+  resp->groups.reserve(selection.groups.size());
+  for (mining::GroupId g : selection.groups) {
+    GroupView view;
+    view.id = g;
+    view.size = store.group(g).size();
+    view.description = store.group(g).DescriptionString(schema);
+    resp->groups.push_back(std::move(view));
+  }
+  resp->coverage = selection.quality.coverage;
+  resp->diversity = selection.quality.diversity;
+  resp->greedy_deadline_hit = selection.deadline_hit;
+}
+
+Response ExplorationService::DoStartSession(const Request& req,
+                                            const Deadline& deadline) {
+  core::SessionOptions opts = options_.session_template;
+  if (req.k.has_value()) {
+    if (*req.k == 0 || *req.k > kMaxScreenK) {
+      return ErrorResponse(
+          req, Status::InvalidArgument("k must be in [1, " +
+                                       std::to_string(kMaxScreenK) + "]"));
+    }
+    opts.greedy.k = static_cast<size_t>(*req.k);
+  }
+  if (req.learning_rate.has_value()) {
+    if (!(*req.learning_rate > 0) || !std::isfinite(*req.learning_rate)) {
+      return ErrorResponse(
+          req, Status::InvalidArgument("learning_rate must be finite and > 0"));
+    }
+    opts.learning_rate = *req.learning_rate;
+  }
+
+  auto created = sessions_->Create(req.session_id, opts);
+  if (!created.ok()) return ErrorResponse(req, created.status());
+  uint64_t generation = std::move(created).ValueOrDie();
+
+  auto lease = sessions_->Acquire(req.session_id, generation);
+  if (!lease.ok()) return ErrorResponse(req, lease.status());
+  auto l = std::move(lease).ValueOrDie();
+
+  Response resp;
+  resp.type = req.type;
+  resp.session_id = req.session_id;
+  resp.generation = generation;
+  if (deadline.Expired()) {
+    resp.status = Status::DeadlineExceeded(
+        "budget exhausted before the initial screen was computed");
+    return resp;
+  }
+  // Remaining-budget clamp: the initial screen's greedy loop may use at
+  // most what is left of the request's end-to-end budget.
+  core::SessionOptions& live = l->mutable_options();
+  live.greedy.time_limit_ms =
+      std::min(opts.greedy.time_limit_ms, deadline.RemainingMillis());
+  FillScreen(l->Start(), &resp);
+  live.greedy.time_limit_ms = opts.greedy.time_limit_ms;  // restore
+  resp.step = 0;
+  resp.num_steps = l->NumSteps();
+  return resp;
+}
+
+Response ExplorationService::DoSessionOp(const Request& req,
+                                         const Deadline& deadline) {
+  // end_session needs no lease of its own: Remove drains in-flight work.
+  if (req.type == RequestType::kEndSession) {
+    auto removed = sessions_->Remove(req.session_id, req.generation);
+    if (!removed.ok()) return ErrorResponse(req, removed.status());
+    core::SessionDigest digest = std::move(removed).ValueOrDie();
+    Response resp;
+    resp.type = req.type;
+    resp.session_id = req.session_id;
+    resp.num_steps = digest.num_steps;
+    resp.step = digest.num_steps == 0 ? 0 : digest.num_steps - 1;
+    resp.memo_groups = digest.memo_groups;
+    resp.memo_users = digest.memo_users;
+    return resp;
+  }
+
+  auto lease = sessions_->Acquire(req.session_id, req.generation);
+  if (!lease.ok()) return ErrorResponse(req, lease.status());
+  auto l = std::move(lease).ValueOrDie();
+
+  Response resp;
+  resp.type = req.type;
+  resp.session_id = req.session_id;
+  resp.generation = l.generation();
+
+  // The lease wait above may have consumed the rest of the budget; mutating
+  // ops must not start late (the explorer has moved on).
+  if (deadline.Expired()) {
+    resp.status = Status::DeadlineExceeded("budget exhausted waiting for the session lease");
+    return resp;
+  }
+
+  const mining::GroupStore& store = engine_->groups();
+  switch (req.type) {
+    case RequestType::kSelectGroup: {
+      if (*req.group >= store.size()) {
+        resp.status = Status::InvalidArgument(
+            "unknown group " + std::to_string(*req.group) + " (store has " +
+            std::to_string(store.size()) + ")");
+        return resp;
+      }
+      core::SessionOptions& live = l->mutable_options();
+      const double configured = live.greedy.time_limit_ms;
+      live.greedy.time_limit_ms =
+          std::min(configured, deadline.RemainingMillis());
+      FillScreen(l->SelectGroup(*req.group), &resp);
+      live.greedy.time_limit_ms = configured;  // undo the per-request clamp
+      break;
+    }
+    case RequestType::kBacktrack: {
+      Status st = l->Backtrack(static_cast<size_t>(*req.step));
+      if (!st.ok()) {
+        resp.status = std::move(st);
+        return resp;
+      }
+      FillScreen(l->Current(), &resp);
+      break;
+    }
+    case RequestType::kBookmark: {
+      if (req.group.has_value()) {
+        if (*req.group >= store.size()) {
+          resp.status = Status::InvalidArgument(
+              "unknown group " + std::to_string(*req.group));
+          return resp;
+        }
+        l->BookmarkGroup(*req.group);
+      } else {
+        if (*req.user >= engine_->dataset().num_users()) {
+          resp.status = Status::InvalidArgument(
+              "unknown user " + std::to_string(*req.user));
+          return resp;
+        }
+        l->BookmarkUser(*req.user);
+      }
+      break;
+    }
+    case RequestType::kUnlearn: {
+      if (*req.token >= l->tokens().num_tokens()) {
+        resp.status = Status::InvalidArgument(
+            "unknown token " + std::to_string(*req.token));
+        return resp;
+      }
+      l->Unlearn(*req.token);
+      break;
+    }
+    case RequestType::kGetContext: {
+      size_t top_k = static_cast<size_t>(req.top_k.value_or(10));
+      for (const auto& ts : l->ContextTokens(top_k)) {
+        ContextTokenView view;
+        view.token = ts.token;
+        view.score = ts.score;
+        view.label = l->tokens().Label(ts.token, engine_->dataset());
+        resp.context.push_back(std::move(view));
+      }
+      break;
+    }
+    default:
+      resp.status = Status::NotSupported("unhandled op");
+      return resp;
+  }
+
+  resp.num_steps = l->NumSteps();
+  resp.step = resp.num_steps == 0 ? 0 : resp.num_steps - 1;
+  resp.memo_groups = l->memo().groups.size();
+  resp.memo_users = l->memo().users.size();
+  return resp;
+}
+
+Response ExplorationService::DoGetStats(const Request& req) {
+  Response resp;
+  resp.type = req.type;
+  resp.stats = Stats().ToJson();
+  return resp;
+}
+
+}  // namespace vexus::server

@@ -1,0 +1,98 @@
+// ExplorationService — the headless, embeddable serving substrate in front
+// of VexusEngine.
+//
+//            ┌────────────────────────────────────────────────┐
+//   line ───▶│ protocol codec ─▶ Dispatcher ─▶ Execute()      │───▶ line
+//            │   (json.h)         (ThreadPool,   │            │
+//            │                     deadlines,    ▼            │
+//            │                     backpressure) SessionManager──▶ Exploration-
+//            │                        │          (sharded,    │     Session ×N
+//            │                        ▼           TTL+LRU)    │
+//            │                   ServiceMetrics               │
+//            └────────────────────────────────────────────────┘
+//
+// One process hosts one engine (the preprocessed group store + index) and
+// many named sessions; every later scaling PR — real sockets, sharding
+// across engines, replication — plugs in front of or behind this class
+// without touching the exploration core.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "core/engine.h"
+#include "server/dispatcher.h"
+#include "server/metrics.h"
+#include "server/protocol.h"
+#include "server/session_manager.h"
+
+namespace vexus::server {
+
+struct ServiceOptions {
+  SessionManagerOptions sessions;
+  DispatcherOptions dispatcher;
+  /// Template for new sessions; start_session may override k /
+  /// learning_rate per request. The greedy time budget is always clamped to
+  /// the request's remaining deadline at execution time.
+  core::SessionOptions session_template;
+  /// Worker threads (0 → hardware concurrency).
+  size_t num_workers = 0;
+};
+
+class ExplorationService {
+ public:
+  /// `engine` must outlive the service.
+  explicit ExplorationService(const core::VexusEngine* engine,
+                              ServiceOptions options = {});
+  ~ExplorationService();
+
+  ExplorationService(const ExplorationService&) = delete;
+  ExplorationService& operator=(const ExplorationService&) = delete;
+
+  /// Asynchronous entry point: admit/shed now, complete later.
+  std::future<Response> Dispatch(Request req);
+
+  /// Synchronous entry point (dispatch + wait).
+  Response Call(Request req);
+
+  /// Wire-level entry point: one request line in, one response line out
+  /// (no trailing newline). Parse failures produce an InvalidArgument
+  /// response line, never an exception — misbehaving clients cannot take
+  /// the service down.
+  std::string HandleLine(const std::string& line);
+
+  /// Stops accepting work and drains the workers. Idempotent; also run by
+  /// the destructor. In-flight requests complete; queued-but-unstarted ones
+  /// still run (the pool drains); requests submitted after shutdown are
+  /// shed with ResourceExhausted.
+  void Shutdown();
+
+  const ServiceMetrics& metrics() const { return metrics_; }
+  SessionManager& sessions() { return *sessions_; }
+  const core::VexusEngine& engine() const { return *engine_; }
+
+  /// Current metrics frozen, with the live session gauge filled in.
+  MetricsSnapshot Stats() const;
+
+ private:
+  /// Worker-side execution (Dispatcher handler).
+  Response Execute(const Request& req, const Deadline& deadline);
+
+  Response DoStartSession(const Request& req, const Deadline& deadline);
+  Response DoSessionOp(const Request& req, const Deadline& deadline);
+  Response DoGetStats(const Request& req);
+
+  /// Fills the screen payload (groups + quality) from a selection.
+  void FillScreen(const core::GreedySelection& selection, Response* resp);
+
+  const core::VexusEngine* engine_;
+  ServiceOptions options_;
+  ServiceMetrics metrics_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<SessionManager> sessions_;
+  std::unique_ptr<Dispatcher> dispatcher_;
+};
+
+}  // namespace vexus::server

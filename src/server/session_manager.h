@@ -1,0 +1,129 @@
+// SessionManager — many named ExplorationSessions behind sharded mutexes.
+//
+// The serving substrate's stateful half: each concurrent explorer owns one
+// named session; requests acquire an exclusive per-session lease for the
+// duration of one op (the paper's navigation loop is inherently sequential
+// per explorer — selection feeds learning feeds the next selection — so
+// per-session serialization is semantics, not a bottleneck; throughput comes
+// from running *different* explorers' ops in parallel).
+//
+// Life-cycle guarantees:
+//   * Admission control: at most `max_sessions` live sessions; Create on a
+//     full manager first tries to evict the least-recently-used *idle*
+//     session, then fails with ResourceExhausted.
+//   * TTL: sessions idle longer than `ttl` are evicted lazily (on any
+//     Create/Acquire touching their shard) or by an explicit SweepExpired().
+//   * Generations: every Create stamps a process-unique, monotonically
+//     increasing generation. A client that cached a handle to a session
+//     that was evicted and re-created under the same name observes NotFound
+//     (stale generation) instead of silently mutating a stranger's session.
+//   * Eviction vs. in-flight requests: leases pin the entry; eviction only
+//     removes *idle* entries from the map and marks them dead, so a worker
+//     mid-request never has its session deleted under it, and a lease
+//     attempt racing eviction fails cleanly with NotFound.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/engine.h"
+#include "core/session.h"
+#include "server/metrics.h"
+
+namespace vexus::server {
+
+struct SessionManagerOptions {
+  /// Hard cap on live sessions (admission control).
+  size_t max_sessions = 1024;
+  /// Idle sessions older than this are evictable; <= 0 disables TTL.
+  double ttl_seconds = 15 * 60.0;
+  /// Lock striping; clamped to >= 1. More shards, less contention.
+  size_t num_shards = 16;
+};
+
+class SessionManager {
+ public:
+  /// `engine` must outlive the manager; `metrics` may be null.
+  SessionManager(const core::VexusEngine* engine, SessionManagerOptions options,
+                 ServiceMetrics* metrics = nullptr);
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Exclusive, RAII access to one session. Movable, not copyable. While a
+  /// lease is held the session cannot be evicted or concurrently mutated.
+  class Lease {
+   public:
+    Lease(Lease&&) noexcept = default;
+    /// Move-assignment would have to drop an existing lease mid-expression;
+    /// construct a fresh Lease instead.
+    Lease& operator=(Lease&&) = delete;
+    ~Lease();
+
+    core::ExplorationSession* operator->() { return session_; }
+    core::ExplorationSession& operator*() { return *session_; }
+    core::ExplorationSession* session() { return session_; }
+    uint64_t generation() const { return generation_; }
+
+   private:
+    friend class SessionManager;
+    struct Entry;
+    Lease(std::shared_ptr<Entry> entry, core::ExplorationSession* session,
+          uint64_t generation);
+
+    std::shared_ptr<Entry> entry_;
+    core::ExplorationSession* session_ = nullptr;
+    uint64_t generation_ = 0;
+  };
+
+  /// Creates a named session. Fails with AlreadyExists when the name is
+  /// live, ResourceExhausted when the manager is full and nothing is
+  /// evictable. Returns the new session's generation (for stale-handle
+  /// fencing).
+  Result<uint64_t> Create(const std::string& id,
+                          core::SessionOptions session_options);
+
+  /// Acquires the exclusive lease on a live session. `expected_generation`
+  /// of 0 skips the fence; a non-zero mismatch fails with NotFound, as does
+  /// an unknown or evicted id. Blocks while another lease is outstanding.
+  Result<Lease> Acquire(const std::string& id, uint64_t expected_generation = 0);
+
+  /// Explicit termination (the end_session op). Returns the digest of the
+  /// removed session, NotFound if unknown (or when a non-zero
+  /// `expected_generation` does not match — same fence as Acquire). Blocks
+  /// until in-flight leases on the session drain.
+  Result<core::SessionDigest> Remove(const std::string& id,
+                                     uint64_t expected_generation = 0);
+
+  /// Evicts every idle session past its TTL; returns how many.
+  size_t SweepExpired();
+
+  /// Live session count (gauge; racy by nature).
+  size_t size() const { return count_.load(std::memory_order_relaxed); }
+
+  const SessionManagerOptions& options() const { return options_; }
+
+ private:
+  struct Shard;
+
+  Shard& ShardOf(const std::string& id);
+  /// Attempts one LRU eviction across all shards; true on success.
+  bool EvictLruIdle();
+  /// TTL-sweeps one shard (caller must not hold its mutex).
+  size_t SweepShard(Shard& shard);
+  int64_t NowMicros() const;
+
+  const core::VexusEngine* engine_;
+  SessionManagerOptions options_;
+  ServiceMetrics* metrics_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> next_generation_{1};
+  std::atomic<size_t> count_{0};
+};
+
+}  // namespace vexus::server

@@ -13,7 +13,7 @@ TEST(ThreadPoolTest, RunsSubmittedTasks) {
   ThreadPool pool(4);
   std::atomic<int> counter{0};
   for (int i = 0; i < 100; ++i) {
-    pool.Submit([&counter] { ++counter; });
+    ASSERT_TRUE(pool.Submit([&counter] { ++counter; }));
   }
   pool.Wait();
   EXPECT_EQ(counter.load(), 100);
@@ -53,7 +53,9 @@ TEST(ThreadPoolTest, DestructorDrainsCleanly) {
   std::atomic<int> counter{0};
   {
     ThreadPool pool(2);
-    for (int i = 0; i < 50; ++i) pool.Submit([&counter] { ++counter; });
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(pool.Submit([&counter] { ++counter; }));
+    }
     pool.Wait();
   }
   EXPECT_EQ(counter.load(), 50);
@@ -63,10 +65,96 @@ TEST(ThreadPoolTest, ReusableAcrossWaves) {
   ThreadPool pool(3);
   std::atomic<int> counter{0};
   for (int wave = 0; wave < 5; ++wave) {
-    for (int i = 0; i < 20; ++i) pool.Submit([&counter] { ++counter; });
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(pool.Submit([&counter] { ++counter; }));
+    }
     pool.Wait();
     EXPECT_EQ(counter.load(), (wave + 1) * 20);
   }
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotentAndDrains) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(pool.Submit([&counter] { ++counter; }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 40);  // queued work ran before the join
+  pool.Shutdown();                // second call is a no-op
+  EXPECT_EQ(counter.load(), 40);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRejectedNotLost) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  std::atomic<int> counter{0};
+  EXPECT_FALSE(pool.Submit([&counter] { ++counter; }));
+  EXPECT_EQ(counter.load(), 0);  // rejected task must never run
+}
+
+TEST(ThreadPoolTest, SubmitDuringConcurrentShutdownNeverLosesAcceptedWork) {
+  // Hammer Submit from many threads while another thread shuts the pool
+  // down: every accepted task must run exactly once, every rejected task
+  // must never run, and nothing may deadlock.
+  for (int round = 0; round < 10; ++round) {
+    ThreadPool pool(4);
+    std::atomic<int> executed{0};
+    std::atomic<int> accepted{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 8; ++t) {
+      submitters.emplace_back([&] {
+        while (!go.load()) std::this_thread::yield();
+        for (int i = 0; i < 200; ++i) {
+          if (pool.Submit([&executed] { ++executed; })) {
+            ++accepted;
+          }
+        }
+      });
+    }
+    std::thread closer([&] {
+      while (!go.load()) std::this_thread::yield();
+      pool.Shutdown();
+    });
+    go.store(true);
+    for (auto& th : submitters) th.join();
+    closer.join();
+    pool.Shutdown();  // ensure fully drained before counting
+    EXPECT_EQ(executed.load(), accepted.load());
+  }
+}
+
+TEST(ThreadPoolTest, WaitUnderContention) {
+  // Wait() racing fresh submissions from other threads must return only
+  // when the queue it observes is empty, and must not miss wakeups.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::atomic<bool> stop{false};
+  std::thread churner([&] {
+    while (!stop.load()) {
+      if (!pool.Submit([&counter] { ++counter; })) break;
+      std::this_thread::yield();
+    }
+  });
+  for (int i = 0; i < 50; ++i) pool.Wait();
+  stop.store(true);
+  churner.join();
+  pool.Wait();  // final drain: no submitter left, so this quiesces
+  EXPECT_GT(counter.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForStillWorksAfterHeavyChurn) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.Submit([&counter] { ++counter; }));
+  }
+  std::vector<std::atomic<int>> hits(256);
+  pool.ParallelFor(256, [&hits](size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
 }
 
 }  // namespace

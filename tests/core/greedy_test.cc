@@ -1,6 +1,7 @@
 #include "core/greedy.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 
 #include <gtest/gtest.h>
@@ -54,7 +55,7 @@ struct World {
 GreedyOptions Unbounded(size_t k = 4) {
   GreedyOptions opt;
   opt.k = k;
-  opt.time_limit_ms = 0;  // infinite
+  opt.time_limit_ms = GreedyOptions::kUnboundedTimeLimit;
   opt.min_similarity = 0.01;
   return opt;
 }
@@ -138,6 +139,42 @@ TEST(GreedyTest, DeadlineIsHonored) {
   // Generous bound: deadline + one evaluation overshoot.
   EXPECT_LT(elapsed, 200.0);
   EXPECT_EQ(result.groups.size(), 7u);
+}
+
+TEST(GreedyTest, ZeroAndNegativeBudgetsExpireImmediately) {
+  // Regression: the budget semantics must match Deadline::AfterMillis —
+  // zero/negative/NaN budgets mean "already expired", NOT "unbounded". The
+  // serving layer clamps a request's *remaining* deadline into
+  // time_limit_ms without a sign check, so a request that arrives with no
+  // budget left must get the seed-only anytime answer, never a full
+  // refinement run.
+  World w(60, 500, 11);
+  FeedbackVector fb(w.tokens.get());
+  GreedySelector sel(&w.store, w.index.get());
+
+  for (double budget : {0.0, -5.0, std::nan("")}) {
+    GreedyOptions opt = Unbounded(4);
+    opt.time_limit_ms = budget;
+    auto result = sel.SelectNext(0, fb, opt);
+    EXPECT_TRUE(result.deadline_hit) << "budget=" << budget;
+    EXPECT_EQ(result.groups.size(), 4u) << "anytime: seed still answers";
+    EXPECT_EQ(result.passes, 0u) << "no refinement pass may start";
+  }
+
+  // Same contract on the initial screen.
+  GreedyOptions opt0 = Unbounded(4);
+  opt0.time_limit_ms = 0;
+  auto initial = sel.SelectInitial(fb, opt0);
+  EXPECT_TRUE(initial.deadline_hit);
+  EXPECT_EQ(initial.groups.size(), 4u);
+
+  // Both expired runs stop before the first pass: deterministic equals.
+  GreedyOptions zero = Unbounded(4);
+  zero.time_limit_ms = 0;
+  GreedyOptions negative = Unbounded(4);
+  negative.time_limit_ms = -1e9;
+  EXPECT_EQ(sel.SelectNext(0, fb, zero).groups,
+            sel.SelectNext(0, fb, negative).groups);
 }
 
 TEST(GreedyTest, FeedbackBiasesSelection) {

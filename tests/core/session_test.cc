@@ -129,6 +129,50 @@ TEST_F(SessionTest, UnlearnRemovesContextToken) {
   EXPECT_DOUBLE_EQ(s->feedback().Score(top), 0.0);
 }
 
+TEST_F(SessionTest, BacktrackRestoresPreUnlearnSnapshotExactly) {
+  // Interplay regression: Unlearn mutates the *live* CONTEXT only — the
+  // per-step snapshots in HISTORY must stay untouched, so backtracking to a
+  // step restores the feedback state as it was at that step, unlearn and
+  // all. (A snapshot aliasing bug would let Unlearn reach back into
+  // history and make backtrack restore the post-unlearn state.)
+  auto s = NewSession();
+  const auto& first = s->Start();
+  s->SelectGroup(first.groups[0]);
+
+  // Full CONTEXT as recorded at step 1, before any unlearning.
+  auto pre_unlearn = s->ContextTokens(1000);
+  size_t pre_nonzero = s->feedback().nonzero_count();
+  ASSERT_FALSE(pre_unlearn.empty());
+
+  // Unlearn the strongest token; the live state must change...
+  Token top = pre_unlearn[0].token;
+  double top_score = pre_unlearn[0].score;
+  ASSERT_NE(top_score, 0.0);
+  s->Unlearn(top);
+  EXPECT_DOUBLE_EQ(s->feedback().Score(top), 0.0);
+  EXPECT_LT(s->feedback().nonzero_count(), pre_nonzero);
+
+  // ...while the recorded step-1 snapshot must not.
+  EXPECT_DOUBLE_EQ(s->Step(1).feedback_snapshot.Score(top), top_score);
+
+  // Backtrack to step 1: the pre-unlearn feedback comes back exactly.
+  ASSERT_TRUE(s->Backtrack(1).ok());
+  EXPECT_EQ(s->feedback().nonzero_count(), pre_nonzero);
+  EXPECT_DOUBLE_EQ(s->feedback().Score(top), top_score);
+  auto restored = s->ContextTokens(1000);
+  ASSERT_EQ(restored.size(), pre_unlearn.size());
+  for (size_t i = 0; i < restored.size(); ++i) {
+    EXPECT_EQ(restored[i].token, pre_unlearn[i].token);
+    EXPECT_DOUBLE_EQ(restored[i].score, pre_unlearn[i].score);
+  }
+
+  // And unlearning again after the backtrack works on the restored state.
+  s->Unlearn(top);
+  EXPECT_DOUBLE_EQ(s->feedback().Score(top), 0.0);
+  ASSERT_TRUE(s->Backtrack(0).ok());
+  EXPECT_TRUE(s->feedback().Empty());
+}
+
 TEST_F(SessionTest, UnlearnChangesNextRecommendations) {
   // Learned bias toward a group should shift weighted affinity; removing
   // all its tokens must restore neutral scoring (paper's gender-rebalance

@@ -180,8 +180,10 @@ TEST_P(AnytimeMonotonicityTest, MoreTimeNeverWorseThanSeed) {
   EXPECT_GE(ref_obj + 1e-9, seed_obj);
 }
 
-INSTANTIATE_TEST_SUITE_P(Budgets, AnytimeMonotonicityTest,
-                         ::testing::Values(1.0, 10.0, 100.0, 0.0 /*∞*/));
+INSTANTIATE_TEST_SUITE_P(
+    Budgets, AnytimeMonotonicityTest,
+    ::testing::Values(1.0, 10.0, 100.0,
+                      vexus::core::GreedyOptions::kUnboundedTimeLimit));
 
 }  // namespace
 }  // namespace vexus

@@ -1,0 +1,138 @@
+#include "server/json.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace vexus::server::json {
+namespace {
+
+TEST(JsonValueTest, TypePredicates) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(nullptr).is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(3.5).is_number());
+  EXPECT_TRUE(Value(uint64_t{7}).is_number());
+  EXPECT_TRUE(Value("hi").is_string());
+  EXPECT_TRUE(Value(Array{}).is_array());
+  EXPECT_TRUE(Value(Object{}).is_object());
+}
+
+TEST(JsonValueTest, FindAndLenientGetters) {
+  Object obj;
+  obj.emplace_back("n", Value(42));
+  obj.emplace_back("s", Value("text"));
+  obj.emplace_back("b", Value(true));
+  Value v(std::move(obj));
+  ASSERT_NE(v.Find("n"), nullptr);
+  EXPECT_EQ(v.Find("missing"), nullptr);
+  EXPECT_EQ(v.GetNumber("n", -1), 42);
+  EXPECT_EQ(v.GetNumber("s", -1), -1);  // wrong type -> fallback
+  EXPECT_EQ(v.GetString("s", ""), "text");
+  EXPECT_EQ(v.GetString("n", "fb"), "fb");
+  EXPECT_TRUE(v.GetBool("b", false));
+  EXPECT_TRUE(v.GetBool("absent", true));
+}
+
+TEST(JsonDumpTest, IntegralDoublesPrintWithoutFraction) {
+  EXPECT_EQ(Value(5).Dump(), "5");
+  EXPECT_EQ(Value(-3).Dump(), "-3");
+  EXPECT_EQ(Value(0).Dump(), "0");
+  EXPECT_EQ(Value(1.5).Dump(), "1.5");
+}
+
+TEST(JsonDumpTest, ObjectPreservesInsertionOrder) {
+  Object obj;
+  obj.emplace_back("z", Value(1));
+  obj.emplace_back("a", Value(2));
+  EXPECT_EQ(Value(std::move(obj)).Dump(), "{\"z\":1,\"a\":2}");
+}
+
+TEST(JsonDumpTest, StringEscapes) {
+  EXPECT_EQ(Value("a\"b\\c\n\t").Dump(), "\"a\\\"b\\\\c\\n\\t\"");
+  EXPECT_EQ(Value(std::string("\x01", 1)).Dump(), "\"\\u0001\"");
+}
+
+TEST(JsonDumpTest, NanAndInfBecomeNull) {
+  EXPECT_EQ(Value(std::numeric_limits<double>::quiet_NaN()).Dump(), "null");
+  EXPECT_EQ(Value(std::numeric_limits<double>::infinity()).Dump(), "null");
+}
+
+TEST(JsonParseTest, RoundTripsNestedDocument) {
+  const std::string text =
+      "{\"op\":\"x\",\"n\":3,\"arr\":[1,true,null,\"s\"],"
+      "\"obj\":{\"k\":-2.5}}";
+  auto parsed = Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Dump(), text);
+}
+
+TEST(JsonParseTest, AcceptsSurroundingWhitespace) {
+  auto parsed = Parse("  \t\n {\"a\":1} \r\n ");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->GetNumber("a", 0), 1);
+}
+
+TEST(JsonParseTest, DecodesUnicodeEscapes) {
+  auto parsed = Parse("\"\\u00e9\\u20ac\"");  // é €
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), "\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(JsonParseTest, DecodesSurrogatePairs) {
+  auto parsed = Parse("\"\\ud83d\\ude00\"");  // 😀 U+1F600
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("{\"a\":}").ok());
+  EXPECT_FALSE(Parse("[1,]").ok());
+  EXPECT_FALSE(Parse("tru").ok());
+  EXPECT_FALSE(Parse("\"unterminated").ok());
+  EXPECT_FALSE(Parse("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(Parse("nan").ok());
+  EXPECT_FALSE(Parse("1.2.3").ok());
+}
+
+TEST(JsonParseTest, RejectsRawControlCharInString) {
+  EXPECT_FALSE(Parse(std::string("\"a\nb\"")).ok());
+}
+
+TEST(JsonParseTest, DepthCapStopsHostileNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  auto r = Parse(deep, /*max_depth=*/64);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_TRUE(Parse("[[[[1]]]]", 64).ok());
+}
+
+TEST(JsonParseTest, NumbersParseExactly) {
+  auto r = Parse("[0,-1,3.25,1e3,2.5e-1]");
+  ASSERT_TRUE(r.ok());
+  const Array& a = r->AsArray();
+  ASSERT_EQ(a.size(), 5u);
+  EXPECT_EQ(a[0].AsDouble(), 0);
+  EXPECT_EQ(a[1].AsDouble(), -1);
+  EXPECT_EQ(a[2].AsDouble(), 3.25);
+  EXPECT_EQ(a[3].AsDouble(), 1000);
+  EXPECT_EQ(a[4].AsDouble(), 0.25);
+}
+
+TEST(JsonParseTest, DumpParseDumpIsStable) {
+  Object inner;
+  inner.emplace_back("msg", Value("line1\nline2 \"quoted\""));
+  Object obj;
+  obj.emplace_back("inner", Value(std::move(inner)));
+  obj.emplace_back("xs", Value(Array{Value(1), Value(2.5), Value(false)}));
+  std::string once = Value(std::move(obj)).Dump();
+  auto back = Parse(once);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->Dump(), once);
+}
+
+}  // namespace
+}  // namespace vexus::server::json

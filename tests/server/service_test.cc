@@ -1,0 +1,424 @@
+#include "server/service.h"
+
+#include <atomic>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "data/generators/bookcrossing_gen.h"
+#include "server/json.h"
+
+namespace vexus::server {
+namespace {
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::BookCrossingGenerator::Config cfg;
+    cfg.num_users = 500;
+    cfg.num_books = 600;
+    cfg.num_ratings = 3000;
+    mining::DiscoveryOptions opt;
+    opt.min_support_fraction = 0.03;
+    engine_ = new core::VexusEngine(std::move(
+        core::VexusEngine::Preprocess(
+            data::BookCrossingGenerator::Generate(cfg), opt, {})
+            .ValueOrDie()));
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    engine_ = nullptr;
+  }
+
+  static ServiceOptions FastOptions() {
+    ServiceOptions opts;
+    opts.session_template.greedy.k = 4;
+    opts.session_template.greedy.time_limit_ms = 50;
+    opts.num_workers = 4;
+    return opts;
+  }
+
+  static Request Start(const std::string& id) {
+    Request req;
+    req.type = RequestType::kStartSession;
+    req.session_id = id;
+    return req;
+  }
+  static Request Select(const std::string& id, uint32_t group) {
+    Request req;
+    req.type = RequestType::kSelectGroup;
+    req.session_id = id;
+    req.group = group;
+    return req;
+  }
+  static Request End(const std::string& id) {
+    Request req;
+    req.type = RequestType::kEndSession;
+    req.session_id = id;
+    return req;
+  }
+
+  static core::VexusEngine* engine_;
+};
+
+core::VexusEngine* ServiceTest::engine_ = nullptr;
+
+TEST_F(ServiceTest, FullExplorationLoop) {
+  ExplorationService svc(engine_, FastOptions());
+
+  Response started = svc.Call(Start("alice"));
+  ASSERT_TRUE(started.status.ok()) << started.status.ToString();
+  ASSERT_FALSE(started.groups.empty());
+  EXPECT_EQ(started.num_steps, 1u);
+  EXPECT_GT(started.generation, 0u);
+  EXPECT_GT(started.coverage, 0.0);
+  for (const GroupView& g : started.groups) {
+    EXPECT_GT(g.size, 0u);
+    EXPECT_FALSE(g.description.empty());
+  }
+
+  Response selected = svc.Call(Select("alice", started.groups[0].id));
+  ASSERT_TRUE(selected.status.ok()) << selected.status.ToString();
+  EXPECT_EQ(selected.num_steps, 2u);
+  EXPECT_EQ(selected.step, 1u);
+
+  // Bookmark a group and a user.
+  Request bm;
+  bm.type = RequestType::kBookmark;
+  bm.session_id = "alice";
+  bm.group = started.groups[0].id;
+  ASSERT_TRUE(svc.Call(bm).status.ok());
+  bm.group.reset();
+  bm.user = 3;
+  ASSERT_TRUE(svc.Call(bm).status.ok());
+
+  // CONTEXT is non-empty after a selection; labels are denormalized.
+  Request ctx;
+  ctx.type = RequestType::kGetContext;
+  ctx.session_id = "alice";
+  ctx.top_k = 5;
+  Response context = svc.Call(ctx);
+  ASSERT_TRUE(context.status.ok());
+  ASSERT_FALSE(context.context.empty());
+  EXPECT_FALSE(context.context[0].label.empty());
+
+  // Unlearn the strongest token.
+  Request un;
+  un.type = RequestType::kUnlearn;
+  un.session_id = "alice";
+  un.token = context.context[0].token;
+  ASSERT_TRUE(svc.Call(un).status.ok());
+
+  // Backtrack to step 0.
+  Request bt;
+  bt.type = RequestType::kBacktrack;
+  bt.session_id = "alice";
+  bt.step = 0;
+  Response back = svc.Call(bt);
+  ASSERT_TRUE(back.status.ok());
+  EXPECT_EQ(back.num_steps, 1u);
+
+  Response ended = svc.Call(End("alice"));
+  ASSERT_TRUE(ended.status.ok());
+  EXPECT_EQ(ended.memo_groups, 1u);
+  EXPECT_EQ(ended.memo_users, 1u);
+  EXPECT_EQ(svc.sessions().size(), 0u);
+}
+
+TEST_F(ServiceTest, ZeroBudgetIsDeadlineExceededWithoutTouchingGreedy) {
+  ExplorationService svc(engine_, FastOptions());
+  Request req = Start("hurried");
+  req.budget_ms = 0;  // born expired
+  Response resp = svc.Call(req);
+  EXPECT_TRUE(resp.status.IsDeadlineExceeded()) << resp.status.ToString();
+  EXPECT_TRUE(resp.groups.empty());  // greedy loop never ran
+  auto s = svc.Stats();
+  EXPECT_EQ(s.deadline_exceeded, 1u);
+  EXPECT_EQ(s.ok, 0u);
+}
+
+TEST_F(ServiceTest, NegativeBudgetAlsoExpiresImmediately) {
+  ExplorationService svc(engine_, FastOptions());
+  Request req = Start("hurried2");
+  req.budget_ms = -10;
+  EXPECT_TRUE(svc.Call(req).status.IsDeadlineExceeded());
+}
+
+TEST_F(ServiceTest, UnknownSessionIsNotFound) {
+  ExplorationService svc(engine_, FastOptions());
+  Response resp = svc.Call(Select("ghost", 0));
+  EXPECT_TRUE(resp.status.IsNotFound());
+  EXPECT_TRUE(svc.Call(End("ghost")).status.IsNotFound());
+  auto s = svc.Stats();
+  EXPECT_EQ(s.not_found, 2u);
+}
+
+TEST_F(ServiceTest, StaleGenerationIsNotFound) {
+  ExplorationService svc(engine_, FastOptions());
+  Response first = svc.Call(Start("phoenix"));
+  ASSERT_TRUE(first.status.ok());
+  uint64_t old_gen = first.generation;
+  ASSERT_TRUE(svc.Call(End("phoenix")).status.ok());
+  Response second = svc.Call(Start("phoenix"));
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_NE(second.generation, old_gen);
+
+  Request stale = Select("phoenix", first.groups[0].id);
+  stale.generation = old_gen;
+  EXPECT_TRUE(svc.Call(stale).status.IsNotFound());
+
+  Request fresh = Select("phoenix", second.groups[0].id);
+  fresh.generation = second.generation;
+  EXPECT_TRUE(svc.Call(fresh).status.ok());
+}
+
+TEST_F(ServiceTest, EvictedSessionIsNotFound) {
+  ServiceOptions opts = FastOptions();
+  opts.sessions.max_sessions = 1;
+  ExplorationService svc(engine_, opts);
+  Response a = svc.Call(Start("a"));
+  ASSERT_TRUE(a.status.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE(svc.Call(Start("b")).status.ok());  // evicts idle "a"
+  Response stale = svc.Call(Select("a", a.groups[0].id));
+  EXPECT_TRUE(stale.status.IsNotFound());
+  EXPECT_EQ(svc.Stats().evictions_lru, 1u);
+}
+
+TEST_F(ServiceTest, InvalidArgumentsAreRejectedNotFatal) {
+  ExplorationService svc(engine_, FastOptions());
+  ASSERT_TRUE(svc.Call(Start("val")).status.ok());
+
+  // Out-of-range group id.
+  Response bad_group = svc.Call(Select("val", 1u << 30));
+  EXPECT_TRUE(bad_group.status.IsInvalidArgument());
+
+  // Backtrack past history.
+  Request bt;
+  bt.type = RequestType::kBacktrack;
+  bt.session_id = "val";
+  bt.step = 99;
+  EXPECT_FALSE(svc.Call(bt).status.ok());
+
+  // Unknown unlearn token.
+  Request un;
+  un.type = RequestType::kUnlearn;
+  un.session_id = "val";
+  un.token = 1u << 30;
+  EXPECT_TRUE(svc.Call(un).status.IsInvalidArgument());
+
+  // Bookmark an unknown user.
+  Request bm;
+  bm.type = RequestType::kBookmark;
+  bm.session_id = "val";
+  bm.user = 1u << 30;
+  EXPECT_TRUE(svc.Call(bm).status.IsInvalidArgument());
+
+  // k = 0 and k too large on start_session.
+  Request k0 = Start("val2");
+  k0.k = 0;
+  EXPECT_TRUE(svc.Call(k0).status.IsInvalidArgument());
+  Request kbig = Start("val3");
+  kbig.k = 10'000;
+  EXPECT_TRUE(svc.Call(kbig).status.IsInvalidArgument());
+  Request lr = Start("val4");
+  lr.learning_rate = -1.0;
+  EXPECT_TRUE(svc.Call(lr).status.IsInvalidArgument());
+
+  // The session survives all of that.
+  EXPECT_TRUE(svc.Call(End("val")).status.ok());
+}
+
+TEST_F(ServiceTest, PerRequestKOverridesTemplate) {
+  ExplorationService svc(engine_, FastOptions());
+  Request req = Start("narrow");
+  req.k = 2;
+  Response resp = svc.Call(req);
+  ASSERT_TRUE(resp.status.ok());
+  EXPECT_EQ(resp.groups.size(), 2u);
+}
+
+TEST_F(ServiceTest, HandleLineSpeaksTheWireProtocol) {
+  ExplorationService svc(engine_, FastOptions());
+  std::string out =
+      svc.HandleLine("{\"op\":\"start_session\",\"session\":\"wire\"}");
+  auto resp = Response::Decode(out);
+  ASSERT_TRUE(resp.ok()) << out;
+  EXPECT_TRUE(resp->status.ok());
+  EXPECT_FALSE(resp->groups.empty());
+
+  // Garbage in -> one well-formed error line out, never a throw.
+  std::string err = svc.HandleLine("this is not json");
+  auto parsed = json::Parse(err);
+  ASSERT_TRUE(parsed.ok()) << err;
+  EXPECT_EQ(parsed->GetString("status", ""), "InvalidArgument");
+
+  std::string unknown_op = svc.HandleLine("{\"op\":\"teleport\"}");
+  auto parsed2 = json::Parse(unknown_op);
+  ASSERT_TRUE(parsed2.ok());
+  EXPECT_EQ(parsed2->GetString("status", ""), "InvalidArgument");
+
+  std::string stats = svc.HandleLine("{\"op\":\"get_stats\"}");
+  auto parsed3 = json::Parse(stats);
+  ASSERT_TRUE(parsed3.ok());
+  EXPECT_NE(parsed3->Find("stats"), nullptr);
+}
+
+TEST_F(ServiceTest, MetricsMatchScriptedWorkloadExactly) {
+  ExplorationService svc(engine_, FastOptions());
+  // Scripted: 2 start, 3 select (1 ok + 1 bad-group + 1 unknown-session),
+  // 1 get_stats, 2 end (1 ok + 1 unknown).
+  Response a = svc.Call(Start("m1"));
+  ASSERT_TRUE(a.status.ok());
+  ASSERT_TRUE(svc.Call(Start("m2")).status.ok());
+  ASSERT_TRUE(svc.Call(Select("m1", a.groups[0].id)).status.ok());
+  ASSERT_TRUE(svc.Call(Select("m1", 1u << 30)).status.IsInvalidArgument());
+  ASSERT_TRUE(svc.Call(Select("nobody", 0)).status.IsNotFound());
+  Request gs;
+  gs.type = RequestType::kGetStats;
+  ASSERT_TRUE(svc.Call(gs).status.ok());
+  ASSERT_TRUE(svc.Call(End("m1")).status.ok());
+  ASSERT_TRUE(svc.Call(End("nobody")).status.IsNotFound());
+
+  MetricsSnapshot s = svc.Stats();
+  EXPECT_EQ(s.TotalRequests(), 8u);
+  EXPECT_EQ(s.ok, 5u);
+  EXPECT_EQ(s.not_found, 2u);
+  EXPECT_EQ(s.other_errors, 1u);  // the InvalidArgument select
+  EXPECT_EQ(s.deadline_exceeded, 0u);
+  EXPECT_EQ(s.shed, 0u);
+  EXPECT_EQ(
+      s.requests_by_type[static_cast<size_t>(RequestType::kStartSession)], 2u);
+  EXPECT_EQ(
+      s.requests_by_type[static_cast<size_t>(RequestType::kSelectGroup)], 3u);
+  EXPECT_EQ(s.requests_by_type[static_cast<size_t>(RequestType::kGetStats)],
+            1u);
+  EXPECT_EQ(s.requests_by_type[static_cast<size_t>(RequestType::kEndSession)],
+            2u);
+  EXPECT_EQ(s.open_sessions, 1u);  // m2 still live
+  EXPECT_EQ(s.latency_all.count, 8u);
+}
+
+TEST_F(ServiceTest, BackpressureShedsBeyondQueueDepth) {
+  ServiceOptions opts = FastOptions();
+  opts.num_workers = 1;
+  opts.dispatcher.max_queue_depth = 2;
+  ExplorationService svc(engine_, opts);
+  ASSERT_TRUE(svc.Call(Start("bp")).status.ok());
+
+  std::vector<std::future<Response>> futs;
+  {
+    // Pin the session's lease so the lone worker blocks on the first
+    // request: everything submitted behind it must pile up in the queue
+    // and overflow deterministically.
+    auto lease = svc.sessions().Acquire("bp").ValueOrDie();
+    for (int i = 0; i < 12; ++i) {
+      Request req;
+      req.type = RequestType::kGetContext;
+      req.session_id = "bp";
+      req.budget_ms = 10'000;
+      futs.push_back(svc.Dispatch(req));
+    }
+    // max_queue_depth = 2: at most 2 admitted, the rest shed immediately.
+    // lease drops here; the admitted requests drain.
+  }
+  size_t shed = 0;
+  for (auto& f : futs) {
+    Response r = f.get();
+    if (r.status.IsResourceExhausted()) ++shed;
+  }
+  EXPECT_EQ(shed, 10u);
+  EXPECT_EQ(svc.Stats().shed, shed);
+}
+
+TEST_F(ServiceTest, ShutdownShedsNewWorkAndCompletesFutures) {
+  ExplorationService svc(engine_, FastOptions());
+  ASSERT_TRUE(svc.Call(Start("down")).status.ok());
+  svc.Shutdown();
+  Response resp = svc.Call(Start("late"));
+  EXPECT_TRUE(resp.status.IsResourceExhausted()) << resp.status.ToString();
+}
+
+// Acceptance scenario: 16 threads x 100 requests over 8 shared sessions,
+// race-free, every future answered, metrics add up.
+TEST_F(ServiceTest, ConcurrentExplorersSixteenThreads) {
+  ServiceOptions opts = FastOptions();
+  opts.num_workers = 8;
+  opts.dispatcher.max_queue_depth = 100'000;  // no shedding in this test
+  opts.dispatcher.default_budget_ms = 60'000; // no deadline flakes either
+  ExplorationService svc(engine_, opts);
+
+  constexpr int kThreads = 16;
+  constexpr int kRequestsPerThread = 100;
+  constexpr int kSessions = 8;
+
+  std::vector<uint32_t> first_groups(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    Response started = svc.Call(Start("shared" + std::to_string(s)));
+    ASSERT_TRUE(started.status.ok()) << started.status.ToString();
+    first_groups[s] = started.groups[0].id;
+  }
+
+  std::atomic<uint64_t> ok{0}, failed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        int s = (t * kRequestsPerThread + i) % kSessions;
+        std::string id = "shared" + std::to_string(s);
+        Request req;
+        switch (i % 4) {
+          case 0:
+            req = Select(id, first_groups[s]);
+            break;
+          case 1:
+            req.type = RequestType::kGetContext;
+            req.session_id = id;
+            break;
+          case 2:
+            req.type = RequestType::kBookmark;
+            req.session_id = id;
+            req.user = static_cast<uint32_t>(i % 50);
+            break;
+          default:
+            req.type = RequestType::kBacktrack;
+            req.session_id = id;
+            req.step = 0;
+            break;
+        }
+        Response resp = svc.Call(req);
+        if (resp.status.ok()) {
+          ok.fetch_add(1);
+        } else {
+          failed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(ok.load() + failed.load(), uint64_t{kThreads} * kRequestsPerThread);
+  EXPECT_EQ(failed.load(), 0u) << "no request may fail in this workload";
+
+  MetricsSnapshot s = svc.Stats();
+  // 8 starts + the 1600 threaded requests, all completed.
+  EXPECT_EQ(s.TotalRequests(), uint64_t{kThreads} * kRequestsPerThread + 8);
+  EXPECT_EQ(s.ok, uint64_t{kThreads} * kRequestsPerThread + 8);
+  EXPECT_EQ(s.open_sessions, uint64_t{kSessions});
+
+  // Sessions are still coherent afterwards.
+  for (int i = 0; i < kSessions; ++i) {
+    Response ended = svc.Call(End("shared" + std::to_string(i)));
+    EXPECT_TRUE(ended.status.ok());
+    EXPECT_GE(ended.num_steps, 1u);
+  }
+  EXPECT_EQ(svc.sessions().size(), 0u);
+}
+
+}  // namespace
+}  // namespace vexus::server
