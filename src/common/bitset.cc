@@ -79,6 +79,50 @@ size_t Bitset::IntersectCount(const Bitset& other) const {
   return c;
 }
 
+size_t Bitset::CountAndNot(const Bitset& exclude) const {
+  CheckCompatible(exclude);
+  size_t c = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    c += static_cast<size_t>(
+        __builtin_popcountll(words_[i] & ~exclude.words_[i]));
+  }
+  return c;
+}
+
+size_t Bitset::IntersectCountAndNot(const Bitset& other,
+                                    const Bitset& exclude) const {
+  CheckCompatible(other);
+  CheckCompatible(exclude);
+  size_t c = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    c += static_cast<size_t>(__builtin_popcountll(
+        words_[i] & other.words_[i] & ~exclude.words_[i]));
+  }
+  return c;
+}
+
+size_t Bitset::IntersectCountInto(const Bitset& other, Bitset* out) const {
+  CheckCompatible(other);
+  out->size_ = size_;
+  out->words_.resize(words_.size());
+  size_t c = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    uint64_t w = words_[i] & other.words_[i];
+    out->words_[i] = w;
+    c += static_cast<size_t>(__builtin_popcountll(w));
+  }
+  return c;
+}
+
+void Bitset::AssignUnion(const Bitset& a, const Bitset& b) {
+  a.CheckCompatible(b);
+  size_ = a.size_;
+  words_.resize(a.words_.size());
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] = a.words_[i] | b.words_[i];
+  }
+}
+
 size_t Bitset::UnionCount(const Bitset& other) const {
   CheckCompatible(other);
   size_t c = 0;

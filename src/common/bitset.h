@@ -53,6 +53,25 @@ class Bitset {
   /// |this ∩ other| without allocating. Sizes must match.
   size_t IntersectCount(const Bitset& other) const;
 
+  /// |this ∩ ¬exclude| without allocating. Sizes must match.
+  size_t CountAndNot(const Bitset& exclude) const;
+
+  /// |this ∩ other ∩ ¬exclude| in one word-parallel pass, no temporaries.
+  /// The greedy swap loop's delta evaluator uses this as its inner kernel:
+  /// "how many anchor users would candidate g newly cover?" is
+  /// g.IntersectCountAndNot(anchor, rest) — one pass instead of three.
+  size_t IntersectCountAndNot(const Bitset& other, const Bitset& exclude) const;
+
+  /// Writes this ∩ other into *out (resized to this universe) and returns
+  /// |this ∩ other| — intersection and popcount fused into one pass. `out`
+  /// may alias neither operand.
+  size_t IntersectCountInto(const Bitset& other, Bitset* out) const;
+
+  /// this = a ∪ b in one pass (resized to a's universe; a and b must
+  /// match). Avoids the copy+|= double pass when building prefix/suffix
+  /// union tables.
+  void AssignUnion(const Bitset& a, const Bitset& b);
+
   /// |this ∪ other| without allocating. Sizes must match.
   size_t UnionCount(const Bitset& other) const;
 

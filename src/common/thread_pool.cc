@@ -75,6 +75,61 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   Wait();
 }
 
+void ThreadPool::ParallelForChunked(
+    size_t n, size_t chunk_size,
+    const std::function<void(size_t chunk, size_t begin, size_t end)>& fn) {
+  if (n == 0) return;
+  if (chunk_size == 0) chunk_size = 1;
+  const size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+
+  // Shared between the caller and helper tasks. Heap-allocated + shared so a
+  // helper that only gets scheduled after the caller has returned (its
+  // chunks were all drained by faster threads) still finds live state: it
+  // observes an exhausted cursor and exits without touching anything else.
+  struct State {
+    std::function<void(size_t, size_t, size_t)> fn;  // copy: outlives caller
+    size_t n = 0, chunk_size = 0, num_chunks = 0;
+    std::atomic<size_t> cursor{0};
+    std::atomic<size_t> done{0};
+    std::mutex m;
+    std::condition_variable cv;
+  };
+  auto st = std::make_shared<State>();
+  st->fn = fn;
+  st->n = n;
+  st->chunk_size = chunk_size;
+  st->num_chunks = num_chunks;
+
+  auto drain = [st] {
+    while (true) {
+      size_t c = st->cursor.fetch_add(1, std::memory_order_relaxed);
+      if (c >= st->num_chunks) return;
+      size_t begin = c * st->chunk_size;
+      size_t end = std::min(st->n, begin + st->chunk_size);
+      st->fn(c, begin, end);
+      if (st->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          st->num_chunks) {
+        // Last chunk: wake the caller. Lock pairs with the caller's wait so
+        // the notify cannot slip between its predicate check and sleep.
+        std::lock_guard<std::mutex> lock(st->m);
+        st->cv.notify_all();
+      }
+    }
+  };
+
+  // Helpers are best-effort accelerators: a rejected Submit (shutdown race)
+  // or a busy pool just means the caller drains more chunks itself.
+  size_t helpers = std::min(workers_.size(), num_chunks - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    if (!Submit(drain)) break;
+  }
+  drain();
+  std::unique_lock<std::mutex> lock(st->m);
+  st->cv.wait(lock, [&] {
+    return st->done.load(std::memory_order_acquire) == st->num_chunks;
+  });
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;

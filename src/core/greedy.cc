@@ -1,11 +1,14 @@
 #include "core/greedy.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/greedy_eval.h"
 #include "index/similarity.h"
 
 namespace vexus::core {
@@ -21,37 +24,99 @@ GreedySelector::GreedySelector(const GroupStore* store,
 
 namespace {
 
-/// Memoized pairwise Jaccard over a candidate pool (pool ids are indices
-/// into `pool`, not GroupIds). k and |pool| are both small, but the swap
-/// loop revisits pairs constantly — memoization keeps each pair at one
-/// bitset pass.
-class SimCache {
- public:
-  SimCache(const GroupStore* store, const std::vector<GroupId>* pool)
-      : store_(store),
-        pool_(pool),
-        cache_(pool->size() * pool->size(), -1.0f) {}
+/// Minimum improvement for a swap to count (guards float-noise cycling).
+constexpr double kMinGain = 1e-12;
 
-  float Sim(size_t a, size_t b) {
-    if (a == b) return 1.0f;
-    float& slot = cache_[a * pool_->size() + b];
-    if (slot < 0) {
-      slot = static_cast<float>(
-          store_->group((*pool_)[a])
-              .members()
-              .Jaccard(store_->group((*pool_)[b]).members()));
-      cache_[b * pool_->size() + a] = slot;
-    }
-    return slot;
-  }
-
- private:
-  const GroupStore* store_;
-  const std::vector<GroupId>* pool_;
-  std::vector<float> cache_;
+/// Best trial found while scanning a contiguous candidate range, plus the
+/// bookkeeping the deterministic reduction needs. `gain` starts at the
+/// improvement threshold, so `cand == SIZE_MAX` means "nothing above it".
+struct ChunkBest {
+  double gain = kMinGain;
+  size_t cand = SIZE_MAX;
+  size_t pos = SIZE_MAX;
+  size_t evaluations = 0;
+  /// False when the deadline (or a peer shard's stop flag) truncated the
+  /// range before every trial was scored — the pass cannot prove a local
+  /// optimum from an incomplete scan.
+  bool complete = true;
 };
 
+/// Scans candidates [begin, end) × all positions. Deterministic within the
+/// range: ascending (cand, pos) order with strict `>` keeps the earliest
+/// argmax, so folding per-chunk results in chunk order reproduces the
+/// serial scan's pick exactly. The deadline is rechecked every
+/// `check_interval` trials *inside* the position sweep (a single
+/// candidate's k-trial sweep must not blow the 100 ms budget), and `stop`
+/// (when non-null) lets parallel shards cut each other short.
+template <typename TrialFn>
+ChunkBest ScanRange(size_t begin, size_t end,
+                    const std::vector<size_t>& selected,
+                    const std::vector<bool>& in_selection,
+                    const std::vector<bool>& is_refinement,
+                    size_t refinement_count, size_t quota, double current,
+                    const Deadline& deadline, size_t check_interval,
+                    std::atomic<bool>* stop, TrialFn&& trial) {
+  ChunkBest best;
+  if (check_interval == 0) check_interval = 1;
+  size_t since_check = 0;
+  for (size_t cand = begin; cand < end; ++cand) {
+    if (in_selection[cand]) continue;
+    for (size_t pos = 0; pos < selected.size(); ++pos) {
+      // The swap must keep the refinement quota satisfied.
+      size_t after = refinement_count -
+                     (is_refinement[selected[pos]] ? 1 : 0) +
+                     (is_refinement[cand] ? 1 : 0);
+      if (after < quota) continue;
+      double v = trial(pos, cand);
+      ++best.evaluations;
+      if (v - current > best.gain) {
+        best.gain = v - current;
+        best.cand = cand;
+        best.pos = pos;
+      }
+      if (++since_check >= check_interval) {
+        since_check = 0;
+        if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+          best.complete = false;
+          return best;
+        }
+        if (deadline.Expired()) {
+          if (stop != nullptr) stop->store(true, std::memory_order_relaxed);
+          best.complete = false;
+          return best;
+        }
+      }
+    }
+  }
+  return best;
+}
+
 }  // namespace
+
+void RankPoolByPrior(const GroupStore& store, const FeedbackVector& feedback,
+                     size_t cap, std::vector<GroupId>* pool) {
+  VEXUS_CHECK(pool != nullptr);
+  if (pool->size() <= cap) return;
+  // Score by position (NOT by GroupId): the pool may be any permutation or
+  // subset of the store; indexing scores by id value silently corrupted the
+  // ranking the moment the pool stopped being the identity permutation.
+  std::vector<double> score(pool->size());
+  for (size_t i = 0; i < pool->size(); ++i) {
+    const mining::UserGroup& g = store.group((*pool)[i]);
+    score[i] =
+        feedback.GroupPrior(g) * std::log1p(static_cast<double>(g.size()));
+  }
+  std::vector<size_t> order(pool->size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (score[a] != score[b]) return score[a] > score[b];
+    return (*pool)[a] < (*pool)[b];
+  });
+  std::vector<GroupId> ranked;
+  ranked.reserve(cap);
+  for (size_t r = 0; r < cap; ++r) ranked.push_back((*pool)[order[r]]);
+  *pool = std::move(ranked);
+}
 
 GreedySelection GreedySelector::SelectNext(GroupId anchor,
                                            const FeedbackVector& feedback,
@@ -73,19 +138,7 @@ GreedySelection GreedySelector::SelectInitial(
     const FeedbackVector& feedback, const GreedyOptions& options) const {
   std::vector<GroupId> pool(store_->size());
   std::iota(pool.begin(), pool.end(), GroupId{0});
-  if (pool.size() > options.initial_candidate_cap) {
-    // Rank by prior-weighted size; keep the cap.
-    std::vector<double> score(pool.size());
-    for (size_t i = 0; i < pool.size(); ++i) {
-      score[i] = feedback.GroupPrior(store_->group(pool[i])) *
-                 std::log1p(static_cast<double>(store_->group(pool[i]).size()));
-    }
-    std::sort(pool.begin(), pool.end(), [&score](GroupId a, GroupId b) {
-      if (score[a] != score[b]) return score[a] > score[b];
-      return a < b;
-    });
-    pool.resize(options.initial_candidate_cap);
-  }
+  RankPoolByPrior(*store_, feedback, options.initial_candidate_cap, &pool);
   return Run(std::move(pool), std::nullopt, feedback, options);
 }
 
@@ -177,97 +230,113 @@ GreedySelection GreedySelector::Run(std::vector<GroupId> pool,
     }
   }
 
-  SimCache sims(store_, &pool);
-  const size_t n_users = store_->num_users();
   const Bitset* anchor_members =
       anchor.has_value() ? &store_->group(*anchor).members() : nullptr;
-  const double cov_denom =
-      anchor_members != nullptr
-          ? static_cast<double>(anchor_members->Count())
-          : static_cast<double>(n_users);
 
-  // Objective of a selection (by pool indices).
-  auto evaluate = [&](const std::vector<size_t>& sel) {
-    // Coverage.
-    Bitset covered(n_users);
-    for (size_t i : sel) covered |= store_->group(pool[i]).members();
-    double cov =
-        cov_denom == 0
-            ? 0.0
-            : (anchor_members != nullptr
-                   ? static_cast<double>(
-                         covered.IntersectCount(*anchor_members)) /
-                         cov_denom
-                   : static_cast<double>(covered.Count()) / cov_denom);
-    // Diversity.
-    double div = 1.0;
-    if (sel.size() >= 2) {
-      double sim_sum = 0;
-      for (size_t i = 0; i < sel.size(); ++i) {
-        for (size_t j = i + 1; j < sel.size(); ++j) {
-          sim_sum += sims.Sim(sel[i], sel[j]);
-        }
-      }
-      div = 1.0 - sim_sum /
-                      (static_cast<double>(sel.size()) * (sel.size() - 1) / 2);
-    }
-    // Affinity (feedback-weighted similarity to the anchor).
-    double aff = 0;
-    for (size_t i : sel) aff += affinity[i];
-    aff /= static_cast<double>(sel.size());
+  const bool incremental =
+      options.eval_mode == GreedyOptions::EvalMode::kIncremental;
+  // The parallel scan reads pass-frozen delta state; the scratch evaluator
+  // memoizes into its sim cache mid-trial, so it must stay serial.
+  ThreadPool* scan_pool = incremental ? options.scan_pool : nullptr;
 
-    ++result.evaluations;
-    return options.lambda * cov + (1 - options.lambda) * div +
-           options.feedback_weight * aff;
-  };
+  index::PairwiseSimCache sims(store_, &pool);
+  SwapObjective eval(store_, &pool, anchor_members, &affinity,
+                     {options.lambda, options.feedback_weight}, &sims);
 
-  double current = evaluate(selected);
+  double current;
+  if (incremental) {
+    eval.Reset(selected);
+    current = eval.Current();
+  } else {
+    current = eval.EvaluateScratch(selected);
+  }
+  ++result.evaluations;
 
   // ---- Anytime best-improving swap loop. ----
   std::vector<bool> in_selection(pool.size(), false);
   for (size_t i : selected) in_selection[i] = true;
 
-  bool improved = true;
-  while (improved && !deadline.Expired()) {
-    improved = false;
+  std::vector<size_t> scratch_trial;  // reused buffer (kScratch only)
+  auto trial_fn = [&](size_t pos, size_t cand) {
+    if (incremental) return eval.Trial(pos, cand);
+    scratch_trial = selected;
+    scratch_trial[pos] = cand;
+    return eval.EvaluateScratch(scratch_trial);
+  };
+
+  // With every candidate already selected there is no swap to try: the
+  // selection is trivially a local optimum, whatever the clock says.
+  bool converged = selected.size() >= pool.size();
+
+  while (!converged && !deadline.Expired()) {
     ++result.passes;
-    double best_gain = 1e-12;
-    size_t best_out = SIZE_MAX, best_in = SIZE_MAX;
+    Stopwatch pass_watch;
     size_t refinement_count = 0;
     for (size_t i : selected) refinement_count += is_refinement[i];
-    std::vector<size_t> trial = selected;
-    for (size_t cand = 0; cand < pool.size(); ++cand) {
-      if (in_selection[cand]) continue;
-      for (size_t pos = 0; pos < selected.size(); ++pos) {
-        // The swap must keep the refinement quota satisfied.
-        size_t after = refinement_count -
-                       (is_refinement[selected[pos]] ? 1 : 0) +
-                       (is_refinement[cand] ? 1 : 0);
-        if (after < quota) continue;
-        trial = selected;
-        trial[pos] = cand;
-        double v = evaluate(trial);
-        if (v - current > best_gain) {
-          best_gain = v - current;
-          best_out = pos;
-          best_in = cand;
+
+    ChunkBest best;
+    if (scan_pool != nullptr) {
+      // Sharded scan with a deterministic argmax reduction: chunk
+      // boundaries are pure functions of (|pool|, scan_chunk), each chunk
+      // records its earliest argmax, and the fold below walks chunks in
+      // ascending order — so the parallel pick is byte-identical to the
+      // serial one regardless of thread scheduling.
+      const size_t chunk = std::max<size_t>(1, options.scan_chunk);
+      const size_t num_chunks = (pool.size() + chunk - 1) / chunk;
+      std::vector<ChunkBest> shard(num_chunks);
+      std::atomic<bool> stop{false};
+      scan_pool->ParallelForChunked(
+          pool.size(), chunk, [&](size_t c, size_t begin, size_t end) {
+            shard[c] = ScanRange(begin, end, selected, in_selection,
+                                 is_refinement, refinement_count, quota,
+                                 current, deadline,
+                                 options.deadline_check_interval, &stop,
+                                 [&eval](size_t pos, size_t cand) {
+                                   return eval.Trial(pos, cand);
+                                 });
+          });
+      for (const ChunkBest& r : shard) {
+        best.evaluations += r.evaluations;
+        best.complete = best.complete && r.complete;
+        if (r.gain > best.gain) {
+          best.gain = r.gain;
+          best.cand = r.cand;
+          best.pos = r.pos;
         }
       }
-      if (deadline.Expired()) {
-        result.deadline_hit = true;
-        break;
+    } else {
+      best = ScanRange(0, pool.size(), selected, in_selection, is_refinement,
+                       refinement_count, quota, current, deadline,
+                       options.deadline_check_interval, nullptr, trial_fn);
+    }
+    result.evaluations += best.evaluations;
+
+    const bool found = best.cand != SIZE_MAX;
+    if (found) {
+      in_selection[selected[best.pos]] = false;
+      in_selection[best.cand] = true;
+      selected[best.pos] = best.cand;
+      if (incremental) {
+        eval.ApplySwap(best.pos, best.cand);
+        current = eval.Current();
+      } else {
+        current += best.gain;
+      }
+      ++result.swaps;
+    }
+    result.pass_millis.push_back(pass_watch.ElapsedMillis());
+    if (!found) {
+      if (best.complete) {
+        converged = true;  // full scan, nothing improves: local optimum
+      } else {
+        break;  // the deadline truncated the scan with nothing found
       }
     }
-    if (best_in != SIZE_MAX) {
-      in_selection[selected[best_out]] = false;
-      in_selection[best_in] = true;
-      selected[best_out] = best_in;
-      current += best_gain;
-      ++result.swaps;
-      improved = true;
-    }
   }
-  if (deadline.Expired() && !deadline.IsInfinite()) result.deadline_hit = true;
+  // The flag reports *why the loop stopped*, not whether the clock happens
+  // to read expired at return time: a run that converged before expiry is
+  // not deadline-truncated (the old check here mislabeled that case).
+  result.deadline_hit = !converged;
 
   // ---- Report. ----
   result.groups.reserve(selected.size());

@@ -27,6 +27,10 @@
 #include "index/inverted_index.h"
 #include "mining/group.h"
 
+namespace vexus {
+class ThreadPool;
+}  // namespace vexus
+
 namespace vexus::core {
 
 struct GreedyOptions {
@@ -65,6 +69,37 @@ struct GreedyOptions {
   /// groups dominate the coverage objective and exploration cycles among
   /// the same few big groups (ablation A1/D-quota measures this).
   double refinement_quota = 0.5;
+
+  /// How trial swaps are scored. kIncremental maintains the selection's
+  /// coverage/diversity/affinity state so a trial costs one bitset pass +
+  /// O(1) (see core/greedy_eval.h); kScratch re-evaluates the objective
+  /// from scratch per trial (the pre-incremental behaviour, kept as the
+  /// oracle for tests and the baseline for bench_greedy_incremental). Both
+  /// modes pick identical swaps up to floating-point reassociation noise
+  /// (~1e-15 per trial, pinned at 1e-9 by the oracle test).
+  enum class EvalMode { kIncremental, kScratch };
+  EvalMode eval_mode = EvalMode::kIncremental;
+
+  /// Optional pool for sharding the candidate scan. Null → serial scan.
+  /// Parallel and serial scans select byte-identical swaps: trials compute
+  /// identical doubles in either mode, and the argmax reduction folds
+  /// per-chunk results in deterministic chunk order with ties broken by
+  /// smallest (candidate, position). Safe to point at a *shared* pool —
+  /// including the serving layer's own worker pool, from whose workers this
+  /// loop is invoked (ThreadPool::ParallelForChunked has the caller
+  /// participate, so completion never depends on a free worker). Ignored
+  /// under kScratch, whose memoizing sim cache is not thread-safe.
+  ThreadPool* scan_pool = nullptr;
+
+  /// Candidates per scan chunk when scan_pool is set. Small enough to load-
+  /// balance, large enough to amortize the atomic chunk cursor.
+  size_t scan_chunk = 16;
+
+  /// The deadline is rechecked every this many trial evaluations *inside*
+  /// the per-candidate position sweep. Checking only between candidates
+  /// (the old behaviour) let a single candidate's k-trial sweep blow
+  /// through the 100 ms budget at large k·U.
+  size_t deadline_check_interval = 16;
 };
 
 struct GreedySelection {
@@ -77,9 +112,27 @@ struct GreedySelection {
   size_t passes = 0;
   size_t swaps = 0;
   size_t evaluations = 0;
+  /// True iff the refinement loop stopped *because of* the deadline — i.e.
+  /// it had not reached (or trivially started at) a local optimum when time
+  /// ran out. A run that converges and only then observes an expired clock
+  /// is NOT deadline-hit (this used to be mislabeled).
   bool deadline_hit = false;
   double elapsed_ms = 0;
+  /// Wall-clock of each completed refinement pass, in order. Surfaced so
+  /// the serving layer and bench_greedy_incremental can attribute the
+  /// anytime budget to passes (pass 1 dominates: it fills the sim rows).
+  std::vector<double> pass_millis;
 };
+
+/// Ranks `pool` in place by group prior × log1p(size) (descending; ties by
+/// GroupId ascending) and truncates it to `cap`; pools already within the
+/// cap are left untouched. Correct for ANY pool permutation — the ranking
+/// sorts positions, never indexes scores by GroupId value (the old inline
+/// comparator did, which was only correct while the pool happened to be the
+/// identity permutation). SelectInitial uses this for its candidate cap.
+void RankPoolByPrior(const mining::GroupStore& store,
+                     const FeedbackVector& feedback, size_t cap,
+                     std::vector<mining::GroupId>* pool);
 
 class GreedySelector {
  public:

@@ -332,9 +332,20 @@ class Parser {
         case 'u': {
           uint32_t cp = 0;
           VEXUS_RETURN_NOT_OK(ParseHex4(&cp));
-          // Surrogate pair?
-          if (cp >= 0xD800 && cp <= 0xDBFF && pos_ + 1 < text_.size() &&
-              text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+          if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            // A low surrogate may only appear as the second half of a pair,
+            // which the high-surrogate branch below consumes.
+            return Error("unpaired low surrogate");
+          }
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: the next escape MUST be a low surrogate. The
+            // old code silently emitted a lone surrogate (invalid UTF-8)
+            // when the pair was truncated at end-of-input or followed by
+            // anything other than \u.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Error("unpaired high surrogate");
+            }
             pos_ += 2;
             uint32_t lo = 0;
             VEXUS_RETURN_NOT_OK(ParseHex4(&lo));

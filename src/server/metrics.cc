@@ -93,6 +93,10 @@ MetricsSnapshot ServiceMetrics::Snapshot(uint64_t open_sessions) const {
   s.evictions_lru = evictions_lru_.load(kRelaxed);
   s.admission_rejected = admission_rejected_.load(kRelaxed);
   s.greedy_deadline_hits = greedy_deadline_hits_.load(kRelaxed);
+  s.greedy_runs = greedy_runs_.load(kRelaxed);
+  s.greedy_evaluations = greedy_evaluations_.load(kRelaxed);
+  s.greedy_passes = greedy_passes_.load(kRelaxed);
+  s.greedy_swaps = greedy_swaps_.load(kRelaxed);
   s.open_sessions = open_sessions;
   s.latency_all = latency_all_.Read();
   return s;
@@ -125,6 +129,10 @@ json::Value MetricsSnapshot::ToJson() const {
   o.emplace_back("evictions_lru", json::Value(evictions_lru));
   o.emplace_back("admission_rejected", json::Value(admission_rejected));
   o.emplace_back("greedy_deadline_hits", json::Value(greedy_deadline_hits));
+  o.emplace_back("greedy_runs", json::Value(greedy_runs));
+  o.emplace_back("greedy_evaluations", json::Value(greedy_evaluations));
+  o.emplace_back("greedy_passes", json::Value(greedy_passes));
+  o.emplace_back("greedy_swaps", json::Value(greedy_swaps));
   o.emplace_back("open_sessions", json::Value(open_sessions));
   json::Object by_type;
   for (size_t i = 0; i < kNumRequestTypes; ++i) {
@@ -162,6 +170,13 @@ std::string MetricsSnapshot::ToString() const {
                 static_cast<unsigned long long>(evictions_lru),
                 static_cast<unsigned long long>(admission_rejected),
                 static_cast<unsigned long long>(greedy_deadline_hits));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "greedy: runs=%llu evaluations=%llu passes=%llu swaps=%llu\n",
+                static_cast<unsigned long long>(greedy_runs),
+                static_cast<unsigned long long>(greedy_evaluations),
+                static_cast<unsigned long long>(greedy_passes),
+                static_cast<unsigned long long>(greedy_swaps));
   out += line;
   std::snprintf(line, sizeof(line), "%-14s %10s %10s %10s %10s %10s %10s\n",
                 "op", "requests", "mean_ms", "p50_ms", "p95_ms", "p99_ms",

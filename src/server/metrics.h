@@ -76,6 +76,15 @@ struct MetricsSnapshot {
   uint64_t admission_rejected = 0;
   /// Anytime-greedy truncations observed (paper P3 anytime behaviour).
   uint64_t greedy_deadline_hits = 0;
+  /// Anytime-greedy work counters, summed over every screen computed: runs
+  /// (one per screen), trial-swap objective evaluations, completed
+  /// refinement passes, and applied swaps. evaluations/run is the live
+  /// analogue of bench_greedy_incremental's headline metric — a deploy that
+  /// regresses the incremental evaluator shows up here without a bench run.
+  uint64_t greedy_runs = 0;
+  uint64_t greedy_evaluations = 0;
+  uint64_t greedy_passes = 0;
+  uint64_t greedy_swaps = 0;
   /// Live gauge at snapshot time.
   uint64_t open_sessions = 0;
 
@@ -105,6 +114,15 @@ class ServiceMetrics {
   void RecordGreedyDeadlineHit() {
     greedy_deadline_hits_.fetch_add(1, kRelaxed);
   }
+  /// Accounts one completed greedy run (one screen): its trial-swap
+  /// evaluations, completed refinement passes, and applied swaps.
+  void RecordGreedyRun(uint64_t evaluations, uint64_t passes,
+                       uint64_t swaps) {
+    greedy_runs_.fetch_add(1, kRelaxed);
+    greedy_evaluations_.fetch_add(evaluations, kRelaxed);
+    greedy_passes_.fetch_add(passes, kRelaxed);
+    greedy_swaps_.fetch_add(swaps, kRelaxed);
+  }
 
   /// `open_sessions` is a gauge the owner passes in (the session manager
   /// knows it; metrics does not reach back to avoid a dependency cycle).
@@ -123,6 +141,10 @@ class ServiceMetrics {
   std::atomic<uint64_t> evictions_lru_{0};
   std::atomic<uint64_t> admission_rejected_{0};
   std::atomic<uint64_t> greedy_deadline_hits_{0};
+  std::atomic<uint64_t> greedy_runs_{0};
+  std::atomic<uint64_t> greedy_evaluations_{0};
+  std::atomic<uint64_t> greedy_passes_{0};
+  std::atomic<uint64_t> greedy_swaps_{0};
 
   LatencyHistogram latency_by_type_[kNumRequestTypes];
   LatencyHistogram latency_all_;

@@ -21,6 +21,12 @@ ExplorationService::ExplorationService(const core::VexusEngine* engine,
     : engine_(engine), options_(std::move(options)) {
   VEXUS_CHECK(engine != nullptr);
   pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  // Point every session's greedy scan at our own worker pool. Sessions run
+  // their greedy loop *on* a pool worker (the dispatcher executes handlers
+  // there); ParallelForChunked's caller-participation makes that safe — a
+  // saturated pool degrades to a serial scan instead of deadlocking.
+  options_.session_template.greedy.scan_pool =
+      options_.parallel_greedy_scan ? pool_.get() : nullptr;
   sessions_ =
       std::make_unique<SessionManager>(engine_, options_.sessions, &metrics_);
   dispatcher_ = std::make_unique<Dispatcher>(
@@ -79,7 +85,11 @@ Response ExplorationService::Execute(const Request& req,
 }
 
 void ExplorationService::FillScreen(const core::GreedySelection& selection,
-                                    Response* resp) {
+                                    Response* resp, bool fresh_run) {
+  if (fresh_run) {
+    metrics_.RecordGreedyRun(selection.evaluations, selection.passes,
+                             selection.swaps);
+  }
   const mining::GroupStore& store = engine_->groups();
   const data::Schema& schema = engine_->dataset().schema();
   resp->groups.reserve(selection.groups.size());
@@ -136,7 +146,7 @@ Response ExplorationService::DoStartSession(const Request& req,
   core::SessionOptions& live = l->mutable_options();
   live.greedy.time_limit_ms =
       std::min(opts.greedy.time_limit_ms, deadline.RemainingMillis());
-  FillScreen(l->Start(), &resp);
+  FillScreen(l->Start(), &resp, /*fresh_run=*/true);
   live.greedy.time_limit_ms = opts.greedy.time_limit_ms;  // restore
   resp.step = 0;
   resp.num_steps = l->NumSteps();
@@ -189,7 +199,7 @@ Response ExplorationService::DoSessionOp(const Request& req,
       const double configured = live.greedy.time_limit_ms;
       live.greedy.time_limit_ms =
           std::min(configured, deadline.RemainingMillis());
-      FillScreen(l->SelectGroup(*req.group), &resp);
+      FillScreen(l->SelectGroup(*req.group), &resp, /*fresh_run=*/true);
       live.greedy.time_limit_ms = configured;  // undo the per-request clamp
       break;
     }
@@ -199,7 +209,7 @@ Response ExplorationService::DoSessionOp(const Request& req,
         resp.status = std::move(st);
         return resp;
       }
-      FillScreen(l->Current(), &resp);
+      FillScreen(l->Current(), &resp, /*fresh_run=*/false);
       break;
     }
     case RequestType::kBookmark: {

@@ -39,6 +39,13 @@ struct ServiceOptions {
   core::SessionOptions session_template;
   /// Worker threads (0 → hardware concurrency).
   size_t num_workers = 0;
+  /// Shard each session's greedy candidate scan across the service's own
+  /// worker pool (GreedyOptions::scan_pool). Safe even though the greedy
+  /// loop itself runs *on* a pool worker: ParallelForChunked has the caller
+  /// participate, so a busy pool degrades to the serial scan rather than
+  /// deadlocking, and parallel scans select byte-identical swaps. Overrides
+  /// any scan_pool already set on session_template.greedy.
+  bool parallel_greedy_scan = true;
 };
 
 class ExplorationService {
@@ -84,8 +91,13 @@ class ExplorationService {
   Response DoSessionOp(const Request& req, const Deadline& deadline);
   Response DoGetStats(const Request& req);
 
-  /// Fills the screen payload (groups + quality) from a selection.
-  void FillScreen(const core::GreedySelection& selection, Response* resp);
+  /// Fills the screen payload (groups + quality) from a selection. When
+  /// `fresh_run` is set the selection came from a greedy run executed for
+  /// this request (start_session / select_group) and its work counters are
+  /// recorded; replayed screens (backtrack) pass false so a screen is only
+  /// accounted once.
+  void FillScreen(const core::GreedySelection& selection, Response* resp,
+                  bool fresh_run);
 
   const core::VexusEngine* engine_;
   ServiceOptions options_;

@@ -195,5 +195,45 @@ INSTANTIATE_TEST_SUITE_P(Sizes, BitsetPropertyTest,
                          ::testing::Values(1, 7, 63, 64, 65, 127, 128, 129,
                                            1000, 4096));
 
+// The fused helpers the incremental greedy evaluator leans on. Each is
+// checked against the compositional (multi-temporary) formulation across the
+// same size sweep.
+class BitsetFusedOpsTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BitsetFusedOpsTest, MatchCompositionalForms) {
+  size_t n = GetParam();
+  Rng rng(n * 17 + 5);
+  Bitset a(n), b(n), c(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.4)) a.Set(i);
+    if (rng.Bernoulli(0.3)) b.Set(i);
+    if (rng.Bernoulli(0.5)) c.Set(i);
+  }
+
+  // CountAndNot: |a ∩ ¬b| == |a| - |a ∩ b|.
+  EXPECT_EQ(a.CountAndNot(b), a.Count() - a.IntersectCount(b));
+
+  // IntersectCountAndNot: |a ∩ b ∩ ¬c| via explicit temporaries.
+  Bitset ab = a & b;
+  Bitset abnc = ab;
+  abnc.Subtract(c);
+  EXPECT_EQ(a.IntersectCountAndNot(b, c), abnc.Count());
+
+  // IntersectCountInto: out == a ∩ b and the returned count matches.
+  Bitset out;
+  EXPECT_EQ(a.IntersectCountInto(b, &out), ab.Count());
+  EXPECT_TRUE(out == ab);
+  EXPECT_EQ(out.size(), n);
+
+  // AssignUnion: out == a ∪ b, including reassignment from a stale size.
+  Bitset u(3);
+  u.AssignUnion(a, b);
+  EXPECT_TRUE(u == (a | b));
+  EXPECT_EQ(u.size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitsetFusedOpsTest,
+                         ::testing::Values(1, 63, 64, 65, 129, 1000, 4096));
+
 }  // namespace
 }  // namespace vexus

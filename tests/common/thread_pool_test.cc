@@ -131,6 +131,11 @@ TEST(ThreadPoolTest, WaitUnderContention) {
   ThreadPool pool(4);
   std::atomic<int> counter{0};
   std::atomic<bool> stop{false};
+  // Guarantee at least one task regardless of scheduling: on a single-core
+  // host the churner thread may not run at all before the main thread
+  // finishes its 50 Wait() calls, which made the final counter>0 check
+  // flaky (the race being probed is Wait-vs-Submit, not thread startup).
+  ASSERT_TRUE(pool.Submit([&counter] { ++counter; }));
   std::thread churner([&] {
     while (!stop.load()) {
       if (!pool.Submit([&counter] { ++counter; })) break;
@@ -142,6 +147,76 @@ TEST(ThreadPoolTest, WaitUnderContention) {
   churner.join();
   pool.Wait();  // final drain: no submitter left, so this quiesces
   EXPECT_GT(counter.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForChunkedCoversAllIndicesOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelForChunked(1000, 16,
+                          [&hits](size_t, size_t begin, size_t end) {
+                            for (size_t i = begin; i < end; ++i) ++hits[i];
+                          });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForChunkedChunkBoundariesAreDeterministic) {
+  // Chunk index → [begin,end) mapping must be a pure function of
+  // (n, chunk_size): the greedy scan's deterministic argmax reduction folds
+  // per-chunk results in chunk order and relies on this.
+  ThreadPool pool(4);
+  std::vector<std::pair<size_t, size_t>> ranges(7, {SIZE_MAX, SIZE_MAX});
+  pool.ParallelForChunked(100, 16,
+                          [&ranges](size_t c, size_t begin, size_t end) {
+                            ranges[c] = {begin, end};
+                          });
+  for (size_t c = 0; c < 7; ++c) {
+    EXPECT_EQ(ranges[c].first, c * 16);
+    EXPECT_EQ(ranges[c].second, std::min<size_t>(100, c * 16 + 16));
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForChunkedZeroIsNoopAndZeroChunkClamped) {
+  ThreadPool pool(2);
+  pool.ParallelForChunked(0, 8, [](size_t, size_t, size_t) {
+    FAIL() << "should not run";
+  });
+  std::atomic<int> covered{0};
+  pool.ParallelForChunked(5, 0, [&covered](size_t, size_t begin, size_t end) {
+    covered += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(covered.load(), 5);
+}
+
+TEST(ThreadPoolTest, ParallelForChunkedNestableFromPoolWorker) {
+  // The dispatcher runs request handlers ON pool workers, and the greedy
+  // scan fans out from there. A pool-global wait would deadlock here; the
+  // caller-participates design must complete even when every worker is busy.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  std::atomic<int> outer_done{0};
+  for (int r = 0; r < 4; ++r) {
+    ASSERT_TRUE(pool.Submit([&] {
+      pool.ParallelForChunked(64, 8, [&](size_t, size_t begin, size_t end) {
+        inner_total += static_cast<int>(end - begin);
+      });
+      ++outer_done;
+    }));
+  }
+  pool.Wait();
+  EXPECT_EQ(outer_done.load(), 4);
+  EXPECT_EQ(inner_total.load(), 4 * 64);
+}
+
+TEST(ThreadPoolTest, ParallelForChunkedAfterShutdownRunsInline) {
+  // Helper submission is rejected after shutdown; the calling thread must
+  // still drain every chunk itself (the serving layer may race teardown).
+  ThreadPool pool(2);
+  pool.Shutdown();
+  std::atomic<int> covered{0};
+  pool.ParallelForChunked(37, 5, [&covered](size_t, size_t begin, size_t end) {
+    covered += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(covered.load(), 37);
 }
 
 TEST(ThreadPoolTest, ParallelForStillWorksAfterHeavyChurn) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <numeric>
 
 #include <gtest/gtest.h>
 
@@ -175,6 +176,112 @@ TEST(GreedyTest, ZeroAndNegativeBudgetsExpireImmediately) {
   negative.time_limit_ms = -1e9;
   EXPECT_EQ(sel.SelectNext(0, fb, zero).groups,
             sel.SelectNext(0, fb, negative).groups);
+}
+
+TEST(GreedyTest, DeadlineCheckedInsidePositionSweep) {
+  // Regression for the P3 budget overrun: the deadline used to be checked
+  // only *between* candidates, so one candidate's k-trial sweep could blow
+  // far past the budget once k·U got large. With scratch trials (~k·U/64
+  // words each) on a big universe, a single candidate sweep here costs tens
+  // of milliseconds — the pinned evaluation count can only hold if the
+  // deadline is observed every few trials inside the sweep.
+  World w(48, 1'500'000, 13);
+  FeedbackVector fb(w.tokens.get());
+  GreedySelector sel(&w.store, w.index.get());
+
+  GreedyOptions opt;
+  opt.k = 32;
+  opt.min_similarity = 0.01;
+  opt.eval_mode = GreedyOptions::EvalMode::kScratch;  // expensive trials
+  opt.deadline_check_interval = 1;
+  opt.time_limit_ms = 3;
+
+  Stopwatch watch;
+  auto r = sel.SelectInitial(fb, opt);
+  double elapsed = watch.ElapsedMillis();
+
+  EXPECT_TRUE(r.deadline_hit);
+  EXPECT_EQ(r.groups.size(), 32u) << "anytime: the seed still answers";
+  // A single candidate's sweep is 32 trials; the fix stops within
+  // `deadline_check_interval` trials of expiry, so far fewer evaluations
+  // fit in the budget than one sweep (each trial is memory-bound at ~1.5M
+  // words, so even a fast machine can't squeeze 32 into 3 ms).
+  EXPECT_LT(r.evaluations, 1u + opt.k)
+      << "deadline must interrupt the per-candidate position sweep";
+  EXPECT_LT(elapsed, 500.0);
+}
+
+TEST(GreedyTest, ConvergedRunIsNotDeadlineHit) {
+  // Regression: deadline_hit used to be set whenever the clock read expired
+  // at return time — even for runs that reached a local optimum first. A
+  // pool no larger than k converges trivially (no swap exists), so even a
+  // zero budget must NOT be reported as a deadline truncation.
+  World w(5, 200, 12);
+  FeedbackVector fb(w.tokens.get());
+  GreedySelector sel(&w.store, w.index.get());
+
+  GreedyOptions opt = Unbounded(7);  // pool ≤ 4 neighbors < k
+  opt.time_limit_ms = 0;             // expired before the loop starts
+  auto r = sel.SelectNext(0, fb, opt);
+  ASSERT_LE(r.groups.size(), 4u);
+  EXPECT_FALSE(r.deadline_hit)
+      << "a trivially converged run is a local optimum, not a truncation";
+
+  // Sanity: the same zero budget on a pool with room to swap IS a hit.
+  World big(60, 500, 12);
+  FeedbackVector fb2(big.tokens.get());
+  GreedySelector sel2(&big.store, big.index.get());
+  GreedyOptions opt2 = Unbounded(4);
+  opt2.time_limit_ms = 0;
+  EXPECT_TRUE(sel2.SelectNext(0, fb2, opt2).deadline_hit);
+}
+
+TEST(GreedyTest, RankPoolByPriorIsPermutationInvariant) {
+  // Regression: the initial-screen candidate cap used to sort a positions
+  // array while indexing the score vector by GroupId *value* — correct only
+  // while the pool happened to be the identity permutation. The ranking
+  // must now give the same truncated pool for any input order.
+  World w(40, 300, 14);
+  FeedbackVector fb(w.tokens.get());
+
+  std::vector<GroupId> identity(w.store.size());
+  std::iota(identity.begin(), identity.end(), GroupId{0});
+  std::vector<GroupId> shuffled = identity;
+  vexus::Rng rng(99);
+  for (size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.UniformU32(static_cast<uint32_t>(i))]);
+  }
+  ASSERT_NE(shuffled, identity);
+
+  std::vector<GroupId> a = identity, b = shuffled;
+  RankPoolByPrior(w.store, fb, /*cap=*/10, &a);
+  RankPoolByPrior(w.store, fb, /*cap=*/10, &b);
+  EXPECT_EQ(a.size(), 10u);
+  EXPECT_EQ(a, b) << "ranking must not depend on the pool's input order";
+
+  // With neutral feedback the prior is flat, so the ranking reduces to
+  // log1p(group size): scores must be non-increasing down the kept pool.
+  for (size_t i = 1; i < a.size(); ++i) {
+    EXPECT_GE(w.store.group(a[i - 1]).size(), w.store.group(a[i]).size());
+  }
+
+  // Pools within the cap are untouched, in their original order.
+  std::vector<GroupId> small = {7, 3, 5};
+  std::vector<GroupId> small_copy = small;
+  RankPoolByPrior(w.store, fb, /*cap=*/10, &small);
+  EXPECT_EQ(small, small_copy);
+
+  // End-to-end: the capped initial screen must pick the same groups as an
+  // uncapped run over a store this small would seed from the top anyway.
+  GreedySelector sel(&w.store, w.index.get());
+  GreedyOptions opt = Unbounded(3);
+  opt.initial_candidate_cap = 10;
+  auto r = sel.SelectInitial(fb, opt);
+  EXPECT_EQ(r.candidates, 10u);
+  for (GroupId g : r.groups) {
+    EXPECT_NE(std::find(a.begin(), a.end(), g), a.end())
+        << "selection must come from the ranked pool";
+  }
 }
 
 TEST(GreedyTest, FeedbackBiasesSelection) {

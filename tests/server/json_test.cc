@@ -83,6 +83,34 @@ TEST(JsonParseTest, DecodesSurrogatePairs) {
   auto parsed = Parse("\"\\ud83d\\ude00\"");  // 😀 U+1F600
   ASSERT_TRUE(parsed.ok());
   EXPECT_EQ(parsed->AsString(), "\xF0\x9F\x98\x80");
+  // U+1D11E MUSICAL SYMBOL G CLEF — the classic surrogate-pair example.
+  auto clef = Parse("\"\\uD834\\uDD1E\"");
+  ASSERT_TRUE(clef.ok());
+  EXPECT_EQ(clef->AsString(), "\xF0\x9D\x84\x9E");
+}
+
+TEST(JsonParseTest, RejectsUnpairedHighSurrogateAtEndOfString) {
+  // Regression: the parser used to fall through the pair check when the
+  // string (or input) ended right after the high surrogate and emit a lone
+  // surrogate code point as invalid UTF-8 bytes.
+  auto r = Parse("\"\\uD834\"");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  // High surrogate at the very end of the *input* (unterminated string).
+  EXPECT_FALSE(Parse("\"\\uD834").ok());
+}
+
+TEST(JsonParseTest, RejectsHighSurrogateFollowedByNonSurrogate) {
+  EXPECT_FALSE(Parse("\"\\uD834x\"").ok());        // ordinary character
+  EXPECT_FALSE(Parse("\"\\uD834\\n\"").ok());      // non-\u escape
+  EXPECT_FALSE(Parse("\"\\uD834\\u0041\"").ok());  // \u but not a low half
+}
+
+TEST(JsonParseTest, RejectsLoneLowSurrogate) {
+  auto r = Parse("\"\\uDD1E\"");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_FALSE(Parse("\"a\\uDC00b\"").ok());
 }
 
 TEST(JsonParseTest, RejectsMalformedInput) {

@@ -59,6 +59,8 @@ TEST(ServiceMetricsTest, OutcomeCountersRouteByCode) {
   m.RecordEvictionLru();
   m.RecordAdmissionRejected();
   m.RecordGreedyDeadlineHit();
+  m.RecordGreedyRun(/*evaluations=*/120, /*passes=*/3, /*swaps=*/2);
+  m.RecordGreedyRun(/*evaluations=*/80, /*passes=*/1, /*swaps=*/0);
 
   auto s = m.Snapshot(/*open_sessions=*/5);
   EXPECT_EQ(s.TotalRequests(), 6u);
@@ -71,6 +73,10 @@ TEST(ServiceMetricsTest, OutcomeCountersRouteByCode) {
   EXPECT_EQ(s.evictions_lru, 2u);
   EXPECT_EQ(s.admission_rejected, 1u);
   EXPECT_EQ(s.greedy_deadline_hits, 1u);
+  EXPECT_EQ(s.greedy_runs, 2u);
+  EXPECT_EQ(s.greedy_evaluations, 200u);
+  EXPECT_EQ(s.greedy_passes, 4u);
+  EXPECT_EQ(s.greedy_swaps, 2u);
   EXPECT_EQ(s.open_sessions, 5u);
   EXPECT_EQ(
       s.requests_by_type[static_cast<size_t>(RequestType::kSelectGroup)], 3u);
@@ -103,6 +109,7 @@ TEST(ServiceMetricsTest, ConcurrentRecordingLosesNothing) {
 TEST(MetricsSnapshotTest, RendersTableAndJson) {
   ServiceMetrics m;
   m.RecordRequest(RequestType::kStartSession, StatusCode::kOk, 1.5);
+  m.RecordGreedyRun(42, 3, 1);
   auto s = m.Snapshot(1);
   std::string table = s.ToString();
   EXPECT_NE(table.find("start_session"), std::string::npos);
@@ -112,6 +119,11 @@ TEST(MetricsSnapshotTest, RendersTableAndJson) {
   EXPECT_EQ(j.GetNumber("total_requests", -1), 1);
   EXPECT_EQ(j.GetNumber("ok", -1), 1);
   EXPECT_EQ(j.GetNumber("open_sessions", -1), 1);
+  EXPECT_EQ(j.GetNumber("greedy_runs", -1), 1);
+  EXPECT_EQ(j.GetNumber("greedy_evaluations", -1), 42);
+  EXPECT_EQ(j.GetNumber("greedy_passes", -1), 3);
+  EXPECT_EQ(j.GetNumber("greedy_swaps", -1), 1);
+  EXPECT_NE(s.ToString().find("greedy: runs=1"), std::string::npos);
   const json::Value* by_op = j.Find("by_op");
   ASSERT_NE(by_op, nullptr);
   EXPECT_NE(by_op->Find("start_session"), nullptr);

@@ -129,6 +129,75 @@ TEST_F(ServiceTest, FullExplorationLoop) {
   EXPECT_EQ(svc.sessions().size(), 0u);
 }
 
+TEST_F(ServiceTest, GreedyWorkCountersAccountFreshScreensOnly) {
+  ExplorationService svc(engine_, FastOptions());
+
+  ASSERT_TRUE(svc.Call(Start("ana")).status.ok());
+  MetricsSnapshot after_start = svc.Stats();
+  // start_session computes one fresh screen.
+  EXPECT_EQ(after_start.greedy_runs, 1u);
+  EXPECT_GE(after_start.greedy_evaluations, 1u);
+
+  Response first = svc.Call(Start("ana2"));
+  ASSERT_TRUE(first.status.ok());
+  Response sel = svc.Call(Select("ana2", first.groups[0].id));
+  ASSERT_TRUE(sel.status.ok());
+  MetricsSnapshot after_select = svc.Stats();
+  // Two starts + one select_group = three fresh greedy runs.
+  EXPECT_EQ(after_select.greedy_runs, 3u);
+  EXPECT_GT(after_select.greedy_evaluations, after_start.greedy_evaluations);
+
+  // Backtrack replays a cached screen — no new greedy run may be counted.
+  Request bt;
+  bt.type = RequestType::kBacktrack;
+  bt.session_id = "ana2";
+  bt.step = 0;
+  ASSERT_TRUE(svc.Call(bt).status.ok());
+  MetricsSnapshot after_back = svc.Stats();
+  EXPECT_EQ(after_back.greedy_runs, 3u);
+  EXPECT_EQ(after_back.greedy_evaluations, after_select.greedy_evaluations);
+
+  // The counters ride the wire through get_stats.
+  Request stats;
+  stats.type = RequestType::kGetStats;
+  Response sresp = svc.Call(stats);
+  ASSERT_TRUE(sresp.status.ok());
+  ASSERT_TRUE(sresp.stats.has_value());
+  EXPECT_EQ(sresp.stats->GetNumber("greedy_runs", -1), 3);
+  EXPECT_GE(sresp.stats->GetNumber("greedy_evaluations", -1), 3);
+}
+
+TEST_F(ServiceTest, ParallelGreedyScanMatchesSerialService) {
+  // The service wires its own worker pool into every session's greedy scan;
+  // a service with the flag off must produce the exact same screens (the
+  // sharded argmax reduction is deterministic).
+  ServiceOptions par = FastOptions();
+  par.session_template.greedy.time_limit_ms =
+      core::GreedyOptions::kUnboundedTimeLimit;
+  ServiceOptions ser = par;
+  ser.parallel_greedy_scan = false;
+  ExplorationService svc_par(engine_, par);
+  ExplorationService svc_ser(engine_, ser);
+
+  Response a = svc_par.Call(Start("p"));
+  Response b = svc_ser.Call(Start("s"));
+  ASSERT_TRUE(a.status.ok());
+  ASSERT_TRUE(b.status.ok());
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (size_t i = 0; i < a.groups.size(); ++i) {
+    EXPECT_EQ(a.groups[i].id, b.groups[i].id);
+  }
+
+  Response a2 = svc_par.Call(Select("p", a.groups[0].id));
+  Response b2 = svc_ser.Call(Select("s", b.groups[0].id));
+  ASSERT_TRUE(a2.status.ok());
+  ASSERT_TRUE(b2.status.ok());
+  ASSERT_EQ(a2.groups.size(), b2.groups.size());
+  for (size_t i = 0; i < a2.groups.size(); ++i) {
+    EXPECT_EQ(a2.groups[i].id, b2.groups[i].id);
+  }
+}
+
 TEST_F(ServiceTest, ZeroBudgetIsDeadlineExceededWithoutTouchingGreedy) {
   ExplorationService svc(engine_, FastOptions());
   Request req = Start("hurried");
