@@ -18,7 +18,12 @@
 //   {"concurrent_sessions":4,"requests":..,"wall_ms":..,"rps":..,
 //    "by_op":{"select_group":{"p50_ms":..,"p95_ms":..,"p99_ms":..},...}}
 //
-// Run:  ./build/bench/bench_service_throughput
+// Run:  ./build/bench/bench_service_throughput [--trace]
+//
+// --trace enables the request-scoped tracer (TraceLog ring, record
+// everything) so the reported numbers show the traced-path cost; compare
+// against a default run to see the overhead (see bench_trace_overhead for
+// the controlled A/B).
 
 #include <atomic>
 #include <string>
@@ -96,10 +101,16 @@ server::json::Value OpQuantiles(const server::LatencyHistogram::Snapshot& l) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool trace = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--trace") trace = true;
+  }
+
   Banner("bench_service_throughput",
          "per-op service latency stays inside the 100 ms continuity budget "
          "as concurrent sessions grow (1 / 4 / 16)");
+  if (trace) std::printf("mode: request tracing ENABLED (--trace)\n");
 
   core::VexusEngine engine = BxEngine(20000, 0.01);
   std::printf("%s\n\n", engine.Summary().c_str());
@@ -112,6 +123,11 @@ int main() {
     opts.session_template.greedy.time_limit_ms = 80;
     opts.dispatcher.default_budget_ms = 100;  // the paper's budget
     opts.num_workers = static_cast<size_t>(sessions);
+    if (trace) {
+      opts.trace.enabled = true;
+      opts.trace.capacity = 512;
+      opts.trace.slow_fraction = 0.0;  // record every request
+    }
     server::ExplorationService svc(&engine, opts);
 
     std::atomic<uint64_t> errors{0};
@@ -141,6 +157,7 @@ int main() {
     // Machine-readable line.
     server::json::Object out;
     out.emplace_back("concurrent_sessions", server::json::Value(sessions));
+    out.emplace_back("traced", server::json::Value(trace));
     out.emplace_back("requests", server::json::Value(snap.TotalRequests()));
     out.emplace_back("wall_ms", server::json::Value(wall_ms));
     out.emplace_back(

@@ -71,11 +71,20 @@ class Deadline {
   bool IsInfinite() const { return when_ == Clock::time_point::max(); }
 
   /// Remaining budget in milliseconds (clamped at 0; huge when infinite).
+  ///
+  /// Unified with Expired(): for every non-infinite deadline,
+  /// `Expired() == (RemainingMillis() == 0)`. The born-expired sentinel
+  /// (time_point::min(), produced by AfterMillis for zero/negative/NaN
+  /// budgets) is special-cased *before* any subtraction — computing
+  /// `min() - now()` underflows the clock's integer representation (UB)
+  /// and used to wrap to a huge *positive* remaining budget, handing an
+  /// already-expired request an effectively unbounded greedy time limit.
   double RemainingMillis() const {
     if (IsInfinite()) return 1e18;
-    auto rem = when_ - Clock::now();
-    double ms = std::chrono::duration<double, std::milli>(rem).count();
-    return ms < 0 ? 0 : ms;
+    if (when_ == Clock::time_point::min()) return 0;  // born expired
+    auto now = Clock::now();
+    if (now >= when_) return 0;
+    return std::chrono::duration<double, std::milli>(when_ - now).count();
   }
 
  private:

@@ -1,0 +1,121 @@
+#include "common/trace.h"
+
+#include <algorithm>
+
+namespace vexus {
+
+// ---------------------------------------------------------------------------
+// TraceSpan
+// ---------------------------------------------------------------------------
+
+TraceSpan TraceSpan::View(Trace* trace, int32_t index) {
+  if (trace == nullptr || index < 0) return TraceSpan();
+  return TraceSpan(trace, index, /*owned=*/false);
+}
+
+TraceSpan TraceSpan::Child(const char* name) const {
+  if (trace_ == nullptr) return TraceSpan();  // disabled: one branch
+  int32_t idx = trace_->Open(index_, name);
+  if (idx < 0) return TraceSpan();  // arena full: drop the subtree
+  return TraceSpan(trace_, idx, /*owned=*/true);
+}
+
+void TraceSpan::AddCount(uint64_t n) const {
+  if (trace_ == nullptr) return;
+  trace_->AddCount(index_, n);
+}
+
+int32_t TraceSpan::Detach() {
+  int32_t idx = trace_ == nullptr ? -1 : index_;
+  trace_ = nullptr;
+  index_ = -1;
+  owned_ = false;
+  return idx;
+}
+
+TraceSpan TraceSpan::Adopt(Trace* trace, int32_t index) {
+  if (trace == nullptr || index < 0) return TraceSpan();
+  return TraceSpan(trace, index, /*owned=*/true);
+}
+
+void TraceSpan::Close() {
+  if (trace_ == nullptr) return;
+  if (owned_) trace_->Close(index_);
+  trace_ = nullptr;
+  index_ = -1;
+  owned_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Trace
+// ---------------------------------------------------------------------------
+
+Trace::Trace(const char* root_name, size_t max_spans)
+    : max_spans_(std::max<size_t>(max_spans, 1)) {
+  Span root;
+  root.name = root_name;
+  root.parent = -1;
+  root.start_us = 0;
+  spans_.reserve(std::min<size_t>(max_spans_, 32));
+  spans_.push_back(root);
+}
+
+int32_t Trace::Open(int32_t parent, const char* name) {
+  int64_t now = epoch_.ElapsedMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return -1;
+  }
+  Span s;
+  s.name = name;
+  s.parent = parent;
+  s.start_us = now;
+  spans_.push_back(s);
+  return static_cast<int32_t>(spans_.size() - 1);
+}
+
+void Trace::Close(int32_t index) {
+  int64_t now = epoch_.ElapsedMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index < 0 || static_cast<size_t>(index) >= spans_.size()) return;
+  Span& s = spans_[static_cast<size_t>(index)];
+  if (s.duration_us < 0) s.duration_us = now - s.start_us;
+}
+
+void Trace::AddCount(int32_t index, uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index < 0 || static_cast<size_t>(index) >= spans_.size()) return;
+  spans_[static_cast<size_t>(index)].count += n;
+}
+
+void Trace::Finish() {
+  int64_t now = epoch_.ElapsedMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  finished_ = true;
+  // Close every span still open — a deadline-truncated request must still
+  // serialize a consistent tree (open spans absorb time up to Finish()).
+  for (Span& s : spans_) {
+    if (s.duration_us < 0) s.duration_us = now - s.start_us;
+  }
+  total_us_ = spans_[kRootIndex].duration_us;
+}
+
+int64_t Trace::total_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return total_us_;
+  return epoch_.ElapsedMicros();
+}
+
+std::vector<Trace::Span> Trace::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+uint64_t Trace::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+}  // namespace vexus

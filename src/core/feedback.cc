@@ -1,6 +1,7 @@
 #include "core/feedback.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.h"
 
@@ -66,7 +67,18 @@ FeedbackVector::FeedbackVector(const TokenSpace* tokens) : tokens_(tokens) {
 }
 
 void FeedbackVector::Learn(const mining::UserGroup& g, double eta) {
-  VEXUS_CHECK(eta > 0);
+  // Degenerate observations are defined as fixed points: an update that
+  // carries no usable reward mass leaves the vector exactly as it was.
+  // This covers
+  //   * eta <= 0 or non-finite eta (a config error must not abort the
+  //     process — the old VEXUS_CHECK did — and eta = +inf used to poison
+  //     every score to NaN via inf/inf inside Normalize());
+  //   * an empty observation (no members, no description);
+  //   * an eta so small the per-token share underflows to zero — adding
+  //     literal zeros would create 0-valued entries whose sum contributes
+  //     nothing, and on a previously-empty vector Normalize() would face a
+  //     0/0; skipping the update keeps "all-zero observation ⇒ no-op" exact.
+  if (!std::isfinite(eta) || eta <= 0) return;
   // Half of the reward mass goes to the members, half to the description
   // tokens ("their common activities described in g"). An even split across
   // *all* tokens would drown the handful of demographic values under
@@ -77,15 +89,18 @@ void FeedbackVector::Learn(const mining::UserGroup& g, double eta) {
   if (n_members == 0 && n_desc == 0) return;
   double member_mass = n_desc == 0 ? eta : eta / 2;
   double desc_mass = n_members == 0 ? eta : eta / 2;
-  if (n_members > 0) {
-    double add = member_mass / static_cast<double>(n_members);
+  double member_add =
+      n_members > 0 ? member_mass / static_cast<double>(n_members) : 0.0;
+  double desc_add =
+      n_desc > 0 ? desc_mass / static_cast<double>(n_desc) : 0.0;
+  if (member_add <= 0 && desc_add <= 0) return;  // underflowed to all-zero
+  if (member_add > 0) {
     g.members().ForEach(
-        [&](uint32_t u) { scores_[tokens_->UserToken(u)] += add; });
+        [&](uint32_t u) { scores_[tokens_->UserToken(u)] += member_add; });
   }
-  if (n_desc > 0) {
-    double add = desc_mass / static_cast<double>(n_desc);
+  if (desc_add > 0) {
     for (const mining::Descriptor& d : g.description()) {
-      scores_[tokens_->DescriptorToken(d)] += add;
+      scores_[tokens_->DescriptorToken(d)] += desc_add;
     }
   }
   Normalize();

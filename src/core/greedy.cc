@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/greedy_eval.h"
 #include "index/similarity.h"
 
@@ -121,6 +122,8 @@ void RankPoolByPrior(const GroupStore& store, const FeedbackVector& feedback,
 GreedySelection GreedySelector::SelectNext(GroupId anchor,
                                            const FeedbackVector& feedback,
                                            const GreedyOptions& options) const {
+  TraceSpan rank =
+      options.trace != nullptr ? options.trace->Child("rank") : TraceSpan();
   std::vector<GroupId> pool;
   const Bitset& anchor_members = store_->group(anchor).members();
   for (const index::Neighbor& nb : index_->Neighbors(anchor)) {
@@ -131,14 +134,20 @@ GreedySelection GreedySelector::SelectNext(GroupId anchor,
     }
     pool.push_back(nb.group);
   }
+  rank.AddCount(pool.size());
+  rank.Close();
   return Run(std::move(pool), anchor, feedback, options);
 }
 
 GreedySelection GreedySelector::SelectInitial(
     const FeedbackVector& feedback, const GreedyOptions& options) const {
+  TraceSpan rank =
+      options.trace != nullptr ? options.trace->Child("rank") : TraceSpan();
   std::vector<GroupId> pool(store_->size());
   std::iota(pool.begin(), pool.end(), GroupId{0});
   RankPoolByPrior(*store_, feedback, options.initial_candidate_cap, &pool);
+  rank.AddCount(pool.size());
+  rank.Close();
   return Run(std::move(pool), std::nullopt, feedback, options);
 }
 
@@ -159,6 +168,10 @@ GreedySelection GreedySelector::Run(std::vector<GroupId> pool,
     result.elapsed_ms = watch.ElapsedMillis();
     return result;
   }
+
+  TraceSpan greedy =
+      options.trace != nullptr ? options.trace->Child("greedy") : TraceSpan();
+  TraceSpan seed_span = greedy.Child("seed");
 
   // ---- Seeding: feedback-weighted similarity to the anchor × prior. ----
   // `affinity` is the feedback term of the objective: the IUGA-style
@@ -251,6 +264,7 @@ GreedySelection GreedySelector::Run(std::vector<GroupId> pool,
     current = eval.EvaluateScratch(selected);
   }
   ++result.evaluations;
+  seed_span.Close();
 
   // ---- Anytime best-improving swap loop. ----
   std::vector<bool> in_selection(pool.size(), false);
@@ -270,6 +284,7 @@ GreedySelection GreedySelector::Run(std::vector<GroupId> pool,
 
   while (!converged && !deadline.Expired()) {
     ++result.passes;
+    TraceSpan pass_span = greedy.Child("pass");
     Stopwatch pass_watch;
     size_t refinement_count = 0;
     for (size_t i : selected) refinement_count += is_refinement[i];
@@ -310,6 +325,7 @@ GreedySelection GreedySelector::Run(std::vector<GroupId> pool,
                        options.deadline_check_interval, nullptr, trial_fn);
     }
     result.evaluations += best.evaluations;
+    pass_span.AddCount(best.evaluations);
 
     const bool found = best.cand != SIZE_MAX;
     if (found) {
@@ -337,6 +353,8 @@ GreedySelection GreedySelector::Run(std::vector<GroupId> pool,
   // to read expired at return time: a run that converged before expiry is
   // not deadline-truncated (the old check here mislabeled that case).
   result.deadline_hit = !converged;
+  greedy.AddCount(result.evaluations);
+  greedy.Close();
 
   // ---- Report. ----
   result.groups.reserve(selected.size());

@@ -29,6 +29,7 @@
 
 namespace vexus {
 class ThreadPool;
+class TraceSpan;
 }  // namespace vexus
 
 namespace vexus::core {
@@ -100,6 +101,15 @@ struct GreedyOptions {
   /// (the old behaviour) let a single candidate's k-trial sweep blow
   /// through the 100 ms budget at large k·U.
   size_t deadline_check_interval = 16;
+
+  /// Optional parent span for stage attribution (the serving layer points
+  /// this at the request's root span). The selector opens `rank` around
+  /// candidate-pool construction and `greedy` → {`seed`, `pass` ×N, with
+  /// per-pass trial-evaluation counts} inside Run. Null (the default) means
+  /// no tracing; the per-span overhead is then a single branch. The spans
+  /// are opened from the calling thread only — the parallel scan's shards
+  /// never touch the tracer, so a shared TraceSpan is safe here.
+  const TraceSpan* trace = nullptr;
 };
 
 struct GreedySelection {

@@ -1,7 +1,7 @@
 #include "server/dispatcher.h"
 
 #include <algorithm>
-#include <memory>
+#include <string>
 #include <utility>
 
 #include "common/logging.h"
@@ -9,82 +9,130 @@
 namespace vexus::server {
 
 Dispatcher::Dispatcher(ThreadPool* pool, Handler handler,
-                       DispatcherOptions options, ServiceMetrics* metrics)
-    : pool_(pool),
-      handler_(std::move(handler)),
-      options_(options),
-      metrics_(metrics) {
+                       DispatcherOptions options, ServiceMetrics* metrics,
+                       TraceLog* trace_log)
+    : pool_(pool), core_(std::make_shared<Core>()) {
   VEXUS_CHECK(pool_ != nullptr);
-  VEXUS_CHECK(handler_ != nullptr);
-  if (options_.max_queue_depth == 0) options_.max_queue_depth = 1;
+  VEXUS_CHECK(handler != nullptr);
+  core_->handler = std::move(handler);
+  core_->options = options;
+  if (core_->options.max_queue_depth == 0) core_->options.max_queue_depth = 1;
+  core_->metrics = metrics;
+  core_->trace_log = trace_log;
 }
 
-double Dispatcher::EffectiveBudgetMs(const Request& req) const {
-  double budget = req.budget_ms.value_or(options_.default_budget_ms);
+Dispatcher::~Dispatcher() {
+  // Queued tasks keep the Core alive via shared_ptr; the flag tells them to
+  // shed instead of calling a handler whose captures may already be dead.
+  core_->stopping.store(true, std::memory_order_release);
+}
+
+double Dispatcher::EffectiveBudgetMs(const Core& core, const Request& req) {
+  double budget = req.budget_ms.value_or(core.options.default_budget_ms);
   // Negative/zero budgets are honored as "already expired" (the
   // Deadline::AfterMillis contract); only the ceiling is clamped here.
-  return std::min(budget, options_.max_budget_ms);
+  return std::min(budget, core.options.max_budget_ms);
 }
 
 std::future<Response> Dispatcher::Submit(Request req) {
+  std::shared_ptr<Core> core = core_;
   auto promise = std::make_shared<std::promise<Response>>();
   std::future<Response> future = promise->get_future();
 
-  auto finish = [this, promise](const Request& r, Response resp,
-                                double latency_ms) {
-    if (metrics_ != nullptr) {
-      metrics_->RecordRequest(r.type, resp.status.code(), latency_ms);
-      if (resp.greedy_deadline_hit) metrics_->RecordGreedyDeadlineHit();
+  // Retires the request exactly once: metrics, the in-flight gauge (when
+  // this path admitted it), and the caller's future.
+  auto finish = [core, promise](const Request& r, Response resp,
+                                double latency_ms, bool admitted) {
+    if (admitted) core->in_flight.fetch_sub(1, std::memory_order_relaxed);
+    if (core->metrics != nullptr) {
+      core->metrics->RecordRequest(r.type, resp.status.code(), latency_ms);
+      if (resp.greedy_deadline_hit) core->metrics->RecordGreedyDeadlineHit();
     }
     resp.elapsed_ms = latency_ms;
     promise->set_value(std::move(resp));
   };
 
   // ---- 1. Backpressure: shed instead of stall. ----
-  size_t depth = in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
-  if (depth > options_.max_queue_depth) {
-    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  size_t depth = core->in_flight.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (depth > core->options.max_queue_depth) {
     finish(req,
            ErrorResponse(req, Status::ResourceExhausted(
                                   "queue depth " + std::to_string(depth - 1) +
                                   " exceeds limit " +
-                                  std::to_string(options_.max_queue_depth))),
-           /*latency_ms=*/0);
+                                  std::to_string(core->options.max_queue_depth))),
+           /*latency_ms=*/0, /*admitted=*/true);
     return future;
   }
 
-  // ---- 2. Deadline stamped at admission. ----
+  // ---- 2. Deadline stamped at admission; trace root + queue span open. ----
   Stopwatch admitted;
-  Deadline deadline = Deadline::AfterMillis(EffectiveBudgetMs(req));
+  double budget_ms = EffectiveBudgetMs(*core, req);
+  Deadline deadline = Deadline::AfterMillis(budget_ms);
+  std::shared_ptr<Trace> trace;
+  int32_t queue_span = -1;
+  if (core->trace_log != nullptr && core->trace_log->enabled()) {
+    trace = std::make_shared<Trace>("request");
+    queue_span = trace->root().Child("queue").Detach();
+  }
 
-  // `req` is captured by copy: the shed-at-shutdown path below still needs
-  // the original to report which op was dropped.
-  auto task = [this, finish, req, admitted, deadline]() {
+  // `req` is captured by copy: the shed paths below still need the original
+  // to report which op was dropped. Everything else the task touches lives
+  // in `core` (shared) or is a value — the Dispatcher itself may be gone by
+  // the time a queued task runs.
+  auto task = [core, finish, req, admitted, deadline, budget_ms, trace,
+               queue_span]() {
+    TraceSpan::Adopt(trace.get(), queue_span).Close();
     double queue_ms = admitted.ElapsedMillis();
     Response resp;
-    // ---- 3. Expired while queued (or born expired): never touch the
-    //         session or the greedy loop. ----
-    if (deadline.Expired()) {
+    if (core->stopping.load(std::memory_order_acquire)) {
+      // ---- Teardown: the dispatcher died with this request queued. The
+      //      handler's captures are not safe to touch; shed. ----
+      resp = ErrorResponse(
+          req, Status::ResourceExhausted("service shutting down"));
+    } else if (deadline.Expired()) {
+      // ---- 3. Expired while queued (or born expired): never touch the
+      //         session or the greedy loop. ----
       resp = ErrorResponse(
           req, Status::DeadlineExceeded(
                    "budget exhausted after " + std::to_string(queue_ms) +
                    " ms in queue"));
     } else {
       // ---- 4. Execute with the live remaining budget. ----
-      resp = handler_(req, deadline);
+      TraceSpan root =
+          trace ? trace->root() : TraceSpan();  // disabled when untraced
+      resp = core->handler(req, deadline, root);
     }
     resp.queue_ms = queue_ms;
-    in_flight_.fetch_sub(1, std::memory_order_relaxed);
-    finish(req, std::move(resp), admitted.ElapsedMillis());
+    double total_ms = admitted.ElapsedMillis();
+    if (trace) {
+      trace->Finish();
+      if (core->metrics != nullptr) core->metrics->RecordTraceStages(*trace);
+      if (core->trace_log != nullptr) {
+        TraceRecord record;
+        record.op = std::string(RequestTypeName(req.type));
+        record.session_id = req.session_id;
+        record.status = std::string(StatusCodeToString(resp.status.code()));
+        record.budget_ms =
+            budget_ms >= Deadline::kInfiniteBudgetMillis ? 0 : budget_ms;
+        record.total_ms = total_ms;
+        record.queue_ms = queue_ms;
+        record.trace = trace;
+        core->trace_log->Record(std::move(record));
+      }
+    } else if (core->metrics != nullptr) {
+      // Queue time is a stage even when tracing is off (it is free: the
+      // admission stopwatch already measured it).
+      core->metrics->RecordStage(Stage::kQueue, queue_ms * 1e3);
+    }
+    finish(req, std::move(resp), total_ms, /*admitted=*/true);
   };
 
   if (!pool_->Submit(std::move(task))) {
     // Pool is shutting down: shed, never lose the promise.
-    in_flight_.fetch_sub(1, std::memory_order_relaxed);
     finish(req,
            ErrorResponse(req,
                          Status::ResourceExhausted("service shutting down")),
-           /*latency_ms=*/0);
+           /*latency_ms=*/0, /*admitted=*/true);
   }
   return future;
 }

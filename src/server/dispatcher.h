@@ -9,23 +9,37 @@
 //   2. gets its deadline stamped at admission (default: the paper's 100 ms)
 //      — time spent queued counts against it;
 //   3. runs on a pool worker, which first re-checks the deadline: a request
-//      whose budget is already gone answers DeadlineExceeded without ever
-//      touching a session or the greedy loop;
+//      whose budget is already gone answers DeadlineExceeded (with queue_ms
+//      populated) without ever touching a session or the greedy loop;
 //   4. otherwise invokes the handler with the live Deadline so it can clamp
-//      the greedy time budget to the *remaining* milliseconds.
+//      the greedy time budget to the *remaining* milliseconds, and with a
+//      borrowed root TraceSpan (disabled when tracing is off) so stages can
+//      attribute their wall time.
 //
 // Results travel back through std::future, so callers may fan out requests
 // for different sessions and collect them concurrently.
+//
+// Lifetime: tasks queued on the pool share ownership of an internal Core
+// (options, gauges, handler) via shared_ptr, so destroying the Dispatcher
+// while requests are still queued is safe — the destructor flips a stopping
+// flag and the orphaned tasks complete their promises with
+// ResourceExhausted instead of running a handler whose captures may be
+// gone. Each request is accounted exactly once (metrics + in-flight gauge)
+// no matter which path — executed, expired, shed at admission, shed because
+// the pool refused the task, or shed at teardown — retires it.
 #pragma once
 
 #include <atomic>
 #include <functional>
 #include <future>
+#include <memory>
 
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "server/metrics.h"
 #include "server/protocol.h"
+#include "server/trace_log.h"
 
 namespace vexus::server {
 
@@ -42,13 +56,25 @@ struct DispatcherOptions {
 class Dispatcher {
  public:
   /// The handler runs on pool workers; it must be thread-safe. The deadline
-  /// passed to it is the request's admission-stamped end-to-end budget.
-  using Handler = std::function<Response(const Request&, const Deadline&)>;
+  /// passed to it is the request's admission-stamped end-to-end budget; the
+  /// span is a borrowed view of the request's root span (the disabled span
+  /// when tracing is off — opening children on it is a no-op branch).
+  using Handler =
+      std::function<Response(const Request&, const Deadline&, TraceSpan&)>;
 
-  /// `pool` and `metrics` must outlive the dispatcher; `metrics` may be
-  /// null. The pool may be shared with other work (e.g. preprocessing).
+  /// `pool` must outlive the dispatcher; `metrics` and `trace_log` (both
+  /// optional) must outlive every request admitted through it — in practice
+  /// the owner shuts the pool down (draining queued tasks) before
+  /// destroying either.
   Dispatcher(ThreadPool* pool, Handler handler, DispatcherOptions options,
-             ServiceMetrics* metrics = nullptr);
+             ServiceMetrics* metrics = nullptr, TraceLog* trace_log = nullptr);
+
+  /// Queued-but-unstarted requests are shed (ResourceExhausted) when their
+  /// worker finally picks them up; their futures still complete.
+  ~Dispatcher();
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
 
   /// Admits (or sheds) `req`; the future completes when the request does.
   /// Shed/rejected requests complete immediately, so .get() never deadlocks.
@@ -59,20 +85,28 @@ class Dispatcher {
 
   /// Requests admitted and not yet completed (gauge).
   size_t queue_depth() const {
-    return in_flight_.load(std::memory_order_relaxed);
+    return core_->in_flight.load(std::memory_order_relaxed);
   }
 
-  const DispatcherOptions& options() const { return options_; }
+  const DispatcherOptions& options() const { return core_->options; }
 
  private:
+  /// Everything a queued task needs, owned jointly by the dispatcher and
+  /// every task it submitted (see the Lifetime note above).
+  struct Core {
+    Handler handler;
+    DispatcherOptions options;
+    ServiceMetrics* metrics = nullptr;
+    TraceLog* trace_log = nullptr;
+    std::atomic<size_t> in_flight{0};
+    std::atomic<bool> stopping{false};
+  };
+
   /// Resolves the effective end-to-end budget of a request.
-  double EffectiveBudgetMs(const Request& req) const;
+  static double EffectiveBudgetMs(const Core& core, const Request& req);
 
   ThreadPool* pool_;
-  Handler handler_;
-  DispatcherOptions options_;
-  ServiceMetrics* metrics_;
-  std::atomic<size_t> in_flight_{0};
+  std::shared_ptr<Core> core_;
 };
 
 }  // namespace vexus::server

@@ -16,7 +16,15 @@ size_t BucketOf(double micros) {
   return std::min(bit, kLatencyBuckets - 1);
 }
 
+constexpr std::string_view kStageNames[kNumStages] = {
+    "queue", "admit", "session", "rank", "greedy", "serialize",
+};
+
 }  // namespace
+
+std::string_view StageName(Stage s) {
+  return kStageNames[static_cast<size_t>(s)];
+}
 
 void LatencyHistogram::Record(double micros) {
   if (micros < 0 || std::isnan(micros)) micros = 0;
@@ -78,6 +86,18 @@ void ServiceMetrics::RecordRequest(RequestType type, StatusCode code,
   latency_all_.Record(latency_ms * 1e3);
 }
 
+void ServiceMetrics::RecordTraceStages(const Trace& trace) {
+  for (const Trace::Span& span : trace.spans()) {
+    if (span.duration_us < 0) continue;  // still open: trace not finished
+    for (size_t i = 0; i < kNumStages; ++i) {
+      if (kStageNames[i] == span.name) {
+        stage_latency_[i].Record(static_cast<double>(span.duration_us));
+        break;
+      }
+    }
+  }
+}
+
 MetricsSnapshot ServiceMetrics::Snapshot(uint64_t open_sessions) const {
   MetricsSnapshot s;
   for (size_t i = 0; i < kNumRequestTypes; ++i) {
@@ -99,6 +119,9 @@ MetricsSnapshot ServiceMetrics::Snapshot(uint64_t open_sessions) const {
   s.greedy_swaps = greedy_swaps_.load(kRelaxed);
   s.open_sessions = open_sessions;
   s.latency_all = latency_all_.Read();
+  for (size_t i = 0; i < kNumStages; ++i) {
+    s.stage_latency[i] = stage_latency_[i].Read();
+  }
   return s;
 }
 
@@ -146,6 +169,15 @@ json::Value MetricsSnapshot::ToJson() const {
   }
   o.emplace_back("by_op", json::Value(std::move(by_type)));
   o.emplace_back("latency", LatencyJson(latency_all));
+  json::Object stages;
+  for (size_t i = 0; i < kNumStages; ++i) {
+    if (stage_latency[i].count == 0) continue;
+    stages.emplace_back(std::string(StageName(static_cast<Stage>(i))),
+                        LatencyJson(stage_latency[i]));
+  }
+  if (!stages.empty()) {
+    o.emplace_back("stages", json::Value(std::move(stages)));
+  }
   return json::Value(std::move(o));
 }
 
@@ -198,6 +230,11 @@ std::string MetricsSnapshot::ToString() const {
         latency_by_type[i]);
   }
   row("ALL", TotalRequests(), latency_all);
+  for (size_t i = 0; i < kNumStages; ++i) {
+    if (stage_latency[i].count == 0) continue;
+    row("stage:" + std::string(StageName(static_cast<Stage>(i))),
+        stage_latency[i].count, stage_latency[i]);
+  }
   return out;
 }
 

@@ -18,11 +18,30 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
+#include "common/trace.h"
 #include "server/json.h"
 #include "server/protocol.h"
 
 namespace vexus::server {
+
+/// Request stages with dedicated latency histograms — the aggregate view of
+/// the per-request span tree (common/trace.h). Names match the span
+/// taxonomy, so `RecordTraceStages` can fold a finished trace in by walking
+/// its spans.
+enum class Stage : int {
+  kQueue = 0,      ///< admission → worker pickup
+  kAdmit = 1,      ///< session admission (start_session)
+  kSession = 2,    ///< acquiring the exclusive session lease
+  kRank = 3,       ///< candidate-pool construction + prior ranking
+  kGreedy = 4,     ///< the anytime swap loop (seed + passes)
+  kSerialize = 5,  ///< screen/context payload construction
+};
+inline constexpr size_t kNumStages = 6;
+
+/// Stage name as used both in span trees and the get_stats "stages" object.
+std::string_view StageName(Stage s);
 
 /// Power-of-two latency buckets: bucket i counts samples in
 /// [2^i, 2^(i+1)) microseconds (bucket 0 also takes sub-microsecond ones).
@@ -90,6 +109,9 @@ struct MetricsSnapshot {
 
   LatencyHistogram::Snapshot latency_by_type[kNumRequestTypes];
   LatencyHistogram::Snapshot latency_all;
+  /// Per-stage latency (queue always; the rest only while tracing is on —
+  /// their counts tell you how many requests were traced).
+  LatencyHistogram::Snapshot stage_latency[kNumStages];
 
   uint64_t TotalRequests() const {
     uint64_t t = 0;
@@ -124,6 +146,16 @@ class ServiceMetrics {
     greedy_swaps_.fetch_add(swaps, kRelaxed);
   }
 
+  /// Records one stage's wall time (microseconds).
+  void RecordStage(Stage stage, double micros) {
+    stage_latency_[static_cast<size_t>(stage)].Record(micros);
+  }
+
+  /// Folds a *finished* trace into the stage histograms: every span whose
+  /// name matches a stage is recorded once (so `greedy` excludes its `seed`
+  /// and `pass` children, which are detail, not stages).
+  void RecordTraceStages(const Trace& trace);
+
   /// `open_sessions` is a gauge the owner passes in (the session manager
   /// knows it; metrics does not reach back to avoid a dependency cycle).
   MetricsSnapshot Snapshot(uint64_t open_sessions = 0) const;
@@ -148,6 +180,7 @@ class ServiceMetrics {
 
   LatencyHistogram latency_by_type_[kNumRequestTypes];
   LatencyHistogram latency_all_;
+  LatencyHistogram stage_latency_[kNumStages];
 };
 
 }  // namespace vexus::server

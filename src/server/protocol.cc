@@ -9,6 +9,7 @@ namespace {
 constexpr std::string_view kNames[kNumRequestTypes] = {
     "start_session", "select_group", "backtrack",   "bookmark",
     "unlearn",       "get_context",  "get_stats",   "end_session",
+    "get_trace",
 };
 
 /// Reads a non-negative integer field; fails when present but ill-typed.
@@ -75,6 +76,8 @@ json::Value Request::ToJson() const {
   if (learning_rate.has_value()) {
     obj.emplace_back("learning_rate", json::Value(*learning_rate));
   }
+  if (n.has_value()) obj.emplace_back("n", json::Value(*n));
+  if (slowest) obj.emplace_back("slowest", json::Value(true));
   return json::Value(std::move(obj));
 }
 
@@ -120,6 +123,14 @@ Result<Request> Request::FromJson(const json::Value& v) {
     }
     req.learning_rate = lr->AsDouble();
   }
+  VEXUS_RETURN_NOT_OK(ReadUint(v, "n", &req.n));
+  const json::Value* slowest = v.Find("slowest");
+  if (slowest != nullptr) {
+    if (!slowest->is_bool()) {
+      return Status::InvalidArgument("slowest must be a bool");
+    }
+    req.slowest = slowest->AsBool();
+  }
 
   // Per-op required fields.
   auto require_session = [&]() -> Status {
@@ -162,6 +173,7 @@ Result<Request> Request::FromJson(const json::Value& v) {
       }
       break;
     case RequestType::kGetStats:
+    case RequestType::kGetTrace:
       break;
   }
   return req;
@@ -225,6 +237,7 @@ json::Value Response::ToJson() const {
     obj.emplace_back("memo_users", json::Value(memo_users));
   }
   if (stats.has_value()) obj.emplace_back("stats", *stats);
+  if (traces.has_value()) obj.emplace_back("traces", *traces);
   return json::Value(std::move(obj));
 }
 
@@ -290,6 +303,8 @@ Result<Response> Response::FromJson(const json::Value& v) {
   }
   const json::Value* stats = v.Find("stats");
   if (stats != nullptr) resp.stats = *stats;
+  const json::Value* traces = v.Find("traces");
+  if (traces != nullptr) resp.traces = *traces;
   return resp;
 }
 

@@ -14,6 +14,7 @@
 //   {"op":"unlearn","session":"alice","token":3401}
 //   {"op":"get_context","session":"alice","top_k":8}
 //   {"op":"get_stats"}
+//   {"op":"get_trace","n":5,"slowest":true}
 //   {"op":"end_session","session":"alice"}
 //
 // Every session-scoped request may also carry:
@@ -51,8 +52,9 @@ enum class RequestType : int {
   kGetContext = 5,
   kGetStats = 6,
   kEndSession = 7,
+  kGetTrace = 8,
 };
-inline constexpr size_t kNumRequestTypes = 8;
+inline constexpr size_t kNumRequestTypes = 9;
 
 /// Wire name of an op ("start_session", ...).
 std::string_view RequestTypeName(RequestType t);
@@ -77,6 +79,8 @@ struct Request {
   std::optional<uint64_t> top_k;       // get_context
   std::optional<uint64_t> k;           // start_session: groups per screen
   std::optional<double> learning_rate; // start_session
+  std::optional<uint64_t> n;           // get_trace: how many traces
+  bool slowest = false;                // get_trace: slowest-N vs last-N
 
   json::Value ToJson() const;
   std::string Encode() const { return ToJson().Dump(); }
@@ -127,6 +131,7 @@ struct Response {
   double diversity = 0;
   bool greedy_deadline_hit = false;     // anytime loop truncated?
   std::optional<json::Value> stats;     // get_stats: metrics snapshot object
+  std::optional<json::Value> traces;    // get_trace: array of span trees
 
   json::Value ToJson() const;
   std::string Encode() const { return ToJson().Dump(); }

@@ -29,12 +29,13 @@ ExplorationService::ExplorationService(const core::VexusEngine* engine,
       options_.parallel_greedy_scan ? pool_.get() : nullptr;
   sessions_ =
       std::make_unique<SessionManager>(engine_, options_.sessions, &metrics_);
+  trace_log_ = std::make_unique<TraceLog>(options_.trace);
   dispatcher_ = std::make_unique<Dispatcher>(
       pool_.get(),
-      [this](const Request& req, const Deadline& deadline) {
-        return Execute(req, deadline);
+      [this](const Request& req, const Deadline& deadline, TraceSpan& span) {
+        return Execute(req, deadline, span);
       },
-      options_.dispatcher, &metrics_);
+      options_.dispatcher, &metrics_, trace_log_.get());
 }
 
 ExplorationService::~ExplorationService() { Shutdown(); }
@@ -73,19 +74,24 @@ MetricsSnapshot ExplorationService::Stats() const {
 // ---------------------------------------------------------------------------
 
 Response ExplorationService::Execute(const Request& req,
-                                     const Deadline& deadline) {
+                                     const Deadline& deadline,
+                                     TraceSpan& span) {
   switch (req.type) {
     case RequestType::kGetStats:
       return DoGetStats(req);
+    case RequestType::kGetTrace:
+      return DoGetTrace(req);
     case RequestType::kStartSession:
-      return DoStartSession(req, deadline);
+      return DoStartSession(req, deadline, span);
     default:
-      return DoSessionOp(req, deadline);
+      return DoSessionOp(req, deadline, span);
   }
 }
 
 void ExplorationService::FillScreen(const core::GreedySelection& selection,
-                                    Response* resp, bool fresh_run) {
+                                    Response* resp, bool fresh_run,
+                                    const TraceSpan& span) {
+  TraceSpan serialize = span.Child("serialize");
   if (fresh_run) {
     metrics_.RecordGreedyRun(selection.evaluations, selection.passes,
                              selection.swaps);
@@ -106,7 +112,8 @@ void ExplorationService::FillScreen(const core::GreedySelection& selection,
 }
 
 Response ExplorationService::DoStartSession(const Request& req,
-                                            const Deadline& deadline) {
+                                            const Deadline& deadline,
+                                            TraceSpan& span) {
   core::SessionOptions opts = options_.session_template;
   if (req.k.has_value()) {
     if (*req.k == 0 || *req.k > kMaxScreenK) {
@@ -124,11 +131,15 @@ Response ExplorationService::DoStartSession(const Request& req,
     opts.learning_rate = *req.learning_rate;
   }
 
+  TraceSpan admit = span.Child("admit");
   auto created = sessions_->Create(req.session_id, opts);
+  admit.Close();
   if (!created.ok()) return ErrorResponse(req, created.status());
   uint64_t generation = std::move(created).ValueOrDie();
 
+  TraceSpan session_span = span.Child("session");
   auto lease = sessions_->Acquire(req.session_id, generation);
+  session_span.Close();
   if (!lease.ok()) return ErrorResponse(req, lease.status());
   auto l = std::move(lease).ValueOrDie();
 
@@ -142,19 +153,24 @@ Response ExplorationService::DoStartSession(const Request& req,
     return resp;
   }
   // Remaining-budget clamp: the initial screen's greedy loop may use at
-  // most what is left of the request's end-to-end budget.
+  // most what is left of the request's end-to-end budget. The trace pointer
+  // is set for this request only and restored with the time limit — the
+  // span dies with the request, the session does not.
   core::SessionOptions& live = l->mutable_options();
   live.greedy.time_limit_ms =
       std::min(opts.greedy.time_limit_ms, deadline.RemainingMillis());
-  FillScreen(l->Start(), &resp, /*fresh_run=*/true);
+  live.greedy.trace = span.enabled() ? &span : nullptr;
+  FillScreen(l->Start(), &resp, /*fresh_run=*/true, span);
   live.greedy.time_limit_ms = opts.greedy.time_limit_ms;  // restore
+  live.greedy.trace = nullptr;
   resp.step = 0;
   resp.num_steps = l->NumSteps();
   return resp;
 }
 
 Response ExplorationService::DoSessionOp(const Request& req,
-                                         const Deadline& deadline) {
+                                         const Deadline& deadline,
+                                         TraceSpan& span) {
   // end_session needs no lease of its own: Remove drains in-flight work.
   if (req.type == RequestType::kEndSession) {
     auto removed = sessions_->Remove(req.session_id, req.generation);
@@ -170,7 +186,9 @@ Response ExplorationService::DoSessionOp(const Request& req,
     return resp;
   }
 
+  TraceSpan session_span = span.Child("session");
   auto lease = sessions_->Acquire(req.session_id, req.generation);
+  session_span.Close();
   if (!lease.ok()) return ErrorResponse(req, lease.status());
   auto l = std::move(lease).ValueOrDie();
 
@@ -199,8 +217,10 @@ Response ExplorationService::DoSessionOp(const Request& req,
       const double configured = live.greedy.time_limit_ms;
       live.greedy.time_limit_ms =
           std::min(configured, deadline.RemainingMillis());
-      FillScreen(l->SelectGroup(*req.group), &resp, /*fresh_run=*/true);
+      live.greedy.trace = span.enabled() ? &span : nullptr;
+      FillScreen(l->SelectGroup(*req.group), &resp, /*fresh_run=*/true, span);
       live.greedy.time_limit_ms = configured;  // undo the per-request clamp
+      live.greedy.trace = nullptr;
       break;
     }
     case RequestType::kBacktrack: {
@@ -209,7 +229,7 @@ Response ExplorationService::DoSessionOp(const Request& req,
         resp.status = std::move(st);
         return resp;
       }
-      FillScreen(l->Current(), &resp, /*fresh_run=*/false);
+      FillScreen(l->Current(), &resp, /*fresh_run=*/false, span);
       break;
     }
     case RequestType::kBookmark: {
@@ -240,6 +260,7 @@ Response ExplorationService::DoSessionOp(const Request& req,
       break;
     }
     case RequestType::kGetContext: {
+      TraceSpan serialize = span.Child("serialize");
       size_t top_k = static_cast<size_t>(req.top_k.value_or(10));
       for (const auto& ts : l->ContextTokens(top_k)) {
         ContextTokenView view;
@@ -263,9 +284,30 @@ Response ExplorationService::DoSessionOp(const Request& req,
 }
 
 Response ExplorationService::DoGetStats(const Request& req) {
+  // Ride the stats poll for TTL progress: monitoring traffic alone keeps
+  // expired sessions from accumulating even when no explorer is active.
+  sessions_->SweepExpired();
   Response resp;
   resp.type = req.type;
   resp.stats = Stats().ToJson();
+  return resp;
+}
+
+Response ExplorationService::DoGetTrace(const Request& req) {
+  Response resp;
+  resp.type = req.type;
+  if (!trace_log_->enabled()) {
+    resp.status = Status::NotSupported(
+        "tracing is disabled (ServiceOptions::trace.enabled)");
+    return resp;
+  }
+  size_t n = static_cast<size_t>(req.n.value_or(1));
+  std::vector<TraceRecord> records =
+      req.slowest ? trace_log_->SlowestN(n) : trace_log_->LastN(n);
+  json::Array arr;
+  arr.reserve(records.size());
+  for (const TraceRecord& r : records) arr.push_back(TraceLog::ToJson(r));
+  resp.traces = json::Value(std::move(arr));
   return resp;
 }
 

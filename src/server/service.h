@@ -22,11 +22,13 @@
 #include <string>
 
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/engine.h"
 #include "server/dispatcher.h"
 #include "server/metrics.h"
 #include "server/protocol.h"
 #include "server/session_manager.h"
+#include "server/trace_log.h"
 
 namespace vexus::server {
 
@@ -46,6 +48,10 @@ struct ServiceOptions {
   /// deadlocking, and parallel scans select byte-identical swaps. Overrides
   /// any scan_pool already set on session_template.greedy.
   bool parallel_greedy_scan = true;
+  /// Request-scoped tracing (DESIGN.md §10). Disabled by default: with
+  /// trace.enabled == false no Trace is ever allocated and the per-request
+  /// cost is one branch per would-be span.
+  TraceLogOptions trace;
 };
 
 class ExplorationService {
@@ -79,31 +85,38 @@ class ExplorationService {
   const ServiceMetrics& metrics() const { return metrics_; }
   SessionManager& sessions() { return *sessions_; }
   const core::VexusEngine& engine() const { return *engine_; }
+  const TraceLog& trace_log() const { return *trace_log_; }
 
   /// Current metrics frozen, with the live session gauge filled in.
   MetricsSnapshot Stats() const;
 
  private:
-  /// Worker-side execution (Dispatcher handler).
-  Response Execute(const Request& req, const Deadline& deadline);
+  /// Worker-side execution (Dispatcher handler). `span` is the request's
+  /// root span (the disabled span when tracing is off).
+  Response Execute(const Request& req, const Deadline& deadline,
+                   TraceSpan& span);
 
-  Response DoStartSession(const Request& req, const Deadline& deadline);
-  Response DoSessionOp(const Request& req, const Deadline& deadline);
+  Response DoStartSession(const Request& req, const Deadline& deadline,
+                          TraceSpan& span);
+  Response DoSessionOp(const Request& req, const Deadline& deadline,
+                       TraceSpan& span);
   Response DoGetStats(const Request& req);
+  Response DoGetTrace(const Request& req);
 
-  /// Fills the screen payload (groups + quality) from a selection. When
-  /// `fresh_run` is set the selection came from a greedy run executed for
-  /// this request (start_session / select_group) and its work counters are
-  /// recorded; replayed screens (backtrack) pass false so a screen is only
-  /// accounted once.
+  /// Fills the screen payload (groups + quality) from a selection, under a
+  /// `serialize` child of `span`. When `fresh_run` is set the selection came
+  /// from a greedy run executed for this request (start_session /
+  /// select_group) and its work counters are recorded; replayed screens
+  /// (backtrack) pass false so a screen is only accounted once.
   void FillScreen(const core::GreedySelection& selection, Response* resp,
-                  bool fresh_run);
+                  bool fresh_run, const TraceSpan& span);
 
   const core::VexusEngine* engine_;
   ServiceOptions options_;
   ServiceMetrics metrics_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<SessionManager> sessions_;
+  std::unique_ptr<TraceLog> trace_log_;
   std::unique_ptr<Dispatcher> dispatcher_;
 };
 

@@ -86,8 +86,10 @@ Result<uint64_t> SessionManager::Create(const std::string& id,
   }
   Shard& shard = ShardOf(id);
   // Lazy TTL pass over the target shard keeps long-idle sessions from
-  // blocking admissions even when nobody calls SweepExpired().
+  // blocking admissions even when nobody calls SweepExpired(); the
+  // round-robin step extends that guarantee to shards no access hashes to.
   SweepShard(shard);
+  SweepNextShard();
 
   // Reserve a slot (CAS) so concurrent Creates cannot overshoot the cap.
   while (true) {
@@ -128,6 +130,10 @@ Result<uint64_t> SessionManager::Create(const std::string& id,
 
 Result<SessionManager::Lease> SessionManager::Acquire(
     const std::string& id, uint64_t expected_generation) {
+  // Cross-shard TTL progress rides on every acquire (cheap: one try-lock
+  // walk of one shard), so a workload that only ever touches a few hot
+  // sessions still expires the cold ones parked in other shards.
+  SweepNextShard();
   Shard& shard = ShardOf(id);
   std::shared_ptr<Lease::Entry> entry;
   {
@@ -224,6 +230,13 @@ size_t SessionManager::SweepShard(Shard& shard) {
     if (metrics_ != nullptr) metrics_->RecordEvictionTtl();
   }
   return evicted;
+}
+
+void SessionManager::SweepNextShard() {
+  if (options_.ttl_seconds <= 0) return;
+  size_t idx =
+      sweep_cursor_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  SweepShard(*shards_[idx]);
 }
 
 size_t SessionManager::SweepExpired() {

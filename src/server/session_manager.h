@@ -11,8 +11,13 @@
 //   * Admission control: at most `max_sessions` live sessions; Create on a
 //     full manager first tries to evict the least-recently-used *idle*
 //     session, then fails with ResourceExhausted.
-//   * TTL: sessions idle longer than `ttl` are evicted lazily (on any
-//     Create/Acquire touching their shard) or by an explicit SweepExpired().
+//   * TTL: sessions idle longer than `ttl` are evicted lazily or by an
+//     explicit SweepExpired(). Lazy sweeping covers the *touched* shard
+//     (Create) plus one further shard per access in round-robin order
+//     (Create and Acquire advance a shared cursor), so sessions hashed to
+//     shards no request ever touches again still expire — with only the
+//     touched shard swept (the old behaviour) they outlived their TTL
+//     indefinitely under any traffic pattern that missed their shard.
 //   * Generations: every Create stamps a process-unique, monotonically
 //     increasing generation. A client that cached a handle to a session
 //     that was evicted and re-created under the same name observes NotFound
@@ -116,6 +121,10 @@ class SessionManager {
   bool EvictLruIdle();
   /// TTL-sweeps one shard (caller must not hold its mutex).
   size_t SweepShard(Shard& shard);
+  /// Amortized cross-shard TTL progress: sweeps the next shard in
+  /// round-robin order. Called on every Create/Acquire so the whole keyspace
+  /// is swept after `num_shards` accesses anywhere, O(1 shard) per access.
+  void SweepNextShard();
   int64_t NowMicros() const;
 
   const core::VexusEngine* engine_;
@@ -124,6 +133,7 @@ class SessionManager {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> next_generation_{1};
   std::atomic<size_t> count_{0};
+  std::atomic<size_t> sweep_cursor_{0};
 };
 
 }  // namespace vexus::server

@@ -41,6 +41,7 @@ StatsView::StatsView(const data::Dataset* dataset, const Bitset& members)
         hi = lo + 1.0;
       }
       b.lo = lo;
+      b.data_max = hi;
       b.hi = std::nextafter(hi, std::numeric_limits<double>::infinity());
       b.bins = 10;
       b.dim = filter_->AddNumericDimension(std::move(vals));
@@ -130,6 +131,14 @@ Status StatsView::BrushRange(const std::string& attribute, double lo,
   if (!b->numeric) {
     return Status::InvalidArgument("attribute '" + attribute +
                                    "' is categorical; use Brush");
+  }
+  // Closed-at-the-top edge rule (see the header): a brush whose upper edge
+  // reaches the observed maximum must keep max-valued members. Nudging hi
+  // one ulp up turns [lo, max] into [lo, nextafter(max)) — the same trick
+  // the constructor uses for the histogram domain — while any hi strictly
+  // below the max keeps exact right-open semantics.
+  if (hi >= b->data_max) {
+    hi = std::nextafter(hi, std::numeric_limits<double>::infinity());
   }
   filter_->FilterRange(b->dim, lo, hi);
   return Status::OK();

@@ -47,7 +47,13 @@ class StatsView {
   Status Brush(const std::string& attribute,
                const std::vector<std::string>& values);
 
-  /// Brush a numeric attribute to [lo, hi).
+  /// Brush a numeric attribute to [lo, hi) — except that when `hi` reaches
+  /// the attribute's observed maximum the interval is treated as *closed*
+  /// at the top. A UI brushing across the whole histogram hands us
+  /// [domain min, domain max]; strict right-openness silently dropped every
+  /// member sitting exactly on the max (the histogram's last bin shows them,
+  /// the selected-users table lost them — the classic right-open off-by-one
+  /// at the domain edge).
   Status BrushRange(const std::string& attribute, double lo, double hi);
 
   /// Remove one attribute's brush.
@@ -70,6 +76,7 @@ class StatsView {
     Crossfilter::GroupId group;
     bool numeric;
     double lo = 0, hi = 0;  // histogram range for numeric
+    double data_max = 0;    // largest observed value (BrushRange edge rule)
     size_t bins = 0;
   };
 

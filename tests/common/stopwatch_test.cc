@@ -1,5 +1,6 @@
 #include "common/stopwatch.h"
 
+#include <limits>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -60,6 +61,41 @@ TEST(DeadlineTest, NegativeBudgetExpiresImmediately) {
 TEST(DeadlineTest, ZeroBudgetExpiresImmediately) {
   Deadline d = Deadline::AfterMillis(0);
   EXPECT_TRUE(d.Expired());
+}
+
+TEST(DeadlineTest, BornExpiredReportsZeroRemaining) {
+  // Regression: the born-expired sentinel is time_point::min(); computing
+  // `min() - now()` underflowed the clock's integer representation and
+  // wrapped to a huge *positive* remaining budget — an already-expired
+  // request then handed the greedy loop an effectively unbounded time
+  // limit. Expired() and RemainingMillis() must agree.
+  for (double budget : {0.0, -1.0, -1e9,
+                        std::numeric_limits<double>::quiet_NaN()}) {
+    Deadline d = Deadline::AfterMillis(budget);
+    EXPECT_TRUE(d.Expired()) << "budget=" << budget;
+    EXPECT_DOUBLE_EQ(d.RemainingMillis(), 0.0) << "budget=" << budget;
+  }
+}
+
+TEST(DeadlineTest, ExpiredAndRemainingAgreeForTinyBudgets) {
+  // For any non-infinite deadline: Expired() == (RemainingMillis() == 0),
+  // before and after the expiry instant.
+  Deadline d = Deadline::AfterMillis(0.5);
+  if (!d.Expired()) {
+    EXPECT_GT(d.RemainingMillis(), 0.0);
+  }
+  while (!d.Expired()) {
+  }
+  EXPECT_DOUBLE_EQ(d.RemainingMillis(), 0.0);
+}
+
+TEST(DeadlineTest, HugeBudgetsBecomeInfinite) {
+  EXPECT_TRUE(Deadline::AfterMillis(Deadline::kInfiniteBudgetMillis)
+                  .IsInfinite());
+  EXPECT_TRUE(
+      Deadline::AfterMillis(std::numeric_limits<double>::infinity())
+          .IsInfinite());
+  EXPECT_FALSE(Deadline::AfterMillis(1e9).IsInfinite());
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "core/feedback.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -182,6 +183,51 @@ TEST_F(FeedbackVectorTest, LearnEmptyGroupIsNoop) {
   mining::UserGroup empty({}, Bitset(4));
   fb_.Learn(empty);
   EXPECT_TRUE(fb_.Empty());
+}
+
+TEST_F(FeedbackVectorTest, LearnDegenerateEtaIsANoOpFixedPoint) {
+  // Regression: an all-zero observation must never reach Normalize()'s 0/0.
+  // Pre-fix, eta <= 0 crashed on a VEXUS_CHECK (a config error aborted the
+  // process), and non-finite eta poisoned every score to NaN via inf/inf.
+  fb_.Learn(MalesGroup());  // establish known state
+  double male = fb_.Score(ts_.ValueToken(0, 0));
+  ASSERT_GT(male, 0.0);
+
+  fb_.Learn(FemalesGroup(), 0.0);
+  fb_.Learn(FemalesGroup(), -1.0);
+  fb_.Learn(FemalesGroup(), std::numeric_limits<double>::quiet_NaN());
+  // State must be bit-for-bit untouched — degenerate updates are fixed
+  // points, not merely "small".
+  EXPECT_DOUBLE_EQ(fb_.Score(ts_.ValueToken(0, 0)), male);
+  EXPECT_DOUBLE_EQ(fb_.Score(ts_.ValueToken(0, 1)), 0.0);
+}
+
+TEST_F(FeedbackVectorTest, LearnDegenerateEtaOnEmptyVectorStaysEmpty) {
+  // Pre-fix the scariest path: an empty vector + degenerate update created
+  // zero-valued entries whose sum is 0, and Normalize() divided 0/0.
+  fb_.Learn(MalesGroup(), 0.0);
+  fb_.Learn(MalesGroup(), -3.5);
+  fb_.Learn(MalesGroup(), std::numeric_limits<double>::quiet_NaN());
+  EXPECT_TRUE(fb_.Empty());
+  for (Token t = 0; t < ts_.num_tokens(); ++t) {
+    EXPECT_DOUBLE_EQ(fb_.Score(t), 0.0);
+    EXPECT_FALSE(std::isnan(fb_.Score(t)));
+  }
+  auto w = fb_.UserWeights();
+  for (double x : w) EXPECT_DOUBLE_EQ(x, 0.25);  // uniform floor intact
+}
+
+TEST_F(FeedbackVectorTest, LearnInfiniteEtaDoesNotPoisonScores) {
+  // eta = +inf used to turn Normalize() into inf/inf = NaN on every token.
+  fb_.Learn(MalesGroup());
+  fb_.Learn(FemalesGroup(), std::numeric_limits<double>::infinity());
+  double total = 0;
+  for (Token t = 0; t < ts_.num_tokens(); ++t) {
+    double s = fb_.Score(t);
+    EXPECT_TRUE(std::isfinite(s)) << "token " << t << " = " << s;
+    total += s;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
 }
 
 TEST_F(FeedbackVectorTest, LearnSplitsMassBetweenMembersAndDescription) {

@@ -1,0 +1,253 @@
+#include "server/dispatcher.h"
+
+#include <atomic>
+#include <future>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "server/metrics.h"
+#include "server/trace_log.h"
+
+namespace vexus::server {
+namespace {
+
+Request MakeRequest(RequestType type = RequestType::kGetStats,
+                    std::optional<double> budget_ms = std::nullopt) {
+  Request req;
+  req.type = type;
+  req.budget_ms = budget_ms;
+  return req;
+}
+
+TEST(DispatcherTest, ExecutesRequestOnAWorker) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  Dispatcher d(
+      &pool,
+      [&calls](const Request& req, const Deadline& deadline, TraceSpan&) {
+        ++calls;
+        EXPECT_FALSE(deadline.Expired());
+        EXPECT_GT(deadline.RemainingMillis(), 0.0);
+        Response resp;
+        resp.type = req.type;
+        return resp;
+      },
+      DispatcherOptions{});
+  Response resp = d.Call(MakeRequest());
+  EXPECT_TRUE(resp.status.ok());
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_GE(resp.elapsed_ms, 0.0);
+  EXPECT_GE(resp.queue_ms, 0.0);
+  EXPECT_EQ(d.queue_depth(), 0u);
+  pool.Shutdown();
+}
+
+TEST(DispatcherTest, ZeroBudgetExpiresWithoutCallingHandler) {
+  // Satellite regression: an exactly-0 (or negative) budget must answer
+  // DeadlineExceeded with queue_ms populated and must never invoke the
+  // handler. Pre-fix, Deadline::RemainingMillis underflowed the born-expired
+  // sentinel into a huge positive budget and the handler ran.
+  ThreadPool pool(1);
+  ServiceMetrics metrics;
+  std::atomic<bool> handler_called{false};
+  Dispatcher d(
+      &pool,
+      [&handler_called](const Request&, const Deadline&, TraceSpan&) {
+        handler_called = true;
+        return Response{};
+      },
+      DispatcherOptions{}, &metrics);
+  for (double budget : {0.0, -5.0}) {
+    Response resp = d.Call(MakeRequest(RequestType::kGetStats, budget));
+    EXPECT_EQ(resp.status.code(), StatusCode::kDeadlineExceeded)
+        << "budget_ms=" << budget << ": " << resp.status.message();
+    EXPECT_GE(resp.queue_ms, 0.0);
+    EXPECT_NE(resp.status.message().find("in queue"), std::string::npos);
+  }
+  EXPECT_FALSE(handler_called.load());
+  // Expired requests are still accounted.
+  MetricsSnapshot snap = metrics.Snapshot(0);
+  EXPECT_EQ(snap.TotalRequests(), 2u);
+  EXPECT_EQ(snap.deadline_exceeded, 2u);
+  EXPECT_EQ(d.queue_depth(), 0u);
+  pool.Shutdown();
+}
+
+TEST(DispatcherTest, BackpressureShedsBeyondMaxQueueDepth) {
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  DispatcherOptions opts;
+  opts.max_queue_depth = 2;
+  ServiceMetrics metrics;
+  Dispatcher d(
+      &pool,
+      [gate](const Request&, const Deadline&, TraceSpan&) {
+        gate.wait();
+        return Response{};
+      },
+      opts, &metrics);
+  // Use unbounded budgets so the blocked requests don't expire first.
+  double inf = std::numeric_limits<double>::infinity();
+  std::future<Response> f1 = d.Submit(MakeRequest(RequestType::kGetStats, inf));
+  std::future<Response> f2 = d.Submit(MakeRequest(RequestType::kGetStats, inf));
+  // Third request exceeds depth 2 → shed immediately, future still completes.
+  Response shed = d.Call(MakeRequest(RequestType::kGetStats, inf));
+  EXPECT_EQ(shed.status.code(), StatusCode::kResourceExhausted);
+  release.set_value();
+  EXPECT_TRUE(f1.get().status.ok());
+  EXPECT_TRUE(f2.get().status.ok());
+  EXPECT_EQ(d.queue_depth(), 0u);
+  MetricsSnapshot snap = metrics.Snapshot(0);
+  EXPECT_EQ(snap.TotalRequests(), 3u);
+  EXPECT_EQ(snap.shed, 1u);
+  pool.Shutdown();
+}
+
+TEST(DispatcherTest, TeardownWithQueuedRequestsShedsInsteadOfExecuting) {
+  // Satellite regression: destroying the Dispatcher while requests are still
+  // queued must not run a handler whose captures are gone (pre-fix this was
+  // a use-after-free, caught by ASan) and must retire every future exactly
+  // once with ResourceExhausted.
+  ThreadPool pool(1);
+  ServiceMetrics metrics;
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<int> executed{0};
+  double inf = std::numeric_limits<double>::infinity();
+
+  std::future<Response> running;
+  std::vector<std::future<Response>> queued;
+  {
+    Dispatcher d(
+        &pool,
+        [gate, &executed](const Request&, const Deadline&, TraceSpan&) {
+          ++executed;
+          gate.wait();
+          return Response{};
+        },
+        DispatcherOptions{}, &metrics);
+    // One request occupies the single worker...
+    running = d.Submit(MakeRequest(RequestType::kGetStats, inf));
+    while (executed.load() == 0) {
+    }
+    // ...and three more sit in the pool's queue behind it.
+    for (int i = 0; i < 3; ++i) {
+      queued.push_back(d.Submit(MakeRequest(RequestType::kGetStats, inf)));
+    }
+  }  // Dispatcher destroyed with requests queued.
+
+  release.set_value();
+  EXPECT_TRUE(running.get().status.ok());
+  for (std::future<Response>& f : queued) {
+    Response resp = f.get();
+    EXPECT_EQ(resp.status.code(), StatusCode::kResourceExhausted);
+    EXPECT_NE(resp.status.message().find("shutting down"), std::string::npos);
+  }
+  EXPECT_EQ(executed.load(), 1) << "a queued handler ran after teardown";
+  // Every request accounted exactly once; the in-flight gauge drained.
+  pool.Wait();
+  MetricsSnapshot snap = metrics.Snapshot(0);
+  EXPECT_EQ(snap.TotalRequests(), 4u);
+  EXPECT_EQ(snap.shed, 3u);
+  pool.Shutdown();
+}
+
+TEST(DispatcherTest, SubmitAfterPoolShutdownSheds) {
+  ThreadPool pool(1);
+  ServiceMetrics metrics;
+  Dispatcher d(
+      &pool, [](const Request&, const Deadline&, TraceSpan&) {
+        return Response{};
+      },
+      DispatcherOptions{}, &metrics);
+  pool.Shutdown();
+  Response resp = d.Call(MakeRequest());
+  EXPECT_EQ(resp.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(d.queue_depth(), 0u);
+  MetricsSnapshot snap = metrics.Snapshot(0);
+  EXPECT_EQ(snap.TotalRequests(), 1u);
+  EXPECT_EQ(snap.shed, 1u);
+}
+
+TEST(DispatcherTest, TracedRequestLandsInTheTraceLog) {
+  ThreadPool pool(2);
+  ServiceMetrics metrics;
+  TraceLogOptions log_opts;
+  log_opts.enabled = true;
+  log_opts.capacity = 8;
+  TraceLog log(log_opts);
+  Dispatcher d(
+      &pool,
+      [](const Request&, const Deadline&, TraceSpan& span) {
+        EXPECT_TRUE(span.enabled());
+        TraceSpan greedy = span.Child("greedy");
+        greedy.AddCount(3);
+        greedy.Close();
+        return Response{};
+      },
+      DispatcherOptions{}, &metrics, &log);
+  Request req = MakeRequest(RequestType::kGetStats);
+  req.session_id = "alice";
+  Response resp = d.Call(std::move(req));
+  ASSERT_TRUE(resp.status.ok());
+
+  ASSERT_EQ(log.recorded(), 1u);
+  std::vector<TraceRecord> last = log.LastN(1);
+  ASSERT_EQ(last.size(), 1u);
+  const TraceRecord& r = last[0];
+  EXPECT_EQ(r.op, "get_stats");
+  EXPECT_EQ(r.session_id, "alice");
+  EXPECT_EQ(r.status, "OK");
+  EXPECT_DOUBLE_EQ(r.budget_ms, 100.0);  // dispatcher default
+  EXPECT_GE(r.total_ms, 0.0);
+  EXPECT_GE(r.queue_ms, 0.0);
+  ASSERT_NE(r.trace, nullptr);
+  std::vector<Trace::Span> spans = r.trace->spans();
+  ASSERT_GE(spans.size(), 3u);  // request + queue + greedy
+  EXPECT_STREQ(spans[0].name, "request");
+  EXPECT_STREQ(spans[1].name, "queue");
+  bool found_greedy = false;
+  for (const Trace::Span& s : spans) {
+    EXPECT_GE(s.duration_us, 0) << s.name << " left open";
+    if (std::string(s.name) == "greedy") {
+      found_greedy = true;
+      EXPECT_EQ(s.count, 3u);
+    }
+  }
+  EXPECT_TRUE(found_greedy);
+
+  // The queue stage was fed from the trace; greedy too.
+  MetricsSnapshot snap = metrics.Snapshot(0);
+  EXPECT_EQ(snap.stage_latency[static_cast<size_t>(Stage::kQueue)].count, 1u);
+  EXPECT_EQ(snap.stage_latency[static_cast<size_t>(Stage::kGreedy)].count, 1u);
+  pool.Shutdown();
+}
+
+TEST(DispatcherTest, UntracedRequestStillRecordsQueueStage) {
+  ThreadPool pool(1);
+  ServiceMetrics metrics;
+  Dispatcher d(
+      &pool,
+      [](const Request&, const Deadline&, TraceSpan& span) {
+        EXPECT_FALSE(span.enabled());  // tracing off → disabled span
+        return Response{};
+      },
+      DispatcherOptions{}, &metrics);
+  EXPECT_TRUE(d.Call(MakeRequest()).status.ok());
+  MetricsSnapshot snap = metrics.Snapshot(0);
+  EXPECT_EQ(snap.stage_latency[static_cast<size_t>(Stage::kQueue)].count, 1u);
+  EXPECT_EQ(snap.stage_latency[static_cast<size_t>(Stage::kGreedy)].count, 0u);
+  pool.Shutdown();
+}
+
+}  // namespace
+}  // namespace vexus::server

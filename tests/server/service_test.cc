@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <future>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -410,6 +411,174 @@ TEST_F(ServiceTest, ShutdownShedsNewWorkAndCompletesFutures) {
   svc.Shutdown();
   Response resp = svc.Call(Start("late"));
   EXPECT_TRUE(resp.status.IsResourceExhausted()) << resp.status.ToString();
+}
+
+TEST_F(ServiceTest, GetTraceDisabledByDefault) {
+  ExplorationService svc(engine_, FastOptions());
+  Request req;
+  req.type = RequestType::kGetTrace;
+  Response resp = svc.Call(req);
+  EXPECT_EQ(resp.status.code(), StatusCode::kNotSupported)
+      << resp.status.ToString();
+  EXPECT_FALSE(resp.traces.has_value());
+}
+
+TEST_F(ServiceTest, TraceSpanTreeEndToEnd) {
+  ServiceOptions opts = FastOptions();
+  opts.trace.enabled = true;
+  opts.trace.capacity = 16;
+  ExplorationService svc(engine_, opts);
+
+  Response started = svc.Call(Start("traced"));
+  ASSERT_TRUE(started.status.ok()) << started.status.ToString();
+  ASSERT_TRUE(svc.Call(Select("traced", started.groups[0].id)).status.ok());
+
+  Request gt;
+  gt.type = RequestType::kGetTrace;
+  gt.n = 10;
+  Response resp = svc.Call(gt);
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  ASSERT_TRUE(resp.traces.has_value());
+  ASSERT_TRUE(resp.traces->is_array());
+  // get_trace snapshots the log *before* its own trace is recorded: exactly
+  // the start_session and select_group traces, newest first.
+  const json::Array& arr = resp.traces->AsArray();
+  ASSERT_EQ(arr.size(), 2u);
+  EXPECT_EQ(arr[0].GetString("op", ""), "select_group");
+  EXPECT_EQ(arr[1].GetString("op", ""), "start_session");
+
+  const std::set<std::string> taxonomy = {"request", "queue",  "admit",
+                                          "session", "rank",   "greedy",
+                                          "seed",    "pass",   "serialize"};
+  for (const json::Value& rec : arr) {
+    EXPECT_EQ(rec.GetString("session", ""), "traced");
+    EXPECT_EQ(rec.GetString("status", ""), "OK");
+    double total_ms = rec.GetNumber("total_ms", -1);
+    EXPECT_GT(total_ms, 0.0);
+    EXPECT_GE(rec.GetNumber("queue_ms", -1), 0.0);
+    EXPECT_DOUBLE_EQ(rec.GetNumber("budget_ms", -1), 100.0);
+
+    const json::Value* spans = rec.Find("spans");
+    ASSERT_NE(spans, nullptr);
+    ASSERT_TRUE(spans->is_array());
+    const json::Array& sp = spans->AsArray();
+    ASSERT_GE(sp.size(), 2u);
+    EXPECT_EQ(sp[0].GetString("name", ""), "request");
+    EXPECT_EQ(sp[0].GetNumber("parent", 0), -1.0);
+    double root_us = sp[0].GetNumber("duration_us", -1);
+    EXPECT_GE(root_us, 0.0);
+
+    std::set<std::string> seen;
+    double root_children_us = 0;
+    for (size_t i = 0; i < sp.size(); ++i) {
+      std::string name = sp[i].GetString("name", "");
+      EXPECT_TRUE(taxonomy.count(name)) << "unknown span '" << name << "'";
+      seen.insert(name);
+      double parent = sp[i].GetNumber("parent", -99);
+      double dur = sp[i].GetNumber("duration_us", -1);
+      double start = sp[i].GetNumber("start_us", -1);
+      EXPECT_GE(dur, 0.0) << name << " left open";
+      EXPECT_GE(start, 0.0);
+      if (i > 0) {
+        // A span's parent always precedes it (flat, creation-ordered arena).
+        EXPECT_GE(parent, 0.0) << name;
+        EXPECT_LT(parent, static_cast<double>(i)) << name;
+        if (parent == 0.0) root_children_us += dur;
+      }
+    }
+    // The request's direct stages are sequential and disjoint: their sum
+    // cannot exceed the root's wall time (small µs slack for clock reads
+    // between a child's close and its parent's).
+    EXPECT_LE(root_children_us, root_us + 50.0);
+    // A fresh-screen op traverses the full pipeline.
+    EXPECT_TRUE(seen.count("queue"));
+    EXPECT_TRUE(seen.count("session"));
+    EXPECT_TRUE(seen.count("rank"));
+    EXPECT_TRUE(seen.count("greedy"));
+    EXPECT_TRUE(seen.count("serialize"));
+    if (rec.GetString("op", "") == "start_session") {
+      EXPECT_TRUE(seen.count("admit"));
+    }
+  }
+
+  // The slowest-N view answers too, and its top record attributes the bulk
+  // of its wall time to instrumented stages.
+  Request slow;
+  slow.type = RequestType::kGetTrace;
+  slow.n = 1;
+  slow.slowest = true;
+  Response slowest = svc.Call(slow);
+  ASSERT_TRUE(slowest.status.ok());
+  ASSERT_TRUE(slowest.traces.has_value());
+  ASSERT_GE(slowest.traces->AsArray().size(), 1u);
+  const json::Value& top = slowest.traces->AsArray()[0];
+  const json::Array& top_spans = top.Find("spans")->AsArray();
+  double top_root = top_spans[0].GetNumber("duration_us", 0);
+  double covered = 0;
+  for (size_t i = 1; i < top_spans.size(); ++i) {
+    if (top_spans[i].GetNumber("parent", -1) == 0.0) {
+      covered += top_spans[i].GetNumber("duration_us", 0);
+    }
+  }
+  ASSERT_GT(top_root, 0.0);
+  // The slowest request is a fresh greedy run (ms-scale); uninstrumented
+  // gaps are µs-scale dispatch glue.
+  EXPECT_GE(covered / top_root, 0.5)
+      << "stages cover only " << covered << "/" << top_root << " us";
+}
+
+TEST_F(ServiceTest, GetStatsIncludesStageQuantiles) {
+  ServiceOptions opts = FastOptions();
+  opts.trace.enabled = true;
+  ExplorationService svc(engine_, opts);
+  ASSERT_TRUE(svc.Call(Start("staged")).status.ok());
+
+  Request gs;
+  gs.type = RequestType::kGetStats;
+  Response resp = svc.Call(gs);
+  ASSERT_TRUE(resp.status.ok());
+  ASSERT_TRUE(resp.stats.has_value());
+  const json::Value* stages = resp.stats->Find("stages");
+  ASSERT_NE(stages, nullptr) << "get_stats lacks the stages object";
+  ASSERT_TRUE(stages->is_object());
+  const json::Value* queue = stages->Find("queue");
+  ASSERT_NE(queue, nullptr);
+  EXPECT_GE(queue->GetNumber("count", -1), 1.0);
+  const json::Value* greedy = stages->Find("greedy");
+  ASSERT_NE(greedy, nullptr);
+  EXPECT_GE(greedy->GetNumber("count", -1), 1.0);
+  EXPECT_GE(greedy->GetNumber("p99_ms", -1), 0.0);
+
+  // Tracing off → no greedy stage samples, but queue is always measured.
+  ExplorationService untraced(engine_, FastOptions());
+  ASSERT_TRUE(untraced.Call(Start("plain")).status.ok());
+  MetricsSnapshot snap = untraced.Stats();
+  EXPECT_GE(snap.stage_latency[static_cast<size_t>(Stage::kQueue)].count, 1u);
+  EXPECT_EQ(snap.stage_latency[static_cast<size_t>(Stage::kGreedy)].count, 0u);
+}
+
+TEST_F(ServiceTest, TraceRingRetainsOnlyCapacity) {
+  ServiceOptions opts = FastOptions();
+  opts.trace.enabled = true;
+  opts.trace.capacity = 4;
+  ExplorationService svc(engine_, opts);
+  ASSERT_TRUE(svc.Call(Start("ring")).status.ok());
+  for (int i = 0; i < 8; ++i) {
+    Request ctx;
+    ctx.type = RequestType::kGetContext;
+    ctx.session_id = "ring";
+    ASSERT_TRUE(svc.Call(ctx).status.ok());
+  }
+  Request gt;
+  gt.type = RequestType::kGetTrace;
+  gt.n = 100;
+  Response resp = svc.Call(gt);
+  ASSERT_TRUE(resp.status.ok());
+  ASSERT_TRUE(resp.traces.has_value());
+  EXPECT_EQ(resp.traces->AsArray().size(), 4u);  // ring capacity
+  // 1 start + 8 get_context + the get_trace request itself (its own trace
+  // is recorded after its handler snapshots the ring).
+  EXPECT_EQ(svc.trace_log().offered(), 10u);
 }
 
 // Acceptance scenario: 16 threads x 100 requests over 8 shared sessions,

@@ -157,6 +157,52 @@ TEST_F(SessionManagerTest, TtlSweepEvictsIdleSessions) {
   EXPECT_EQ(metrics.Snapshot().evictions_ttl, 1u);
 }
 
+TEST_F(SessionManagerTest, LazyTtlSweepReachesColdShards) {
+  // Satellite regression: lazy TTL sweeping used to cover only the shard
+  // *touched* by the access, so sessions hashed to shards no later request
+  // ever touched outlived their TTL indefinitely. The fix advances a
+  // round-robin cursor on every Create/Acquire, so any traffic pattern —
+  // here: hammering one hot session — retires the whole keyspace within
+  // num_shards accesses.
+  SessionManagerOptions opts;
+  opts.ttl_seconds = 0.05;  // 50 ms
+  opts.num_shards = 8;
+  ServiceMetrics metrics;
+  SessionManager mgr(engine_, opts, &metrics);
+  constexpr int kCold = 16;  // spread over all 8 shards
+  for (int i = 0; i < kCold; ++i) {
+    ASSERT_TRUE(mgr.Create("cold" + std::to_string(i), FastSession()).ok());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Created *after* the cold sessions expired: stays live throughout.
+  ASSERT_TRUE(mgr.Create("hot", FastSession()).ok());
+  // Acquire-only traffic on the hot session must still sweep every shard
+  // within num_shards accesses (pre-fix: Acquire swept nothing, and only
+  // hot's own shard ever made TTL progress).
+  for (size_t i = 0; i < opts.num_shards + 1; ++i) {
+    ASSERT_TRUE(mgr.Acquire("hot").ok());
+  }
+  EXPECT_EQ(mgr.size(), 1u);
+  EXPECT_TRUE(mgr.Acquire("hot").ok());
+  EXPECT_TRUE(mgr.Acquire("cold0").status().IsNotFound());
+  EXPECT_EQ(metrics.Snapshot().evictions_ttl, static_cast<uint64_t>(kCold));
+}
+
+TEST_F(SessionManagerTest, SingleShardManagerStillSweepsOnAcquire) {
+  // Degenerate shard count: the round-robin cursor must not skip the only
+  // shard (an early-out for num_shards == 1 would reintroduce the bug).
+  SessionManagerOptions opts;
+  opts.ttl_seconds = 0.03;
+  opts.num_shards = 1;
+  SessionManager mgr(engine_, opts);
+  ASSERT_TRUE(mgr.Create("stale", FastSession()).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  ASSERT_TRUE(mgr.Create("hot", FastSession()).ok());
+  ASSERT_TRUE(mgr.Acquire("hot").ok());
+  EXPECT_EQ(mgr.size(), 1u);
+  EXPECT_TRUE(mgr.Acquire("stale").status().IsNotFound());
+}
+
 TEST_F(SessionManagerTest, TtlNeverEvictsLeasedSession) {
   SessionManagerOptions opts;
   opts.ttl_seconds = 0.01;

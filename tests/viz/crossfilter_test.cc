@@ -288,6 +288,36 @@ TEST(CrossfilterTest, CategoricalMissingRestoredOnClear) {
   EXPECT_EQ(cf.PassingCount(), 3u);
 }
 
+TEST(CrossfilterTest, DomainMaxLandsInLastBinProperty) {
+  // Property over random domains: a value exactly equal to the histogram's
+  // upper domain edge must be *clamped into the last bin*, never dropped —
+  // the total histogram mass always equals the record count.
+  vexus::Rng rng(41);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t n = 5 + rng.UniformU32(60);
+    size_t bins = 2 + rng.UniformU32(12);
+    double lo = rng.UniformDouble(-500, 500);
+    double width = rng.UniformDouble(0.01, 300);
+    double hi = lo + width;
+    std::vector<double> vals(n);
+    for (auto& v : vals) v = rng.UniformDouble(lo, hi);
+    vals[0] = hi;              // exactly on the edge
+    vals[n - 1] = hi;          // duplicated edge value
+    if (n > 2) vals[1] = lo;   // the lower edge is inclusive anyway
+    Crossfilter cf(n);
+    auto d = cf.AddNumericDimension(vals);
+    auto h = cf.AddHistogram(d, bins, lo, hi);
+    std::vector<size_t> counts = cf.Counts(h);
+    ASSERT_EQ(counts.size(), bins);
+    size_t total = 0;
+    for (size_t c : counts) total += c;
+    EXPECT_EQ(total, n) << "trial " << trial << ": value == domain max fell "
+                        << "out of the histogram";
+    EXPECT_GE(counts[bins - 1], 2u)
+        << "trial " << trial << ": edge values not clamped into last bin";
+  }
+}
+
 TEST(CrossfilterTest, PassingSetMatchesCount) {
   vexus::Rng rng(99);
   Crossfilter cf(200);

@@ -1,6 +1,13 @@
 #include "viz/stats_view.h"
 
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
+
+#include "common/random.h"
 
 namespace vexus::viz {
 namespace {
@@ -83,10 +90,15 @@ TEST(StatsViewTest, BrushCoordinatesOtherHistograms) {
 TEST(StatsViewTest, BrushRangeOnNumeric) {
   World w;
   StatsView stats(&w.ds, w.members);
+  // 5 is the observed maximum among members, so [2, 5] is closed at the
+  // top (the histogram-edge rule) and keeps user 5.
   ASSERT_TRUE(stats.BrushRange("score", 2, 5).ok());
-  EXPECT_EQ(stats.SelectedCount(), 3u);  // scores 2,3,4
+  EXPECT_EQ(stats.SelectedCount(), 4u);  // scores 2,3,4,5
   EXPECT_EQ(stats.SelectedUserIds(),
-            (std::vector<data::UserId>{2, 3, 4}));
+            (std::vector<data::UserId>{2, 3, 4, 5}));
+  // An interior upper edge stays right-open: [2, 4.5) excludes 5.
+  ASSERT_TRUE(stats.BrushRange("score", 2, 4.5).ok());
+  EXPECT_EQ(stats.SelectedUserIds(), (std::vector<data::UserId>{2, 3, 4}));
 }
 
 TEST(StatsViewTest, CombinedBrushes) {
@@ -132,6 +144,71 @@ TEST(StatsViewTest, EmptyMemberSet) {
   auto d = stats.DistributionOf("gender");
   ASSERT_TRUE(d.ok());
   for (size_t c : d->counts) EXPECT_EQ(c, 0u);
+}
+
+TEST(StatsViewTest, BrushFullDomainKeepsMaxValuedMembers) {
+  // Satellite regression: the UI hands BrushRange the histogram's full
+  // domain [min, max] when the explorer sweeps across the whole chart.
+  // Strict right-openness silently dropped every member sitting exactly on
+  // the max — the last bin showed them, the selected-users table lost them.
+  World w;
+  StatsView stats(&w.ds, w.members);  // member scores 0..5
+  ASSERT_TRUE(stats.BrushRange("score", 0, 5).ok());
+  EXPECT_EQ(stats.SelectedCount(), 6u);  // pre-fix: 5 (score=5 dropped)
+  EXPECT_EQ(stats.SelectedUserIds(),
+            (std::vector<data::UserId>{0, 1, 2, 3, 4, 5}));
+  // A brush whose top edge *is* the max but whose bottom excludes some.
+  ASSERT_TRUE(stats.BrushRange("score", 3, 5).ok());
+  EXPECT_EQ(stats.SelectedUserIds(), (std::vector<data::UserId>{3, 4, 5}));
+}
+
+TEST(StatsViewTest, InteriorBrushStaysRightOpen) {
+  // The closed-at-the-top rule applies only at the observed maximum; an
+  // interior upper edge keeps exact right-open semantics.
+  World w;
+  StatsView stats(&w.ds, w.members);
+  ASSERT_TRUE(stats.BrushRange("score", 1, 3).ok());
+  EXPECT_EQ(stats.SelectedUserIds(), (std::vector<data::UserId>{1, 2}));
+}
+
+TEST(StatsViewTest, FullDomainBrushPropertyOverRandomDomains) {
+  // Property, over random numeric columns: (a) the histogram's counts sum
+  // to the member count (no value, max included, falls off the last bin),
+  // and (b) brushing [observed min, observed max] selects every member.
+  vexus::Rng rng(2026);
+  for (int trial = 0; trial < 20; ++trial) {
+    data::Dataset ds;
+    data::AttributeId score = ds.schema().AddNumeric("score");
+    size_t n = 3 + rng.UniformU32(40);
+    double lo_domain = rng.UniformDouble(-1000, 1000);
+    double width = rng.UniformDouble(0.001, 500);
+    std::vector<double> vals(n);
+    for (size_t i = 0; i < n; ++i) {
+      vals[i] = lo_domain + rng.UniformDouble(0, width);
+      data::UserId u = ds.users().AddUser("u" + std::to_string(i));
+      ds.users().SetNumeric(u, score, vals[i]);
+    }
+    // Force at least one user to sit exactly on the maximum (the bug's
+    // trigger); duplicated maxima must all survive too.
+    double vmax = *std::max_element(vals.begin(), vals.end());
+    double vmin = *std::min_element(vals.begin(), vals.end());
+    Bitset members(n);
+    for (size_t i = 0; i < n; ++i) members.Set(i);
+
+    StatsView stats(&ds, members);
+    auto d = stats.DistributionOf("score");
+    ASSERT_TRUE(d.ok());
+    size_t total = std::accumulate(d->counts.begin(), d->counts.end(),
+                                   static_cast<size_t>(0));
+    EXPECT_EQ(total, n) << "trial " << trial << " lost histogram mass";
+
+    ASSERT_TRUE(stats.BrushRange("score", vmin, vmax).ok());
+    EXPECT_EQ(stats.SelectedCount(), n)
+        << "trial " << trial << " [" << vmin << "," << vmax
+        << "] dropped max-valued members";
+    ASSERT_TRUE(stats.ClearBrush("score").ok());
+    EXPECT_EQ(stats.SelectedCount(), n);
+  }
 }
 
 TEST(StatsViewTest, NumericLabelsDescribeBins) {
