@@ -173,6 +173,18 @@ bool Bitset::operator==(const Bitset& other) const {
   return size_ == other.size_ && words_ == other.words_;
 }
 
+bool Bitset::AdoptWords(size_t size, std::vector<uint64_t> words) {
+  if (words.size() != WordsFor(size)) return false;
+  size_t tail = size % kWordBits;
+  if (tail != 0 && !words.empty() &&
+      (words.back() & ~((uint64_t{1} << tail) - 1)) != 0) {
+    return false;  // a bit beyond the universe is set — corrupt input
+  }
+  size_ = size;
+  words_ = std::move(words);
+  return true;
+}
+
 std::vector<uint32_t> Bitset::ToVector() const {
   std::vector<uint32_t> out;
   out.reserve(Count());

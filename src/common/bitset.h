@@ -91,6 +91,19 @@ class Bitset {
 
   bool operator==(const Bitset& other) const;
 
+  /// Read-only view of the backing 64-bit words (bit i of the set lives at
+  /// words()[i / 64] >> (i % 64)). Tail bits beyond size() are zero by class
+  /// invariant — snapshot serialization (core/snapshot.cc) writes these
+  /// words verbatim as the dense "raw bitset" group encoding.
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  /// Adopts `words` as the backing store of a `size`-bit universe — the
+  /// deserialization inverse of words(). Returns false (leaving the set
+  /// unchanged) when the word count does not match WordsFor(size) or a tail
+  /// bit beyond `size` is set; snapshot load turns that into
+  /// Status::Corruption rather than silently masking flipped bits.
+  bool AdoptWords(size_t size, std::vector<uint64_t> words);
+
   /// Indices of set bits in increasing order.
   std::vector<uint32_t> ToVector() const;
 

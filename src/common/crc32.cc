@@ -1,0 +1,112 @@
+#include "common/crc32.h"
+
+#include <array>
+#include <cstring>
+
+namespace vexus {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli polynomial
+
+/// 8 slicing tables: table[0] is the classic byte-at-a-time table;
+/// table[k][b] extends table[k-1] by one zero byte, letting the hot loop
+/// fold 8 input bytes per iteration with 8 independent lookups.
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? (c >> 1) ^ kPoly : c >> 1;
+      }
+      t[0][i] = c;
+    }
+    for (size_t k = 1; k < 8; ++k) {
+      for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = t[k - 1][i];
+        t[k][i] = t[0][c & 0xffu] ^ (c >> 8);
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables kTables;
+  return kTables;
+}
+
+uint32_t UpdateSoftware(uint32_t crc, const unsigned char* p, size_t len) {
+  const auto& t = tables().t;
+  uint32_t c = ~crc;
+
+  while (len >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+#if !defined(__BYTE_ORDER__) || __BYTE_ORDER__ != __ORDER_LITTLE_ENDIAN__
+    lo = static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+    hi = static_cast<uint32_t>(p[4]) | static_cast<uint32_t>(p[5]) << 8 |
+         static_cast<uint32_t>(p[6]) << 16 | static_cast<uint32_t>(p[7]) << 24;
+#endif
+    lo ^= c;
+    c = t[7][lo & 0xffu] ^ t[6][(lo >> 8) & 0xffu] ^ t[5][(lo >> 16) & 0xffu] ^
+        t[4][(lo >> 24) & 0xffu] ^ t[3][hi & 0xffu] ^ t[2][(hi >> 8) & 0xffu] ^
+        t[1][(hi >> 16) & 0xffu] ^ t[0][(hi >> 24) & 0xffu];
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) {
+    c = t[0][(c ^ *p++) & 0xffu] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define VEXUS_CRC32_HW 1
+
+/// The SSE4.2 crc32 instruction computes exactly this polynomial; one
+/// 8-byte fold per cycle (three in flight) ≈ 20 GB/s. Compiled with a
+/// target attribute so the translation unit itself needs no -msse4.2;
+/// callers reach it only through the __builtin_cpu_supports dispatch below.
+__attribute__((target("sse4.2"))) uint32_t UpdateHardware(
+    uint32_t crc, const unsigned char* p, size_t len) {
+  uint64_t c = ~crc;  // zero-extended; the instruction keeps the high bits 0
+  while (len >= 8) {
+    uint64_t w;
+    std::memcpy(&w, p, 8);
+    c = __builtin_ia32_crc32di(c, w);
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) {
+    c = __builtin_ia32_crc32qi(static_cast<uint32_t>(c), *p++);
+  }
+  return ~static_cast<uint32_t>(c);
+}
+#endif
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+#ifdef VEXUS_CRC32_HW
+  static const bool hw = __builtin_cpu_supports("sse4.2");
+  if (hw) return UpdateHardware(crc, p, len);
+#endif
+  return UpdateSoftware(crc, p, len);
+}
+
+namespace internal {
+
+uint32_t Crc32UpdateSoftwareForTesting(uint32_t crc, const void* data,
+                                       size_t len) {
+  return UpdateSoftware(crc, static_cast<const unsigned char*>(data), len);
+}
+
+}  // namespace internal
+
+}  // namespace vexus

@@ -1,0 +1,48 @@
+// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78) — the checksum
+// guarding snapshot sections (core/snapshot.h).
+//
+// Why CRC32C and not a cryptographic hash: the threat model is bit rot,
+// truncated writes, and torn pages — not an adversary. CRC32C detects all
+// single-bit and double-bit errors, any burst ≤ 32 bits, and random
+// corruption with probability 1 − 2⁻³². The Castagnoli polynomial (rather
+// than the zlib/IEEE one) buys two things: better Hamming distance at the
+// message lengths snapshots use, and a hardware instruction — on x86-64
+// with SSE4.2 the update loop runs at ~20 GB/s via the crc32 instruction
+// (runtime-dispatched; the portable slicing-by-8 path below is the
+// fallback and the reference for testing). Snapshot load verifies each
+// section's CRC before parsing a single field, so a flipped bit surfaces
+// as Status::Corruption instead of an out-of-range allocation or a crash.
+//
+// The value convention matches the common CRC32C definition (iSCSI,
+// ext4): Crc32("123456789") == 0xE3069283, and Crc32Update(Crc32(a), b) ==
+// Crc32(a ++ b), so callers can checksum streams incrementally without
+// buffering.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vexus {
+
+/// Continues a CRC-32C over `len` bytes. `crc` is the value returned by a
+/// previous call (or 0 to start); chaining over consecutive buffers yields
+/// the same value as one call over the concatenation.
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t len);
+
+/// One-shot CRC-32C of a buffer.
+inline uint32_t Crc32(const void* data, size_t len) {
+  return Crc32Update(0, data, len);
+}
+
+namespace internal {
+
+/// The table-driven software path, bypassing hardware dispatch. Exposed so
+/// tests can assert the accelerated and portable implementations agree on
+/// arbitrary buffers — a silent divergence would make snapshots written on
+/// one machine unreadable on another.
+uint32_t Crc32UpdateSoftwareForTesting(uint32_t crc, const void* data,
+                                       size_t len);
+
+}  // namespace internal
+
+}  // namespace vexus

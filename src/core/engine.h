@@ -14,6 +14,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "common/trace.h"
 #include "core/session.h"
 #include "data/dataset.h"
 #include "index/group_graph.h"
@@ -26,11 +27,29 @@ class VexusEngine {
  public:
   /// Runs the full offline pipeline: group discovery over the dataset, then
   /// inverted-index construction, then the overlap graph. Takes ownership of
-  /// the dataset (sessions reference it).
+  /// the dataset (sessions reference it). `span`, when non-null, gets
+  /// "discover" / "index" / "graph" children (counts: groups, postings).
   static Result<VexusEngine> Preprocess(
       data::Dataset dataset,
       const mining::DiscoveryOptions& discovery_options = {},
-      const index::InvertedIndex::Options& index_options = {});
+      const index::InvertedIndex::Options& index_options = {},
+      const TraceSpan* span = nullptr);
+
+  /// Restores an engine from a snapshot written by core::SaveSnapshot,
+  /// skipping discovery and index construction entirely — the serving
+  /// layer's cold-start path. The dataset must be the one the snapshot was
+  /// preprocessed from: the user universe size is checked, and every stored
+  /// description is validated against the dataset schema (FailedPrecondition
+  /// on mismatch). `*dataset` is consumed only on success — on any error it
+  /// is left intact, so a cold service can retry with a different snapshot
+  /// path (Dataset is move-only; a by-value parameter would destroy it on
+  /// the error path). The descriptor catalog is rebuilt from the dataset —
+  /// it is derived data, linear in |U|, and not worth persisting. `span`,
+  /// when non-null, gets a "load" child from LoadSnapshot plus a "graph"
+  /// child for the overlap-graph rebuild.
+  static Result<VexusEngine> FromSnapshot(data::Dataset* dataset,
+                                          const std::string& path,
+                                          const TraceSpan* span = nullptr);
 
   VexusEngine(VexusEngine&&) = default;
   VexusEngine& operator=(VexusEngine&&) = default;

@@ -1,9 +1,16 @@
 #include "core/snapshot.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 
+#include "common/crc32.h"
 #include "common/logging.h"
 
 namespace vexus::core {
@@ -11,183 +18,664 @@ namespace vexus::core {
 namespace {
 
 constexpr char kMagic[4] = {'V', 'X', 'S', 'N'};
-constexpr uint32_t kVersion = 1;
+constexpr char kTrailerMagic[4] = {'V', 'X', 'T', 'R'};
+constexpr uint32_t kVersionV1 = 1;
+constexpr uint32_t kVersionV2 = 2;
+constexpr size_t kHeaderSize = 4 + 4 + 8;           // magic, version, num_users
+constexpr size_t kTrailerSize = 4 * 8 + 3 * 4 + 4;  // offsets, crcs, magic
 
-// ---- little-endian primitive I/O ----
+// Group member-block encodings (v2).
+constexpr uint8_t kEncodingSparse = 0;  // uvarint deltas, strictly ascending
+constexpr uint8_t kEncodingRaw = 1;     // ceil(num_users/64) × u64 words
 
-void PutU32(std::ostream& out, uint32_t v) {
-  char buf[4];
-  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
-  out.write(buf, 4);
-}
-
-void PutU64(std::ostream& out, uint64_t v) {
-  char buf[8];
-  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
-  out.write(buf, 8);
-}
-
-void PutF32(std::ostream& out, float v) {
-  uint32_t bits;
-  std::memcpy(&bits, &v, 4);
-  PutU32(out, bits);
-}
-
-bool GetU32(std::istream& in, uint32_t* v) {
-  unsigned char buf[4];
-  if (!in.read(reinterpret_cast<char*>(buf), 4)) return false;
-  *v = 0;
-  for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(buf[i]) << (8 * i);
-  return true;
-}
-
-bool GetU64(std::istream& in, uint64_t* v) {
-  unsigned char buf[8];
-  if (!in.read(reinterpret_cast<char*>(buf), 8)) return false;
-  *v = 0;
-  for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(buf[i]) << (8 * i);
-  return true;
-}
-
-bool GetF32(std::istream& in, float* v) {
-  uint32_t bits;
-  if (!GetU32(in, &bits)) return false;
-  std::memcpy(v, &bits, 4);
-  return true;
-}
+std::atomic<uint64_t> g_fsync_count{0};
 
 Status Truncated() { return Status::Corruption("snapshot truncated"); }
 
-}  // namespace
+// ---- little-endian buffer writers ----
 
-Status SaveSnapshot(const mining::GroupStore& groups,
-                    const index::InvertedIndex& index,
-                    const std::string& path) {
-  if (index.num_groups() != groups.size()) {
-    return Status::InvalidArgument(
-        "index and group store cover different group sets");
+void AppendU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, 4);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, 8);
+}
+
+void AppendF32(std::string* out, float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  AppendU32(out, bits);
+}
+
+void AppendVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
   }
+  out->push_back(static_cast<char>(v));
+}
+
+// ---- bounds-checked buffer reader ----
+
+class Cursor {
+ public:
+  Cursor(const char* data, size_t len)
+      : p_(reinterpret_cast<const unsigned char*>(data)), end_(p_ + len) {}
+
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+
+  bool ReadU8(uint8_t* v) {
+    if (remaining() < 1) return false;
+    *v = *p_++;
+    return true;
+  }
+
+  bool ReadU32(uint32_t* v) {
+    if (remaining() < 4) return false;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    std::memcpy(v, p_, 4);
+#else
+    *v = 0;
+    for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(p_[i]) << (8 * i);
+#endif
+    p_ += 4;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* v) {
+    if (remaining() < 8) return false;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    std::memcpy(v, p_, 8);
+#else
+    *v = 0;
+    for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(p_[i]) << (8 * i);
+#endif
+    p_ += 8;
+    return true;
+  }
+
+  bool ReadF32(float* v) {
+    uint32_t bits;
+    if (!ReadU32(&bits)) return false;
+    std::memcpy(v, &bits, 4);
+    return true;
+  }
+
+  /// LEB128; rejects encodings longer than 10 bytes (64 payload bits).
+  bool ReadVarint(uint64_t* v) {
+    *v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (remaining() < 1) return false;
+      uint8_t byte = *p_++;
+      *v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return true;
+    }
+    return false;
+  }
+
+  bool ReadWords(size_t n, std::vector<uint64_t>* out) {
+    if (remaining() < n * 8) return false;
+    out->resize(n);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    // The raw member-block fast path: this is a single memcpy at memory
+    // bandwidth, which is the whole point of encoding dense groups as LE
+    // bitset words instead of one int per member.
+    std::memcpy(out->data(), p_, n * 8);
+#else
+    for (size_t w = 0; w < n; ++w) {
+      uint64_t v = 0;
+      for (int i = 0; i < 8; ++i) {
+        v |= static_cast<uint64_t>(p_[w * 8 + i]) << (8 * i);
+      }
+      (*out)[w] = v;
+    }
+#endif
+    p_ += n * 8;
+    return true;
+  }
+
+  /// Raw view for hand-rolled hot loops (sparse member decode). The caller
+  /// must hand the advanced pointer back via AdvanceTo; `pos() <= q <= end`.
+  const unsigned char* pos() const { return p_; }
+  const unsigned char* end() const { return end_; }
+  void AdvanceTo(const unsigned char* q) {
+    VEXUS_CHECK(q >= p_ && q <= end_);
+    p_ = q;
+  }
+
+ private:
+  const unsigned char* p_;
+  const unsigned char* end_;
+};
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+void EncodeGroupsV1(const mining::GroupStore& groups, std::string* out) {
+  AppendU64(out, groups.size());
+  for (mining::GroupId g = 0; g < groups.size(); ++g) {
+    const mining::UserGroup& grp = groups.group(g);
+    AppendU32(out, static_cast<uint32_t>(grp.description().size()));
+    for (const mining::Descriptor& d : grp.description()) {
+      AppendU32(out, d.attribute);
+      AppendU32(out, d.value);
+    }
+    AppendU64(out, grp.size());
+    grp.members().ForEach([out](uint32_t u) { AppendU32(out, u); });
+  }
+}
+
+void EncodeGroupsV2(const mining::GroupStore& groups, std::string* out) {
+  AppendU64(out, groups.size());
+  std::string sparse;  // reused scratch across groups
+  for (mining::GroupId g = 0; g < groups.size(); ++g) {
+    const mining::UserGroup& grp = groups.group(g);
+    AppendU32(out, static_cast<uint32_t>(grp.description().size()));
+    for (const mining::Descriptor& d : grp.description()) {
+      AppendU32(out, d.attribute);
+      AppendU32(out, d.value);
+    }
+    AppendU64(out, grp.size());
+
+    const Bitset& members = grp.members();
+    sparse.clear();
+    uint32_t prev = 0;
+    bool first = true;
+    members.ForEach([&](uint32_t u) {
+      AppendVarint(&sparse, first ? u : u - prev);
+      prev = u;
+      first = false;
+    });
+    size_t raw_size = members.words().size() * 8;
+    if (sparse.size() <= raw_size) {
+      AppendU8(out, kEncodingSparse);
+      out->append(sparse);
+    } else {
+      AppendU8(out, kEncodingRaw);
+      for (uint64_t w : members.words()) AppendU64(out, w);
+    }
+  }
+}
+
+void EncodePostings(const index::InvertedIndex& index, std::string* out) {
+  AppendU64(out, index.num_groups());
+  for (mining::GroupId g = 0; g < index.num_groups(); ++g) {
+    const auto& list = index.Neighbors(g);
+    AppendU32(out, static_cast<uint32_t>(list.size()));
+    for (const index::Neighbor& nb : list) {
+      AppendU32(out, nb.group);
+      AppendF32(out, nb.similarity);
+    }
+  }
+}
+
+std::string EncodeSnapshot(const mining::GroupStore& groups,
+                           const index::InvertedIndex& index,
+                           uint32_t version) {
+  std::string payload;
+  payload.append(kMagic, 4);
+  AppendU32(&payload, version);
+  AppendU64(&payload, groups.num_users());
+
+  if (version == kVersionV1) {
+    EncodeGroupsV1(groups, &payload);
+    EncodePostings(index, &payload);
+    return payload;
+  }
+
+  std::string groups_sec;
+  EncodeGroupsV2(groups, &groups_sec);
+  std::string postings_sec;
+  EncodePostings(index, &postings_sec);
+
+  uint64_t groups_offset = payload.size();
+  payload.append(groups_sec);
+  uint64_t postings_offset = payload.size();
+  payload.append(postings_sec);
+
+  std::string trailer;
+  AppendU64(&trailer, groups_offset);
+  AppendU64(&trailer, groups_sec.size());
+  AppendU64(&trailer, postings_offset);
+  AppendU64(&trailer, postings_sec.size());
+  // The groups CRC starts at byte 0, not at the section: the header fields
+  // (magic, version, num_users) would otherwise be the one unprotected spot
+  // — a bit flip in num_users could parse into a store with the wrong
+  // universe size and only fail much later, far from the corruption.
+  AppendU32(&trailer,
+            Crc32(payload.data(), groups_offset + groups_sec.size()));
+  AppendU32(&trailer, Crc32(postings_sec.data(), postings_sec.size()));
+  AppendU32(&trailer, Crc32(trailer.data(), trailer.size()));
+  trailer.append(kTrailerMagic, 4);
+  VEXUS_DCHECK(trailer.size() == kTrailerSize);
+  payload.append(trailer);
+  return payload;
+}
+
+// ---------------------------------------------------------------------------
+// Durable write: tmp + fsync + rename + directory fsync
+// ---------------------------------------------------------------------------
+
+Status SyncFd(int fd, const std::string& what) {
+  if (::fsync(fd) != 0) {
+    // EINVAL: the filesystem does not support fsync on this object (some
+    // network/fuse mounts for directories). Nothing further we can do.
+    if (errno == EINVAL) return Status::OK();
+    return Status::IOError("fsync failed on " + what);
+  }
+  g_fsync_count.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status WriteFileAtomically(const std::string& path, const std::string& payload,
+                           bool sync) {
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IOError("cannot open '" + tmp + "' for writing");
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Status::IOError("cannot open '" + tmp + "' for writing");
 
-    out.write(kMagic, 4);
-    PutU32(out, kVersion);
-    PutU64(out, groups.num_users());
-
-    PutU64(out, groups.size());
-    for (mining::GroupId g = 0; g < groups.size(); ++g) {
-      const mining::UserGroup& grp = groups.group(g);
-      PutU32(out, static_cast<uint32_t>(grp.description().size()));
-      for (const mining::Descriptor& d : grp.description()) {
-        PutU32(out, d.attribute);
-        PutU32(out, d.value);
-      }
-      PutU64(out, grp.size());
-      grp.members().ForEach([&out](uint32_t u) { PutU32(out, u); });
+  size_t off = 0;
+  while (off < payload.size()) {
+    ssize_t n = ::write(fd, payload.data() + off, payload.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::remove(tmp.c_str());
+      return Status::IOError("write failed on '" + tmp + "'");
     }
-
-    PutU64(out, index.num_groups());
-    for (mining::GroupId g = 0; g < index.num_groups(); ++g) {
-      const auto& list = index.Neighbors(g);
-      PutU32(out, static_cast<uint32_t>(list.size()));
-      for (const index::Neighbor& nb : list) {
-        PutU32(out, nb.group);
-        PutF32(out, nb.similarity);
-      }
-    }
-    if (!out) return Status::IOError("write failed on '" + tmp + "'");
+    off += static_cast<size_t>(n);
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
+
+  // Durability step 1: the tmp file's *contents* must be on disk before the
+  // rename makes it visible — otherwise a crash after the rename can leave a
+  // truncated/empty file at `path` that passed std::rename just fine.
+  if (sync) {
+    Status s = SyncFd(fd, "'" + tmp + "'");
+    if (!s.ok()) {
+      ::close(fd);
+      ::remove(tmp.c_str());
+      return s;
+    }
+  }
+  if (::close(fd) != 0) {
+    ::remove(tmp.c_str());
+    return Status::IOError("close failed on '" + tmp + "'");
+  }
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::remove(tmp.c_str());
     return Status::IOError("cannot rename snapshot into '" + path + "'");
+  }
+
+  // Durability step 2: the rename itself is a directory mutation; fsync the
+  // parent directory so the new directory entry survives a crash.
+  if (sync) {
+    size_t slash = path.find_last_of('/');
+    std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, std::max<size_t>(slash, 1));
+    int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd < 0) {
+      return Status::IOError("cannot open directory '" + dir +
+                             "' to sync the rename");
+    }
+    Status s = SyncFd(dfd, "directory '" + dir + "'");
+    ::close(dfd);
+    VEXUS_RETURN_NOT_OK(s);
   }
   return Status::OK();
 }
 
-Result<Snapshot> LoadSnapshot(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open '" + path + "'");
-
-  char magic[4];
-  if (!in.read(magic, 4)) return Truncated();
-  if (std::memcmp(magic, kMagic, 4) != 0) {
-    return Status::Corruption("bad snapshot magic");
+Result<std::string> ReadFileFully(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Status::IOError("cannot open '" + path + "'");
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat '" + path + "'");
   }
-  uint32_t version;
-  if (!GetU32(in, &version)) return Truncated();
-  if (version != kVersion) {
-    return Status::NotSupported("snapshot version " + std::to_string(version) +
-                                " (expected " + std::to_string(kVersion) +
-                                ")");
+  std::string buf;
+  buf.resize(static_cast<size_t>(st.st_size));
+  size_t off = 0;
+  while (off < buf.size()) {
+    ssize_t n = ::read(fd, buf.data() + off, buf.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IOError("read failed on '" + path + "'");
+    }
+    if (n == 0) break;  // file shrank under us; parse will flag truncation
+    off += static_cast<size_t>(n);
   }
-  uint64_t num_users;
-  if (!GetU64(in, &num_users)) return Truncated();
+  ::close(fd);
+  buf.resize(off);
+  return buf;
+}
 
-  uint64_t num_groups;
-  if (!GetU64(in, &num_groups)) return Truncated();
-  mining::GroupStore store(num_users);
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Shared tail of both versions: descriptor list + member count header.
+Status ParseGroupHeader(Cursor* cur, uint64_t num_users,
+                        std::vector<mining::Descriptor>* desc,
+                        uint64_t* member_count) {
+  uint32_t desc_len;
+  if (!cur->ReadU32(&desc_len)) return Truncated();
+  if (static_cast<uint64_t>(desc_len) * 8 > cur->remaining()) {
+    return Truncated();
+  }
+  desc->clear();
+  desc->reserve(desc_len);
+  for (uint32_t i = 0; i < desc_len; ++i) {
+    mining::Descriptor d;
+    if (!cur->ReadU32(&d.attribute) || !cur->ReadU32(&d.value)) {
+      return Truncated();
+    }
+    desc->push_back(d);
+  }
+  if (!cur->ReadU64(member_count)) return Truncated();
+  if (*member_count > num_users) {
+    return Status::Corruption("group claims more members than users");
+  }
+  return Status::OK();
+}
+
+Status AddParsedGroup(mining::GroupStore* store, uint64_t expected_id,
+                      std::vector<mining::Descriptor> desc, Bitset members) {
+  mining::GroupId assigned =
+      store->Add(mining::UserGroup(std::move(desc), std::move(members)));
+  if (assigned != expected_id) {
+    // Stores never hold duplicate (description, extent) pairs, so a dedup
+    // hit here means the file repeats a group — ids would shift and the
+    // posting lists would dangle.
+    return Status::Corruption("duplicate group in snapshot");
+  }
+  return Status::OK();
+}
+
+Status ParseGroupsV1(Cursor* cur, uint64_t num_users, uint64_t num_groups,
+                     mining::GroupStore* store) {
+  std::vector<mining::Descriptor> desc;
   for (uint64_t g = 0; g < num_groups; ++g) {
-    uint32_t desc_len;
-    if (!GetU32(in, &desc_len)) return Truncated();
-    std::vector<mining::Descriptor> desc;
-    desc.reserve(desc_len);
-    for (uint32_t i = 0; i < desc_len; ++i) {
-      mining::Descriptor d;
-      if (!GetU32(in, &d.attribute) || !GetU32(in, &d.value)) {
-        return Truncated();
-      }
-      desc.push_back(d);
-    }
     uint64_t member_count;
-    if (!GetU64(in, &member_count)) return Truncated();
-    if (member_count > num_users) {
-      return Status::Corruption("group claims more members than users");
-    }
+    VEXUS_RETURN_NOT_OK(ParseGroupHeader(cur, num_users, &desc, &member_count));
     Bitset members(num_users);
     for (uint64_t i = 0; i < member_count; ++i) {
       uint32_t u;
-      if (!GetU32(in, &u)) return Truncated();
-      if (u >= num_users) {
-        return Status::Corruption("member id out of range");
+      if (!cur->ReadU32(&u)) return Truncated();
+      if (u >= num_users) return Status::Corruption("member id out of range");
+      if (members.Test(u)) {
+        // Pre-fix this silently shrank the group: Set(u) twice stores one
+        // bit, so the loaded extent disagreed with the written one.
+        return Status::Corruption("duplicate member id in group");
       }
       members.Set(u);
     }
-    mining::GroupId assigned =
-        store.Add(mining::UserGroup(std::move(desc), std::move(members)));
-    if (assigned != g) {
-      // Stores never hold duplicate (description, extent) pairs, so a
-      // dedup hit here means the file repeats a group — ids would shift
-      // and the posting lists would dangle.
-      return Status::Corruption("duplicate group in snapshot");
-    }
+    VEXUS_RETURN_NOT_OK(
+        AddParsedGroup(store, g, std::move(desc), std::move(members)));
   }
+  return Status::OK();
+}
 
+Status ParseGroupsV2(Cursor* cur, uint64_t num_users, uint64_t num_groups,
+                     mining::GroupStore* store) {
+  const size_t words_per_group = (num_users + 63) / 64;
+  std::vector<mining::Descriptor> desc;
+  std::vector<uint64_t> words;
+  for (uint64_t g = 0; g < num_groups; ++g) {
+    uint64_t member_count;
+    VEXUS_RETURN_NOT_OK(ParseGroupHeader(cur, num_users, &desc, &member_count));
+    uint8_t encoding;
+    if (!cur->ReadU8(&encoding)) return Truncated();
+
+    Bitset members;  // filled via AdoptWords below — no redundant zeroing
+    if (encoding == kEncodingSparse) {
+      // Hand-rolled LEB128 delta decode: this loop runs once per member
+      // across the whole snapshot, so it works on raw pointers (one bounds
+      // check per byte consumed, no per-call function overhead) and writes
+      // bits straight into the word array. Strictly ascending ids mean every
+      // Set hits a fresh bit, so popcount == member_count by construction —
+      // no separate verification pass is needed.
+      const unsigned char* p = cur->pos();
+      const unsigned char* const end = cur->end();
+      words.assign(words_per_group, 0);
+      uint64_t id = 0;
+      // ReadVarint with the multi-byte continuation peeled off: deltas
+      // between neighbouring members of a non-degenerate group are almost
+      // always < 128, so the common case is one load, one test, one OR.
+      const auto read_delta = [&p, end](uint64_t* delta) -> bool {
+        if (p == end) return false;
+        uint64_t v = *p++;
+        if ((v & 0x80) != 0) {
+          v &= 0x7f;
+          int shift = 7;
+          for (;;) {
+            if (p == end || shift >= 64) return false;
+            const uint8_t byte = *p++;
+            v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+            if ((byte & 0x80) == 0) break;
+            shift += 7;
+          }
+        }
+        *delta = v;
+        return true;
+      };
+      // First member peeled: it is an absolute id (delta 0 is legal there),
+      // so the loop body only handles the strictly-positive-delta case.
+      if (member_count > 0) {
+        if (!read_delta(&id)) return Truncated();
+        if (id >= num_users) {
+          return Status::Corruption("member id out of range");
+        }
+        words[id >> 6] |= uint64_t{1} << (id & 63);
+      }
+      for (uint64_t i = 1; i < member_count; ++i) {
+        uint64_t delta;
+        if (!read_delta(&delta)) return Truncated();
+        if (delta == 0) {
+          return Status::Corruption("duplicate member id in group");
+        }
+        id += delta;
+        if (id >= num_users) {
+          return Status::Corruption("member id out of range");
+        }
+        words[id >> 6] |= uint64_t{1} << (id & 63);
+      }
+      cur->AdvanceTo(p);
+      if (!members.AdoptWords(num_users, std::move(words))) {
+        return Status::Corruption("member id out of range");
+      }
+      words = {};
+    } else if (encoding == kEncodingRaw) {
+      if (!cur->ReadWords(words_per_group, &words)) return Truncated();
+      if (!members.AdoptWords(num_users, std::move(words))) {
+        return Status::Corruption("raw member block has bits beyond universe");
+      }
+      words = {};
+      if (members.Count() != member_count) {
+        return Status::Corruption(
+            "raw member block popcount disagrees with member_count");
+      }
+    } else {
+      return Status::Corruption("unknown member-block encoding");
+    }
+    VEXUS_RETURN_NOT_OK(
+        AddParsedGroup(store, g, std::move(desc), std::move(members)));
+  }
+  return Status::OK();
+}
+
+Status ParsePostings(Cursor* cur, uint64_t num_groups,
+                     std::vector<std::vector<index::Neighbor>>* lists) {
   uint64_t num_lists;
-  if (!GetU64(in, &num_lists)) return Truncated();
+  if (!cur->ReadU64(&num_lists)) return Truncated();
   if (num_lists != num_groups) {
     return Status::Corruption("posting-list count mismatch");
   }
-  std::vector<std::vector<index::Neighbor>> lists(num_lists);
+  lists->resize(num_lists);
   for (uint64_t g = 0; g < num_lists; ++g) {
     uint32_t len;
-    if (!GetU32(in, &len)) return Truncated();
-    lists[g].reserve(len);
+    if (!cur->ReadU32(&len)) return Truncated();
+    if (static_cast<uint64_t>(len) * 8 > cur->remaining()) return Truncated();
+    (*lists)[g].reserve(len);
     for (uint32_t i = 0; i < len; ++i) {
       index::Neighbor nb;
-      if (!GetU32(in, &nb.group) || !GetF32(in, &nb.similarity)) {
+      if (!cur->ReadU32(&nb.group) || !cur->ReadF32(&nb.similarity)) {
         return Truncated();
       }
       if (nb.group >= num_groups) {
         return Status::Corruption("posting references unknown group");
       }
-      lists[g].push_back(nb);
+      (*lists)[g].push_back(nb);
     }
   }
+  return Status::OK();
+}
 
+Result<Snapshot> ParseV1(const std::string& buf, uint64_t num_users) {
+  Cursor cur(buf.data() + kHeaderSize, buf.size() - kHeaderSize);
+  uint64_t num_groups;
+  if (!cur.ReadU64(&num_groups)) return Truncated();
+  // Bomb guard: each group costs ≥ 12 bytes, so a corrupt count cannot force
+  // a giant allocation before the per-group reads start failing.
+  if (num_groups > buf.size() / 12) {
+    return Status::Corruption("group count exceeds file size");
+  }
+  mining::GroupStore store(num_users);
+  VEXUS_RETURN_NOT_OK(ParseGroupsV1(&cur, num_users, num_groups, &store));
+
+  std::vector<std::vector<index::Neighbor>> lists;
+  VEXUS_RETURN_NOT_OK(ParsePostings(&cur, num_groups, &lists));
+  if (cur.remaining() != 0) {
+    // Pre-fix the stream loader stopped reading here and accepted the file;
+    // bytes after the last posting list mean the writer and reader disagree
+    // about the format, so nothing upstream can be trusted.
+    return Status::Corruption("trailing garbage after posting lists");
+  }
   return Snapshot{std::move(store),
                   index::InvertedIndex::FromPostings(std::move(lists))};
 }
+
+Result<Snapshot> ParseV2(const std::string& buf, uint64_t num_users) {
+  if (buf.size() < kHeaderSize + kTrailerSize) return Truncated();
+
+  // Trailer first: offsets + checksums let us validate sections before
+  // trusting any length field inside them.
+  Cursor tcur(buf.data() + buf.size() - kTrailerSize, kTrailerSize);
+  uint64_t groups_offset, groups_len, postings_offset, postings_len;
+  uint32_t groups_crc, postings_crc, trailer_crc;
+  (void)tcur.ReadU64(&groups_offset);
+  (void)tcur.ReadU64(&groups_len);
+  (void)tcur.ReadU64(&postings_offset);
+  (void)tcur.ReadU64(&postings_len);
+  (void)tcur.ReadU32(&groups_crc);
+  (void)tcur.ReadU32(&postings_crc);
+  (void)tcur.ReadU32(&trailer_crc);
+  if (std::memcmp(buf.data() + buf.size() - 4, kTrailerMagic, 4) != 0) {
+    return Status::Corruption("bad snapshot trailer magic");
+  }
+  if (Crc32(buf.data() + buf.size() - kTrailerSize, kTrailerSize - 8) !=
+      trailer_crc) {
+    return Status::Corruption("trailer checksum mismatch");
+  }
+  // The header, the two sections, and the trailer must tile the file
+  // exactly — trailing garbage or overlapping sections fail here.
+  if (groups_offset != kHeaderSize || groups_len < 8 || postings_len < 8 ||
+      postings_offset != groups_offset + groups_len ||
+      postings_offset + postings_len + kTrailerSize != buf.size()) {
+    return Status::Corruption("snapshot sections do not tile the file");
+  }
+  // The groups CRC covers the header too (see EncodeSnapshot): everything
+  // from byte 0 through the end of the groups section.
+  if (Crc32(buf.data(), groups_offset + groups_len) != groups_crc) {
+    return Status::Corruption("groups section checksum mismatch");
+  }
+  if (Crc32(buf.data() + postings_offset, postings_len) != postings_crc) {
+    return Status::Corruption("postings section checksum mismatch");
+  }
+
+  Cursor gcur(buf.data() + groups_offset, groups_len);
+  uint64_t num_groups;
+  if (!gcur.ReadU64(&num_groups)) return Truncated();
+  if (num_groups > groups_len / 13) {  // ≥ 13 bytes per group in v2
+    return Status::Corruption("group count exceeds section size");
+  }
+  mining::GroupStore store(num_users);
+  VEXUS_RETURN_NOT_OK(ParseGroupsV2(&gcur, num_users, num_groups, &store));
+  if (gcur.remaining() != 0) {
+    return Status::Corruption("trailing bytes in groups section");
+  }
+
+  Cursor pcur(buf.data() + postings_offset, postings_len);
+  std::vector<std::vector<index::Neighbor>> lists;
+  VEXUS_RETURN_NOT_OK(ParsePostings(&pcur, num_groups, &lists));
+  if (pcur.remaining() != 0) {
+    return Status::Corruption("trailing bytes in postings section");
+  }
+  return Snapshot{std::move(store),
+                  index::InvertedIndex::FromPostings(std::move(lists))};
+}
+
+}  // namespace
+
+Status SaveSnapshot(const mining::GroupStore& groups,
+                    const index::InvertedIndex& index, const std::string& path,
+                    const SnapshotSaveOptions& options, const TraceSpan* span) {
+  if (index.num_groups() != groups.size()) {
+    return Status::InvalidArgument(
+        "index and group store cover different group sets");
+  }
+  if (options.version != kVersionV1 && options.version != kVersionV2) {
+    return Status::InvalidArgument("unsupported snapshot version " +
+                                   std::to_string(options.version));
+  }
+  TraceSpan save = span != nullptr ? span->Child("save") : TraceSpan();
+  std::string payload = EncodeSnapshot(groups, index, options.version);
+  save.AddCount(payload.size());
+  return WriteFileAtomically(path, payload, options.sync);
+}
+
+Result<Snapshot> LoadSnapshot(const std::string& path, const TraceSpan* span) {
+  TraceSpan load = span != nullptr ? span->Child("load") : TraceSpan();
+  VEXUS_ASSIGN_OR_RETURN(std::string buf, ReadFileFully(path));
+  load.AddCount(buf.size());
+
+  if (buf.size() < kHeaderSize) return Truncated();
+  if (std::memcmp(buf.data(), kMagic, 4) != 0) {
+    return Status::Corruption("bad snapshot magic");
+  }
+  Cursor hcur(buf.data() + 4, kHeaderSize - 4);
+  uint32_t version;
+  uint64_t num_users;
+  (void)hcur.ReadU32(&version);
+  (void)hcur.ReadU64(&num_users);
+  if (version != kVersionV1 && version != kVersionV2) {
+    return Status::NotSupported("snapshot version " + std::to_string(version) +
+                                " (expected " + std::to_string(kVersionV1) +
+                                " or " + std::to_string(kVersionV2) + ")");
+  }
+  if (num_users > (uint64_t{1} << 32)) {
+    return Status::Corruption("user universe exceeds 32-bit user ids");
+  }
+  return version == kVersionV1 ? ParseV1(buf, num_users)
+                               : ParseV2(buf, num_users);
+}
+
+namespace internal {
+
+uint64_t SnapshotFsyncCountForTesting() {
+  return g_fsync_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace internal
 
 }  // namespace vexus::core

@@ -4,23 +4,59 @@
 // generation) and the interactive modules. This file makes the split real
 // across process restarts: the discovered GroupStore and the materialized
 // InvertedIndex serialize to one versioned binary file, so a deployment
-// mines once and serves many exploration sessions.
+// mines once and serves many exploration sessions. At the paper's
+// BOOKCROSSING scale (278,858 users) cold start must be seconds, not
+// minutes — which is why v2 stores members as compact blocks instead of one
+// u32 per member per group, and why load validates checksums before
+// trusting a single length field.
 //
-// Format (little-endian):
-//   magic "VXSN" | u32 version | u64 num_users
-//   u64 num_groups
+// Format v2 (little-endian throughout):
+//
+//   header   magic "VXSN" | u32 version=2 | u64 num_users        (16 bytes)
+//   GROUPS section
+//     u64 num_groups
 //     per group: u32 desc_len, desc_len × (u32 attr, u32 value),
-//                u64 member_count, member_count × u32 user ids (ascending)
-//   u64 num_posting_lists (== num_groups)
+//                u64 member_count, u8 encoding,
+//                encoding 0 (sparse):  member_count × uvarint deltas
+//                                      (first = id₀, then idᵢ − idᵢ₋₁;
+//                                      strictly ascending, so deltas ≥ 1)
+//                encoding 1 (raw):     ceil(num_users/64) × u64 bitset words
+//     The writer picks per group whichever encoding is smaller: dense groups
+//     (≳ num_users/20 members) become raw words loaded with one memcpy;
+//     sparse groups become varint deltas (~1–2 bytes/member vs v1's 4).
+//   POSTINGS section
+//     u64 num_lists (== num_groups)
 //     per list: u32 len, len × (u32 group, f32 similarity)
+//   trailer (fixed 48 bytes at EOF)
+//     u64 groups_offset | u64 groups_len |
+//     u64 postings_offset | u64 postings_len |
+//     u32 groups_crc (CRC-32C of bytes [0, groups_offset + groups_len) —
+//                     the header rides along so a flipped num_users bit is
+//                     caught here, not by a far-away range check) |
+//     u32 postings_crc (CRC-32C of the postings section) |
+//     u32 trailer_crc (CRC-32C of the preceding 40 bytes) | magic "VXTR"
 //
-// Corruption (truncation, bad magic, out-of-range references) is detected
-// on load and reported as Status::Corruption.
+// Load reads the trailer first, checks that the two sections tile the file
+// exactly (so appended garbage or a truncated tail fails before parsing),
+// verifies each section's CRC-32C (common/crc32.h), then parses from the
+// in-memory buffer. v1 snapshots (one u32 per member, no checksums) are
+// still read behind the version switch; SaveOptions::version can write them
+// for comparison benchmarks.
+//
+// Durability: SaveSnapshot writes path + ".tmp", fsyncs the tmp file,
+// renames it over `path`, then fsyncs the parent directory — so a crash at
+// any point leaves either the complete old snapshot or the complete new one
+// at `path`, never a truncated file that std::rename made visible.
+//
+// Corruption (truncation, bad magic, checksum mismatch, duplicate member
+// ids, out-of-range references, trailing bytes) is detected on load and
+// reported as Status::Corruption.
 #pragma once
 
 #include <string>
 
 #include "common/result.h"
+#include "common/trace.h"
 #include "index/inverted_index.h"
 #include "mining/group.h"
 
@@ -31,14 +67,40 @@ struct Snapshot {
   index::InvertedIndex index;
 };
 
-/// Serializes the pre-processing outputs to `path` (atomically: written to
-/// a temp file and renamed). IOError on filesystem failure.
-Status SaveSnapshot(const mining::GroupStore& groups,
-                    const index::InvertedIndex& index,
-                    const std::string& path);
+struct SnapshotSaveOptions {
+  /// Format version to write. 2 (default) = checksummed block format above;
+  /// 1 = the legacy per-member-u32 format, kept so the cold-start bench can
+  /// compare and so fleets mid-upgrade can still produce old snapshots.
+  uint32_t version = 2;
+  /// fsync the tmp file before the rename and the parent directory after it
+  /// (the crash-durability protocol). Tests may disable to avoid hammering
+  /// slow CI disks; production callers should not.
+  bool sync = true;
+};
 
-/// Loads a snapshot written by SaveSnapshot. Corruption on malformed input,
-/// NotSupported on a future format version.
-Result<Snapshot> LoadSnapshot(const std::string& path);
+/// Serializes the pre-processing outputs to `path` atomically and durably
+/// (tmp file + fsync + rename + directory fsync). IOError on filesystem
+/// failure. `span`, when non-null, gets a "save" child span whose count is
+/// the byte size written.
+Status SaveSnapshot(const mining::GroupStore& groups,
+                    const index::InvertedIndex& index, const std::string& path,
+                    const SnapshotSaveOptions& options = {},
+                    const TraceSpan* span = nullptr);
+
+/// Loads a snapshot written by SaveSnapshot (either version). Corruption on
+/// malformed input, NotSupported on a future format version. `span`, when
+/// non-null, gets a "load" child span whose count is the byte size read.
+Result<Snapshot> LoadSnapshot(const std::string& path,
+                              const TraceSpan* span = nullptr);
+
+namespace internal {
+
+/// Number of fsync(2) calls SaveSnapshot has issued (tmp files + parent
+/// directories) since process start — lets the durability regression test
+/// assert the crash protocol actually runs, which a pure round-trip test
+/// cannot observe.
+uint64_t SnapshotFsyncCountForTesting();
+
+}  // namespace internal
 
 }  // namespace vexus::core

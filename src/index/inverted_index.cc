@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <memory>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
@@ -95,43 +96,65 @@ Result<InvertedIndex> InvertedIndex::Build(const GroupStore& store,
       std::vector<uint32_t> counts(n, 0);
       for (size_t g = 0; g < n; ++g) build_one(g, &counts);
     } else {
+      // Sharded over ParallelForChunked with one counts buffer per chunk.
+      // Chunk sizing caps the number of chunks near the worker count so the
+      // n-sized buffers stay bounded; each posting list is written by
+      // exactly one chunk, so the parallel result is byte-identical to the
+      // serial one (tested in inverted_index_test).
       ThreadPool pool(options.num_threads);
-      size_t workers = pool.num_threads();
-      // One counts buffer per worker, handed out round-robin by chunk.
-      std::vector<std::vector<uint32_t>> buffers(workers,
-                                                 std::vector<uint32_t>(n, 0));
-      std::atomic<size_t> next_buffer{0};
-      std::vector<size_t> buffer_of_chunk;
-      size_t chunk = (n + workers - 1) / workers;
-      for (size_t start = 0; start < n; start += chunk) {
-        size_t end = std::min(n, start + chunk);
-        size_t buf = next_buffer++ % workers;
-        bool accepted = pool.Submit([&, start, end, buf] {
-          for (size_t g = start; g < end; ++g) build_one(g, &buffers[buf]);
-        });
-        VEXUS_CHECK(accepted) << "fresh pool rejected work";
-      }
-      pool.Wait();
+      size_t workers = pool.num_threads() + 1;  // the caller participates
+      size_t chunk_size = (n + workers - 1) / workers;
+      size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+      std::vector<std::vector<uint32_t>> buffers(
+          num_chunks, std::vector<uint32_t>(n, 0));
+      pool.ParallelForChunked(n, chunk_size,
+                              [&](size_t chunk, size_t begin, size_t end) {
+                                for (size_t g = begin; g < end; ++g) {
+                                  build_one(g, &buffers[chunk]);
+                                }
+                              });
     }
   } else {
-    // MinHash + LSH candidates, exact verification.
-    MinHasher hasher(options.minhash_hashes);
-    std::vector<std::vector<uint64_t>> sigs(n);
-    for (GroupId g = 0; g < n; ++g) {
-      sigs[g] = hasher.Signature(store.group(g).members());
-    }
+    // MinHash + LSH candidates, exact verification. Signature computation,
+    // banding, and candidate verification all shard over the pool; outputs
+    // are position-indexed (signatures, per-pair similarity) or canonically
+    // re-sorted (LSH pairs), so parallel == serial byte-identically.
     if (options.minhash_hashes % options.minhash_bands != 0) {
       return Status::InvalidArgument(
           "minhash_bands must divide minhash_hashes");
     }
-    auto pairs = LshCandidatePairs(sigs, options.minhash_bands);
+    std::unique_ptr<ThreadPool> pool;
+    if (options.num_threads != 1) {
+      pool = std::make_unique<ThreadPool>(options.num_threads);
+    }
+    MinHasher hasher(options.minhash_hashes);
+    std::vector<std::vector<uint64_t>> sigs =
+        hasher.Signatures(store, pool.get());
+    auto pairs = LshCandidatePairs(sigs, options.minhash_bands, pool.get());
     candidate_pairs = pairs.size();
-    for (const auto& [a, b] : pairs) {
-      float sim = static_cast<float>(
+
+    std::vector<float> sims(pairs.size());
+    auto verify = [&](size_t i) {
+      const auto& [a, b] = pairs[i];
+      sims[i] = static_cast<float>(
           store.group(a).members().Jaccard(store.group(b).members()));
-      if (sim <= 0) continue;
-      idx.postings_[a].push_back(Neighbor{b, sim});
-      idx.postings_[b].push_back(Neighbor{a, sim});
+    };
+    if (pool == nullptr) {
+      for (size_t i = 0; i < pairs.size(); ++i) verify(i);
+    } else {
+      pool->ParallelForChunked(pairs.size(), /*chunk_size=*/256,
+                               [&](size_t, size_t begin, size_t end) {
+                                 for (size_t i = begin; i < end; ++i) {
+                                   verify(i);
+                                 }
+                               });
+    }
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      if (sims[i] <= 0) continue;
+      idx.postings_[pairs[i].first].push_back(
+          Neighbor{pairs[i].second, sims[i]});
+      idx.postings_[pairs[i].second].push_back(
+          Neighbor{pairs[i].first, sims[i]});
     }
     for (GroupId g = 0; g < n; ++g) {
       full_postings += idx.postings_[g].size();

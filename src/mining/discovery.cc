@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 
 namespace vexus::mining {
 
@@ -121,6 +123,14 @@ Result<DiscoveryResult> DiscoverGroups(const data::Dataset& dataset,
   GroupStore store(dataset.num_users());
   DiscoveryResult result(std::move(store), std::move(catalog));
 
+  // Shared pool for the LCM candidate expansion (also backing MOMRI's
+  // candidate pass). The mined store is byte-identical to the serial run,
+  // so parallelism here is purely a wall-clock knob.
+  std::unique_ptr<ThreadPool> pool;
+  if (options.num_threads != 1) {
+    pool = std::make_unique<ThreadPool>(options.num_threads);
+  }
+
   switch (options.algorithm) {
     case DiscoveryAlgorithm::kLcm: {
       LcmMiner::Config cfg;
@@ -128,6 +138,7 @@ Result<DiscoveryResult> DiscoverGroups(const data::Dataset& dataset,
       cfg.max_description = options.max_description;
       cfg.max_groups = options.max_groups;
       cfg.emit_root = options.emit_root;
+      cfg.pool = pool.get();
       LcmMiner miner(&result.catalog, cfg);
       result.lcm_stats = miner.Mine(&result.groups);
       break;
@@ -139,6 +150,7 @@ Result<DiscoveryResult> DiscoverGroups(const data::Dataset& dataset,
       cfg.max_description = options.max_description;
       cfg.max_groups = options.max_groups;
       cfg.emit_root = false;
+      cfg.pool = pool.get();
       GroupStore candidates(dataset.num_users());
       LcmMiner miner(&result.catalog, cfg);
       result.lcm_stats = miner.Mine(&candidates);

@@ -40,6 +40,10 @@ struct DiscoveryOptions {
   std::vector<std::string> attributes;
   /// Keep the all-users root group as an exploration start point.
   bool emit_root = true;
+  /// Worker threads for the LCM/MOMRI candidate expansion (1 = serial,
+  /// 0 = hardware concurrency). The mined GroupStore is byte-identical to
+  /// the serial run — branches fold deterministically (see mining/lcm.h).
+  size_t num_threads = 1;
 
   // BIRCH parameters.
   size_t birch_clusters = 20;

@@ -30,7 +30,6 @@ UserGroup LcmMiner::MakeGroup(const std::vector<DescriptorId>& items,
 
 LcmMiner::Stats LcmMiner::Mine(GroupStore* store) {
   stats_ = Stats{};
-  stop_ = false;
   VEXUS_CHECK(store->num_users() == catalog_->num_users())
       << "store universe mismatch";
 
@@ -39,66 +38,125 @@ LcmMiner::Stats LcmMiner::Mine(GroupStore* store) {
   if (extent.Count() < config_.min_support) return stats_;
 
   std::vector<DescriptorId> closed = Closure(extent);
+  size_t root_emitted = 0;
   if (closed.size() <= config_.max_description &&
       (config_.emit_root || !closed.empty())) {
     store->Add(MakeGroup(closed, extent));
-    ++stats_.groups_emitted;
+    root_emitted = 1;
   }
-  if (closed.size() <= config_.max_description) {
-    Recurse(closed, extent, /*core_index=*/0, store);
+  stats_.groups_emitted = root_emitted;
+  if (closed.size() > config_.max_description) return stats_;
+
+  const size_t n = catalog_->size();
+  // Branch budget: remaining emissions under the global cap. Every branch
+  // gets the full remainder (a branch cannot know how much earlier branches
+  // will use); the fold below applies the exact global cap.
+  size_t budget = std::numeric_limits<size_t>::max();
+  if (config_.max_groups != 0) {
+    budget = config_.max_groups > root_emitted
+                 ? config_.max_groups - root_emitted
+                 : 0;
   }
+
+  std::vector<Branch> branches;
+  if (config_.pool == nullptr || n < 2) {
+    // Serial: one shared branch context walks the top-level items in order,
+    // carrying the running budget — the exploration path (and therefore
+    // every counter) is exactly the pre-parallel depth-first search.
+    branches.resize(1);
+    branches[0].budget = budget;
+    for (size_t i = 0; i < n && !branches[0].stop; ++i) {
+      Expand(i, closed, extent, &branches[0]);
+    }
+  } else {
+    // Parallel: ppc-ext subtrees under distinct top-level items are
+    // disjoint, so each mines into its own slot. Chunk size 1 because
+    // branch costs are wildly skewed (small item ids own large subtrees).
+    branches.resize(n);
+    for (Branch& b : branches) b.budget = budget;
+    config_.pool->ParallelForChunked(
+        n, /*chunk_size=*/1, [&](size_t, size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            Expand(i, closed, extent, &branches[i]);
+          }
+        });
+  }
+
+  // Fold in item order. Serial emission order is root, then the subtree of
+  // each top-level item in DFS pre-order — which is exactly slot order here,
+  // so applying the cap during the fold reproduces the serial prefix
+  // byte-identically.
+  size_t emitted = root_emitted;
+  for (Branch& b : branches) {
+    stats_.nodes_explored += b.stats.nodes_explored;
+    stats_.pruned_support += b.stats.pruned_support;
+    stats_.pruned_prefix += b.stats.pruned_prefix;
+    if (stats_.truncated) continue;  // keep summing exploration counters
+    for (UserGroup& g : b.groups) {
+      store->Add(std::move(g));
+      ++emitted;
+      if (config_.max_groups != 0 && emitted >= config_.max_groups) {
+        stats_.truncated = true;
+        break;
+      }
+    }
+  }
+  stats_.groups_emitted = emitted;
   return stats_;
+}
+
+void LcmMiner::Expand(size_t i, const std::vector<DescriptorId>& closed_set,
+                      const Bitset& extent, Branch* branch) const {
+  DescriptorId item = static_cast<DescriptorId>(i);
+  if (std::binary_search(closed_set.begin(), closed_set.end(), item)) {
+    return;  // already implied by the closure
+  }
+  ++branch->stats.nodes_explored;
+
+  Bitset new_extent = extent & catalog_->UserSet(item);
+  if (new_extent.Count() < config_.min_support) {
+    ++branch->stats.pruned_support;
+    return;
+  }
+
+  std::vector<DescriptorId> q = Closure(new_extent);
+  // Prefix-preserving check: every element of clo(P ∪ {item}) smaller than
+  // `item` must already be in P — otherwise this closed set is generated
+  // from a different (canonical) parent and must be skipped here.
+  bool prefix_ok = true;
+  for (DescriptorId d : q) {
+    if (d >= item) break;  // q is ascending
+    if (!std::binary_search(closed_set.begin(), closed_set.end(), d)) {
+      prefix_ok = false;
+      break;
+    }
+  }
+  if (!prefix_ok) {
+    ++branch->stats.pruned_prefix;
+    return;
+  }
+
+  if (q.size() > config_.max_description) {
+    // Closures only grow down a branch; safe to cut the whole subtree.
+    return;
+  }
+
+  branch->groups.push_back(MakeGroup(q, new_extent));
+  ++branch->stats.groups_emitted;
+  if (branch->groups.size() >= branch->budget) {
+    branch->stop = true;
+    return;
+  }
+  Recurse(q, new_extent, i + 1, branch);
 }
 
 void LcmMiner::Recurse(const std::vector<DescriptorId>& closed_set,
                        const Bitset& extent, size_t core_index,
-                       GroupStore* store) {
+                       Branch* branch) const {
   const size_t n = catalog_->size();
   for (size_t i = core_index; i < n; ++i) {
-    if (stop_) return;
-    DescriptorId item = static_cast<DescriptorId>(i);
-    if (std::binary_search(closed_set.begin(), closed_set.end(), item)) {
-      continue;  // already implied by the closure
-    }
-    ++stats_.nodes_explored;
-
-    Bitset new_extent = extent & catalog_->UserSet(item);
-    if (new_extent.Count() < config_.min_support) {
-      ++stats_.pruned_support;
-      continue;
-    }
-
-    std::vector<DescriptorId> q = Closure(new_extent);
-    // Prefix-preserving check: every element of clo(P ∪ {item}) smaller than
-    // `item` must already be in P — otherwise this closed set is generated
-    // from a different (canonical) parent and must be skipped here.
-    bool prefix_ok = true;
-    for (DescriptorId d : q) {
-      if (d >= item) break;  // q is ascending
-      if (!std::binary_search(closed_set.begin(), closed_set.end(), d)) {
-        prefix_ok = false;
-        break;
-      }
-    }
-    if (!prefix_ok) {
-      ++stats_.pruned_prefix;
-      continue;
-    }
-
-    if (q.size() > config_.max_description) {
-      // Closures only grow down a branch; safe to cut the whole subtree.
-      continue;
-    }
-
-    store->Add(MakeGroup(q, new_extent));
-    ++stats_.groups_emitted;
-    if (config_.max_groups != 0 &&
-        stats_.groups_emitted >= config_.max_groups) {
-      stats_.truncated = true;
-      stop_ = true;
-      return;
-    }
-    Recurse(q, new_extent, i + 1, store);
+    if (branch->stop) return;
+    Expand(i, closed_set, extent, branch);
   }
 }
 

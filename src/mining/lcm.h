@@ -13,11 +13,21 @@
 //   extend P with i > core(P): Q = clo(P ∪ {i}) is emitted iff Q∩{0..i-1} ==
 //   P∩{0..i-1} (prefix preserved) — guaranteeing each closed set is reached
 //   from exactly one parent, with no duplicate-detection table.
+//
+// Parallel mining: ppc-ext guarantees each closed set is reached from exactly
+// one parent, so the subtrees rooted at the top-level items are disjoint and
+// mine independently. With Config::pool set, each top-level branch emits into
+// its own slot and the slots fold in item order with the max_groups cap
+// applied at the fold — the stored groups are byte-identical to the serial
+// run (tested in lcm_test). Exploration counters may overcount relative to a
+// truncated serial run, because branches cannot observe each other's emission
+// counts mid-flight.
 #pragma once
 
 #include <cstdint>
 #include <limits>
 
+#include "common/thread_pool.h"
 #include "mining/descriptor_catalog.h"
 #include "mining/group.h"
 
@@ -36,6 +46,10 @@ class LcmMiner {
     /// Also emit the root group (empty description, all users) — the natural
     /// start point of an exploration session.
     bool emit_root = true;
+    /// Optional pool: shards the disjoint top-level ppc-ext branches across
+    /// workers. The stored groups are byte-identical to the serial run; see
+    /// the file comment for the fold discipline and the stats caveat.
+    ThreadPool* pool = nullptr;
   };
 
   struct Stats {
@@ -53,8 +67,25 @@ class LcmMiner {
   Stats Mine(GroupStore* store);
 
  private:
+  /// Emission buffer for one top-level subtree: groups in DFS pre-order plus
+  /// the exploration counters accumulated along the way. `budget` bounds the
+  /// local emission count (checked after each emission, matching the global
+  /// cap's post-Add semantics); SIZE_MAX means unlimited.
+  struct Branch {
+    std::vector<UserGroup> groups;
+    Stats stats;
+    size_t budget = std::numeric_limits<size_t>::max();
+    bool stop = false;
+  };
+
+  /// One ppc-ext attempt: tries to extend (closed_set, extent) with item `i`
+  /// and, on success, emits the new closed group into `branch` and recurses
+  /// over items > i. Const — safe to run concurrently on disjoint branches.
+  void Expand(size_t i, const std::vector<DescriptorId>& closed_set,
+              const Bitset& extent, Branch* branch) const;
+
   void Recurse(const std::vector<DescriptorId>& closed_set,
-               const Bitset& extent, size_t core_index, GroupStore* store);
+               const Bitset& extent, size_t core_index, Branch* branch) const;
 
   /// clo(extent): every descriptor whose user set contains `extent`.
   std::vector<DescriptorId> Closure(const Bitset& extent) const;
@@ -65,7 +96,6 @@ class LcmMiner {
   const DescriptorCatalog* catalog_;
   Config config_;
   Stats stats_;
-  bool stop_ = false;
 };
 
 }  // namespace vexus::mining

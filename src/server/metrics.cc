@@ -117,6 +117,9 @@ MetricsSnapshot ServiceMetrics::Snapshot(uint64_t open_sessions) const {
   s.greedy_evaluations = greedy_evaluations_.load(kRelaxed);
   s.greedy_passes = greedy_passes_.load(kRelaxed);
   s.greedy_swaps = greedy_swaps_.load(kRelaxed);
+  s.warm_loads = warm_loads_.load(kRelaxed);
+  s.last_warm_load_ms =
+      static_cast<double>(last_warm_load_us_.load(kRelaxed)) / 1e3;
   s.open_sessions = open_sessions;
   s.latency_all = latency_all_.Read();
   for (size_t i = 0; i < kNumStages; ++i) {
@@ -156,6 +159,8 @@ json::Value MetricsSnapshot::ToJson() const {
   o.emplace_back("greedy_evaluations", json::Value(greedy_evaluations));
   o.emplace_back("greedy_passes", json::Value(greedy_passes));
   o.emplace_back("greedy_swaps", json::Value(greedy_swaps));
+  o.emplace_back("warm_loads", json::Value(warm_loads));
+  o.emplace_back("last_warm_load_ms", json::Value(last_warm_load_ms));
   o.emplace_back("open_sessions", json::Value(open_sessions));
   json::Object by_type;
   for (size_t i = 0; i < kNumRequestTypes; ++i) {
@@ -210,6 +215,13 @@ std::string MetricsSnapshot::ToString() const {
                 static_cast<unsigned long long>(greedy_passes),
                 static_cast<unsigned long long>(greedy_swaps));
   out += line;
+  if (warm_loads > 0) {
+    std::snprintf(line, sizeof(line),
+                  "cold start: warm_loads=%llu last_warm_load_ms=%.3f\n",
+                  static_cast<unsigned long long>(warm_loads),
+                  last_warm_load_ms);
+    out += line;
+  }
   std::snprintf(line, sizeof(line), "%-14s %10s %10s %10s %10s %10s %10s\n",
                 "op", "requests", "mean_ms", "p50_ms", "p95_ms", "p99_ms",
                 "max_ms");

@@ -104,6 +104,11 @@ struct MetricsSnapshot {
   uint64_t greedy_evaluations = 0;
   uint64_t greedy_passes = 0;
   uint64_t greedy_swaps = 0;
+  /// Cold-start path: successful warm_from_snapshot loads and the wall time
+  /// of the most recent one (0 until the first load) — the operator-visible
+  /// form of the snapshot-v2 cold-start claim.
+  uint64_t warm_loads = 0;
+  double last_warm_load_ms = 0;
   /// Live gauge at snapshot time.
   uint64_t open_sessions = 0;
 
@@ -145,6 +150,12 @@ class ServiceMetrics {
     greedy_passes_.fetch_add(passes, kRelaxed);
     greedy_swaps_.fetch_add(swaps, kRelaxed);
   }
+  /// Accounts one successful snapshot warm-up (engine restored from disk).
+  void RecordWarmLoad(double millis) {
+    warm_loads_.fetch_add(1, kRelaxed);
+    last_warm_load_us_.store(
+        millis <= 0 ? 0 : static_cast<uint64_t>(millis * 1e3), kRelaxed);
+  }
 
   /// Records one stage's wall time (microseconds).
   void RecordStage(Stage stage, double micros) {
@@ -177,6 +188,8 @@ class ServiceMetrics {
   std::atomic<uint64_t> greedy_evaluations_{0};
   std::atomic<uint64_t> greedy_passes_{0};
   std::atomic<uint64_t> greedy_swaps_{0};
+  std::atomic<uint64_t> warm_loads_{0};
+  std::atomic<uint64_t> last_warm_load_us_{0};
 
   LatencyHistogram latency_by_type_[kNumRequestTypes];
   LatencyHistogram latency_all_;

@@ -9,7 +9,7 @@ namespace {
 constexpr std::string_view kNames[kNumRequestTypes] = {
     "start_session", "select_group", "backtrack",   "bookmark",
     "unlearn",       "get_context",  "get_stats",   "end_session",
-    "get_trace",
+    "get_trace",     "warm_from_snapshot",
 };
 
 /// Reads a non-negative integer field; fails when present but ill-typed.
@@ -78,6 +78,7 @@ json::Value Request::ToJson() const {
   }
   if (n.has_value()) obj.emplace_back("n", json::Value(*n));
   if (slowest) obj.emplace_back("slowest", json::Value(true));
+  if (path.has_value()) obj.emplace_back("path", json::Value(*path));
   return json::Value(std::move(obj));
 }
 
@@ -131,6 +132,13 @@ Result<Request> Request::FromJson(const json::Value& v) {
     }
     req.slowest = slowest->AsBool();
   }
+  const json::Value* path = v.Find("path");
+  if (path != nullptr) {
+    if (!path->is_string()) {
+      return Status::InvalidArgument("path must be a string");
+    }
+    req.path = path->AsString();
+  }
 
   // Per-op required fields.
   auto require_session = [&]() -> Status {
@@ -170,6 +178,12 @@ Result<Request> Request::FromJson(const json::Value& v) {
       VEXUS_RETURN_NOT_OK(require_session());
       if (!req.token.has_value()) {
         return Status::InvalidArgument("unlearn requires \"token\"");
+      }
+      break;
+    case RequestType::kWarmFromSnapshot:
+      if (!req.path.has_value() || req.path->empty()) {
+        return Status::InvalidArgument(
+            "warm_from_snapshot requires a non-empty \"path\"");
       }
       break;
     case RequestType::kGetStats:

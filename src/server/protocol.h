@@ -16,6 +16,7 @@
 //   {"op":"get_stats"}
 //   {"op":"get_trace","n":5,"slowest":true}
 //   {"op":"end_session","session":"alice"}
+//   {"op":"warm_from_snapshot","path":"/var/lib/vexus/bx.snapshot"}
 //
 // Every session-scoped request may also carry:
 //   "generation": <uint>  — stale-handle fencing; a mismatch with the live
@@ -53,8 +54,9 @@ enum class RequestType : int {
   kGetStats = 6,
   kEndSession = 7,
   kGetTrace = 8,
+  kWarmFromSnapshot = 9,
 };
-inline constexpr size_t kNumRequestTypes = 9;
+inline constexpr size_t kNumRequestTypes = 10;
 
 /// Wire name of an op ("start_session", ...).
 std::string_view RequestTypeName(RequestType t);
@@ -81,6 +83,7 @@ struct Request {
   std::optional<double> learning_rate; // start_session
   std::optional<uint64_t> n;           // get_trace: how many traces
   bool slowest = false;                // get_trace: slowest-N vs last-N
+  std::optional<std::string> path;     // warm_from_snapshot: snapshot file
 
   json::Value ToJson() const;
   std::string Encode() const { return ToJson().Dump(); }

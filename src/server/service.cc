@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 
 namespace vexus::server {
 
@@ -20,6 +21,22 @@ ExplorationService::ExplorationService(const core::VexusEngine* engine,
                                        ServiceOptions options)
     : engine_(engine), options_(std::move(options)) {
   VEXUS_CHECK(engine != nullptr);
+  InitRuntime();
+  sessions_ =
+      std::make_unique<SessionManager>(engine_, options_.sessions, &metrics_);
+  warm_.store(true, std::memory_order_release);
+}
+
+ExplorationService::ExplorationService(data::Dataset dataset,
+                                       ServiceOptions options)
+    : engine_(nullptr), options_(std::move(options)) {
+  cold_dataset_ = std::make_unique<data::Dataset>(std::move(dataset));
+  InitRuntime();
+  // Cold: no engine, no session manager. get_stats and warm_from_snapshot
+  // are the only ops that succeed until WarmFromSnapshot() flips warm_.
+}
+
+void ExplorationService::InitRuntime() {
   pool_ = std::make_unique<ThreadPool>(options_.num_workers);
   // Point every session's greedy scan at our own worker pool. Sessions run
   // their greedy loop *on* a pool worker (the dispatcher executes handlers
@@ -27,8 +44,6 @@ ExplorationService::ExplorationService(const core::VexusEngine* engine,
   // saturated pool degrades to a serial scan instead of deadlocking.
   options_.session_template.greedy.scan_pool =
       options_.parallel_greedy_scan ? pool_.get() : nullptr;
-  sessions_ =
-      std::make_unique<SessionManager>(engine_, options_.sessions, &metrics_);
   trace_log_ = std::make_unique<TraceLog>(options_.trace);
   dispatcher_ = std::make_unique<Dispatcher>(
       pool_.get(),
@@ -41,6 +56,38 @@ ExplorationService::ExplorationService(const core::VexusEngine* engine,
 ExplorationService::~ExplorationService() { Shutdown(); }
 
 void ExplorationService::Shutdown() { pool_->Shutdown(); }
+
+Status ExplorationService::WarmFromSnapshot(const std::string& path) {
+  // Serialize warm attempts: the first successful one wins; concurrent and
+  // repeated calls see "already warm". The snapshot load itself runs under
+  // the lock — it is a once-per-process event, and the lock is not on any
+  // request path except the warm op itself.
+  std::lock_guard<std::mutex> lock(warm_mutex_);
+  if (warm_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("service is already warm");
+  }
+  VEXUS_CHECK(cold_dataset_ != nullptr);  // cold ctor is the only cold path
+
+  Stopwatch watch;
+  // FromSnapshot consumes the dataset only on success, so a failed load
+  // (missing file, corruption, wrong universe) leaves the service cold and
+  // retryable with a different path.
+  auto engine = core::VexusEngine::FromSnapshot(cold_dataset_.get(), path);
+  if (!engine.ok()) {
+    return engine.status().WithContext("warm_from_snapshot(" + path + ")");
+  }
+  owned_engine_ = std::make_unique<core::VexusEngine>(
+      std::move(engine).ValueOrDie());
+  cold_dataset_.reset();
+  engine_ = owned_engine_.get();
+  sessions_ =
+      std::make_unique<SessionManager>(engine_, options_.sessions, &metrics_);
+  metrics_.RecordWarmLoad(watch.ElapsedMillis());
+  // Release: request handlers acquire-load warm_ before touching engine_ /
+  // sessions_, so the stores above are visible once this flips.
+  warm_.store(true, std::memory_order_release);
+  return Status::OK();
+}
 
 std::future<Response> ExplorationService::Dispatch(Request req) {
   return dispatcher_->Submit(std::move(req));
@@ -66,6 +113,9 @@ std::string ExplorationService::HandleLine(const std::string& line) {
 }
 
 MetricsSnapshot ExplorationService::Stats() const {
+  // The acquire on warm_ orders the sessions_ read against the warm-up's
+  // release store; while cold the open-session gauge is simply 0.
+  if (!warm()) return metrics_.Snapshot(0);
   return metrics_.Snapshot(sessions_->size());
 }
 
@@ -81,11 +131,24 @@ Response ExplorationService::Execute(const Request& req,
       return DoGetStats(req);
     case RequestType::kGetTrace:
       return DoGetTrace(req);
-    case RequestType::kStartSession:
-      return DoStartSession(req, deadline, span);
+    case RequestType::kWarmFromSnapshot:
+      return DoWarmFromSnapshot(req, span);
     default:
-      return DoSessionOp(req, deadline, span);
+      break;
   }
+  // Every remaining op needs the engine and the session manager; while the
+  // service is cold neither exists. The acquire pairs with the warm-up's
+  // release store, making engine_/sessions_ safe to dereference below.
+  if (!warm()) {
+    return ErrorResponse(
+        req, Status::FailedPrecondition(
+                 "service is cold: no engine loaded yet "
+                 "(send warm_from_snapshot first)"));
+  }
+  if (req.type == RequestType::kStartSession) {
+    return DoStartSession(req, deadline, span);
+  }
+  return DoSessionOp(req, deadline, span);
 }
 
 void ExplorationService::FillScreen(const core::GreedySelection& selection,
@@ -286,10 +349,21 @@ Response ExplorationService::DoSessionOp(const Request& req,
 Response ExplorationService::DoGetStats(const Request& req) {
   // Ride the stats poll for TTL progress: monitoring traffic alone keeps
   // expired sessions from accumulating even when no explorer is active.
-  sessions_->SweepExpired();
+  // While cold there is no session manager (and nothing to sweep) — stats
+  // still answer, so monitoring works before the first warm-up.
+  if (warm()) sessions_->SweepExpired();
   Response resp;
   resp.type = req.type;
   resp.stats = Stats().ToJson();
+  return resp;
+}
+
+Response ExplorationService::DoWarmFromSnapshot(const Request& req,
+                                                TraceSpan& span) {
+  Response resp;
+  resp.type = req.type;
+  TraceSpan warm_span = span.Child("warm");
+  resp.status = WarmFromSnapshot(*req.path);
   return resp;
 }
 

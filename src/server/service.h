@@ -17,8 +17,10 @@
 // without touching the exploration core.
 #pragma once
 
+#include <atomic>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/thread_pool.h"
@@ -56,9 +58,19 @@ struct ServiceOptions {
 
 class ExplorationService {
  public:
-  /// `engine` must outlive the service.
+  /// Warm construction: `engine` must outlive the service.
   explicit ExplorationService(const core::VexusEngine* engine,
                               ServiceOptions options = {});
+
+  /// Cold construction for the snapshot cold-start path: the service owns
+  /// the dataset and accepts connections immediately, but only get_stats
+  /// and warm_from_snapshot succeed until WarmFromSnapshot() (or the wire
+  /// op) restores an engine from disk; every other op fails with
+  /// FailedPrecondition. This is the deployment shape in DESIGN.md §11:
+  /// mine once, snapshot, then bring serving processes up in seconds.
+  explicit ExplorationService(data::Dataset dataset,
+                              ServiceOptions options = {});
+
   ~ExplorationService();
 
   ExplorationService(const ExplorationService&) = delete;
@@ -82,8 +94,21 @@ class ExplorationService {
   /// shed with ResourceExhausted.
   void Shutdown();
 
+  /// Restores the engine from a snapshot and opens the service for session
+  /// traffic (also reachable over the wire as the warm_from_snapshot op).
+  /// Only valid on a cold-constructed service, exactly once:
+  /// FailedPrecondition if already warm (including warm construction),
+  /// Corruption / IOError etc. from the snapshot load — in which case the
+  /// service stays cold and the call may be retried with another path.
+  Status WarmFromSnapshot(const std::string& path);
+
+  /// False between cold construction and a successful WarmFromSnapshot.
+  bool warm() const { return warm_.load(std::memory_order_acquire); }
+
   const ServiceMetrics& metrics() const { return metrics_; }
+  /// Valid only when warm().
   SessionManager& sessions() { return *sessions_; }
+  /// Valid only when warm().
   const core::VexusEngine& engine() const { return *engine_; }
   const TraceLog& trace_log() const { return *trace_log_; }
 
@@ -102,6 +127,10 @@ class ExplorationService {
                        TraceSpan& span);
   Response DoGetStats(const Request& req);
   Response DoGetTrace(const Request& req);
+  Response DoWarmFromSnapshot(const Request& req, TraceSpan& span);
+
+  /// Shared tail of both constructors (pool, trace log, dispatcher).
+  void InitRuntime();
 
   /// Fills the screen payload (groups + quality) from a selection, under a
   /// `serialize` child of `span`. When `fresh_run` is set the selection came
@@ -111,13 +140,22 @@ class ExplorationService {
   void FillScreen(const core::GreedySelection& selection, Response* resp,
                   bool fresh_run, const TraceSpan& span);
 
-  const core::VexusEngine* engine_;
+  const core::VexusEngine* engine_;  // null while cold
   ServiceOptions options_;
   ServiceMetrics metrics_;
   std::unique_ptr<ThreadPool> pool_;
-  std::unique_ptr<SessionManager> sessions_;
+  std::unique_ptr<SessionManager> sessions_;  // null while cold
   std::unique_ptr<TraceLog> trace_log_;
   std::unique_ptr<Dispatcher> dispatcher_;
+
+  /// Cold-start state. `warm_` flips exactly once, cold→warm, with release
+  /// ordering after engine_/sessions_ are fully built; request handlers read
+  /// it with acquire before touching either. `warm_mutex_` serializes
+  /// concurrent warm attempts (the first wins, later ones FailedPrecondition).
+  std::atomic<bool> warm_{false};
+  std::mutex warm_mutex_;
+  std::unique_ptr<data::Dataset> cold_dataset_;  // consumed by the warm-up
+  std::unique_ptr<core::VexusEngine> owned_engine_;
 };
 
 }  // namespace vexus::server

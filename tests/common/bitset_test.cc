@@ -235,5 +235,51 @@ TEST_P(BitsetFusedOpsTest, MatchCompositionalForms) {
 INSTANTIATE_TEST_SUITE_P(Sizes, BitsetFusedOpsTest,
                          ::testing::Values(1, 63, 64, 65, 129, 1000, 4096));
 
+TEST(BitsetWordsTest, WordsExposeSetBits) {
+  Bitset b(130);
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  const std::vector<uint64_t>& w = b.words();
+  ASSERT_EQ(w.size(), 3u);  // ceil(130/64)
+  EXPECT_EQ(w[0], uint64_t{1});
+  EXPECT_EQ(w[1], uint64_t{1});
+  EXPECT_EQ(w[2], uint64_t{1} << (129 - 128));
+}
+
+TEST(BitsetWordsTest, AdoptWordsRoundTrip) {
+  Bitset src(200);
+  for (size_t i = 0; i < 200; i += 7) src.Set(i);
+  std::vector<uint64_t> w = src.words();
+
+  Bitset dst;  // adopting re-sizes the target, whatever it was before
+  ASSERT_TRUE(dst.AdoptWords(200, std::move(w)));
+  EXPECT_TRUE(dst == src);
+  EXPECT_EQ(dst.size(), 200u);
+}
+
+TEST(BitsetWordsTest, AdoptWordsRejectsWrongWordCount) {
+  Bitset b;
+  EXPECT_FALSE(b.AdoptWords(65, std::vector<uint64_t>(1, 0)));   // needs 2
+  EXPECT_FALSE(b.AdoptWords(64, std::vector<uint64_t>(2, 0)));   // needs 1
+  EXPECT_TRUE(b.AdoptWords(64, std::vector<uint64_t>(1, ~0ull)));
+  EXPECT_EQ(b.Count(), 64u);
+}
+
+TEST(BitsetWordsTest, AdoptWordsRejectsBitsBeyondUniverse) {
+  // Universe of 70 bits: the tail word may only use its low 6 bits. A set
+  // bit beyond that is corrupt input (snapshot raw blocks feed this path),
+  // not something to silently mask off.
+  std::vector<uint64_t> w(2, 0);
+  w[1] = uint64_t{1} << 6;  // bit 70 — one past the universe
+  Bitset b;
+  EXPECT_FALSE(b.AdoptWords(70, std::move(w)));
+
+  std::vector<uint64_t> ok(2, 0);
+  ok[1] = (uint64_t{1} << 6) - 1;  // bits 64..69 — all legal
+  EXPECT_TRUE(b.AdoptWords(70, std::move(ok)));
+  EXPECT_EQ(b.Count(), 6u);
+}
+
 }  // namespace
 }  // namespace vexus

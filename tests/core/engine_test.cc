@@ -1,7 +1,11 @@
 #include "core/engine.h"
 
+#include <cstdio>
+#include <string>
+
 #include <gtest/gtest.h>
 
+#include "core/snapshot.h"
 #include "data/generators/bookcrossing_gen.h"
 #include "data/generators/dbauthors_gen.h"
 
@@ -116,6 +120,77 @@ TEST(EngineTest, IndexOptionsPropagate) {
   ASSERT_TRUE(small.ok() && big.ok());
   EXPECT_LT(small->index().build_stats().postings,
             big->index().build_stats().postings);
+}
+
+std::string TempPath(const char* name) { return ::testing::TempDir() + name; }
+
+/// Preprocesses SmallBx() and snapshots the result to `path` (no fsync:
+/// these tests exercise the load path, not the durability protocol).
+void WriteEngineSnapshot(const std::string& path) {
+  mining::DiscoveryOptions opt;
+  opt.min_support_fraction = 0.03;
+  auto mined = VexusEngine::Preprocess(SmallBx(), opt, {});
+  ASSERT_TRUE(mined.ok()) << mined.status().ToString();
+  SnapshotSaveOptions save;
+  save.sync = false;
+  ASSERT_TRUE(SaveSnapshot(mined->groups(), mined->index(), path, save).ok());
+}
+
+TEST(EngineSnapshotTest, FromSnapshotServesSessionsLikePreprocess) {
+  mining::DiscoveryOptions opt;
+  opt.min_support_fraction = 0.03;
+  auto mined = VexusEngine::Preprocess(SmallBx(), opt, {});
+  ASSERT_TRUE(mined.ok()) << mined.status().ToString();
+  const std::string path = TempPath("engine_coldstart.snap");
+  SnapshotSaveOptions save;
+  save.sync = false;
+  ASSERT_TRUE(SaveSnapshot(mined->groups(), mined->index(), path, save).ok());
+
+  // The generator is deterministic: a fresh dataset from the same config is
+  // the one the snapshot was preprocessed from.
+  data::Dataset same = SmallBx();
+  auto warmed = VexusEngine::FromSnapshot(&same, path);
+  ASSERT_TRUE(warmed.ok()) << warmed.status().ToString();
+  EXPECT_EQ(warmed->groups().size(), mined->groups().size());
+  EXPECT_EQ(warmed->index().num_groups(), mined->index().num_groups());
+  EXPECT_EQ(warmed->graph().num_nodes(), warmed->groups().size());
+  EXPECT_GT(warmed->catalog().size(), 0u);  // rebuilt, not persisted
+  ASSERT_TRUE(warmed->RootGroup().has_value());
+
+  // The restored engine serves sessions end to end.
+  auto session = warmed->CreateSession({});
+  const auto& first = session->Start();
+  ASSERT_FALSE(first.groups.empty());
+  session->SelectGroup(first.groups[0]);
+  EXPECT_EQ(session->NumSteps(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(EngineSnapshotTest, FromSnapshotRejectsWrongUniverse) {
+  const std::string path = TempPath("engine_universe.snap");
+  WriteEngineSnapshot(path);  // 500-user universe
+  data::Dataset other = SmallBx(400);
+  auto r = VexusEngine::FromSnapshot(&other, path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsFailedPrecondition()) << r.status().ToString();
+  // The mismatched dataset is untouched — move-only Dataset is consumed
+  // only on success.
+  EXPECT_EQ(other.num_users(), 400u);
+  std::remove(path.c_str());
+}
+
+TEST(EngineSnapshotTest, FailedLoadLeavesDatasetIntactForRetry) {
+  const std::string path = TempPath("engine_retry.snap");
+  WriteEngineSnapshot(path);
+  data::Dataset ds = SmallBx();
+  auto miss = VexusEngine::FromSnapshot(&ds, TempPath("no_such_file.snap"));
+  ASSERT_FALSE(miss.ok());
+  EXPECT_EQ(ds.num_users(), 500u);
+  // A cold service retries the same dataset against the correct path.
+  auto retry = VexusEngine::FromSnapshot(&ds, path);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(retry->dataset().num_users(), 500u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

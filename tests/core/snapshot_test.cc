@@ -1,10 +1,15 @@
 #include "core/snapshot.h"
 
+#include <sys/stat.h>
+
 #include <cstdio>
 #include <fstream>
+#include <utility>
 
 #include <gtest/gtest.h>
 
+#include "common/crc32.h"
+#include "common/random.h"
 #include "core/session.h"
 #include "data/generators/bookcrossing_gen.h"
 #include "mining/discovery.h"
@@ -150,6 +155,407 @@ TEST(SnapshotTest, MismatchedInputsRejected) {
   mining::GroupStore other(w.discovery->groups.num_users());
   Status s = SaveSnapshot(other, *w.index, w.TempPath("mismatch"));
   EXPECT_TRUE(s.IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// v1 ↔ v2 equivalence and encoding edge cases
+// ---------------------------------------------------------------------------
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/vexus_snapshot_" + name + ".bin";
+}
+
+void ExpectStoresEqual(const mining::GroupStore& a,
+                       const mining::GroupStore& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.num_users(), b.num_users());
+  for (mining::GroupId g = 0; g < a.size(); ++g) {
+    EXPECT_TRUE(a.group(g).description() == b.group(g).description())
+        << "group " << g;
+    EXPECT_TRUE(a.group(g).members() == b.group(g).members()) << "group " << g;
+  }
+}
+
+/// A store exercising every member-block shape: the all-users root (raw
+/// encoding), a dense group, a sparse group, a singleton, and an empty
+/// extent. Index postings reference each group so the postings section is
+/// non-trivial too.
+std::pair<mining::GroupStore, index::InvertedIndex> MixedWorld(
+    size_t num_users) {
+  mining::GroupStore store(num_users);
+  Bitset all(num_users);
+  for (size_t u = 0; u < num_users; ++u) all.Set(u);
+  store.Add(mining::UserGroup({}, all));  // root — raw block
+
+  Bitset dense(num_users);
+  for (size_t u = 0; u < num_users; u += 2) dense.Set(u);
+  store.Add(mining::UserGroup({{0, 1}}, dense));
+
+  Bitset sparse(num_users);
+  for (size_t u = 0; u < num_users; u += 97) sparse.Set(u);
+  store.Add(mining::UserGroup({{1, 2}}, sparse));
+
+  Bitset one(num_users);
+  one.Set(num_users - 1);
+  store.Add(mining::UserGroup({{2, 0}}, one));
+
+  store.Add(mining::UserGroup({{3, 4}}, Bitset(num_users)));  // empty extent
+
+  std::vector<std::vector<index::Neighbor>> lists(store.size());
+  lists[0] = {{1, 0.5f}, {2, 0.25f}};
+  lists[1] = {{0, 0.5f}};
+  lists[4] = {{3, 0.125f}};
+  return {std::move(store), index::InvertedIndex::FromPostings(lists)};
+}
+
+TEST(SnapshotFormatTest, V1AndV2LoadIdentically) {
+  auto [store, index] = MixedWorld(1000);
+  std::string p1 = TempPath("fmt_v1");
+  std::string p2 = TempPath("fmt_v2");
+  SnapshotSaveOptions v1opts;
+  v1opts.version = 1;
+  ASSERT_TRUE(SaveSnapshot(store, index, p1, v1opts).ok());
+  ASSERT_TRUE(SaveSnapshot(store, index, p2).ok());
+
+  auto l1 = LoadSnapshot(p1);
+  auto l2 = LoadSnapshot(p2);
+  ASSERT_TRUE(l1.ok()) << l1.status().ToString();
+  ASSERT_TRUE(l2.ok()) << l2.status().ToString();
+  ExpectStoresEqual(store, l1->groups);
+  ExpectStoresEqual(store, l2->groups);
+  ExpectStoresEqual(l1->groups, l2->groups);
+  ASSERT_EQ(l1->index.num_groups(), l2->index.num_groups());
+  for (mining::GroupId g = 0; g < store.size(); ++g) {
+    const auto& la = l1->index.Neighbors(g);
+    const auto& lb = l2->index.Neighbors(g);
+    ASSERT_EQ(la.size(), lb.size());
+    for (size_t i = 0; i < la.size(); ++i) {
+      EXPECT_EQ(la[i].group, lb[i].group);
+      EXPECT_FLOAT_EQ(la[i].similarity, lb[i].similarity);
+    }
+  }
+  // v2 must actually be smaller — the dense groups become raw words, the
+  // sparse ones varint deltas, both beating 4 bytes/member.
+  struct ::stat s1, s2;
+  ASSERT_EQ(::stat(p1.c_str(), &s1), 0);
+  ASSERT_EQ(::stat(p2.c_str(), &s2), 0);
+  EXPECT_LT(s2.st_size, s1.st_size);
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+TEST(SnapshotFormatTest, PropertyRandomStoresRoundTripBothVersions) {
+  Rng rng(20260806);
+  for (int trial = 0; trial < 12; ++trial) {
+    const size_t num_users = 1 + rng.UniformU32(700);
+    mining::GroupStore store(num_users);
+    const size_t num_groups = 1 + rng.UniformU32(12);
+    for (size_t g = 0; g < num_groups; ++g) {
+      Bitset members(num_users);
+      switch (rng.UniformU32(4)) {
+        case 0:  // empty extent
+          break;
+        case 1:  // singleton
+          members.Set(rng.UniformU32(static_cast<uint32_t>(num_users)));
+          break;
+        case 2:  // full universe
+          for (size_t u = 0; u < num_users; ++u) members.Set(u);
+          break;
+        default: {  // random density
+          double p = rng.UniformDouble();
+          for (size_t u = 0; u < num_users; ++u) {
+            if (rng.UniformDouble() < p) members.Set(u);
+          }
+        }
+      }
+      std::vector<mining::Descriptor> desc;
+      const size_t desc_len = rng.UniformU32(4);
+      for (size_t d = 0; d < desc_len; ++d) {
+        desc.push_back({rng.UniformU32(8), rng.UniformU32(16)});
+      }
+      store.Add(mining::UserGroup(std::move(desc), std::move(members)));
+    }
+    std::vector<std::vector<index::Neighbor>> lists(store.size());
+    for (size_t g = 0; g < store.size(); ++g) {
+      const size_t len = rng.UniformU32(4);
+      for (size_t i = 0; i < len; ++i) {
+        lists[g].push_back({rng.UniformU32(static_cast<uint32_t>(store.size())),
+                            static_cast<float>(rng.UniformDouble())});
+      }
+    }
+    index::InvertedIndex index = index::InvertedIndex::FromPostings(lists);
+
+    for (uint32_t version : {1u, 2u}) {
+      std::string path = TempPath("property");
+      SnapshotSaveOptions opts;
+      opts.version = version;
+      opts.sync = false;
+      ASSERT_TRUE(SaveSnapshot(store, index, path, opts).ok());
+      auto loaded = LoadSnapshot(path);
+      ASSERT_TRUE(loaded.ok())
+          << "trial " << trial << " v" << version << ": "
+          << loaded.status().ToString();
+      ExpectStoresEqual(store, loaded->groups);
+      ASSERT_EQ(loaded->index.num_groups(), store.size());
+      for (size_t g = 0; g < store.size(); ++g) {
+        const auto& got = loaded->index.Neighbors(g);
+        ASSERT_EQ(got.size(), lists[g].size());
+        for (size_t i = 0; i < got.size(); ++i) {
+          EXPECT_EQ(got[i].group, lists[g][i].group);
+          EXPECT_FLOAT_EQ(got[i].similarity, lists[g][i].similarity);
+        }
+      }
+      std::remove(path.c_str());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hand-crafted malformed files (format-level regression tests)
+// ---------------------------------------------------------------------------
+
+void AppendU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+void AppendVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+/// Assembles a well-formed v2 container (header, sections, CRC trailer)
+/// around arbitrary section payloads, so tests can express "the checksums
+/// are right but the content is evil".
+std::string MakeV2File(uint64_t num_users, const std::string& groups_sec,
+                       const std::string& postings_sec) {
+  std::string buf;
+  buf.append("VXSN", 4);
+  AppendU32(&buf, 2);
+  AppendU64(&buf, num_users);
+  uint64_t groups_offset = buf.size();
+  buf.append(groups_sec);
+  uint64_t postings_offset = buf.size();
+  buf.append(postings_sec);
+  std::string trailer;
+  AppendU64(&trailer, groups_offset);
+  AppendU64(&trailer, groups_sec.size());
+  AppendU64(&trailer, postings_offset);
+  AppendU64(&trailer, postings_sec.size());
+  AppendU32(&trailer, Crc32(buf.data(), buf.size() - postings_sec.size()));
+  AppendU32(&trailer, Crc32(postings_sec.data(), postings_sec.size()));
+  AppendU32(&trailer, Crc32(trailer.data(), trailer.size()));
+  trailer.append("VXTR", 4);
+  buf.append(trailer);
+  return buf;
+}
+
+std::string EmptyPostings(uint64_t num_groups) {
+  std::string sec;
+  AppendU64(&sec, num_groups);
+  for (uint64_t g = 0; g < num_groups; ++g) AppendU32(&sec, 0);
+  return sec;
+}
+
+Result<Snapshot> LoadBytes(const std::string& bytes, const char* name) {
+  std::string path = TempPath(name);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto r = LoadSnapshot(path);
+  std::remove(path.c_str());
+  return r;
+}
+
+TEST(SnapshotFormatTest, DuplicateMemberDeltaIsCorruption) {
+  // Sparse deltas {2, 0, 1}: the zero delta repeats member 2. Pre-fix the
+  // loader Set() the same bit twice and the group silently shrank.
+  std::string groups;
+  AppendU64(&groups, 1);   // num_groups
+  AppendU32(&groups, 0);   // desc_len
+  AppendU64(&groups, 3);   // member_count
+  AppendU8(&groups, 0);    // sparse
+  AppendVarint(&groups, 2);
+  AppendVarint(&groups, 0);
+  AppendVarint(&groups, 1);
+  auto r = LoadBytes(MakeV2File(10, groups, EmptyPostings(1)), "dupdelta");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+  EXPECT_NE(r.status().ToString().find("duplicate member"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(SnapshotFormatTest, SparseMemberOutOfRangeIsCorruption) {
+  std::string groups;
+  AppendU64(&groups, 1);
+  AppendU32(&groups, 0);
+  AppendU64(&groups, 1);
+  AppendU8(&groups, 0);
+  AppendVarint(&groups, 99);  // num_users is 10
+  auto r = LoadBytes(MakeV2File(10, groups, EmptyPostings(1)), "idrange");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(SnapshotFormatTest, RawBlockBitBeyondUniverseIsCorruption) {
+  std::string groups;
+  AppendU64(&groups, 1);
+  AppendU32(&groups, 0);
+  AppendU64(&groups, 1);
+  AppendU8(&groups, 1);                  // raw
+  AppendU64(&groups, uint64_t{1} << 63);  // bit 63 set; universe is 10 bits
+  auto r = LoadBytes(MakeV2File(10, groups, EmptyPostings(1)), "rawtail");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(SnapshotFormatTest, RawBlockPopcountMismatchIsCorruption) {
+  std::string groups;
+  AppendU64(&groups, 1);
+  AppendU32(&groups, 0);
+  AppendU64(&groups, 1);  // claims one member…
+  AppendU8(&groups, 1);
+  AppendU64(&groups, 0b11);  // …but the block stores two
+  auto r = LoadBytes(MakeV2File(10, groups, EmptyPostings(1)), "popcount");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(SnapshotFormatTest, UnknownEncodingIsCorruption) {
+  std::string groups;
+  AppendU64(&groups, 1);
+  AppendU32(&groups, 0);
+  AppendU64(&groups, 0);
+  AppendU8(&groups, 7);  // neither sparse (0) nor raw (1)
+  auto r = LoadBytes(MakeV2File(10, groups, EmptyPostings(1)), "encoding");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(SnapshotFormatTest, DuplicateMemberIdInV1IsCorruption) {
+  // v1 has no checksums, so the duplicate-id check is its only defence.
+  std::string buf;
+  buf.append("VXSN", 4);
+  AppendU32(&buf, 1);
+  AppendU64(&buf, 10);  // num_users
+  AppendU64(&buf, 1);   // num_groups
+  AppendU32(&buf, 0);   // desc_len
+  AppendU64(&buf, 2);   // member_count
+  AppendU32(&buf, 5);
+  AppendU32(&buf, 5);  // repeated member id
+  AppendU64(&buf, 1);  // num_lists
+  AppendU32(&buf, 0);  // empty posting list
+  auto r = LoadBytes(buf, "dupv1");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+  EXPECT_NE(r.status().ToString().find("duplicate member"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(SnapshotFormatTest, TrailingGarbageIsCorruptionBothVersions) {
+  auto [store, index] = MixedWorld(200);
+  for (uint32_t version : {1u, 2u}) {
+    std::string path = TempPath("garbage");
+    SnapshotSaveOptions opts;
+    opts.version = version;
+    opts.sync = false;
+    ASSERT_TRUE(SaveSnapshot(store, index, path, opts).ok());
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::app);
+      out << "extra";
+    }
+    // Pre-fix the v1 loader stopped at the last posting list and reported
+    // success on a file with unread bytes.
+    auto r = LoadSnapshot(path);
+    ASSERT_FALSE(r.ok()) << "v" << version;
+    EXPECT_TRUE(r.status().IsCorruption()) << "v" << version;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(SnapshotFormatTest, CorruptionMatrixEveryFlippedBitIsRejected) {
+  // Write a small v2 snapshot, then flip one bit in every byte of the file.
+  // No flip may crash the loader or produce Status::OK — each must surface
+  // as Corruption, or NotSupported when the flip lands in the version field.
+  auto [store, index] = MixedWorld(300);
+  std::string path = TempPath("matrix");
+  SnapshotSaveOptions opts;
+  opts.sync = false;
+  ASSERT_TRUE(SaveSnapshot(store, index, path, opts).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string full((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  std::remove(path.c_str());
+
+  auto check = [&](size_t byte, int bit) {
+    std::string mutated = full;
+    mutated[byte] ^= static_cast<char>(1 << bit);
+    auto r = LoadBytes(mutated, "matrixbit");
+    ASSERT_FALSE(r.ok()) << "byte " << byte << " bit " << bit
+                         << " was accepted";
+    EXPECT_TRUE(r.status().IsCorruption() || r.status().IsNotSupported())
+        << "byte " << byte << " bit " << bit << ": "
+        << r.status().ToString();
+  };
+  for (size_t byte = 0; byte < full.size(); ++byte) {
+    check(byte, static_cast<int>(byte % 8));  // a different bit each byte
+  }
+  // All eight bits for the header and trailer, whose fields gate parsing.
+  for (size_t byte = 0; byte < 16; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) check(byte, bit);
+  }
+  for (size_t byte = full.size() - 48; byte < full.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) check(byte, bit);
+  }
+}
+
+TEST(SnapshotDurabilityTest, SaveIssuesFsyncsForFileAndDirectory) {
+  // The regression this guards: SaveSnapshot used to write + rename without
+  // a single fsync, so a crash after rename could publish a file whose
+  // pages never reached disk — exactly the torn snapshot the atomic-rename
+  // dance is supposed to prevent. The fsync counter is process-global, so
+  // observe deltas.
+  auto [store, index] = MixedWorld(100);
+  std::string path = TempPath("durable");
+
+  uint64_t before = internal::SnapshotFsyncCountForTesting();
+  ASSERT_TRUE(SaveSnapshot(store, index, path).ok());
+  uint64_t after = internal::SnapshotFsyncCountForTesting();
+  // One fsync for the tmp file's data, one for the parent directory entry.
+  EXPECT_GE(after - before, 2u);
+
+  uint64_t before_nosync = internal::SnapshotFsyncCountForTesting();
+  SnapshotSaveOptions nosync;
+  nosync.sync = false;
+  ASSERT_TRUE(SaveSnapshot(store, index, path, nosync).ok());
+  EXPECT_EQ(internal::SnapshotFsyncCountForTesting(), before_nosync);
+
+  // Either way the published file parses.
+  EXPECT_TRUE(LoadSnapshot(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotDurabilityTest, NoTmpFileLeftBehindAfterSave) {
+  auto [store, index] = MixedWorld(100);
+  std::string path = TempPath("notmp");
+  ASSERT_TRUE(SaveSnapshot(store, index, path).ok());
+  struct ::stat st;
+  EXPECT_NE(::stat((path + ".tmp").c_str(), &st), 0)
+      << "tmp staging file must not outlive a successful save";
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -245,5 +245,47 @@ TEST(InvertedIndexTest, StatsPopulated) {
   EXPECT_GE(idx->build_stats().elapsed_ms, 0.0);
 }
 
+void ExpectIndexesIdentical(const InvertedIndex& a, const InvertedIndex& b) {
+  ASSERT_EQ(a.num_groups(), b.num_groups());
+  for (GroupId g = 0; g < a.num_groups(); ++g) {
+    const auto& la = a.Neighbors(g);
+    const auto& lb = b.Neighbors(g);
+    ASSERT_EQ(la.size(), lb.size()) << "group " << g;
+    for (size_t i = 0; i < la.size(); ++i) {
+      EXPECT_EQ(la[i].group, lb[i].group) << "group " << g << " slot " << i;
+      // Bit-exact, not approximately equal: the parallel build must fold
+      // per-chunk results in deterministic order, or snapshots built with
+      // different thread counts would diverge.
+      EXPECT_EQ(la[i].similarity, lb[i].similarity)
+          << "group " << g << " slot " << i;
+    }
+  }
+}
+
+TEST(InvertedIndexParallelTest, CooccurrenceBuildMatchesSerialExactly) {
+  GroupStore store = RandomStore(60, 500, 7);
+  InvertedIndex::Options serial = FullOptions();
+  InvertedIndex::Options parallel = FullOptions();
+  parallel.num_threads = 4;
+  auto a = InvertedIndex::Build(store, serial);
+  auto b = InvertedIndex::Build(store, parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectIndexesIdentical(*a, *b);
+}
+
+TEST(InvertedIndexParallelTest, MinHashBuildMatchesSerialExactly) {
+  GroupStore store = RandomStore(60, 500, 9);
+  InvertedIndex::Options serial = FullOptions();
+  serial.strategy = InvertedIndex::BuildStrategy::kMinHash;
+  InvertedIndex::Options parallel = serial;
+  parallel.num_threads = 4;
+  auto a = InvertedIndex::Build(store, serial);
+  auto b = InvertedIndex::Build(store, parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectIndexesIdentical(*a, *b);
+}
+
 }  // namespace
 }  // namespace vexus::index

@@ -111,7 +111,66 @@ TEST(LshDeathTest, BandsMustDivideSignature) {
   std::vector<std::vector<uint64_t>> sigs = {h.Signature(s)};
   ASSERT_DEATH(LshCandidatePairs(sigs, 3), "must divide");
 }
+
+TEST(LshDeathTest, RaggedSignaturesRejected) {
+  // Pre-fix only signatures[0] was measured, so a shorter signature later
+  // in the vector made the banding loop read past its end.
+  MinHasher h(16);
+  Bitset s = Bitset::FromVector(50, {1, 2, 3});
+  std::vector<std::vector<uint64_t>> sigs = {h.Signature(s), h.Signature(s)};
+  sigs[1].resize(8);
+  ASSERT_DEATH(LshCandidatePairs(sigs, 4), "ragged signature");
+}
 #endif
+
+TEST(MinHasherTest, TwoEmptySetsEstimateZeroNotOne) {
+  // Pre-fix two all-sentinel signatures agreed on every component and
+  // estimated Jaccard 1.0 — but empty groups share zero members.
+  MinHasher h(32);
+  Bitset empty_a(100), empty_b(100);
+  auto sa = h.Signature(empty_a);
+  auto sb = h.Signature(empty_b);
+  EXPECT_TRUE(MinHasher::IsEmptySignature(sa));
+  EXPECT_DOUBLE_EQ(MinHasher::EstimateJaccard(sa, sb), 0.0);
+
+  Bitset nonempty = Bitset::FromVector(100, {5, 9});
+  EXPECT_DOUBLE_EQ(MinHasher::EstimateJaccard(sa, h.Signature(nonempty)), 0.0);
+}
+
+TEST(LshTest, EmptyGroupsNeverBecomeCandidates) {
+  // Pre-fix every empty group collided with every other empty group in
+  // every band, flooding the verifier with pairs of true similarity 0.
+  MinHasher h(32);
+  Bitset s = Bitset::FromVector(100, {1, 2, 3});
+  Bitset empty(100);
+  std::vector<std::vector<uint64_t>> sigs = {
+      h.Signature(s), h.Signature(empty), h.Signature(empty),
+      h.Signature(s)};
+  auto pairs = LshCandidatePairs(sigs, 8);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], std::make_pair(0u, 3u));
+}
+
+TEST(MinHashPoolTest, PooledSignaturesAndPairsMatchSerial) {
+  vexus::Rng rng(41);
+  mining::GroupStore store(500);
+  for (int g = 0; g < 40; ++g) {
+    Bitset members(500);
+    int count = static_cast<int>(rng.UniformU32(60));  // includes empty
+    for (int i = 0; i < count; ++i) members.Set(rng.UniformU32(500));
+    store.Add(mining::UserGroup(
+        {{static_cast<uint32_t>(g), 0}}, std::move(members)));
+  }
+  MinHasher h(64);
+  vexus::ThreadPool pool(4);
+  auto serial_sigs = h.Signatures(store, nullptr);
+  auto pooled_sigs = h.Signatures(store, &pool);
+  EXPECT_EQ(serial_sigs, pooled_sigs);
+
+  auto serial_pairs = LshCandidatePairs(serial_sigs, 16, nullptr);
+  auto pooled_pairs = LshCandidatePairs(serial_sigs, 16, &pool);
+  EXPECT_EQ(serial_pairs, pooled_pairs);
+}
 
 }  // namespace
 }  // namespace vexus::index

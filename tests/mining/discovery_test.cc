@@ -132,6 +132,46 @@ TEST(DiscoveryTest, MinSupportScalesWithFraction) {
   }
 }
 
+void ExpectStoresIdentical(const GroupStore& a, const GroupStore& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (GroupId g = 0; g < a.size(); ++g) {
+    EXPECT_TRUE(a.group(g).description() == b.group(g).description())
+        << "group " << g;
+    EXPECT_TRUE(a.group(g).members() == b.group(g).members()) << "group " << g;
+  }
+}
+
+TEST(DiscoveryParallelTest, ParallelMiningMatchesSerialExactly) {
+  // Same groups in the same order with the same extents — the parallel
+  // expansion mines per-branch buffers and folds them in item order, so a
+  // snapshot preprocessed with N threads equals the single-threaded one.
+  DiscoveryOptions serial;
+  serial.min_support_fraction = 0.02;
+  DiscoveryOptions parallel = serial;
+  parallel.num_threads = 4;
+  auto rs = DiscoverGroups(SmallBx(), serial);
+  auto rp = DiscoverGroups(SmallBx(), parallel);
+  ASSERT_TRUE(rs.ok() && rp.ok());
+  EXPECT_GT(rs->groups.size(), 10u);  // non-trivial workload
+  ExpectStoresIdentical(rs->groups, rp->groups);
+}
+
+TEST(DiscoveryParallelTest, TruncationIdenticalUnderParallelism) {
+  // The max_groups cap must cut the same prefix regardless of thread count:
+  // branch budgets bound over-mining, and the cap is re-applied during the
+  // deterministic fold.
+  DiscoveryOptions serial;
+  serial.min_support_fraction = 0.02;
+  serial.max_groups = 12;
+  DiscoveryOptions parallel = serial;
+  parallel.num_threads = 4;
+  auto rs = DiscoverGroups(SmallBx(), serial);
+  auto rp = DiscoverGroups(SmallBx(), parallel);
+  ASSERT_TRUE(rs.ok() && rp.ok());
+  EXPECT_TRUE(rs->lcm_stats.truncated);
+  ExpectStoresIdentical(rs->groups, rp->groups);
+}
+
 TEST(BuildFeatureVectorsTest, ShapesAndNames) {
   data::Dataset ds = SmallBx();
   std::vector<std::string> names;

@@ -7,9 +7,12 @@
 #include <thread>
 #include <vector>
 
+#include <cstdio>
+
 #include <gtest/gtest.h>
 
 #include "core/engine.h"
+#include "core/snapshot.h"
 #include "data/generators/bookcrossing_gen.h"
 #include "server/json.h"
 
@@ -17,6 +20,10 @@ namespace vexus::server {
 namespace {
 
 class ServiceTest : public ::testing::Test {
+ public:
+  /// Shared warm engine for helpers outside the fixture (snapshot writers).
+  static core::VexusEngine* SharedEngine() { return engine_; }
+
  protected:
   static void SetUpTestSuite() {
     data::BookCrossingGenerator::Config cfg;
@@ -656,6 +663,104 @@ TEST_F(ServiceTest, ConcurrentExplorersSixteenThreads) {
     EXPECT_GE(ended.num_steps, 1u);
   }
   EXPECT_EQ(svc.sessions().size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cold start: a service constructed with only a dataset, warmed by the
+// warm_from_snapshot wire op (DESIGN.md §11).
+// ---------------------------------------------------------------------------
+
+/// The same dataset the shared engine_ was preprocessed from (the generator
+/// is deterministic), so engine_'s snapshot warms a service over it.
+data::Dataset FreshDataset() {
+  data::BookCrossingGenerator::Config cfg;
+  cfg.num_users = 500;
+  cfg.num_books = 600;
+  cfg.num_ratings = 3000;
+  return data::BookCrossingGenerator::Generate(cfg);
+}
+
+std::string WriteServiceSnapshot(const char* name) {
+  std::string path = ::testing::TempDir() + name;
+  core::SnapshotSaveOptions save;
+  save.sync = false;
+  EXPECT_TRUE(core::SaveSnapshot(ServiceTest::SharedEngine()->groups(),
+                                 ServiceTest::SharedEngine()->index(), path,
+                                 save)
+                  .ok());
+  return path;
+}
+
+Request WarmRequest(const std::string& path) {
+  Request req;
+  req.type = RequestType::kWarmFromSnapshot;
+  req.path = path;
+  return req;
+}
+
+TEST_F(ServiceTest, ColdServiceWarmsFromSnapshotOverTheWire) {
+  const std::string path = WriteServiceSnapshot("svc_warm.snap");
+  ExplorationService svc(FreshDataset(), FastOptions());
+  EXPECT_FALSE(svc.warm());
+
+  // While cold, session traffic is refused but observability answers.
+  Response refused = svc.Call(Start("early"));
+  EXPECT_TRUE(refused.status.IsFailedPrecondition())
+      << refused.status.ToString();
+  Request gs;
+  gs.type = RequestType::kGetStats;
+  EXPECT_TRUE(svc.Call(gs).status.ok());
+
+  // Warm over the wire, exactly as an operator would.
+  std::string out = svc.HandleLine(
+      "{\"op\":\"warm_from_snapshot\",\"path\":\"" + path + "\"}");
+  auto resp = Response::Decode(out);
+  ASSERT_TRUE(resp.ok()) << out;
+  ASSERT_TRUE(resp->status.ok()) << out;
+  EXPECT_TRUE(svc.warm());
+
+  // Session ops now run end to end on the restored engine.
+  Response started = svc.Call(Start("thawed"));
+  ASSERT_TRUE(started.status.ok()) << started.status.ToString();
+  ASSERT_FALSE(started.groups.empty());
+  ASSERT_TRUE(svc.Call(Select("thawed", started.groups[0].id)).status.ok());
+  ASSERT_TRUE(svc.Call(End("thawed")).status.ok());
+
+  // Warming is exactly-once.
+  Response again = svc.Call(WarmRequest(path));
+  EXPECT_TRUE(again.status.IsFailedPrecondition()) << again.status.ToString();
+
+  MetricsSnapshot s = svc.Stats();
+  EXPECT_EQ(s.warm_loads, 1u);
+  EXPECT_GT(s.last_warm_load_ms, 0.0);
+  std::remove(path.c_str());
+}
+
+TEST_F(ServiceTest, FailedWarmLeavesServiceColdAndRetryable) {
+  const std::string path = WriteServiceSnapshot("svc_retry.snap");
+  ExplorationService svc(FreshDataset(), FastOptions());
+
+  // Missing file: the service stays cold, the dataset is preserved...
+  Response miss =
+      svc.Call(WarmRequest(::testing::TempDir() + "no_such.snap"));
+  EXPECT_FALSE(miss.status.ok());
+  EXPECT_FALSE(svc.warm());
+  EXPECT_EQ(svc.Stats().warm_loads, 0u);
+
+  // ...so a retry against the correct path succeeds.
+  ASSERT_TRUE(svc.Call(WarmRequest(path)).status.ok());
+  EXPECT_TRUE(svc.warm());
+  EXPECT_TRUE(svc.Call(Start("second_try")).status.ok());
+  EXPECT_EQ(svc.Stats().warm_loads, 1u);
+  std::remove(path.c_str());
+}
+
+TEST_F(ServiceTest, WarmConstructedServiceRefusesWarmOp) {
+  ExplorationService svc(SharedEngine(), FastOptions());
+  EXPECT_TRUE(svc.warm());
+  Response resp = svc.Call(WarmRequest("/irrelevant.snap"));
+  EXPECT_TRUE(resp.status.IsFailedPrecondition()) << resp.status.ToString();
+  EXPECT_EQ(svc.Stats().warm_loads, 0u);
 }
 
 }  // namespace
