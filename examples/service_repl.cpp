@@ -34,13 +34,58 @@ using vexus::server::ServiceOptions;
 
 namespace {
 
-/// Runs one scripted line and prints the exchange like a wire tap.
+/// Translates the overload-related response shapes into one operator-facing
+/// hint line (empty when the response needs no explanation). The wire
+/// fields are terse by design; this is where a human front-end would say
+/// what they mean.
+std::string OverloadHint(const Response& resp) {
+  if (resp.status.code() == vexus::StatusCode::kResourceExhausted) {
+    return "   -- shed: the service is overloaded (degradation ladder at "
+           "'shed' or queue full).\n"
+           "      Retry with backoff; {\"op\":\"health\"} shows the current "
+           "rung and queue delay.";
+  }
+  if (resp.status.code() == vexus::StatusCode::kDeadlineExceeded) {
+    return "   -- deadline: the request's budget_ms ran out before a screen "
+           "was computed.\n"
+           "      Raise budget_ms or let the server degrade instead of "
+           "expiring.";
+  }
+  if (resp.degraded.has_value()) {
+    if (*resp.degraded == "effort") {
+      return "   -- degraded:\"effort\": overload rung 1 — this screen was "
+             "computed with a\n"
+           "      shrunken greedy budget; quality may be slightly lower, "
+             "latency is protected.";
+    }
+    if (*resp.degraded == "k") {
+      return "   -- degraded:\"k\": overload rung 2 — fewer groups than "
+             "requested on this\n"
+             "      screen; your session's own k returns when load drops.";
+    }
+    if (*resp.degraded == "stale") {
+      return "   -- degraded:\"stale\": overload rung 3 — this is your "
+             "previous screen replayed\n"
+             "      from cache; the selection was NOT applied. Re-issue it "
+             "when load drops.";
+    }
+    return "   -- degraded:\"" + *resp.degraded + "\"";
+  }
+  return "";
+}
+
+/// Runs one scripted line and prints the exchange like a wire tap, plus a
+/// human-readable hint when the server shed or degraded the answer.
 Response Exchange(ExplorationService& svc, const std::string& line) {
   std::printf(">> %s\n", line.c_str());
   std::string out = svc.HandleLine(line);
-  std::printf("<< %s\n\n", out.c_str());
-  auto resp = Response::Decode(out);
-  return resp.ok() ? std::move(resp).ValueOrDie() : Response{};
+  std::printf("<< %s\n", out.c_str());
+  auto decoded = Response::Decode(out);
+  Response resp = decoded.ok() ? std::move(decoded).ValueOrDie() : Response{};
+  std::string hint = OverloadHint(resp);
+  if (!hint.empty()) std::printf("%s\n", hint.c_str());
+  std::printf("\n");
+  return resp;
 }
 
 }  // namespace
@@ -76,7 +121,14 @@ int main(int argc, char** argv) {
     std::string line;
     while (std::getline(std::cin, line)) {
       if (line.empty()) continue;
-      std::printf("%s\n", svc.HandleLine(line).c_str());
+      std::string out = svc.HandleLine(line);
+      std::printf("%s\n", out.c_str());
+      // stdout stays pure protocol (pipeable); hints go to stderr.
+      auto decoded = Response::Decode(out);
+      if (decoded.ok()) {
+        std::string hint = OverloadHint(*decoded);
+        if (!hint.empty()) std::fprintf(stderr, "%s\n", hint.c_str());
+      }
     }
     return 0;
   }
@@ -118,6 +170,29 @@ int main(int argc, char** argv) {
   Exchange(svc, "{\"op\":\"warp_ten\"}");
 
   Exchange(svc, R"({"op":"end_session","session":"alice"})");
+
+  // ---- 3b. Overload ladder, demonstrated (DESIGN.md §12). ----
+  // Force the controller up the ladder so the script shows what an explorer
+  // sees during a load spike (a real spike reaches the same rungs through
+  // measured queue delay; see the health probe's overload_rung).
+  std::printf("---- simulated load spike: ladder forced to rung 2 "
+              "(reduce_k) ----\n\n");
+  svc.dispatcher().overload().ForceRungForTesting(
+      vexus::server::OverloadRung::kReduceK);
+  Response squeezed =
+      Exchange(svc, std::string(R"({"op":"select_group","session":"bob","group":)") +
+                        std::to_string(bob_click) + "}");
+  std::printf("---- spike worsens: rung 3 (stale) ----\n\n");
+  svc.dispatcher().overload().ForceRungForTesting(
+      vexus::server::OverloadRung::kStale);
+  Exchange(svc, std::string(R"({"op":"select_group","session":"bob","group":)") +
+                    std::to_string(bob_click) + "}");
+  Exchange(svc, R"({"op":"health"})");
+  std::printf("---- spike over: back to normal ----\n\n");
+  svc.dispatcher().overload().ForceRungForTesting(
+      vexus::server::OverloadRung::kNormal);
+  (void)squeezed;
+
   Exchange(svc, R"({"op":"end_session","session":"bob"})");
 
   // ---- 4. Metrics. ----

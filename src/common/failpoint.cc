@@ -1,0 +1,162 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace vexus::failpoint {
+
+namespace internal {
+std::atomic<int> g_armed_count{0};
+}  // namespace internal
+
+/// Shared between the registry and the arming ScopedFailpoint, so counters
+/// survive disarm (tests read them after the traffic they drove completed).
+struct ScopedFailpoint::State {
+  Policy policy;
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> fires{0};
+};
+
+namespace {
+
+using State = ScopedFailpoint::State;
+
+std::mutex& RegistryMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+/// site name -> armed state. Leaked singleton: failpoints may be evaluated
+/// from detached pool workers during process teardown, after static
+/// destructors would have run.
+std::unordered_map<std::string, std::shared_ptr<State>>& Registry() {
+  static auto* m = new std::unordered_map<std::string, std::shared_ptr<State>>();
+  return *m;
+}
+
+std::shared_ptr<State> FindSite(std::string_view site) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto& reg = Registry();
+  auto it = reg.find(std::string(site));
+  return it == reg.end() ? nullptr : it->second;
+}
+
+/// splitmix64: the deterministic per-reach coin for kProbability.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Applies the policy for one reach; true iff the site fires. The reach is
+/// counted regardless. Sleep (if any) happens here, before the caller acts
+/// on the verdict.
+bool Fire(State& st) {
+  const Policy& p = st.policy;
+  // 1-based ordinal of this reach, unique across threads.
+  uint64_t ordinal = st.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  bool fired = false;
+  switch (p.mode) {
+    case Policy::Mode::kOff:
+      break;
+    case Policy::Mode::kOnce:
+      fired = ordinal == 1;
+      break;
+    case Policy::Mode::kEveryNth:
+      fired = p.nth > 0 && ordinal % p.nth == 0;
+      break;
+    case Policy::Mode::kProbability: {
+      // Deterministic in (seed, ordinal): replaying a schedule re-fires the
+      // same reaches. 2^64 * probability as a threshold on a 64-bit hash.
+      const double pr = p.probability;
+      if (pr >= 1.0) {
+        fired = true;
+      } else if (pr > 0.0) {
+        const auto threshold = static_cast<uint64_t>(
+            pr * 18446744073709551616.0 /* 2^64 */);
+        fired = Mix64(p.seed ^ ordinal) < threshold;
+      }
+      break;
+    }
+    case Policy::Mode::kAlways:
+      fired = true;
+      break;
+  }
+  if (!fired) return false;
+
+  // Fire cap. The post-increment race between two threads both observing
+  // count == max-1 is benign for tests (at most one extra fire under a cap
+  // nobody sets that tight in a concurrent schedule).
+  if (st.fires.load(std::memory_order_relaxed) >= p.max_fires) return false;
+  st.fires.fetch_add(1, std::memory_order_relaxed);
+
+  if (p.sleep_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(p.sleep_ms));
+  }
+  return true;
+}
+
+}  // namespace
+
+namespace internal {
+
+Status Evaluate(std::string_view site) {
+  std::shared_ptr<State> st = FindSite(site);
+  if (st == nullptr || !Fire(*st)) return Status::OK();
+  if (st->policy.code == StatusCode::kOk) return Status::OK();
+  return Status::FromCode(
+      st->policy.code,
+      st->policy.message.empty()
+          ? "failpoint '" + std::string(site) + "' fired"
+          : st->policy.message);
+}
+
+bool EvaluateFires(std::string_view site) {
+  std::shared_ptr<State> st = FindSite(site);
+  return st != nullptr && Fire(*st);
+}
+
+}  // namespace internal
+
+ScopedFailpoint::ScopedFailpoint(std::string site, Policy policy)
+    : site_(std::move(site)), state_(std::make_shared<State>()) {
+  state_->policy = std::move(policy);
+  {
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    auto [it, inserted] = Registry().emplace(site_, state_);
+    VEXUS_CHECK(inserted) << "failpoint '" << site_ << "' is already armed";
+  }
+  // Incremented after the registry insert: a reader that takes the fast
+  // path's armed branch will find the site; one that misses the increment
+  // simply skips this evaluation (arming is not a synchronization point for
+  // traffic already in flight).
+  internal::g_armed_count.fetch_add(1, std::memory_order_release);
+}
+
+ScopedFailpoint::~ScopedFailpoint() {
+  internal::g_armed_count.fetch_sub(1, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto& reg = Registry();
+  auto it = reg.find(site_);
+  if (it != reg.end() && it->second == state_) reg.erase(it);
+}
+
+uint64_t ScopedFailpoint::hits() const {
+  return state_->hits.load(std::memory_order_relaxed);
+}
+
+uint64_t ScopedFailpoint::fires() const {
+  return state_->fires.load(std::memory_order_relaxed);
+}
+
+void DisarmedSiteForBench() { VEXUS_FAILPOINT_HIT("bench.disarmed"); }
+
+}  // namespace vexus::failpoint

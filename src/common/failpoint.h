@@ -1,0 +1,193 @@
+// Failpoints — deterministic fault injection for robustness testing.
+//
+// A failpoint is a *named site* compiled into production code where a test
+// can inject a failure: an error Status, a sleep (to widen race windows or
+// burn a deadline), or a boolean "this operation failed" verdict. Sites are
+// identified by stable string names ("snapshot.save.fsync",
+// "dispatcher.admit", ...; DESIGN.md §12 is the catalog) and are inert
+// unless a test arms them through a ScopedFailpoint.
+//
+// Design constraints (failpoints live on the 100 ms serving path):
+//
+//   * Zero cost when disarmed. Every macro begins with a single relaxed
+//     atomic load of a process-global armed count wrapped in
+//     __builtin_expect(..., 0): one predicted-untaken branch, no function
+//     call, no allocation (bench_overload pins the cost alongside the
+//     serving-throughput gate). The slow path — registry lookup under a
+//     mutex — is only ever reached while some test holds a ScopedFailpoint.
+//   * Deterministic. Trigger decisions are pure functions of (policy,
+//     per-site hit ordinal, seed): fire-once, every-Nth, probability-p
+//     under a seeded hash, always. A chaos schedule replayed with the same
+//     seed takes the same branches (modulo thread interleaving, which the
+//     chaos harness treats as part of the search space).
+//   * Observable. Each armed site counts how often it was *reached* and how
+//     often it *fired*, so a chaos run can assert its faults actually
+//     landed (a fault schedule that never reaches its sites tests nothing).
+//
+// Usage, production side:
+//
+//   Status SaveThing(...) {
+//     VEXUS_FAILPOINT("thing.save.open");          // may return a Status
+//     if (VEXUS_FAILPOINT_FIRES("thing.save.io"))  // bool verdict
+//       return Status::IOError("injected");
+//     VEXUS_FAILPOINT_HIT("thing.save.slow");      // count + optional sleep
+//     ...
+//   }
+//
+// Usage, test side:
+//
+//   failpoint::Policy p;
+//   p.mode = failpoint::Policy::Mode::kEveryNth;
+//   p.nth = 3;
+//   p.code = StatusCode::kIOError;
+//   failpoint::ScopedFailpoint fp("thing.save.open", p);
+//   ... drive the system ...
+//   EXPECT_GT(fp.fires(), 0u);
+//
+// (In the style of the failpoint/fault-injection registries production C++
+// storage stacks compile into their release binaries.)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace vexus::failpoint {
+
+/// Trigger policy of one armed site.
+struct Policy {
+  enum class Mode {
+    kOff,          ///< armed but never fires (still counts reaches)
+    kOnce,         ///< fires on the first reach only
+    kEveryNth,     ///< fires on reaches nth, 2·nth, 3·nth, ...
+    kProbability,  ///< fires with probability `probability`, seeded hash
+    kAlways,       ///< fires on every reach
+  };
+  Mode mode = Mode::kAlways;
+
+  /// kEveryNth period (>= 1; 0 behaves as kOff).
+  uint64_t nth = 1;
+  /// kProbability fire chance in [0, 1]; decided by a deterministic hash of
+  /// (seed, reach ordinal) so runs replay bit-identically per site.
+  double probability = 0.0;
+  uint64_t seed = 0;
+
+  /// Status injected when the site fires through VEXUS_FAILPOINT /
+  /// Inject(). kOk means "fire without an error" — useful for sleep-only
+  /// sites; VEXUS_FAILPOINT then injects nothing.
+  StatusCode code = StatusCode::kUnknown;
+  /// Message of the injected Status; default names the site.
+  std::string message;
+
+  /// Sleep this long (wall clock) every time the site fires, before the
+  /// status/verdict is produced. Widens race windows; burns deadlines.
+  double sleep_ms = 0.0;
+
+  /// Stop firing (but keep counting reaches) after this many fires.
+  uint64_t max_fires = UINT64_MAX;
+};
+
+/// Arms `site` with `policy` for this object's lifetime (RAII). At most one
+/// ScopedFailpoint per site name may be live at a time (checked). Counters
+/// remain readable after disarm — they are shared with, not owned by, the
+/// registry.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string site, Policy policy);
+  ~ScopedFailpoint();
+
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+  const std::string& site() const { return site_; }
+  /// Times the site was reached while armed.
+  uint64_t hits() const;
+  /// Times the site actually fired (injected a fault).
+  uint64_t fires() const;
+
+  /// Implementation detail, public so the registry (failpoint.cc) can share
+  /// ownership of the counters with this object.
+  struct State;
+
+ private:
+  std::string site_;
+  std::shared_ptr<State> state_;
+};
+
+namespace internal {
+
+/// Count of live ScopedFailpoints. The macros' fast path is one relaxed
+/// load of this — when zero, nothing else runs.
+extern std::atomic<int> g_armed_count;
+
+inline bool AnyArmed() {
+  return g_armed_count.load(std::memory_order_relaxed) != 0;
+}
+
+/// Slow path: looks `site` up, applies its policy, sleeps if configured,
+/// and returns the injected Status (OK when the site is not armed, did not
+/// fire, or fired with code kOk).
+Status Evaluate(std::string_view site);
+
+/// Slow path returning the fired verdict (sleep still applied).
+bool EvaluateFires(std::string_view site);
+
+}  // namespace internal
+
+/// Function form of VEXUS_FAILPOINT for call sites that need to clean up
+/// before propagating (close fds, roll back state): OK unless some armed
+/// policy on `site` fires with an error code.
+inline Status Inject(std::string_view site) {
+  if (__builtin_expect(internal::AnyArmed(), 0)) {
+    return internal::Evaluate(site);
+  }
+  return Status::OK();
+}
+
+/// True when `site` is armed and its policy fires (sleep applied). The
+/// caller supplies the failure behaviour.
+inline bool Fires(std::string_view site) {
+  if (__builtin_expect(internal::AnyArmed(), 0)) {
+    return internal::EvaluateFires(site);
+  }
+  return false;
+}
+
+/// Benchmark hook: a never-armed site behind a non-inlined call, so
+/// bench_overload can measure the disarmed fast-path cost without the
+/// optimizer deleting the loop.
+void DisarmedSiteForBench();
+
+}  // namespace vexus::failpoint
+
+/// Returns the injected error Status from the enclosing function when
+/// `site` fires. Works in functions returning Status or Result<T> (Result
+/// converts from Status implicitly). One predicted branch when disarmed.
+#define VEXUS_FAILPOINT(site)                                         \
+  do {                                                                \
+    if (__builtin_expect(::vexus::failpoint::internal::AnyArmed(),    \
+                         0)) {                                        \
+      ::vexus::Status _vexus_fp_status =                              \
+          ::vexus::failpoint::internal::Evaluate(site);               \
+      if (!_vexus_fp_status.ok()) return _vexus_fp_status;            \
+    }                                                                 \
+  } while (0)
+
+/// Boolean expression: true when `site` fires. For sites whose failure mode
+/// is not a Status (a bool return, a corrupted buffer, a dropped task).
+#define VEXUS_FAILPOINT_FIRES(site)                                 \
+  (__builtin_expect(::vexus::failpoint::internal::AnyArmed(), 0) && \
+   ::vexus::failpoint::internal::EvaluateFires(site))
+
+/// Side effects only (reach counting + configured sleep); never alters
+/// control flow. For hot-loop sites where the interesting injection is
+/// burning wall clock (e.g. forcing the greedy deadline path).
+#define VEXUS_FAILPOINT_HIT(site)                                      \
+  do {                                                                 \
+    if (__builtin_expect(::vexus::failpoint::internal::AnyArmed(), 0)) \
+      (void)::vexus::failpoint::internal::EvaluateFires(site);         \
+  } while (0)

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
+
 namespace vexus {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -42,6 +44,9 @@ void ThreadPool::Shutdown() {
 }
 
 bool ThreadPool::Submit(std::function<void()> task) {
+  // Simulates pool exhaustion / a shutdown race: the caller sees the same
+  // `false` it would get from a pool that is tearing down.
+  if (VEXUS_FAILPOINT_FIRES("threadpool.submit")) return false;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (shutdown_) return false;  // shedding: see header contract

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
@@ -284,6 +285,9 @@ GreedySelection GreedySelector::Run(std::vector<GroupId> pool,
 
   while (!converged && !deadline.Expired()) {
     ++result.passes;
+    // Chaos site: a sleep here burns the remaining budget mid-run, forcing
+    // the anytime path (deadline_hit with the best-so-far selection).
+    VEXUS_FAILPOINT_HIT("greedy.pass");
     TraceSpan pass_span = greedy.Child("pass");
     Stopwatch pass_watch;
     size_t refinement_count = 0;

@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "common/crc32.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace vexus::core {
@@ -279,13 +280,33 @@ Status SyncFd(int fd, const std::string& what) {
 
 Status WriteFileAtomically(const std::string& path, const std::string& payload,
                            bool sync) {
+  // Simulates EMFILE / a missing or read-only snapshot directory.
+  VEXUS_FAILPOINT("snapshot.save.open");
   const std::string tmp = path + ".tmp";
   int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) return Status::IOError("cannot open '" + tmp + "' for writing");
 
+  // Simulates ENOSPC mid-payload: the disk accepts a prefix of the payload
+  // and then the next write() fails. The save must abandon the tmp file and
+  // report the error — the previous good snapshot at `path` is untouched
+  // because the rename below never runs. (A *silent* tear — prefix written,
+  // no error — is only reachable via a crash, and then the rename doesn't
+  // run either; the chaos harness asserts both halves of that contract.)
+  const size_t fail_after = VEXUS_FAILPOINT_FIRES("snapshot.save.short_write")
+                                ? payload.size() / 2
+                                : std::string::npos;
+
   size_t off = 0;
   while (off < payload.size()) {
-    ssize_t n = ::write(fd, payload.data() + off, payload.size() - off);
+    if (off >= fail_after) {
+      ::close(fd);
+      ::remove(tmp.c_str());
+      return Status::IOError("write failed on '" + tmp +
+                             "' (injected ENOSPC after " +
+                             std::to_string(off) + " bytes)");
+    }
+    size_t want = std::min(payload.size(), fail_after) - off;
+    ssize_t n = ::write(fd, payload.data() + off, want);
     if (n < 0) {
       if (errno == EINTR) continue;
       ::close(fd);
@@ -299,7 +320,10 @@ Status WriteFileAtomically(const std::string& path, const std::string& payload,
   // rename makes it visible — otherwise a crash after the rename can leave a
   // truncated/empty file at `path` that passed std::rename just fine.
   if (sync) {
-    Status s = SyncFd(fd, "'" + tmp + "'");
+    // Simulates fsync returning EIO — the kernel dropped dirty pages.
+    Status s = failpoint::Fires("snapshot.save.fsync")
+                   ? Status::IOError("injected fsync failure on '" + tmp + "'")
+                   : SyncFd(fd, "'" + tmp + "'");
     if (!s.ok()) {
       ::close(fd);
       ::remove(tmp.c_str());
@@ -311,7 +335,10 @@ Status WriteFileAtomically(const std::string& path, const std::string& payload,
     return Status::IOError("close failed on '" + tmp + "'");
   }
 
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+  // Simulates rename failing (target directory deleted, EXDEV after a
+  // mount change). The tmp file is cleaned up either way.
+  if (failpoint::Fires("snapshot.save.rename") ||
+      ::rename(tmp.c_str(), path.c_str()) != 0) {
     ::remove(tmp.c_str());
     return Status::IOError("cannot rename snapshot into '" + path + "'");
   }
@@ -641,13 +668,26 @@ Status SaveSnapshot(const mining::GroupStore& groups,
   TraceSpan save = span != nullptr ? span->Child("save") : TraceSpan();
   std::string payload = EncodeSnapshot(groups, index, options.version);
   save.AddCount(payload.size());
+  // Simulates silent media corruption between encode and persist: one payload
+  // byte is flipped, the write itself "succeeds", and the damage is only
+  // discoverable by LoadSnapshot's checksums.
+  if (VEXUS_FAILPOINT_FIRES("snapshot.save.corrupt") && !payload.empty()) {
+    payload[payload.size() / 2] ^= 0x40;
+  }
   return WriteFileAtomically(path, payload, options.sync);
 }
 
 Result<Snapshot> LoadSnapshot(const std::string& path, const TraceSpan* span) {
   TraceSpan load = span != nullptr ? span->Child("load") : TraceSpan();
+  // Simulates an unreadable snapshot file (EIO, NFS server gone).
+  VEXUS_FAILPOINT("snapshot.load.read");
   VEXUS_ASSIGN_OR_RETURN(std::string buf, ReadFileFully(path));
   load.AddCount(buf.size());
+  // Simulates bit rot on the read path: the file on disk is fine but the
+  // bytes we parsed are not. Checksums must catch it.
+  if (VEXUS_FAILPOINT_FIRES("snapshot.load.corrupt") && !buf.empty()) {
+    buf[buf.size() / 2] ^= 0x40;
+  }
 
   if (buf.size() < kHeaderSize) return Truncated();
   if (std::memcmp(buf.data(), kMagic, 4) != 0) {

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace vexus::server {
@@ -11,7 +12,7 @@ namespace vexus::server {
 Dispatcher::Dispatcher(ThreadPool* pool, Handler handler,
                        DispatcherOptions options, ServiceMetrics* metrics,
                        TraceLog* trace_log)
-    : pool_(pool), core_(std::make_shared<Core>()) {
+    : pool_(pool), core_(std::make_shared<Core>(options.overload)) {
   VEXUS_CHECK(pool_ != nullptr);
   VEXUS_CHECK(handler != nullptr);
   core_->handler = std::move(handler);
@@ -22,6 +23,9 @@ Dispatcher::Dispatcher(ThreadPool* pool, Handler handler,
 }
 
 Dispatcher::~Dispatcher() {
+  // Chaos site: sleeping here widens the window in which queued tasks race
+  // the destructor — the exact interleaving the teardown-shed path guards.
+  VEXUS_FAILPOINT_HIT("dispatcher.teardown");
   // Queued tasks keep the Core alive via shared_ptr; the flag tells them to
   // shed instead of calling a handler whose captures may already be dead.
   core_->stopping.store(true, std::memory_order_release);
@@ -52,7 +56,22 @@ std::future<Response> Dispatcher::Submit(Request req) {
     promise->set_value(std::move(resp));
   };
 
-  // ---- 1. Backpressure: shed instead of stall. ----
+  // ---- 0. Overload ladder, last rung: admission control. The ladder keeps
+  //         admitting while the standing queue is at or below the probe
+  //         floor, so drain progress is still measured and the controller
+  //         can walk back down (see server/overload.h). ----
+  if (core->overload.rung() == OverloadRung::kShed &&
+      core->in_flight.load(std::memory_order_relaxed) >
+          core->overload.options().shed_keep_depth) {
+    if (core->metrics != nullptr) core->metrics->RecordOverloadShed();
+    finish(req,
+           ErrorResponse(req, Status::ResourceExhausted(
+                                  "overload: degradation ladder at 'shed'")),
+           /*latency_ms=*/0, /*admitted=*/false);
+    return future;
+  }
+
+  // ---- 1. Backpressure backstop: shed instead of stall. ----
   size_t depth = core->in_flight.fetch_add(1, std::memory_order_relaxed) + 1;
   if (depth > core->options.max_queue_depth) {
     finish(req,
@@ -61,6 +80,15 @@ std::future<Response> Dispatcher::Submit(Request req) {
                                   " exceeds limit " +
                                   std::to_string(core->options.max_queue_depth))),
            /*latency_ms=*/0, /*admitted=*/true);
+    return future;
+  }
+
+  // Chaos site: a fault here simulates admission-side failures (allocation
+  // pressure, an auth/quota layer saying no) after the request was counted.
+  if (Status injected = failpoint::Inject("dispatcher.admit");
+      !injected.ok()) {
+    finish(req, ErrorResponse(req, std::move(injected)), /*latency_ms=*/0,
+           /*admitted=*/true);
     return future;
   }
 
@@ -83,6 +111,9 @@ std::future<Response> Dispatcher::Submit(Request req) {
                queue_span]() {
     TraceSpan::Adopt(trace.get(), queue_span).Close();
     double queue_ms = admitted.ElapsedMillis();
+    // Every executing task is a queue-delay sample for the overload ladder
+    // (CoDel-style min-over-window; see server/overload.h).
+    core->overload.OnQueueDelay(queue_ms);
     Response resp;
     if (core->stopping.load(std::memory_order_acquire)) {
       // ---- Teardown: the dispatcher died with this request queued. The
@@ -96,6 +127,11 @@ std::future<Response> Dispatcher::Submit(Request req) {
           req, Status::DeadlineExceeded(
                    "budget exhausted after " + std::to_string(queue_ms) +
                    " ms in queue"));
+    } else if (Status injected = failpoint::Inject("dispatcher.execute");
+               !injected.ok()) {
+      // ---- Chaos site: the handler "failed" before running (worker
+      //      crash-equivalent). The request still retires exactly once. ----
+      resp = ErrorResponse(req, std::move(injected));
     } else {
       // ---- 4. Execute with the live remaining budget. ----
       TraceSpan root =

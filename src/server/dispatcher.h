@@ -38,19 +38,24 @@
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "server/metrics.h"
+#include "server/overload.h"
 #include "server/protocol.h"
 #include "server/trace_log.h"
 
 namespace vexus::server {
 
 struct DispatcherOptions {
-  /// Shed requests beyond this many admitted-but-unfinished ones.
+  /// Shed requests beyond this many admitted-but-unfinished ones. With the
+  /// overload ladder enabled this is the hard backstop behind it (the
+  /// ladder usually sheds — or degrades — long before the queue gets here).
   size_t max_queue_depth = 256;
   /// Budget applied when a request carries none (paper P3: 100 ms).
   double default_budget_ms = 100.0;
   /// Client-supplied budgets are clamped to this ceiling so one request
   /// cannot park a worker arbitrarily long. +infinity disables the ceiling.
   double max_budget_ms = 10'000.0;
+  /// CoDel-style graceful-degradation ladder (server/overload.h).
+  OverloadOptions overload;
 };
 
 class Dispatcher {
@@ -90,14 +95,22 @@ class Dispatcher {
 
   const DispatcherOptions& options() const { return core_->options; }
 
+  /// The degradation ladder driven by this dispatcher's queue delays. The
+  /// service reads the rung per request; health probes report its state.
+  const OverloadController& overload() const { return core_->overload; }
+  OverloadController& overload() { return core_->overload; }
+
  private:
   /// Everything a queued task needs, owned jointly by the dispatcher and
   /// every task it submitted (see the Lifetime note above).
   struct Core {
+    explicit Core(const OverloadOptions& overload_options)
+        : overload(overload_options) {}
     Handler handler;
     DispatcherOptions options;
     ServiceMetrics* metrics = nullptr;
     TraceLog* trace_log = nullptr;
+    OverloadController overload;
     std::atomic<size_t> in_flight{0};
     std::atomic<bool> stopping{false};
   };

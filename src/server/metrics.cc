@@ -117,6 +117,10 @@ MetricsSnapshot ServiceMetrics::Snapshot(uint64_t open_sessions) const {
   s.greedy_evaluations = greedy_evaluations_.load(kRelaxed);
   s.greedy_passes = greedy_passes_.load(kRelaxed);
   s.greedy_swaps = greedy_swaps_.load(kRelaxed);
+  s.degraded_effort = degraded_effort_.load(kRelaxed);
+  s.degraded_k = degraded_k_.load(kRelaxed);
+  s.degraded_stale = degraded_stale_.load(kRelaxed);
+  s.overload_sheds = overload_sheds_.load(kRelaxed);
   s.warm_loads = warm_loads_.load(kRelaxed);
   s.last_warm_load_ms =
       static_cast<double>(last_warm_load_us_.load(kRelaxed)) / 1e3;
@@ -159,6 +163,10 @@ json::Value MetricsSnapshot::ToJson() const {
   o.emplace_back("greedy_evaluations", json::Value(greedy_evaluations));
   o.emplace_back("greedy_passes", json::Value(greedy_passes));
   o.emplace_back("greedy_swaps", json::Value(greedy_swaps));
+  o.emplace_back("degraded_effort", json::Value(degraded_effort));
+  o.emplace_back("degraded_k", json::Value(degraded_k));
+  o.emplace_back("degraded_stale", json::Value(degraded_stale));
+  o.emplace_back("overload_sheds", json::Value(overload_sheds));
   o.emplace_back("warm_loads", json::Value(warm_loads));
   o.emplace_back("last_warm_load_ms", json::Value(last_warm_load_ms));
   o.emplace_back("open_sessions", json::Value(open_sessions));
@@ -215,6 +223,16 @@ std::string MetricsSnapshot::ToString() const {
                 static_cast<unsigned long long>(greedy_passes),
                 static_cast<unsigned long long>(greedy_swaps));
   out += line;
+  if (DegradedTotal() > 0 || overload_sheds > 0) {
+    std::snprintf(line, sizeof(line),
+                  "overload: degraded_effort=%llu degraded_k=%llu "
+                  "degraded_stale=%llu overload_sheds=%llu\n",
+                  static_cast<unsigned long long>(degraded_effort),
+                  static_cast<unsigned long long>(degraded_k),
+                  static_cast<unsigned long long>(degraded_stale),
+                  static_cast<unsigned long long>(overload_sheds));
+    out += line;
+  }
   if (warm_loads > 0) {
     std::snprintf(line, sizeof(line),
                   "cold start: warm_loads=%llu last_warm_load_ms=%.3f\n",

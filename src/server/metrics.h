@@ -104,6 +104,14 @@ struct MetricsSnapshot {
   uint64_t greedy_evaluations = 0;
   uint64_t greedy_passes = 0;
   uint64_t greedy_swaps = 0;
+  /// Overload ladder (DESIGN.md §12): answers whose quality the controller
+  /// reduced to stay inside the latency budget, by rung, plus admissions
+  /// rejected *by the ladder's shed rung* (a subset of `shed`, which also
+  /// counts the fixed queue-depth backstop and teardown sheds).
+  uint64_t degraded_effort = 0;
+  uint64_t degraded_k = 0;
+  uint64_t degraded_stale = 0;
+  uint64_t overload_sheds = 0;
   /// Cold-start path: successful warm_from_snapshot loads and the wall time
   /// of the most recent one (0 until the first load) — the operator-visible
   /// form of the snapshot-v2 cold-start claim.
@@ -122,6 +130,9 @@ struct MetricsSnapshot {
     uint64_t t = 0;
     for (uint64_t v : requests_by_type) t += v;
     return t;
+  }
+  uint64_t DegradedTotal() const {
+    return degraded_effort + degraded_k + degraded_stale;
   }
 
   std::string ToString() const;
@@ -150,6 +161,12 @@ class ServiceMetrics {
     greedy_passes_.fetch_add(passes, kRelaxed);
     greedy_swaps_.fetch_add(swaps, kRelaxed);
   }
+  /// Accounts one degraded answer, by the deepest ladder rung applied.
+  void RecordDegradedEffort() { degraded_effort_.fetch_add(1, kRelaxed); }
+  void RecordDegradedK() { degraded_k_.fetch_add(1, kRelaxed); }
+  void RecordDegradedStale() { degraded_stale_.fetch_add(1, kRelaxed); }
+  /// Accounts one admission rejected by the ladder's shed rung.
+  void RecordOverloadShed() { overload_sheds_.fetch_add(1, kRelaxed); }
   /// Accounts one successful snapshot warm-up (engine restored from disk).
   void RecordWarmLoad(double millis) {
     warm_loads_.fetch_add(1, kRelaxed);
@@ -188,6 +205,10 @@ class ServiceMetrics {
   std::atomic<uint64_t> greedy_evaluations_{0};
   std::atomic<uint64_t> greedy_passes_{0};
   std::atomic<uint64_t> greedy_swaps_{0};
+  std::atomic<uint64_t> degraded_effort_{0};
+  std::atomic<uint64_t> degraded_k_{0};
+  std::atomic<uint64_t> degraded_stale_{0};
+  std::atomic<uint64_t> overload_sheds_{0};
   std::atomic<uint64_t> warm_loads_{0};
   std::atomic<uint64_t> last_warm_load_us_{0};
 

@@ -9,7 +9,7 @@ namespace {
 constexpr std::string_view kNames[kNumRequestTypes] = {
     "start_session", "select_group", "backtrack",   "bookmark",
     "unlearn",       "get_context",  "get_stats",   "end_session",
-    "get_trace",     "warm_from_snapshot",
+    "get_trace",     "warm_from_snapshot",           "health",
 };
 
 /// Reads a non-negative integer field; fails when present but ill-typed.
@@ -188,6 +188,7 @@ Result<Request> Request::FromJson(const json::Value& v) {
       break;
     case RequestType::kGetStats:
     case RequestType::kGetTrace:
+    case RequestType::kHealth:
       break;
   }
   return req;
@@ -250,8 +251,10 @@ json::Value Response::ToJson() const {
     obj.emplace_back("memo_groups", json::Value(memo_groups));
     obj.emplace_back("memo_users", json::Value(memo_users));
   }
+  if (degraded.has_value()) obj.emplace_back("degraded", json::Value(*degraded));
   if (stats.has_value()) obj.emplace_back("stats", *stats);
   if (traces.has_value()) obj.emplace_back("traces", *traces);
+  if (health.has_value()) obj.emplace_back("health", *health);
   return json::Value(std::move(obj));
 }
 
@@ -315,10 +318,19 @@ Result<Response> Response::FromJson(const json::Value& v) {
       resp.context.push_back(std::move(view));
     }
   }
+  const json::Value* degraded = v.Find("degraded");
+  if (degraded != nullptr) {
+    if (!degraded->is_string()) {
+      return Status::InvalidArgument("degraded must be a string");
+    }
+    resp.degraded = degraded->AsString();
+  }
   const json::Value* stats = v.Find("stats");
   if (stats != nullptr) resp.stats = *stats;
   const json::Value* traces = v.Find("traces");
   if (traces != nullptr) resp.traces = *traces;
+  const json::Value* health = v.Find("health");
+  if (health != nullptr) resp.health = *health;
   return resp;
 }
 

@@ -17,6 +17,7 @@
 //   {"op":"get_trace","n":5,"slowest":true}
 //   {"op":"end_session","session":"alice"}
 //   {"op":"warm_from_snapshot","path":"/var/lib/vexus/bx.snapshot"}
+//   {"op":"health"}
 //
 // Every session-scoped request may also carry:
 //   "generation": <uint>  — stale-handle fencing; a mismatch with the live
@@ -55,8 +56,9 @@ enum class RequestType : int {
   kEndSession = 7,
   kGetTrace = 8,
   kWarmFromSnapshot = 9,
+  kHealth = 10,
 };
-inline constexpr size_t kNumRequestTypes = 10;
+inline constexpr size_t kNumRequestTypes = 11;
 
 /// Wire name of an op ("start_session", ...).
 std::string_view RequestTypeName(RequestType t);
@@ -133,8 +135,14 @@ struct Response {
   double coverage = 0;                  // screen quality (start/select)
   double diversity = 0;
   bool greedy_deadline_hit = false;     // anytime loop truncated?
+  /// Set when the overload ladder reduced this answer's quality:
+  /// "effort" (shrunk greedy budget), "k" (fewer groups than asked), or
+  /// "stale" (cached screen replayed, no greedy run). Absent on the wire
+  /// when the answer is full-fidelity.
+  std::optional<std::string> degraded;
   std::optional<json::Value> stats;     // get_stats: metrics snapshot object
   std::optional<json::Value> traces;    // get_trace: array of span trees
+  std::optional<json::Value> health;    // health: liveness/readiness object
 
   json::Value ToJson() const;
   std::string Encode() const { return ToJson().Dump(); }

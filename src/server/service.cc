@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 
@@ -24,7 +25,8 @@ ExplorationService::ExplorationService(const core::VexusEngine* engine,
   InitRuntime();
   sessions_ =
       std::make_unique<SessionManager>(engine_, options_.sessions, &metrics_);
-  warm_.store(true, std::memory_order_release);
+  warm_state_.store(static_cast<int>(WarmState::kWarm),
+                    std::memory_order_release);
 }
 
 ExplorationService::ExplorationService(data::Dataset dataset,
@@ -58,15 +60,34 @@ ExplorationService::~ExplorationService() { Shutdown(); }
 void ExplorationService::Shutdown() { pool_->Shutdown(); }
 
 Status ExplorationService::WarmFromSnapshot(const std::string& path) {
-  // Serialize warm attempts: the first successful one wins; concurrent and
-  // repeated calls see "already warm". The snapshot load itself runs under
-  // the lock — it is a once-per-process event, and the lock is not on any
-  // request path except the warm op itself.
-  std::lock_guard<std::mutex> lock(warm_mutex_);
-  if (warm_.load(std::memory_order_relaxed)) {
-    return Status::FailedPrecondition("service is already warm");
+  // Exactly one warmer: CAS kCold -> kWarming. Losers return immediately —
+  // a concurrent warm attempt must not park a pool worker behind a
+  // multi-second snapshot load (with a small pool that stalls every other
+  // request past its deadline).
+  int expected = static_cast<int>(WarmState::kCold);
+  if (!warm_state_.compare_exchange_strong(
+          expected, static_cast<int>(WarmState::kWarming),
+          std::memory_order_acquire, std::memory_order_acquire)) {
+    return expected == static_cast<int>(WarmState::kWarming)
+               ? Status::FailedPrecondition(
+                     "a warm_from_snapshot is already in flight")
+               : Status::FailedPrecondition("service is already warm");
   }
   VEXUS_CHECK(cold_dataset_ != nullptr);  // cold ctor is the only cold path
+
+  // From here on every failure path must roll the state back to kCold so the
+  // warm-up stays retryable with another snapshot path.
+  auto rollback = [this] {
+    warm_state_.store(static_cast<int>(WarmState::kCold),
+                      std::memory_order_release);
+  };
+
+  // Chaos site: the warm-up failing after winning the race (a snapshot
+  // fetch layer erroring before the local load even starts).
+  if (Status injected = failpoint::Inject("service.warm"); !injected.ok()) {
+    rollback();
+    return injected;
+  }
 
   Stopwatch watch;
   // FromSnapshot consumes the dataset only on success, so a failed load
@@ -74,6 +95,7 @@ Status ExplorationService::WarmFromSnapshot(const std::string& path) {
   // retryable with a different path.
   auto engine = core::VexusEngine::FromSnapshot(cold_dataset_.get(), path);
   if (!engine.ok()) {
+    rollback();
     return engine.status().WithContext("warm_from_snapshot(" + path + ")");
   }
   owned_engine_ = std::make_unique<core::VexusEngine>(
@@ -83,18 +105,32 @@ Status ExplorationService::WarmFromSnapshot(const std::string& path) {
   sessions_ =
       std::make_unique<SessionManager>(engine_, options_.sessions, &metrics_);
   metrics_.RecordWarmLoad(watch.ElapsedMillis());
-  // Release: request handlers acquire-load warm_ before touching engine_ /
-  // sessions_, so the stores above are visible once this flips.
-  warm_.store(true, std::memory_order_release);
+  // Chaos site: a sleep here holds the service in kWarming with the engine
+  // already built — the window the concurrent-warm regression test uses to
+  // prove the loser neither double-warms nor observes a torn pointer.
+  VEXUS_FAILPOINT_HIT("service.warm.built");
+  // Release: request handlers acquire-load warm_state_ before touching
+  // engine_ / sessions_, so the stores above are visible once this flips.
+  warm_state_.store(static_cast<int>(WarmState::kWarm),
+                    std::memory_order_release);
   return Status::OK();
 }
 
 std::future<Response> ExplorationService::Dispatch(Request req) {
+  // Health probes are answered inline, never queued: an orchestrator must
+  // be able to tell "overloaded" from "dead", which requires the probe to
+  // bypass the very queue whose congestion it reports (and to never be
+  // shed by the ladder it observes).
+  if (req.type == RequestType::kHealth) {
+    std::promise<Response> ready;
+    ready.set_value(DoHealth(req));
+    return ready.get_future();
+  }
   return dispatcher_->Submit(std::move(req));
 }
 
 Response ExplorationService::Call(Request req) {
-  return dispatcher_->Call(std::move(req));
+  return Dispatch(std::move(req)).get();
 }
 
 std::string ExplorationService::HandleLine(const std::string& line) {
@@ -133,6 +169,10 @@ Response ExplorationService::Execute(const Request& req,
       return DoGetTrace(req);
     case RequestType::kWarmFromSnapshot:
       return DoWarmFromSnapshot(req, span);
+    case RequestType::kHealth:
+      // Normally intercepted by Dispatch(); kept here so a health request
+      // routed through the dispatcher directly still answers.
+      return DoHealth(req);
     default:
       break;
   }
@@ -178,6 +218,10 @@ Response ExplorationService::DoStartSession(const Request& req,
                                             const Deadline& deadline,
                                             TraceSpan& span) {
   core::SessionOptions opts = options_.session_template;
+  // Overload ladder (DESIGN.md §12): a new session has no cached screen to
+  // serve stale, so start_session degrades at most to the reduce-k rung.
+  const OverloadRung rung = dispatcher_->overload().rung();
+  const OverloadOptions& oopts = dispatcher_->overload().options();
   if (req.k.has_value()) {
     if (*req.k == 0 || *req.k > kMaxScreenK) {
       return ErrorResponse(
@@ -218,14 +262,38 @@ Response ExplorationService::DoStartSession(const Request& req,
   // Remaining-budget clamp: the initial screen's greedy loop may use at
   // most what is left of the request's end-to-end budget. The trace pointer
   // is set for this request only and restored with the time limit — the
-  // span dies with the request, the session does not.
+  // span dies with the request, the session does not. The overload ladder
+  // degrades *this request's* effort/k the same way: the session keeps the
+  // explorer's requested options for when the overload passes.
   core::SessionOptions& live = l->mutable_options();
+  double effective_limit = opts.greedy.time_limit_ms;
+  if (rung >= OverloadRung::kShrinkEffort) {
+    effective_limit *= oopts.effort_factor;
+    if (oopts.degraded_candidate_cap > 0) {
+      live.greedy.initial_candidate_cap =
+          std::min(live.greedy.initial_candidate_cap,
+                   static_cast<size_t>(oopts.degraded_candidate_cap));
+    }
+    resp.degraded = "effort";
+  }
+  if (rung >= OverloadRung::kReduceK) {
+    live.greedy.k =
+        std::min(live.greedy.k, static_cast<size_t>(oopts.degraded_k));
+    resp.degraded = "k";  // deepest applied rung wins the flag
+  }
   live.greedy.time_limit_ms =
-      std::min(opts.greedy.time_limit_ms, deadline.RemainingMillis());
+      std::min(effective_limit, deadline.RemainingMillis());
   live.greedy.trace = span.enabled() ? &span : nullptr;
   FillScreen(l->Start(), &resp, /*fresh_run=*/true, span);
-  live.greedy.time_limit_ms = opts.greedy.time_limit_ms;  // restore
+  live.greedy = opts.greedy;  // restore the explorer's requested options
   live.greedy.trace = nullptr;
+  if (resp.degraded.has_value()) {
+    if (*resp.degraded == "k") {
+      metrics_.RecordDegradedK();
+    } else {
+      metrics_.RecordDegradedEffort();
+    }
+  }
   resp.step = 0;
   resp.num_steps = l->NumSteps();
   return resp;
@@ -276,14 +344,49 @@ Response ExplorationService::DoSessionOp(const Request& req,
             std::to_string(store.size()) + ")");
         return resp;
       }
+      // Overload ladder (DESIGN.md §12). Rung 3 (stale): answer the
+      // session's *cached* current screen without running greedy or
+      // learning — the explorer sees an instant, slightly stale response
+      // flagged degraded:"stale" instead of a shed. Rungs 1–2 shrink this
+      // request's greedy effort / k; the session's own options survive.
+      const OverloadRung rung = dispatcher_->overload().rung();
+      const OverloadOptions& oopts = dispatcher_->overload().options();
+      if (rung >= OverloadRung::kStale && l->NumSteps() > 0) {
+        FillScreen(l->Current(), &resp, /*fresh_run=*/false, span);
+        resp.degraded = "stale";
+        metrics_.RecordDegradedStale();
+        break;
+      }
       core::SessionOptions& live = l->mutable_options();
-      const double configured = live.greedy.time_limit_ms;
+      const core::GreedyOptions configured = live.greedy;
+      double effective_limit = configured.time_limit_ms;
+      if (rung >= OverloadRung::kShrinkEffort) {
+        effective_limit *= oopts.effort_factor;
+        if (oopts.degraded_candidate_cap > 0) {
+          live.greedy.initial_candidate_cap =
+              std::min(live.greedy.initial_candidate_cap,
+                       static_cast<size_t>(oopts.degraded_candidate_cap));
+        }
+        resp.degraded = "effort";
+      }
+      if (rung >= OverloadRung::kReduceK) {
+        live.greedy.k =
+            std::min(live.greedy.k, static_cast<size_t>(oopts.degraded_k));
+        resp.degraded = "k";  // deepest applied rung wins the flag
+      }
       live.greedy.time_limit_ms =
-          std::min(configured, deadline.RemainingMillis());
+          std::min(effective_limit, deadline.RemainingMillis());
       live.greedy.trace = span.enabled() ? &span : nullptr;
       FillScreen(l->SelectGroup(*req.group), &resp, /*fresh_run=*/true, span);
-      live.greedy.time_limit_ms = configured;  // undo the per-request clamp
+      live.greedy = configured;  // undo the per-request clamp + degradation
       live.greedy.trace = nullptr;
+      if (resp.degraded.has_value()) {
+        if (*resp.degraded == "k") {
+          metrics_.RecordDegradedK();
+        } else {
+          metrics_.RecordDegradedEffort();
+        }
+      }
       break;
     }
     case RequestType::kBacktrack: {
@@ -364,6 +467,47 @@ Response ExplorationService::DoWarmFromSnapshot(const Request& req,
   resp.type = req.type;
   TraceSpan warm_span = span.Child("warm");
   resp.status = WarmFromSnapshot(*req.path);
+  return resp;
+}
+
+Response ExplorationService::DoHealth(const Request& req) {
+  const OverloadController& overload = dispatcher_->overload();
+  const bool ready = warm();
+  const int state = warm_state_.load(std::memory_order_relaxed);
+  const OverloadRung rung = overload.rung();
+
+  json::Object h;
+  h.emplace_back("alive", json::Value(true));
+  // Readiness = warm: a cold replica can answer health/stats/warm ops but
+  // no session traffic, so orchestrators should not route explorers to it.
+  h.emplace_back("ready", json::Value(ready));
+  h.emplace_back(
+      "state",
+      json::Value(state == static_cast<int>(WarmState::kWarm)      ? "warm"
+                  : state == static_cast<int>(WarmState::kWarming) ? "warming"
+                                                                   : "cold"));
+  h.emplace_back("overload_rung", json::Value(static_cast<int64_t>(rung)));
+  h.emplace_back("overload_rung_name", json::Value(OverloadRungName(rung)));
+  h.emplace_back("queue_depth",
+                 json::Value(static_cast<uint64_t>(dispatcher_->queue_depth())));
+  h.emplace_back("queue_delay_min_ms",
+                 json::Value(overload.last_window_min_delay_ms()));
+  h.emplace_back("overload_escalations", json::Value(overload.escalations()));
+  // Degraded/shed counters from one relaxed snapshot — no quantile math,
+  // no per-op JSON table, so the probe stays cheap for high-rate polling.
+  MetricsSnapshot snap = metrics_.Snapshot(ready ? sessions_->size() : 0);
+  json::Object degraded;
+  degraded.emplace_back("effort", json::Value(snap.degraded_effort));
+  degraded.emplace_back("k", json::Value(snap.degraded_k));
+  degraded.emplace_back("stale", json::Value(snap.degraded_stale));
+  h.emplace_back("degraded", json::Value(std::move(degraded)));
+  h.emplace_back("overload_sheds", json::Value(snap.overload_sheds));
+  h.emplace_back("shed", json::Value(snap.shed));
+  h.emplace_back("open_sessions", json::Value(snap.open_sessions));
+
+  Response resp;
+  resp.type = req.type;
+  resp.health = json::Value(std::move(h));
   return resp;
 }
 

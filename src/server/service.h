@@ -97,13 +97,18 @@ class ExplorationService {
   /// Restores the engine from a snapshot and opens the service for session
   /// traffic (also reachable over the wire as the warm_from_snapshot op).
   /// Only valid on a cold-constructed service, exactly once:
-  /// FailedPrecondition if already warm (including warm construction),
-  /// Corruption / IOError etc. from the snapshot load — in which case the
-  /// service stays cold and the call may be retried with another path.
+  /// FailedPrecondition if already warm (including warm construction) or if
+  /// another warm-up is in flight (the loser returns immediately instead of
+  /// blocking a pool worker behind a multi-second load), Corruption /
+  /// IOError etc. from the snapshot load — in which case the service goes
+  /// back to cold and the call may be retried with another path.
   Status WarmFromSnapshot(const std::string& path);
 
   /// False between cold construction and a successful WarmFromSnapshot.
-  bool warm() const { return warm_.load(std::memory_order_acquire); }
+  bool warm() const {
+    return warm_state_.load(std::memory_order_acquire) ==
+           static_cast<int>(WarmState::kWarm);
+  }
 
   const ServiceMetrics& metrics() const { return metrics_; }
   /// Valid only when warm().
@@ -111,6 +116,10 @@ class ExplorationService {
   /// Valid only when warm().
   const core::VexusEngine& engine() const { return *engine_; }
   const TraceLog& trace_log() const { return *trace_log_; }
+  /// Admission/queue layer. Exposed so embedders and tests can read the
+  /// overload ladder (dispatcher().overload().rung()) or force a rung when
+  /// exercising degraded paths.
+  Dispatcher& dispatcher() { return *dispatcher_; }
 
   /// Current metrics frozen, with the live session gauge filled in.
   MetricsSnapshot Stats() const;
@@ -128,6 +137,10 @@ class ExplorationService {
   Response DoGetStats(const Request& req);
   Response DoGetTrace(const Request& req);
   Response DoWarmFromSnapshot(const Request& req, TraceSpan& span);
+  /// Liveness/readiness probe, built from atomics only (no histogram
+  /// serialization). Answered inline by Dispatch() so orchestrator probes
+  /// never queue behind session traffic and are never shed.
+  Response DoHealth(const Request& req);
 
   /// Shared tail of both constructors (pool, trace log, dispatcher).
   void InitRuntime();
@@ -148,12 +161,18 @@ class ExplorationService {
   std::unique_ptr<TraceLog> trace_log_;
   std::unique_ptr<Dispatcher> dispatcher_;
 
-  /// Cold-start state. `warm_` flips exactly once, cold→warm, with release
-  /// ordering after engine_/sessions_ are fully built; request handlers read
-  /// it with acquire before touching either. `warm_mutex_` serializes
-  /// concurrent warm attempts (the first wins, later ones FailedPrecondition).
-  std::atomic<bool> warm_{false};
-  std::mutex warm_mutex_;
+  /// Cold-start state machine: kCold -(CAS)-> kWarming -> kWarm on success,
+  /// back to kCold on a failed load (retryable). The CAS admits exactly one
+  /// warmer; concurrent attempts lose the CAS and return FailedPrecondition
+  /// *immediately* instead of blocking a pool worker behind a multi-second
+  /// snapshot load (the old mutex serialized them — correct outcomes, but
+  /// the loser parked a worker for the whole load; regression-tested in
+  /// service_test.cc ConcurrentWarmLoserReturnsImmediately). kWarm is stored
+  /// with release ordering after engine_/sessions_ are fully built; request
+  /// handlers read it with acquire before touching either — there is never a
+  /// torn engine pointer.
+  enum class WarmState : int { kCold = 0, kWarming = 1, kWarm = 2 };
+  std::atomic<int> warm_state_{static_cast<int>(WarmState::kCold)};
   std::unique_ptr<data::Dataset> cold_dataset_;  // consumed by the warm-up
   std::unique_ptr<core::VexusEngine> owned_engine_;
 };

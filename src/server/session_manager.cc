@@ -5,6 +5,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace vexus::server {
@@ -84,6 +85,9 @@ Result<uint64_t> SessionManager::Create(const std::string& id,
   if (id.empty()) {
     return Status::InvalidArgument("session id must be non-empty");
   }
+  // Chaos site: admission failing for reasons other than capacity (token
+  // space allocation, a per-tenant quota layer).
+  VEXUS_FAILPOINT("session_manager.create");
   Shard& shard = ShardOf(id);
   // Lazy TTL pass over the target shard keeps long-idle sessions from
   // blocking admissions even when nobody calls SweepExpired(); the
@@ -130,6 +134,9 @@ Result<uint64_t> SessionManager::Create(const std::string& id,
 
 Result<SessionManager::Lease> SessionManager::Acquire(
     const std::string& id, uint64_t expected_generation) {
+  // Chaos site: lease acquisition failing/stalling (a sleep here simulates
+  // a long-held lease; an error simulates lookup-layer trouble).
+  VEXUS_FAILPOINT("session_manager.acquire");
   // Cross-shard TTL progress rides on every acquire (cheap: one try-lock
   // walk of one shard), so a workload that only ever touches a few hot
   // sessions still expires the cold ones parked in other shards.
@@ -205,6 +212,9 @@ Result<core::SessionDigest> SessionManager::Remove(
 
 size_t SessionManager::SweepShard(Shard& shard) {
   if (options_.ttl_seconds <= 0) return 0;
+  // Chaos site: a sleep here makes the TTL sweep slow, widening the race
+  // between eviction and concurrent Acquire/Create on the same shard.
+  VEXUS_FAILPOINT_HIT("session_manager.evict");
   int64_t horizon_us =
       NowMicros() - static_cast<int64_t>(options_.ttl_seconds * 1e6);
   size_t evicted = 0;

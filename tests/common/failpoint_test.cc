@@ -1,0 +1,253 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+
+namespace vexus::failpoint {
+namespace {
+
+/// A function with a Status-returning failpoint site, as production code
+/// would carry it.
+Status GuardedOperation() {
+  VEXUS_FAILPOINT("test.guarded_op");
+  return Status::OK();
+}
+
+Result<int> GuardedResultOperation() {
+  VEXUS_FAILPOINT("test.guarded_result_op");
+  return 42;
+}
+
+bool BoolOperation() {
+  if (VEXUS_FAILPOINT_FIRES("test.bool_op")) return false;
+  return true;
+}
+
+TEST(FailpointTest, DisarmedSitesAreInert) {
+  ASSERT_FALSE(internal::AnyArmed());
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_TRUE(BoolOperation());
+  EXPECT_TRUE(GuardedResultOperation().ok());
+  // The HIT form compiles and does nothing.
+  VEXUS_FAILPOINT_HIT("test.never_armed");
+}
+
+TEST(FailpointTest, AlwaysModeInjectsConfiguredStatus) {
+  Policy p;
+  p.mode = Policy::Mode::kAlways;
+  p.code = StatusCode::kIOError;
+  p.message = "disk on fire";
+  ScopedFailpoint fp("test.guarded_op", p);
+
+  Status st = GuardedOperation();
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_EQ(st.message(), "disk on fire");
+  EXPECT_EQ(fp.hits(), 1u);
+  EXPECT_EQ(fp.fires(), 1u);
+}
+
+TEST(FailpointTest, ScopeEndDisarms) {
+  {
+    Policy p;
+    p.mode = Policy::Mode::kAlways;
+    p.code = StatusCode::kAborted;
+    ScopedFailpoint fp("test.guarded_op", p);
+    EXPECT_TRUE(internal::AnyArmed());
+    EXPECT_FALSE(GuardedOperation().ok());
+  }
+  EXPECT_FALSE(internal::AnyArmed());
+  EXPECT_TRUE(GuardedOperation().ok());
+}
+
+TEST(FailpointTest, DefaultMessageNamesTheSite) {
+  Policy p;
+  p.mode = Policy::Mode::kAlways;
+  p.code = StatusCode::kCorruption;
+  ScopedFailpoint fp("test.guarded_op", p);
+  Status st = GuardedOperation();
+  EXPECT_NE(st.message().find("test.guarded_op"), std::string::npos);
+}
+
+TEST(FailpointTest, FireOnceFiresExactlyOnce) {
+  Policy p;
+  p.mode = Policy::Mode::kOnce;
+  p.code = StatusCode::kResourceExhausted;
+  ScopedFailpoint fp("test.guarded_op", p);
+  EXPECT_FALSE(GuardedOperation().ok());
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_EQ(fp.hits(), 6u);
+  EXPECT_EQ(fp.fires(), 1u);
+}
+
+TEST(FailpointTest, EveryNthFiresOnMultiples) {
+  Policy p;
+  p.mode = Policy::Mode::kEveryNth;
+  p.nth = 3;
+  p.code = StatusCode::kIOError;
+  ScopedFailpoint fp("test.guarded_op", p);
+  std::vector<bool> failed;
+  for (int i = 0; i < 9; ++i) failed.push_back(!GuardedOperation().ok());
+  EXPECT_EQ(failed, (std::vector<bool>{false, false, true, false, false, true,
+                                       false, false, true}));
+  EXPECT_EQ(fp.fires(), 3u);
+}
+
+TEST(FailpointTest, ProbabilityIsDeterministicInSeed) {
+  auto run = [](uint64_t seed) {
+    Policy p;
+    p.mode = Policy::Mode::kProbability;
+    p.probability = 0.5;
+    p.seed = seed;
+    p.code = StatusCode::kIOError;
+    ScopedFailpoint fp("test.guarded_op", p);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(!GuardedOperation().ok());
+    return fired;
+  };
+  std::vector<bool> a = run(7);
+  std::vector<bool> b = run(7);
+  std::vector<bool> c = run(8);
+  EXPECT_EQ(a, b) << "same seed must replay the same fire pattern";
+  EXPECT_NE(a, c) << "different seeds should differ (64 coin flips)";
+  // p = 0.5 over 64 reaches: both outcomes must occur.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 64);
+}
+
+TEST(FailpointTest, ProbabilityExtremes) {
+  {
+    Policy p;
+    p.mode = Policy::Mode::kProbability;
+    p.probability = 0.0;
+    p.code = StatusCode::kIOError;
+    ScopedFailpoint fp("test.guarded_op", p);
+    for (int i = 0; i < 32; ++i) EXPECT_TRUE(GuardedOperation().ok());
+    EXPECT_EQ(fp.fires(), 0u);
+  }
+  {
+    Policy p;
+    p.mode = Policy::Mode::kProbability;
+    p.probability = 1.0;
+    p.code = StatusCode::kIOError;
+    ScopedFailpoint fp("test.guarded_op", p);
+    for (int i = 0; i < 32; ++i) EXPECT_FALSE(GuardedOperation().ok());
+    EXPECT_EQ(fp.fires(), 32u);
+  }
+}
+
+TEST(FailpointTest, MaxFiresCapsInjection) {
+  Policy p;
+  p.mode = Policy::Mode::kAlways;
+  p.code = StatusCode::kIOError;
+  p.max_fires = 2;
+  ScopedFailpoint fp("test.guarded_op", p);
+  int failures = 0;
+  for (int i = 0; i < 10; ++i) failures += !GuardedOperation().ok();
+  EXPECT_EQ(failures, 2);
+  EXPECT_EQ(fp.hits(), 10u);
+  EXPECT_EQ(fp.fires(), 2u);
+}
+
+TEST(FailpointTest, OffModeCountsReachesWithoutFiring) {
+  Policy p;
+  p.mode = Policy::Mode::kOff;
+  ScopedFailpoint fp("test.guarded_op", p);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_EQ(fp.hits(), 4u);
+  EXPECT_EQ(fp.fires(), 0u);
+}
+
+TEST(FailpointTest, OkCodeFiresWithoutInjectingAnError) {
+  // Sleep-only sites: the policy fires (counted, slept) but VEXUS_FAILPOINT
+  // injects nothing.
+  Policy p;
+  p.mode = Policy::Mode::kAlways;
+  p.code = StatusCode::kOk;
+  p.sleep_ms = 5;
+  ScopedFailpoint fp("test.guarded_op", p);
+  Stopwatch watch;
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_GE(watch.ElapsedMillis(), 4.0);
+  EXPECT_EQ(fp.fires(), 1u);
+}
+
+TEST(FailpointTest, ResultReturningFunctionsConvert) {
+  Policy p;
+  p.mode = Policy::Mode::kAlways;
+  p.code = StatusCode::kFailedPrecondition;
+  ScopedFailpoint fp("test.guarded_result_op", p);
+  Result<int> r = GuardedResultOperation();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FailpointTest, FiresFormDrivesBoolSites) {
+  Policy p;
+  p.mode = Policy::Mode::kEveryNth;
+  p.nth = 2;
+  ScopedFailpoint fp("test.bool_op", p);
+  EXPECT_TRUE(BoolOperation());
+  EXPECT_FALSE(BoolOperation());
+  EXPECT_TRUE(BoolOperation());
+  EXPECT_FALSE(BoolOperation());
+}
+
+TEST(FailpointTest, DistinctSitesAreIndependent) {
+  Policy fail;
+  fail.mode = Policy::Mode::kAlways;
+  fail.code = StatusCode::kIOError;
+  ScopedFailpoint a("test.guarded_op", fail);
+  Policy off;
+  off.mode = Policy::Mode::kOff;
+  ScopedFailpoint b("test.bool_op", off);
+  EXPECT_FALSE(GuardedOperation().ok());
+  EXPECT_TRUE(BoolOperation());
+  EXPECT_EQ(a.fires(), 1u);
+  EXPECT_EQ(b.fires(), 0u);
+  EXPECT_EQ(b.hits(), 1u);
+}
+
+TEST(FailpointTest, ConcurrentReachesCountExactly) {
+  Policy p;
+  p.mode = Policy::Mode::kEveryNth;
+  p.nth = 4;
+  ScopedFailpoint fp("test.bool_op", p);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 250;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&failures] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (!BoolOperation()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(fp.hits(), static_cast<uint64_t>(kThreads * kPerThread));
+  // Exactly every 4th ordinal fires, regardless of which thread drew it.
+  EXPECT_EQ(fp.fires(), static_cast<uint64_t>(kThreads * kPerThread / 4));
+  EXPECT_EQ(failures.load(), kThreads * kPerThread / 4);
+}
+
+TEST(FailpointTest, CountersReadableAfterDisarm) {
+  Policy p;
+  p.mode = Policy::Mode::kAlways;
+  p.code = StatusCode::kIOError;
+  ScopedFailpoint fp("test.guarded_op", p);
+  EXPECT_FALSE(GuardedOperation().ok());
+  // fp still alive here, but the registry entry is what Evaluate consults;
+  // after ~ScopedFailpoint the shared state keeps the counts.
+  EXPECT_EQ(fp.fires(), 1u);
+}
+
+}  // namespace
+}  // namespace vexus::failpoint

@@ -1,16 +1,20 @@
 #include "server/dispatcher.h"
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <limits>
 #include <memory>
 #include <optional>
+#include <random>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "server/metrics.h"
@@ -230,6 +234,97 @@ TEST(DispatcherTest, TracedRequestLandsInTheTraceLog) {
   EXPECT_EQ(snap.stage_latency[static_cast<size_t>(Stage::kQueue)].count, 1u);
   EXPECT_EQ(snap.stage_latency[static_cast<size_t>(Stage::kGreedy)].count, 1u);
   pool.Shutdown();
+}
+
+// Property: every submitted request retires exactly once, whatever mix of
+// deadlines, injected admission/execution faults, backpressure, and ladder
+// sheds it meets on the way. Two conservation laws must hold per seed:
+//   (1) snapshot.TotalRequests() == number submitted
+//   (2) ok + deadline_exceeded + not_found + shed + other == TotalRequests()
+// and the in-flight gauge drains back to zero (no leaked accounting on any
+// early-exit path). The client-side tally must agree with the metrics
+// category by category — a response and its metric may never disagree.
+TEST(DispatcherTest, MetricsConservationUnderRandomFaults) {
+  constexpr int kRequests = 120;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    ThreadPool pool(3);
+    ServiceMetrics metrics;
+    DispatcherOptions opts;
+    opts.max_queue_depth = 16;  // small: backpressure sheds really happen
+    std::atomic<uint64_t> handler_tick{0};
+    Dispatcher d(
+        &pool,
+        [&handler_tick](const Request&, const Deadline&, TraceSpan&) {
+          // Deterministic jitter (no shared RNG across workers): every third
+          // request stalls long enough for queues to form.
+          if (handler_tick.fetch_add(1) % 3 == 0) {
+            std::this_thread::sleep_for(std::chrono::microseconds(300));
+          }
+          return Response{};
+        },
+        opts, &metrics);
+
+    failpoint::Policy admit;
+    admit.mode = failpoint::Policy::Mode::kProbability;
+    admit.probability = 0.15;
+    admit.seed = seed;
+    admit.code = StatusCode::kUnknown;
+    failpoint::ScopedFailpoint admit_fp("dispatcher.admit", admit);
+    failpoint::Policy exec;
+    exec.mode = failpoint::Policy::Mode::kProbability;
+    exec.probability = 0.15;
+    exec.seed = seed * 7919 + 1;
+    exec.code = StatusCode::kAborted;
+    failpoint::ScopedFailpoint exec_fp("dispatcher.execute", exec);
+
+    std::mt19937_64 rng(seed);
+    double inf = std::numeric_limits<double>::infinity();
+    std::vector<std::future<Response>> futures;
+    futures.reserve(kRequests);
+    for (int i = 0; i < kRequests; ++i) {
+      // Mid-run, yank the ladder to shed and back: admission rejections from
+      // the ladder must obey the same conservation law as everything else.
+      if (i == kRequests / 3) {
+        d.overload().ForceRungForTesting(OverloadRung::kShed);
+      } else if (i == kRequests / 2) {
+        d.overload().ForceRungForTesting(OverloadRung::kNormal);
+      }
+      std::optional<double> budget;
+      switch (rng() % 4) {
+        case 0: budget = inf; break;
+        case 1: budget = 1e-3; break;  // expires before execution
+        case 2: budget = 50.0; break;
+        default: budget = std::nullopt; break;
+      }
+      futures.push_back(d.Submit(MakeRequest(RequestType::kGetStats, budget)));
+    }
+
+    uint64_t got_ok = 0, got_deadline = 0, got_shed = 0, got_other = 0;
+    for (auto& f : futures) {
+      switch (f.get().status.code()) {
+        case StatusCode::kOk: ++got_ok; break;
+        case StatusCode::kDeadlineExceeded: ++got_deadline; break;
+        case StatusCode::kResourceExhausted: ++got_shed; break;
+        default: ++got_other; break;
+      }
+    }
+
+    MetricsSnapshot snap = metrics.Snapshot(0);
+    EXPECT_EQ(snap.TotalRequests(), static_cast<uint64_t>(kRequests));
+    EXPECT_EQ(snap.ok + snap.deadline_exceeded + snap.not_found + snap.shed +
+                  snap.other_errors,
+              snap.TotalRequests())
+        << "outcome counters do not partition the request count";
+    EXPECT_EQ(snap.ok, got_ok);
+    EXPECT_EQ(snap.deadline_exceeded, got_deadline);
+    EXPECT_EQ(snap.shed, got_shed);
+    EXPECT_EQ(snap.other_errors, got_other);
+    EXPECT_LE(snap.overload_sheds, snap.shed)
+        << "ladder sheds must be a subset of the shed outcome";
+    EXPECT_EQ(d.queue_depth(), 0u) << "in-flight gauge leaked";
+    pool.Shutdown();
+  }
 }
 
 TEST(DispatcherTest, UntracedRequestStillRecordsQueueStage) {

@@ -1,6 +1,7 @@
 #include "server/service.h"
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <set>
 #include <string>
@@ -11,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "core/engine.h"
 #include "core/snapshot.h"
 #include "data/generators/bookcrossing_gen.h"
@@ -761,6 +763,167 @@ TEST_F(ServiceTest, WarmConstructedServiceRefusesWarmOp) {
   Response resp = svc.Call(WarmRequest("/irrelevant.snap"));
   EXPECT_TRUE(resp.status.IsFailedPrecondition()) << resp.status.ToString();
   EXPECT_EQ(svc.Stats().warm_loads, 0u);
+}
+
+// Regression for the old mutex-serialized warm-up: the loser used to park a
+// pool worker for the entire multi-second snapshot load. With the CAS state
+// machine the loser must return FailedPrecondition *while the winner is
+// still loading* (service.h documents this test by name).
+TEST_F(ServiceTest, ConcurrentWarmLoserReturnsImmediately) {
+  const std::string path = WriteServiceSnapshot("svc_race.snap");
+  ExplorationService svc(FreshDataset(), FastOptions());
+
+  // Stretch the winner's load so the race window is wide: the
+  // service.warm.built site sits after the engine is rebuilt but before the
+  // kWarm store, so the winner holds kWarming for >= sleep_ms.
+  failpoint::Policy slow;
+  slow.mode = failpoint::Policy::Mode::kAlways;
+  slow.sleep_ms = 150.0;
+  failpoint::ScopedFailpoint fp("service.warm.built", slow);
+
+  std::atomic<int> oks{0}, losers{0};
+  std::atomic<double> loser_ms{-1.0};
+  auto attempt = [&] {
+    auto t0 = std::chrono::steady_clock::now();
+    Status s = svc.WarmFromSnapshot(path);
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    if (s.ok()) {
+      ++oks;
+    } else {
+      EXPECT_TRUE(s.IsFailedPrecondition()) << s.ToString();
+      ++losers;
+      loser_ms.store(ms);
+    }
+  };
+  std::thread a(attempt), b(attempt);
+  a.join();
+  b.join();
+
+  EXPECT_EQ(oks.load(), 1);
+  EXPECT_EQ(losers.load(), 1);
+  // The loser returned without waiting out the winner's load. Generous
+  // bound: well under the 150 ms the winner provably spent inside the CS.
+  EXPECT_LT(loser_ms.load(), 100.0)
+      << "loser blocked behind the winner's snapshot load";
+  EXPECT_GE(fp.fires(), 1u) << "winner must have crossed the slow site";
+
+  EXPECT_TRUE(svc.warm());
+  EXPECT_EQ(svc.Stats().warm_loads, 1u);
+  EXPECT_TRUE(svc.Call(Start("after_race")).status.ok());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Health op and the overload degradation ladder (DESIGN.md §12).
+// ---------------------------------------------------------------------------
+
+Request Health() {
+  Request req;
+  req.type = RequestType::kHealth;
+  return req;
+}
+
+TEST_F(ServiceTest, HealthAnswersColdAndWarm) {
+  // Cold replica: alive but not ready — orchestrators keep it out of the
+  // explorer-facing rotation while it can still be warmed and monitored.
+  ExplorationService cold(FreshDataset(), FastOptions());
+  Response cr = cold.Call(Health());
+  ASSERT_TRUE(cr.status.ok()) << cr.status.ToString();
+  ASSERT_TRUE(cr.health.has_value());
+  EXPECT_TRUE(cr.health->GetBool("alive", false));
+  EXPECT_FALSE(cr.health->GetBool("ready", true));
+  EXPECT_EQ(cr.health->GetString("state", ""), "cold");
+
+  // Warm replica over the wire, like a probe would.
+  ExplorationService warm(SharedEngine(), FastOptions());
+  auto resp = Response::Decode(warm.HandleLine("{\"op\":\"health\"}"));
+  ASSERT_TRUE(resp.ok());
+  ASSERT_TRUE(resp->status.ok()) << resp->status.ToString();
+  ASSERT_TRUE(resp->health.has_value());
+  EXPECT_TRUE(resp->health->GetBool("ready", false));
+  EXPECT_EQ(resp->health->GetString("state", ""), "warm");
+  EXPECT_EQ(resp->health->GetNumber("overload_rung", -1), 0.0);
+  EXPECT_EQ(resp->health->GetString("overload_rung_name", ""), "normal");
+}
+
+TEST_F(ServiceTest, HealthBypassesTheQueueEvenAtShedRung) {
+  ExplorationService svc(SharedEngine(), FastOptions());
+  svc.dispatcher().overload().ForceRungForTesting(OverloadRung::kShed);
+  Response resp = svc.Call(Health());
+  ASSERT_TRUE(resp.status.ok())
+      << "health must never be shed by the ladder it reports: "
+      << resp.status.ToString();
+  ASSERT_TRUE(resp.health.has_value());
+  EXPECT_EQ(resp.health->GetNumber("overload_rung", -1), 4.0);
+  EXPECT_EQ(resp.health->GetString("overload_rung_name", ""), "shed");
+}
+
+TEST_F(ServiceTest, LadderShrinkEffortAndReduceKDegradeOnlyTheRequest) {
+  ExplorationService svc(SharedEngine(), FastOptions());
+  Response started = svc.Call(Start("laddered"));
+  ASSERT_TRUE(started.status.ok()) << started.status.ToString();
+  ASSERT_FALSE(started.groups.empty());
+  EXPECT_FALSE(started.degraded.has_value());
+
+  // Rung 1: same op succeeds, flagged degraded:"effort".
+  svc.dispatcher().overload().ForceRungForTesting(OverloadRung::kShrinkEffort);
+  Response effort = svc.Call(Select("laddered", started.groups[0].id));
+  ASSERT_TRUE(effort.status.ok()) << effort.status.ToString();
+  ASSERT_TRUE(effort.degraded.has_value());
+  EXPECT_EQ(*effort.degraded, "effort");
+
+  // Rung 2: k clamps to degraded_k for this request only.
+  svc.dispatcher().overload().ForceRungForTesting(OverloadRung::kReduceK);
+  Response reduced = svc.Call(Select("laddered", effort.groups[0].id));
+  ASSERT_TRUE(reduced.status.ok()) << reduced.status.ToString();
+  ASSERT_TRUE(reduced.degraded.has_value());
+  EXPECT_EQ(*reduced.degraded, "k");
+  size_t degraded_k =
+      svc.dispatcher().overload().options().degraded_k;
+  EXPECT_LE(reduced.groups.size(), degraded_k);
+
+  // Back to normal: the session's own k was preserved, not the clamp.
+  svc.dispatcher().overload().ForceRungForTesting(OverloadRung::kNormal);
+  Response healed = svc.Call(Select("laddered", reduced.groups[0].id));
+  ASSERT_TRUE(healed.status.ok()) << healed.status.ToString();
+  EXPECT_FALSE(healed.degraded.has_value());
+  EXPECT_GT(healed.groups.size(), degraded_k)
+      << "degraded k stuck to the session";
+
+  MetricsSnapshot snap = svc.Stats();
+  EXPECT_EQ(snap.degraded_effort, 1u);
+  EXPECT_EQ(snap.degraded_k, 1u);
+  EXPECT_EQ(snap.DegradedTotal(), 2u);
+}
+
+TEST_F(ServiceTest, LadderStaleRungReplaysTheCachedScreen) {
+  ExplorationService svc(SharedEngine(), FastOptions());
+  Response started = svc.Call(Start("stale_path"));
+  ASSERT_TRUE(started.status.ok()) << started.status.ToString();
+  ASSERT_FALSE(started.groups.empty());
+
+  svc.dispatcher().overload().ForceRungForTesting(OverloadRung::kStale);
+  Response stale = svc.Call(Select("stale_path", started.groups[0].id));
+  ASSERT_TRUE(stale.status.ok()) << stale.status.ToString();
+  ASSERT_TRUE(stale.degraded.has_value());
+  EXPECT_EQ(*stale.degraded, "stale");
+  // No greedy run, no learning step: the cached screen is replayed verbatim
+  // and the session did not advance.
+  EXPECT_EQ(stale.num_steps, started.num_steps);
+  ASSERT_EQ(stale.groups.size(), started.groups.size());
+  for (size_t i = 0; i < stale.groups.size(); ++i) {
+    EXPECT_EQ(stale.groups[i].id, started.groups[i].id);
+  }
+  EXPECT_EQ(svc.Stats().degraded_stale, 1u);
+
+  // Recovery: once the ladder steps down, selection runs for real again.
+  svc.dispatcher().overload().ForceRungForTesting(OverloadRung::kNormal);
+  Response real = svc.Call(Select("stale_path", started.groups[0].id));
+  ASSERT_TRUE(real.status.ok()) << real.status.ToString();
+  EXPECT_FALSE(real.degraded.has_value());
+  EXPECT_EQ(real.num_steps, started.num_steps + 1);
 }
 
 }  // namespace
