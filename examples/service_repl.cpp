@@ -14,6 +14,15 @@
 //
 //   echo '{"op":"start_session","session":"me"}' | ./build/examples/service_repl --stdin
 //
+// With --connect HOST:PORT it skips the in-process engine entirely and
+// becomes a thin network client for a running vexus_server: stdin lines go
+// over the socket, response lines come back on stdout. Framing is the
+// shared net::LineClient / server::LineFramer — this binary contains no
+// second protocol parser.
+//
+//   ./build/examples/vexus_server --port 7788 &
+//   echo '{"op":"health"}' | ./build/examples/service_repl --connect 127.0.0.1:7788
+//
 // Run:  ./build/examples/service_repl
 
 #include <cstdio>
@@ -24,6 +33,7 @@
 
 #include "core/engine.h"
 #include "data/generators/bookcrossing_gen.h"
+#include "net/client.h"
 #include "server/service.h"
 
 using vexus::core::VexusEngine;
@@ -88,10 +98,61 @@ Response Exchange(ExplorationService& svc, const std::string& line) {
   return resp;
 }
 
+/// --connect mode: a pure network REPL. No engine, no service — every line
+/// of stdin crosses the wire to a running vexus_server and every response
+/// line is printed. Overload hints still apply (they decode the same
+/// Response shapes the in-process path produces).
+int RunConnected(const std::string& target) {
+  auto colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "--connect wants HOST:PORT, got \"%s\"\n",
+                 target.c_str());
+    return 2;
+  }
+  std::string host = target.substr(0, colon);
+  int port = std::atoi(target.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "--connect: bad port in \"%s\"\n", target.c_str());
+    return 2;
+  }
+  auto client =
+      vexus::net::LineClient::Connect(host, static_cast<uint16_t>(port));
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect %s failed: %s\n", target.c_str(),
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    auto status = client->SendLine(line);
+    if (!status.ok()) {
+      std::fprintf(stderr, "send failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    auto out = client->ReadLine();
+    if (!out.ok()) {
+      std::fprintf(stderr, "read failed: %s\n",
+                   out.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", out->c_str());
+    auto decoded = Response::Decode(*out);
+    if (decoded.ok()) {
+      std::string hint = OverloadHint(*decoded);
+      if (!hint.empty()) std::fprintf(stderr, "%s\n", hint.c_str());
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool use_stdin = argc > 1 && std::strcmp(argv[1], "--stdin") == 0;
+  if (argc > 2 && std::strcmp(argv[1], "--connect") == 0) {
+    return RunConnected(argv[2]);
+  }
 
   // ---- 1. Engine. ----
   BookCrossingGenerator::Config data_cfg;

@@ -1,0 +1,216 @@
+// vexus_server: the real network daemon — engine + service + TCP front-end.
+//
+// Serves the line-JSON exploration protocol over a listening socket
+// (DESIGN.md §13). Each connection may pipeline requests; responses come
+// back in order. SIGTERM/SIGINT triggers a graceful drain: the listener
+// closes, admitted requests complete and flush, then the process exits.
+//
+//   ./build/examples/vexus_server --port 7788
+//   echo '{"op":"health"}' | nc -q1 127.0.0.1 7788
+//
+// Flags:
+//   --host A      bind address            (default 127.0.0.1)
+//   --port N      listen port, 0=ephemeral (default 7788)
+//   --users N     synthetic dataset size   (default 1500)
+//   --selftest    bind an ephemeral port, run a scripted client against
+//                 ourselves (including a SIGTERM drain), and exit — the
+//                 mode the example smoke test runs in CI.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "core/engine.h"
+#include "data/generators/bookcrossing_gen.h"
+#include "net/client.h"
+#include "net/tcp_server.h"
+#include "server/service.h"
+
+using vexus::core::VexusEngine;
+using vexus::data::BookCrossingGenerator;
+using vexus::net::LineClient;
+using vexus::net::TcpServer;
+using vexus::net::TcpServerOptions;
+using vexus::server::ExplorationService;
+using vexus::server::Request;
+using vexus::server::RequestType;
+using vexus::server::ServiceOptions;
+
+namespace {
+
+// The SIGTERM handler's entire world: RequestDrain() is one atomic store
+// plus one eventfd write, both async-signal-safe.
+std::atomic<TcpServer*> g_server{nullptr};
+
+void HandleSignal(int /*sig*/) {
+  TcpServer* server = g_server.load(std::memory_order_relaxed);
+  if (server != nullptr) server->RequestDrain();
+}
+
+int RunSelfTest(ExplorationService& svc) {
+  TcpServerOptions opts;
+  opts.port = 0;  // ephemeral: the smoke test must not collide with anything
+  TcpServer server(&svc, opts);
+  auto status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "selftest: Start failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  g_server.store(&server, std::memory_order_relaxed);
+  std::signal(SIGTERM, HandleSignal);
+  std::printf("selftest: listening on 127.0.0.1:%u\n", server.port());
+
+  // A scripted explorer over a real socket: session, click, health.
+  auto client = LineClient::Connect("127.0.0.1", server.port());
+  if (!client.ok()) {
+    std::fprintf(stderr, "selftest: connect failed: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  Request start;
+  start.type = RequestType::kStartSession;
+  start.session_id = "smoke";
+  auto first = client->Call(start);
+  if (!first.ok() || first->groups.empty()) {
+    std::fprintf(stderr, "selftest: start_session failed\n");
+    return 1;
+  }
+  std::printf("selftest: first screen has %zu groups\n", first->groups.size());
+
+  Request click;
+  click.type = RequestType::kSelectGroup;
+  click.session_id = "smoke";
+  click.group = first->groups[0].id;
+  auto second = client->Call(click);
+  if (!second.ok() || !second->status.ok()) {
+    std::fprintf(stderr, "selftest: select_group failed\n");
+    return 1;
+  }
+
+  // Pipelining: three requests on the wire before any response is read.
+  for (int i = 0; i < 3; ++i) {
+    if (!client->SendLine(R"({"op":"health"})").ok()) return 1;
+  }
+  for (int i = 0; i < 3; ++i) {
+    if (!client->ReadLine().ok()) {
+      std::fprintf(stderr, "selftest: pipelined health #%d lost\n", i);
+      return 1;
+    }
+  }
+
+  // Malformed line answered in-stream, stream stays usable.
+  if (!client->SendLine("this is not json").ok()) return 1;
+  auto err = client->ReadLine();
+  if (!err.ok() || err->find("\"error\"") == std::string::npos) {
+    std::fprintf(stderr, "selftest: expected parse-error line\n");
+    return 1;
+  }
+  Request health;
+  health.type = RequestType::kHealth;
+  auto after = client->Call(health);
+  if (!after.ok()) {
+    std::fprintf(stderr, "selftest: stream desynced after bad line\n");
+    return 1;
+  }
+
+  // The drain path, end to end: deliver SIGTERM to ourselves while the
+  // connection is open, then verify the loop exits cleanly.
+  std::raise(SIGTERM);
+  server.Drain();
+  auto stats = server.Stats();
+  std::printf("selftest: drained; accepted=%llu submitted=%llu routed=%llu "
+              "dropped=%llu\n",
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.requests_submitted),
+              static_cast<unsigned long long>(stats.responses_routed),
+              static_cast<unsigned long long>(stats.responses_dropped));
+  if (stats.responses_routed + stats.responses_dropped !=
+      stats.requests_submitted) {
+    std::fprintf(stderr, "selftest: conservation violated\n");
+    return 1;
+  }
+  g_server.store(nullptr, std::memory_order_relaxed);
+  std::printf("selftest: OK\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 7788;
+  uint64_t users = 1500;
+  bool selftest = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < argc ? argv[++i] : std::string();
+    };
+    if (arg == "--host") host = next();
+    else if (arg == "--port") port = static_cast<uint16_t>(std::stoi(next()));
+    else if (arg == "--users") users = std::stoull(next());
+    else if (arg == "--selftest") selftest = true;
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  BookCrossingGenerator::Config data_cfg;
+  data_cfg.num_users = users;
+  data_cfg.num_books = users * 4 / 3;
+  data_cfg.num_ratings = users * 7;
+  vexus::mining::DiscoveryOptions discovery;
+  discovery.min_support_fraction = 0.02;
+  auto engine_result = VexusEngine::Preprocess(
+      BookCrossingGenerator::Generate(data_cfg), discovery, {});
+  if (!engine_result.ok()) {
+    std::fprintf(stderr, "preprocess failed: %s\n",
+                 engine_result.status().ToString().c_str());
+    return 1;
+  }
+  VexusEngine engine = std::move(engine_result).ValueOrDie();
+  std::printf("%s\n", engine.Summary().c_str());
+
+  ServiceOptions options;
+  options.session_template.greedy.k = 5;
+  options.session_template.greedy.time_limit_ms = 80;
+  options.num_workers = 4;
+  ExplorationService svc(&engine, options);
+
+  if (selftest) return RunSelfTest(svc);
+
+  TcpServerOptions net_opts;
+  net_opts.host = host;
+  net_opts.port = port;
+  TcpServer server(&svc, net_opts);
+  auto status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "listen failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  g_server.store(&server, std::memory_order_relaxed);
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  std::printf("vexus_server listening on %s:%u (SIGTERM drains)\n",
+              host.c_str(), server.port());
+  std::fflush(stdout);
+
+  // Park until a signal flips the drain flag; Drain() then joins the loop.
+  while (!server.draining()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  server.Drain();
+  auto stats = server.Stats();
+  std::printf("drained: accepted=%llu submitted=%llu routed=%llu\n",
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.requests_submitted),
+              static_cast<unsigned long long>(stats.responses_routed));
+  std::printf("%s\n", svc.Stats().ToString().c_str());
+  return 0;
+}

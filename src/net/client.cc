@@ -1,0 +1,88 @@
+#include "net/client.h"
+
+#include <cerrno>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <utility>
+
+#include "common/stopwatch.h"
+
+namespace vexus::net {
+
+LineClient::LineClient(Fd fd) : fd_(std::move(fd)) {}
+
+Result<LineClient> LineClient::Connect(const std::string& host, uint16_t port,
+                                       double timeout_ms) {
+  auto fd = ConnectTcp(host, port, timeout_ms);
+  VEXUS_RETURN_NOT_OK(fd.status());
+  return LineClient(std::move(fd).ValueOrDie());
+}
+
+Status LineClient::SendLine(const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  size_t off = 0;
+  while (off < framed.size()) {
+    ssize_t n = ::send(fd_.get(), framed.data() + off, framed.size() - off,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return ErrnoStatus("send", errno);
+  }
+  return Status::OK();
+}
+
+Result<std::string> LineClient::ReadLine(double timeout_ms) {
+  Stopwatch watch;
+  for (;;) {
+    // Surface anything already framed before touching the socket: pipelined
+    // responses often arrive several-per-read.
+    if (auto frame = framer_.Next(); frame.has_value()) {
+      if (frame->oversized) {
+        return Status::IOError("server sent an oversized response line");
+      }
+      return std::move(frame->text);
+    }
+
+    double remaining = timeout_ms - watch.ElapsedMillis();
+    if (remaining <= 0) {
+      return Status::DeadlineExceeded("no response line within " +
+                                      std::to_string(timeout_ms) + " ms");
+    }
+    pollfd pfd{fd_.get(), POLLIN, 0};
+    int rc = ::poll(&pfd, 1, static_cast<int>(remaining) + 1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("poll", errno);
+    }
+    if (rc == 0) continue;  // loop re-checks the deadline
+
+    char buf[16 * 1024];
+    ssize_t n = ::recv(fd_.get(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      framer_.Append(std::string_view(buf, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n == 0) {
+      return Status::IOError("connection closed by server");
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return ErrnoStatus("recv", errno);
+  }
+}
+
+Result<server::Response> LineClient::Call(const server::Request& req,
+                                          double timeout_ms) {
+  VEXUS_RETURN_NOT_OK(SendLine(req.Encode()));
+  auto line = ReadLine(timeout_ms);
+  VEXUS_RETURN_NOT_OK(line.status());
+  return server::Response::Decode(line.ValueOrDie());
+}
+
+void LineClient::ShutdownWrite() { ::shutdown(fd_.get(), SHUT_WR); }
+
+}  // namespace vexus::net

@@ -1,0 +1,63 @@
+// LineClient — the simple blocking client for the line-JSON wire protocol.
+//
+// One TCP connection, one outstanding style of use: SendLine/ReadLine for
+// raw-line tooling (the REPL's --connect mode pipes user text through
+// unmodified), Call() for typed request/response. Framing is the shared
+// server::LineFramer — the client does NOT reimplement a parser, so client
+// and server can never disagree about where a response ends (the satellite
+// contract in ISSUE.md).
+//
+// Pipelining: callers may SendLine() several times before reading; responses
+// come back in send order (the server's per-connection flush contract).
+// ReadLine() returns them one at a time. Call() is strictly one-shot
+// (send + wait) and must not be interleaved with manual pipelining.
+//
+// Not thread-safe. The multiplexed benchmark client does not use this class
+// (it needs nonblocking fds); tests and the REPL do.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "net/socket.h"
+#include "server/protocol.h"
+
+namespace vexus::net {
+
+class LineClient {
+ public:
+  /// Connects (blocking, bounded by timeout_ms) and returns a ready client.
+  static Result<LineClient> Connect(const std::string& host, uint16_t port,
+                                    double timeout_ms = 5000);
+
+  LineClient(LineClient&&) = default;
+  LineClient& operator=(LineClient&&) = default;
+
+  /// Writes `line` + '\n' (appends the terminator; `line` must not contain
+  /// one — that would be two requests).
+  Status SendLine(const std::string& line);
+
+  /// Blocks until one complete response line arrives (or timeout/EOF).
+  /// Returns DeadlineExceeded on timeout, IOError on EOF/transport error.
+  Result<std::string> ReadLine(double timeout_ms = 5000);
+
+  /// Encode + SendLine + ReadLine + Decode.
+  Result<server::Response> Call(const server::Request& req,
+                                double timeout_ms = 5000);
+
+  /// Half-closes the write side (SHUT_WR): tells the server "no more
+  /// requests" while leaving the read side open for pipelined responses —
+  /// the lame-duck path the server tests exercise.
+  void ShutdownWrite();
+
+  int fd() const { return fd_.get(); }
+
+ private:
+  LineClient(Fd fd);
+
+  Fd fd_;
+  server::LineFramer framer_;
+};
+
+}  // namespace vexus::net

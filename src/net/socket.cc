@@ -1,0 +1,140 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace vexus::net {
+
+void Fd::Reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status ErrnoStatus(const std::string& what, int err) {
+  return Status::IOError(what + ": " + std::strerror(err));
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)", errno);
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(F_SETFL, O_NONBLOCK)", errno);
+  }
+  return Status::OK();
+}
+
+Status SetNoDelay(int fd) {
+  int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0) {
+    return ErrnoStatus("setsockopt(TCP_NODELAY)", errno);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Result<sockaddr_in> ResolveV4(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host.empty() || host == "*") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+Result<Fd> ListenTcp(const std::string& host, uint16_t port, int backlog,
+                     uint16_t* bound_port) {
+  auto addr = ResolveV4(host, port);
+  VEXUS_RETURN_NOT_OK(addr.status());
+
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return ErrnoStatus("socket", errno);
+  int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0) {
+    return ErrnoStatus("setsockopt(SO_REUSEADDR)", errno);
+  }
+  sockaddr_in sa = addr.ValueOrDie();
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) <
+      0) {
+    return ErrnoStatus("bind(" + host + ":" + std::to_string(port) + ")",
+                       errno);
+  }
+  if (::listen(fd.get(), backlog) < 0) return ErrnoStatus("listen", errno);
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&actual), &len) <
+        0) {
+      return ErrnoStatus("getsockname", errno);
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return std::move(fd);
+}
+
+Result<Fd> ConnectTcp(const std::string& host, uint16_t port,
+                      double timeout_ms) {
+  auto addr = ResolveV4(host.empty() ? "127.0.0.1" : host, port);
+  VEXUS_RETURN_NOT_OK(addr.status());
+
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return ErrnoStatus("socket", errno);
+  sockaddr_in sa = addr.ValueOrDie();
+  int rc =
+      ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+  if (rc < 0 && errno != EINPROGRESS) return ErrnoStatus("connect", errno);
+  if (rc < 0) {
+    // In progress: wait for writability, then read the final verdict.
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    int n = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (n < 0) return ErrnoStatus("poll(connect)", errno);
+    if (n == 0) {
+      return Status::DeadlineExceeded("connect to " + host + ":" +
+                                      std::to_string(port) + " timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      return ErrnoStatus("getsockopt(SO_ERROR)", errno);
+    }
+    if (err != 0) {
+      return ErrnoStatus(
+          "connect to " + host + ":" + std::to_string(port), err);
+    }
+  }
+  // Back to blocking: the simple-client contract (see socket.h).
+  int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0 ||
+      ::fcntl(fd.get(), F_SETFL, flags & ~O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(clear O_NONBLOCK)", errno);
+  }
+  VEXUS_RETURN_NOT_OK(SetNoDelay(fd.get()));
+  return std::move(fd);
+}
+
+Result<std::pair<Fd, Fd>> NonBlockingSocketPair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0,
+                   fds) < 0) {
+    return ErrnoStatus("socketpair", errno);
+  }
+  return std::make_pair(Fd(fds[0]), Fd(fds[1]));
+}
+
+}  // namespace vexus::net

@@ -1,0 +1,80 @@
+// POSIX socket primitives for the TCP front-end: an owning fd wrapper and
+// the handful of syscall recipes (listen, connect, socketpair, fcntl) the
+// event loop and clients share. Everything returns Status/Result — errno is
+// translated at the boundary so the rest of the subsystem never reads it.
+//
+// IPv4 only for now: the front-end binds loopback or 0.0.0.0 and the
+// benchmark drives loopback; AF_INET6 would be a mechanical extension.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace vexus::net {
+
+/// Owning file descriptor (move-only RAII). Closing ignores EINTR per
+/// POSIX.1-2008 semantics (the fd is gone either way on Linux).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { Reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Releases ownership without closing.
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Builds an errno-carrying Status ("what: strerror(errno)").
+Status ErrnoStatus(const std::string& what, int err);
+
+/// Marks `fd` nonblocking (O_NONBLOCK).
+Status SetNonBlocking(int fd);
+
+/// Disables Nagle (TCP_NODELAY) — a line-oriented request/response protocol
+/// inside a 100 ms budget cannot afford 40 ms delayed-ACK stalls.
+Status SetNoDelay(int fd);
+
+/// Creates a nonblocking listening socket bound to host:port (port 0 =
+/// ephemeral; SO_REUSEADDR set). On success *bound_port holds the actual
+/// port (what tests and --port 0 deployments need).
+Result<Fd> ListenTcp(const std::string& host, uint16_t port, int backlog,
+                     uint16_t* bound_port);
+
+/// Blocking-connect with a timeout (nonblocking connect + poll), returning
+/// a *blocking* connected socket with TCP_NODELAY set. The simple-client
+/// shape: net::LineClient and tests use this; the benchmark flips the fd
+/// back to nonblocking for its multiplexed loop.
+Result<Fd> ConnectTcp(const std::string& host, uint16_t port,
+                      double timeout_ms);
+
+/// Nonblocking AF_UNIX stream pair — the Connection unit tests' harness
+/// (drive OnReadable/OnWritable without a real listener).
+Result<std::pair<Fd, Fd>> NonBlockingSocketPair();
+
+}  // namespace vexus::net

@@ -1,0 +1,453 @@
+#include "net/tcp_server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <utility>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/logging.h"
+#include "server/overload.h"
+
+namespace vexus::net {
+
+using server::ExplorationService;
+using server::OverloadRung;
+using server::Request;
+
+struct TcpServer::CompletionQueue {
+  std::mutex mu;
+  std::vector<Completion> pending;
+  bool alive = true;  // guarded by mu; false once the loop is gone
+  Wakeup wakeup;
+
+  void Push(Completion c) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!alive) return;  // server destroyed; drop (accounted by caller's
+                           // absence — the request itself already retired)
+      pending.push_back(std::move(c));
+    }
+    wakeup.Signal();
+  }
+};
+
+struct TcpServer::AtomicStats {
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> accept_rejected{0};
+  std::atomic<uint64_t> accept_faults{0};
+  std::atomic<uint64_t> lines_framed{0};
+  std::atomic<uint64_t> parse_errors{0};
+  std::atomic<uint64_t> oversized_lines{0};
+  std::atomic<uint64_t> requests_submitted{0};
+  std::atomic<uint64_t> responses_routed{0};
+  std::atomic<uint64_t> responses_dropped{0};
+  std::atomic<uint64_t> peer_closes{0};
+  std::atomic<uint64_t> io_error_closes{0};
+  std::atomic<uint64_t> idle_closes{0};
+  std::atomic<uint64_t> slow_client_closes{0};
+  std::atomic<uint64_t> drain_forced_closes{0};
+};
+
+namespace {
+inline void Bump(std::atomic<uint64_t>& c) {
+  c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+}
+}  // namespace
+
+TcpServer::TcpServer(ExplorationService* service, TcpServerOptions options)
+    : service_(service),
+      options_(std::move(options)),
+      cq_(std::make_shared<CompletionQueue>()),
+      stats_(std::make_unique<AtomicStats>()) {
+  VEXUS_CHECK(service_ != nullptr);
+  if (options_.tick_ms <= 0) options_.tick_ms = 100;
+}
+
+TcpServer::~TcpServer() { Drain(); }
+
+Status TcpServer::Start() {
+  VEXUS_CHECK(!started_) << "Start() called twice";
+  auto listener =
+      ListenTcp(options_.host, options_.port, options_.backlog, &port_);
+  VEXUS_RETURN_NOT_OK(listener.status());
+  listener_ = std::move(listener).ValueOrDie();
+
+  epoll_ = Fd(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_.valid()) return ErrnoStatus("epoll_create1", errno);
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = 0;  // 0 = listener, UINT64_MAX = wakeup, else conn id
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, listener_.get(), &ev) < 0) {
+    return ErrnoStatus("epoll_ctl(listener)", errno);
+  }
+  ev.events = EPOLLIN;
+  ev.data.u64 = UINT64_MAX;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, cq_->wakeup.fd(), &ev) < 0) {
+    return ErrnoStatus("epoll_ctl(wakeup)", errno);
+  }
+
+  started_ = true;
+  loop_thread_ = std::thread([this] { Loop(); });
+  return Status::OK();
+}
+
+void TcpServer::RequestDrain() {
+  drain_requested_.store(true, std::memory_order_relaxed);
+  cq_->wakeup.Signal();
+}
+
+void TcpServer::Drain() {
+  if (!started_ || drained_) return;
+  RequestDrain();
+  loop_thread_.join();
+  drained_ = true;
+  // Completions arriving after this point (requests force-closed out of
+  // their connections but still executing on workers) drop at Push().
+  std::lock_guard<std::mutex> lock(cq_->mu);
+  cq_->alive = false;
+}
+
+TcpServerStats TcpServer::Stats() const {
+  TcpServerStats s;
+  s.accepted = stats_->accepted.load(std::memory_order_relaxed);
+  s.accept_rejected = stats_->accept_rejected.load(std::memory_order_relaxed);
+  s.accept_faults = stats_->accept_faults.load(std::memory_order_relaxed);
+  s.lines_framed = stats_->lines_framed.load(std::memory_order_relaxed);
+  s.parse_errors = stats_->parse_errors.load(std::memory_order_relaxed);
+  s.oversized_lines = stats_->oversized_lines.load(std::memory_order_relaxed);
+  s.requests_submitted =
+      stats_->requests_submitted.load(std::memory_order_relaxed);
+  s.responses_routed = stats_->responses_routed.load(std::memory_order_relaxed);
+  s.responses_dropped =
+      stats_->responses_dropped.load(std::memory_order_relaxed);
+  s.peer_closes = stats_->peer_closes.load(std::memory_order_relaxed);
+  s.io_error_closes = stats_->io_error_closes.load(std::memory_order_relaxed);
+  s.idle_closes = stats_->idle_closes.load(std::memory_order_relaxed);
+  s.slow_client_closes =
+      stats_->slow_client_closes.load(std::memory_order_relaxed);
+  s.drain_forced_closes =
+      stats_->drain_forced_closes.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
+
+void TcpServer::Loop() {
+  constexpr int kMaxEvents = 128;
+  epoll_event events[kMaxEvents];
+  Stopwatch since_tick;
+
+  for (;;) {
+    int timeout = static_cast<int>(options_.tick_ms);
+    int n = ::epoll_wait(epoll_.get(), events, kMaxEvents, timeout);
+    if (n < 0 && errno != EINTR) {
+      VEXUS_LOG(Error) << "epoll_wait: " << std::strerror(errno);
+      break;
+    }
+
+    for (int i = 0; i < std::max(n, 0); ++i) {
+      uint64_t tag = events[i].data.u64;
+      if (tag == 0) {
+        HandleAccept();
+      } else if (tag == UINT64_MAX) {
+        cq_->wakeup.Drain();
+      } else {
+        HandleConnEvent(tag, events[i].events);
+      }
+    }
+
+    DrainCompletions();
+
+    if (drain_requested_.load(std::memory_order_relaxed)) StartDrainOnce();
+
+    if (since_tick.ElapsedMillis() >= options_.tick_ms || drain_started_) {
+      since_tick.Restart();
+      Tick();
+    }
+
+    if (drain_started_ && conns_.empty()) break;
+  }
+}
+
+void TcpServer::HandleAccept() {
+  for (;;) {
+    int raw = ::accept4(listener_.get(), nullptr, nullptr,
+                        SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (raw < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      // EMFILE/ENFILE & friends: drop this attempt, keep serving. The
+      // kernel already completed the handshake; nothing to free but our
+      // patience.
+      return;
+    }
+    Fd fd(raw);
+    // Chaos site: the accept path failing post-handshake (fd table
+    // pressure, a TLS layer rejecting). The client sees a close.
+    if (VEXUS_FAILPOINT_FIRES("net.accept")) {
+      Bump(stats_->accept_faults);
+      continue;  // Fd closes raw
+    }
+    if (drain_started_ || conns_.size() >= options_.max_connections) {
+      Bump(stats_->accept_rejected);
+      continue;
+    }
+    (void)SetNoDelay(fd.get());
+    if (options_.so_sndbuf > 0) {
+      ::setsockopt(fd.get(), SOL_SOCKET, SO_SNDBUF, &options_.so_sndbuf,
+                   sizeof(options_.so_sndbuf));
+    }
+
+    uint64_t id = next_conn_id_++;
+    ConnEntry entry;
+    entry.conn = std::make_unique<Connection>(
+        std::move(fd), id, options_.connection,
+        [this, id](uint64_t seq, std::string line, bool oversized) {
+          OnLine(id, seq, std::move(line), oversized);
+        });
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, entry.conn->fd(), &ev) < 0) {
+      Bump(stats_->accept_rejected);
+      continue;  // entry.conn closes the fd
+    }
+    entry.epoll_mask = EPOLLIN;
+    conns_.emplace(id, std::move(entry));
+    Bump(stats_->accepted);
+    active_connections_.store(conns_.size(), std::memory_order_relaxed);
+  }
+}
+
+void TcpServer::OnLine(uint64_t conn_id, uint64_t seq, std::string line,
+                       bool oversized) {
+  Bump(stats_->lines_framed);
+  auto it = conns_.find(conn_id);
+  VEXUS_DCHECK(it != conns_.end());  // sink fires from inside the conn
+
+  if (oversized) {
+    Bump(stats_->oversized_lines);
+    it->second.conn->Complete(
+        seq, server::EncodeParseError(Status::InvalidArgument(
+                 "request line exceeds " +
+                 std::to_string(options_.connection.max_line_bytes) +
+                 " bytes")));
+    return;
+  }
+  auto req = Request::Decode(line);
+  if (!req.ok()) {
+    // Per-line parse error: answer and stay in sync — a malformed request
+    // (even one whose raw '\n' split it into several frames) never desyncs
+    // the stream (server/protocol.h LineFramer contract).
+    Bump(stats_->parse_errors);
+    it->second.conn->Complete(seq, server::EncodeParseError(req.status()));
+    return;
+  }
+
+  Bump(stats_->requests_submitted);
+  // Submitted at read time: the Dispatcher stamps the deadline now, so the
+  // budget covers queueing and execution from the moment the bytes arrived.
+  std::shared_ptr<CompletionQueue> cq = cq_;
+  service_->DispatchAsync(
+      std::move(req).ValueOrDie(),
+      [cq, conn_id, seq](server::Response resp) {
+        // Worker thread: serialize here (off the loop), then hand over.
+        cq->Push(Completion{conn_id, seq, resp.Encode()});
+      });
+}
+
+void TcpServer::HandleConnEvent(uint64_t conn_id, uint32_t events) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;  // closed earlier this batch
+  Connection* conn = it->second.conn.get();
+
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0 &&
+      (events & (EPOLLIN | EPOLLOUT)) == 0) {
+    Bump(stats_->io_error_closes);
+    CloseConn(conn_id);
+    return;
+  }
+
+  if ((events & EPOLLOUT) != 0) {
+    if (conn->OnWritable() == Connection::IoStatus::kError) {
+      Bump(stats_->io_error_closes);
+      CloseConn(conn_id);
+      return;
+    }
+  }
+  if ((events & EPOLLIN) != 0 && !drain_started_ && !conn->peer_eof()) {
+    switch (conn->OnReadable()) {
+      case Connection::IoStatus::kOk:
+        break;
+      case Connection::IoStatus::kPeerClosed:
+        Bump(stats_->peer_closes);
+        conn->set_peer_eof();
+        break;
+      case Connection::IoStatus::kError:
+        Bump(stats_->io_error_closes);
+        CloseConn(conn_id);
+        return;
+    }
+  }
+  FlushAndUpdate(conn_id);
+}
+
+void TcpServer::DrainCompletions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(cq_->mu);
+    batch.swap(cq_->pending);
+  }
+  for (Completion& c : batch) {
+    auto it = conns_.find(c.conn_id);
+    if (it == conns_.end()) {
+      // The connection died (slow client, fault, force-close) while its
+      // request executed. The request itself was retired by the
+      // dispatcher; only the bytes have nowhere to go.
+      Bump(stats_->responses_dropped);
+      continue;
+    }
+    Bump(stats_->responses_routed);
+    it->second.conn->Complete(c.seq, std::move(c.line));
+    // A lame-duck peer (EOF received) may have requests buffered beyond
+    // the pipeline cap; completions free slots for them.
+    if (it->second.conn->peer_eof()) it->second.conn->EmitBufferedLines();
+  }
+  // Flush + interest updates once per touched connection would need a set;
+  // connections are few per batch in practice, so just sweep the batch.
+  for (Completion& c : batch) {
+    if (conns_.count(c.conn_id) != 0) FlushAndUpdate(c.conn_id);
+  }
+}
+
+void TcpServer::FlushAndUpdate(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Connection* conn = it->second.conn.get();
+
+  if (conn->wants_write()) {
+    if (conn->OnWritable() == Connection::IoStatus::kError) {
+      Bump(stats_->io_error_closes);
+      CloseConn(conn_id);
+      return;
+    }
+  }
+  if (conn->over_write_cap()) {
+    // Slow client: responses are completing faster than the peer reads.
+    // Disconnecting is the only move that protects the loop's memory; the
+    // explorer can reconnect and start_session again.
+    Bump(stats_->slow_client_closes);
+    CloseConn(conn_id);
+    return;
+  }
+  if ((conn->peer_eof() || drain_started_) && conn->drained()) {
+    CloseConn(conn_id);
+    return;
+  }
+  UpdateInterest(conn_id);
+}
+
+void TcpServer::UpdateInterest(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  ConnEntry& entry = it->second;
+  uint32_t mask = 0;
+  if (!entry.conn->paused() && !entry.conn->peer_eof() && !drain_started_) {
+    mask |= EPOLLIN;
+  }
+  if (entry.conn->wants_write()) mask |= EPOLLOUT;
+  if (mask == entry.epoll_mask) return;
+  epoll_event ev{};
+  ev.events = mask;
+  ev.data.u64 = conn_id;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, entry.conn->fd(), &ev) == 0) {
+    entry.epoll_mask = mask;
+  }
+}
+
+void TcpServer::CloseConn(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  // Chaos site: widen the window between deciding to close and the fd
+  // actually dying (a peer racing its last pipelined write).
+  VEXUS_FAILPOINT_HIT("net.conn.close");
+  ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, it->second.conn->fd(), nullptr);
+  conns_.erase(it);
+  active_connections_.store(conns_.size(), std::memory_order_relaxed);
+}
+
+void TcpServer::StartDrainOnce() {
+  if (drain_started_) return;
+  drain_started_ = true;
+  drain_watch_.Restart();
+  // 1. Refuse new connections at the kernel.
+  ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, listener_.get(), nullptr);
+  listener_.Reset();
+  // 2. Stop reading request bytes; flush/close what can be.
+  std::vector<uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (auto& [id, entry] : conns_) ids.push_back(id);
+  for (uint64_t id : ids) FlushAndUpdate(id);
+}
+
+void TcpServer::Tick() {
+  const OverloadRung rung = service_->dispatcher().overload().rung();
+  // Under sustained overload the ladder is already sacrificing answer
+  // quality; transport-side patience shrinks too, reclaiming fds and write
+  // buffers from clients that aren't keeping up (DESIGN.md §13.4).
+  const double tighten = rung >= OverloadRung::kReduceK ? 0.25 : 1.0;
+  const double idle_limit = options_.idle_timeout_ms * tighten;
+  const double stall_limit = options_.write_stall_timeout_ms * tighten;
+
+  std::vector<uint64_t> idle, stalled;
+  for (auto& [id, entry] : conns_) {
+    Connection* conn = entry.conn.get();
+    double stall = conn->write_stall_ms();
+    if (stall > 0 && options_.overload_write_stall_signal) {
+      // A response aging in a write buffer is end-to-end queueing the
+      // dispatcher cannot see; feed it to the same CoDel signal. (Min-
+      // over-window semantics mean one stalled reader never escalates the
+      // ladder by itself — only fleet-wide stall does.)
+      service_->dispatcher().overload().OnQueueDelay(stall);
+    }
+    if (stall > stall_limit) {
+      stalled.push_back(id);
+    } else if (conn->idle_ms() > idle_limit && conn->in_flight() == 0 &&
+               !conn->wants_write()) {
+      idle.push_back(id);
+    }
+  }
+  for (uint64_t id : stalled) {
+    Bump(stats_->slow_client_closes);
+    CloseConn(id);
+  }
+  for (uint64_t id : idle) {
+    Bump(stats_->idle_closes);
+    CloseConn(id);
+  }
+
+  if (drain_started_) {
+    std::vector<uint64_t> ids;
+    ids.reserve(conns_.size());
+    for (auto& [id, entry] : conns_) ids.push_back(id);
+    if (drain_watch_.ElapsedMillis() > options_.drain_timeout_ms) {
+      for (uint64_t id : ids) {
+        Bump(stats_->drain_forced_closes);
+        CloseConn(id);
+      }
+    } else {
+      for (uint64_t id : ids) FlushAndUpdate(id);
+    }
+  }
+}
+
+}  // namespace vexus::net

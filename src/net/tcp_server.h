@@ -1,0 +1,195 @@
+// TcpServer — the epoll event loop serving the line-JSON wire protocol
+// (DESIGN.md §13).
+//
+//        accept ──▶ Connection{framer, pipeline, write buf} ─┐ OnLine
+//          ▲                ▲                                ▼
+//   epoll_wait  ◀── wakeup eventfd ◀── worker threads ◀── ExplorationService
+//   (loop thread)     (completions)     (Dispatcher)        ::DispatchAsync
+//
+// Threading model: ONE event-loop thread owns every socket, every
+// Connection object, and the epoll set; it never computes a screen. The
+// service's worker pool executes requests; completions cross back via a
+// mutex-guarded queue plus an eventfd (net/wakeup.h). Nothing else is
+// shared, so the loop runs lock-free except for that queue swap.
+//
+// Deadlines: request lines are submitted to the Dispatcher synchronously
+// inside the read handler, so the admission-stamped deadline starts at
+// socket read time — queueing, worker time, and (for the client) response
+// serialization all count against the explorer's 100 ms budget, exactly as
+// the in-process path behaves.
+//
+// Overload: the Dispatcher's ladder applies unchanged (it is the same
+// Dispatcher). The loop adds the transport-side signals the in-process path
+// never sees: response bytes stalled in a connection's write buffer are
+// reported to the overload controller as queue delay, and slow/idle clients
+// are disconnected — aggressively so when the ladder is escalated
+// (§13.4) — so socket-side pathology surfaces in the same control loop as
+// CPU overload.
+//
+// Drain (SIGTERM sequence): RequestDrain() is async-signal-safe. The loop
+// then (1) closes the listener — new connections are refused by the kernel;
+// (2) stops reading request bytes from every connection; (3) lets admitted
+// requests complete and flushes their responses; (4) closes each connection
+// once drained, and force-closes stragglers after drain_timeout_ms. Every
+// admitted request is retired exactly once (the conservation property the
+// chaos harness storms with net failpoints).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/stopwatch.h"
+#include "net/connection.h"
+#include "net/socket.h"
+#include "net/wakeup.h"
+#include "server/service.h"
+
+namespace vexus::net {
+
+struct TcpServerOptions {
+  /// Bind address. Loopback by default: exposing an unauthenticated
+  /// exploration service on a routable interface is an explicit choice.
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral (read the actual port from port() after Start()).
+  uint16_t port = 0;
+  int backlog = 512;
+  /// Accepted connections beyond this are immediately closed (the
+  /// fd-exhaustion guard; the dispatcher's ladder guards CPU).
+  size_t max_connections = 4096;
+  ConnectionOptions connection;
+  /// Connections with no traffic and no work in flight for this long are
+  /// closed (quartered while the overload ladder is at reduce_k or above).
+  double idle_timeout_ms = 60'000;
+  /// A response stalled unflushed in the write buffer for this long marks a
+  /// dead-slow reader; the connection is closed (also quartered under
+  /// overload). The write_buffer_cap handles fast-filling buffers; this
+  /// handles readers that stop ACKing entirely.
+  double write_stall_timeout_ms = 10'000;
+  /// Event-loop housekeeping cadence (idle scan, stall scan, drain checks).
+  double tick_ms = 100;
+  /// Force-close window of the drain sequence.
+  double drain_timeout_ms = 10'000;
+  /// Report write-buffer stall ages to the overload controller as queue
+  /// delay samples (see the Overload note above).
+  bool overload_write_stall_signal = true;
+  /// SO_SNDBUF for accepted sockets; 0 keeps the kernel default. Setting it
+  /// locks out kernel autotuning (which otherwise grows send buffers to
+  /// megabytes), so the slow-client tests can fill the userspace write
+  /// buffer deterministically instead of racing a 4 MB kernel cushion.
+  int so_sndbuf = 0;
+};
+
+/// Monotonic counters, written by the loop thread, readable from any thread.
+struct TcpServerStats {
+  uint64_t accepted = 0;
+  uint64_t accept_rejected = 0;     // over max_connections
+  uint64_t accept_faults = 0;       // injected via net.accept
+  uint64_t lines_framed = 0;
+  uint64_t parse_errors = 0;
+  uint64_t oversized_lines = 0;
+  uint64_t requests_submitted = 0;  // handed to DispatchAsync
+  uint64_t responses_routed = 0;    // completion matched a live connection
+  uint64_t responses_dropped = 0;   // completion for an already-dead conn
+  uint64_t peer_closes = 0;
+  uint64_t io_error_closes = 0;     // transport errors (incl. injected)
+  uint64_t idle_closes = 0;
+  uint64_t slow_client_closes = 0;  // write cap or stall timeout
+  uint64_t drain_forced_closes = 0;
+};
+
+class TcpServer {
+ public:
+  /// `service` must outlive the server (callbacks in flight at destruction
+  /// are dropped via a shared alive flag, but the service pool itself is
+  /// not owned here).
+  TcpServer(server::ExplorationService* service, TcpServerOptions options = {});
+
+  /// Drains (idempotent) and joins the loop.
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds + listens synchronously (so callers see bind errors), then
+  /// starts the event-loop thread. Call at most once.
+  Status Start();
+
+  /// Actual bound port (valid after a successful Start()).
+  uint16_t port() const { return port_; }
+
+  /// Triggers the drain sequence without blocking. Async-signal-safe: one
+  /// atomic store and one eventfd write — install it in a SIGTERM handler.
+  void RequestDrain();
+
+  /// RequestDrain + join. Returns once every connection is closed and the
+  /// loop has exited. Idempotent.
+  void Drain();
+
+  /// True from RequestDrain() on (new connections are being refused).
+  bool draining() const { return drain_requested_.load(std::memory_order_relaxed); }
+
+  size_t active_connections() const {
+    return active_connections_.load(std::memory_order_relaxed);
+  }
+
+  TcpServerStats Stats() const;
+
+ private:
+  struct Completion {
+    uint64_t conn_id;
+    uint64_t seq;
+    std::string line;
+  };
+  /// Shared between worker callbacks and the loop; outlives both via
+  /// shared_ptr so a completion firing after ~TcpServer only touches the
+  /// alive flag and the (still-allocated) queue.
+  struct CompletionQueue;
+
+  struct ConnEntry {
+    std::unique_ptr<Connection> conn;
+    uint32_t epoll_mask = 0;
+  };
+
+  void Loop();
+  void HandleAccept();
+  void HandleConnEvent(uint64_t conn_id, uint32_t events);
+  void OnLine(uint64_t conn_id, uint64_t seq, std::string line,
+              bool oversized);
+  void DrainCompletions();
+  void Tick();
+  void StartDrainOnce();
+  /// Flush, then re-derive the epoll interest mask; closes slow clients.
+  void FlushAndUpdate(uint64_t conn_id);
+  void UpdateInterest(uint64_t conn_id);
+  void CloseConn(uint64_t conn_id);
+
+  server::ExplorationService* service_;
+  TcpServerOptions options_;
+
+  Fd listener_;
+  Fd epoll_;
+  uint16_t port_ = 0;
+  std::thread loop_thread_;
+  bool started_ = false;
+  bool drained_ = false;
+
+  std::shared_ptr<CompletionQueue> cq_;
+  std::atomic<bool> drain_requested_{false};
+  bool drain_started_ = false;  // loop-thread view
+  Stopwatch drain_watch_;
+
+  uint64_t next_conn_id_ = 1;
+  std::unordered_map<uint64_t, ConnEntry> conns_;
+  std::atomic<size_t> active_connections_{0};
+
+  /// Counters (loop-thread writes; relaxed atomic so Stats() is callable
+  /// from tests/benchmarks while the loop runs).
+  struct AtomicStats;
+  std::unique_ptr<AtomicStats> stats_;
+};
+
+}  // namespace vexus::net

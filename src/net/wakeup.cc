@@ -1,0 +1,59 @@
+#include "net/wakeup.h"
+
+#include <cerrno>
+#include <cstdint>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/eventfd.h>
+#endif
+
+#include "common/logging.h"
+
+namespace vexus::net {
+
+Wakeup::Wakeup() {
+#ifdef __linux__
+  read_ = Fd(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+  VEXUS_CHECK(read_.valid()) << "eventfd failed";
+#else
+  int fds[2];
+  VEXUS_CHECK(::pipe(fds) == 0) << "pipe failed";
+  read_ = Fd(fds[0]);
+  write_ = Fd(fds[1]);
+  (void)SetNonBlocking(read_.get());
+  (void)SetNonBlocking(write_.get());
+#endif
+}
+
+void Wakeup::Signal() {
+  const uint64_t one = 1;
+#ifdef __linux__
+  // EAGAIN means the counter is already near-saturated — the loop is
+  // certainly waking up; dropping the increment is the coalescing we want.
+  ssize_t rc;
+  do {
+    rc = ::write(read_.get(), &one, sizeof(one));
+  } while (rc < 0 && errno == EINTR);
+#else
+  ssize_t rc;
+  do {
+    rc = ::write(write_.get(), &one, 1);
+  } while (rc < 0 && errno == EINTR);
+#endif
+  (void)rc;
+}
+
+void Wakeup::Drain() {
+#ifdef __linux__
+  uint64_t buf;
+  while (::read(read_.get(), &buf, sizeof(buf)) > 0) {
+  }
+#else
+  char buf[256];
+  while (::read(read_.get(), buf, sizeof(buf)) > 0) {
+  }
+#endif
+}
+
+}  // namespace vexus::net

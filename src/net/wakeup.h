@@ -1,0 +1,40 @@
+// Wakeup — the worker→event-loop doorbell.
+//
+// Pool workers finish requests on their own threads; the owning
+// connection's buffers live on the event-loop thread. Completions therefore
+// cross via a queue plus this wakeup fd: the worker enqueues, calls
+// Signal(), and the loop's epoll_wait returns. On Linux this is an eventfd
+// (one 8-byte counter, one fd); elsewhere a self-pipe. Signal() is
+// async-signal-safe (a single write()), which is also what lets a SIGTERM
+// handler kick the loop into its drain sequence directly.
+#pragma once
+
+#include "common/status.h"
+#include "net/socket.h"
+
+namespace vexus::net {
+
+class Wakeup {
+ public:
+  /// Creates the eventfd/pipe; VEXUS_CHECK-fails only on fd exhaustion.
+  Wakeup();
+
+  Wakeup(const Wakeup&) = delete;
+  Wakeup& operator=(const Wakeup&) = delete;
+
+  /// The fd to register for EPOLLIN.
+  int fd() const { return read_.get(); }
+
+  /// Rings the doorbell. Nonblocking, async-signal-safe, coalescing (many
+  /// signals before a Drain() produce one readable event).
+  void Signal();
+
+  /// Swallows pending signals so epoll level-triggering quiesces.
+  void Drain();
+
+ private:
+  Fd read_;
+  Fd write_;  // unused with eventfd (read_ is both ends)
+};
+
+}  // namespace vexus::net

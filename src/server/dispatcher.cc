@@ -39,21 +39,28 @@ double Dispatcher::EffectiveBudgetMs(const Core& core, const Request& req) {
 }
 
 std::future<Response> Dispatcher::Submit(Request req) {
-  std::shared_ptr<Core> core = core_;
   auto promise = std::make_shared<std::promise<Response>>();
   std::future<Response> future = promise->get_future();
+  SubmitAsync(std::move(req),
+              [promise](Response resp) { promise->set_value(std::move(resp)); });
+  return future;
+}
+
+void Dispatcher::SubmitAsync(Request req, Completion done) {
+  std::shared_ptr<Core> core = core_;
 
   // Retires the request exactly once: metrics, the in-flight gauge (when
-  // this path admitted it), and the caller's future.
-  auto finish = [core, promise](const Request& r, Response resp,
-                                double latency_ms, bool admitted) {
+  // this path admitted it), and the caller's completion.
+  auto finish = [core, done = std::move(done)](const Request& r, Response resp,
+                                               double latency_ms,
+                                               bool admitted) {
     if (admitted) core->in_flight.fetch_sub(1, std::memory_order_relaxed);
     if (core->metrics != nullptr) {
       core->metrics->RecordRequest(r.type, resp.status.code(), latency_ms);
       if (resp.greedy_deadline_hit) core->metrics->RecordGreedyDeadlineHit();
     }
     resp.elapsed_ms = latency_ms;
-    promise->set_value(std::move(resp));
+    done(std::move(resp));
   };
 
   // ---- 0. Overload ladder, last rung: admission control. The ladder keeps
@@ -68,7 +75,7 @@ std::future<Response> Dispatcher::Submit(Request req) {
            ErrorResponse(req, Status::ResourceExhausted(
                                   "overload: degradation ladder at 'shed'")),
            /*latency_ms=*/0, /*admitted=*/false);
-    return future;
+    return;
   }
 
   // ---- 1. Backpressure backstop: shed instead of stall. ----
@@ -80,7 +87,7 @@ std::future<Response> Dispatcher::Submit(Request req) {
                                   " exceeds limit " +
                                   std::to_string(core->options.max_queue_depth))),
            /*latency_ms=*/0, /*admitted=*/true);
-    return future;
+    return;
   }
 
   // Chaos site: a fault here simulates admission-side failures (allocation
@@ -89,7 +96,7 @@ std::future<Response> Dispatcher::Submit(Request req) {
       !injected.ok()) {
     finish(req, ErrorResponse(req, std::move(injected)), /*latency_ms=*/0,
            /*admitted=*/true);
-    return future;
+    return;
   }
 
   // ---- 2. Deadline stamped at admission; trace root + queue span open. ----
@@ -164,13 +171,12 @@ std::future<Response> Dispatcher::Submit(Request req) {
   };
 
   if (!pool_->Submit(std::move(task))) {
-    // Pool is shutting down: shed, never lose the promise.
+    // Pool is shutting down: shed, never lose the completion.
     finish(req,
            ErrorResponse(req,
                          Status::ResourceExhausted("service shutting down")),
            /*latency_ms=*/0, /*admitted=*/true);
   }
-  return future;
 }
 
 }  // namespace vexus::server

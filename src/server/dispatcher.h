@@ -81,6 +81,21 @@ class Dispatcher {
   Dispatcher(const Dispatcher&) = delete;
   Dispatcher& operator=(const Dispatcher&) = delete;
 
+  /// Completion callback of the asynchronous submission path. Invoked
+  /// exactly once per request, on whichever thread retires it: a pool worker
+  /// for executed requests, the *submitting* thread for requests shed at
+  /// admission. Callbacks must therefore be cheap and non-blocking — the
+  /// socket front-end's callback just enqueues the response for its event
+  /// loop and signals an eventfd (src/net/tcp_server.cc).
+  using Completion = std::function<void(Response)>;
+
+  /// Admits (or sheds) `req`; `done` fires when the request completes. This
+  /// is the primitive entry point — Submit() is a future-shaped wrapper.
+  /// The deadline is stamped here, at admission: callers that frame
+  /// requests off a socket submit at read time, so the budget clock starts
+  /// the moment the bytes arrived.
+  void SubmitAsync(Request req, Completion done);
+
   /// Admits (or sheds) `req`; the future completes when the request does.
   /// Shed/rejected requests complete immediately, so .get() never deadlocks.
   std::future<Response> Submit(Request req);

@@ -348,4 +348,76 @@ Response ErrorResponse(const Request& req, Status status) {
   return resp;
 }
 
+std::string EncodeParseError(const Status& status) {
+  json::Object obj;
+  obj.emplace_back("op", json::Value("error"));
+  obj.emplace_back("status", json::Value(StatusCodeToString(status.code())));
+  obj.emplace_back("error", json::Value(status.message()));
+  return json::Value(std::move(obj)).Dump();
+}
+
+// ---------------------------------------------------------------------------
+// LineFramer
+// ---------------------------------------------------------------------------
+
+void LineFramer::Append(std::string_view bytes) {
+  // While discarding an oversized frame, bytes up to the next '\n' never
+  // need to be stored — only whether the newline arrived matters. Keeping
+  // them out of buf_ is what bounds memory against a client streaming an
+  // endless unterminated line.
+  if (discarding_) {
+    size_t nl = bytes.find('\n');
+    if (nl == std::string_view::npos) return;  // still inside the monster
+    bytes.remove_prefix(nl);  // keep the '\n': Next() emits the marker frame
+  }
+  buf_.append(bytes.data(), bytes.size());
+  // Enforce the cap eagerly, not just in Next(): an unterminated tail past
+  // the limit starts discarding now, so buffered() is bounded no matter how
+  // the caller interleaves Append and Next.
+  if (!discarding_ && buf_.find('\n', pos_) == std::string::npos &&
+      buf_.size() - pos_ > options_.max_frame_bytes) {
+    discarding_ = true;
+    buf_.clear();
+    pos_ = 0;
+  }
+}
+
+std::optional<LineFramer::Frame> LineFramer::Next() {
+  for (;;) {
+    size_t nl = buf_.find('\n', pos_);
+    if (nl == std::string::npos) {
+      // No complete frame. Enforce the cap on the unterminated tail and
+      // compact the consumed prefix so buffered() bounds real memory.
+      if (buf_.size() - pos_ > options_.max_frame_bytes && !discarding_) {
+        discarding_ = true;
+        buf_.clear();
+        pos_ = 0;
+      } else if (pos_ > 0) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+      }
+      return std::nullopt;
+    }
+    size_t end = nl;
+    if (end > pos_ && buf_[end - 1] == '\r') --end;  // CRLF tolerance
+    // A complete-but-over-cap frame (its newline landed in the same read
+    // chunk that crossed the limit) is surfaced as oversized too: the cap
+    // is a contract on what callers may see, not just a memory bound.
+    if (end - pos_ > options_.max_frame_bytes) discarding_ = true;
+    Frame frame;
+    if (!discarding_) frame.text.assign(buf_, pos_, end - pos_);
+    pos_ = nl + 1;
+    if (discarding_) {
+      // The newline that ends the oversized frame: surface one marker so
+      // the transport can answer a single error line, then resync.
+      discarding_ = false;
+      frame.text.clear();
+      frame.oversized = true;
+      return frame;
+    }
+    if (frame.text.empty()) continue;  // skip keepalive/blank lines
+    return frame;
+  }
+}
+
 }  // namespace vexus::server

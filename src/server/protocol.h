@@ -154,4 +154,72 @@ struct Response {
 /// Convenience factory for an error response mirroring `req`.
 Response ErrorResponse(const Request& req, Status status);
 
+/// The synthetic `{"op":"error",...}` line answered when a request line
+/// cannot even be decoded (no typed op exists to mirror). Shared by
+/// ExplorationService::HandleLine and the socket front-end so both paths
+/// answer byte-identical parse errors.
+std::string EncodeParseError(const Status& status);
+
+/// Incremental '\n' framing over a byte stream — the one line-splitting
+/// implementation every transport shares (the TCP connection parser, the
+/// REPL's --connect client, the socket benchmark's response reader).
+///
+/// Framing rules, chosen so one misbehaving line can never desynchronize
+/// the stream:
+///   * A frame is the bytes up to (excluding) the next '\n'. A trailing
+///     '\r' is stripped (CRLF clients: telnet, netcat -C, Windows pipes).
+///   * Empty frames (bare "\n" or "\r\n") are skipped, not surfaced —
+///     they are keepalive/sloppy-script noise, not requests.
+///   * Malformed JSON containing a *raw* newline is, by construction, two
+///     (or more) frames: each fails Request::Decode independently and each
+///     is answered with its own per-line parse error, after which the
+///     stream is back in sync. The framer never buffers across '\n'
+///     waiting for a parse to succeed — that is the desync failure mode
+///     this class exists to prevent (a parser that accumulates until the
+///     JSON closes would swallow every subsequent valid request into the
+///     broken first one).
+///   * A frame longer than `max_frame_bytes` cannot be buffered (one hostile
+///     client would otherwise balloon server memory). The framer drops the
+///     oversized prefix, keeps *discarding* until the next '\n', then emits
+///     a single frame flagged `oversized` so the transport can answer one
+///     error line and resume normally — again: resync, never desync.
+class LineFramer {
+ public:
+  struct Options {
+    /// Longest frame the framer will buffer. 1 MiB is ~100× the largest
+    /// legitimate response (a full get_stats snapshot) and far beyond any
+    /// request.
+    size_t max_frame_bytes = 1 << 20;
+  };
+
+  struct Frame {
+    std::string text;
+    /// True when this frame stands in for one that exceeded
+    /// max_frame_bytes (its bytes were discarded; `text` is empty).
+    bool oversized = false;
+  };
+
+  LineFramer() : LineFramer(Options()) {}
+  explicit LineFramer(Options options) : options_(options) {
+    if (options_.max_frame_bytes == 0) options_.max_frame_bytes = 1;
+  }
+
+  /// Feeds bytes read from the transport.
+  void Append(std::string_view bytes);
+
+  /// Pops the next complete frame, or nullopt when more bytes are needed.
+  std::optional<Frame> Next();
+
+  /// Bytes buffered awaiting a newline (bounded by max_frame_bytes).
+  size_t buffered() const { return buf_.size() - pos_; }
+  /// True while discarding an oversized frame (waiting for its '\n').
+  bool discarding() const { return discarding_; }
+
+ private:
+  Options options_;
+  std::string buf_;
+  size_t pos_ = 0;        // consumed prefix of buf_
+  bool discarding_ = false;
+};
+
 }  // namespace vexus::server

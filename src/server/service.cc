@@ -129,6 +129,17 @@ std::future<Response> ExplorationService::Dispatch(Request req) {
   return dispatcher_->Submit(std::move(req));
 }
 
+void ExplorationService::DispatchAsync(Request req,
+                                       Dispatcher::Completion done) {
+  // Same health-probe bypass as Dispatch(): answered inline, never queued,
+  // never shed (see the comment there).
+  if (req.type == RequestType::kHealth) {
+    done(DoHealth(req));
+    return;
+  }
+  dispatcher_->SubmitAsync(std::move(req), std::move(done));
+}
+
 Response ExplorationService::Call(Request req) {
   return Dispatch(std::move(req)).get();
 }
@@ -138,12 +149,7 @@ std::string ExplorationService::HandleLine(const std::string& line) {
   if (!req.ok()) {
     // Not a decodable request: answer a synthetic error line. No typed op
     // exists to account it under, so it bypasses per-op metrics by design.
-    json::Object obj;
-    obj.emplace_back("op", json::Value("error"));
-    obj.emplace_back("status",
-                     json::Value(StatusCodeToString(req.status().code())));
-    obj.emplace_back("error", json::Value(req.status().message()));
-    return json::Value(std::move(obj)).Dump();
+    return EncodeParseError(req.status());
   }
   return Call(std::move(req).ValueOrDie()).Encode();
 }

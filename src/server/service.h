@@ -79,6 +79,14 @@ class ExplorationService {
   /// Asynchronous entry point: admit/shed now, complete later.
   std::future<Response> Dispatch(Request req);
 
+  /// Callback-shaped asynchronous entry point — what the socket front-end
+  /// (src/net) uses so worker threads can complete responses back onto the
+  /// owning connection's event loop instead of parking a thread on a
+  /// future. `done` fires exactly once, on a pool worker for executed
+  /// requests or inline on the calling thread for health probes and
+  /// requests shed at admission; it must be cheap and non-blocking.
+  void DispatchAsync(Request req, Dispatcher::Completion done);
+
   /// Synchronous entry point (dispatch + wait).
   Response Call(Request req);
 

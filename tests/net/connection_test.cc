@@ -1,0 +1,201 @@
+// Connection unit tests — the read/parse/write state machine driven over an
+// AF_UNIX socketpair, no event loop, no listener, no service. The "client"
+// end of the pair plays the peer; the test plays the TcpServer (calling
+// OnReadable/OnWritable/Complete by hand and asserting every predicate the
+// real loop keys off).
+#include <string>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "net/connection.h"
+#include "net/socket.h"
+
+namespace vexus::net {
+namespace {
+
+struct Emitted {
+  uint64_t seq;
+  std::string line;
+  bool oversized;
+};
+
+struct Harness {
+  explicit Harness(ConnectionOptions options = {}) {
+    auto pair = NonBlockingSocketPair();
+    EXPECT_TRUE(pair.ok()) << pair.status().ToString();
+    peer = std::move(pair.ValueOrDie().first);
+    conn = std::make_unique<Connection>(
+        std::move(pair.ValueOrDie().second), 1, options,
+        [this](uint64_t seq, std::string line, bool oversized) {
+          emitted.push_back({seq, std::move(line), oversized});
+        });
+  }
+
+  void PeerSend(const std::string& bytes) {
+    ASSERT_EQ(::send(peer.get(), bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+  std::string PeerRecv() {
+    std::string got;
+    char buf[64 * 1024];
+    ssize_t n;
+    while ((n = ::recv(peer.get(), buf, sizeof(buf), 0)) > 0) {
+      got.append(buf, static_cast<size_t>(n));
+    }
+    return got;
+  }
+
+  Fd peer;
+  std::unique_ptr<Connection> conn;
+  std::vector<Emitted> emitted;
+};
+
+TEST(ConnectionTest, FramesPipelinedLinesWithSequentialSlots) {
+  Harness h;
+  h.PeerSend("{\"op\":\"health\"}\n{\"op\":\"get_stats\"}\r\n");
+  ASSERT_EQ(h.conn->OnReadable(), Connection::IoStatus::kOk);
+  ASSERT_EQ(h.emitted.size(), 2u);
+  EXPECT_EQ(h.emitted[0].seq, 0u);
+  EXPECT_EQ(h.emitted[0].line, "{\"op\":\"health\"}");
+  EXPECT_EQ(h.emitted[1].seq, 1u);
+  EXPECT_EQ(h.emitted[1].line, "{\"op\":\"get_stats\"}");  // CRLF stripped
+  EXPECT_EQ(h.conn->in_flight(), 2u);
+  EXPECT_FALSE(h.conn->drained());
+}
+
+TEST(ConnectionTest, PartialLineWaitsForItsNewline) {
+  Harness h;
+  h.PeerSend("{\"op\":\"hea");
+  ASSERT_EQ(h.conn->OnReadable(), Connection::IoStatus::kOk);
+  EXPECT_TRUE(h.emitted.empty());
+  h.PeerSend("lth\"}\n");
+  ASSERT_EQ(h.conn->OnReadable(), Connection::IoStatus::kOk);
+  ASSERT_EQ(h.emitted.size(), 1u);
+  EXPECT_EQ(h.emitted[0].line, "{\"op\":\"health\"}");
+}
+
+TEST(ConnectionTest, OutOfOrderCompletionsFlushInSeqOrder) {
+  Harness h;
+  h.PeerSend("a\nb\nc\n");
+  ASSERT_EQ(h.conn->OnReadable(), Connection::IoStatus::kOk);
+  ASSERT_EQ(h.emitted.size(), 3u);
+
+  // Workers finish 2, 0, 1 — the wire must see r0, r1, r2.
+  h.conn->Complete(2, "r2");
+  EXPECT_FALSE(h.conn->wants_write());  // head (0) missing: nothing flushable
+  h.conn->Complete(0, "r0");
+  EXPECT_TRUE(h.conn->wants_write());  // 0 flushable, 1 still missing
+  h.conn->Complete(1, "r1");
+  ASSERT_EQ(h.conn->OnWritable(), Connection::IoStatus::kOk);
+  EXPECT_EQ(h.PeerRecv(), "r0\nr1\nr2\n");
+  EXPECT_TRUE(h.conn->drained());
+  EXPECT_EQ(h.conn->responses_flushed(), 3u);
+}
+
+TEST(ConnectionTest, PausesAtMaxPipelinedAndResumesOnCompletion) {
+  ConnectionOptions opts;
+  opts.max_pipelined = 2;
+  Harness h(opts);
+  h.PeerSend("a\nb\nc\nd\n");
+  ASSERT_EQ(h.conn->OnReadable(), Connection::IoStatus::kOk);
+  // Only the first two become requests; the rest wait (in the framer or the
+  // kernel buffer) until completions free pipeline slots.
+  ASSERT_EQ(h.emitted.size(), 2u);
+  EXPECT_TRUE(h.conn->paused());
+
+  // Each completion frees exactly one slot: one more line per round, and
+  // the connection re-pauses at the cap.
+  h.conn->Complete(0, "r0");
+  EXPECT_FALSE(h.conn->paused());
+  ASSERT_EQ(h.conn->OnReadable(), Connection::IoStatus::kOk);
+  ASSERT_EQ(h.emitted.size(), 3u);
+  EXPECT_EQ(h.emitted[2].line, "c");
+  EXPECT_TRUE(h.conn->paused());
+
+  h.conn->Complete(1, "r1");
+  ASSERT_EQ(h.conn->OnReadable(), Connection::IoStatus::kOk);
+  ASSERT_EQ(h.emitted.size(), 4u);
+  EXPECT_EQ(h.emitted[3].line, "d");
+}
+
+TEST(ConnectionTest, OversizedLineSurfacesOneMarkerThenResyncs) {
+  ConnectionOptions opts;
+  opts.max_line_bytes = 32;
+  Harness h(opts);
+  h.PeerSend(std::string(500, 'x') + "\n{\"ok\":1}\n");
+  ASSERT_EQ(h.conn->OnReadable(), Connection::IoStatus::kOk);
+  ASSERT_EQ(h.emitted.size(), 2u);
+  EXPECT_TRUE(h.emitted[0].oversized);
+  EXPECT_TRUE(h.emitted[0].line.empty());
+  EXPECT_FALSE(h.emitted[1].oversized);
+  EXPECT_EQ(h.emitted[1].line, "{\"ok\":1}");
+}
+
+TEST(ConnectionTest, PeerEofSurfacesBufferedLinesFirst) {
+  Harness h;
+  h.PeerSend("last request\n");
+  ::shutdown(h.peer.get(), SHUT_WR);
+  ASSERT_EQ(h.conn->OnReadable(), Connection::IoStatus::kPeerClosed);
+  ASSERT_EQ(h.emitted.size(), 1u);
+  EXPECT_EQ(h.emitted[0].line, "last request");
+
+  // The write side is still open: the response must reach the peer.
+  h.conn->Complete(0, "bye");
+  ASSERT_EQ(h.conn->OnWritable(), Connection::IoStatus::kOk);
+  EXPECT_EQ(h.PeerRecv(), "bye\n");
+  EXPECT_TRUE(h.conn->drained());
+}
+
+TEST(ConnectionTest, OverWriteCapFlipsWhenPeerStopsReading) {
+  ConnectionOptions opts;
+  opts.write_buffer_cap = 4 * 1024;
+  Harness h(opts);
+  h.PeerSend("q\n");
+  ASSERT_EQ(h.conn->OnReadable(), Connection::IoStatus::kOk);
+
+  // A response far larger than the kernel socket buffer + our cap, while
+  // the peer reads nothing: the unflushed remainder must trip the cap.
+  h.conn->Complete(0, std::string(4 * 1024 * 1024, 'z'));
+  ASSERT_EQ(h.conn->OnWritable(), Connection::IoStatus::kOk);
+  EXPECT_TRUE(h.conn->wants_write());
+  EXPECT_TRUE(h.conn->over_write_cap());
+  EXPECT_GE(h.conn->write_stall_ms(), 0.0);
+}
+
+TEST(ConnectionTest, ReadFailpointInjectsTransportError) {
+  Harness h;
+  failpoint::Policy always;
+  always.mode = failpoint::Policy::Mode::kAlways;
+  failpoint::ScopedFailpoint fp("net.conn.read", always);
+  h.PeerSend("hello\n");
+  EXPECT_EQ(h.conn->OnReadable(), Connection::IoStatus::kError);
+  EXPECT_GE(fp.fires(), 1u);
+}
+
+TEST(ConnectionTest, WriteFailpointInjectsTransportError) {
+  Harness h;
+  h.PeerSend("q\n");
+  ASSERT_EQ(h.conn->OnReadable(), Connection::IoStatus::kOk);
+  h.conn->Complete(0, "r");
+  failpoint::Policy always;
+  always.mode = failpoint::Policy::Mode::kAlways;
+  failpoint::ScopedFailpoint fp("net.conn.write", always);
+  EXPECT_EQ(h.conn->OnWritable(), Connection::IoStatus::kError);
+  EXPECT_GE(fp.fires(), 1u);
+}
+
+TEST(ConnectionTest, EmptyLinesAreSkippedNotSubmitted) {
+  Harness h;
+  h.PeerSend("\n\r\n{\"op\":\"health\"}\n\n");
+  ASSERT_EQ(h.conn->OnReadable(), Connection::IoStatus::kOk);
+  ASSERT_EQ(h.emitted.size(), 1u);
+  EXPECT_EQ(h.emitted[0].line, "{\"op\":\"health\"}");
+}
+
+}  // namespace
+}  // namespace vexus::net

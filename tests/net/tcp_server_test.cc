@@ -1,0 +1,342 @@
+// TcpServer integration tests — a real listener on an ephemeral loopback
+// port, a real ExplorationService behind it, real clients in front of it.
+// Covers the acceptance behaviors ISSUE 6 names: pipelined + interleaved
+// clients, per-line parse errors that never desync the stream, slow-client
+// protection (one stalled reader cannot wedge the loop), and graceful drain
+// under load with request conservation.
+#include <arpa/inet.h>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <netinet/in.h>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "data/generators/bookcrossing_gen.h"
+#include "net/client.h"
+#include "net/tcp_server.h"
+#include "server/service.h"
+
+namespace vexus::net {
+namespace {
+
+using server::ExplorationService;
+using server::Request;
+using server::RequestType;
+using server::ServiceOptions;
+
+class TcpServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::BookCrossingGenerator::Config cfg;
+    cfg.num_users = 400;
+    cfg.num_books = 500;
+    cfg.num_ratings = 2400;
+    mining::DiscoveryOptions opt;
+    opt.min_support_fraction = 0.03;
+    engine_ = new core::VexusEngine(std::move(
+        core::VexusEngine::Preprocess(
+            data::BookCrossingGenerator::Generate(cfg), opt, {})
+            .ValueOrDie()));
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    engine_ = nullptr;
+  }
+
+  static ServiceOptions FastOptions() {
+    ServiceOptions opts;
+    opts.session_template.greedy.k = 4;
+    opts.session_template.greedy.time_limit_ms = 30;
+    opts.num_workers = 4;
+    opts.dispatcher.default_budget_ms = 2000;  // tests care about order, not SLO
+    return opts;
+  }
+
+  static core::VexusEngine* engine_;
+};
+
+core::VexusEngine* TcpServerTest::engine_ = nullptr;
+
+Request Health() {
+  Request req;
+  req.type = RequestType::kHealth;
+  return req;
+}
+
+TEST_F(TcpServerTest, StartsOnEphemeralPortAndAnswersHealth) {
+  ExplorationService svc(engine_, FastOptions());
+  TcpServer server(&svc);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.port(), 0);
+
+  auto client = LineClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto resp = client->Call(Health());
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_TRUE(resp->status.ok());
+}
+
+TEST_F(TcpServerTest, PipelinedRequestsComeBackInOrder) {
+  ExplorationService svc(engine_, FastOptions());
+  TcpServer server(&svc);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = LineClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  // A session start plus a burst of distinct ops, all on the wire before
+  // any response is read. Workers may finish them out of order; the wire
+  // must not.
+  ASSERT_TRUE(
+      client->SendLine(R"({"op":"start_session","session":"p","k":4})").ok());
+  const int kBurst = 24;
+  for (int i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE(client
+                    ->SendLine(i % 2 == 0 ? R"({"op":"health"})"
+                                          : R"({"op":"get_stats"})")
+                    .ok());
+  }
+  auto first = client->ReadLine(10'000);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_NE(first->find("\"start_session\""), std::string::npos);
+  for (int i = 0; i < kBurst; ++i) {
+    auto line = client->ReadLine(10'000);
+    ASSERT_TRUE(line.ok()) << "response " << i << " lost: "
+                           << line.status().ToString();
+    const char* want = i % 2 == 0 ? "\"health\"" : "\"get_stats\"";
+    EXPECT_NE(line->find(want), std::string::npos)
+        << "response " << i << " out of order: " << *line;
+  }
+}
+
+TEST_F(TcpServerTest, InterleavedClientsKeepSessionsIsolated) {
+  ExplorationService svc(engine_, FastOptions());
+  TcpServer server(&svc);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int kClients = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = LineClient::Connect("127.0.0.1", server.port());
+      if (!client.ok()) { failures.fetch_add(1); return; }
+      Request start;
+      start.type = RequestType::kStartSession;
+      start.session_id = "iso-" + std::to_string(c);
+      auto first = client->Call(start, 10'000);
+      if (!first.ok() || first->session_id != start.session_id ||
+          first->groups.empty()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int round = 0; round < 5; ++round) {
+        Request click;
+        click.type = RequestType::kSelectGroup;
+        click.session_id = start.session_id;
+        click.group = first->groups[round % first->groups.size()].id;
+        auto resp = client->Call(click, 10'000);
+        // Degraded answers are fine under load; crossed sessions are not.
+        if (!resp.ok() || resp->session_id != start.session_id) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.Stats().accepted, static_cast<uint64_t>(kClients));
+}
+
+TEST_F(TcpServerTest, MalformedLinesAnsweredInStreamWithoutDesync) {
+  ExplorationService svc(engine_, FastOptions());
+  TcpServer server(&svc);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = LineClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  // A malformed request whose raw newline splits it into two broken frames,
+  // pipelined ahead of a valid request: two error lines, then the real
+  // answer, stream intact (the satellite-2 regression, over actual TCP).
+  ASSERT_TRUE(client->SendLine(R"({"op":"health", "broken)").ok());
+  ASSERT_TRUE(client->SendLine(R"(tail"})").ok());
+  ASSERT_TRUE(client->SendLine(R"({"op":"health"})").ok());
+
+  for (int i = 0; i < 2; ++i) {
+    auto err = client->ReadLine(10'000);
+    ASSERT_TRUE(err.ok());
+    EXPECT_NE(err->find("\"op\":\"error\""), std::string::npos) << *err;
+  }
+  auto good = client->Call(Health(), 10'000);
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good->status.ok());
+  EXPECT_EQ(server.Stats().parse_errors, 2u);
+}
+
+TEST_F(TcpServerTest, OversizedLineAnsweredAndStreamResyncs) {
+  ExplorationService svc(engine_, FastOptions());
+  TcpServerOptions opts;
+  opts.connection.max_line_bytes = 256;
+  TcpServer server(&svc, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = LineClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->SendLine(std::string(4096, 'x')).ok());
+  auto err = client->ReadLine(10'000);
+  ASSERT_TRUE(err.ok());
+  EXPECT_NE(err->find("\"op\":\"error\""), std::string::npos);
+  auto good = client->Call(Health(), 10'000);
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good->status.ok());
+  EXPECT_EQ(server.Stats().oversized_lines, 1u);
+}
+
+TEST_F(TcpServerTest, StalledReaderIsDisconnectedOthersUnaffected) {
+  ExplorationService svc(engine_, FastOptions());
+  TcpServerOptions opts;
+  opts.connection.write_buffer_cap = 16 * 1024;  // trip fast
+  opts.so_sndbuf = 8 * 1024;  // lock out kernel autotune (see the option)
+  TcpServer server(&svc, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  // The villain: pipelines hundreds of get_stats (fat responses) and never
+  // reads a byte. Its responses fill the kernel buffers, then the server's
+  // write buffer, then cross write_buffer_cap. SO_RCVBUF must be set
+  // BEFORE connect — it sizes the advertised window during the handshake;
+  // set afterwards the kernel keeps the big default and quietly absorbs
+  // every response, and the cap never trips.
+  Fd stalled(::socket(AF_INET, SOCK_STREAM, 0));
+  ASSERT_TRUE(stalled.valid());
+  {
+    int tiny = 4096;  // shrink the receive window so kernels buffer little
+    ::setsockopt(stalled.get(), SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(stalled.get(), reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const std::string stats_line = "{\"op\":\"get_stats\"}\n";
+  std::string burst;
+  for (int i = 0; i < 600; ++i) burst += stats_line;
+  ASSERT_GT(::send(stalled.get(), burst.data(), burst.size(), MSG_NOSIGNAL),
+            0);
+
+  // Meanwhile a well-behaved client keeps getting answers promptly.
+  auto healthy = LineClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(healthy.ok());
+  bool villain_killed = false;
+  for (int i = 0; i < 200 && !villain_killed; ++i) {
+    auto resp = healthy->Call(Health(), 10'000);
+    ASSERT_TRUE(resp.ok()) << "healthy client starved at round " << i << ": "
+                           << resp.status().ToString();
+    villain_killed = server.Stats().slow_client_closes > 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(villain_killed)
+      << "stalled reader never disconnected; stats: slow="
+      << server.Stats().slow_client_closes;
+}
+
+TEST_F(TcpServerTest, DrainUnderLoadConservesEveryAdmittedRequest) {
+  ExplorationService svc(engine_, FastOptions());
+  TcpServer server(&svc);
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+
+  // Load the wire: several clients, each with a pipelined burst in flight
+  // when the drain lands.
+  const int kClients = 4, kBurst = 16;
+  std::vector<std::unique_ptr<LineClient>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    auto client = LineClient::Connect("127.0.0.1", port);
+    ASSERT_TRUE(client.ok());
+    clients.push_back(
+        std::make_unique<LineClient>(std::move(client).ValueOrDie()));
+    for (int i = 0; i < kBurst; ++i) {
+      ASSERT_TRUE(clients.back()->SendLine(R"({"op":"health"})").ok());
+    }
+  }
+
+  server.RequestDrain();
+  EXPECT_TRUE(server.draining());
+
+  // Every client reads until EOF; responses received must be well-formed.
+  for (auto& client : clients) {
+    for (;;) {
+      auto line = client->ReadLine(10'000);
+      if (!line.ok()) break;  // EOF: the server closed us post-flush
+      EXPECT_NE(line->find("\"op\":\"health\""), std::string::npos);
+    }
+  }
+  server.Drain();
+
+  auto stats = server.Stats();
+  // Conservation: everything admitted was retired exactly once — either
+  // routed onto a connection or dropped against a closed one. (Lines still
+  // in kernel buffers when the drain stopped reads were never admitted.)
+  EXPECT_EQ(stats.requests_submitted,
+            stats.responses_routed + stats.responses_dropped);
+  EXPECT_EQ(server.active_connections(), 0u);
+
+  // The listener is gone: new connections are refused.
+  auto late = ConnectTcp("127.0.0.1", port, 500);
+  EXPECT_FALSE(late.ok());
+}
+
+TEST_F(TcpServerTest, IdleConnectionsAreReaped) {
+  ExplorationService svc(engine_, FastOptions());
+  TcpServerOptions opts;
+  opts.idle_timeout_ms = 150;
+  opts.tick_ms = 25;
+  TcpServer server(&svc, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto idle = ConnectTcp("127.0.0.1", server.port(), 5000);
+  ASSERT_TRUE(idle.ok());
+  // The server should reap us without a byte ever moving.
+  char buf[8];
+  ssize_t n = -1;
+  for (int i = 0; i < 100; ++i) {
+    n = ::recv(idle->get(), buf, sizeof(buf), MSG_DONTWAIT);
+    if (n == 0) break;  // orderly close from the server
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  EXPECT_EQ(n, 0);
+  EXPECT_EQ(server.Stats().idle_closes, 1u);
+}
+
+TEST_F(TcpServerTest, HalfCloseStillDeliversPipelinedResponses) {
+  ExplorationService svc(engine_, FastOptions());
+  TcpServer server(&svc);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = LineClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  const int kBurst = 8;
+  for (int i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE(client->SendLine(R"({"op":"health"})").ok());
+  }
+  client->ShutdownWrite();  // "no more requests" — answers must still come
+  int got = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    auto line = client->ReadLine(10'000);
+    if (!line.ok()) break;
+    ++got;
+  }
+  EXPECT_EQ(got, kBurst);
+}
+
+}  // namespace
+}  // namespace vexus::net

@@ -1,0 +1,127 @@
+// LineFramer + EncodeParseError — the framing layer every transport shares.
+//
+// The load-bearing regression here is RawNewlineInsideMalformedJson: a
+// malformed request containing a *raw* '\n' must become several frames,
+// each answered with its own per-line parse error, after which the stream
+// is back in sync. Before the framer existed, an accumulate-until-JSON-
+// closes parser would swallow every subsequent valid request into the
+// broken first one — the desync failure mode ISSUE 6 satellite 2 names.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/protocol.h"
+
+namespace vexus::server {
+namespace {
+
+std::vector<LineFramer::Frame> DrainAll(LineFramer& framer) {
+  std::vector<LineFramer::Frame> frames;
+  while (auto f = framer.Next()) frames.push_back(std::move(*f));
+  return frames;
+}
+
+TEST(LineFramerTest, SplitsOnNewlinesAndStripsCr) {
+  LineFramer framer;
+  framer.Append("alpha\nbravo\r\ncharlie");
+  auto frames = DrainAll(framer);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].text, "alpha");
+  EXPECT_EQ(frames[1].text, "bravo");
+  EXPECT_EQ(framer.buffered(), 7u);  // "charlie" awaits its newline
+
+  framer.Append("\n");
+  frames = DrainAll(framer);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].text, "charlie");
+}
+
+TEST(LineFramerTest, EmptyLinesAreSkipped) {
+  LineFramer framer;
+  framer.Append("\n\r\n\nx\n\n");
+  auto frames = DrainAll(framer);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].text, "x");
+}
+
+TEST(LineFramerTest, ByteAtATimeArrivalFramesIdentically) {
+  LineFramer framer;
+  const std::string wire = "{\"op\":\"health\"}\n{\"op\":\"get_stats\"}\n";
+  std::vector<LineFramer::Frame> frames;
+  for (char c : wire) {
+    framer.Append(std::string_view(&c, 1));
+    for (auto f = framer.Next(); f.has_value(); f = framer.Next()) {
+      frames.push_back(std::move(*f));
+    }
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].text, "{\"op\":\"health\"}");
+  EXPECT_EQ(frames[1].text, "{\"op\":\"get_stats\"}");
+}
+
+TEST(LineFramerTest, RawNewlineInsideMalformedJsonResyncsPerLine) {
+  // One "request" broken across a raw newline, then a valid request. The
+  // framer must yield three frames; the first two independently fail
+  // Request::Decode (each would be answered with EncodeParseError on the
+  // wire); the third must decode cleanly — no desync.
+  LineFramer framer;
+  framer.Append("{\"op\":\"health\", \"oops\ntail\"}\n{\"op\":\"health\"}\n");
+  auto frames = DrainAll(framer);
+  ASSERT_EQ(frames.size(), 3u);
+
+  EXPECT_FALSE(Request::Decode(frames[0].text).ok());
+  EXPECT_FALSE(Request::Decode(frames[1].text).ok());
+  auto valid = Request::Decode(frames[2].text);
+  ASSERT_TRUE(valid.ok());
+  EXPECT_EQ(valid->type, RequestType::kHealth);
+}
+
+TEST(LineFramerTest, OversizedLineDiscardedAsSingleMarkerFrame) {
+  LineFramer::Options opts;
+  opts.max_frame_bytes = 16;
+  LineFramer framer(opts);
+
+  // Arrives in several chunks, all of one giant line, then a valid one.
+  framer.Append(std::string(40, 'a'));
+  EXPECT_TRUE(framer.discarding());
+  EXPECT_LE(framer.buffered(), opts.max_frame_bytes);  // memory stays bounded
+  framer.Append(std::string(40, 'b'));
+  EXPECT_FALSE(framer.Next().has_value());  // still mid-discard
+  framer.Append("ccc\nok\n");
+
+  auto frames = DrainAll(framer);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_TRUE(frames[0].oversized);
+  EXPECT_TRUE(frames[0].text.empty());
+  EXPECT_FALSE(framer.discarding());
+  EXPECT_FALSE(frames[1].oversized);
+  EXPECT_EQ(frames[1].text, "ok");
+}
+
+TEST(LineFramerTest, OversizedLineWholeInOneAppendStillMarked) {
+  LineFramer::Options opts;
+  opts.max_frame_bytes = 8;
+  LineFramer framer(opts);
+  framer.Append(std::string(100, 'x') + "\nshort\n");
+  auto frames = DrainAll(framer);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_TRUE(frames[0].oversized);
+  EXPECT_EQ(frames[1].text, "short");
+}
+
+TEST(EncodeParseErrorTest, CarriesOpErrorStatusAndMessage) {
+  std::string line =
+      EncodeParseError(Status::InvalidArgument("bad byte at 7"));
+  // The synthetic op is "error" (no typed op exists to mirror), valid JSON,
+  // one line: parseable by any client without a Response schema.
+  auto parsed = json::Parse(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  EXPECT_EQ(parsed->GetString("op", ""), "error");
+  EXPECT_EQ(parsed->GetString("status", ""), "InvalidArgument");
+  EXPECT_EQ(parsed->GetString("error", ""), "bad byte at 7");
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vexus::server
