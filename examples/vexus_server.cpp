@@ -17,9 +17,11 @@
 //                 mode the example smoke test runs in CI.
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -151,14 +153,53 @@ int main(int argc, char** argv) {
     auto next = [&]() -> std::string {
       return i + 1 < argc ? argv[++i] : std::string();
     };
-    if (arg == "--host") host = next();
-    else if (arg == "--port") port = static_cast<uint16_t>(std::stoi(next()));
-    else if (arg == "--users") users = std::stoull(next());
-    else if (arg == "--selftest") selftest = true;
-    else {
+    // Numeric flag values are validated (decimal digits only, in range);
+    // a missing or bad value is a usage error, never an uncaught throw or
+    // a silent uint16_t truncation.
+    auto parse_uint = [&](const std::string& flag, uint64_t max,
+                          uint64_t* out) -> bool {
+      std::string value = next();
+      if (value.empty() ||
+          value.find_first_not_of("0123456789") != std::string::npos) {
+        std::fprintf(stderr, "%s needs a numeric value, got '%s'\n",
+                     flag.c_str(), value.c_str());
+        return false;
+      }
+      errno = 0;
+      char* end = nullptr;
+      unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+      if (errno != 0 || end == nullptr || *end != '\0' || v > max) {
+        std::fprintf(stderr, "%s value '%s' out of range (max %llu)\n",
+                     flag.c_str(), value.c_str(),
+                     static_cast<unsigned long long>(max));
+        return false;
+      }
+      *out = v;
+      return true;
+    };
+    uint64_t value = 0;
+    if (arg == "--host") {
+      host = next();
+      if (host.empty()) {
+        std::fprintf(stderr, "--host needs a value\n");
+        return 2;
+      }
+    } else if (arg == "--port") {
+      if (!parse_uint(arg, 65535, &value)) return 2;
+      port = static_cast<uint16_t>(value);
+    } else if (arg == "--users") {
+      if (!parse_uint(arg, 100'000'000, &value)) return 2;
+      users = value;
+    } else if (arg == "--selftest") {
+      selftest = true;
+    } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return 2;
     }
+  }
+  if (users == 0) {
+    std::fprintf(stderr, "--users must be positive\n");
+    return 2;
   }
 
   BookCrossingGenerator::Config data_cfg;

@@ -74,6 +74,7 @@ Connection::IoStatus Connection::OnWritable() {
   // accounting must survive).
   if (VEXUS_FAILPOINT_FIRES("net.conn.write")) return IoStatus::kError;
 
+  bool progressed = false;
   while (out_offset_ < out_.size()) {
     ssize_t n = ::send(fd_.get(), out_.data() + out_offset_,
                        out_.size() - out_offset_, MSG_NOSIGNAL);
@@ -81,12 +82,19 @@ Connection::IoStatus Connection::OnWritable() {
       out_offset_ += static_cast<size_t>(n);
       bytes_written_ += static_cast<uint64_t>(n);
       last_activity_.Restart();
+      progressed = true;
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
     return IoStatus::kError;
   }
+  // The stall clock measures time since the last flushed byte, not time
+  // since the buffer became nonempty: a reader making steady progress whose
+  // buffer never fully drains is slow, not stalled — it must neither be
+  // disconnected at the stall timeout nor feed inflated ages into the
+  // overload controller.
+  if (progressed) oldest_unflushed_.Restart();
   if (out_offset_ == out_.size()) {
     out_.clear();
     out_offset_ = 0;

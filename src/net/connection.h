@@ -87,9 +87,10 @@ class Connection {
   void Complete(uint64_t seq, std::string encoded);
 
   /// Emits any lines still sitting in the framer (up to the pipeline cap).
-  /// OnReadable() does this implicitly; the owner calls it after
-  /// completions un-pause a connection whose peer already half-closed —
-  /// those buffered requests arrived before the EOF and deserve answers.
+  /// OnReadable() does this implicitly; the owner calls it whenever
+  /// completions free pipeline slots — excess frames from a large burst
+  /// live here with the kernel buffer possibly empty, so no epoll event
+  /// will ever surface them (half-closed or not). No-op while paused.
   void EmitBufferedLines();
 
   // --- state the owner polls to manage epoll interest & lifecycle ---
@@ -105,9 +106,10 @@ class Connection {
   bool drained() const { return in_flight() == 0 && out_.empty(); }
   /// Milliseconds since the last byte moved in either direction.
   double idle_ms() const { return last_activity_.ElapsedMillis(); }
-  /// Milliseconds the *oldest unflushed* response has been waiting on the
-  /// socket (0 when the write buffer is empty). The slow-client signal the
-  /// server feeds into the overload controller.
+  /// Milliseconds since the write buffer last flushed a byte while holding
+  /// unflushed data (0 when empty). The slow-client signal the server feeds
+  /// into the overload controller — a reader making steady progress keeps
+  /// resetting this clock even if its buffer never fully drains.
   double write_stall_ms() const {
     return out_.empty() ? 0.0 : oldest_unflushed_.ElapsedMillis();
   }
@@ -138,7 +140,8 @@ class Connection {
 
   std::string out_;          // ordered, encoded, '\n'-terminated responses
   size_t out_offset_ = 0;    // flushed prefix of out_
-  Stopwatch oldest_unflushed_;  // restarted whenever out_ goes nonempty
+  Stopwatch oldest_unflushed_;  // restarted on empty→nonempty and on every
+                                // flush that makes progress
 
   Stopwatch last_activity_;
   bool peer_eof_ = false;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <mutex>
+#include <thread>
 #include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -19,23 +21,6 @@ namespace vexus::net {
 using server::ExplorationService;
 using server::OverloadRung;
 using server::Request;
-
-struct TcpServer::CompletionQueue {
-  std::mutex mu;
-  std::vector<Completion> pending;
-  bool alive = true;  // guarded by mu; false once the loop is gone
-  Wakeup wakeup;
-
-  void Push(Completion c) {
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      if (!alive) return;  // server destroyed; drop (accounted by caller's
-                           // absence — the request itself already retired)
-      pending.push_back(std::move(c));
-    }
-    wakeup.Signal();
-  }
-};
 
 struct TcpServer::AtomicStats {
   std::atomic<uint64_t> accepted{0};
@@ -60,13 +45,38 @@ inline void Bump(std::atomic<uint64_t>& c) {
 }
 }  // namespace
 
+struct TcpServer::CompletionQueue {
+  std::mutex mu;
+  std::vector<Completion> pending;
+  bool alive = true;  // guarded by mu; false once the loop is gone
+  Wakeup wakeup;
+  /// Shared with TcpServer so a completion landing after the loop exited
+  /// still retires its request as dropped (the conservation invariant
+  /// `submitted == routed + dropped` must survive late workers).
+  std::shared_ptr<AtomicStats> stats;
+
+  void Push(Completion c) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!alive) {
+        // Loop gone: no connection can receive these bytes anymore.
+        Bump(stats->responses_dropped);
+        return;
+      }
+      pending.push_back(std::move(c));
+    }
+    wakeup.Signal();
+  }
+};
+
 TcpServer::TcpServer(ExplorationService* service, TcpServerOptions options)
     : service_(service),
       options_(std::move(options)),
       cq_(std::make_shared<CompletionQueue>()),
-      stats_(std::make_unique<AtomicStats>()) {
+      stats_(std::make_shared<AtomicStats>()) {
   VEXUS_CHECK(service_ != nullptr);
   if (options_.tick_ms <= 0) options_.tick_ms = 100;
+  cq_->stats = stats_;
 }
 
 TcpServer::~TcpServer() { Drain(); }
@@ -108,10 +118,30 @@ void TcpServer::Drain() {
   RequestDrain();
   loop_thread_.join();
   drained_ = true;
-  // Completions arriving after this point (requests force-closed out of
-  // their connections but still executing on workers) drop at Push().
-  std::lock_guard<std::mutex> lock(cq_->mu);
-  cq_->alive = false;
+  {
+    // Final sweep: completions pushed between the loop's last
+    // DrainCompletions() and its exit have no connection left to route to.
+    // Count them as dropped; anything later drops (and counts) at Push().
+    std::lock_guard<std::mutex> lock(cq_->mu);
+    cq_->alive = false;
+    for (size_t i = 0; i < cq_->pending.size(); ++i) {
+      Bump(stats_->responses_dropped);
+    }
+    cq_->pending.clear();
+  }
+  // Workers may still be finishing requests whose connections were fault-
+  // or force-closed; their Push() calls retire them as dropped. Wait
+  // (bounded) for those stragglers so Stats() read right after Drain()
+  // observes the conservation invariant.
+  Stopwatch wait;
+  while (wait.ElapsedMillis() < options_.drain_timeout_ms) {
+    uint64_t retired =
+        stats_->responses_routed.load(std::memory_order_relaxed) +
+        stats_->responses_dropped.load(std::memory_order_relaxed);
+    if (retired >= stats_->requests_submitted.load(std::memory_order_relaxed))
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
 }
 
 TcpServerStats TcpServer::Stats() const {
@@ -318,9 +348,12 @@ void TcpServer::DrainCompletions() {
     }
     Bump(stats_->responses_routed);
     it->second.conn->Complete(c.seq, std::move(c.line));
-    // A lame-duck peer (EOF received) may have requests buffered beyond
-    // the pipeline cap; completions free slots for them.
-    if (it->second.conn->peer_eof()) it->second.conn->EmitBufferedLines();
+    // Completions free pipeline slots. Requests framed beyond the cap sit
+    // in the framer with the kernel buffer possibly already empty, so
+    // re-arming level-triggered EPOLLIN alone would never surface them —
+    // emit them now (a no-op while still paused or when nothing is
+    // buffered). This applies to live peers, not just half-closed ones.
+    it->second.conn->EmitBufferedLines();
   }
   // Flush + interest updates once per touched connection would need a set;
   // connections are few per batch in practice, so just sweep the batch.

@@ -189,7 +189,9 @@ class TcpServer {
   /// Counters (loop-thread writes; relaxed atomic so Stats() is callable
   /// from tests/benchmarks while the loop runs).
   struct AtomicStats;
-  std::unique_ptr<AtomicStats> stats_;
+  /// Shared with the CompletionQueue so completions landing after the loop
+  /// exits are still retired as responses_dropped.
+  std::shared_ptr<AtomicStats> stats_;
 };
 
 }  // namespace vexus::net

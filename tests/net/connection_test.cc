@@ -3,8 +3,10 @@
 // end of the pair plays the peer; the test plays the TcpServer (calling
 // OnReadable/OnWritable/Complete by hand and asserting every predicate the
 // real loop keys off).
+#include <chrono>
 #include <string>
 #include <sys/socket.h>
+#include <thread>
 #include <unistd.h>
 #include <vector>
 
@@ -165,6 +167,29 @@ TEST(ConnectionTest, OverWriteCapFlipsWhenPeerStopsReading) {
   EXPECT_TRUE(h.conn->wants_write());
   EXPECT_TRUE(h.conn->over_write_cap());
   EXPECT_GE(h.conn->write_stall_ms(), 0.0);
+}
+
+TEST(ConnectionTest, WriteStallClockRestartsWhenFlushMakesProgress) {
+  Harness h;
+  h.PeerSend("q\n");
+  ASSERT_EQ(h.conn->OnReadable(), Connection::IoStatus::kOk);
+
+  // A response much larger than the socketpair buffers: the first flush
+  // fills the kernel and leaves megabytes unflushed.
+  h.conn->Complete(0, std::string(4 * 1024 * 1024, 'z'));
+  ASSERT_EQ(h.conn->OnWritable(), Connection::IoStatus::kOk);
+  ASSERT_TRUE(h.conn->wants_write());
+
+  // The peer stalls for a while, then reads — a slow reader making real
+  // progress. The next flush must restart the stall clock even though the
+  // buffer never fully drains; otherwise this client's age keeps growing
+  // until it is disconnected despite progressing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_GE(h.conn->write_stall_ms(), 100.0);
+  EXPECT_FALSE(h.PeerRecv().empty());  // drain the kernel buffer
+  ASSERT_EQ(h.conn->OnWritable(), Connection::IoStatus::kOk);
+  EXPECT_TRUE(h.conn->wants_write());  // still megabytes unflushed
+  EXPECT_LT(h.conn->write_stall_ms(), 100.0);
 }
 
 TEST(ConnectionTest, ReadFailpointInjectsTransportError) {

@@ -115,6 +115,41 @@ TEST_F(TcpServerTest, PipelinedRequestsComeBackInOrder) {
   }
 }
 
+TEST_F(TcpServerTest, PipeliningBeyondCapOnLiveConnectionAnswersEverything) {
+  ExplorationService svc(engine_, FastOptions());
+  TcpServerOptions opts;
+  // A small cap makes the whole burst land in the framer in one OnReadable
+  // pass: 8 requests go in flight, the rest are framed-but-unemitted with
+  // the kernel read buffer already empty. No later EPOLLIN edge exists, so
+  // only completions can surface them (the DrainCompletions regression).
+  opts.connection.max_pipelined = 8;
+  TcpServer server(&svc, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = LineClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  // One send() carrying 5x the pipeline cap. The connection stays open the
+  // whole time — no half-close — and every request must still be answered.
+  const int kBurst = 40;
+  std::string burst;
+  for (int i = 0; i < kBurst - 1; ++i) burst += "{\"op\":\"health\"}\n";
+  burst += "{\"op\":\"health\"}";  // SendLine appends the final '\n'
+  ASSERT_TRUE(client->SendLine(burst).ok());
+
+  for (int i = 0; i < kBurst; ++i) {
+    auto line = client->ReadLine(10'000);
+    ASSERT_TRUE(line.ok()) << "response " << i << " never arrived (excess "
+                           << "frames orphaned in the framer): "
+                           << line.status().ToString();
+    EXPECT_NE(line->find("\"op\":\"health\""), std::string::npos);
+  }
+  // The stream is still live and in sync.
+  auto after = client->Call(Health(), 10'000);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->status.ok());
+}
+
 TEST_F(TcpServerTest, InterleavedClientsKeepSessionsIsolated) {
   ExplorationService svc(engine_, FastOptions());
   TcpServer server(&svc);
