@@ -51,7 +51,9 @@ uint64_t EngineDigest(const core::VexusEngine& engine) {
     for (const mining::Descriptor& d : grp.description()) {
       h = HashCombine(h, (static_cast<uint64_t>(d.attribute) << 32) | d.value);
     }
-    for (uint64_t w : grp.members().words()) h = HashCombine(h, w);
+    // Form-independent member digest (HybridBitset::Hash equals the dense
+    // word hash whichever representation the group is stored in).
+    h = HashCombine(h, grp.members().Hash());
   }
   const index::InvertedIndex& idx = engine.index();
   h = HashCombine(h, idx.num_groups());

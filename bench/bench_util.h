@@ -56,10 +56,17 @@ struct Series {
     for (double v : values) s += (v - m) * (v - m);
     return std::sqrt(s / static_cast<double>(values.size() - 1));
   }
+  /// Nearest-rank percentile of the sample, `p` in [0, 1]. Edge inputs are
+  /// pinned (bench_util_test.cc): empty → 0, p ≤ 0 or NaN → min, p ≥ 1 →
+  /// max, single sample → that sample. Pre-fix, a negative or NaN `p`
+  /// reached `static_cast<size_t>` — undefined behavior that could index
+  /// anywhere — and every committed BENCH_*.json flows through here.
   double Percentile(double p) const {
     if (values.empty()) return 0;
     std::vector<double> sorted = values;
     std::sort(sorted.begin(), sorted.end());
+    if (!(p > 0)) return sorted.front();  // also catches NaN
+    if (p >= 1) return sorted.back();
     size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size()));
     return sorted[std::min(idx, sorted.size() - 1)];
   }

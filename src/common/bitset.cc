@@ -1,5 +1,6 @@
 #include "common/bitset.h"
 
+#include "common/bitset_kernels.h"
 #include "common/logging.h"
 
 namespace vexus {
@@ -8,6 +9,8 @@ namespace {
 constexpr size_t kWordBits = 64;
 size_t WordsFor(size_t bits) { return (bits + kWordBits - 1) / kWordBits; }
 }  // namespace
+
+namespace kernels = ::vexus::bitset_kernels;
 
 Bitset::Bitset(size_t size) : size_(size), words_(WordsFor(size), 0) {}
 
@@ -42,9 +45,7 @@ void Bitset::ClearAll() {
 }
 
 size_t Bitset::Count() const {
-  size_t c = 0;
-  for (uint64_t w : words_) c += static_cast<size_t>(__builtin_popcountll(w));
-  return c;
+  return kernels::Count(words_.data(), words_.size());
 }
 
 bool Bitset::None() const {
@@ -72,75 +73,67 @@ bool Bitset::IsDisjointWith(const Bitset& other) const {
 
 size_t Bitset::IntersectCount(const Bitset& other) const {
   CheckCompatible(other);
-  size_t c = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    c += static_cast<size_t>(__builtin_popcountll(words_[i] & other.words_[i]));
-  }
-  return c;
+  return kernels::AndCount(words_.data(), other.words_.data(), words_.size());
 }
 
 size_t Bitset::CountAndNot(const Bitset& exclude) const {
   CheckCompatible(exclude);
-  size_t c = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    c += static_cast<size_t>(
-        __builtin_popcountll(words_[i] & ~exclude.words_[i]));
-  }
-  return c;
+  return kernels::AndNotCount(words_.data(), exclude.words_.data(),
+                              words_.size());
 }
 
 size_t Bitset::IntersectCountAndNot(const Bitset& other,
                                     const Bitset& exclude) const {
   CheckCompatible(other);
   CheckCompatible(exclude);
-  size_t c = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    c += static_cast<size_t>(__builtin_popcountll(
-        words_[i] & other.words_[i] & ~exclude.words_[i]));
-  }
-  return c;
+  return kernels::AndAndNotCount(words_.data(), other.words_.data(),
+                                 exclude.words_.data(), words_.size());
 }
 
 size_t Bitset::IntersectCountInto(const Bitset& other, Bitset* out) const {
   CheckCompatible(other);
   out->size_ = size_;
   out->words_.resize(words_.size());
-  size_t c = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    uint64_t w = words_[i] & other.words_[i];
-    out->words_[i] = w;
-    c += static_cast<size_t>(__builtin_popcountll(w));
-  }
-  return c;
+  return kernels::AndCountInto(words_.data(), other.words_.data(),
+                               out->words_.data(), words_.size());
 }
 
 void Bitset::AssignUnion(const Bitset& a, const Bitset& b) {
   a.CheckCompatible(b);
   size_ = a.size_;
   words_.resize(a.words_.size());
-  for (size_t i = 0; i < words_.size(); ++i) {
-    words_[i] = a.words_[i] | b.words_[i];
-  }
+  kernels::Or(a.words_.data(), b.words_.data(), words_.data(), words_.size());
+}
+
+size_t Bitset::AssignUnionCount(const Bitset& a, const Bitset& b) {
+  a.CheckCompatible(b);
+  size_ = a.size_;
+  words_.resize(a.words_.size());
+  return kernels::OrCountInto(a.words_.data(), b.words_.data(), words_.data(),
+                              words_.size());
+}
+
+size_t Bitset::AssignUnionMaskedCount(const Bitset& a, const Bitset& b,
+                                      const Bitset& mask) {
+  a.CheckCompatible(b);
+  a.CheckCompatible(mask);
+  size_ = a.size_;
+  words_.resize(a.words_.size());
+  return kernels::OrAndCountInto(a.words_.data(), b.words_.data(),
+                                 mask.words_.data(), words_.data(),
+                                 words_.size());
 }
 
 size_t Bitset::UnionCount(const Bitset& other) const {
   CheckCompatible(other);
-  size_t c = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    c += static_cast<size_t>(__builtin_popcountll(words_[i] | other.words_[i]));
-  }
-  return c;
+  return kernels::OrCount(words_.data(), other.words_.data(), words_.size());
 }
 
 double Bitset::Jaccard(const Bitset& other) const {
   CheckCompatible(other);
   size_t inter = 0, uni = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    inter +=
-        static_cast<size_t>(__builtin_popcountll(words_[i] & other.words_[i]));
-    uni +=
-        static_cast<size_t>(__builtin_popcountll(words_[i] | other.words_[i]));
-  }
+  kernels::AndOrCount(words_.data(), other.words_.data(), words_.size(),
+                      &inter, &uni);
   if (uni == 0) return 1.0;  // two empty sets are identical
   return static_cast<double>(inter) / static_cast<double>(uni);
 }
@@ -153,7 +146,8 @@ Bitset& Bitset::operator&=(const Bitset& other) {
 
 Bitset& Bitset::operator|=(const Bitset& other) {
   CheckCompatible(other);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  kernels::Or(words_.data(), other.words_.data(), words_.data(),
+              words_.size());
   return *this;
 }
 
@@ -218,9 +212,11 @@ uint64_t Bitset::Hash() const {
 }
 
 void Bitset::CheckCompatible(const Bitset& other) const {
-  VEXUS_DCHECK(size_ == other.size_)
+  // Hard CHECK, not DCHECK: the kernel entry points read raw word arrays,
+  // and a universe mismatch in Release used to sail past the compiled-out
+  // DCHECK straight into an out-of-bounds read. Fail loudly in every build.
+  VEXUS_CHECK(size_ == other.size_)
       << "bitset universe mismatch: " << size_ << " vs " << other.size_;
-  (void)other;
 }
 
 void Bitset::MaskTail() {

@@ -72,6 +72,17 @@ class Bitset {
   /// union tables.
   void AssignUnion(const Bitset& a, const Bitset& b);
 
+  /// this = a ∪ b and returns |a ∪ b| — union and popcount fused into a
+  /// single pass. The greedy rest(pos) table build uses this: the union's
+  /// count is needed anyway for the coverage objective.
+  size_t AssignUnionCount(const Bitset& a, const Bitset& b);
+
+  /// this = (a ∪ b) ∩ mask and returns its cardinality in one pass — the
+  /// anchored-greedy rest(pos) build (union of prefix/suffix coverage
+  /// restricted to the anchor's members) in one sweep instead of three.
+  size_t AssignUnionMaskedCount(const Bitset& a, const Bitset& b,
+                                const Bitset& mask);
+
   /// |this ∪ other| without allocating. Sizes must match.
   size_t UnionCount(const Bitset& other) const;
 

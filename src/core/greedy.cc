@@ -126,7 +126,7 @@ GreedySelection GreedySelector::SelectNext(GroupId anchor,
   TraceSpan rank =
       options.trace != nullptr ? options.trace->Child("rank") : TraceSpan();
   std::vector<GroupId> pool;
-  const Bitset& anchor_members = store_->group(anchor).members();
+  const HybridBitset& anchor_members = store_->group(anchor).members();
   for (const index::Neighbor& nb : index_->Neighbors(anchor)) {
     if (nb.similarity < options.min_similarity) continue;
     if (options.exclude_supersets &&
@@ -217,9 +217,9 @@ GreedySelection GreedySelector::Run(std::vector<GroupId> pool,
   size_t quota = 0;
   if (anchor.has_value() && options.refinement_quota > 0) {
     size_t total_refinements = 0;
-    const Bitset& am = store_->group(*anchor).members();
+    const HybridBitset& am = store_->group(*anchor).members();
     for (size_t i = 0; i < pool.size(); ++i) {
-      const Bitset& m = store_->group(pool[i]).members();
+      const HybridBitset& m = store_->group(pool[i]).members();
       is_refinement[i] = m.Count() < am.Count() && m.IsSubsetOf(am);
       total_refinements += is_refinement[i];
     }
@@ -244,8 +244,15 @@ GreedySelection GreedySelector::Run(std::vector<GroupId> pool,
     }
   }
 
-  const Bitset* anchor_members =
-      anchor.has_value() ? &store_->group(*anchor).members() : nullptr;
+  // The evaluator's rest(pos) tables mask against the anchor with the SIMD
+  // kernels every pass, so materialize the anchor densely once per run —
+  // whatever form the store holds it in.
+  Bitset anchor_dense;
+  const Bitset* anchor_members = nullptr;
+  if (anchor.has_value()) {
+    anchor_dense = store_->group(*anchor).members().ToBitset();
+    anchor_members = &anchor_dense;
+  }
 
   const bool incremental =
       options.eval_mode == GreedyOptions::EvalMode::kIncremental;

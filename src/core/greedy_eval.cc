@@ -38,8 +38,7 @@ void SwapObjective::Reset(const std::vector<size_t>& selected) {
   if (anchor_ != nullptr && cand_anchor_.size() != pool_->size()) {
     cand_anchor_.resize(pool_->size());
     for (size_t c = 0; c < pool_->size(); ++c) {
-      cand_anchor_[c] = store_->group((*pool_)[c]).members();
-      cand_anchor_[c] &= *anchor_;
+      cand_anchor_[c] = store_->group((*pool_)[c]).members().AndWith(*anchor_);
     }
   }
   selected_ = selected;
@@ -56,7 +55,7 @@ void SwapObjective::ApplySwap(size_t pos, size_t cand) {
 void SwapObjective::Rebuild() {
   const size_t k = selected_.size();
   const size_t n_users = store_->num_users();
-  auto members = [&](size_t pool_idx) -> const Bitset& {
+  auto members = [&](size_t pool_idx) -> const HybridBitset& {
     return store_->group((*pool_)[pool_idx]).members();
   };
 
@@ -66,19 +65,23 @@ void SwapObjective::Rebuild() {
   prefix_[0].Resize(n_users);
   prefix_[0].ClearAll();
   for (size_t i = 0; i < k; ++i) {
-    prefix_[i + 1].AssignUnion(prefix_[i], members(selected_[i]));
+    members(selected_[i]).UnionInto(prefix_[i], &prefix_[i + 1]);
   }
   suffix_[k].Resize(n_users);
   suffix_[k].ClearAll();
   for (size_t i = k; i-- > 0;) {
-    suffix_[i].AssignUnion(suffix_[i + 1], members(selected_[i]));
+    members(selected_[i]).UnionInto(suffix_[i + 1], &suffix_[i]);
   }
   rest_.resize(k);
   rest_count_.resize(k);
   for (size_t pos = 0; pos < k; ++pos) {
-    rest_[pos].AssignUnion(prefix_[pos], suffix_[pos + 1]);
-    if (anchor_ != nullptr) rest_[pos] &= *anchor_;
-    rest_count_[pos] = rest_[pos].Count();
+    // Union, anchor mask, and popcount fused into one kernel sweep
+    // (three passes before the fused OrAndCountInto/OrCountInto kernels).
+    rest_count_[pos] =
+        anchor_ != nullptr
+            ? rest_[pos].AssignUnionMaskedCount(prefix_[pos], suffix_[pos + 1],
+                                                *anchor_)
+            : rest_[pos].AssignUnionCount(prefix_[pos], suffix_[pos + 1]);
   }
   size_t covered = anchor_ != nullptr ? prefix_[k].IntersectCount(*anchor_)
                                       : prefix_[k].Count();

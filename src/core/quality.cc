@@ -29,10 +29,10 @@ double Coverage(const mining::GroupStore& store,
     covered |= store.group(g).members();
   }
   if (anchor.has_value()) {
-    const Bitset& target = store.group(*anchor).members();
+    const HybridBitset& target = store.group(*anchor).members();
     size_t denom = target.Count();
     if (denom == 0) return 0.0;
-    return static_cast<double>(covered.IntersectCount(target)) /
+    return static_cast<double>(target.IntersectCount(covered)) /
            static_cast<double>(denom);
   }
   if (store.num_users() == 0) return 0.0;

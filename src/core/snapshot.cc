@@ -12,6 +12,7 @@
 
 #include "common/crc32.h"
 #include "common/failpoint.h"
+#include "common/hybrid_bitset.h"
 #include "common/logging.h"
 
 namespace vexus::core {
@@ -188,7 +189,7 @@ void EncodeGroupsV2(const mining::GroupStore& groups, std::string* out) {
     }
     AppendU64(out, grp.size());
 
-    const Bitset& members = grp.members();
+    const HybridBitset& members = grp.members();
     sparse.clear();
     uint32_t prev = 0;
     bool first = true;
@@ -197,13 +198,19 @@ void EncodeGroupsV2(const mining::GroupStore& groups, std::string* out) {
       prev = u;
       first = false;
     });
-    size_t raw_size = members.words().size() * 8;
+    size_t raw_size = ((groups.num_users() + 63) / 64) * 8;
     if (sparse.size() <= raw_size) {
       AppendU8(out, kEncodingSparse);
       out->append(sparse);
     } else {
       AppendU8(out, kEncodingRaw);
-      for (uint64_t w : members.words()) AppendU64(out, w);
+      if (members.is_sparse()) {
+        // Sparse in RAM but raw wins on disk (pathological delta spread):
+        // materialize the words once for this group.
+        for (uint64_t w : members.ToBitset().words()) AppendU64(out, w);
+      } else {
+        for (uint64_t w : members.dense_form().words()) AppendU64(out, w);
+      }
     }
   }
 }
@@ -417,7 +424,8 @@ Status ParseGroupHeader(Cursor* cur, uint64_t num_users,
 }
 
 Status AddParsedGroup(mining::GroupStore* store, uint64_t expected_id,
-                      std::vector<mining::Descriptor> desc, Bitset members) {
+                      std::vector<mining::Descriptor> desc,
+                      HybridBitset members) {
   mining::GroupId assigned =
       store->Add(mining::UserGroup(std::move(desc), std::move(members)));
   if (assigned != expected_id) {
@@ -447,8 +455,9 @@ Status ParseGroupsV1(Cursor* cur, uint64_t num_users, uint64_t num_groups,
       }
       members.Set(u);
     }
-    VEXUS_RETURN_NOT_OK(
-        AddParsedGroup(store, g, std::move(desc), std::move(members)));
+    VEXUS_RETURN_NOT_OK(AddParsedGroup(store, g, std::move(desc),
+                                       HybridBitset::FromBitset(
+                                           std::move(members))));
   }
   return Status::OK();
 }
@@ -456,6 +465,7 @@ Status ParseGroupsV1(Cursor* cur, uint64_t num_users, uint64_t num_groups,
 Status ParseGroupsV2(Cursor* cur, uint64_t num_users, uint64_t num_groups,
                      mining::GroupStore* store) {
   const size_t words_per_group = (num_users + 63) / 64;
+  const uint64_t sparse_threshold = HybridBitset::SparseThresholdFor(num_users);
   std::vector<mining::Descriptor> desc;
   std::vector<uint64_t> words;
   for (uint64_t g = 0; g < num_groups; ++g) {
@@ -464,17 +474,26 @@ Status ParseGroupsV2(Cursor* cur, uint64_t num_users, uint64_t num_groups,
     uint8_t encoding;
     if (!cur->ReadU8(&encoding)) return Truncated();
 
-    Bitset members;  // filled via AdoptWords below — no redundant zeroing
+    HybridBitset members;
     if (encoding == kEncodingSparse) {
       // Hand-rolled LEB128 delta decode: this loop runs once per member
       // across the whole snapshot, so it works on raw pointers (one bounds
-      // check per byte consumed, no per-call function overhead) and writes
-      // bits straight into the word array. Strictly ascending ids mean every
-      // Set hits a fresh bit, so popcount == member_count by construction —
-      // no separate verification pass is needed.
+      // check per byte consumed, no per-call function overhead). Groups at
+      // or below the in-RAM density threshold decode straight into the
+      // hybrid sparse form — the strictly-ascending id array IS the decoded
+      // container, no word materialization at all; denser groups fall back
+      // to writing bits into the word array. Strictly ascending ids mean
+      // every id is fresh, so count == member_count by construction — no
+      // separate verification pass is needed.
       const unsigned char* p = cur->pos();
       const unsigned char* const end = cur->end();
-      words.assign(words_per_group, 0);
+      const bool to_sparse = member_count <= sparse_threshold;
+      std::vector<uint32_t> ids;
+      if (to_sparse) {
+        ids.reserve(member_count);
+      } else {
+        words.assign(words_per_group, 0);
+      }
       uint64_t id = 0;
       // ReadVarint with the multi-byte continuation peeled off: deltas
       // between neighbouring members of a non-degenerate group are almost
@@ -503,7 +522,11 @@ Status ParseGroupsV2(Cursor* cur, uint64_t num_users, uint64_t num_groups,
         if (id >= num_users) {
           return Status::Corruption("member id out of range");
         }
-        words[id >> 6] |= uint64_t{1} << (id & 63);
+        if (to_sparse) {
+          ids.push_back(static_cast<uint32_t>(id));
+        } else {
+          words[id >> 6] |= uint64_t{1} << (id & 63);
+        }
       }
       for (uint64_t i = 1; i < member_count; ++i) {
         uint64_t delta;
@@ -515,23 +538,37 @@ Status ParseGroupsV2(Cursor* cur, uint64_t num_users, uint64_t num_groups,
         if (id >= num_users) {
           return Status::Corruption("member id out of range");
         }
-        words[id >> 6] |= uint64_t{1} << (id & 63);
+        if (to_sparse) {
+          ids.push_back(static_cast<uint32_t>(id));
+        } else {
+          words[id >> 6] |= uint64_t{1} << (id & 63);
+        }
       }
       cur->AdvanceTo(p);
-      if (!members.AdoptWords(num_users, std::move(words))) {
-        return Status::Corruption("member id out of range");
+      if (to_sparse) {
+        members = HybridBitset::FromSortedIds(num_users, std::move(ids));
+      } else {
+        Bitset dense;
+        if (!dense.AdoptWords(num_users, std::move(words))) {
+          return Status::Corruption("member id out of range");
+        }
+        words = {};
+        members = HybridBitset::FromBitset(std::move(dense));
       }
-      words = {};
     } else if (encoding == kEncodingRaw) {
       if (!cur->ReadWords(words_per_group, &words)) return Truncated();
-      if (!members.AdoptWords(num_users, std::move(words))) {
+      Bitset dense;
+      if (!dense.AdoptWords(num_users, std::move(words))) {
         return Status::Corruption("raw member block has bits beyond universe");
       }
       words = {};
-      if (members.Count() != member_count) {
+      if (dense.Count() != member_count) {
         return Status::Corruption(
             "raw member block popcount disagrees with member_count");
       }
+      // FromBitset normalizes: a tiny raw-encoded group still lands in the
+      // canonical sparse form.
+      members = HybridBitset::FromBitset(std::move(dense));
     } else {
       return Status::Corruption("unknown member-block encoding");
     }

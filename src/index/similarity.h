@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/bitset.h"
+#include "common/hybrid_bitset.h"
 #include "mining/group.h"
 
 namespace vexus::index {
@@ -25,6 +26,13 @@ inline double Jaccard(const mining::UserGroup& a, const mining::UserGroup& b) {
 /// expected non-negative (a uniform vector reduces this to plain Jaccard).
 /// Returns 1.0 when both sets are empty, 0.0 when the union has zero weight.
 double WeightedJaccard(const Bitset& a, const Bitset& b,
+                       const std::vector<double>& weights);
+
+/// Hybrid-container overload. Sums weights over the union in the same
+/// strictly-ascending user order as the dense version (a merged cursor
+/// walk), so the float accumulation — and therefore greedy output — is
+/// bit-identical whatever form the operands happen to be stored in.
+double WeightedJaccard(const HybridBitset& a, const HybridBitset& b,
                        const std::vector<double>& weights);
 
 /// Overlap coefficient |a∩b| / min(|a|,|b|) — used by tests as an

@@ -8,6 +8,10 @@
 namespace vexus::mining {
 
 UserGroup::UserGroup(std::vector<Descriptor> description, Bitset members)
+    : UserGroup(std::move(description),
+                HybridBitset::FromBitset(std::move(members))) {}
+
+UserGroup::UserGroup(std::vector<Descriptor> description, HybridBitset members)
     : description_(std::move(description)), members_(std::move(members)) {
   std::sort(description_.begin(), description_.end());
   description_.erase(std::unique(description_.begin(), description_.end()),

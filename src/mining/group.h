@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/bitset.h"
+#include "common/hybrid_bitset.h"
 #include "data/schema.h"
 #include "data/user_table.h"
 
@@ -31,15 +32,19 @@ struct Descriptor {
   }
 };
 
-/// A user group: sorted conjunctive description + member bitset.
+/// A user group: sorted conjunctive description + member set. Members are
+/// held in the density-switched HybridBitset — sparse id array for the
+/// typical few-hundred-member group, dense SIMD-kernel bitset above ~1/8
+/// density — chosen transparently at construction (common/hybrid_bitset.h).
 class UserGroup {
  public:
   UserGroup() = default;
   UserGroup(std::vector<Descriptor> description, Bitset members);
+  UserGroup(std::vector<Descriptor> description, HybridBitset members);
 
   const std::vector<Descriptor>& description() const { return description_; }
-  const Bitset& members() const { return members_; }
-  Bitset& mutable_members() { return members_; }
+  const HybridBitset& members() const { return members_; }
+  HybridBitset& mutable_members() { return members_; }
 
   /// Number of members.
   size_t size() const { return size_; }
@@ -62,7 +67,7 @@ class UserGroup {
 
  private:
   std::vector<Descriptor> description_;  // sorted, unique
-  Bitset members_;
+  HybridBitset members_;
   size_t size_ = 0;
 };
 

@@ -1,0 +1,78 @@
+// Pins Series::Percentile's edge-input contract (satellite bugfix: p < 0 or
+// NaN used to flow into a size_t cast — UB — and empty samples indexed
+// front() of an empty vector).
+#include "bench/bench_util.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace vexus::bench {
+namespace {
+
+Series MakeSeries(std::initializer_list<double> vals) {
+  Series s;
+  for (double v : vals) s.Add(v);
+  return s;
+}
+
+TEST(BenchUtilTest, PercentileEmptySeriesIsZero) {
+  Series s;
+  EXPECT_EQ(s.Percentile(0.5), 0.0);
+  EXPECT_EQ(s.Percentile(0.0), 0.0);
+  EXPECT_EQ(s.Percentile(1.0), 0.0);
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.Max(), 0.0);
+}
+
+TEST(BenchUtilTest, PercentileSingleSample) {
+  Series s = MakeSeries({7.5});
+  EXPECT_EQ(s.Percentile(0.0), 7.5);
+  EXPECT_EQ(s.Percentile(0.5), 7.5);
+  EXPECT_EQ(s.Percentile(0.99), 7.5);
+  EXPECT_EQ(s.Percentile(1.0), 7.5);
+}
+
+TEST(BenchUtilTest, PercentileBoundsPinnedToMinMax) {
+  Series s = MakeSeries({3.0, 1.0, 2.0, 5.0, 4.0});
+  EXPECT_EQ(s.Percentile(0.0), 1.0);
+  EXPECT_EQ(s.Percentile(1.0), 5.0);
+  // Callers sometimes pass percentages instead of fractions; anything >= 1
+  // clamps to the max rather than indexing past the end.
+  EXPECT_EQ(s.Percentile(100.0), 5.0);
+}
+
+TEST(BenchUtilTest, PercentileRejectsGarbageP) {
+  Series s = MakeSeries({3.0, 1.0, 2.0});
+  EXPECT_EQ(s.Percentile(-0.5), 1.0);
+  EXPECT_EQ(s.Percentile(std::numeric_limits<double>::quiet_NaN()), 1.0);
+  EXPECT_EQ(s.Percentile(std::numeric_limits<double>::infinity()), 3.0);
+  double lowest = std::numeric_limits<double>::lowest();
+  EXPECT_EQ(s.Percentile(lowest), 1.0);
+}
+
+TEST(BenchUtilTest, PercentileInRangeUnchanged) {
+  // The in-range mapping (idx = p * n, clamped) is what every committed
+  // BENCH_*.json was produced with; the edge fixes must not shift it.
+  Series s = MakeSeries({10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  EXPECT_EQ(s.Percentile(0.5), 60.0);   // idx = 5
+  EXPECT_EQ(s.Percentile(0.9), 100.0);  // idx = 9
+  EXPECT_EQ(s.Percentile(0.99), 100.0); // idx = 9 (9.9 truncates)
+  EXPECT_EQ(s.Percentile(0.05), 10.0);  // idx = 0
+  // Unsorted input is sorted internally.
+  Series r = MakeSeries({100, 10, 50});
+  EXPECT_EQ(r.Percentile(0.5), 50.0);
+}
+
+TEST(BenchUtilTest, MeanStddevMaxSanity) {
+  Series s = MakeSeries({2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(s.Mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.Stddev(), 2.0);
+  EXPECT_EQ(s.Max(), 6.0);
+  Series one = MakeSeries({5.0});
+  EXPECT_EQ(one.Stddev(), 0.0);  // < 2 samples
+}
+
+}  // namespace
+}  // namespace vexus::bench

@@ -57,6 +57,35 @@ TEST(BitsetTest, ResizeShrinkMasksTail) {
   EXPECT_EQ(b.Count(), 65u);
 }
 
+TEST(BitsetTest, ResizeShrinkThenGrowClearsStaleTailBits) {
+  // Regression sweep across word boundaries: shrink to `mid` (dropping set
+  // bits above it), then grow back to `big`. The dropped range must read as
+  // zero — a stale tail word surviving the shrink would resurrect members
+  // and corrupt every popcount kernel downstream.
+  const size_t big = 3 * 64 + 5;  // 197
+  for (size_t mid = 1; mid <= big; ++mid) {
+    // Only boundary-adjacent sizes are interesting; skip mid-word interiors
+    // except a couple of sentinels to keep the sweep fast.
+    size_t rem = mid % 64;
+    if (rem > 2 && rem < 62 && mid != 32 && mid != 100) continue;
+    Bitset b(big);
+    b.SetAll();
+    b.Resize(mid);
+    b.Resize(big);
+    SCOPED_TRACE(testing::Message() << "mid=" << mid);
+    EXPECT_EQ(b.Count(), mid);
+    EXPECT_TRUE(b.Test(mid - 1));
+    if (mid < big) EXPECT_FALSE(b.Test(mid));
+    EXPECT_FALSE(b.Test(big - 1));
+    // The tail must also be invisible to the kernels, not just Test().
+    Bitset all(big);
+    all.SetAll();
+    EXPECT_EQ(b.IntersectCount(all), mid);
+    EXPECT_EQ(b.UnionCount(all), big);
+    EXPECT_EQ(all.CountAndNot(b), big - mid);
+  }
+}
+
 TEST(BitsetTest, AndOrXorSubtract) {
   Bitset a = Bitset::FromVector(10, {1, 2, 3, 4});
   Bitset b = Bitset::FromVector(10, {3, 4, 5, 6});

@@ -1,0 +1,271 @@
+// HybridBitset: dense-reference parity at every density regime, canonical
+// form promotion/demotion round-trips, and the interop operators the call
+// sites lean on.
+#include "common/hybrid_bitset.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bitset.h"
+#include "common/random.h"
+
+namespace vexus {
+namespace {
+
+/// Random member set over `universe` with per-user probability `density`.
+Bitset RandomSet(Rng* rng, size_t universe, double density) {
+  Bitset b(universe);
+  for (size_t i = 0; i < universe; ++i) {
+    if (rng->Bernoulli(density)) b.Set(i);
+  }
+  return b;
+}
+
+TEST(HybridBitsetTest, EmptyAndSingleton) {
+  HybridBitset empty;
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_TRUE(empty.None());
+  EXPECT_TRUE(empty.is_sparse());
+
+  HybridBitset h(100);
+  EXPECT_EQ(h.size(), 100u);
+  EXPECT_TRUE(h.None());
+  EXPECT_EQ(h.FindFirst(), 100u);
+  h.Set(42);
+  EXPECT_TRUE(h.Test(42));
+  EXPECT_FALSE(h.Test(41));
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.FindFirst(), 42u);
+  EXPECT_TRUE(h.is_sparse());
+}
+
+TEST(HybridBitsetTest, FormFollowsDensityThreshold) {
+  const size_t universe = 800;  // threshold = 100 members
+  ASSERT_EQ(HybridBitset::SparseThresholdFor(universe), 100u);
+  std::vector<uint32_t> ids;
+  for (uint32_t i = 0; i < 100; ++i) ids.push_back(i * 7);
+  HybridBitset at = HybridBitset::FromSortedIds(universe, ids);
+  EXPECT_TRUE(at.is_sparse()) << "exactly at threshold stays sparse";
+  ids.push_back(701);
+  HybridBitset above = HybridBitset::FromSortedIds(universe, ids);
+  EXPECT_FALSE(above.is_sparse()) << "one past threshold goes dense";
+  EXPECT_EQ(above.Count(), 101u);
+}
+
+TEST(HybridBitsetTest, SetPromotesAcrossThreshold) {
+  const size_t universe = 160;  // threshold = 20
+  HybridBitset h(universe);
+  for (size_t i = 0; i < 20; ++i) h.Set(i * 8);
+  EXPECT_TRUE(h.is_sparse());
+  h.Set(159);
+  EXPECT_FALSE(h.is_sparse());
+  EXPECT_EQ(h.Count(), 21u);
+  for (size_t i = 0; i < 20; ++i) EXPECT_TRUE(h.Test(i * 8));
+  EXPECT_TRUE(h.Test(159));
+  // Setting an already-present bit is idempotent in both forms.
+  h.Set(159);
+  EXPECT_EQ(h.Count(), 21u);
+}
+
+TEST(HybridBitsetTest, SetKeepsSparseIdsSorted) {
+  HybridBitset h(400);
+  for (uint32_t id : {30u, 5u, 200u, 5u, 100u}) h.Set(id);
+  ASSERT_TRUE(h.is_sparse());
+  EXPECT_EQ(h.sparse_ids(), (std::vector<uint32_t>{5, 30, 100, 200}));
+  EXPECT_EQ(h.ToVector(), (std::vector<uint32_t>{5, 30, 100, 200}));
+}
+
+TEST(HybridBitsetTest, NormalizeDemotesSparseDense) {
+  // FromBitset on a dense-density set yields dense; conceptually removing
+  // members is not part of the API, but Normalize must still agree with the
+  // constructors on canonical form for any content it is handed.
+  const size_t universe = 320;  // threshold = 40
+  Bitset big(universe);
+  for (size_t i = 0; i < 200; ++i) big.Set(i);
+  HybridBitset h = HybridBitset::FromBitset(big);
+  EXPECT_FALSE(h.is_sparse());
+  h.Normalize();
+  EXPECT_FALSE(h.is_sparse());
+
+  Bitset small(universe);
+  small.Set(7);
+  HybridBitset s = HybridBitset::FromBitset(small);
+  EXPECT_TRUE(s.is_sparse());
+  s.Normalize();
+  EXPECT_TRUE(s.is_sparse());
+  EXPECT_EQ(s.sparse_ids(), (std::vector<uint32_t>{7}));
+}
+
+TEST(HybridBitsetTest, RoundTripsAndHashAcrossForms) {
+  Rng rng(2024);
+  for (double density : {0.01, 0.125, 0.6}) {
+    for (size_t universe : {0ul, 1ul, 63ul, 64ul, 65ul, 500ul, 1000ul}) {
+      Bitset ref = RandomSet(&rng, universe, density);
+      HybridBitset from_dense = HybridBitset::FromBitset(ref);
+      HybridBitset from_ids = HybridBitset::FromSortedIds(
+          universe, [&] {
+            std::vector<uint32_t> ids;
+            ref.ForEach([&](size_t i) {
+              ids.push_back(static_cast<uint32_t>(i));
+            });
+            return ids;
+          }());
+      SCOPED_TRACE(testing::Message()
+                   << "universe=" << universe << " density=" << density);
+      // Both construction paths land in the same canonical form.
+      EXPECT_EQ(from_dense.is_sparse(), from_ids.is_sparse());
+      EXPECT_TRUE(from_dense == from_ids);
+      // ToBitset round-trips exactly.
+      EXPECT_TRUE(from_dense.ToBitset() == ref);
+      EXPECT_TRUE(from_ids.ToBitset() == ref);
+      EXPECT_TRUE(from_dense == ref);
+      // Hash is form-independent and equals the dense hash.
+      EXPECT_EQ(from_dense.Hash(), ref.Hash());
+      EXPECT_EQ(from_ids.Hash(), ref.Hash());
+      EXPECT_EQ(from_dense.Count(), ref.Count());
+      EXPECT_EQ(from_dense.FindFirst(), ref.FindFirst());
+    }
+  }
+}
+
+// Every query, checked against the plain-Bitset implementation, across
+// sparse×dense form combinations and densities.
+TEST(HybridBitsetTest, QueryParityWithDenseReference) {
+  Rng rng(777);
+  const size_t universe = 640;  // threshold = 80
+  for (double da : {0.02, 0.125, 0.5}) {
+    for (double db : {0.02, 0.5}) {
+      for (int iter = 0; iter < 20; ++iter) {
+        Bitset a = RandomSet(&rng, universe, da);
+        Bitset b = RandomSet(&rng, universe, db);
+        Bitset c = RandomSet(&rng, universe, 0.3);
+        HybridBitset ha = HybridBitset::FromBitset(a);
+        HybridBitset hb = HybridBitset::FromBitset(b);
+        SCOPED_TRACE(testing::Message()
+                     << "da=" << da << " db=" << db << " iter=" << iter
+                     << " ha_sparse=" << ha.is_sparse()
+                     << " hb_sparse=" << hb.is_sparse());
+
+        EXPECT_EQ(ha.IntersectCount(b), a.IntersectCount(b));
+        EXPECT_EQ(ha.CountAndNot(b), a.CountAndNot(b));
+        EXPECT_EQ(ha.IntersectCountAndNot(b, c), a.IntersectCountAndNot(b, c));
+        EXPECT_EQ(ha.IsSubsetOf(b), a.IsSubsetOf(b));
+        EXPECT_EQ(ha.Jaccard(b), a.Jaccard(b));
+
+        EXPECT_EQ(ha.IntersectCount(hb), a.IntersectCount(b));
+        EXPECT_EQ(ha.IsSubsetOf(hb), a.IsSubsetOf(b));
+        EXPECT_EQ(ha.Jaccard(hb), a.Jaccard(b));
+
+        // OrInto matches |=.
+        Bitset acc = c;
+        ha.OrInto(&acc);
+        Bitset acc_ref = c;
+        acc_ref |= a;
+        EXPECT_TRUE(acc == acc_ref);
+
+        // UnionInto matches AssignUnion.
+        Bitset out(universe);
+        ha.UnionInto(c, &out);
+        Bitset out_ref(universe);
+        out_ref.AssignUnion(c, a);
+        EXPECT_TRUE(out == out_ref);
+
+        // AndWith matches &= and stays canonical.
+        HybridBitset and_h = ha.AndWith(c);
+        Bitset and_ref = a;
+        and_ref &= c;
+        EXPECT_TRUE(and_h == and_ref);
+        EXPECT_EQ(and_h.is_sparse(),
+                  and_ref.Count() <=
+                      HybridBitset::SparseThresholdFor(universe));
+
+        // Free operators.
+        EXPECT_TRUE((c | ha) == acc_ref);
+        EXPECT_TRUE((ha | c) == acc_ref);
+        EXPECT_TRUE((ha & c) == and_ref);
+        EXPECT_TRUE((c & ha) == and_ref);
+
+        // Subset/self sanity.
+        EXPECT_TRUE(ha.IsSubsetOf(a));
+        EXPECT_TRUE(ha.IsSubsetOf(ha));
+        EXPECT_EQ(ha == hb, a == b);
+      }
+    }
+  }
+}
+
+TEST(HybridBitsetTest, EqualityIsFormIndependent) {
+  // Same content but one side forced dense via FromBitset of a dense set
+  // then compared to the sparse construction — operator== must not compare
+  // representations.
+  const size_t universe = 640;
+  std::vector<uint32_t> ids = {3, 64, 100, 639};
+  HybridBitset sparse = HybridBitset::FromSortedIds(universe, ids);
+  ASSERT_TRUE(sparse.is_sparse());
+  Bitset dense_b(universe);
+  for (uint32_t id : ids) dense_b.Set(id);
+  HybridBitset canonical = HybridBitset::FromBitset(dense_b);
+  EXPECT_TRUE(sparse == canonical);
+  EXPECT_TRUE(sparse == dense_b);
+  EXPECT_TRUE(dense_b == sparse);
+  EXPECT_EQ(sparse.Hash(), canonical.Hash());
+  dense_b.Set(5);
+  EXPECT_FALSE(sparse == dense_b);
+}
+
+TEST(HybridBitsetTest, CursorWalksAscendingInBothForms) {
+  Rng rng(31337);
+  const size_t universe = 640;
+  for (double density : {0.0, 0.05, 0.5, 1.0}) {
+    Bitset ref = RandomSet(&rng, universe, density);
+    if (density == 1.0) ref.SetAll();
+    HybridBitset h = HybridBitset::FromBitset(ref);
+    std::vector<uint32_t> walked;
+    for (HybridBitset::Cursor cur(h); !cur.AtEnd(); cur.Next()) {
+      walked.push_back(cur.Value());
+    }
+    EXPECT_EQ(walked, h.ToVector())
+        << "density=" << density << " sparse=" << h.is_sparse();
+    EXPECT_TRUE(std::is_sorted(walked.begin(), walked.end()));
+    EXPECT_EQ(walked.size(), ref.Count());
+  }
+}
+
+TEST(HybridBitsetTest, ForEachMatchesToVector) {
+  HybridBitset h(640);
+  for (uint32_t id : {0u, 63u, 64u, 500u}) h.Set(id);
+  std::vector<uint32_t> seen;
+  h.ForEach([&](size_t id) { seen.push_back(static_cast<uint32_t>(id)); });
+  EXPECT_EQ(seen, h.ToVector());
+}
+
+TEST(HybridBitsetTest, MemoryBytesTracksForm) {
+  HybridBitset empty(1000);
+  EXPECT_EQ(empty.MemoryBytes(), 0u);  // sparse, no ids allocated
+  empty.Set(3);
+  EXPECT_GT(empty.MemoryBytes(), 0u);
+
+  Bitset big(1000);
+  for (size_t i = 0; i < 500; ++i) big.Set(i);
+  HybridBitset dense = HybridBitset::FromBitset(big);
+  ASSERT_FALSE(dense.is_sparse());
+  EXPECT_EQ(dense.MemoryBytes(), big.MemoryBytes());
+}
+
+TEST(HybridBitsetDeathTest, AccessorsCheckForm) {
+  HybridBitset sparse(1000);
+  sparse.Set(1);
+  ASSERT_DEATH({ (void)sparse.dense_form(); }, "sparse HybridBitset");
+  Bitset big(8);
+  big.SetAll();
+  HybridBitset dense = HybridBitset::FromBitset(big);
+  ASSERT_FALSE(dense.is_sparse());
+  ASSERT_DEATH({ (void)dense.sparse_ids(); }, "dense HybridBitset");
+}
+
+}  // namespace
+}  // namespace vexus

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/bitset_kernels.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
 
@@ -480,6 +481,53 @@ TEST(GreedyTest, ExcludeSupersetsDropsAncestors) {
   auto r2 = sel.SelectNext(anchor, fb, opt);
   EXPECT_NE(std::find(r2.groups.begin(), r2.groups.end(), parent),
             r2.groups.end());
+}
+
+TEST(GreedyTest, OutputByteIdenticalAcrossKernelTiers) {
+  // The SIMD acceptance gate: greedy output must be byte-identical under
+  // the scalar, AVX2, and AVX-512 kernel tiers. Every kernel returns exact
+  // integers and every float is derived from those integers in a fixed
+  // order, so not just the chosen groups but the objective's exact bit
+  // pattern must agree.
+  namespace bk = vexus::bitset_kernels;
+  World w(50, 900, 21);
+  FeedbackVector fb(w.tokens.get());
+  GreedySelector sel(&w.store, w.index.get());
+  GreedyOptions opt = Unbounded(5);
+
+  struct Run {
+    bk::Level level;
+    GreedySelection next;
+    GreedySelection initial;
+  };
+  std::vector<Run> runs;
+  for (bk::Level level : {bk::Level::kScalar, bk::Level::kAvx2,
+                          bk::Level::kAvx512}) {
+    if (!bk::LevelSupported(level)) continue;
+    bk::internal::SetLevelForTesting(level);
+    runs.push_back({level, sel.SelectNext(0, fb, opt),
+                    sel.SelectInitial(fb, opt)});
+    bk::internal::ResetLevelForTesting();
+  }
+  ASSERT_GE(runs.size(), 1u);
+  const Run& ref = runs.front();
+  EXPECT_EQ(ref.next.groups.size(), 5u);
+  for (size_t i = 1; i < runs.size(); ++i) {
+    SCOPED_TRACE(testing::Message()
+                 << bk::LevelName(runs[i].level) << " vs "
+                 << bk::LevelName(ref.level));
+    EXPECT_EQ(runs[i].next.groups, ref.next.groups);
+    EXPECT_EQ(runs[i].next.quality.objective, ref.next.quality.objective);
+    EXPECT_EQ(runs[i].next.quality.coverage, ref.next.quality.coverage);
+    EXPECT_EQ(runs[i].next.quality.diversity, ref.next.quality.diversity);
+    EXPECT_EQ(runs[i].next.evaluations, ref.next.evaluations);
+    EXPECT_EQ(runs[i].next.passes, ref.next.passes);
+    EXPECT_EQ(runs[i].next.swaps, ref.next.swaps);
+    EXPECT_EQ(runs[i].initial.groups, ref.initial.groups);
+    EXPECT_EQ(runs[i].initial.quality.objective,
+              ref.initial.quality.objective);
+    EXPECT_EQ(runs[i].initial.evaluations, ref.initial.evaluations);
+  }
 }
 
 TEST(GreedyTest, LambdaExtremesChangeSelections) {

@@ -106,7 +106,13 @@ TEST(GroupStoreTest, GroupsOfUser) {
 
 TEST(GroupStoreTest, MemoryBytesPositive) {
   GroupStore store(1000);
+  // An empty group in the hybrid sparse form genuinely owns no heap — the
+  // footprint win over always-dense storage is the point of the container.
   store.Add(UserGroup({}, Bitset(1000)));
+  EXPECT_EQ(store.MemoryBytes(), 0u);
+  Bitset m(1000);
+  m.Set(3);
+  store.Add(UserGroup({{0, 1}}, std::move(m)));
   EXPECT_GT(store.MemoryBytes(), 0u);
 }
 
