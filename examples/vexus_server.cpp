@@ -11,10 +11,13 @@
 // Flags:
 //   --host A      bind address            (default 127.0.0.1)
 //   --port N      listen port, 0=ephemeral (default 7788)
+//   --loops N     event-loop threads (SO_REUSEPORT listener group);
+//                 0 = min(4, hw threads)  (default 0)
 //   --users N     synthetic dataset size   (default 1500)
-//   --selftest    bind an ephemeral port, run a scripted client against
-//                 ourselves (including a SIGTERM drain), and exit — the
-//                 mode the example smoke test runs in CI.
+//   --selftest    bind an ephemeral port with two loops, run a scripted
+//                 client against ourselves (including a SIGTERM drain),
+//                 and exit — the mode the example smoke test runs in CI.
+//   --help        print usage and exit.
 
 #include <atomic>
 #include <cerrno>
@@ -44,6 +47,21 @@ using vexus::server::ServiceOptions;
 
 namespace {
 
+void PrintUsage(FILE* out) {
+  std::fprintf(
+      out,
+      "usage: vexus_server [flags]\n"
+      "  --host A    bind address (default 127.0.0.1)\n"
+      "  --port N    listen port, 0 = ephemeral (default 7788)\n"
+      "  --loops N   event-loop threads; each owns a SO_REUSEPORT listener,\n"
+      "              an epoll instance, and its own connections, and the\n"
+      "              kernel steers each connect to one of them.\n"
+      "              0 = min(4, hw threads) (default 0)\n"
+      "  --users N   synthetic dataset size (default 1500)\n"
+      "  --selftest  scripted self-check on an ephemeral port, then exit\n"
+      "  --help      this message\n");
+}
+
 // The SIGTERM handler's entire world: RequestDrain() is one atomic store
 // plus one eventfd write, both async-signal-safe.
 std::atomic<TcpServer*> g_server{nullptr};
@@ -56,6 +74,7 @@ void HandleSignal(int /*sig*/) {
 int RunSelfTest(ExplorationService& svc) {
   TcpServerOptions opts;
   opts.port = 0;  // ephemeral: the smoke test must not collide with anything
+  opts.num_loops = 2;  // the SIGTERM drain below covers the multi-loop path
   TcpServer server(&svc, opts);
   auto status = server.Start();
   if (!status.ok()) {
@@ -65,7 +84,8 @@ int RunSelfTest(ExplorationService& svc) {
   }
   g_server.store(&server, std::memory_order_relaxed);
   std::signal(SIGTERM, HandleSignal);
-  std::printf("selftest: listening on 127.0.0.1:%u\n", server.port());
+  std::printf("selftest: listening on 127.0.0.1:%u (%zu loops)\n",
+              server.port(), server.num_loops());
 
   // A scripted explorer over a real socket: session, click, health.
   auto client = LineClient::Connect("127.0.0.1", server.port());
@@ -136,6 +156,13 @@ int RunSelfTest(ExplorationService& svc) {
     std::fprintf(stderr, "selftest: conservation violated\n");
     return 1;
   }
+  for (size_t i = 0; i < server.num_loops(); ++i) {
+    auto ls = server.LoopStats(i);
+    if (ls.responses_routed + ls.responses_dropped != ls.requests_submitted) {
+      std::fprintf(stderr, "selftest: loop %zu conservation violated\n", i);
+      return 1;
+    }
+  }
   g_server.store(nullptr, std::memory_order_relaxed);
   std::printf("selftest: OK\n");
   return 0;
@@ -147,6 +174,7 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   uint16_t port = 7788;
   uint64_t users = 1500;
+  uint64_t loops = 0;  // 0 = auto (min(4, hw threads))
   bool selftest = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -187,13 +215,22 @@ int main(int argc, char** argv) {
     } else if (arg == "--port") {
       if (!parse_uint(arg, 65535, &value)) return 2;
       port = static_cast<uint16_t>(value);
+    } else if (arg == "--loops") {
+      // 64 is far past any sane single-box loop count; catching a fat-
+      // fingered "--loops 6000" here beats spawning it.
+      if (!parse_uint(arg, 64, &value)) return 2;
+      loops = value;
     } else if (arg == "--users") {
       if (!parse_uint(arg, 100'000'000, &value)) return 2;
       users = value;
     } else if (arg == "--selftest") {
       selftest = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      return 0;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      PrintUsage(stderr);
       return 2;
     }
   }
@@ -229,6 +266,7 @@ int main(int argc, char** argv) {
   TcpServerOptions net_opts;
   net_opts.host = host;
   net_opts.port = port;
+  net_opts.num_loops = loops;
   TcpServer server(&svc, net_opts);
   auto status = server.Start();
   if (!status.ok()) {
@@ -238,8 +276,8 @@ int main(int argc, char** argv) {
   g_server.store(&server, std::memory_order_relaxed);
   std::signal(SIGTERM, HandleSignal);
   std::signal(SIGINT, HandleSignal);
-  std::printf("vexus_server listening on %s:%u (SIGTERM drains)\n",
-              host.c_str(), server.port());
+  std::printf("vexus_server listening on %s:%u (%zu loops; SIGTERM drains)\n",
+              host.c_str(), server.port(), server.num_loops());
   std::fflush(stdout);
 
   // Park until a signal flips the drain flag; Drain() then joins the loop.

@@ -1,6 +1,8 @@
 #include "net/client.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -36,8 +38,24 @@ Status LineClient::SendLine(const std::string& line) {
   return Status::OK();
 }
 
+int PollLapTimeoutMillis(double remaining_ms) {
+  // NaN compares false against everything, so it falls through to the
+  // "expired" lap below — matching Deadline::AfterMillis, which treats a
+  // NaN budget as born-expired.
+  if (!(remaining_ms > 0)) return 0;
+  // Cap each lap: the deadline (not poll) owns the total wait, and capping
+  // keeps the int cast in-range for Deadline's 1e12-style infinite
+  // sentinels (the pre-fix cast of those values was UB; see client.h).
+  constexpr double kMaxLapMs = 60'000;
+  return static_cast<int>(std::ceil(std::min(remaining_ms, kMaxLapMs)));
+}
+
 Result<std::string> LineClient::ReadLine(double timeout_ms) {
-  Stopwatch watch;
+  // One deadline for the whole call: every lap below re-derives its budget
+  // from this, so EAGAIN laps, partial lines, and poll wakeups with no
+  // usable bytes all burn down the same clock and the call returns
+  // DeadlineExceeded the moment it hits zero.
+  const Deadline deadline = Deadline::AfterMillis(timeout_ms);
   for (;;) {
     // Surface anything already framed before touching the socket: pipelined
     // responses often arrive several-per-read.
@@ -48,13 +66,13 @@ Result<std::string> LineClient::ReadLine(double timeout_ms) {
       return std::move(frame->text);
     }
 
-    double remaining = timeout_ms - watch.ElapsedMillis();
+    const double remaining = deadline.RemainingMillis();
     if (remaining <= 0) {
       return Status::DeadlineExceeded("no response line within " +
                                       std::to_string(timeout_ms) + " ms");
     }
     pollfd pfd{fd_.get(), POLLIN, 0};
-    int rc = ::poll(&pfd, 1, static_cast<int>(remaining) + 1);
+    int rc = ::poll(&pfd, 1, PollLapTimeoutMillis(remaining));
     if (rc < 0) {
       if (errno == EINTR) continue;
       return ErrnoStatus("poll", errno);

@@ -25,11 +25,26 @@
 
 namespace vexus::net {
 
+/// Poll timeout (ms) for one ReadLine wait lap given the remaining deadline
+/// budget. Exposed for the regression tests: the pre-fix code computed
+/// `static_cast<int>(remaining) + 1`, which is UB for NaN and for budgets
+/// beyond INT_MAX (Deadline-style "infinite" sentinels like 1e12) — in
+/// practice the cast produced a negative value that poll(2) reads as
+/// "block forever", turning a bounded ReadLine into an unbounded one. Laps
+/// are additionally capped so quasi-infinite budgets still re-check the
+/// deadline periodically instead of parking in one giant poll.
+int PollLapTimeoutMillis(double remaining_ms);
+
 class LineClient {
  public:
   /// Connects (blocking, bounded by timeout_ms) and returns a ready client.
   static Result<LineClient> Connect(const std::string& host, uint16_t port,
                                     double timeout_ms = 5000);
+
+  /// Wraps an already-connected stream socket (blocking or nonblocking —
+  /// ReadLine polls before every recv). The socketpair harness the client
+  /// regression tests drive; Connect() remains the TCP path.
+  static LineClient FromFd(Fd fd) { return LineClient(std::move(fd)); }
 
   LineClient(LineClient&&) = default;
   LineClient& operator=(LineClient&&) = default;

@@ -10,9 +10,10 @@
 namespace vexus::net {
 
 Connection::Connection(Fd fd, uint64_t id, ConnectionOptions options,
-                       LineSink on_line)
+                       LineSink on_line, size_t loop_id)
     : fd_(std::move(fd)),
       id_(id),
+      loop_id_(loop_id),
       options_(options),
       on_line_(std::move(on_line)),
       framer_([&] {

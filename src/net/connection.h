@@ -69,7 +69,13 @@ class Connection {
     kError,       ///< transport error (or injected fault); drop the peer
   };
 
-  Connection(Fd fd, uint64_t id, ConnectionOptions options, LineSink on_line);
+  /// `loop_id` tags the connection with the index of the event loop that
+  /// owns it (0 in single-loop servers and loop-less unit tests). Purely a
+  /// label: per-loop ownership is enforced by the owner never sharing the
+  /// object, but stats attribution and log lines need to say which loop a
+  /// socket lived on.
+  Connection(Fd fd, uint64_t id, ConnectionOptions options, LineSink on_line,
+             size_t loop_id = 0);
 
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
@@ -116,6 +122,7 @@ class Connection {
 
   int fd() const { return fd_.get(); }
   uint64_t id() const { return id_; }
+  size_t loop_id() const { return loop_id_; }
   uint64_t lines_read() const { return next_seq_; }
   uint64_t responses_flushed() const { return responses_flushed_; }
   uint64_t bytes_read() const { return bytes_read_; }
@@ -129,6 +136,7 @@ class Connection {
  private:
   Fd fd_;
   uint64_t id_;
+  size_t loop_id_;
   ConnectionOptions options_;
   LineSink on_line_;
   server::LineFramer framer_;

@@ -58,7 +58,7 @@ Result<sockaddr_in> ResolveV4(const std::string& host, uint16_t port) {
 }  // namespace
 
 Result<Fd> ListenTcp(const std::string& host, uint16_t port, int backlog,
-                     uint16_t* bound_port) {
+                     uint16_t* bound_port, bool reuseport) {
   auto addr = ResolveV4(host, port);
   VEXUS_RETURN_NOT_OK(addr.status());
 
@@ -68,6 +68,11 @@ Result<Fd> ListenTcp(const std::string& host, uint16_t port, int backlog,
   if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
       0) {
     return ErrnoStatus("setsockopt(SO_REUSEADDR)", errno);
+  }
+  if (reuseport &&
+      ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) <
+          0) {
+    return ErrnoStatus("setsockopt(SO_REUSEPORT)", errno);
   }
   sockaddr_in sa = addr.ValueOrDie();
   if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) <

@@ -63,8 +63,14 @@ Status SetNoDelay(int fd);
 /// Creates a nonblocking listening socket bound to host:port (port 0 =
 /// ephemeral; SO_REUSEADDR set). On success *bound_port holds the actual
 /// port (what tests and --port 0 deployments need).
+///
+/// `reuseport` additionally sets SO_REUSEPORT before bind, allowing several
+/// listeners on the same host:port — the kernel then steers each accepted
+/// connection to exactly one of them (the multi-loop front-end's listener
+/// group; DESIGN.md §13.1). Every socket in the group must set it, so the
+/// first listener of a group needs reuseport=true too.
 Result<Fd> ListenTcp(const std::string& host, uint16_t port, int backlog,
-                     uint16_t* bound_port);
+                     uint16_t* bound_port, bool reuseport = false);
 
 /// Blocking-connect with a timeout (nonblocking connect + poll), returning
 /// a *blocking* connected socket with TCP_NODELAY set. The simple-client

@@ -1,16 +1,29 @@
-// TcpServer — the epoll event loop serving the line-JSON wire protocol
-// (DESIGN.md §13).
+// TcpServer — N independent epoll event loops serving the line-JSON wire
+// protocol behind one SO_REUSEPORT listener group (DESIGN.md §13).
 //
-//        accept ──▶ Connection{framer, pipeline, write buf} ─┐ OnLine
-//          ▲                ▲                                ▼
-//   epoll_wait  ◀── wakeup eventfd ◀── worker threads ◀── ExplorationService
-//   (loop thread)     (completions)     (Dispatcher)        ::DispatchAsync
+//            kernel steers each connect to exactly one loop
+//                 │                │                 │
+//        ┌────────▼───────┐ ┌─────▼──────────┐ ┌────▼───────────┐
+//        │ loop 0         │ │ loop 1         │ │ loop N-1       │
+//        │ listener fd    │ │ listener fd    │ │ listener fd    │
+//        │ epoll + wakeup │ │ epoll + wakeup │ │ epoll + wakeup │
+//        │ conn table     │ │ conn table     │ │ conn table     │
+//        │ completion q   │ │ completion q   │ │ completion q   │
+//        └───────▲────────┘ └──────▲─────────┘ └───────▲────────┘
+//                └───────────┬─────┴───────────────────┘
+//                   worker threads (Dispatcher) push each
+//                   completion to its OWNING loop's queue
 //
-// Threading model: ONE event-loop thread owns every socket, every
-// Connection object, and the epoll set; it never computes a screen. The
-// service's worker pool executes requests; completions cross back via a
-// mutex-guarded queue plus an eventfd (net/wakeup.h). Nothing else is
-// shared, so the loop runs lock-free except for that queue swap.
+// Threading model: every socket, Connection object, and epoll set belongs
+// to exactly ONE event-loop thread for its whole life — the kernel's
+// SO_REUSEPORT steering decides which loop at accept time and nothing ever
+// migrates. A loop never computes a screen; the service's worker pool
+// executes requests and completions cross back via the owning loop's
+// mutex-guarded queue plus an eventfd (net/wakeup.h). The eventfd is rung
+// only on the queue's empty→nonempty transition: one wakeup retires every
+// completion pending for that loop (batched drain), not one wakeup per
+// completion. Loops share nothing but the service pointer, the aggregate
+// connection counter, and the overload controller.
 //
 // Deadlines: request lines are submitted to the Dispatcher synchronously
 // inside the read handler, so the admission-stamped deadline starts at
@@ -19,28 +32,30 @@
 // the in-process path behaves.
 //
 // Overload: the Dispatcher's ladder applies unchanged (it is the same
-// Dispatcher). The loop adds the transport-side signals the in-process path
-// never sees: response bytes stalled in a connection's write buffer are
-// reported to the overload controller as queue delay, and slow/idle clients
-// are disconnected — aggressively so when the ladder is escalated
-// (§13.4) — so socket-side pathology surfaces in the same control loop as
-// CPU overload.
+// Dispatcher). Each loop adds the transport-side signal the in-process path
+// never sees — response bytes stalled in a connection's write buffer — as
+// its own per-loop delay source; the controller aggregates sources as
+// max-of-mins so one hot loop still trips the ladder even while the others
+// idle (server/overload.h). Slow/idle clients are disconnected per loop,
+// aggressively so when the ladder is escalated (§13.4).
 //
-// Drain (SIGTERM sequence): RequestDrain() is async-signal-safe. The loop
-// then (1) closes the listener — new connections are refused by the kernel;
-// (2) stops reading request bytes from every connection; (3) lets admitted
-// requests complete and flushes their responses; (4) closes each connection
-// once drained, and force-closes stragglers after drain_timeout_ms. Every
-// admitted request is retired exactly once (the conservation property the
-// chaos harness storms with net failpoints).
+// Drain (SIGTERM sequence): RequestDrain() is async-signal-safe (one atomic
+// store + one eventfd write per loop). Each loop then independently
+// (1) closes its listener — the kernel re-steers stragglers to remaining
+// listeners until all are gone; (2) stops reading request bytes;
+// (3) lets admitted requests complete and flushes their responses;
+// (4) closes each connection once drained, force-closing stragglers after
+// drain_timeout_ms. Drain() joins all loops and then settles stragglers so
+// every admitted request is retired exactly once, per loop and in
+// aggregate (the conservation property the chaos harness storms with net
+// failpoints).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <thread>
-#include <unordered_map>
+#include <vector>
 
 #include "common/stopwatch.h"
 #include "net/connection.h"
@@ -57,8 +72,15 @@ struct TcpServerOptions {
   /// 0 = ephemeral (read the actual port from port() after Start()).
   uint16_t port = 0;
   int backlog = 512;
+  /// Event-loop threads, each owning a SO_REUSEPORT listener, an epoll
+  /// instance, and a private connection table. 0 = min(4, hw threads).
+  /// With 1 the server binds a single plain listener (no SO_REUSEPORT),
+  /// byte-for-byte the pre-multi-loop behavior.
+  size_t num_loops = 0;
   /// Accepted connections beyond this are immediately closed (the
-  /// fd-exhaustion guard; the dispatcher's ladder guards CPU).
+  /// fd-exhaustion guard; the dispatcher's ladder guards CPU). Enforced on
+  /// the aggregate across loops; racing accepts on different loops may
+  /// overshoot by at most num_loops - 1.
   size_t max_connections = 4096;
   ConnectionOptions connection;
   /// Connections with no traffic and no work in flight for this long are
@@ -73,8 +95,8 @@ struct TcpServerOptions {
   double tick_ms = 100;
   /// Force-close window of the drain sequence.
   double drain_timeout_ms = 10'000;
-  /// Report write-buffer stall ages to the overload controller as queue
-  /// delay samples (see the Overload note above).
+  /// Report write-buffer stall ages to the overload controller as per-loop
+  /// queue delay sources (see the Overload note above).
   bool overload_write_stall_signal = true;
   /// SO_SNDBUF for accepted sockets; 0 keeps the kernel default. Setting it
   /// locks out kernel autotuning (which otherwise grows send buffers to
@@ -83,7 +105,10 @@ struct TcpServerOptions {
   int so_sndbuf = 0;
 };
 
-/// Monotonic counters, written by the loop thread, readable from any thread.
+/// Monotonic counters. Each loop thread writes its own set; Stats() returns
+/// the aggregate and LoopStats(i) one loop's share — conservation
+/// (`requests_submitted == responses_routed + responses_dropped` once
+/// drained) holds for both views.
 struct TcpServerStats {
   uint64_t accepted = 0;
   uint64_t accept_rejected = 0;     // over max_connections
@@ -108,25 +133,30 @@ class TcpServer {
   /// not owned here).
   TcpServer(server::ExplorationService* service, TcpServerOptions options = {});
 
-  /// Drains (idempotent) and joins the loop.
+  /// Drains (idempotent) and joins every loop.
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
-  /// Binds + listens synchronously (so callers see bind errors), then
-  /// starts the event-loop thread. Call at most once.
+  /// Binds + listens every loop's listener synchronously (so callers see
+  /// bind errors), then starts the event-loop threads. Call at most once.
   Status Start();
 
-  /// Actual bound port (valid after a successful Start()).
+  /// Actual bound port (valid after a successful Start(); all listeners of
+  /// the SO_REUSEPORT group share it).
   uint16_t port() const { return port_; }
 
+  /// Resolved loop count (valid after construction).
+  size_t num_loops() const { return num_loops_; }
+
   /// Triggers the drain sequence without blocking. Async-signal-safe: one
-  /// atomic store and one eventfd write — install it in a SIGTERM handler.
+  /// atomic store and one eventfd write per loop — install it in a SIGTERM
+  /// handler.
   void RequestDrain();
 
-  /// RequestDrain + join. Returns once every connection is closed and the
-  /// loop has exited. Idempotent.
+  /// RequestDrain + join. Returns once every connection on every loop is
+  /// closed and all loops have exited. Idempotent.
   void Drain();
 
   /// True from RequestDrain() on (new connections are being refused).
@@ -136,7 +166,10 @@ class TcpServer {
     return active_connections_.load(std::memory_order_relaxed);
   }
 
+  /// Aggregate across loops.
   TcpServerStats Stats() const;
+  /// One loop's counters (loop < num_loops()).
+  TcpServerStats LoopStats(size_t loop) const;
 
  private:
   struct Completion {
@@ -144,54 +177,31 @@ class TcpServer {
     uint64_t seq;
     std::string line;
   };
-  /// Shared between worker callbacks and the loop; outlives both via
+  /// Shared between worker callbacks and the owning loop; outlives both via
   /// shared_ptr so a completion firing after ~TcpServer only touches the
   /// alive flag and the (still-allocated) queue.
   struct CompletionQueue;
-
-  struct ConnEntry {
-    std::unique_ptr<Connection> conn;
-    uint32_t epoll_mask = 0;
-  };
-
-  void Loop();
-  void HandleAccept();
-  void HandleConnEvent(uint64_t conn_id, uint32_t events);
-  void OnLine(uint64_t conn_id, uint64_t seq, std::string line,
-              bool oversized);
-  void DrainCompletions();
-  void Tick();
-  void StartDrainOnce();
-  /// Flush, then re-derive the epoll interest mask; closes slow clients.
-  void FlushAndUpdate(uint64_t conn_id);
-  void UpdateInterest(uint64_t conn_id);
-  void CloseConn(uint64_t conn_id);
+  /// Counters (loop-thread writes; relaxed atomics so Stats() is callable
+  /// from tests/benchmarks while the loops run).
+  struct AtomicStats;
+  /// One event loop: listener, epoll, wakeup, completion queue, connection
+  /// table, stats, drain state, and the thread driving them. Defined in
+  /// tcp_server.cc — nothing outside the server touches one.
+  struct EventLoop;
 
   server::ExplorationService* service_;
   TcpServerOptions options_;
-
-  Fd listener_;
-  Fd epoll_;
+  size_t num_loops_ = 1;
   uint16_t port_ = 0;
-  std::thread loop_thread_;
   bool started_ = false;
   bool drained_ = false;
 
-  std::shared_ptr<CompletionQueue> cq_;
   std::atomic<bool> drain_requested_{false};
-  bool drain_started_ = false;  // loop-thread view
-  Stopwatch drain_watch_;
-
-  uint64_t next_conn_id_ = 1;
-  std::unordered_map<uint64_t, ConnEntry> conns_;
+  /// Aggregate live-connection count (the max_connections gate); each loop
+  /// fetch_add/sub's around its table updates.
   std::atomic<size_t> active_connections_{0};
 
-  /// Counters (loop-thread writes; relaxed atomic so Stats() is callable
-  /// from tests/benchmarks while the loop runs).
-  struct AtomicStats;
-  /// Shared with the CompletionQueue so completions landing after the loop
-  /// exits are still retired as responses_dropped.
-  std::shared_ptr<AtomicStats> stats_;
+  std::vector<std::unique_ptr<EventLoop>> loops_;
 };
 
 }  // namespace vexus::net

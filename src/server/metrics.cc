@@ -53,6 +53,10 @@ LatencyHistogram::Snapshot LatencyHistogram::Read() const {
 
 double LatencyHistogram::Snapshot::QuantileMillis(double q) const {
   if (count == 0) return 0;
+  // NaN slips through std::clamp (both comparisons are false) and would
+  // reach the uint64_t cast below as NaN — UB. Pin it to 0 like the empty
+  // window, the same edge-case discipline as bench Series::Percentile.
+  if (std::isnan(q)) return 0;
   q = std::clamp(q, 0.0, 1.0);
   uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
   if (rank == 0) rank = 1;

@@ -84,6 +84,13 @@ inline constexpr int kNumOverloadRungs = 5;
 /// Stable lowercase name ("normal", "shrink_effort", ...) for health JSON.
 std::string_view OverloadRungName(OverloadRung rung);
 
+/// Distinct delay-signal sources the controller tracks per window: source 0
+/// is the dispatcher's queue-delay samples; the TCP front-end reports each
+/// event loop's write-stall signal as source 1 + loop index (loops beyond
+/// the table share the last slot). Sized for the front-end's practical
+/// loop-count ceiling, not a protocol limit.
+inline constexpr size_t kMaxOverloadSources = 17;
+
 class OverloadController {
  public:
   explicit OverloadController(OverloadOptions options = {});
@@ -93,15 +100,26 @@ class OverloadController {
 
   /// One queue-delay sample (ms a request waited between admission and
   /// worker pickup). Called by every executing task; lock-free.
-  void OnQueueDelay(double delay_ms);
+  ///
+  /// `source` attributes the sample to one signal stream (see
+  /// kMaxOverloadSources). Each source keeps its own window minimum and the
+  /// closing window escalates on the MAX of the per-source minimums: CoDel's
+  /// min filters burst noise *within* one stream, but min across streams
+  /// would let nine idle event loops (min ≈ 0) mask one loop whose queue
+  /// never drains — max-of-mins keeps a single hot loop able to trip the
+  /// ladder. Sources that logged no sample this window abstain. With one
+  /// source the aggregate equals that source's min, so single-stream
+  /// callers see the PR 5 semantics unchanged.
+  void OnQueueDelay(double delay_ms, size_t source = 0);
 
   /// Current rung; one relaxed load (the admission path reads this).
   OverloadRung rung() const {
     return static_cast<OverloadRung>(rung_.load(std::memory_order_relaxed));
   }
 
-  /// Minimum queue delay of the last *closed* window, ms (0 before any
-  /// window closed). Health probes report this as the congestion signal.
+  /// Congestion signal of the last *closed* window, ms (0 before any window
+  /// closed): the max over sources of each source's minimum queue delay.
+  /// Health probes report this.
   double last_window_min_delay_ms() const {
     return last_min_us_.load(std::memory_order_relaxed) / 1e3;
   }
@@ -125,8 +143,9 @@ class OverloadController {
   OverloadOptions options_;
   std::atomic<int> rung_{0};
   std::atomic<uint64_t> window_start_us_;
-  /// Min delay (us) seen in the open window; UINT64_MAX = no sample yet.
-  std::atomic<uint64_t> window_min_us_{UINT64_MAX};
+  /// Per-source min delay (us) seen in the open window; UINT64_MAX = that
+  /// source has no sample yet.
+  std::atomic<uint64_t> window_min_us_[kMaxOverloadSources];
   std::atomic<uint64_t> last_min_us_{0};
   std::atomic<uint64_t> escalations_{0};
 };

@@ -231,5 +231,74 @@ TEST_F(NetChaosTest, DrainUnderNetFaultsRetiresEveryAdmittedRequest) {
   EXPECT_EQ(server.active_connections(), 0u);
 }
 
+TEST_F(NetChaosTest, MultiLoopStormWithMidStormDrainConservesPerLoop) {
+  // The multi-loop front-end under the full four-site storm, with the
+  // drain requested *mid-storm* from another thread via the same
+  // async-signal-safe path the SIGTERM handler uses. Conservation must
+  // hold per loop AND in aggregate — a completion routed to the wrong
+  // loop's queue would break one loop's ledger while the sum still
+  // balanced, so both granularities are asserted.
+  const uint64_t seed = NetChaosSeed();
+  const size_t kLoops = 2 + seed % 3;  // 2..4, varies across the sweep
+  ExplorationService svc(engine_, FastOptions());
+  TcpServerOptions opts;
+  opts.tick_ms = 20;
+  opts.drain_timeout_ms = 3000;
+  opts.num_loops = kLoops;
+  TcpServer server(&svc, opts);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_EQ(server.num_loops(), kLoops);
+
+  std::atomic<uint64_t> answered{0}, reconnects{0};
+  {
+    failpoint::ScopedFailpoint accept_fp("net.accept",
+                                         NetProb(0.10, seed * 13 + 1));
+    failpoint::ScopedFailpoint read_fp("net.conn.read",
+                                       NetProb(0.03, seed * 13 + 2));
+    failpoint::ScopedFailpoint write_fp("net.conn.write",
+                                        NetProb(0.03, seed * 13 + 3));
+    failpoint::ScopedFailpoint close_fp("net.conn.close",
+                                        NetProb(0.25, seed * 13 + 4, 0.5));
+
+    const int kClients = 8, kRounds = 20;
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back(NetChaosClient, server.port(), seed, c, kRounds,
+                           &answered, &reconnects);
+    }
+    // Pull the plug while the storm is still raging. Clients whose
+    // reconnect loop outlives the listener simply give up — NetChaosClient
+    // returns after bounded retries, so nothing here can wedge.
+    std::thread drainer([&server] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      server.RequestDrain();
+    });
+    for (auto& t : threads) t.join();
+    drainer.join();
+  }
+
+  server.Drain();
+  auto stats = server.Stats();
+  EXPECT_GT(stats.accepted, 0u);
+  EXPECT_EQ(stats.requests_submitted,
+            stats.responses_routed + stats.responses_dropped)
+      << "aggregate conservation violated under seed " << seed;
+  EXPECT_EQ(server.active_connections(), 0u);
+
+  uint64_t submitted = 0, routed = 0, dropped = 0;
+  for (size_t l = 0; l < server.num_loops(); ++l) {
+    auto ls = server.LoopStats(l);
+    EXPECT_EQ(ls.requests_submitted,
+              ls.responses_routed + ls.responses_dropped)
+        << "loop " << l << " conservation violated under seed " << seed;
+    submitted += ls.requests_submitted;
+    routed += ls.responses_routed;
+    dropped += ls.responses_dropped;
+  }
+  EXPECT_EQ(submitted, stats.requests_submitted);
+  EXPECT_EQ(routed, stats.responses_routed);
+  EXPECT_EQ(dropped, stats.responses_dropped);
+}
+
 }  // namespace
 }  // namespace vexus

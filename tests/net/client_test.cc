@@ -1,0 +1,138 @@
+// LineClient regression tests — the ReadLine deadline contract, driven over
+// a socketpair so a "server" peer can stall mid-line deterministically.
+//
+// The pre-fix ReadLine computed each poll lap's timeout as
+// `static_cast<int>(remaining) + 1`. For NaN and for quasi-infinite budgets
+// (Deadline::kInfiniteBudgetMillis-style sentinels, anything past INT_MAX)
+// that cast is UB, and the value it produced in practice was negative —
+// which poll(2) reads as "block forever". A bounded ReadLine against a
+// stalling peer then never returned. These tests fail (by hanging or by
+// sanitizer abort) against that code.
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/stopwatch.h"
+#include "net/client.h"
+#include "net/socket.h"
+
+namespace vexus::net {
+namespace {
+
+TEST(PollLapTimeoutTest, ExpiredNaNAndNegativeBudgetsPollZero) {
+  EXPECT_EQ(PollLapTimeoutMillis(0), 0);
+  EXPECT_EQ(PollLapTimeoutMillis(-5), 0);
+  EXPECT_EQ(PollLapTimeoutMillis(std::numeric_limits<double>::quiet_NaN()), 0);
+}
+
+TEST(PollLapTimeoutTest, SmallBudgetsRoundUpNotDown) {
+  // A 0.4 ms budget must not truncate to poll(0) (a busy spin).
+  EXPECT_EQ(PollLapTimeoutMillis(0.4), 1);
+  EXPECT_EQ(PollLapTimeoutMillis(250.0), 250);
+}
+
+TEST(PollLapTimeoutTest, HugeBudgetsAreCappedInIntRange) {
+  // The pre-fix cast of these values to int was UB (and effectively a
+  // negative poll timeout = infinite). Laps must stay positive, bounded,
+  // and in int range.
+  for (double huge : {1e9, Deadline::kInfiniteBudgetMillis, 1e18,
+                      std::numeric_limits<double>::infinity()}) {
+    int lap = PollLapTimeoutMillis(huge);
+    EXPECT_GT(lap, 0) << huge;
+    EXPECT_LE(lap, 60'000) << huge;
+  }
+}
+
+TEST(LineClientTest, StallingPeerMidLineHitsDeadline) {
+  auto pair = NonBlockingSocketPair();
+  ASSERT_TRUE(pair.ok());
+  auto [client_fd, peer_fd] = std::move(pair).ValueOrDie();
+  LineClient client = LineClient::FromFd(std::move(client_fd));
+
+  // The peer sends half a line and goes silent: the framer never completes
+  // a frame, recv laps end in EAGAIN, and the deadline must still fire.
+  const char kPartial[] = "{\"op\":\"health\"";
+  ASSERT_GT(::send(peer_fd.get(), kPartial, sizeof(kPartial) - 1, 0), 0);
+
+  Stopwatch watch;
+  auto line = client.ReadLine(250);
+  EXPECT_FALSE(line.ok());
+  EXPECT_EQ(line.status().code(), StatusCode::kDeadlineExceeded)
+      << line.status().ToString();
+  EXPECT_GE(watch.ElapsedMillis(), 200.0);
+  EXPECT_LT(watch.ElapsedMillis(), 5000.0);
+}
+
+TEST(LineClientTest, NaNTimeoutIsBornExpiredNotInfinite) {
+  auto pair = NonBlockingSocketPair();
+  ASSERT_TRUE(pair.ok());
+  auto [client_fd, peer_fd] = std::move(pair).ValueOrDie();
+  LineClient client = LineClient::FromFd(std::move(client_fd));
+
+  // Pre-fix: NaN slipped past the `remaining <= 0` check (NaN compares
+  // false), reached the int cast (UB), and poll'd a garbage timeout —
+  // with a silent peer this call never returned. Deadline::AfterMillis
+  // semantics: a NaN budget is born expired.
+  Stopwatch watch;
+  auto line = client.ReadLine(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_FALSE(line.ok());
+  EXPECT_EQ(line.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(watch.ElapsedMillis(), 1000.0);
+}
+
+TEST(LineClientTest, QuasiInfiniteTimeoutStillDeliversData) {
+  auto pair = NonBlockingSocketPair();
+  ASSERT_TRUE(pair.ok());
+  auto [client_fd, peer_fd] = std::move(pair).ValueOrDie();
+  LineClient client = LineClient::FromFd(std::move(client_fd));
+
+  // A peer that answers after a beat, read with an "effectively forever"
+  // budget: the lap math must keep every poll timeout in int range (the
+  // pre-fix cast of 1e12 was UB) and the line must come through.
+  int peer = peer_fd.get();
+  std::thread responder([peer] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const char kLine[] = "{\"op\":\"health\"}\n";
+    (void)::send(peer, kLine, sizeof(kLine) - 1, 0);
+  });
+  auto line = client.ReadLine(Deadline::kInfiniteBudgetMillis);
+  responder.join();
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  EXPECT_EQ(*line, "{\"op\":\"health\"}");
+}
+
+TEST(LineClientTest, EagainLapsBurnTheSameDeadline) {
+  auto pair = NonBlockingSocketPair();
+  ASSERT_TRUE(pair.ok());
+  auto [client_fd, peer_fd] = std::move(pair).ValueOrDie();
+  LineClient client = LineClient::FromFd(std::move(client_fd));
+
+  // The peer drips partial fragments (never a newline) so ReadLine keeps
+  // cycling poll→recv→EAGAIN. Every lap must draw down one shared deadline:
+  // total wait stays bounded by the timeout, not by the drip.
+  int peer = peer_fd.get();
+  std::atomic<bool> stop{false};
+  std::thread dripper([peer, &stop] {
+    while (!stop.load()) {
+      (void)::send(peer, "x", 1, 0);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+  Stopwatch watch;
+  auto line = client.ReadLine(300);
+  stop.store(true);
+  dripper.join();
+  EXPECT_FALSE(line.ok());
+  EXPECT_EQ(line.status().code(), StatusCode::kDeadlineExceeded)
+      << line.status().ToString();
+  EXPECT_LT(watch.ElapsedMillis(), 5000.0);
+}
+
+}  // namespace
+}  // namespace vexus::net

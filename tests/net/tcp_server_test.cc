@@ -373,5 +373,182 @@ TEST_F(TcpServerTest, HalfCloseStillDeliversPipelinedResponses) {
   EXPECT_EQ(got, kBurst);
 }
 
+// ---------------------------------------------------------------------------
+// Multi-loop (SO_REUSEPORT listener group)
+// ---------------------------------------------------------------------------
+
+/// Per-loop and aggregate conservation across seeds × loop counts: every
+/// admitted request is retired exactly once no matter which loop the kernel
+/// steered its connection to, and the aggregate is exactly the sum of the
+/// per-loop shares.
+TEST_F(TcpServerTest, MultiLoopConservationProperty) {
+  for (uint32_t seed = 0; seed < 8; ++seed) {
+    for (size_t loops : {size_t{1}, size_t{2}, size_t{4}}) {
+      ExplorationService svc(engine_, FastOptions());
+      TcpServerOptions opts;
+      opts.num_loops = loops;
+      TcpServer server(&svc, opts);
+      ASSERT_TRUE(server.Start().ok());
+      ASSERT_EQ(server.num_loops(), loops);
+
+      // A small fleet of pipelining clients; counts derive from the seed so
+      // the 24 (seed, loops) points exercise different burst shapes.
+      const int kClients = 3 + static_cast<int>(seed % 4);
+      const int kBurst = 5 + static_cast<int>((seed * 7) % 11);
+      std::vector<LineClient> clients;
+      for (int c = 0; c < kClients; ++c) {
+        auto client = LineClient::Connect("127.0.0.1", server.port());
+        ASSERT_TRUE(client.ok()) << client.status().ToString();
+        clients.push_back(std::move(client).ValueOrDie());
+      }
+      for (int c = 0; c < kClients; ++c) {
+        for (int i = 0; i < kBurst; ++i) {
+          // Mix dispatched requests with per-line parse errors: both paths
+          // must keep the books straight.
+          const char* line = (seed + i) % 3 == 0 ? "definitely not json"
+                             : i % 2 == 0        ? R"({"op":"health"})"
+                                                 : R"({"op":"get_stats"})";
+          ASSERT_TRUE(clients[c].SendLine(line).ok());
+        }
+      }
+      for (int c = 0; c < kClients; ++c) {
+        for (int i = 0; i < kBurst; ++i) {
+          auto line = clients[c].ReadLine(10'000);
+          ASSERT_TRUE(line.ok())
+              << "seed " << seed << " loops " << loops << " client " << c
+              << " response " << i << ": " << line.status().ToString();
+        }
+      }
+      server.Drain();
+
+      TcpServerStats total = server.Stats();
+      EXPECT_EQ(total.requests_submitted,
+                total.responses_routed + total.responses_dropped)
+          << "seed " << seed << " loops " << loops;
+      EXPECT_EQ(total.responses_dropped, 0u)
+          << "seed " << seed << " loops " << loops
+          << ": well-behaved clients read everything";
+      EXPECT_EQ(total.accepted, static_cast<uint64_t>(kClients));
+
+      TcpServerStats summed;
+      for (size_t l = 0; l < loops; ++l) {
+        TcpServerStats ls = server.LoopStats(l);
+        EXPECT_EQ(ls.requests_submitted,
+                  ls.responses_routed + ls.responses_dropped)
+            << "seed " << seed << " loops " << loops << " loop " << l;
+        summed.accepted += ls.accepted;
+        summed.lines_framed += ls.lines_framed;
+        summed.parse_errors += ls.parse_errors;
+        summed.requests_submitted += ls.requests_submitted;
+        summed.responses_routed += ls.responses_routed;
+        summed.responses_dropped += ls.responses_dropped;
+      }
+      EXPECT_EQ(summed.accepted, total.accepted);
+      EXPECT_EQ(summed.lines_framed, total.lines_framed);
+      EXPECT_EQ(summed.parse_errors, total.parse_errors);
+      EXPECT_EQ(summed.requests_submitted, total.requests_submitted);
+      EXPECT_EQ(summed.responses_routed, total.responses_routed);
+      EXPECT_EQ(summed.responses_dropped, total.responses_dropped);
+    }
+  }
+}
+
+/// Masks the two wall-clock fields every dispatched response carries so the
+/// byte-identity check below compares semantics, not timing jitter.
+std::string MaskTimingFields(std::string line) {
+  for (const char* key : {"\"elapsed_ms\":", "\"queue_ms\":"}) {
+    size_t at = line.find(key);
+    if (at == std::string::npos) continue;
+    size_t start = at + std::string(key).size();
+    size_t end = line.find_first_of(",}", start);
+    if (end == std::string::npos) continue;
+    line.replace(start, end - start, "X");
+  }
+  return line;
+}
+
+/// GreedyTest-style identity discipline: the same scripted request sequence
+/// must produce byte-identical responses whether the server runs 1, 2, or 4
+/// loops (timing fields masked — they are the only nondeterminism a
+/// response may carry). Loop count is a throughput knob, never a semantics
+/// knob.
+TEST_F(TcpServerTest, MultiLoopResponsesByteIdenticalToSingleLoop) {
+  const std::vector<std::string> kScript = {
+      "definitely not json",
+      R"({"op":"warp_ten"})",
+      std::string(300, 'a'),  // oversized once max_line_bytes is shrunk
+      R"({"op":"end_session","session":"ghost"})",
+      R"({"op":"select_group","session":"ghost","group":3})",
+      R"({"op":"backtrack","session":"ghost","step":0})",
+  };
+
+  auto run = [&](size_t loops) {
+    ExplorationService svc(engine_, FastOptions());
+    TcpServerOptions opts;
+    opts.num_loops = loops;
+    opts.connection.max_line_bytes = 256;
+    TcpServer server(&svc, opts);
+    EXPECT_TRUE(server.Start().ok());
+    std::vector<std::string> responses;
+    // Two sequential connections: with several loops they may land on
+    // different members of the listener group; answers must not care.
+    for (int round = 0; round < 2; ++round) {
+      auto client = LineClient::Connect("127.0.0.1", server.port());
+      EXPECT_TRUE(client.ok());
+      for (const std::string& line : kScript) {
+        EXPECT_TRUE(client->SendLine(line).ok());
+      }
+      for (size_t i = 0; i < kScript.size(); ++i) {
+        auto resp = client->ReadLine(10'000);
+        EXPECT_TRUE(resp.ok()) << resp.status().ToString();
+        responses.push_back(
+            MaskTimingFields(resp.ok() ? *resp : std::string()));
+      }
+    }
+    return responses;
+  };
+
+  const std::vector<std::string> base = run(1);
+  for (size_t loops : {size_t{2}, size_t{4}}) {
+    const std::vector<std::string> got = run(loops);
+    ASSERT_EQ(got.size(), base.size());
+    for (size_t i = 0; i < base.size(); ++i) {
+      EXPECT_EQ(got[i], base[i])
+          << "response " << i << " differs between 1 and " << loops
+          << " loops";
+    }
+  }
+}
+
+/// Health responses keep flowing on every member of the listener group:
+/// connect many times and require that (with 4 loops) at least two distinct
+/// loops ended up owning connections — i.e. SO_REUSEPORT steering is real,
+/// not one listener winning every handshake.
+TEST_F(TcpServerTest, MultiLoopKernelActuallySteersAcrossLoops) {
+  ExplorationService svc(engine_, FastOptions());
+  TcpServerOptions opts;
+  opts.num_loops = 4;
+  TcpServer server(&svc, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Keep every client open so steering cannot collapse onto a freed slot.
+  std::vector<LineClient> clients;
+  for (int i = 0; i < 32; ++i) {
+    auto client = LineClient::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    auto resp = client->Call(Health());
+    ASSERT_TRUE(resp.ok());
+    clients.push_back(std::move(client).ValueOrDie());
+  }
+  size_t loops_used = 0;
+  for (size_t l = 0; l < server.num_loops(); ++l) {
+    if (server.LoopStats(l).accepted > 0) ++loops_used;
+  }
+  // The kernel hashes the 4-tuple; 32 distinct source ports landing on one
+  // loop of four has probability (1/4)^31 — if this fires, steering is
+  // broken, not unlucky.
+  EXPECT_GE(loops_used, 2u);
+}
+
 }  // namespace
 }  // namespace vexus::net

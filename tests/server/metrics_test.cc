@@ -1,5 +1,7 @@
 #include "server/metrics.h"
 
+#include <cmath>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -43,6 +45,29 @@ TEST(LatencyHistogramTest, EmptyAndDegenerateInputs) {
   auto s = h.Read();
   EXPECT_EQ(s.count, 2u);
   EXPECT_EQ(s.buckets[0], 2u);
+}
+
+TEST(LatencyHistogramTest, EmptyWindowQuantilesPinnedToZeroForAnyQ) {
+  // An empty window (a get_stats before any request of that op finished)
+  // must produce hard zeros for every q — including out-of-range and NaN —
+  // never NaN/garbage artifacts in the stats JSON.
+  LatencyHistogram h;
+  auto empty = h.Read();
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  for (double q : {0.0, 0.5, 0.99, -1.0, 2.0, kNan}) {
+    double v = empty.QuantileMillis(q);
+    EXPECT_EQ(v, 0.0) << "q=" << q;
+    EXPECT_FALSE(std::isnan(v)) << "q=" << q;
+  }
+  EXPECT_EQ(empty.MeanMillis(), 0.0);
+
+  // NaN q against a NON-empty window used to slip through std::clamp (both
+  // comparisons false) into `static_cast<uint64_t>(ceil(NaN * count))` —
+  // UB the sanitizers flag. Pinned to 0 like the empty window.
+  h.Record(900);
+  auto one = h.Read();
+  EXPECT_EQ(one.QuantileMillis(kNan), 0.0);
+  EXPECT_GT(one.QuantileMillis(0.5), 0.0);
 }
 
 TEST(ServiceMetricsTest, OutcomeCountersRouteByCode) {

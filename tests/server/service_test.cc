@@ -347,6 +347,27 @@ TEST_F(ServiceTest, HandleLineSpeaksTheWireProtocol) {
   EXPECT_NE(parsed3->Find("stats"), nullptr);
 }
 
+TEST_F(ServiceTest, GetStatsOnFreshServiceEmitsCleanZeroQuantiles) {
+  ExplorationService svc(engine_, FastOptions());
+  // get_stats as the very first request: every op's latency window is
+  // empty. The stats JSON must parse and pin every quantile to a hard 0 —
+  // no NaN/garbage division artifacts anywhere in the payload.
+  std::string stats = svc.HandleLine("{\"op\":\"get_stats\"}");
+  EXPECT_EQ(stats.find("nan"), std::string::npos) << stats;
+  EXPECT_EQ(stats.find("NaN"), std::string::npos) << stats;
+  auto parsed = json::Parse(stats);
+  ASSERT_TRUE(parsed.ok()) << stats;
+  const json::Value* s = parsed->Find("stats");
+  ASSERT_NE(s, nullptr);
+  const json::Value* lat = s->Find("latency");
+  ASSERT_NE(lat, nullptr) << stats;
+  EXPECT_EQ(lat->GetNumber("mean_ms", -1), 0.0);
+  EXPECT_EQ(lat->GetNumber("p50_ms", -1), 0.0);
+  EXPECT_EQ(lat->GetNumber("p95_ms", -1), 0.0);
+  EXPECT_EQ(lat->GetNumber("p99_ms", -1), 0.0);
+  EXPECT_EQ(lat->GetNumber("max_ms", -1), 0.0);
+}
+
 TEST_F(ServiceTest, MetricsMatchScriptedWorkloadExactly) {
   ExplorationService svc(engine_, FastOptions());
   // Scripted: 2 start, 3 select (1 ok + 1 bad-group + 1 unknown-session),
