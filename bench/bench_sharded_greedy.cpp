@@ -1,0 +1,262 @@
+// bench_sharded_greedy — scatter-gather greedy throughput vs shard count
+// over a partitioned user universe (ROADMAP item 2; DESIGN.md §15).
+//
+// The greedy's per-trial cost at paper scale is the coverage partial: one
+// word-parallel pass over |U|/64 bitset words. A ShardMap splits that word
+// range into S word-aligned shards; each trial then scatters one coverage
+// partial per shard onto the worker pool and a deterministic coordinator
+// folds the integer partials in shard order. Because the partials are exact
+// integers, S-shard selections are byte-identical to 1-shard — sharding is
+// a throughput knob, never a results knob — which this harness asserts on
+// every run before reporting anything.
+//
+// Reported per shard count: refinement evaluations/sec, mean / p50 / p99
+// per-run wall time, and two gates the exit code enforces:
+//   identity  — selections, objective bits, and swap counts equal S=1;
+//   flat p99  — p99 run time at every S stays within a small factor of the
+//               S=1 p99 (sharding must never *cost* latency).
+//
+// The universe is ≥ 1M synthetic users (|U|/64 = 16,384 words per partial)
+// so the scatter has real work to split. `--smoke` shrinks the world for CI.
+// JSON sidecar: argv[1] (default BENCH_sharded_greedy.json).
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/shard_map.h"
+#include "common/thread_pool.h"
+#include "core/feedback.h"
+#include "core/greedy.h"
+#include "server/json.h"
+
+using namespace vexus;
+using namespace vexus::bench;
+
+namespace {
+
+/// Synthetic world built directly at the group-store layer: a full
+/// BookCrossing Preprocess at 1M users would spend minutes in discovery to
+/// produce the same shape of input the greedy consumes (groups over a large
+/// universe + a materialized index).
+struct BigWorld {
+  BigWorld(size_t n_users, size_t n_groups, uint64_t seed)
+      : store(n_users) {
+    Rng rng(seed);
+    for (size_t g = 0; g < n_groups; ++g) {
+      Bitset members(n_users);
+      // Contiguous runs with ragged edges: every shard's word range holds
+      // member mass, so per-shard partials all do real work.
+      uint32_t start = rng.UniformU32(static_cast<uint32_t>(n_users));
+      uint32_t len = static_cast<uint32_t>(n_users / 64) +
+                     rng.UniformU32(static_cast<uint32_t>(n_users / 16));
+      for (uint32_t i = 0; i < len; ++i) {
+        members.Set((start + i * 3) % n_users);  // stride keeps them ragged
+      }
+      store.Add(mining::UserGroup({{0, static_cast<data::ValueId>(g)}},
+                                  std::move(members)));
+    }
+    index::InvertedIndex::Options opt;
+    opt.materialization_fraction = 1.0;
+    opt.min_neighbors = 1;
+    index = std::make_unique<index::InvertedIndex>(
+        std::move(index::InvertedIndex::Build(store, opt)).ValueOrDie());
+    // Minimal dataset for the token space. The schema must cover the
+    // descriptor tokens, and the user table must cover the group universe:
+    // FeedbackVector::UserWeights() is sized by the dataset's user count
+    // and the seeding WeightedJaccard indexes it by member id.
+    data::AttributeId a0 = ds.schema().AddCategorical("a0");
+    for (size_t g = 0; g < n_groups; ++g) {
+      ds.schema().attribute(a0).values().GetOrAdd("v" + std::to_string(g));
+    }
+    for (size_t u = 0; u < n_users; ++u) {
+      ds.users().AddUser("u" + std::to_string(u));
+    }
+    tokens = std::make_unique<core::TokenSpace>(ds);
+  }
+
+  mining::GroupStore store;
+  data::Dataset ds;
+  std::unique_ptr<index::InvertedIndex> index;
+  std::unique_ptr<core::TokenSpace> tokens;
+};
+
+struct ShardResult {
+  size_t shards = 1;
+  Series elapsed_ms, evals, swaps;
+  bool identical_to_unsharded = true;
+
+  double EvalsPerSec() const {
+    double total_evals = 0, total_ms = 0;
+    for (double v : evals.values) total_evals += v;
+    for (double v : elapsed_ms.values) total_ms += v;
+    return total_ms > 0 ? total_evals / (total_ms / 1e3) : 0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_sharded_greedy.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+
+  Banner("bench_sharded_greedy",
+         "horizontal sharding scatter-gathers the greedy's coverage "
+         "partials across the user universe; selections stay byte-identical "
+         "at every shard count while evaluations/sec scale");
+
+  // 2^20 users = 16,384 bitset words per coverage partial; a shard at S=8
+  // still owns 2,048 words — far above the fold overhead.
+  const size_t kUsers = smoke ? size_t{1} << 16 : size_t{1} << 20;
+  const size_t kGroups = smoke ? 60 : 120;
+  const size_t kAnchors = smoke ? 3 : 10;
+  const std::vector<size_t> shard_counts = {1, 2, 4, 8};
+
+  std::printf("world: %zu users, %zu groups%s\n", kUsers, kGroups,
+              smoke ? " (smoke)" : "");
+  BigWorld w(kUsers, kGroups, /*seed=*/29);
+  core::FeedbackVector fb(w.tokens.get());
+  core::GreedySelector selector(&w.store, w.index.get());
+  ThreadPool pool;  // hardware concurrency
+  std::printf("scatter pool: %zu workers\n", pool.num_threads() + 1);
+
+  // Anchors: the groups with the densest posting lists (deterministic —
+  // rerunning the bench measures the same work). Ties break on id.
+  std::vector<mining::GroupId> anchors(w.store.size());
+  std::iota(anchors.begin(), anchors.end(), 0);
+  std::stable_sort(anchors.begin(), anchors.end(),
+                   [&](mining::GroupId a, mining::GroupId b) {
+                     return w.index->Neighbors(a).size() >
+                            w.index->Neighbors(b).size();
+                   });
+  anchors.resize(std::min(kAnchors, anchors.size()));
+
+  core::GreedyOptions base;
+  base.k = 7;
+  base.min_similarity = 0.0;
+  base.time_limit_ms = core::GreedyOptions::kUnboundedTimeLimit;
+  base.scan_pool = &pool;
+
+  // Reference run: unsharded. Every sharded run must reproduce it bit for
+  // bit (groups, objective, swap count) — the same invariant the
+  // GreedyTest S∈{1,2,4,8} identity matrix pins at test scale.
+  std::vector<core::GreedySelection> reference;
+  reference.reserve(anchors.size());
+
+  std::vector<ShardResult> results;
+  std::vector<std::unique_ptr<ShardMap>> maps;  // outlive the runs
+  bool all_identical = true;
+
+  for (size_t S : shard_counts) {
+    ShardResult r;
+    r.shards = S;
+    core::GreedyOptions opt = base;
+    if (S > 1) {
+      maps.push_back(std::make_unique<ShardMap>(kUsers, S));
+      opt.shard_map = maps.back().get();
+    }
+    for (size_t a = 0; a < anchors.size(); ++a) {
+      Stopwatch watch;
+      auto sel = selector.SelectNext(anchors[a], fb, opt);
+      r.elapsed_ms.Add(watch.ElapsedMillis());
+      r.evals.Add(static_cast<double>(sel.evaluations));
+      r.swaps.Add(static_cast<double>(sel.swaps));
+      if (S == 1) {
+        reference.push_back(std::move(sel));
+      } else {
+        const core::GreedySelection& ref = reference[a];
+        // Byte-identity: memcmp on the objective doubles, not ==, so a
+        // sign/NaN discrepancy can't hide.
+        if (sel.groups != ref.groups || sel.swaps != ref.swaps ||
+            std::memcmp(&sel.quality.objective, &ref.quality.objective,
+                        sizeof(double)) != 0) {
+          r.identical_to_unsharded = false;
+          all_identical = false;
+          std::printf("IDENTITY VIOLATION: S=%zu anchor=%u\n", S,
+                      anchors[a]);
+        }
+      }
+    }
+    results.push_back(std::move(r));
+  }
+
+  PrintRow({"shards", "evals/sec", "mean_ms", "p50_ms", "p99_ms", "evals",
+            "swaps", "identical"});
+  for (const ShardResult& r : results) {
+    PrintRow({std::to_string(r.shards), Fmt(r.EvalsPerSec(), 0),
+              Fmt(r.elapsed_ms.Mean(), 2), Fmt(r.elapsed_ms.Percentile(0.5), 2),
+              Fmt(r.elapsed_ms.Percentile(0.99), 2), Fmt(r.evals.Mean(), 0),
+              Fmt(r.swaps.Mean(), 1), r.identical_to_unsharded ? "yes" : "NO"});
+  }
+
+  // Flat-p99 gate: scatter-gather must never buy throughput with a latency
+  // tail. Generous factor — the gate is for order-of-magnitude regressions
+  // (a serialized scatter, a lock on the fold path), not scheduler noise.
+  const double base_p99 = results.front().elapsed_ms.Percentile(0.99);
+  bool p99_flat = true;
+  for (const ShardResult& r : results) {
+    double p99 = r.elapsed_ms.Percentile(0.99);
+    if (p99 > 3.0 * base_p99 + 5.0) {
+      p99_flat = false;
+      std::printf("P99 GATE VIOLATION: S=%zu p99=%.2fms vs S=1 p99=%.2fms\n",
+                  r.shards, p99, base_p99);
+    }
+  }
+  std::printf("selections byte-identical across S in {1,2,4,8}: %s\n",
+              all_identical ? "yes" : "NO");
+  std::printf("p99 flat across shard counts: %s\n", p99_flat ? "yes" : "NO");
+
+  // ---- JSON sidecar. ----
+  server::json::Object top;
+  top.emplace_back("bench", server::json::Value("sharded_greedy"));
+  server::json::Object cfg;
+  cfg.emplace_back("users", server::json::Value(uint64_t{kUsers}));
+  cfg.emplace_back("groups", server::json::Value(uint64_t{kGroups}));
+  cfg.emplace_back("anchors", server::json::Value(uint64_t{anchors.size()}));
+  cfg.emplace_back("k", server::json::Value(uint64_t{base.k}));
+  cfg.emplace_back("workers",
+                   server::json::Value(uint64_t{pool.num_threads() + 1}));
+  cfg.emplace_back("smoke", server::json::Value(smoke));
+  top.emplace_back("config", server::json::Value(std::move(cfg)));
+  server::json::Object by_shards;
+  for (const ShardResult& r : results) {
+    server::json::Object o;
+    o.emplace_back("evals_per_sec", server::json::Value(r.EvalsPerSec()));
+    o.emplace_back("mean_ms", server::json::Value(r.elapsed_ms.Mean()));
+    o.emplace_back("p50_ms",
+                   server::json::Value(r.elapsed_ms.Percentile(0.5)));
+    o.emplace_back("p99_ms",
+                   server::json::Value(r.elapsed_ms.Percentile(0.99)));
+    o.emplace_back("mean_evaluations", server::json::Value(r.evals.Mean()));
+    o.emplace_back("identical_to_unsharded",
+                   server::json::Value(r.identical_to_unsharded));
+    by_shards.emplace_back("s" + std::to_string(r.shards),
+                           server::json::Value(std::move(o)));
+  }
+  top.emplace_back("by_shards", server::json::Value(std::move(by_shards)));
+  top.emplace_back("identical_across_shard_counts",
+                   server::json::Value(all_identical));
+  top.emplace_back("p99_flat", server::json::Value(p99_flat));
+
+  std::ofstream out(json_path);
+  out << server::json::Value(std::move(top)).Dump() << "\n";
+  out.close();
+  std::printf("wrote %s\n", json_path.c_str());
+
+  return all_identical && p99_flat ? 0 : 1;
+}

@@ -14,6 +14,9 @@
 //   --loops N     event-loop threads (SO_REUSEPORT listener group);
 //                 0 = min(4, hw threads)  (default 0)
 //   --users N     synthetic dataset size   (default 1500)
+//   --shards N    horizontal shards over the user universe (default 1):
+//                 shards the offline index build and every session's greedy
+//                 scatter-gather; byte-identical selections at any N.
 //   --selftest    bind an ephemeral port with two loops, run a scripted
 //                 client against ourselves (including a SIGTERM drain),
 //                 and exit — the mode the example smoke test runs in CI.
@@ -58,6 +61,9 @@ void PrintUsage(FILE* out) {
       "              kernel steers each connect to one of them.\n"
       "              0 = min(4, hw threads) (default 0)\n"
       "  --users N   synthetic dataset size (default 1500)\n"
+      "  --shards N  horizontal shards over the user universe (default 1);\n"
+      "              shards the index build and the greedy scatter-gather,\n"
+      "              selections stay byte-identical to --shards 1\n"
       "  --selftest  scripted self-check on an ephemeral port, then exit\n"
       "  --help      this message\n");
 }
@@ -175,6 +181,7 @@ int main(int argc, char** argv) {
   uint16_t port = 7788;
   uint64_t users = 1500;
   uint64_t loops = 0;  // 0 = auto (min(4, hw threads))
+  uint64_t shards = 1;
   bool selftest = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -223,6 +230,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--users") {
       if (!parse_uint(arg, 100'000'000, &value)) return 2;
       users = value;
+    } else if (arg == "--shards") {
+      // Metrics report at most 64 per-shard counters; larger values would
+      // silently fold into the last slot, so reject them at the flag.
+      if (!parse_uint(arg, 64, &value)) return 2;
+      shards = value;
     } else if (arg == "--selftest") {
       selftest = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -245,8 +257,10 @@ int main(int argc, char** argv) {
   data_cfg.num_ratings = users * 7;
   vexus::mining::DiscoveryOptions discovery;
   discovery.min_support_fraction = 0.02;
+  vexus::index::InvertedIndex::Options index_opts;
+  index_opts.num_shards = shards;  // sharded co-occurrence/MinHash build
   auto engine_result = VexusEngine::Preprocess(
-      BookCrossingGenerator::Generate(data_cfg), discovery, {});
+      BookCrossingGenerator::Generate(data_cfg), discovery, index_opts);
   if (!engine_result.ok()) {
     std::fprintf(stderr, "preprocess failed: %s\n",
                  engine_result.status().ToString().c_str());
@@ -259,6 +273,7 @@ int main(int argc, char** argv) {
   options.session_template.greedy.k = 5;
   options.session_template.greedy.time_limit_ms = 80;
   options.num_workers = 4;
+  options.num_shards = shards;  // scatter-gather greedy + per-shard stats
   ExplorationService svc(&engine, options);
 
   if (selftest) return RunSelfTest(svc);

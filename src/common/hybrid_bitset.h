@@ -143,6 +143,48 @@ class HybridBitset {
   /// this ∩ mask as a new hybrid set (normalized by the result's density).
   HybridBitset AndWith(const Bitset& mask) const;
 
+  // --- word-subrange partials (horizontal sharding, common/shard_map.h) ---
+
+  /// |this ∩ ¬exclude| restricted to words [word_begin, word_end) — the
+  /// sharded trial-coverage partial. Summing over a word-aligned partition
+  /// reproduces CountAndNot exactly (each member id lives in exactly one
+  /// shard). Sparse: probes only the ids inside the range; dense: the
+  /// subrange kernel.
+  size_t CountAndNotRange(const Bitset& exclude, size_t word_begin,
+                          size_t word_end) const;
+
+  /// *out = base | this over words [word_begin, word_end) only. No resize:
+  /// out must already share the universe, so different threads can fill
+  /// disjoint shard ranges of the same output — the scattered rest-table
+  /// build primitive.
+  void UnionIntoRange(const Bitset& base, Bitset* out, size_t word_begin,
+                      size_t word_end) const;
+
+  /// Calls fn(id) for every member with id in [64·word_begin,
+  /// 64·word_end), ascending — per-shard MinHash partial signatures walk
+  /// members this way.
+  template <typename Fn>
+  void ForEachInRange(size_t word_begin, size_t word_end, Fn&& fn) const {
+    if (sparse_) {
+      for (size_t i = SparseLowerBound(word_begin * 64),
+                  e = SparseLowerBound(word_end * 64);
+           i < e; ++i) {
+        fn(ids_[i]);
+      }
+    } else {
+      const std::vector<uint64_t>& words = dense_.words();
+      const size_t end = word_end < words.size() ? word_end : words.size();
+      for (size_t w = word_begin; w < end; ++w) {
+        uint64_t word = words[w];
+        while (word != 0) {
+          unsigned bit = static_cast<unsigned>(__builtin_ctzll(word));
+          fn(static_cast<uint32_t>(w * 64 + bit));
+          word &= word - 1;
+        }
+      }
+    }
+  }
+
   // --- queries against another HybridBitset (same universe) ---
 
   size_t IntersectCount(const HybridBitset& other) const;
@@ -184,6 +226,10 @@ class HybridBitset {
         << other_universe;
   }
   void PromoteToDense();
+  /// Index of the first sparse id ≥ `id_bound` (ids_ is strictly
+  /// ascending). `id_bound` is a 64-bit value so a word range covering the
+  /// top of a 2^32 universe cannot wrap.
+  size_t SparseLowerBound(uint64_t id_bound) const;
 
   size_t universe_ = 0;
   bool sparse_ = true;

@@ -1,0 +1,54 @@
+#include "common/shard_map.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vexus {
+
+namespace {
+constexpr size_t kWordBits = 64;
+size_t WordsFor(size_t bits) { return (bits + kWordBits - 1) / kWordBits; }
+}  // namespace
+
+ShardMap::ShardMap(size_t num_users, size_t num_shards)
+    : num_users_(num_users) {
+  const size_t words = WordsFor(num_users);
+  size_t shards = std::clamp<size_t>(num_shards, 1, std::max<size_t>(1, words));
+  ranges_.resize(shards);
+  const size_t base = words / shards;
+  const size_t extra = words % shards;
+  size_t word = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    Range& r = ranges_[s];
+    r.word_begin = word;
+    word += base + (s < extra ? 1 : 0);
+    r.word_end = word;
+    r.user_begin = static_cast<uint32_t>(r.word_begin * kWordBits);
+    r.user_end = static_cast<uint32_t>(
+        std::min(r.word_end * kWordBits, num_users));
+  }
+  VEXUS_CHECK(word == words);
+}
+
+size_t ShardMap::ShardOf(uint32_t user) const {
+  VEXUS_DCHECK(user < num_users_);
+  const size_t word = user / kWordBits;
+  // Words are dealt base/base+1: the first `extra` shards hold base+1.
+  const size_t words = ranges_.back().word_end;
+  const size_t shards = ranges_.size();
+  const size_t base = words / shards;
+  const size_t extra = words % shards;
+  size_t s;
+  if (base == 0) {
+    s = word;  // one word per shard, `words == shards` after clamping
+  } else if (word < extra * (base + 1)) {
+    s = word / (base + 1);
+  } else {
+    s = extra + (word - extra * (base + 1)) / base;
+  }
+  VEXUS_DCHECK(word >= ranges_[s].word_begin && word < ranges_[s].word_end);
+  return s;
+}
+
+}  // namespace vexus

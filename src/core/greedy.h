@@ -18,6 +18,7 @@
 // is what the 100 ms budget truncates (experiment E1 sweeps it).
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <optional>
 #include <vector>
@@ -28,6 +29,7 @@
 #include "mining/group.h"
 
 namespace vexus {
+class ShardMap;
 class ThreadPool;
 class TraceSpan;
 }  // namespace vexus
@@ -96,6 +98,20 @@ struct GreedyOptions {
   /// balance, large enough to amortize the atomic chunk cursor.
   size_t scan_chunk = 16;
 
+  /// Optional horizontal shard map over the user universe
+  /// (common/shard_map.h; ROADMAP item 2). Non-null with num_shards() > 1
+  /// turns the incremental refinement loop into scatter-gather: per-pass
+  /// rebuilds scatter one task per shard, the candidate scan computes
+  /// per-shard coverage partials over each shard's word-aligned range, and
+  /// a deterministic coordinator folds partials in shard order before the
+  /// earliest-(cand, pos) argmax. Because every partial is an exact
+  /// integer and shard boundaries are word-aligned, S-shard selections are
+  /// byte-identical to 1-shard — selections, objective bits, and swap
+  /// counts (the tested invariant, like kernel tiers and hybrid forms).
+  /// The scatter runs on scan_pool when set, serially otherwise. Ignored
+  /// under kScratch.
+  const ShardMap* shard_map = nullptr;
+
   /// The deadline is rechecked every this many trial evaluations *inside*
   /// the per-candidate position sweep. Checking only between candidates
   /// (the old behaviour) let a single candidate's k-trial sweep blow
@@ -122,6 +138,11 @@ struct GreedySelection {
   size_t passes = 0;
   size_t swaps = 0;
   size_t evaluations = 0;
+  /// Coverage-partial evaluations executed on behalf of each shard (trial
+  /// partials folded by the coordinator plus per-shard rebuild partials).
+  /// Empty when the run was unsharded; the serving layer surfaces these as
+  /// get_stats' per-shard counters.
+  std::vector<uint64_t> shard_evaluations;
   /// True iff the refinement loop stopped *because of* the deadline — i.e.
   /// it had not reached (or trivially started at) a local optimum when time
   /// ran out. A run that converges and only then observes an expired clock

@@ -14,6 +14,7 @@
 #include "common/failpoint.h"
 #include "common/hybrid_bitset.h"
 #include "common/logging.h"
+#include "common/shard_map.h"
 
 namespace vexus::core {
 
@@ -23,8 +24,19 @@ constexpr char kMagic[4] = {'V', 'X', 'S', 'N'};
 constexpr char kTrailerMagic[4] = {'V', 'X', 'T', 'R'};
 constexpr uint32_t kVersionV1 = 1;
 constexpr uint32_t kVersionV2 = 2;
+constexpr uint32_t kVersionV3 = 3;
 constexpr size_t kHeaderSize = 4 + 4 + 8;           // magic, version, num_users
 constexpr size_t kTrailerSize = 4 * 8 + 3 * 4 + 4;  // offsets, crcs, magic
+
+// v3 variable trailer: S shard entries, a postings entry, then a fixed tail.
+constexpr size_t kV3ShardEntrySize = 4 * 8 + 4;  // offset, len, range, crc
+constexpr size_t kV3PostingsEntrySize = 2 * 8 + 4;
+constexpr size_t kV3TrailerTailSize = 8 + 4 + 4;  // num_shards, crc, magic
+
+size_t V3TrailerSize(size_t num_shards) {
+  return num_shards * kV3ShardEntrySize + kV3PostingsEntrySize +
+         kV3TrailerTailSize;
+}
 
 // Group member-block encodings (v2).
 constexpr uint8_t kEncodingSparse = 0;  // uvarint deltas, strictly ascending
@@ -266,6 +278,96 @@ std::string EncodeSnapshot(const mining::GroupStore& groups,
   AppendU32(&trailer, Crc32(trailer.data(), trailer.size()));
   trailer.append(kTrailerMagic, 4);
   VEXUS_DCHECK(trailer.size() == kTrailerSize);
+  payload.append(trailer);
+  return payload;
+}
+
+/// One shard's self-contained group section (v3): every group's descriptors
+/// plus the members inside the shard's word range, in the v2 member-block
+/// encodings (raw blocks span only the shard's words). Descriptors repeat
+/// per section on purpose — that is what makes a section loadable without
+/// touching any other.
+void EncodeGroupsShard(const mining::GroupStore& groups,
+                       const ShardMap::Range& r, std::string* out) {
+  AppendU64(out, groups.size());
+  std::string sparse;           // reused scratch across groups
+  std::vector<uint32_t> ids;    // members of the current group in range
+  for (mining::GroupId g = 0; g < groups.size(); ++g) {
+    const mining::UserGroup& grp = groups.group(g);
+    AppendU32(out, static_cast<uint32_t>(grp.description().size()));
+    for (const mining::Descriptor& d : grp.description()) {
+      AppendU32(out, d.attribute);
+      AppendU32(out, d.value);
+    }
+    ids.clear();
+    grp.members().ForEachInRange(r.word_begin, r.word_end,
+                                 [&](uint32_t u) { ids.push_back(u); });
+    AppendU64(out, ids.size());
+
+    sparse.clear();
+    uint32_t prev = 0;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      AppendVarint(&sparse, i == 0 ? ids[i] : ids[i] - prev);
+      prev = ids[i];
+    }
+    size_t raw_size = r.num_words() * 8;
+    if (sparse.size() <= raw_size) {
+      AppendU8(out, kEncodingSparse);
+      out->append(sparse);
+    } else {
+      AppendU8(out, kEncodingRaw);
+      std::vector<uint64_t> words(r.num_words(), 0);
+      for (uint32_t u : ids) {
+        words[(u >> 6) - r.word_begin] |= uint64_t{1} << (u & 63);
+      }
+      for (uint64_t w : words) AppendU64(out, w);
+    }
+  }
+}
+
+std::string EncodeSnapshotV3(const mining::GroupStore& groups,
+                             const index::InvertedIndex& index,
+                             const ShardMap& shards) {
+  std::string payload;
+  payload.append(kMagic, 4);
+  AppendU32(&payload, kVersionV3);
+  AppendU64(&payload, groups.num_users());
+
+  const size_t S = shards.num_shards();
+  std::vector<uint64_t> offsets(S), lens(S);
+  std::vector<uint32_t> crcs(S);
+  for (size_t s = 0; s < S; ++s) {
+    offsets[s] = payload.size();
+    std::string sec;
+    EncodeGroupsShard(groups, shards.shard(s), &sec);
+    lens[s] = sec.size();
+    payload.append(sec);
+    // Shard 0's CRC starts at byte 0 so the header rides along (same
+    // rationale as v2's groups CRC); later sections cover their own bytes.
+    crcs[s] = s == 0 ? Crc32(payload.data(), offsets[0] + lens[0])
+                     : Crc32(payload.data() + offsets[s], lens[s]);
+  }
+
+  uint64_t postings_offset = payload.size();
+  std::string postings_sec;
+  EncodePostings(index, &postings_sec);
+  payload.append(postings_sec);
+
+  std::string trailer;
+  for (size_t s = 0; s < S; ++s) {
+    AppendU64(&trailer, offsets[s]);
+    AppendU64(&trailer, lens[s]);
+    AppendU64(&trailer, shards.shard(s).user_begin);
+    AppendU64(&trailer, shards.shard(s).user_end);
+    AppendU32(&trailer, crcs[s]);
+  }
+  AppendU64(&trailer, postings_offset);
+  AppendU64(&trailer, postings_sec.size());
+  AppendU32(&trailer, Crc32(postings_sec.data(), postings_sec.size()));
+  AppendU64(&trailer, S);
+  AppendU32(&trailer, Crc32(trailer.data(), trailer.size()));
+  trailer.append(kTrailerMagic, 4);
+  VEXUS_DCHECK(trailer.size() == V3TrailerSize(S));
   payload.append(trailer);
   return payload;
 }
@@ -689,6 +791,258 @@ Result<Snapshot> ParseV2(const std::string& buf, uint64_t num_users) {
                   index::InvertedIndex::FromPostings(std::move(lists))};
 }
 
+// ---------------------------------------------------------------------------
+// v3: per-shard group sections
+// ---------------------------------------------------------------------------
+
+struct V3ShardEntry {
+  uint64_t offset = 0, len = 0, user_begin = 0, user_end = 0;
+  uint32_t crc = 0;
+};
+
+struct V3Trailer {
+  std::vector<V3ShardEntry> shards;
+  uint64_t postings_offset = 0, postings_len = 0;
+  uint32_t postings_crc = 0;
+};
+
+/// Reads + validates the v3 variable trailer: magic, trailer CRC, exact
+/// tiling of the file by the shard sections + postings + trailer, and the
+/// shard ranges matching ShardMap(num_users, S) — the same partition the
+/// preprocessing and serving layers compute, so a shard server and the
+/// snapshot can never disagree about who owns which users. Section CRCs are
+/// NOT checked here — LoadSnapshotShard verifies only its own section.
+Result<V3Trailer> ParseV3Trailer(const std::string& buf, uint64_t num_users) {
+  if (buf.size() < kHeaderSize + V3TrailerSize(1)) return Truncated();
+  if (std::memcmp(buf.data() + buf.size() - 4, kTrailerMagic, 4) != 0) {
+    return Status::Corruption("bad snapshot trailer magic");
+  }
+  Cursor tail(buf.data() + buf.size() - kV3TrailerTailSize,
+              kV3TrailerTailSize);
+  uint64_t num_shards;
+  uint32_t trailer_crc;
+  (void)tail.ReadU64(&num_shards);
+  (void)tail.ReadU32(&trailer_crc);
+  // Bomb guard: each shard costs a trailer entry, so a corrupt count cannot
+  // force a giant allocation before the size check below fails.
+  if (num_shards == 0 || num_shards > buf.size() / kV3ShardEntrySize) {
+    return Status::Corruption("shard count exceeds file size");
+  }
+  const size_t trailer_size = V3TrailerSize(num_shards);
+  if (buf.size() < kHeaderSize + trailer_size) return Truncated();
+  const char* tstart = buf.data() + buf.size() - trailer_size;
+  if (Crc32(tstart, trailer_size - 8) != trailer_crc) {
+    return Status::Corruption("trailer checksum mismatch");
+  }
+
+  V3Trailer t;
+  Cursor cur(tstart, trailer_size - kV3TrailerTailSize);
+  t.shards.resize(num_shards);
+  for (V3ShardEntry& e : t.shards) {
+    (void)cur.ReadU64(&e.offset);
+    (void)cur.ReadU64(&e.len);
+    (void)cur.ReadU64(&e.user_begin);
+    (void)cur.ReadU64(&e.user_end);
+    (void)cur.ReadU32(&e.crc);
+  }
+  (void)cur.ReadU64(&t.postings_offset);
+  (void)cur.ReadU64(&t.postings_len);
+  (void)cur.ReadU32(&t.postings_crc);
+
+  // Sections must tile the file exactly: shard order, postings last. The
+  // per-entry length bound stops a huge u64 from wrapping the running sum.
+  uint64_t expect = kHeaderSize;
+  for (const V3ShardEntry& e : t.shards) {
+    if (e.len < 8 || e.len > buf.size() || e.offset != expect) {
+      return Status::Corruption("snapshot sections do not tile the file");
+    }
+    expect += e.len;
+  }
+  if (t.postings_len < 8 || t.postings_len > buf.size() ||
+      t.postings_offset != expect ||
+      t.postings_offset + t.postings_len + trailer_size != buf.size()) {
+    return Status::Corruption("snapshot sections do not tile the file");
+  }
+
+  ShardMap map(num_users, num_shards);
+  if (map.num_shards() != num_shards) {
+    return Status::Corruption("shard count impossible for universe size");
+  }
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (t.shards[s].user_begin != map.shard(s).user_begin ||
+        t.shards[s].user_end != map.shard(s).user_end) {
+      return Status::Corruption("shard ranges disagree with the shard map");
+    }
+  }
+  return t;
+}
+
+/// Parses one shard's group section, appending each group's in-range member
+/// ids to `ids` (ascending: within a section ids ascend, and sections are
+/// visited in shard order). The first section fixes the group count and
+/// descriptors; later sections must agree (their CRCs already passed, so a
+/// mismatch means the writer was broken, not the media).
+Status ParseShardGroupsSection(
+    const char* data, size_t len, uint64_t num_users,
+    const ShardMap::Range& r, bool first, uint64_t* num_groups,
+    std::vector<std::vector<mining::Descriptor>>* descs,
+    std::vector<std::vector<uint32_t>>* ids) {
+  Cursor cur(data, len);
+  uint64_t n;
+  if (!cur.ReadU64(&n)) return Truncated();
+  if (n > len / 13) {  // ≥ 13 bytes per group, as in v2
+    return Status::Corruption("group count exceeds section size");
+  }
+  if (first) {
+    *num_groups = n;
+    descs->resize(n);
+    ids->resize(n);
+  } else if (n != *num_groups) {
+    return Status::Corruption("shard sections disagree on group count");
+  }
+  std::vector<mining::Descriptor> desc;
+  const uint64_t shard_users = r.user_end - r.user_begin;
+  for (uint64_t g = 0; g < n; ++g) {
+    uint64_t member_count;
+    VEXUS_RETURN_NOT_OK(
+        ParseGroupHeader(&cur, num_users, &desc, &member_count));
+    if (first) {
+      (*descs)[g] = desc;
+    } else {
+      const std::vector<mining::Descriptor>& have = (*descs)[g];
+      bool same = desc.size() == have.size();
+      for (size_t i = 0; same && i < desc.size(); ++i) {
+        same = desc[i].attribute == have[i].attribute &&
+               desc[i].value == have[i].value;
+      }
+      if (!same) {
+        return Status::Corruption(
+            "shard sections disagree on group descriptors");
+      }
+    }
+    if (member_count > shard_users) {
+      return Status::Corruption("group claims more members than shard users");
+    }
+    uint8_t encoding;
+    if (!cur.ReadU8(&encoding)) return Truncated();
+    std::vector<uint32_t>& out = (*ids)[g];
+    out.reserve(out.size() + member_count);
+    if (encoding == kEncodingSparse) {
+      uint64_t id = 0;
+      for (uint64_t i = 0; i < member_count; ++i) {
+        uint64_t delta;
+        if (!cur.ReadVarint(&delta)) return Truncated();
+        if (i == 0) {
+          id = delta;
+        } else {
+          if (delta == 0) {
+            return Status::Corruption("duplicate member id in group");
+          }
+          id += delta;
+        }
+        if (id < r.user_begin || id >= r.user_end) {
+          return Status::Corruption("member id outside shard range");
+        }
+        out.push_back(static_cast<uint32_t>(id));
+      }
+    } else if (encoding == kEncodingRaw) {
+      std::vector<uint64_t> words;
+      if (!cur.ReadWords(r.num_words(), &words)) return Truncated();
+      uint64_t count = 0;
+      for (size_t w = 0; w < words.size(); ++w) {
+        uint64_t bits = words[w];
+        while (bits != 0) {
+          const int b = __builtin_ctzll(bits);
+          bits &= bits - 1;
+          const uint64_t id = (r.word_begin + w) * 64 + b;
+          if (id >= r.user_end) {
+            return Status::Corruption(
+                "raw member block has bits beyond shard range");
+          }
+          out.push_back(static_cast<uint32_t>(id));
+          ++count;
+        }
+      }
+      if (count != member_count) {
+        return Status::Corruption(
+            "raw member block popcount disagrees with member_count");
+      }
+    } else {
+      return Status::Corruption("unknown member-block encoding");
+    }
+  }
+  if (cur.remaining() != 0) {
+    return Status::Corruption("trailing bytes in groups section");
+  }
+  return Status::OK();
+}
+
+/// Folds per-shard id streams into canonical HybridBitset members. Shard
+/// ranges are disjoint and visited in order, so each stream is sorted and
+/// duplicate-free by construction.
+Result<mining::GroupStore> BuildStoreFromShardIds(
+    uint64_t num_users, std::vector<std::vector<mining::Descriptor>>* descs,
+    std::vector<std::vector<uint32_t>>* ids) {
+  const uint64_t sparse_threshold =
+      HybridBitset::SparseThresholdFor(num_users);
+  mining::GroupStore store(num_users);
+  for (size_t g = 0; g < descs->size(); ++g) {
+    HybridBitset members;
+    if ((*ids)[g].size() <= sparse_threshold) {
+      members = HybridBitset::FromSortedIds(num_users, std::move((*ids)[g]));
+    } else {
+      Bitset dense(num_users);
+      for (uint32_t u : (*ids)[g]) dense.Set(u);
+      (*ids)[g] = {};
+      members = HybridBitset::FromBitset(std::move(dense));
+    }
+    VEXUS_RETURN_NOT_OK(AddParsedGroup(&store, g, std::move((*descs)[g]),
+                                       std::move(members)));
+  }
+  return store;
+}
+
+Result<Snapshot> ParseV3(const std::string& buf, uint64_t num_users) {
+  VEXUS_ASSIGN_OR_RETURN(V3Trailer t, ParseV3Trailer(buf, num_users));
+  const size_t S = t.shards.size();
+  const ShardMap map(num_users, S);
+  // CRC every section before parsing any (shard 0's covers the header, same
+  // rationale as v2's groups CRC).
+  for (size_t s = 0; s < S; ++s) {
+    const V3ShardEntry& e = t.shards[s];
+    const uint32_t crc = s == 0 ? Crc32(buf.data(), e.offset + e.len)
+                                : Crc32(buf.data() + e.offset, e.len);
+    if (crc != e.crc) {
+      return Status::Corruption("shard " + std::to_string(s) +
+                                " section checksum mismatch");
+    }
+  }
+  if (Crc32(buf.data() + t.postings_offset, t.postings_len) !=
+      t.postings_crc) {
+    return Status::Corruption("postings section checksum mismatch");
+  }
+
+  uint64_t num_groups = 0;
+  std::vector<std::vector<mining::Descriptor>> descs;
+  std::vector<std::vector<uint32_t>> ids;
+  for (size_t s = 0; s < S; ++s) {
+    VEXUS_RETURN_NOT_OK(ParseShardGroupsSection(
+        buf.data() + t.shards[s].offset, t.shards[s].len, num_users,
+        map.shard(s), /*first=*/s == 0, &num_groups, &descs, &ids));
+  }
+  VEXUS_ASSIGN_OR_RETURN(mining::GroupStore store,
+                         BuildStoreFromShardIds(num_users, &descs, &ids));
+
+  Cursor pcur(buf.data() + t.postings_offset, t.postings_len);
+  std::vector<std::vector<index::Neighbor>> lists;
+  VEXUS_RETURN_NOT_OK(ParsePostings(&pcur, num_groups, &lists));
+  if (pcur.remaining() != 0) {
+    return Status::Corruption("trailing bytes in postings section");
+  }
+  return Snapshot{std::move(store),
+                  index::InvertedIndex::FromPostings(std::move(lists))};
+}
+
 }  // namespace
 
 Status SaveSnapshot(const mining::GroupStore& groups,
@@ -703,7 +1057,15 @@ Status SaveSnapshot(const mining::GroupStore& groups,
                                    std::to_string(options.version));
   }
   TraceSpan save = span != nullptr ? span->Child("save") : TraceSpan();
-  std::string payload = EncodeSnapshot(groups, index, options.version);
+  // num_shards > 1 selects format v3 (per-shard sections); a universe too
+  // small to split clamps back to one shard and stays plain v2/v1, so small
+  // deployments never pay the multi-section trailer.
+  const ShardMap shards(groups.num_users(),
+                        std::max<size_t>(1, options.num_shards));
+  std::string payload =
+      options.version == kVersionV2 && shards.num_shards() > 1
+          ? EncodeSnapshotV3(groups, index, shards)
+          : EncodeSnapshot(groups, index, options.version);
   save.AddCount(payload.size());
   // Simulates silent media corruption between encode and persist: one payload
   // byte is flipped, the write itself "succeeds", and the damage is only
@@ -735,16 +1097,88 @@ Result<Snapshot> LoadSnapshot(const std::string& path, const TraceSpan* span) {
   uint64_t num_users;
   (void)hcur.ReadU32(&version);
   (void)hcur.ReadU64(&num_users);
-  if (version != kVersionV1 && version != kVersionV2) {
+  if (version != kVersionV1 && version != kVersionV2 &&
+      version != kVersionV3) {
     return Status::NotSupported("snapshot version " + std::to_string(version) +
                                 " (expected " + std::to_string(kVersionV1) +
-                                " or " + std::to_string(kVersionV2) + ")");
+                                ".." + std::to_string(kVersionV3) + ")");
   }
   if (num_users > (uint64_t{1} << 32)) {
     return Status::Corruption("user universe exceeds 32-bit user ids");
   }
-  return version == kVersionV1 ? ParseV1(buf, num_users)
-                               : ParseV2(buf, num_users);
+  if (version == kVersionV1) return ParseV1(buf, num_users);
+  if (version == kVersionV2) return ParseV2(buf, num_users);
+  return ParseV3(buf, num_users);
+}
+
+Result<SnapshotShard> LoadSnapshotShard(const std::string& path, size_t shard,
+                                        const TraceSpan* span) {
+  TraceSpan load = span != nullptr ? span->Child("load_shard") : TraceSpan();
+  VEXUS_FAILPOINT("snapshot.load.read");
+  VEXUS_ASSIGN_OR_RETURN(std::string buf, ReadFileFully(path));
+  load.AddCount(buf.size());
+
+  if (buf.size() < kHeaderSize) return Truncated();
+  if (std::memcmp(buf.data(), kMagic, 4) != 0) {
+    return Status::Corruption("bad snapshot magic");
+  }
+  Cursor hcur(buf.data() + 4, kHeaderSize - 4);
+  uint32_t version;
+  uint64_t num_users;
+  (void)hcur.ReadU32(&version);
+  (void)hcur.ReadU64(&num_users);
+  if (num_users > (uint64_t{1} << 32)) {
+    return Status::Corruption("user universe exceeds 32-bit user ids");
+  }
+
+  if (version == kVersionV1 || version == kVersionV2) {
+    // Single-section formats are "shard 0 of 1": a deployment that never
+    // sharded still cold-starts through the same entry point.
+    if (shard != 0) {
+      return Status::InvalidArgument(
+          "shard index out of range for single-section snapshot");
+    }
+    VEXUS_ASSIGN_OR_RETURN(Snapshot snap, version == kVersionV1
+                                              ? ParseV1(buf, num_users)
+                                              : ParseV2(buf, num_users));
+    return SnapshotShard{/*shard=*/0, /*num_shards=*/1, /*user_begin=*/0,
+                         static_cast<uint32_t>(num_users),
+                         std::move(snap.groups)};
+  }
+  if (version != kVersionV3) {
+    return Status::NotSupported("snapshot version " + std::to_string(version) +
+                                " (expected " + std::to_string(kVersionV1) +
+                                ".." + std::to_string(kVersionV3) + ")");
+  }
+
+  VEXUS_ASSIGN_OR_RETURN(V3Trailer t, ParseV3Trailer(buf, num_users));
+  if (shard >= t.shards.size()) {
+    return Status::InvalidArgument(
+        "shard index " + std::to_string(shard) + " out of range (snapshot has " +
+        std::to_string(t.shards.size()) + " shards)");
+  }
+  // Only this shard's section is checksummed — a flipped bit in another
+  // shard's section must not block this shard's cold start (tested).
+  const V3ShardEntry& e = t.shards[shard];
+  const uint32_t crc = shard == 0 ? Crc32(buf.data(), e.offset + e.len)
+                                  : Crc32(buf.data() + e.offset, e.len);
+  if (crc != e.crc) {
+    return Status::Corruption("shard " + std::to_string(shard) +
+                              " section checksum mismatch");
+  }
+
+  const ShardMap map(num_users, t.shards.size());
+  const ShardMap::Range& r = map.shard(shard);
+  uint64_t num_groups = 0;
+  std::vector<std::vector<mining::Descriptor>> descs;
+  std::vector<std::vector<uint32_t>> ids;
+  VEXUS_RETURN_NOT_OK(ParseShardGroupsSection(buf.data() + e.offset, e.len,
+                                              num_users, r, /*first=*/true,
+                                              &num_groups, &descs, &ids));
+  VEXUS_ASSIGN_OR_RETURN(mining::GroupStore store,
+                         BuildStoreFromShardIds(num_users, &descs, &ids));
+  return SnapshotShard{shard, t.shards.size(), r.user_begin, r.user_end,
+                       std::move(store)};
 }
 
 namespace internal {

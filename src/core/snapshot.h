@@ -51,6 +51,20 @@
 // Corruption (truncation, bad magic, checksum mismatch, duplicate member
 // ids, out-of-range references, trailing bytes) is detected on load and
 // reported as Status::Corruption.
+//
+// Format v3 (SnapshotSaveOptions::num_shards > 1; ROADMAP item 2) replaces
+// the single GROUPS section with one *self-contained* section per horizontal
+// shard of the user universe (common/shard_map.h): shard s's section holds,
+// for every group, the descriptors plus the members that fall inside the
+// shard's word-aligned user range (same sparse-delta/raw-words encoding,
+// raw blocks spanning only the shard's words). The variable trailer gains a
+// per-shard entry (offset | len | user_begin | user_end | CRC-32C), so a
+// shard server can cold-start from just its own section via
+// LoadSnapshotShard — and a flipped bit in one shard's section leaves every
+// other shard loadable. Shard member sets are disjoint by construction, so
+// the full-file load folds them back into exactly the store that was saved.
+// Saving with num_shards == 1 (or a universe too small to split) writes
+// plain v2, byte-identical to before.
 #pragma once
 
 #include <string>
@@ -76,6 +90,25 @@ struct SnapshotSaveOptions {
   /// (the crash-durability protocol). Tests may disable to avoid hammering
   /// slow CI disks; production callers should not.
   bool sync = true;
+  /// Horizontal shard count over the user universe. > 1 writes format v3
+  /// with one independently checksummed group section per shard (see the
+  /// format comment above); 1 — or a universe with fewer bitset words than
+  /// shards, which clamps — keeps the single-section v2/v1 output
+  /// byte-identical to before this option existed. Ignored for version 1.
+  size_t num_shards = 1;
+};
+
+/// One shard's slice of a snapshot, loaded independently of the others.
+struct SnapshotShard {
+  size_t shard = 0;
+  size_t num_shards = 1;
+  /// The shard's user range [user_begin, user_end) — word-aligned, matching
+  /// ShardMap(num_users, num_shards).shard(shard).
+  uint32_t user_begin = 0;
+  uint32_t user_end = 0;
+  /// Groups over the *full* universe size, with members restricted to the
+  /// shard's range. Descriptors are complete (every section carries them).
+  mining::GroupStore groups;
 };
 
 /// Serializes the pre-processing outputs to `path` atomically and durably
@@ -92,6 +125,15 @@ Status SaveSnapshot(const mining::GroupStore& groups,
 /// non-null, gets a "load" child span whose count is the byte size read.
 Result<Snapshot> LoadSnapshot(const std::string& path,
                               const TraceSpan* span = nullptr);
+
+/// Loads a single shard's group section from a v3 snapshot, verifying only
+/// that section's CRC (plus the trailer's) — corruption elsewhere in the
+/// file does not block this shard's cold start. v1/v2 files are accepted for
+/// shard 0 of 1 (the whole store), so callers need not special-case
+/// single-section deployments. Corruption / InvalidArgument (shard index out
+/// of range) on failure.
+Result<SnapshotShard> LoadSnapshotShard(const std::string& path, size_t shard,
+                                        const TraceSpan* span = nullptr);
 
 namespace internal {
 

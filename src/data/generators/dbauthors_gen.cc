@@ -136,9 +136,20 @@ Dataset DbAuthorsGenerator::Generate(const Config& config) {
     ds.users().SetNumeric(u, pubs_attr, std::round(pubs));
 
     // Publishing actions: mostly the topic's venues, a few cross-area.
-    int n_venues = std::max(
-        1, static_cast<int>(std::round(rng.Normal(config.venues_per_author,
-                                                  1.0))));
+    // Normal() is unbounded, so clamp the draw *as a double* before the int
+    // cast: casting an out-of-range double (a pathological
+    // venues_per_author config, or NaN) is UB, and the old
+    // `max(1, static_cast<int>(...))` only repaired the damage after the
+    // cast had already executed. No author exceeds the venue catalog.
+    double venue_draw =
+        std::round(rng.Normal(config.venues_per_author, 1.0));
+    const double max_venues = static_cast<double>(Venues().size());
+    if (!(venue_draw > 1.0)) {  // NaN lands here too
+      venue_draw = 1.0;
+    } else if (venue_draw > max_venues) {
+      venue_draw = max_venues;
+    }
+    int n_venues = static_cast<int>(venue_draw);
     double remaining = pubs;
     for (int v = 0; v < n_venues && remaining >= 1.0; ++v) {
       std::string venue;

@@ -38,18 +38,6 @@ Status LineClient::SendLine(const std::string& line) {
   return Status::OK();
 }
 
-int PollLapTimeoutMillis(double remaining_ms) {
-  // NaN compares false against everything, so it falls through to the
-  // "expired" lap below — matching Deadline::AfterMillis, which treats a
-  // NaN budget as born-expired.
-  if (!(remaining_ms > 0)) return 0;
-  // Cap each lap: the deadline (not poll) owns the total wait, and capping
-  // keeps the int cast in-range for Deadline's 1e12-style infinite
-  // sentinels (the pre-fix cast of those values was UB; see client.h).
-  constexpr double kMaxLapMs = 60'000;
-  return static_cast<int>(std::ceil(std::min(remaining_ms, kMaxLapMs)));
-}
-
 Result<std::string> LineClient::ReadLine(double timeout_ms) {
   // One deadline for the whole call: every lap below re-derives its budget
   // from this, so EAGAIN laps, partial lines, and poll wakeups with no

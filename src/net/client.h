@@ -25,16 +25,6 @@
 
 namespace vexus::net {
 
-/// Poll timeout (ms) for one ReadLine wait lap given the remaining deadline
-/// budget. Exposed for the regression tests: the pre-fix code computed
-/// `static_cast<int>(remaining) + 1`, which is UB for NaN and for budgets
-/// beyond INT_MAX (Deadline-style "infinite" sentinels like 1e12) — in
-/// practice the cast produced a negative value that poll(2) reads as
-/// "block forever", turning a bounded ReadLine into an unbounded one. Laps
-/// are additionally capped so quasi-infinite budgets still re-check the
-/// deadline periodically instead of parking in one giant poll.
-int PollLapTimeoutMillis(double remaining_ms);
-
 class LineClient {
  public:
   /// Connects (blocking, bounded by timeout_ms) and returns a ready client.

@@ -1,7 +1,9 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 #include <fcntl.h>
 #include <netinet/in.h>
@@ -140,6 +142,18 @@ Result<std::pair<Fd, Fd>> NonBlockingSocketPair() {
     return ErrnoStatus("socketpair", errno);
   }
   return std::make_pair(Fd(fds[0]), Fd(fds[1]));
+}
+
+int PollLapTimeoutMillis(double remaining_ms) {
+  // NaN compares false against everything, so it falls through to the
+  // "expired" lap below — matching Deadline::AfterMillis, which treats a
+  // NaN budget as born-expired.
+  if (!(remaining_ms > 0)) return 0;
+  // Cap each lap: the deadline (not poll) owns the total wait, and capping
+  // keeps the int cast in-range for Deadline's 1e12-style infinite
+  // sentinels (the pre-fix cast of those values was UB; see socket.h).
+  constexpr double kMaxLapMs = 60'000;
+  return static_cast<int>(std::ceil(std::min(remaining_ms, kMaxLapMs)));
 }
 
 }  // namespace vexus::net

@@ -83,4 +83,16 @@ Result<Fd> ConnectTcp(const std::string& host, uint16_t port,
 /// (drive OnReadable/OnWritable without a real listener).
 Result<std::pair<Fd, Fd>> NonBlockingSocketPair();
 
+/// Poll/epoll timeout (ms) for one wait lap given the remaining deadline
+/// budget. Shared by every spot that narrows a double budget to the int
+/// poll(2)/epoll_wait(2) expect, because the naive `static_cast<int>` is
+/// wrong three ways: it is UB for NaN and for budgets beyond INT_MAX
+/// (Deadline-style "infinite" sentinels like 1e12 — in practice the cast
+/// went negative, which the kernel reads as "block forever", turning a
+/// bounded wait into an unbounded one); and it truncates sub-millisecond
+/// budgets to a busy-spinning 0 instead of rounding them up. Semantics:
+/// NaN or expired → 0, sub-ms → ceil, and every lap capped (60 s) so
+/// quasi-infinite budgets still re-check their deadline periodically.
+int PollLapTimeoutMillis(double remaining_ms);
+
 }  // namespace vexus::net

@@ -156,7 +156,9 @@ struct TcpServer::EventLoop {
 TcpServer::TcpServer(ExplorationService* service, TcpServerOptions options)
     : service_(service), options_(std::move(options)) {
   VEXUS_CHECK(service_ != nullptr);
-  if (options_.tick_ms <= 0) options_.tick_ms = 100;
+  // `!(x > 0)` and not `x <= 0`: NaN compares false both ways, so the old
+  // form let a NaN tick through to the epoll timeout cast below (UB).
+  if (!(options_.tick_ms > 0)) options_.tick_ms = 100;
   num_loops_ = options_.num_loops;
   if (num_loops_ == 0) {
     const size_t hw = std::max(1u, std::thread::hardware_concurrency());
@@ -272,7 +274,12 @@ void TcpServer::EventLoop::Run() {
   const double tick_ms = server->options_.tick_ms;
 
   for (;;) {
-    int timeout = static_cast<int>(tick_ms);
+    // Shared lap clamp (socket.h), not a bare cast: a sub-millisecond tick
+    // used to truncate to 0 (a busy-spinning epoll), and a tick beyond
+    // INT_MAX cast to a negative timeout the kernel reads as "block
+    // forever" — which parked the loop and stopped idle/stall sweeps and
+    // drain checks entirely.
+    int timeout = PollLapTimeoutMillis(tick_ms);
     int n = ::epoll_wait(epoll.get(), events, kMaxEvents, timeout);
     if (n < 0 && errno != EINTR) {
       VEXUS_LOG(Error) << "loop " << index

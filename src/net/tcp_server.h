@@ -150,6 +150,12 @@ class TcpServer {
   /// Resolved loop count (valid after construction).
   size_t num_loops() const { return num_loops_; }
 
+  /// Effective options after constructor normalization (e.g. a non-finite
+  /// or non-positive tick_ms falls back to the default) — what the event
+  /// loops actually run with. Regression surface for the epoll-timeout
+  /// clamp.
+  const TcpServerOptions& options() const { return options_; }
+
   /// Triggers the drain sequence without blocking. Async-signal-safe: one
   /// atomic store and one eventfd write per loop — install it in a SIGTERM
   /// handler.

@@ -101,7 +101,19 @@ void AsciiCanvas::Put(long col, long row, char c) {
 void AsciiCanvas::Circle(double cx, double cy, double r, char glyph,
                          const std::string& label) {
   // Character cells are ~2:1 tall; compensate on the y axis.
-  int steps = std::max(8, static_cast<int>(r * 8));
+  //
+  // The step count is bounded *before* the int cast: r is caller-controlled
+  // and `static_cast<int>(r * 8)` is UB once r * 8 leaves int range (a
+  // degenerate layout radius, or NaN). Past ~4096 steps extra samples land
+  // on cells already painted anyway — a terminal canvas has nowhere near
+  // that many perimeter cells — so the cap costs nothing visually.
+  constexpr double kMaxSteps = 4096;
+  const double want = r * 8;
+  int steps = 8;  // NaN falls through the comparison to the floor
+  if (want > 8) {
+    steps = want < kMaxSteps ? static_cast<int>(want)
+                             : static_cast<int>(kMaxSteps);
+  }
   for (int i = 0; i < steps; ++i) {
     double a = 2 * M_PI * i / steps;
     Put(static_cast<long>(std::lround(cx + r * std::cos(a))),

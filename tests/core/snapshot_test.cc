@@ -522,6 +522,287 @@ TEST(SnapshotFormatTest, CorruptionMatrixEveryFlippedBitIsRejected) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// v3: per-shard group sections (ROADMAP item 2)
+// ---------------------------------------------------------------------------
+
+uint64_t ReadU64At(const std::string& b, size_t off) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(b[off + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+struct ShardSpan {
+  size_t offset = 0;
+  size_t len = 0;
+};
+
+/// Shard-section spans straight from a v3 file's variable trailer (layout in
+/// core/snapshot.h): the fixed 16-byte tail carries the shard count, each
+/// 36-byte entry leads with offset | len.
+std::vector<ShardSpan> ShardSpansOf(const std::string& file) {
+  const size_t num_shards = ReadU64At(file, file.size() - 16);
+  const size_t trailer_size = num_shards * 36 + 36;
+  const size_t base = file.size() - trailer_size;
+  std::vector<ShardSpan> spans(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    spans[s].offset = ReadU64At(file, base + s * 36);
+    spans[s].len = ReadU64At(file, base + s * 36 + 8);
+  }
+  return spans;
+}
+
+std::vector<uint32_t> MembersInRange(const mining::UserGroup& g,
+                                     uint32_t begin, uint32_t end) {
+  std::vector<uint32_t> ids;
+  g.members().ForEach([&](uint32_t u) {
+    if (u >= begin && u < end) ids.push_back(u);
+  });
+  return ids;
+}
+
+TEST(SnapshotShardedTest, ShardedSaveRoundTripsIdenticallyToUnsharded) {
+  auto [store, index] = MixedWorld(1000);
+  std::string p2 = TempPath("sharded_v2");
+  std::string p3 = TempPath("sharded_v3");
+  SnapshotSaveOptions base;
+  base.sync = false;
+  ASSERT_TRUE(SaveSnapshot(store, index, p2, base).ok());
+  SnapshotSaveOptions sharded = base;
+  sharded.num_shards = 4;
+  ASSERT_TRUE(SaveSnapshot(store, index, p3, sharded).ok());
+
+  // The sharded file really is the multi-section format (version word = 3).
+  std::string file = ReadWholeFile(p3);
+  ASSERT_GE(file.size(), 16u);
+  EXPECT_EQ(static_cast<unsigned char>(file[4]), 3);
+  EXPECT_EQ(ShardSpansOf(file).size(), 4u);
+
+  auto l2 = LoadSnapshot(p2);
+  auto l3 = LoadSnapshot(p3);
+  ASSERT_TRUE(l2.ok()) << l2.status().ToString();
+  ASSERT_TRUE(l3.ok()) << l3.status().ToString();
+  ExpectStoresEqual(store, l3->groups);
+  ExpectStoresEqual(l2->groups, l3->groups);
+  ASSERT_EQ(l2->index.num_groups(), l3->index.num_groups());
+  for (mining::GroupId g = 0; g < store.size(); ++g) {
+    const auto& la = l2->index.Neighbors(g);
+    const auto& lb = l3->index.Neighbors(g);
+    ASSERT_EQ(la.size(), lb.size());
+    for (size_t i = 0; i < la.size(); ++i) {
+      EXPECT_EQ(la[i].group, lb[i].group);
+      EXPECT_EQ(la[i].similarity, lb[i].similarity);
+    }
+  }
+  std::remove(p2.c_str());
+  std::remove(p3.c_str());
+}
+
+TEST(SnapshotShardedTest, SingleShardOptionStaysByteIdenticalV2) {
+  auto [store, index] = MixedWorld(500);
+  std::string pa = TempPath("oneshard_a");
+  std::string pb = TempPath("oneshard_b");
+  std::string pc = TempPath("oneshard_c");
+  SnapshotSaveOptions plain;
+  plain.sync = false;
+  ASSERT_TRUE(SaveSnapshot(store, index, pa, plain).ok());
+  SnapshotSaveOptions one = plain;
+  one.num_shards = 1;
+  ASSERT_TRUE(SaveSnapshot(store, index, pb, one).ok());
+  EXPECT_EQ(ReadWholeFile(pa), ReadWholeFile(pb));
+
+  // A universe too small to split clamps back to one shard: 60 users is one
+  // bitset word, so even num_shards = 8 must emit plain v2.
+  auto [tiny_store, tiny_index] = MixedWorld(60);
+  SnapshotSaveOptions eight = plain;
+  eight.num_shards = 8;
+  ASSERT_TRUE(SaveSnapshot(tiny_store, tiny_index, pc, eight).ok());
+  std::string tiny = ReadWholeFile(pc);
+  EXPECT_EQ(static_cast<unsigned char>(tiny[4]), 2);
+  std::remove(pa.c_str());
+  std::remove(pb.c_str());
+  std::remove(pc.c_str());
+}
+
+TEST(SnapshotShardedTest, ShardLoadRestrictsMembersToOwnedRange) {
+  auto [store, index] = MixedWorld(1000);
+  std::string path = TempPath("shardload");
+  SnapshotSaveOptions opts;
+  opts.sync = false;
+  opts.num_shards = 4;
+  ASSERT_TRUE(SaveSnapshot(store, index, path, opts).ok());
+
+  size_t total_members = 0;
+  uint32_t prev_end = 0;
+  for (size_t s = 0; s < 4; ++s) {
+    auto shard = LoadSnapshotShard(path, s);
+    ASSERT_TRUE(shard.ok()) << "shard " << s << ": "
+                            << shard.status().ToString();
+    EXPECT_EQ(shard->shard, s);
+    EXPECT_EQ(shard->num_shards, 4u);
+    EXPECT_EQ(shard->user_begin, prev_end);  // ranges tile the universe
+    prev_end = shard->user_end;
+    EXPECT_EQ(shard->user_begin % 64, 0u);   // word-aligned boundaries
+    ASSERT_EQ(shard->groups.size(), store.size());
+    ASSERT_EQ(shard->groups.num_users(), store.num_users());
+    for (mining::GroupId g = 0; g < store.size(); ++g) {
+      EXPECT_TRUE(shard->groups.group(g).description() ==
+                  store.group(g).description());
+      std::vector<uint32_t> expect = MembersInRange(
+          store.group(g), shard->user_begin, shard->user_end);
+      std::vector<uint32_t> got;
+      shard->groups.group(g).members().ForEach(
+          [&](uint32_t u) { got.push_back(u); });
+      EXPECT_EQ(got, expect) << "shard " << s << " group " << g;
+      total_members += got.size();
+    }
+  }
+  EXPECT_EQ(prev_end, store.num_users());
+  size_t expect_members = 0;
+  for (mining::GroupId g = 0; g < store.size(); ++g) {
+    expect_members += store.group(g).size();
+  }
+  EXPECT_EQ(total_members, expect_members);  // shards partition every group
+
+  EXPECT_TRUE(LoadSnapshotShard(path, 4).status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotShardedTest, ShardLoaderAcceptsV2AsSingleShard) {
+  auto [store, index] = MixedWorld(400);
+  std::string path = TempPath("shardv2");
+  SnapshotSaveOptions opts;
+  opts.sync = false;
+  ASSERT_TRUE(SaveSnapshot(store, index, path, opts).ok());
+  auto shard = LoadSnapshotShard(path, 0);
+  ASSERT_TRUE(shard.ok()) << shard.status().ToString();
+  EXPECT_EQ(shard->num_shards, 1u);
+  EXPECT_EQ(shard->user_begin, 0u);
+  EXPECT_EQ(shard->user_end, 400u);
+  ExpectStoresEqual(store, shard->groups);
+  EXPECT_TRUE(LoadSnapshotShard(path, 1).status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotShardedTest, FlippedShardSectionLeavesOtherShardsLoadable) {
+  // The independence contract: one shard's media corruption is that shard's
+  // problem. The full-file load must reject the snapshot, but every OTHER
+  // shard must still cold-start from its own section.
+  auto [store, index] = MixedWorld(1000);
+  std::string path = TempPath("shardflip");
+  SnapshotSaveOptions opts;
+  opts.sync = false;
+  opts.num_shards = 4;
+  ASSERT_TRUE(SaveSnapshot(store, index, path, opts).ok());
+  const std::string good = ReadWholeFile(path);
+  std::remove(path.c_str());
+  const std::vector<ShardSpan> spans = ShardSpansOf(good);
+  ASSERT_EQ(spans.size(), 4u);
+
+  for (size_t victim = 0; victim < spans.size(); ++victim) {
+    std::string mutated = good;
+    mutated[spans[victim].offset + spans[victim].len / 2] ^= 0x40;
+    std::string mpath = TempPath("shardflip_mut");
+    {
+      std::ofstream out(mpath, std::ios::binary);
+      out.write(mutated.data(), static_cast<std::streamsize>(mutated.size()));
+    }
+    auto full = LoadSnapshot(mpath);
+    ASSERT_FALSE(full.ok()) << "victim " << victim;
+    EXPECT_TRUE(full.status().IsCorruption()) << full.status().ToString();
+    for (size_t s = 0; s < spans.size(); ++s) {
+      auto shard = LoadSnapshotShard(mpath, s);
+      if (s == victim) {
+        ASSERT_FALSE(shard.ok()) << "victim " << victim;
+        EXPECT_TRUE(shard.status().IsCorruption())
+            << shard.status().ToString();
+      } else {
+        ASSERT_TRUE(shard.ok())
+            << "victim " << victim << " blocked shard " << s << ": "
+            << shard.status().ToString();
+        for (mining::GroupId g = 0; g < store.size(); ++g) {
+          std::vector<uint32_t> expect = MembersInRange(
+              store.group(g), shard->user_begin, shard->user_end);
+          std::vector<uint32_t> got;
+          shard->groups.group(g).members().ForEach(
+              [&](uint32_t u) { got.push_back(u); });
+          EXPECT_EQ(got, expect);
+        }
+      }
+    }
+    std::remove(mpath.c_str());
+  }
+}
+
+TEST(SnapshotShardedTest, TruncatedTrailingSectionIsCorruption) {
+  auto [store, index] = MixedWorld(1000);
+  std::string path = TempPath("shardtrunc");
+  SnapshotSaveOptions opts;
+  opts.sync = false;
+  opts.num_shards = 4;
+  ASSERT_TRUE(SaveSnapshot(store, index, path, opts).ok());
+  const std::string good = ReadWholeFile(path);
+  std::remove(path.c_str());
+  const std::vector<ShardSpan> spans = ShardSpansOf(good);
+  const size_t last_end = spans.back().offset + spans.back().len;
+
+  // Cuts landing inside the trailer, inside the postings section, exactly at
+  // the end of the last shard section, and inside it — no prefix may load,
+  // as a full file or as any single shard.
+  for (size_t cut : {good.size() - 1, good.size() - 17, last_end + 4,
+                     last_end, last_end - spans.back().len / 2}) {
+    auto r = LoadBytes(good.substr(0, cut), "shardtrunc_cut");
+    ASSERT_FALSE(r.ok()) << "cut " << cut;
+    EXPECT_TRUE(r.status().IsCorruption()) << r.status().ToString();
+
+    std::string cpath = TempPath("shardtrunc_shard");
+    {
+      std::ofstream out(cpath, std::ios::binary);
+      out.write(good.data(), static_cast<std::streamsize>(cut));
+    }
+    for (size_t s = 0; s < spans.size(); ++s) {
+      auto shard = LoadSnapshotShard(cpath, s);
+      ASSERT_FALSE(shard.ok()) << "cut " << cut << " shard " << s;
+      EXPECT_TRUE(shard.status().IsCorruption())
+          << shard.status().ToString();
+    }
+    std::remove(cpath.c_str());
+  }
+}
+
+TEST(SnapshotShardedTest, CorruptionMatrixFlippedBitsNeverLoadCleanly) {
+  // The v2 matrix test's v3 sibling: flip one bit in every byte of a small
+  // sharded snapshot; every flip must surface as Corruption (or
+  // NotSupported in the version field), never a crash or silent success.
+  auto [store, index] = MixedWorld(300);
+  std::string path = TempPath("shardmatrix");
+  SnapshotSaveOptions opts;
+  opts.sync = false;
+  opts.num_shards = 4;
+  ASSERT_TRUE(SaveSnapshot(store, index, path, opts).ok());
+  const std::string good = ReadWholeFile(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(static_cast<unsigned char>(good[4]), 3);
+
+  for (size_t byte = 0; byte < good.size(); ++byte) {
+    std::string mutated = good;
+    mutated[byte] ^= static_cast<char>(1 << (byte % 8));
+    auto r = LoadBytes(mutated, "shardmatrixbit");
+    ASSERT_FALSE(r.ok()) << "byte " << byte << " was accepted";
+    EXPECT_TRUE(r.status().IsCorruption() || r.status().IsNotSupported())
+        << "byte " << byte << ": " << r.status().ToString();
+  }
+}
+
 TEST(SnapshotDurabilityTest, SaveIssuesFsyncsForFileAndDirectory) {
   // The regression this guards: SaveSnapshot used to write + rename without
   // a single fsync, so a crash after rename could publish a file whose

@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -176,6 +177,31 @@ TEST(DbAuthorsGenTest, SeniorityCorrelatesWithPublications) {
   ASSERT_GT(jr_n, 0u);
   ASSERT_GT(vs_n, 0u);
   EXPECT_GT(vs_sum / vs_n, 3.0 * (jr_sum / jr_n));
+}
+
+TEST(DbAuthorsGenTest, ExtremeVenueMeansClampToCatalogNotUndefinedCasts) {
+  // venues_per_author feeds a Normal() draw that used to be cast straight
+  // to int — UB for draws beyond int range (a huge configured mean makes
+  // that certain, and a NaN mean poisons every draw). The clamp must bound
+  // the count to [1, |venue catalog|] before the cast, so even absurd
+  // configs generate a valid dataset.
+  const double extremes[] = {1e18, -1e18,
+                             std::numeric_limits<double>::infinity(),
+                             std::numeric_limits<double>::quiet_NaN()};
+  const size_t catalog = DbAuthorsGenerator::Venues().size();
+  for (double mean : extremes) {
+    SCOPED_TRACE(mean);
+    DbAuthorsGenerator::Config cfg;
+    cfg.num_authors = 50;
+    cfg.venues_per_author = mean;
+    Dataset ds = DbAuthorsGenerator::Generate(cfg);
+    ASSERT_TRUE(ds.Validate().ok());
+    EXPECT_EQ(ds.num_users(), 50u);
+    // Every author publishes somewhere, and nobody exceeds the catalog
+    // (actions are per distinct venue after dedup).
+    EXPECT_GT(ds.num_actions(), 0u);
+    EXPECT_LE(ds.num_actions(), 50u * catalog);
+  }
 }
 
 TEST(DbAuthorsGenTest, VenuesAreRegisteredItems) {

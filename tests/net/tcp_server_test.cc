@@ -7,6 +7,7 @@
 #include <arpa/inet.h>
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <memory>
 #include <netinet/in.h>
 #include <string>
@@ -80,6 +81,49 @@ TEST_F(TcpServerTest, StartsOnEphemeralPortAndAnswersHealth) {
   auto resp = client->Call(Health());
   ASSERT_TRUE(resp.ok()) << resp.status().ToString();
   EXPECT_TRUE(resp->status.ok());
+}
+
+TEST_F(TcpServerTest, PathologicalTickValuesAreClampedNotCastToEpoll) {
+  // The event loop narrows tick_ms to epoll_wait's int timeout. Pre-fix
+  // that was a bare static_cast: NaN slipped past the old `tick_ms <= 0`
+  // validation (NaN compares false both ways) straight into UB, and a
+  // beyond-INT_MAX tick cast to a negative timeout the kernel reads as
+  // "block forever". Both now normalize / route through the shared
+  // PollLapTimeoutMillis clamp.
+  ExplorationService svc(engine_, FastOptions());
+  {
+    TcpServerOptions opts;
+    opts.tick_ms = std::numeric_limits<double>::quiet_NaN();
+    TcpServer server(&svc, opts);
+    EXPECT_EQ(server.options().tick_ms, 100.0);  // pre-fix: stayed NaN
+  }
+  {
+    // A Deadline-style quasi-infinite tick: the loop must still answer and
+    // drain (the lap clamp keeps the timeout positive and bounded).
+    TcpServerOptions opts;
+    opts.tick_ms = 1e12;
+    TcpServer server(&svc, opts);
+    ASSERT_TRUE(server.Start().ok());
+    auto client = LineClient::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    auto resp = client->Call(Health());
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    EXPECT_TRUE(resp->status.ok());
+  }
+  {
+    // Sub-millisecond ticks used to truncate to a busy-spinning 0; the
+    // clamp rounds them up to 1 ms and the loop serves normally.
+    TcpServerOptions opts;
+    opts.tick_ms = 0.25;
+    TcpServer server(&svc, opts);
+    ASSERT_TRUE(server.Start().ok());
+    EXPECT_EQ(PollLapTimeoutMillis(server.options().tick_ms), 1);
+    auto client = LineClient::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    auto resp = client->Call(Health());
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    EXPECT_TRUE(resp->status.ok());
+  }
 }
 
 TEST_F(TcpServerTest, PipelinedRequestsComeBackInOrder) {

@@ -102,6 +102,24 @@ TEST(AsciiCanvasTest, CircleDrawsGlyphs) {
   EXPECT_NE(s.find("g1"), std::string::npos);
 }
 
+TEST(AsciiCanvasTest, PathologicalCircleRadiiAreSafeAndBounded) {
+  // The arc step count used to be `static_cast<int>(r * 8)` — UB the
+  // moment r * 8 leaves int range, and a multi-second busy loop just
+  // below it. Degenerate radii (a force layout blowing up, NaN) must
+  // neither crash nor hang; everything lands outside the grid and the
+  // bounded Put() drops it.
+  AsciiCanvas c(20, 10);
+  c.Circle(10, 5, 1e18, 'x');                                   // r*8 > INT_MAX
+  c.Circle(10, 5, std::numeric_limits<double>::infinity(), 'x');
+  c.Circle(10, 5, std::numeric_limits<double>::quiet_NaN(), 'x');
+  c.Circle(10, 5, -1e18, 'x');
+  EXPECT_EQ(c.ToString().find('x'), std::string::npos);
+
+  // A sane circle still paints after the clamp.
+  c.Circle(10, 5, 4, 'O');
+  EXPECT_NE(c.ToString().find('O'), std::string::npos);
+}
+
 TEST(PaletteTest, CyclesDeterministically) {
   EXPECT_EQ(PaletteColor(0), PaletteColor(10));
   EXPECT_NE(PaletteColor(0), PaletteColor(1));
