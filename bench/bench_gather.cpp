@@ -1,0 +1,350 @@
+// bench_gather — the multi-box scatter-gather serving path end to end
+// (ISSUE 10 tentpole; DESIGN.md §16): shard backends behind real loopback
+// TCP servers, a gather coordinator with retry/backoff/breaker and a hedging
+// shard client, explorer sessions on top.
+//
+// Two legs, two gates the exit code enforces:
+//
+//   identity   — healthy fleet: every gathered screen (group ids AND the
+//                coverage/diversity doubles, compared with memcmp) equals
+//                the single-process run over the same engine. Sharding
+//                across boxes is a deployment knob, never a results knob.
+//   slow-shard — with a chaos failpoint stalling eval_partial past the lap
+//                budget on a seeded schedule, select_group p99 stays
+//                ≤ 100 ms (the paper's continuity budget): the hedge re-send
+//                rescues stalled laps at ~p99 delay, retries absorb the
+//                rest, and no request ever hangs.
+//
+// Reported per leg: mean / p50 / p99 / max select latency, degraded-answer
+// counts, and the fleet's hedge statistics. `--smoke` shrinks the world for
+// CI. JSON sidecar: argv[1] (default BENCH_gather.json).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_util.h"
+#include "common/failpoint.h"
+#include "common/thread_pool.h"
+#include "core/engine.h"
+#include "core/snapshot.h"
+#include "data/generators/bookcrossing_gen.h"
+#include "net/shard_client.h"
+#include "net/tcp_server.h"
+#include "server/gather.h"
+#include "server/service.h"
+
+using namespace vexus;
+using namespace vexus::bench;
+
+using net::ShardClient;
+using net::TcpServer;
+using net::TcpServerOptions;
+using server::ExplorationService;
+using server::GatherCoordinator;
+using server::Request;
+using server::RequestType;
+using server::Response;
+using server::ServiceOptions;
+using server::ShardTransport;
+
+namespace {
+
+constexpr uint64_t kGeneration = 11;
+constexpr size_t kShards = 2;
+
+ServiceOptions SessionOptions() {
+  ServiceOptions opts;
+  opts.session_template.greedy.k = 5;
+  opts.session_template.greedy.time_limit_ms = 500;
+  opts.num_workers = 2;
+  opts.dispatcher.default_budget_ms = 2000;
+  return opts;
+}
+
+Response Start(ExplorationService& svc, const std::string& id) {
+  Request req;
+  req.type = RequestType::kStartSession;
+  req.session_id = id;
+  return svc.Call(std::move(req));
+}
+
+Response Select(ExplorationService& svc, const std::string& id,
+                uint32_t group) {
+  Request req;
+  req.type = RequestType::kSelectGroup;
+  req.session_id = id;
+  req.group = group;
+  return svc.Call(std::move(req));
+}
+
+/// One leg's latency + outcome accounting.
+struct LegStats {
+  Series select_ms;
+  uint64_t ok = 0;
+  uint64_t degraded = 0;
+  uint64_t errors = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_gather.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+
+  Banner("bench_gather",
+         "fault-tolerant multi-box scatter-gather: shard backends over "
+         "loopback TCP, deadline-budgeted gather with hedging + breaker; "
+         "gates: healthy identity, slow-shard select p99 <= 100 ms");
+
+  const size_t kUsers = smoke ? 400 : 1200;
+  const int kSessions = smoke ? 12 : 40;
+  const int kSelectsPerSession = 2;
+
+  data::BookCrossingGenerator::Config cfg;
+  cfg.num_users = static_cast<uint32_t>(kUsers);
+  cfg.num_books = static_cast<uint32_t>(kUsers * 5 / 4);
+  cfg.num_ratings = static_cast<uint32_t>(kUsers * 6);
+  mining::DiscoveryOptions disc;
+  disc.min_support_fraction = 0.03;
+  auto engine_or = core::VexusEngine::Preprocess(
+      data::BookCrossingGenerator::Generate(cfg), disc, {});
+  if (!engine_or.ok()) {
+    std::fprintf(stderr, "preprocess failed: %s\n",
+                 engine_or.status().ToString().c_str());
+    return 1;
+  }
+  core::VexusEngine engine = std::move(engine_or).ValueOrDie();
+  std::printf("world: %zu users, %zu groups%s\n", kUsers,
+              engine.groups().size(), smoke ? " (smoke)" : "");
+
+  // ---- Fleet: S shard backends on loopback TCP. ----
+  const std::string snap_path =
+      "bench_gather.snap." + std::to_string(::getpid());
+  core::SnapshotSaveOptions save;
+  save.num_shards = kShards;
+  save.sync = false;
+  if (auto s = core::SaveSnapshot(engine.groups(), engine.index(), snap_path,
+                                  save);
+      !s.ok()) {
+    std::fprintf(stderr, "snapshot save failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<std::unique_ptr<ExplorationService>> backends;
+  std::vector<std::unique_ptr<TcpServer>> servers;
+  std::vector<uint16_t> ports;
+  for (size_t s = 0; s < kShards; ++s) {
+    auto shard = core::LoadSnapshotShard(snap_path, s);
+    if (!shard.ok()) {
+      std::fprintf(stderr, "shard %zu load failed: %s\n", s,
+                   shard.status().ToString().c_str());
+      return 1;
+    }
+    ServiceOptions bopts;
+    // Headroom matters: a stalled eval_partial parks a worker for its full
+    // sleep, and the hedge re-send must find a FREE worker to rescue the
+    // lap — two workers would let back-to-back stalls absorb the pool and
+    // turn every hedge into a queue wait.
+    bopts.num_workers = 4;
+    backends.push_back(std::make_unique<ExplorationService>(
+        std::move(shard).ValueOrDie(), kGeneration, bopts));
+    TcpServerOptions nopts;
+    nopts.port = 0;
+    nopts.num_loops = 1;
+    servers.push_back(std::make_unique<TcpServer>(backends[s].get(), nopts));
+    if (auto st = servers[s]->Start(); !st.ok()) {
+      std::fprintf(stderr, "backend %zu listen failed: %s\n", s,
+                   st.ToString().c_str());
+      return 1;
+    }
+    ports.push_back(servers[s]->port());
+  }
+  std::remove(snap_path.c_str());
+
+  ThreadPool gather_pool(kShards);
+  std::vector<std::unique_ptr<ShardTransport>> transports;
+  std::vector<ShardClient*> clients;  // borrowed for hedge stats
+  for (uint16_t p : ports) {
+    auto client = std::make_unique<ShardClient>("127.0.0.1", p);
+    clients.push_back(client.get());
+    transports.push_back(std::move(client));
+  }
+  GatherCoordinator::Options gopts;
+  gopts.num_users = engine.groups().num_users();
+  gopts.generation = kGeneration;
+  gopts.backoff.seed = 17;
+  // Healthy loopback laps run ~1.5 ms p99; 25 ms is 15x headroom while
+  // keeping the retry ladder snappy — a lap where BOTH the primary and its
+  // hedge stall burns one lap budget before the next attempt rescues it,
+  // and that product is what the slow-shard p99 gate prices.
+  gopts.lap_budget_ms = 25;
+  gopts.pool = &gather_pool;
+  ExplorationService coordinator(&engine, SessionOptions());
+  coordinator.ConfigureGather(
+      std::make_unique<GatherCoordinator>(std::move(transports), gopts));
+  ExplorationService reference(&engine, SessionOptions());
+
+  // ---- Leg 1: healthy fleet — measure AND assert byte-identity. ----
+  bool identical = true;
+  LegStats healthy;
+  for (int i = 0; i < kSessions; ++i) {
+    const std::string sid = "healthy-" + std::to_string(i);
+    Response g = Start(coordinator, sid);
+    Response r = Start(reference, sid);
+    for (int step = 0;; ++step) {
+      if (!g.status.ok() || !r.status.ok()) {
+        healthy.errors++;
+        identical = false;
+        break;
+      }
+      if (g.degraded.has_value()) healthy.degraded++;
+      bool same = g.groups.size() == r.groups.size() &&
+                  std::memcmp(&g.coverage, &r.coverage, sizeof(double)) == 0 &&
+                  std::memcmp(&g.diversity, &r.diversity, sizeof(double)) == 0;
+      for (size_t j = 0; same && j < g.groups.size(); ++j) {
+        same = g.groups[j].id == r.groups[j].id;
+      }
+      if (!same) {
+        std::printf("IDENTITY VIOLATION: session %s step %d\n", sid.c_str(),
+                    step);
+        identical = false;
+      }
+      healthy.ok++;
+      if (step == kSelectsPerSession || g.groups.empty()) break;
+      const uint32_t pick = g.groups[step % g.groups.size()].id;
+      Stopwatch watch;
+      g = Select(coordinator, sid, pick);
+      healthy.select_ms.Add(watch.ElapsedMillis());
+      r = Select(reference, sid, pick);
+    }
+  }
+
+  // ---- Leg 2: slow shard — seeded stalls past the lap budget. ----
+  LegStats slow;
+  {
+    failpoint::Policy stall;
+    stall.mode = failpoint::Policy::Mode::kProbability;
+    // 10% of eval_partial calls sleep past the lap budget. The hedge
+    // re-rolls the same die, so a lap only burns its full budget when both
+    // the primary and its hedge stall (p^2 = 1%); the p99 gate prices how
+    // many of those double-stalls the worst select of the run absorbs.
+    stall.probability = 0.1;
+    stall.seed = 99;
+    stall.code = StatusCode::kOk;  // sleep only
+    stall.sleep_ms = 80;           // > lap budget (25 ms): unhedged = missed lap
+    failpoint::ScopedFailpoint fp("service.eval_partial", stall);
+
+    for (int i = 0; i < kSessions; ++i) {
+      const std::string sid = "slow-" + std::to_string(i);
+      Response g = Start(coordinator, sid);
+      for (int step = 0;; ++step) {
+        if (!g.status.ok()) {
+          slow.errors++;
+          break;
+        }
+        if (g.degraded.has_value()) {
+          slow.degraded++;
+        }
+        slow.ok++;
+        if (step == kSelectsPerSession || g.groups.empty()) break;
+        const uint32_t pick = g.groups[step % g.groups.size()].id;
+        Stopwatch watch;
+        g = Select(coordinator, sid, pick);
+        slow.select_ms.Add(watch.ElapsedMillis());
+      }
+    }
+    std::printf("slow-shard leg: stall site hit %llu times, fired %llu\n",
+                static_cast<unsigned long long>(fp.hits()),
+                static_cast<unsigned long long>(fp.fires()));
+  }
+
+  uint64_t hedges = 0, hedge_wins = 0;
+  for (ShardClient* c : clients) {
+    hedges += c->hedges_sent();
+    hedge_wins += c->hedge_wins();
+  }
+
+  PrintRow({"leg", "selects", "mean_ms", "p50_ms", "p99_ms", "max_ms",
+            "degraded", "errors"});
+  auto row = [](const char* name, const LegStats& leg) {
+    PrintRow({name, std::to_string(leg.select_ms.values.size()),
+              Fmt(leg.select_ms.Mean(), 2),
+              Fmt(leg.select_ms.Percentile(0.5), 2),
+              Fmt(leg.select_ms.Percentile(0.99), 2),
+              Fmt(leg.select_ms.Max(), 2), std::to_string(leg.degraded),
+              std::to_string(leg.errors)});
+  };
+  row("healthy", healthy);
+  row("slow_shard", slow);
+  std::printf("hedges sent %llu, hedge wins %llu\n",
+              static_cast<unsigned long long>(hedges),
+              static_cast<unsigned long long>(hedge_wins));
+
+  // ---- Gates. ----
+  const double slow_p99 = slow.select_ms.Percentile(0.99);
+  const bool p99_gate = slow_p99 <= 100.0;
+  const bool no_errors = healthy.errors == 0 && slow.errors == 0;
+  std::printf("healthy screens byte-identical to single-process: %s\n",
+              identical ? "yes" : "NO");
+  std::printf("slow-shard select p99 %.2f ms <= 100 ms: %s\n", slow_p99,
+              p99_gate ? "yes" : "NO");
+  std::printf("zero request errors across both legs: %s\n",
+              no_errors ? "yes" : "NO");
+
+  // ---- JSON sidecar. ----
+  server::json::Object top;
+  top.emplace_back("bench", server::json::Value("gather"));
+  server::json::Object jcfg;
+  jcfg.emplace_back("users", server::json::Value(uint64_t{kUsers}));
+  jcfg.emplace_back("shards", server::json::Value(uint64_t{kShards}));
+  jcfg.emplace_back("sessions",
+                    server::json::Value(static_cast<uint64_t>(kSessions)));
+  jcfg.emplace_back("smoke", server::json::Value(smoke));
+  top.emplace_back("config", server::json::Value(std::move(jcfg)));
+  auto leg_json = [](const LegStats& leg) {
+    server::json::Object o;
+    o.emplace_back("selects", server::json::Value(
+                                  uint64_t{leg.select_ms.values.size()}));
+    o.emplace_back("mean_ms", server::json::Value(leg.select_ms.Mean()));
+    o.emplace_back("p50_ms",
+                   server::json::Value(leg.select_ms.Percentile(0.5)));
+    o.emplace_back("p99_ms",
+                   server::json::Value(leg.select_ms.Percentile(0.99)));
+    o.emplace_back("max_ms", server::json::Value(leg.select_ms.Max()));
+    o.emplace_back("degraded", server::json::Value(leg.degraded));
+    o.emplace_back("errors", server::json::Value(leg.errors));
+    return server::json::Value(std::move(o));
+  };
+  top.emplace_back("healthy", leg_json(healthy));
+  top.emplace_back("slow_shard", leg_json(slow));
+  top.emplace_back("hedges_sent", server::json::Value(hedges));
+  top.emplace_back("hedge_wins", server::json::Value(hedge_wins));
+  top.emplace_back("identical_to_single_process",
+                   server::json::Value(identical));
+  top.emplace_back("slow_shard_p99_le_100ms", server::json::Value(p99_gate));
+
+  std::ofstream out(json_path);
+  out << server::json::Value(std::move(top)).Dump() << "\n";
+  out.close();
+  std::printf("wrote %s\n", json_path.c_str());
+
+  for (auto& server : servers) {
+    server->RequestDrain();
+    server->Drain();
+  }
+  return identical && p99_gate && no_errors ? 0 : 1;
+}

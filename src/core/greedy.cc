@@ -197,6 +197,86 @@ ChunkBest ShardedScan(const SwapObjective& eval, const ShardMap& shards,
   return best;
 }
 
+/// Remote scatter-gather pass scan (DESIGN.md §16): same admissible trial
+/// list and earliest-(cand, pos) argmax as ShardedScan, but the per-shard
+/// integer partials come back from shard backends through the injected
+/// RemoteTrialScatterer. Shards the scatterer could not reach are dropped
+/// from the fold — every trial is then scored over the surviving user
+/// ranges (still deterministic given which shards answered), and
+/// `covered_fraction`/`lap_delay` report the degradation. When *no* shard
+/// answered, the pass returns empty-handed with complete=false — the swap
+/// loop then stops with its best-so-far selection instead of hanging.
+ChunkBest RemoteScan(const SwapObjective& eval, RemoteTrialScatterer* remote,
+                     const std::vector<GroupId>& pool,
+                     std::optional<GroupId> anchor,
+                     const std::vector<size_t>& selected,
+                     const std::vector<bool>& in_selection,
+                     const std::vector<bool>& is_refinement,
+                     size_t refinement_count, size_t quota, double current,
+                     const Deadline& deadline, double* covered_fraction,
+                     double* lap_delay_ms) {
+  std::vector<std::pair<uint32_t, uint32_t>> trials;  // (cand, pos), pool ix
+  trials.reserve(pool.size() * selected.size());
+  for (size_t cand = 0; cand < pool.size(); ++cand) {
+    if (in_selection[cand]) continue;
+    for (size_t pos = 0; pos < selected.size(); ++pos) {
+      size_t after = refinement_count -
+                     (is_refinement[selected[pos]] ? 1 : 0) +
+                     (is_refinement[cand] ? 1 : 0);
+      if (after < quota) continue;
+      trials.emplace_back(static_cast<uint32_t>(cand),
+                          static_cast<uint32_t>(pos));
+    }
+  }
+  ChunkBest best;
+  if (trials.empty()) return best;
+
+  // Wire form: group ids, not pool positions — backends hold a slice store
+  // with the same id space but know nothing of this run's candidate pool.
+  std::vector<uint32_t> selection_gids;
+  selection_gids.reserve(selected.size());
+  for (size_t i : selected) {
+    selection_gids.push_back(static_cast<uint32_t>(pool[i]));
+  }
+  std::vector<uint32_t> wire;
+  wire.reserve(trials.size() * 2);
+  for (const auto& t : trials) {
+    wire.push_back(static_cast<uint32_t>(pool[t.first]));
+    wire.push_back(t.second);
+  }
+
+  RemoteTrialScatterer::Outcome outcome = remote->Scatter(
+      anchor.has_value() ? std::optional<uint32_t>(*anchor) : std::nullopt,
+      selection_gids, wire, deadline);
+  *covered_fraction = std::min(*covered_fraction, outcome.covered_fraction);
+  *lap_delay_ms = std::max(*lap_delay_ms, outcome.lap_delay_ms);
+
+  std::vector<size_t> ok_shards;
+  for (size_t s = 0; s < outcome.shard_ok.size(); ++s) {
+    if (outcome.shard_ok[s] && s < outcome.partials.size() &&
+        outcome.partials[s].size() == trials.size()) {
+      ok_shards.push_back(s);
+    }
+  }
+  if (ok_shards.empty()) {
+    best.complete = false;
+    return best;
+  }
+
+  for (size_t t = 0; t < trials.size(); ++t) {
+    size_t newly = 0;
+    for (size_t s : ok_shards) newly += outcome.partials[s][t];
+    double v = eval.TrialFromCovered(trials[t].second, trials[t].first, newly);
+    ++best.evaluations;
+    if (v - current > best.gain) {
+      best.gain = v - current;
+      best.cand = trials[t].first;
+      best.pos = trials[t].second;
+    }
+  }
+  return best;
+}
+
 }  // namespace
 
 void RankPoolByPrior(const GroupStore& store, const FeedbackVector& feedback,
@@ -365,8 +445,14 @@ GreedySelection GreedySelector::Run(std::vector<GroupId> pool,
   ThreadPool* scan_pool = incremental ? options.scan_pool : nullptr;
   // Scatter-gather needs the incremental evaluator's pass-frozen rest
   // tables; kScratch stays whole-universe (it is the serial oracle).
+  // The remote scatterer supersedes the in-process shard map: trial
+  // partials come from shard backends and the coordinator's evaluator
+  // rebuilds unsharded (identical integers either way — the tested
+  // 1-shard/S-shard invariant).
+  RemoteTrialScatterer* remote =
+      incremental ? options.remote_scatter : nullptr;
   const ShardMap* shards =
-      incremental && options.shard_map != nullptr &&
+      incremental && remote == nullptr && options.shard_map != nullptr &&
               options.shard_map->num_shards() > 1
           ? options.shard_map
           : nullptr;
@@ -414,7 +500,12 @@ GreedySelection GreedySelector::Run(std::vector<GroupId> pool,
     for (size_t i : selected) refinement_count += is_refinement[i];
 
     ChunkBest best;
-    if (shards != nullptr) {
+    if (remote != nullptr) {
+      best = RemoteScan(eval, remote, pool, anchor, selected, in_selection,
+                        is_refinement, refinement_count, quota, current,
+                        deadline, &result.covered_fraction,
+                        &result.gather_lap_ms);
+    } else if (shards != nullptr) {
       best = ShardedScan(eval, *shards, scan_pool, pool.size(), selected,
                          in_selection, is_refinement, refinement_count, quota,
                          current, deadline, options.deadline_check_interval,

@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/stopwatch.h"
 #include "core/feedback.h"
 #include "core/quality.h"
 #include "index/inverted_index.h"
@@ -35,6 +36,40 @@ class TraceSpan;
 }  // namespace vexus
 
 namespace vexus::core {
+
+/// Multi-box scatter hook (DESIGN.md §16): one pass's admissible trials go
+/// out to S shard backends, each of which answers integer coverage partials
+/// over its own user range. The greedy stays transport-agnostic — the
+/// serving layer injects an implementation (server/gather.h) that owns
+/// connections, retries, hedging, and circuit breakers; core sees only the
+/// fold contract below.
+class RemoteTrialScatterer {
+ public:
+  struct Outcome {
+    /// Per-shard: true when the shard answered this lap (possibly after
+    /// retry/hedge) with a generation-matched partial vector.
+    std::vector<bool> shard_ok;
+    /// partials[s][t] = shard s's newly-covered count for trial t. Sized
+    /// |trials| for ok shards; unspecified for failed ones.
+    std::vector<std::vector<uint32_t>> partials;
+    /// Fraction of the user universe the ok shards own, in [0, 1]. 1.0
+    /// when every shard answered — then the folded integer sums equal the
+    /// single-process counts exactly.
+    double covered_fraction = 0;
+    /// Wall-clock of the slowest successful lap this scatter waited on —
+    /// the serving layer feeds it to the overload ladder as a gather
+    /// delay source.
+    double lap_delay_ms = 0;
+  };
+  virtual ~RemoteTrialScatterer() = default;
+  /// Scatters one pass. `selection` holds group ids in slot order; `trials`
+  /// holds flat (candidate group id, slot) pairs. Must return within
+  /// `deadline` (bounded retries inside — never hang the greedy).
+  virtual Outcome Scatter(std::optional<uint32_t> anchor,
+                          const std::vector<uint32_t>& selection,
+                          const std::vector<uint32_t>& trials,
+                          const Deadline& deadline) = 0;
+};
 
 struct GreedyOptions {
   /// Groups shown per step; the paper caps at 7 (Miller's law, P1).
@@ -118,6 +153,17 @@ struct GreedyOptions {
   /// through the 100 ms budget at large k·U.
   size_t deadline_check_interval = 16;
 
+  /// Optional multi-box scatterer (see RemoteTrialScatterer above). When
+  /// set (and eval_mode is kIncremental), the candidate scan of every
+  /// refinement pass goes out to the remote shards instead of the local
+  /// ShardedScan; the coordinator still folds integer partials in shard
+  /// order with the earliest-(cand, pos) argmax, so an all-healthy fleet
+  /// selects byte-identically to the single-process S-shard run. Shards
+  /// that miss the lap (open circuit, exhausted retries) are dropped from
+  /// the fold — the pass scores trials over the surviving user ranges and
+  /// GreedySelection::covered_fraction records the degradation. Not owned.
+  RemoteTrialScatterer* remote_scatter = nullptr;
+
   /// Optional parent span for stage attribution (the serving layer points
   /// this at the request's root span). The selector opens `rank` around
   /// candidate-pool construction and `greedy` → {`seed`, `pass` ×N, with
@@ -148,6 +194,14 @@ struct GreedySelection {
   /// ran out. A run that converges and only then observes an expired clock
   /// is NOT deadline-hit (this used to be mislabeled).
   bool deadline_hit = false;
+  /// Minimum over passes of the user-universe fraction the folded shards
+  /// covered (1.0 unless a remote scatter degraded; see
+  /// GreedyOptions::remote_scatter). The serving layer answers
+  /// degraded:"partial" when this dips below 1.
+  double covered_fraction = 1.0;
+  /// Slowest successful remote-gather lap observed, ms (0 when local) —
+  /// the serving layer's overload-ladder input for gather pressure.
+  double gather_lap_ms = 0;
   double elapsed_ms = 0;
   /// Wall-clock of each completed refinement pass, in order. Surfaced so
   /// the serving layer and bench_greedy_incremental can attribute the

@@ -1,0 +1,52 @@
+// Backend-side batched trial-coverage partials for the multi-box
+// scatter-gather greedy (DESIGN.md §16).
+//
+// A shard backend holds a *slice* store (LoadSnapshotShard): every group is
+// full-universe width but its members are restricted to the shard's user
+// range. Because slice members = full members ∩ range and the coverage
+// kernels are word-parallel, evaluating a trial over the slice with
+// whole-universe bitset ops yields exactly the integer
+// SwapObjective::TrialCoveragePartial would compute for this shard's word
+// range on the full store:
+//
+//     |cand ∩ anchor ∩ ¬rest(pos)|_slice  ==  partial(shard)
+//
+// so the coordinator can fold per-shard integers from different processes
+// in shard order and reproduce the single-process counts — and therefore
+// the single-process objective doubles and selections — bit for bit.
+//
+// One EvalCoveragePartials call scores a whole candidate-window batch: it
+// rebuilds the prefix/suffix/rest tables once (O(k·U/64)) and then pays one
+// bitset pass per trial, mirroring the per-pass amortization of the
+// in-process SwapObjective. The function is stateless across calls — the
+// selection changes at most once per greedy pass, and a pass is exactly one
+// eval_partial request per shard.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "mining/group.h"
+
+namespace vexus::core {
+
+struct PartialEvalInput {
+  /// Anchor group id; absent on the initial screen (universe coverage).
+  std::optional<uint32_t> anchor;
+  /// Current selection as group ids in slot order — rest(pos) is the
+  /// anchor-masked union of these minus slot pos.
+  std::vector<uint32_t> selection;
+  /// Flat (candidate group id, slot) pairs: [c0, p0, c1, p1, ...].
+  std::vector<uint32_t> trials;
+};
+
+/// Scores every trial against the (slice) store: out[i] = this shard's
+/// newly-covered count for trial i. Fails with InvalidArgument on
+/// out-of-range group ids, slots >= |selection|, an odd-length or empty
+/// trial list, or an empty selection (a trial needs a slot to displace).
+Result<std::vector<uint32_t>> EvalCoveragePartials(
+    const mining::GroupStore& store, const PartialEvalInput& in);
+
+}  // namespace vexus::core

@@ -6,12 +6,15 @@
 #include <cmath>
 #include <cstring>
 #include <fcntl.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
+
+#include "common/stopwatch.h"
 
 namespace vexus::net {
 
@@ -43,25 +46,39 @@ Status SetNoDelay(int fd) {
   return Status::OK();
 }
 
-namespace {
-
-Result<sockaddr_in> ResolveV4(const std::string& host, uint16_t port) {
+Result<sockaddr_in> ResolveHost(const std::string& host, uint16_t port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   if (host.empty() || host == "*") {
     addr.sin_addr.s_addr = htonl(INADDR_ANY);
-  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    return Status::InvalidArgument("not an IPv4 address: " + host);
+    return addr;
   }
+  // Numeric first: a dotted quad must never block on the resolver (the
+  // event loop and the gather client's reconnect laps call this on hot
+  // paths with numeric addresses).
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1) return addr;
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &res);
+  if (rc != 0 || res == nullptr) {
+    if (res != nullptr) ::freeaddrinfo(res);
+    return Status::InvalidArgument(
+        "cannot resolve \"" + host + "\": not an IPv4 address and hostname " +
+        "lookup failed (" + (rc != 0 ? ::gai_strerror(rc) : "no result") +
+        ")");
+  }
+  addr.sin_addr =
+      reinterpret_cast<const sockaddr_in*>(res->ai_addr)->sin_addr;
+  ::freeaddrinfo(res);
   return addr;
 }
 
-}  // namespace
-
 Result<Fd> ListenTcp(const std::string& host, uint16_t port, int backlog,
                      uint16_t* bound_port, bool reuseport) {
-  auto addr = ResolveV4(host, port);
+  auto addr = ResolveHost(host, port);
   VEXUS_RETURN_NOT_OK(addr.status());
 
   Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
@@ -97,7 +114,7 @@ Result<Fd> ListenTcp(const std::string& host, uint16_t port, int backlog,
 
 Result<Fd> ConnectTcp(const std::string& host, uint16_t port,
                       double timeout_ms) {
-  auto addr = ResolveV4(host.empty() ? "127.0.0.1" : host, port);
+  auto addr = ResolveHost(host.empty() ? "127.0.0.1" : host, port);
   VEXUS_RETURN_NOT_OK(addr.status());
 
   Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
@@ -107,13 +124,23 @@ Result<Fd> ConnectTcp(const std::string& host, uint16_t port,
       ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
   if (rc < 0 && errno != EINPROGRESS) return ErrnoStatus("connect", errno);
   if (rc < 0) {
-    // In progress: wait for writability, then read the final verdict.
-    pollfd pfd{fd.get(), POLLOUT, 0};
-    int n = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
-    if (n < 0) return ErrnoStatus("poll(connect)", errno);
-    if (n == 0) {
-      return Status::DeadlineExceeded("connect to " + host + ":" +
-                                      std::to_string(port) + " timed out");
+    // In progress: wait for writability, then read the final verdict. The
+    // budget runs through Deadline + PollLapTimeoutMillis — the former bare
+    // static_cast<int>(timeout_ms) was UB for NaN and for infinite-sentinel
+    // budgets (1e12 cast negative, which poll(2) reads as "block forever").
+    Deadline deadline = Deadline::AfterMillis(timeout_ms);
+    for (;;) {
+      pollfd pfd{fd.get(), POLLOUT, 0};
+      int n = ::poll(&pfd, 1, PollLapTimeoutMillis(deadline.RemainingMillis()));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("poll(connect)", errno);
+      }
+      if (n > 0) break;
+      if (deadline.Expired()) {
+        return Status::DeadlineExceeded("connect to " + host + ":" +
+                                        std::to_string(port) + " timed out");
+      }
     }
     int err = 0;
     socklen_t len = sizeof(err);

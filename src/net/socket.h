@@ -7,6 +7,8 @@
 // benchmark drives loopback; AF_INET6 would be a mechanical extension.
 #pragma once
 
+#include <netinet/in.h>
+
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -72,10 +74,21 @@ Status SetNoDelay(int fd);
 Result<Fd> ListenTcp(const std::string& host, uint16_t port, int backlog,
                      uint16_t* bound_port, bool reuseport = false);
 
+/// Resolves `host` to an IPv4 socket address. Numeric dotted-quads go
+/// through inet_pton (never blocks, never consults the resolver); anything
+/// else falls back to getaddrinfo(AF_INET), so "localhost" and DNS names
+/// work for `--connect` and shard-backend address lists. Empty or "*"
+/// resolves to INADDR_ANY. InvalidArgument carries both failure modes in
+/// the message ("not an IPv4 address and hostname lookup failed").
+Result<sockaddr_in> ResolveHost(const std::string& host, uint16_t port);
+
 /// Blocking-connect with a timeout (nonblocking connect + poll), returning
 /// a *blocking* connected socket with TCP_NODELAY set. The simple-client
 /// shape: net::LineClient and tests use this; the benchmark flips the fd
-/// back to nonblocking for its multiplexed loop.
+/// back to nonblocking for its multiplexed loop. The timeout is a Deadline
+/// budget (common/stopwatch.h semantics): NaN/zero/negative fail fast with
+/// DeadlineExceeded, >= 1e12 waits indefinitely — each poll lap is clamped
+/// through PollLapTimeoutMillis, never a raw int cast.
 Result<Fd> ConnectTcp(const std::string& host, uint16_t port,
                       double timeout_ms);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
 #include <mutex>
 #include <thread>
@@ -68,6 +69,18 @@ inline void Bump(std::atomic<uint64_t>& c) {
 
 }  // namespace
 
+struct TcpServer::RetireSignal {
+  std::mutex mu;
+  std::condition_variable cv;
+
+  /// Locks mu around the notify so a waiter between its predicate check
+  /// and the cv wait cannot miss the wakeup.
+  void Notify() {
+    std::lock_guard<std::mutex> lock(mu);
+    cv.notify_all();
+  }
+};
+
 struct TcpServer::CompletionQueue {
   std::mutex mu;
   std::vector<Completion> pending;
@@ -77,6 +90,8 @@ struct TcpServer::CompletionQueue {
   /// exited still retires its request as dropped (the conservation
   /// invariant `submitted == routed + dropped` must survive late workers).
   std::shared_ptr<AtomicStats> stats;
+  /// Server-wide; notified whenever a dead-queue Push retires a request.
+  std::shared_ptr<RetireSignal> retire;
 
   void Push(Completion c) {
     bool was_empty = false;
@@ -85,6 +100,7 @@ struct TcpServer::CompletionQueue {
       if (!alive) {
         // Loop gone: no connection can receive these bytes anymore.
         Bump(stats->responses_dropped);
+        retire->Notify();
         return;
       }
       was_empty = pending.empty();
@@ -129,6 +145,7 @@ struct TcpServer::EventLoop {
         cq(std::make_shared<CompletionQueue>()),
         stats(std::make_shared<AtomicStats>()) {
     cq->stats = stats;
+    cq->retire = s->retire_signal_;
   }
 
   /// Conn ids are globally unique (the loop index rides the high bits) so
@@ -154,7 +171,9 @@ struct TcpServer::EventLoop {
 };
 
 TcpServer::TcpServer(ExplorationService* service, TcpServerOptions options)
-    : service_(service), options_(std::move(options)) {
+    : service_(service),
+      options_(std::move(options)),
+      retire_signal_(std::make_shared<RetireSignal>()) {
   VEXUS_CHECK(service_ != nullptr);
   // `!(x > 0)` and not `x <= 0`: NaN compares false both ways, so the old
   // form let a NaN tick through to the epoll timeout cast below (UB).
@@ -240,13 +259,20 @@ void TcpServer::Drain() {
   // (bounded) for those stragglers so Stats() read right after Drain()
   // observes the conservation invariant — aggregate implies per-loop here,
   // because every loop's retired count can only lag (never exceed) its
-  // submitted count.
-  Stopwatch wait;
-  while (wait.ElapsedMillis() < options_.drain_timeout_ms) {
+  // submitted count. Event-driven: each dead-queue Push notifies
+  // retire_signal_, so drain completes the instant the last straggler
+  // retires instead of quantizing to a poll period; the lap cap only
+  // bounds the wait against a worker that never finishes.
+  const auto retired = [this] {
     TcpServerStats s = Stats();
-    if (s.responses_routed + s.responses_dropped >= s.requests_submitted)
-      break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return s.responses_routed + s.responses_dropped >= s.requests_submitted;
+  };
+  Deadline deadline = Deadline::AfterMillis(options_.drain_timeout_ms);
+  std::unique_lock<std::mutex> lock(retire_signal_->mu);
+  while (!retired() && !deadline.Expired()) {
+    int lap = PollLapTimeoutMillis(deadline.RemainingMillis());
+    if (lap <= 0) break;
+    retire_signal_->cv.wait_for(lock, std::chrono::milliseconds(lap));
   }
 }
 

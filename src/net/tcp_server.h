@@ -187,6 +187,11 @@ class TcpServer {
   /// shared_ptr so a completion firing after ~TcpServer only touches the
   /// alive flag and the (still-allocated) queue.
   struct CompletionQueue;
+  /// Condvar shared across every loop's queue: each post-drain retirement
+  /// (a straggler worker's Push() landing on a dead queue) notifies it, so
+  /// Drain() waits event-driven instead of quantizing straggler latency to
+  /// a fixed sleep period.
+  struct RetireSignal;
   /// Counters (loop-thread writes; relaxed atomics so Stats() is callable
   /// from tests/benchmarks while the loops run).
   struct AtomicStats;
@@ -201,6 +206,8 @@ class TcpServer {
   uint16_t port_ = 0;
   bool started_ = false;
   bool drained_ = false;
+
+  std::shared_ptr<RetireSignal> retire_signal_;
 
   std::atomic<bool> drain_requested_{false};
   /// Aggregate live-connection count (the max_connections gate); each loop

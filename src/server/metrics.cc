@@ -124,6 +124,7 @@ MetricsSnapshot ServiceMetrics::Snapshot(uint64_t open_sessions) const {
   s.degraded_effort = degraded_effort_.load(kRelaxed);
   s.degraded_k = degraded_k_.load(kRelaxed);
   s.degraded_stale = degraded_stale_.load(kRelaxed);
+  s.degraded_partial = degraded_partial_.load(kRelaxed);
   s.overload_sheds = overload_sheds_.load(kRelaxed);
   s.warm_loads = warm_loads_.load(kRelaxed);
   s.last_warm_load_ms =
@@ -176,6 +177,7 @@ json::Value MetricsSnapshot::ToJson() const {
   o.emplace_back("degraded_effort", json::Value(degraded_effort));
   o.emplace_back("degraded_k", json::Value(degraded_k));
   o.emplace_back("degraded_stale", json::Value(degraded_stale));
+  o.emplace_back("degraded_partial", json::Value(degraded_partial));
   o.emplace_back("overload_sheds", json::Value(overload_sheds));
   if (!shard_evaluations.empty()) {
     json::Object sh;
@@ -256,10 +258,12 @@ std::string MetricsSnapshot::ToString() const {
   if (DegradedTotal() > 0 || overload_sheds > 0) {
     std::snprintf(line, sizeof(line),
                   "overload: degraded_effort=%llu degraded_k=%llu "
-                  "degraded_stale=%llu overload_sheds=%llu\n",
+                  "degraded_stale=%llu degraded_partial=%llu "
+                  "overload_sheds=%llu\n",
                   static_cast<unsigned long long>(degraded_effort),
                   static_cast<unsigned long long>(degraded_k),
                   static_cast<unsigned long long>(degraded_stale),
+                  static_cast<unsigned long long>(degraded_partial),
                   static_cast<unsigned long long>(overload_sheds));
     out += line;
   }

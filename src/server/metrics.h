@@ -117,6 +117,9 @@ struct MetricsSnapshot {
   uint64_t degraded_effort = 0;
   uint64_t degraded_k = 0;
   uint64_t degraded_stale = 0;
+  /// Screens scored over a subset of the user universe because one or more
+  /// gather shards missed their lap (DESIGN.md §16) — degraded:"partial".
+  uint64_t degraded_partial = 0;
   uint64_t overload_sheds = 0;
   /// Cold-start path: successful warm_from_snapshot loads and the wall time
   /// of the most recent one (0 until the first load) — the operator-visible
@@ -143,7 +146,7 @@ struct MetricsSnapshot {
     return t;
   }
   uint64_t DegradedTotal() const {
-    return degraded_effort + degraded_k + degraded_stale;
+    return degraded_effort + degraded_k + degraded_stale + degraded_partial;
   }
 
   std::string ToString() const;
@@ -193,6 +196,7 @@ class ServiceMetrics {
   void RecordDegradedEffort() { degraded_effort_.fetch_add(1, kRelaxed); }
   void RecordDegradedK() { degraded_k_.fetch_add(1, kRelaxed); }
   void RecordDegradedStale() { degraded_stale_.fetch_add(1, kRelaxed); }
+  void RecordDegradedPartial() { degraded_partial_.fetch_add(1, kRelaxed); }
   /// Accounts one admission rejected by the ladder's shed rung.
   void RecordOverloadShed() { overload_sheds_.fetch_add(1, kRelaxed); }
   /// Accounts one successful snapshot warm-up (engine restored from disk).
@@ -236,6 +240,7 @@ class ServiceMetrics {
   std::atomic<uint64_t> degraded_effort_{0};
   std::atomic<uint64_t> degraded_k_{0};
   std::atomic<uint64_t> degraded_stale_{0};
+  std::atomic<uint64_t> degraded_partial_{0};
   std::atomic<uint64_t> overload_sheds_{0};
   std::atomic<uint64_t> warm_loads_{0};
   std::atomic<uint64_t> last_warm_load_us_{0};

@@ -10,6 +10,7 @@ constexpr std::string_view kNames[kNumRequestTypes] = {
     "start_session", "select_group", "backtrack",   "bookmark",
     "unlearn",       "get_context",  "get_stats",   "end_session",
     "get_trace",     "warm_from_snapshot",           "health",
+    "eval_partial",  "shard_info",
 };
 
 /// Reads a non-negative integer field; fails when present but ill-typed.
@@ -40,6 +41,39 @@ Status ReadUint32(const json::Value& v, std::string_view key,
     *out = static_cast<uint32_t>(*wide);
   }
   return Status::OK();
+}
+
+/// Reads an array of non-negative uint32 values; fails when present but
+/// ill-typed (the eval_partial selection/trials/partials payloads).
+Status ReadUint32Array(const json::Value& v, std::string_view key,
+                       std::vector<uint32_t>* out) {
+  const json::Value* f = v.Find(key);
+  if (f == nullptr) return Status::OK();
+  if (!f->is_array()) {
+    return Status::InvalidArgument(std::string(key) + " must be an array");
+  }
+  out->clear();
+  out->reserve(f->AsArray().size());
+  for (const json::Value& e : f->AsArray()) {
+    if (!e.is_number()) {
+      return Status::InvalidArgument(std::string(key) +
+                                     "[] must hold numbers");
+    }
+    double d = e.AsDouble();
+    if (d < 0 || std::floor(d) != d || d > UINT32_MAX) {
+      return Status::InvalidArgument(
+          std::string(key) + "[] must hold uint32 values");
+    }
+    out->push_back(static_cast<uint32_t>(d));
+  }
+  return Status::OK();
+}
+
+json::Value Uint32ArrayToJson(const std::vector<uint32_t>& values) {
+  json::Array arr;
+  arr.reserve(values.size());
+  for (uint32_t x : values) arr.emplace_back(json::Value(x));
+  return json::Value(std::move(arr));
 }
 
 }  // namespace
@@ -79,6 +113,15 @@ json::Value Request::ToJson() const {
   if (n.has_value()) obj.emplace_back("n", json::Value(*n));
   if (slowest) obj.emplace_back("slowest", json::Value(true));
   if (path.has_value()) obj.emplace_back("path", json::Value(*path));
+  if (shard.has_value()) obj.emplace_back("shard", json::Value(*shard));
+  if (num_shards.has_value()) {
+    obj.emplace_back("num_shards", json::Value(*num_shards));
+  }
+  if (anchor.has_value()) obj.emplace_back("anchor", json::Value(*anchor));
+  if (!selection.empty()) {
+    obj.emplace_back("selection", Uint32ArrayToJson(selection));
+  }
+  if (!trials.empty()) obj.emplace_back("trials", Uint32ArrayToJson(trials));
   return json::Value(std::move(obj));
 }
 
@@ -125,6 +168,11 @@ Result<Request> Request::FromJson(const json::Value& v) {
     req.learning_rate = lr->AsDouble();
   }
   VEXUS_RETURN_NOT_OK(ReadUint(v, "n", &req.n));
+  VEXUS_RETURN_NOT_OK(ReadUint32(v, "shard", &req.shard));
+  VEXUS_RETURN_NOT_OK(ReadUint32(v, "num_shards", &req.num_shards));
+  VEXUS_RETURN_NOT_OK(ReadUint32(v, "anchor", &req.anchor));
+  VEXUS_RETURN_NOT_OK(ReadUint32Array(v, "selection", &req.selection));
+  VEXUS_RETURN_NOT_OK(ReadUint32Array(v, "trials", &req.trials));
   const json::Value* slowest = v.Find("slowest");
   if (slowest != nullptr) {
     if (!slowest->is_bool()) {
@@ -186,9 +234,25 @@ Result<Request> Request::FromJson(const json::Value& v) {
             "warm_from_snapshot requires a non-empty \"path\"");
       }
       break;
+    case RequestType::kEvalPartial:
+      if (!req.shard.has_value() || !req.num_shards.has_value()) {
+        return Status::InvalidArgument(
+            "eval_partial requires \"shard\" and \"num_shards\"");
+      }
+      if (*req.num_shards == 0 || *req.shard >= *req.num_shards) {
+        return Status::InvalidArgument(
+            "eval_partial shard index out of range");
+      }
+      if (req.trials.empty() || req.trials.size() % 2 != 0) {
+        return Status::InvalidArgument(
+            "eval_partial requires a non-empty even-length \"trials\" "
+            "array of (candidate, slot) pairs");
+      }
+      break;
     case RequestType::kGetStats:
     case RequestType::kGetTrace:
     case RequestType::kHealth:
+    case RequestType::kShardInfo:
       break;
   }
   return req;
@@ -252,6 +316,23 @@ json::Value Response::ToJson() const {
     obj.emplace_back("memo_users", json::Value(memo_users));
   }
   if (degraded.has_value()) obj.emplace_back("degraded", json::Value(*degraded));
+  if (covered_fraction.has_value()) {
+    obj.emplace_back("covered_fraction", json::Value(*covered_fraction));
+  }
+  if (shard.has_value()) obj.emplace_back("shard", json::Value(*shard));
+  if (num_shards.has_value()) {
+    obj.emplace_back("num_shards", json::Value(*num_shards));
+  }
+  if (user_begin.has_value()) {
+    obj.emplace_back("user_begin", json::Value(*user_begin));
+  }
+  if (user_end.has_value()) obj.emplace_back("user_end", json::Value(*user_end));
+  if (num_groups.has_value()) {
+    obj.emplace_back("num_groups", json::Value(*num_groups));
+  }
+  if (!partials.empty()) {
+    obj.emplace_back("partials", Uint32ArrayToJson(partials));
+  }
   if (stats.has_value()) obj.emplace_back("stats", *stats);
   if (traces.has_value()) obj.emplace_back("traces", *traces);
   if (health.has_value()) obj.emplace_back("health", *health);
@@ -325,6 +406,19 @@ Result<Response> Response::FromJson(const json::Value& v) {
     }
     resp.degraded = degraded->AsString();
   }
+  const json::Value* covered = v.Find("covered_fraction");
+  if (covered != nullptr) {
+    if (!covered->is_number()) {
+      return Status::InvalidArgument("covered_fraction must be a number");
+    }
+    resp.covered_fraction = covered->AsDouble();
+  }
+  VEXUS_RETURN_NOT_OK(ReadUint32(v, "shard", &resp.shard));
+  VEXUS_RETURN_NOT_OK(ReadUint32(v, "num_shards", &resp.num_shards));
+  VEXUS_RETURN_NOT_OK(ReadUint32(v, "user_begin", &resp.user_begin));
+  VEXUS_RETURN_NOT_OK(ReadUint32(v, "user_end", &resp.user_end));
+  VEXUS_RETURN_NOT_OK(ReadUint(v, "num_groups", &resp.num_groups));
+  VEXUS_RETURN_NOT_OK(ReadUint32Array(v, "partials", &resp.partials));
   const json::Value* stats = v.Find("stats");
   if (stats != nullptr) resp.stats = *stats;
   const json::Value* traces = v.Find("traces");

@@ -57,8 +57,15 @@ enum class RequestType : int {
   kGetTrace = 8,
   kWarmFromSnapshot = 9,
   kHealth = 10,
+  /// Shard-backend op (DESIGN.md §16): a batch of greedy trial-coverage
+  /// partials over this backend's user range. The gather coordinator is the
+  /// only intended client.
+  kEvalPartial = 11,
+  /// Shard-backend identity probe: shard index, shard count, user range,
+  /// and store generation — what the coordinator's membership table tracks.
+  kShardInfo = 12,
 };
-inline constexpr size_t kNumRequestTypes = 11;
+inline constexpr size_t kNumRequestTypes = 13;
 
 /// Wire name of an op ("start_session", ...).
 std::string_view RequestTypeName(RequestType t);
@@ -86,6 +93,21 @@ struct Request {
   std::optional<uint64_t> n;           // get_trace: how many traces
   bool slowest = false;                // get_trace: slowest-N vs last-N
   std::optional<std::string> path;     // warm_from_snapshot: snapshot file
+
+  // --- eval_partial payload (DESIGN.md §16) ---
+  /// Expected shard identity; a backend serving a different (shard,
+  /// num_shards) pair answers FailedPrecondition — the coordinator treats
+  /// that like any other shard failure.
+  std::optional<uint32_t> shard;       // eval_partial: expected shard index
+  std::optional<uint32_t> num_shards;  // eval_partial: expected shard count
+  /// Anchor group id; absent on the initial screen (universe coverage).
+  std::optional<uint32_t> anchor;
+  /// The current selection, as group ids in slot order (rest-table order).
+  std::vector<uint32_t> selection;
+  /// Flat (candidate group id, slot) pairs: [c0, p0, c1, p1, ...]. Kept
+  /// flat so a candidate-window batch of thousands of trials stays far
+  /// under the 1 MiB frame cap.
+  std::vector<uint32_t> trials;
 
   json::Value ToJson() const;
   std::string Encode() const { return ToJson().Dump(); }
@@ -136,10 +158,24 @@ struct Response {
   double diversity = 0;
   bool greedy_deadline_hit = false;     // anytime loop truncated?
   /// Set when the overload ladder reduced this answer's quality:
-  /// "effort" (shrunk greedy budget), "k" (fewer groups than asked), or
-  /// "stale" (cached screen replayed, no greedy run). Absent on the wire
-  /// when the answer is full-fidelity.
+  /// "effort" (shrunk greedy budget), "k" (fewer groups than asked),
+  /// "stale" (cached screen replayed, no greedy run), or "partial" (one or
+  /// more gather shards missed their lap deadline or sat open-circuit, so
+  /// the screen was scored over a subset of the user universe). Absent on
+  /// the wire when the answer is full-fidelity.
   std::optional<std::string> degraded;
+  /// With degraded:"partial": the fraction of the user universe the folded
+  /// shards covered, in [0, 1]. Absent on full-coverage answers.
+  std::optional<double> covered_fraction;
+
+  // --- shard-backend payloads (eval_partial / shard_info) ---
+  std::optional<uint32_t> shard;       // this backend's shard index
+  std::optional<uint32_t> num_shards;  // this backend's shard count
+  std::optional<uint32_t> user_begin;  // owned user range [begin, end)
+  std::optional<uint32_t> user_end;
+  std::optional<uint64_t> num_groups;  // shard_info: groups in the slice
+  /// eval_partial: one newly-covered count per request trial, in order.
+  std::vector<uint32_t> partials;
   std::optional<json::Value> stats;     // get_stats: metrics snapshot object
   std::optional<json::Value> traces;    // get_trace: array of span trees
   std::optional<json::Value> health;    // health: liveness/readiness object

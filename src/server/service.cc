@@ -8,6 +8,9 @@
 #include "common/logging.h"
 #include "common/shard_map.h"
 #include "common/stopwatch.h"
+#include "core/partial_eval.h"
+#include "server/gather.h"
+#include "server/overload.h"
 
 namespace vexus::server {
 
@@ -16,6 +19,12 @@ namespace {
 /// Groups-per-screen requests above this are client errors (the paper caps
 /// screens at 7 by Miller's law; we allow head-room for scripted analysis).
 constexpr uint64_t kMaxScreenK = 64;
+
+/// Overload-source slot for the gather lap delay (DESIGN.md §16.4). The
+/// dispatcher owns slot 0 and the TCP front-end's loops own 1..num_loops;
+/// the last slot only collides with a loop at 16+ event loops, and even
+/// then max-of-mins merely merges the two signals conservatively.
+constexpr size_t kGatherOverloadSource = kMaxOverloadSources - 1;
 
 }  // namespace
 
@@ -38,6 +47,24 @@ ExplorationService::ExplorationService(data::Dataset dataset,
   InitRuntime();
   // Cold: no engine, no session manager. get_stats and warm_from_snapshot
   // are the only ops that succeed until WarmFromSnapshot() flips warm_.
+}
+
+ExplorationService::ExplorationService(core::SnapshotShard shard,
+                                       uint64_t generation,
+                                       ServiceOptions options)
+    : engine_(nullptr), options_(std::move(options)) {
+  backend_shard_ = std::make_unique<core::SnapshotShard>(std::move(shard));
+  backend_generation_ = generation;
+  InitRuntime();
+  // The service stays "cold" on purpose: session ops answer
+  // FailedPrecondition, while eval_partial / shard_info / health /
+  // get_stats — everything a gather coordinator needs — serve immediately.
+}
+
+void ExplorationService::ConfigureGather(
+    std::unique_ptr<GatherCoordinator> gather) {
+  gather_ = std::move(gather);
+  options_.session_template.greedy.remote_scatter = gather_.get();
 }
 
 void ExplorationService::InitRuntime() {
@@ -81,6 +108,11 @@ Status ExplorationService::WarmFromSnapshot(const std::string& path) {
   // a concurrent warm attempt must not park a pool worker behind a
   // multi-second snapshot load (with a small pool that stalls every other
   // request past its deadline).
+  if (shard_backend()) {
+    return Status::FailedPrecondition(
+        "a shard backend serves one snapshot section for life; restart it "
+        "to change stores");
+  }
   int expected = static_cast<int>(WarmState::kCold);
   if (!warm_state_.compare_exchange_strong(
           expected, static_cast<int>(WarmState::kWarming),
@@ -144,6 +176,13 @@ std::future<Response> ExplorationService::Dispatch(Request req) {
     ready.set_value(DoHealth(req));
     return ready.get_future();
   }
+  // shard_info is probe-class (the gather coordinator's breaker probe):
+  // inline for the same reason as health.
+  if (req.type == RequestType::kShardInfo) {
+    std::promise<Response> ready;
+    ready.set_value(DoShardInfo(req));
+    return ready.get_future();
+  }
   return dispatcher_->Submit(std::move(req));
 }
 
@@ -153,6 +192,10 @@ void ExplorationService::DispatchAsync(Request req,
   // never shed (see the comment there).
   if (req.type == RequestType::kHealth) {
     done(DoHealth(req));
+    return;
+  }
+  if (req.type == RequestType::kShardInfo) {
+    done(DoShardInfo(req));
     return;
   }
   dispatcher_->SubmitAsync(std::move(req), std::move(done));
@@ -197,6 +240,11 @@ Response ExplorationService::Execute(const Request& req,
       // Normally intercepted by Dispatch(); kept here so a health request
       // routed through the dispatcher directly still answers.
       return DoHealth(req);
+    case RequestType::kShardInfo:
+      // Likewise normally inlined by Dispatch/DispatchAsync.
+      return DoShardInfo(req);
+    case RequestType::kEvalPartial:
+      return DoEvalPartial(req, deadline);
     default:
       break;
   }
@@ -215,6 +263,84 @@ Response ExplorationService::Execute(const Request& req,
   return DoSessionOp(req, deadline, span);
 }
 
+Response ExplorationService::DoEvalPartial(const Request& req,
+                                           const Deadline& deadline) {
+  Response resp;
+  resp.type = req.type;
+  if (!shard_backend()) {
+    resp.status = Status::FailedPrecondition(
+        "eval_partial is a shard-backend op (start with --shard-backend)");
+    return resp;
+  }
+  const core::SnapshotShard& shard = *backend_shard_;
+  resp.generation = backend_generation_;
+  resp.shard = static_cast<uint32_t>(shard.shard);
+  resp.num_shards = static_cast<uint32_t>(shard.num_shards);
+  resp.user_begin = shard.user_begin;
+  resp.user_end = shard.user_end;
+  // Identity + generation fencing: a coordinator talking to the wrong
+  // backend (redeploy shuffled ports) or a backend serving a different
+  // store generation must fail the lap, never feed the fold — mixed
+  // universes would silently corrupt every screen.
+  if (*req.shard != shard.shard || *req.num_shards != shard.num_shards) {
+    resp.status = Status::FailedPrecondition(
+        "shard identity mismatch: this backend is " +
+        std::to_string(shard.shard) + "/" + std::to_string(shard.num_shards) +
+        ", request expected " + std::to_string(*req.shard) + "/" +
+        std::to_string(*req.num_shards));
+    return resp;
+  }
+  if (req.generation != 0 && req.generation != backend_generation_) {
+    resp.status = Status::FailedPrecondition(
+        "stale store generation: backend serves " +
+        std::to_string(backend_generation_) + ", request expected " +
+        std::to_string(req.generation));
+    return resp;
+  }
+  if (deadline.Expired()) {
+    resp.status =
+        Status::DeadlineExceeded("budget exhausted before the partial scan");
+    return resp;
+  }
+  // Chaos sites: a stall here is a slow shard (the hedging/backoff path);
+  // an injected status is a flaky backend (the retry/breaker path).
+  VEXUS_FAILPOINT_HIT("service.eval_partial");
+  if (Status injected = failpoint::Inject("service.eval_partial.fail");
+      !injected.ok()) {
+    resp.status = injected;
+    return resp;
+  }
+  core::PartialEvalInput input;
+  input.anchor = req.anchor;
+  input.selection = req.selection;
+  input.trials = req.trials;
+  auto partials = core::EvalCoveragePartials(shard.groups, input);
+  if (!partials.ok()) {
+    resp.status = partials.status();
+    return resp;
+  }
+  resp.partials = std::move(partials).ValueOrDie();
+  return resp;
+}
+
+Response ExplorationService::DoShardInfo(const Request& req) {
+  Response resp;
+  resp.type = req.type;
+  if (!shard_backend()) {
+    resp.status = Status::FailedPrecondition(
+        "shard_info is a shard-backend op (start with --shard-backend)");
+    return resp;
+  }
+  const core::SnapshotShard& shard = *backend_shard_;
+  resp.generation = backend_generation_;
+  resp.shard = static_cast<uint32_t>(shard.shard);
+  resp.num_shards = static_cast<uint32_t>(shard.num_shards);
+  resp.user_begin = shard.user_begin;
+  resp.user_end = shard.user_end;
+  resp.num_groups = shard.groups.size();
+  return resp;
+}
+
 void ExplorationService::FillScreen(const core::GreedySelection& selection,
                                     Response* resp, bool fresh_run,
                                     const TraceSpan& span) {
@@ -224,6 +350,19 @@ void ExplorationService::FillScreen(const core::GreedySelection& selection,
                              selection.swaps);
     if (!selection.shard_evaluations.empty()) {
       metrics_.RecordShardEvaluations(selection.shard_evaluations);
+    }
+    // Multi-box gather degradation (DESIGN.md §16): a screen scored over a
+    // subset of the user universe outranks the effort/k rung flags — the
+    // explorer should know the *data*, not just the effort, was partial.
+    if (selection.covered_fraction < 1.0) {
+      resp->degraded = "partial";
+      resp->covered_fraction = selection.covered_fraction;
+    }
+    // Gather lap delay feeds the overload ladder as its own source: slow
+    // shards escalate degradation exactly like a congested queue would.
+    if (selection.gather_lap_ms > 0) {
+      dispatcher_->overload().OnQueueDelay(selection.gather_lap_ms,
+                                           kGatherOverloadSource);
     }
   }
   const mining::GroupStore& store = engine_->groups();
@@ -315,7 +454,9 @@ Response ExplorationService::DoStartSession(const Request& req,
   live.greedy = opts.greedy;  // restore the explorer's requested options
   live.greedy.trace = nullptr;
   if (resp.degraded.has_value()) {
-    if (*resp.degraded == "k") {
+    if (*resp.degraded == "partial") {
+      metrics_.RecordDegradedPartial();
+    } else if (*resp.degraded == "k") {
       metrics_.RecordDegradedK();
     } else {
       metrics_.RecordDegradedEffort();
@@ -408,7 +549,9 @@ Response ExplorationService::DoSessionOp(const Request& req,
       live.greedy = configured;  // undo the per-request clamp + degradation
       live.greedy.trace = nullptr;
       if (resp.degraded.has_value()) {
-        if (*resp.degraded == "k") {
+        if (*resp.degraded == "partial") {
+          metrics_.RecordDegradedPartial();
+        } else if (*resp.degraded == "k") {
           metrics_.RecordDegradedK();
         } else {
           metrics_.RecordDegradedEffort();
@@ -485,6 +628,13 @@ Response ExplorationService::DoGetStats(const Request& req) {
   Response resp;
   resp.type = req.type;
   resp.stats = Stats().ToJson();
+  if (gather_ != nullptr) {
+    // Ride the same poll for breaker recovery: an open circuit past its
+    // cooldown gets its half-open probe here, so a recovered backend flips
+    // back to closed even when no explorer traffic is flowing.
+    gather_->ProbeShards();
+    resp.stats->AsObject().emplace_back("gather", gather_->MembershipJson());
+  }
   return resp;
 }
 
@@ -499,7 +649,10 @@ Response ExplorationService::DoWarmFromSnapshot(const Request& req,
 
 Response ExplorationService::DoHealth(const Request& req) {
   const OverloadController& overload = dispatcher_->overload();
-  const bool ready = warm();
+  const bool warm_ready = warm();
+  // A shard backend is "ready" the moment it is up: it never warms (there
+  // is no engine), and its one job — eval_partial — serves immediately.
+  const bool ready = warm_ready || shard_backend();
   const int state = warm_state_.load(std::memory_order_relaxed);
   const OverloadRung rung = overload.rung();
 
@@ -507,12 +660,21 @@ Response ExplorationService::DoHealth(const Request& req) {
   h.emplace_back("alive", json::Value(true));
   // Readiness = warm: a cold replica can answer health/stats/warm ops but
   // no session traffic, so orchestrators should not route explorers to it.
+  // (Shard backends are the exception above — their readiness means "the
+  // gather fleet may route eval_partial here".)
   h.emplace_back("ready", json::Value(ready));
   h.emplace_back(
       "state",
-      json::Value(state == static_cast<int>(WarmState::kWarm)      ? "warm"
-                  : state == static_cast<int>(WarmState::kWarming) ? "warming"
-                                                                   : "cold"));
+      json::Value(shard_backend() ? "shard_backend"
+                  : state == static_cast<int>(WarmState::kWarm) ? "warm"
+                  : state == static_cast<int>(WarmState::kWarming)
+                      ? "warming"
+                      : "cold"));
+  if (shard_backend()) {
+    h.emplace_back("shard", json::Value(backend_shard_->shard));
+    h.emplace_back("num_shards", json::Value(backend_shard_->num_shards));
+    h.emplace_back("generation", json::Value(backend_generation_));
+  }
   h.emplace_back("overload_rung", json::Value(static_cast<int64_t>(rung)));
   h.emplace_back("overload_rung_name", json::Value(OverloadRungName(rung)));
   h.emplace_back("queue_depth",
@@ -522,11 +684,12 @@ Response ExplorationService::DoHealth(const Request& req) {
   h.emplace_back("overload_escalations", json::Value(overload.escalations()));
   // Degraded/shed counters from one relaxed snapshot — no quantile math,
   // no per-op JSON table, so the probe stays cheap for high-rate polling.
-  MetricsSnapshot snap = metrics_.Snapshot(ready ? sessions_->size() : 0);
+  MetricsSnapshot snap = metrics_.Snapshot(warm_ready ? sessions_->size() : 0);
   json::Object degraded;
   degraded.emplace_back("effort", json::Value(snap.degraded_effort));
   degraded.emplace_back("k", json::Value(snap.degraded_k));
   degraded.emplace_back("stale", json::Value(snap.degraded_stale));
+  degraded.emplace_back("partial", json::Value(snap.degraded_partial));
   h.emplace_back("degraded", json::Value(std::move(degraded)));
   h.emplace_back("overload_sheds", json::Value(snap.overload_sheds));
   h.emplace_back("shed", json::Value(snap.shed));

@@ -26,6 +26,7 @@
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "core/engine.h"
+#include "core/snapshot.h"
 #include "server/dispatcher.h"
 #include "server/metrics.h"
 #include "server/protocol.h"
@@ -33,6 +34,8 @@
 #include "server/trace_log.h"
 
 namespace vexus::server {
+
+class GatherCoordinator;
 
 struct ServiceOptions {
   SessionManagerOptions sessions;
@@ -81,6 +84,14 @@ class ExplorationService {
   explicit ExplorationService(data::Dataset dataset,
                               ServiceOptions options = {});
 
+  /// Shard-backend construction (DESIGN.md §16): the service owns one
+  /// snapshot-v3 shard slice and serves only eval_partial / shard_info /
+  /// health / get_stats — a multi-box gather fleet's backend. Session ops
+  /// fail with FailedPrecondition (there is no engine). `generation` is
+  /// the store generation fenced by eval_partial requests.
+  ExplorationService(core::SnapshotShard shard, uint64_t generation,
+                     ServiceOptions options = {});
+
   ~ExplorationService();
 
   ExplorationService(const ExplorationService&) = delete;
@@ -122,6 +133,19 @@ class ExplorationService {
   /// back to cold and the call may be retried with another path.
   Status WarmFromSnapshot(const std::string& path);
 
+  /// Wires a gather coordinator (owned) into every *future* session's
+  /// greedy options as the remote trial scatterer. Must be called before
+  /// any session is created — sessions snapshot the template at Create
+  /// time. The coordinator's transports are built by the embedder
+  /// (examples/vexus_server.cpp over net::ShardClient; tests over stubs):
+  /// the service layer stays transport-free.
+  void ConfigureGather(std::unique_ptr<GatherCoordinator> gather);
+  /// Null unless ConfigureGather ran.
+  GatherCoordinator* gather() const { return gather_.get(); }
+
+  /// True for the shard-backend constructor's shape.
+  bool shard_backend() const { return backend_shard_ != nullptr; }
+
   /// False between cold construction and a successful WarmFromSnapshot.
   bool warm() const {
     return warm_state_.load(std::memory_order_acquire) ==
@@ -159,6 +183,12 @@ class ExplorationService {
   /// serialization). Answered inline by Dispatch() so orchestrator probes
   /// never queue behind session traffic and are never shed.
   Response DoHealth(const Request& req);
+  /// Shard-backend ops (DESIGN.md §16). eval_partial runs on a worker with
+  /// the full deadline discipline; shard_info is probe-class and answered
+  /// inline like health (a gather coordinator's breaker probe must never
+  /// be shed by the very overload it is diagnosing).
+  Response DoEvalPartial(const Request& req, const Deadline& deadline);
+  Response DoShardInfo(const Request& req);
 
   /// Shared tail of both constructors (pool, trace log, dispatcher).
   void InitRuntime();
@@ -179,6 +209,11 @@ class ExplorationService {
 
   const core::VexusEngine* engine_;  // null while cold
   ServiceOptions options_;
+  /// Shard-backend state (null in coordinator/standalone shapes).
+  std::unique_ptr<core::SnapshotShard> backend_shard_;
+  uint64_t backend_generation_ = 0;
+  /// Owned gather coordinator (null unless ConfigureGather ran).
+  std::unique_ptr<GatherCoordinator> gather_;
   /// Service-owned scatter-gather shard map (see ServiceOptions::
   /// num_shards); null when unsharded. Built before warm_state_ goes kWarm
   /// and immutable afterwards, so sessions may hold the raw pointer.

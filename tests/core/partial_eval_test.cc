@@ -1,0 +1,218 @@
+// EvalCoveragePartials — the shard-backend side of the multi-box gather
+// (DESIGN.md §16). Two properties carry the whole design:
+//
+//   1. On a full store it reproduces the direct |cand ∩ anchor ∩ ¬rest|
+//      integers (the SwapObjective trial counts).
+//   2. On S slice stores (members restricted to word-aligned shard ranges)
+//      the per-slice partials sum to the full-store count AND match
+//      SwapObjective::TrialCoveragePartial over the same ShardMap — so a
+//      gather over backends folds to byte-identical selections.
+#include "core/partial_eval.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bitset.h"
+#include "common/random.h"
+#include "common/shard_map.h"
+#include "core/greedy_eval.h"
+#include "index/similarity.h"
+
+namespace vexus::core {
+namespace {
+
+using mining::GroupId;
+using mining::GroupStore;
+using mining::UserGroup;
+
+GroupStore MakeStore(size_t n_groups, size_t n_users, uint64_t seed) {
+  GroupStore store(n_users);
+  vexus::Rng rng(seed);
+  for (size_t g = 0; g < n_groups; ++g) {
+    Bitset members(n_users);
+    uint32_t start = rng.UniformU32(static_cast<uint32_t>(n_users));
+    uint32_t len = 10 + rng.UniformU32(static_cast<uint32_t>(n_users / 3));
+    for (uint32_t i = 0; i < len; ++i) members.Set((start + i) % n_users);
+    store.Add(UserGroup({{0, static_cast<data::ValueId>(g)}},
+                        std::move(members)));
+  }
+  return store;
+}
+
+/// The backend's store shape: full-universe width, members restricted to
+/// the shard's user range — exactly what LoadSnapshotShard produces.
+GroupStore SliceStore(const GroupStore& full, uint32_t begin, uint32_t end) {
+  GroupStore slice(full.num_users());
+  for (size_t g = 0; g < full.size(); ++g) {
+    Bitset bits = full.group(g).members().ToBitset();
+    Bitset restricted(full.num_users());
+    for (uint32_t u = begin; u < end; ++u) {
+      if (bits.Test(u)) restricted.Set(u);
+    }
+    slice.Add(UserGroup({{0, static_cast<data::ValueId>(g)}},
+                        std::move(restricted)));
+  }
+  return slice;
+}
+
+/// Direct (definitional) trial count on an arbitrary store.
+uint32_t DirectCount(const GroupStore& store, const PartialEvalInput& in,
+                     size_t trial) {
+  const size_t n = store.num_users();
+  const size_t k = in.selection.size();
+  uint32_t cand_gid = in.trials[2 * trial];
+  uint32_t slot = in.trials[2 * trial + 1];
+  Bitset rest(n);
+  for (size_t i = 0; i < k; ++i) {
+    if (i == slot) continue;
+    Bitset m = store.group(in.selection[i]).members().ToBitset();
+    for (size_t u = 0; u < n; ++u) {
+      if (m.Test(u)) rest.Set(u);
+    }
+  }
+  Bitset cand = store.group(cand_gid).members().ToBitset();
+  Bitset anchor(n);
+  anchor.SetAll();
+  if (in.anchor.has_value()) {
+    anchor = store.group(*in.anchor).members().ToBitset();
+  }
+  uint32_t count = 0;
+  for (size_t u = 0; u < n; ++u) {
+    if (cand.Test(u) && anchor.Test(u) && !rest.Test(u)) ++count;
+  }
+  return count;
+}
+
+PartialEvalInput MakeInput(const GroupStore& store, bool anchored,
+                           uint64_t seed) {
+  vexus::Rng rng(seed);
+  PartialEvalInput in;
+  if (anchored) in.anchor = 0;
+  in.selection = {1, 2, 3, 4};
+  for (uint32_t cand = 5; cand < 13 && cand < store.size(); ++cand) {
+    in.trials.push_back(cand);
+    in.trials.push_back(rng.UniformU32(4));
+  }
+  return in;
+}
+
+TEST(PartialEvalTest, MatchesDirectCountOnFullStore) {
+  for (bool anchored : {false, true}) {
+    GroupStore store = MakeStore(16, 300, 11);
+    PartialEvalInput in = MakeInput(store, anchored, 42);
+    auto partials = EvalCoveragePartials(store, in);
+    ASSERT_TRUE(partials.ok()) << partials.status().ToString();
+    ASSERT_EQ(partials->size(), in.trials.size() / 2);
+    for (size_t t = 0; t < partials->size(); ++t) {
+      EXPECT_EQ((*partials)[t], DirectCount(store, in, t))
+          << "anchored=" << anchored << " trial=" << t;
+    }
+  }
+}
+
+TEST(PartialEvalTest, SlicePartialsSumToFullStoreCount) {
+  const size_t n_users = 500;
+  GroupStore store = MakeStore(20, n_users, 23);
+  for (size_t num_shards : {2u, 4u}) {
+    ShardMap map(n_users, num_shards);
+    ASSERT_EQ(map.num_shards(), num_shards);
+    for (bool anchored : {false, true}) {
+      PartialEvalInput in = MakeInput(store, anchored, 99 + num_shards);
+      auto full = EvalCoveragePartials(store, in);
+      ASSERT_TRUE(full.ok());
+      std::vector<uint32_t> sum(full->size(), 0);
+      for (size_t s = 0; s < num_shards; ++s) {
+        GroupStore slice =
+            SliceStore(store, static_cast<uint32_t>(map.shard(s).user_begin),
+                       static_cast<uint32_t>(map.shard(s).user_end));
+        auto part = EvalCoveragePartials(slice, in);
+        ASSERT_TRUE(part.ok()) << part.status().ToString();
+        ASSERT_EQ(part->size(), full->size());
+        for (size_t t = 0; t < part->size(); ++t) sum[t] += (*part)[t];
+      }
+      for (size_t t = 0; t < full->size(); ++t) {
+        EXPECT_EQ(sum[t], (*full)[t])
+            << "shards=" << num_shards << " anchored=" << anchored
+            << " trial=" << t;
+      }
+    }
+  }
+}
+
+// The remote partials must be the *same integers* the in-process sharded
+// scan computes (SwapObjective::TrialCoveragePartial) — this is what makes
+// a gather fold byte-identical to the single-process sharded greedy.
+TEST(PartialEvalTest, SliceMatchesInProcessShardPartials) {
+  const size_t n_users = 448;  // 7 words, splits 4 ways word-aligned
+  GroupStore store = MakeStore(18, n_users, 31);
+  ShardMap map(n_users, 4);
+  ASSERT_EQ(map.num_shards(), 4u);
+
+  std::vector<GroupId> pool(store.size());
+  for (size_t i = 0; i < pool.size(); ++i) pool[i] = static_cast<GroupId>(i);
+  std::vector<double> affinity(pool.size(), 0.0);
+  index::PairwiseSimCache sims(&store, &pool);
+  Bitset anchor = store.group(0).members().ToBitset();
+  SwapObjective::Config cfg;
+  cfg.shards = &map;
+  SwapObjective eval(&store, &pool, &anchor, &affinity, cfg, &sims);
+
+  PartialEvalInput in = MakeInput(store, /*anchored=*/true, 7);
+  std::vector<size_t> selected(in.selection.begin(), in.selection.end());
+  eval.Reset(selected);
+
+  for (size_t s = 0; s < map.num_shards(); ++s) {
+    GroupStore slice =
+        SliceStore(store, static_cast<uint32_t>(map.shard(s).user_begin),
+                   static_cast<uint32_t>(map.shard(s).user_end));
+    auto part = EvalCoveragePartials(slice, in);
+    ASSERT_TRUE(part.ok());
+    for (size_t t = 0; t < part->size(); ++t) {
+      size_t cand = in.trials[2 * t];  // pool position == gid here
+      size_t slot = in.trials[2 * t + 1];
+      EXPECT_EQ((*part)[t], eval.TrialCoveragePartial(slot, cand, s))
+          << "shard=" << s << " trial=" << t;
+    }
+  }
+}
+
+TEST(PartialEvalTest, RejectsMalformedInput) {
+  GroupStore store = MakeStore(8, 128, 5);
+  PartialEvalInput in;
+  in.selection = {1, 2};
+  in.trials = {3, 0};
+
+  PartialEvalInput empty_sel = in;
+  empty_sel.selection.clear();
+  EXPECT_FALSE(EvalCoveragePartials(store, empty_sel).ok());
+
+  PartialEvalInput odd = in;
+  odd.trials = {3};
+  EXPECT_FALSE(EvalCoveragePartials(store, odd).ok());
+
+  PartialEvalInput no_trials = in;
+  no_trials.trials.clear();
+  EXPECT_FALSE(EvalCoveragePartials(store, no_trials).ok());
+
+  PartialEvalInput bad_anchor = in;
+  bad_anchor.anchor = 1000;
+  EXPECT_FALSE(EvalCoveragePartials(store, bad_anchor).ok());
+
+  PartialEvalInput bad_sel = in;
+  bad_sel.selection = {1, 999};
+  EXPECT_FALSE(EvalCoveragePartials(store, bad_sel).ok());
+
+  PartialEvalInput bad_cand = in;
+  bad_cand.trials = {999, 0};
+  EXPECT_FALSE(EvalCoveragePartials(store, bad_cand).ok());
+
+  PartialEvalInput bad_slot = in;
+  bad_slot.trials = {3, 7};
+  EXPECT_FALSE(EvalCoveragePartials(store, bad_slot).ok());
+
+  EXPECT_TRUE(EvalCoveragePartials(store, in).ok());
+}
+
+}  // namespace
+}  // namespace vexus::core

@@ -1,0 +1,390 @@
+// Multi-box scatter-gather integration tests (ISSUE 10 acceptance,
+// DESIGN.md §16) — in-process transports, real everything else: real
+// snapshot round-trip into shard-backend services, real GatherCoordinator
+// with retry/backoff/breaker, real greedy sessions on the coordinator.
+//
+// The invariants:
+//   * identity    — a healthy S-shard fleet answers byte-identically to the
+//                   single-process run AND the single-process S-shard
+//                   (in-process scatter-gather) run, S ∈ {2, 4};
+//   * degradation — killed / stalled / corrupted / stale backends turn into
+//                   degraded:"partial" answers (or clean errors), never
+//                   hung requests: every storm request completes;
+//   * recovery    — once the fault clears, breaker probes flip the shard
+//                   closed and full-coverage answers come back.
+//
+// Chaos legs derive their schedules from VEXUS_CHAOS_SEED like
+// chaos_test.cc, so a CI failure reproduces locally with the printed seed.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "common/stopwatch.h"
+#include "core/engine.h"
+#include "core/snapshot.h"
+#include "data/generators/bookcrossing_gen.h"
+#include "server/gather.h"
+#include "server/service.h"
+
+namespace vexus {
+namespace {
+
+using server::ExplorationService;
+using server::GatherCoordinator;
+using server::Request;
+using server::RequestType;
+using server::Response;
+using server::ServiceOptions;
+using server::ShardTransport;
+
+uint64_t ChaosSeed() {
+  const char* env = std::getenv("VEXUS_CHAOS_SEED");
+  if (env == nullptr || *env == '\0') return 1;
+  return static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+}
+
+constexpr uint64_t kGeneration = 7;
+
+/// In-process shard transport: forwards to a backend service's synchronous
+/// entry point. Kill() simulates the box vanishing (every call errors
+/// without reaching the backend); Revive() brings it back.
+class LocalTransport : public ShardTransport {
+ public:
+  LocalTransport(ExplorationService* svc, std::string name)
+      : svc_(svc), name_(std::move(name)) {}
+
+  Result<Response> Call(const Request& req, double budget_ms) override {
+    if (dead_.load(std::memory_order_acquire)) {
+      return Status::IOError("backend killed: " + name_);
+    }
+    Request copy = req;
+    copy.budget_ms = budget_ms;
+    Stopwatch watch;
+    Response resp = svc_->Call(std::move(copy));
+    // A real wire transport times the lap out; the synchronous in-process
+    // call can only notice afterwards. Late answers must not be folded.
+    if (watch.ElapsedMillis() > budget_ms) {
+      return Status::DeadlineExceeded("lap overran its budget: " + name_);
+    }
+    return resp;
+  }
+  void Reset() override { resets_.fetch_add(1); }
+  std::string address() const override { return name_; }
+
+  void Kill() { dead_.store(true, std::memory_order_release); }
+  void Revive() { dead_.store(false, std::memory_order_release); }
+  uint64_t resets() const { return resets_.load(); }
+
+ private:
+  ExplorationService* svc_;
+  std::string name_;
+  std::atomic<bool> dead_{false};
+  std::atomic<uint64_t> resets_{0};
+};
+
+class GatherChaosTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::BookCrossingGenerator::Config cfg;
+    cfg.num_users = 400;
+    cfg.num_books = 500;
+    cfg.num_ratings = 2400;
+    mining::DiscoveryOptions opt;
+    opt.min_support_fraction = 0.03;
+    engine_ = new core::VexusEngine(std::move(
+        core::VexusEngine::Preprocess(
+            data::BookCrossingGenerator::Generate(cfg), opt, {})
+            .ValueOrDie()));
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    engine_ = nullptr;
+  }
+
+  static ServiceOptions SessionOptions() {
+    ServiceOptions opts;
+    opts.session_template.greedy.k = 4;
+    // Generous budgets: identity legs must never be truncated differently
+    // by the anytime deadline on the (slower) gathered path.
+    opts.session_template.greedy.time_limit_ms = 500;
+    opts.num_workers = 2;
+    opts.dispatcher.default_budget_ms = 2000;
+    return opts;
+  }
+
+  /// Saves an S-shard v3 snapshot and cold-starts one backend service per
+  /// section. `generations[s]` (when provided) builds shard s with that
+  /// store generation — the stale-shard leg.
+  struct Fleet {
+    std::vector<std::unique_ptr<ExplorationService>> backends;
+    std::vector<LocalTransport*> transports;  // borrowed, coordinator owns
+    std::unique_ptr<ExplorationService> coordinator;
+  };
+
+  Fleet MakeFleet(size_t num_shards,
+                  std::vector<uint64_t> generations = {}) {
+    const std::string path = ::testing::TempDir() + "gather_chaos_s" +
+                             std::to_string(num_shards) + ".snap";
+    core::SnapshotSaveOptions save;
+    save.num_shards = num_shards;
+    save.sync = false;
+    EXPECT_TRUE(
+        core::SaveSnapshot(engine_->groups(), engine_->index(), path, save)
+            .ok());
+
+    Fleet fleet;
+    std::vector<std::unique_ptr<ShardTransport>> transports;
+    for (size_t s = 0; s < num_shards; ++s) {
+      auto shard = core::LoadSnapshotShard(path, s);
+      EXPECT_TRUE(shard.ok()) << shard.status().ToString();
+      ServiceOptions bopts;
+      bopts.num_workers = 2;
+      const uint64_t gen =
+          s < generations.size() ? generations[s] : kGeneration;
+      fleet.backends.push_back(std::make_unique<ExplorationService>(
+          std::move(shard).ValueOrDie(), gen, bopts));
+      auto transport = std::make_unique<LocalTransport>(
+          fleet.backends.back().get(), "local-shard-" + std::to_string(s));
+      fleet.transports.push_back(transport.get());
+      transports.push_back(std::move(transport));
+    }
+    std::remove(path.c_str());  // sections are in memory now
+
+    fleet.coordinator =
+        std::make_unique<ExplorationService>(engine_, SessionOptions());
+    GatherCoordinator::Options gopts;
+    gopts.num_users = engine_->groups().num_users();
+    gopts.generation = kGeneration;
+    gopts.backoff.seed = ChaosSeed();
+    gopts.breaker.cooldown_ms = 100;  // fast recovery legs
+    fleet.coordinator->ConfigureGather(std::make_unique<GatherCoordinator>(
+        std::move(transports), gopts));
+    return fleet;
+  }
+
+  static Response Start(ExplorationService& svc, const std::string& id) {
+    Request req;
+    req.type = RequestType::kStartSession;
+    req.session_id = id;
+    req.k = 4;
+    return svc.Call(std::move(req));
+  }
+
+  static Response Select(ExplorationService& svc, const std::string& id,
+                         uint32_t group) {
+    Request req;
+    req.type = RequestType::kSelectGroup;
+    req.session_id = id;
+    req.group = group;
+    return svc.Call(std::move(req));
+  }
+
+  static std::vector<uint32_t> Ids(const Response& resp) {
+    std::vector<uint32_t> ids;
+    for (const auto& g : resp.groups) ids.push_back(g.id);
+    return ids;
+  }
+
+  static core::VexusEngine* engine_;
+};
+
+core::VexusEngine* GatherChaosTest::engine_ = nullptr;
+
+/// Byte-identity: gathered screens vs the plain single-process run vs the
+/// single-process S-shard (in-process scatter) run, over a 3-step walk.
+TEST_F(GatherChaosTest, HealthyFleetIsByteIdenticalToLocal) {
+  for (size_t num_shards : {2u, 4u}) {
+    Fleet fleet = MakeFleet(num_shards);
+    ExplorationService plain(engine_, SessionOptions());
+    ServiceOptions sharded_opts = SessionOptions();
+    sharded_opts.num_shards = num_shards;
+    ExplorationService sharded(engine_, sharded_opts);
+
+    const std::string sid = "identity-" + std::to_string(num_shards);
+    Response g = Start(*fleet.coordinator, sid);
+    Response p = Start(plain, sid);
+    Response s = Start(sharded, sid);
+    for (int step = 0; step < 4; ++step) {
+      ASSERT_TRUE(g.status.ok()) << g.status.ToString();
+      ASSERT_TRUE(p.status.ok()) << p.status.ToString();
+      ASSERT_TRUE(s.status.ok()) << s.status.ToString();
+      EXPECT_FALSE(g.degraded.has_value())
+          << "healthy fleet degraded: " << *g.degraded;
+      // Identity is exact — same group ids, bit-equal quality doubles.
+      EXPECT_EQ(Ids(g), Ids(p)) << "shards=" << num_shards << " step=" << step;
+      EXPECT_EQ(Ids(g), Ids(s)) << "shards=" << num_shards << " step=" << step;
+      EXPECT_EQ(g.coverage, p.coverage);
+      EXPECT_EQ(g.diversity, p.diversity);
+      EXPECT_EQ(g.coverage, s.coverage);
+      EXPECT_EQ(g.diversity, s.diversity);
+      if (step == 3 || g.groups.empty()) break;
+      const uint32_t pick = g.groups[step % g.groups.size()].id;
+      g = Select(*fleet.coordinator, sid, pick);
+      p = Select(plain, sid, pick);
+      s = Select(sharded, sid, pick);
+    }
+  }
+}
+
+/// Kill a backend mid-storm: every request still completes — ok (possibly
+/// degraded:"partial" with covered_fraction < 1) or a clean overload code —
+/// and the dead shard's breaker opens. Revival + probes restore coverage.
+TEST_F(GatherChaosTest, KilledBackendDegradesThenRecovers) {
+  Fleet fleet = MakeFleet(2);
+  std::atomic<uint64_t> completed{0}, degraded_partial{0}, bad{0};
+
+  const int kThreads = 3, kSessions = 6;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kSessions; ++i) {
+        const std::string sid =
+            "storm-" + std::to_string(t) + "-" + std::to_string(i);
+        Response resp = Start(*fleet.coordinator, sid);
+        if (resp.status.ok() && !resp.groups.empty()) {
+          resp = Select(*fleet.coordinator, sid, resp.groups[0].id);
+        }
+        completed.fetch_add(1);
+        if (resp.status.ok()) {
+          if (resp.degraded.has_value() && *resp.degraded == "partial") {
+            degraded_partial.fetch_add(1);
+            if (!resp.covered_fraction.has_value() ||
+                *resp.covered_fraction >= 1.0 ||
+                *resp.covered_fraction <= 0.0) {
+              bad.fetch_add(1);
+            }
+          }
+        } else if (resp.status.code() != StatusCode::kResourceExhausted &&
+                   resp.status.code() != StatusCode::kDeadlineExceeded) {
+          bad.fetch_add(1);  // faults must degrade, not leak backend errors
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  fleet.transports[0]->Kill();
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(completed.load(),
+            static_cast<uint64_t>(kThreads) * kSessions);  // zero hangs
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_GT(degraded_partial.load(), 0u) << "kill was never observed";
+  EXPECT_GT(fleet.transports[0]->resets(), 0u);
+
+  auto membership = fleet.coordinator->gather()->Membership();
+  ASSERT_EQ(membership.size(), 2u);
+  EXPECT_GT(membership[0].failed_laps, 0u);
+
+  // Recovery: revive, let the breaker cool down, probe, and expect a
+  // full-coverage answer again.
+  fleet.transports[0]->Revive();
+  bool recovered = false;
+  for (int i = 0; i < 100 && !recovered; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    fleet.coordinator->gather()->ProbeShards();
+    Response resp = Start(*fleet.coordinator, "recovered-" + std::to_string(i));
+    recovered = resp.status.ok() && !resp.degraded.has_value();
+  }
+  EXPECT_TRUE(recovered) << "fleet never returned to full coverage";
+  auto after = fleet.coordinator->gather()->Membership();
+  EXPECT_EQ(after[0].state, server::CircuitBreaker::State::kClosed);
+}
+
+/// Stall chaos: every other eval_partial burns most of the lap budget. The
+/// retry/backoff path must absorb it — requests complete (ok or degraded),
+/// and the coordinator's counters show the faults actually landed.
+TEST_F(GatherChaosTest, StalledBackendIsRetriedOrShedNeverHung) {
+  Fleet fleet = MakeFleet(2);
+
+  failpoint::Policy stall;
+  stall.mode = failpoint::Policy::Mode::kEveryNth;
+  stall.nth = 2;
+  stall.code = StatusCode::kOk;  // sleep only
+  stall.sleep_ms = 80;           // > lap_budget_ms (50): a missed lap
+  failpoint::ScopedFailpoint fp("service.eval_partial", stall);
+
+  for (int i = 0; i < 6; ++i) {
+    const std::string sid = "stall-" + std::to_string(i);
+    Response resp = Start(*fleet.coordinator, sid);
+    ASSERT_TRUE(resp.status.ok() ||
+                resp.status.code() == StatusCode::kDeadlineExceeded ||
+                resp.status.code() == StatusCode::kResourceExhausted)
+        << resp.status.ToString();
+  }
+  EXPECT_GT(fp.fires(), 0u) << "stall site never reached";
+  auto membership = fleet.coordinator->gather()->Membership();
+  uint64_t failed = 0, retries = 0;
+  for (const auto& m : membership) {
+    failed += m.failed_laps;
+    retries += m.retries;
+  }
+  EXPECT_GT(failed + retries, 0u) << "stalls never surfaced to the gather";
+}
+
+/// Corruption chaos: eval_partial randomly answers IOError (seeded, so the
+/// schedule replays). Same liveness bar; after the fault clears, probes
+/// bring every breaker back to closed.
+TEST_F(GatherChaosTest, CorruptBackendAnswersAreDroppedFromTheFold) {
+  Fleet fleet = MakeFleet(2);
+  {
+    failpoint::Policy flaky;
+    flaky.mode = failpoint::Policy::Mode::kProbability;
+    flaky.probability = 0.5;
+    flaky.seed = ChaosSeed();
+    flaky.code = StatusCode::kIOError;
+    failpoint::ScopedFailpoint fp("service.eval_partial.fail", flaky);
+
+    for (int i = 0; i < 8; ++i) {
+      const std::string sid = "corrupt-" + std::to_string(i);
+      Response resp = Start(*fleet.coordinator, sid);
+      ASSERT_TRUE(resp.status.ok() ||
+                  resp.status.code() == StatusCode::kDeadlineExceeded ||
+                  resp.status.code() == StatusCode::kResourceExhausted)
+          << resp.status.ToString();
+      if (resp.status.ok() && resp.degraded.has_value()) {
+        EXPECT_EQ(*resp.degraded, "partial");
+      }
+    }
+    EXPECT_GT(fp.fires(), 0u);
+  }
+
+  bool recovered = false;
+  for (int i = 0; i < 100 && !recovered; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    fleet.coordinator->gather()->ProbeShards();
+    Response resp =
+        Start(*fleet.coordinator, "post-corrupt-" + std::to_string(i));
+    recovered = resp.status.ok() && !resp.degraded.has_value();
+  }
+  EXPECT_TRUE(recovered);
+}
+
+/// A backend serving the wrong store generation (mid-reload) must never be
+/// folded: its shard counts as failed, the answer degrades to partial with
+/// the surviving shard's fraction.
+TEST_F(GatherChaosTest, StaleGenerationShardIsNeverFolded) {
+  Fleet fleet = MakeFleet(2, /*generations=*/{kGeneration, kGeneration + 1});
+
+  Response resp = Start(*fleet.coordinator, "stale");
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  ASSERT_TRUE(resp.degraded.has_value()) << "stale shard was folded";
+  EXPECT_EQ(*resp.degraded, "partial");
+  ASSERT_TRUE(resp.covered_fraction.has_value());
+  EXPECT_GT(*resp.covered_fraction, 0.0);
+  EXPECT_LT(*resp.covered_fraction, 1.0);
+
+  auto membership = fleet.coordinator->gather()->Membership();
+  EXPECT_GT(membership[1].failed_laps, 0u);
+  EXPECT_EQ(membership[0].failed_laps, 0u);
+}
+
+}  // namespace
+}  // namespace vexus

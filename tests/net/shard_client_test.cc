@@ -1,0 +1,229 @@
+// ShardClient hedging + reconnect semantics against a scripted fake backend.
+//
+// The fake backend scripts per-connection behavior by accept order: the
+// i-th accepted connection either answers every request it receives with a
+// canned line, or goes silent forever while staying open (the stalled-
+// primary shape — no EOF, no bytes). That is enough to drive every Call()
+// path:
+//
+//   - silent first connection + healthy second → hedge fires, hedge wins,
+//     hedge connection is promoted to primary and reused without hedging
+//   - hedging disabled + silent connection → DeadlineExceeded, primary is
+//     reset, and the NEXT call reconnects cleanly (no stream desync)
+//   - healthy connection → no hedge ever, latency recorded, delay clamped
+#include "net/shard_client.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/stopwatch.h"
+#include "net/socket.h"
+#include "server/protocol.h"
+
+namespace vexus::net {
+namespace {
+
+using server::Request;
+using server::RequestType;
+using server::Response;
+
+Request HealthRequest() {
+  Request req;
+  req.type = RequestType::kHealth;
+  return req;
+}
+
+std::string CannedReplyLine() {
+  Response resp;
+  resp.type = RequestType::kHealth;
+  resp.status = Status::OK();
+  return resp.Encode();
+}
+
+/// Scripted fake backend: `answer[i]` decides whether the i-th accepted
+/// connection answers requests (every request, until EOF) or stalls silently
+/// (connection held open, nothing ever written). Connections beyond the
+/// script answer.
+class FakeShardServer {
+ public:
+  explicit FakeShardServer(std::vector<bool> answer)
+      : answer_(std::move(answer)), reply_(CannedReplyLine() + "\n") {}
+
+  ~FakeShardServer() {
+    stop_.store(true);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+  }
+
+  bool Start() {
+    auto fd = ListenTcp("127.0.0.1", 0, /*backlog=*/16, &port_);
+    if (!fd.ok()) return false;
+    listener_ = std::move(fd).ValueOrDie();
+    accept_thread_ = std::thread([this] { Accept(); });
+    return true;
+  }
+
+  uint16_t port() const { return port_; }
+  size_t accepted() const { return accepted_.load(); }
+
+ private:
+  void Accept() {
+    while (!stop_.load()) {
+      pollfd p{listener_.get(), POLLIN, 0};
+      if (::poll(&p, 1, 20) <= 0) continue;
+      int conn = ::accept(listener_.get(), nullptr, nullptr);
+      if (conn < 0) continue;
+      const size_t idx = accepted_.fetch_add(1);
+      const bool respond = idx >= answer_.size() || answer_[idx];
+      workers_.emplace_back([this, conn, respond] { Serve(conn, respond); });
+    }
+  }
+
+  void Serve(int raw, bool respond) {
+    Fd conn(raw);
+    // Accepted fds are blocking (O_NONBLOCK does not inherit); a short recv
+    // timeout lets the loop notice stop_ without wedging teardown.
+    timeval tv{0, 100 * 1000};
+    ::setsockopt(conn.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    std::string line;
+    while (!stop_.load()) {
+      char ch;
+      ssize_t n = ::recv(conn.get(), &ch, 1, 0);
+      if (n == 0) return;     // peer closed — this connection lost a hedge
+      if (n < 0) continue;    // recv timeout/EINTR: re-check stop_
+      if (ch != '\n') {
+        line.push_back(ch);
+        continue;
+      }
+      line.clear();
+      if (respond) {
+        (void)::send(conn.get(), reply_.data(), reply_.size(), MSG_NOSIGNAL);
+      }
+      // Silent connections swallow the request and keep listening: the
+      // client must see a stall, not an EOF.
+    }
+  }
+
+  std::vector<bool> answer_;
+  std::string reply_;
+  Fd listener_;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;  // appended only by accept_thread_
+  std::atomic<size_t> accepted_{0};
+  std::atomic<bool> stop_{false};
+};
+
+ShardClient::Options FastHedgeOptions() {
+  ShardClient::Options opts;
+  opts.connect_timeout_ms = 1000;
+  opts.hedge_min_ms = 5;
+  opts.hedge_max_ms = 20;
+  opts.hedge_lap_ms = 2;
+  return opts;
+}
+
+TEST(ShardClientTest, HedgeWinsAgainstAStalledPrimary) {
+  // Connection 0 stalls forever, connection 1 answers — the classic
+  // one-bad-connection tail the hedge exists for.
+  FakeShardServer backend({false, true});
+  ASSERT_TRUE(backend.Start());
+
+  ShardClient client("127.0.0.1", backend.port(), FastHedgeOptions());
+  Stopwatch watch;
+  auto resp = client.Call(HealthRequest(), /*budget_ms=*/2000);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_TRUE(resp->status.ok());
+  // The answer must arrive via the hedge, well before the 2 s budget: the
+  // empty latency ring starts the hedge delay at hedge_max (20 ms).
+  EXPECT_LT(watch.ElapsedMillis(), 1500.0);
+  EXPECT_EQ(client.hedges_sent(), 1u);
+  EXPECT_EQ(client.hedge_wins(), 1u);
+  EXPECT_EQ(backend.accepted(), 2u);
+}
+
+TEST(ShardClientTest, HedgeWinnerIsPromotedToPrimary) {
+  // After a hedge win the hedge connection becomes the cached primary; the
+  // follow-up call must ride it directly — no reconnect, no second hedge.
+  FakeShardServer backend({false, true});
+  ASSERT_TRUE(backend.Start());
+
+  ShardClient client("127.0.0.1", backend.port(), FastHedgeOptions());
+  auto first = client.Call(HealthRequest(), 2000);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_EQ(client.hedge_wins(), 1u);
+
+  auto second = client.Call(HealthRequest(), 2000);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second->status.ok());
+  EXPECT_EQ(client.hedges_sent(), 1u) << "second call should not hedge";
+  EXPECT_EQ(backend.accepted(), 2u) << "second call should not reconnect";
+}
+
+TEST(ShardClientTest, NoHedgingTimesOutAndReconnectsCleanly) {
+  FakeShardServer backend({false, true});
+  ASSERT_TRUE(backend.Start());
+
+  ShardClient::Options opts = FastHedgeOptions();
+  opts.hedging = false;
+  ShardClient client("127.0.0.1", backend.port(), opts);
+
+  Stopwatch watch;
+  auto timed_out = client.Call(HealthRequest(), /*budget_ms=*/150);
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(watch.ElapsedMillis(), 2000.0);
+  EXPECT_EQ(client.hedges_sent(), 0u);
+
+  // The timed-out connection must have been dropped: if it were reused, a
+  // late response from the stalled stream would answer the NEXT request.
+  // The retry lands on fresh connection 1, which answers.
+  auto retried = client.Call(HealthRequest(), 2000);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_TRUE(retried->status.ok());
+  EXPECT_EQ(backend.accepted(), 2u);
+}
+
+TEST(ShardClientTest, HealthyPathNeverHedgesAndTracksLatency) {
+  FakeShardServer backend({});  // every connection answers
+  ASSERT_TRUE(backend.Start());
+
+  ShardClient client("127.0.0.1", backend.port(), FastHedgeOptions());
+  for (int i = 0; i < 5; ++i) {
+    auto resp = client.Call(HealthRequest(), 2000);
+    ASSERT_TRUE(resp.ok()) << i << ": " << resp.status().ToString();
+  }
+  EXPECT_EQ(client.hedges_sent(), 0u);
+  EXPECT_EQ(client.hedge_wins(), 0u);
+  EXPECT_EQ(backend.accepted(), 1u) << "healthy path reuses one connection";
+  // Loopback p99 is far below the floor: the clamp must hold on both ends.
+  EXPECT_GE(client.HedgeDelayMillis(), FastHedgeOptions().hedge_min_ms);
+  EXPECT_LE(client.HedgeDelayMillis(), FastHedgeOptions().hedge_max_ms);
+}
+
+TEST(ShardClientTest, ResetDropsTheCachedConnection) {
+  FakeShardServer backend({});
+  ASSERT_TRUE(backend.Start());
+
+  ShardClient client("127.0.0.1", backend.port(), FastHedgeOptions());
+  ASSERT_TRUE(client.Call(HealthRequest(), 2000).ok());
+  const size_t before = backend.accepted();
+  client.Reset();
+  ASSERT_TRUE(client.Call(HealthRequest(), 2000).ok());
+  EXPECT_EQ(backend.accepted(), before + 1);
+  EXPECT_EQ(client.address(), "127.0.0.1:" + std::to_string(backend.port()));
+}
+
+}  // namespace
+}  // namespace vexus::net

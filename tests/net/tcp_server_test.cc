@@ -17,6 +17,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
+#include "common/stopwatch.h"
 #include "core/engine.h"
 #include "data/generators/bookcrossing_gen.h"
 #include "net/client.h"
@@ -372,6 +374,57 @@ TEST_F(TcpServerTest, DrainUnderLoadConservesEveryAdmittedRequest) {
   // The listener is gone: new connections are refused.
   auto late = ConnectTcp("127.0.0.1", port, 500);
   EXPECT_FALSE(late.ok());
+}
+
+TEST_F(TcpServerTest, DrainSettlesStragglersWithoutSleepingTheTimeout) {
+  // Drain()'s straggler wait is event-driven (a condvar the dead-letter
+  // queue notifies), not a poll against drain_timeout_ms. Regression shape:
+  // park one request on a worker (greedy.pass failpoint sleeps ~400 ms),
+  // close its connection so the response can only go to the dead-letter
+  // path, then drain with a LONG timeout. Pre-fix, Drain either slept a
+  // fixed lap ladder or — with the timeout as the wait — burned the whole
+  // 10 s. Post-fix it must return roughly when the straggler retires.
+  ExplorationService svc(engine_, FastOptions());
+  TcpServerOptions opts;
+  opts.drain_timeout_ms = 30'000;  // the bound we must NOT come near
+  TcpServer server(&svc, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  failpoint::Policy stall;
+  stall.mode = failpoint::Policy::Mode::kOnce;
+  stall.code = StatusCode::kOk;  // sleep only, no injected error
+  stall.sleep_ms = 400;
+  failpoint::ScopedFailpoint fp("greedy.pass", stall);
+
+  {
+    auto client = LineClient::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(
+        client->SendLine(R"({"op":"start_session","session":"straggler"})")
+            .ok());
+    // Wait until the request is actually admitted onto a worker (the sleep
+    // begins), then drop the connection: the worker is now a straggler whose
+    // response has nowhere to go.
+    for (int i = 0; i < 200 && fp.hits() == 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_GT(fp.hits(), 0u) << "request never reached the greedy pass";
+  }  // ~LineClient closes the connection
+
+  Stopwatch watch;
+  server.RequestDrain();
+  server.Drain();
+  const double drain_ms = watch.ElapsedMillis();
+
+  auto stats = server.Stats();
+  EXPECT_GE(stats.requests_submitted, 1u);
+  // Conservation: the straggler retired exactly once — routed (the drain
+  // held its connection for flushing) or dropped (connection already gone).
+  EXPECT_EQ(stats.requests_submitted,
+            stats.responses_routed + stats.responses_dropped);
+  // Generous CI margin, but far below the 30 s timeout: the wait ended on
+  // the straggler's completion signal, not the clock.
+  EXPECT_LT(drain_ms, 10'000.0);
 }
 
 TEST_F(TcpServerTest, IdleConnectionsAreReaped) {
